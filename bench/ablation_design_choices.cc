@@ -1,0 +1,98 @@
+// Ablation benches for the design choices DESIGN.md calls out (these go
+// beyond the paper's tables, quantifying the §4.1/§4.3 choices):
+//
+//  A. Jaccard prior: uniform Beta(1,1) vs the method-of-moments fit on
+//     sampled candidates (capped strength) — paper §4.1 recommends the fit.
+//  B. Hashes-per-round k for cosine BayesLSH — the paper fixes k = 32 (one
+//     word of bits); smaller rounds prune earlier but pay more inference,
+//     larger rounds amortize comparisons but overshoot.
+//  C. BayesLSH-Lite pruning budget h — the paper uses 128 (cosine);
+//     the sweep shows the time/recall trade.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace bayeslsh;
+using namespace bayeslsh::bench;
+
+int main() {
+  PrintHeader("Ablation A: Jaccard prior — uniform vs method-of-moments fit "
+              "(Orkut-like, Jaccard, t = 0.5, AP feed)");
+  {
+    BenchDataset ds = PrepareDataset(PaperDataset::kOrkut, Measure::kJaccard);
+    const GroundTruth truth(ds.data, Measure::kJaccard, 0.5);
+    const auto truth_at = truth.AtThreshold(0.5);
+    std::printf("%-24s %10s %10s %12s %12s\n", "prior", "seconds", "recall",
+                "mean err", "err>0.05");
+    PrintRule(74);
+    for (const uint32_t sample_size : {0u, 300u}) {
+      PipelineConfig cfg = MakeBenchConfig(
+          Measure::kJaccard,
+          {GeneratorKind::kAllPairs, VerifierKind::kBayesLsh}, 0.5,
+          ds.gaussians.get());
+      cfg.prior_sample_size = sample_size;
+      const PipelineResult res = RunPipeline(ds.data, cfg);
+      const ErrorStats err =
+          EstimateErrors(ds.data, Measure::kJaccard, res.pairs);
+      std::printf("%-24s %10.3f %9.2f%% %12.4f %11.2f%%\n",
+                  sample_size == 0 ? "uniform Beta(1,1)"
+                                   : "MoM fit (300 samples)",
+                  res.total_seconds, 100.0 * Recall(res.pairs, truth_at),
+                  err.mean_abs_error, 100.0 * err.frac_error_gt_005);
+    }
+  }
+
+  PrintHeader("Ablation B: hashes compared per round, cosine BayesLSH "
+              "(WikiWords100K-like, t = 0.7, AP feed)");
+  {
+    BenchDataset ds =
+        PrepareDataset(PaperDataset::kWikiWords100k, Measure::kCosine);
+    std::printf("%-10s %10s %16s %14s %14s\n", "k", "seconds",
+                "hashes compared", "pruned", "accepted");
+    PrintRule(70);
+    for (const uint32_t k : {8u, 16u, 32u, 64u}) {
+      PipelineConfig cfg = MakeBenchConfig(
+          Measure::kCosine,
+          {GeneratorKind::kAllPairs, VerifierKind::kBayesLsh}, 0.7,
+          ds.gaussians.get());
+      cfg.bayes.hashes_per_round = k;
+      cfg.bayes.max_hashes = 4096;
+      const PipelineResult res = RunPipeline(ds.data, cfg);
+      std::printf("%-10u %10.3f %16llu %14llu %14llu\n", k,
+                  res.total_seconds,
+                  static_cast<unsigned long long>(
+                      res.vstats.hashes_compared),
+                  static_cast<unsigned long long>(res.vstats.pruned),
+                  static_cast<unsigned long long>(res.vstats.accepted));
+    }
+  }
+
+  PrintHeader("Ablation C: BayesLSH-Lite pruning budget h "
+              "(WikiWords100K-like, cosine, t = 0.7, AP feed)");
+  {
+    BenchDataset ds =
+        PrepareDataset(PaperDataset::kWikiWords100k, Measure::kCosine);
+    const GroundTruth truth(ds.data, Measure::kCosine, 0.7);
+    const auto truth_at = truth.AtThreshold(0.7);
+    std::printf("%-10s %10s %14s %14s %10s\n", "h", "seconds",
+                "exact verifies", "pruned", "recall");
+    PrintRule(64);
+    for (const uint32_t h : {32u, 64u, 128u, 256u}) {
+      PipelineConfig cfg = MakeBenchConfig(
+          Measure::kCosine,
+          {GeneratorKind::kAllPairs, VerifierKind::kBayesLshLite}, 0.7,
+          ds.gaussians.get());
+      cfg.lite_max_hashes = h;
+      cfg.bayes.hashes_per_round = 32;
+      const PipelineResult res = RunPipeline(ds.data, cfg);
+      std::printf("%-10u %10.3f %14llu %14llu %9.2f%%\n", h,
+                  res.total_seconds,
+                  static_cast<unsigned long long>(
+                      res.vstats.exact_computed),
+                  static_cast<unsigned long long>(res.vstats.pruned),
+                  100.0 * Recall(res.pairs, truth_at));
+    }
+  }
+  return 0;
+}

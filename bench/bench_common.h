@@ -1,0 +1,144 @@
+// Shared plumbing for the paper-reproduction benchmark binaries: scaled
+// dataset construction, ground-truth computation, the per-measure algorithm
+// roster, and fixed-width table printing.
+//
+// Every bench binary is self-contained and reproducible: all randomness is
+// seeded, and the dataset scale can be adjusted via the environment
+// variable BAYESLSH_BENCH_SCALE (default 1.0; larger values grow the vector
+// counts proportionally).
+
+#ifndef BAYESLSH_BENCH_BENCH_COMMON_H_
+#define BAYESLSH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/pipeline.h"
+#include "data/paper_datasets.h"
+#include "sim/brute_force.h"
+#include "vec/transforms.h"
+
+namespace bayeslsh::bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("BAYESLSH_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double s = std::atof(env);
+  return s > 0.0 ? s : 1.0;
+}
+
+inline uint64_t BenchSeed() { return 20120828; }  // VLDB'12 vintage.
+
+// The paper's cosine thresholds (Fig. 3a-f, j-l) and Jaccard thresholds
+// (Fig. 3g-i).
+inline std::vector<double> CosineThresholds() {
+  return {0.5, 0.6, 0.7, 0.8, 0.9};
+}
+inline std::vector<double> JaccardThresholds() {
+  return {0.3, 0.4, 0.5, 0.6, 0.7};
+}
+
+// One prepared dataset: the measure-appropriate view plus shared Gaussian
+// tables so repeated pipeline runs don't recompute projections.
+struct BenchDataset {
+  std::string name;
+  Dataset data;  // Weighted+normalized for kCosine; binary otherwise.
+  std::unique_ptr<GaussianSourceCache> gaussians;
+};
+
+inline BenchDataset PrepareDataset(PaperDataset which, Measure measure) {
+  BenchDataset out;
+  out.name = PaperDatasetName(which);
+  const double scale = BenchScale();
+  if (measure == Measure::kCosine) {
+    out.data = MakeWeightedPaperDataset(which, scale, BenchSeed());
+  } else {
+    out.data = MakeBinaryPaperDataset(which, scale, BenchSeed());
+  }
+  // 2048 stored hashes cover banding + LSH-Approx verification fully.
+  out.gaussians =
+      std::make_unique<GaussianSourceCache>(out.data.num_dims(), 2048);
+  return out;
+}
+
+// The algorithm roster of Figure 3 (PPJoin+ is handled separately since it
+// does not fit the generate/verify pipeline).
+struct AlgoSpec {
+  GeneratorKind generator;
+  VerifierKind verifier;
+};
+
+inline std::vector<AlgoSpec> PaperAlgorithms() {
+  return {
+      {GeneratorKind::kAllPairs, VerifierKind::kExact},         // AllPairs
+      {GeneratorKind::kAllPairs, VerifierKind::kBayesLsh},      // AP+BayesLSH
+      {GeneratorKind::kAllPairs, VerifierKind::kBayesLshLite},  // AP+B-Lite
+      {GeneratorKind::kLsh, VerifierKind::kExact},              // LSH
+      {GeneratorKind::kLsh, VerifierKind::kMle},                // LSH Approx
+      {GeneratorKind::kLsh, VerifierKind::kBayesLsh},           // LSH+BayesLSH
+      {GeneratorKind::kLsh, VerifierKind::kBayesLshLite},       // LSH+B-Lite
+  };
+}
+
+inline PipelineConfig MakeBenchConfig(Measure measure, const AlgoSpec& algo,
+                                      double threshold,
+                                      GaussianSourceCache* gaussians) {
+  PipelineConfig cfg;
+  cfg.measure = measure;
+  cfg.generator = algo.generator;
+  cfg.verifier = algo.verifier;
+  cfg.threshold = threshold;
+  cfg.seed = BenchSeed();
+  cfg.gaussian_cache = gaussians;
+  return cfg;
+}
+
+// Ground truth for quality tables: exact join at the smallest threshold,
+// filtered per threshold afterwards (truth at t is a subset of truth at
+// t_min).
+class GroundTruth {
+ public:
+  GroundTruth(const Dataset& data, Measure measure, double min_threshold)
+      : all_(InvertedIndexJoin(data, min_threshold, measure)) {}
+
+  std::vector<ScoredPair> AtThreshold(double t) const {
+    std::vector<ScoredPair> out;
+    for (const auto& p : all_) {
+      if (p.sim >= t) out.push_back(p);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<ScoredPair> all_;
+};
+
+// --- printing helpers ---
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n");
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+// Formats seconds compactly ("timeout"-style long runs never happen at
+// bench scale, so fixed precision is fine).
+inline std::string Secs(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+}  // namespace bayeslsh::bench
+
+#endif  // BAYESLSH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,89 @@
+// Timing-grid runner shared by the Figure 3 benches and Table 2: runs the
+// full algorithm roster over a threshold sweep on one dataset and prints
+// paper-style rows (one line per algorithm, one column per threshold).
+
+#ifndef BAYESLSH_BENCH_BENCH_TIMING_H_
+#define BAYESLSH_BENCH_BENCH_TIMING_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "candgen/ppjoin.h"
+#include "common/timer.h"
+
+namespace bayeslsh::bench {
+
+struct TimingRow {
+  std::string algorithm;
+  std::vector<double> seconds;      // Parallel to the threshold list.
+  std::vector<uint64_t> results;    // Output pairs per threshold.
+  std::vector<uint64_t> candidates; // Candidates per threshold.
+  double total_seconds = 0.0;
+};
+
+// Runs the seven pipeline algorithms (plus PPJoin+ on binary measures) over
+// the threshold sweep.
+inline std::vector<TimingRow> RunTimingGrid(const BenchDataset& ds,
+                                            Measure measure,
+                                            const std::vector<double>& ts,
+                                            bool include_ppjoin) {
+  std::vector<TimingRow> rows;
+  for (const AlgoSpec& algo : PaperAlgorithms()) {
+    TimingRow row;
+    for (double t : ts) {
+      const PipelineConfig cfg =
+          MakeBenchConfig(measure, algo, t, ds.gaussians.get());
+      if (row.algorithm.empty()) row.algorithm = AlgorithmName(cfg);
+      const PipelineResult res = RunPipeline(ds.data, cfg);
+      row.seconds.push_back(res.total_seconds);
+      row.results.push_back(res.pairs.size());
+      row.candidates.push_back(res.candidates);
+      row.total_seconds += res.total_seconds;
+    }
+    rows.push_back(std::move(row));
+  }
+  if (include_ppjoin) {
+    TimingRow row;
+    row.algorithm = "PPJoin+";
+    for (double t : ts) {
+      WallTimer timer;
+      const auto out = PpjoinJoin(ds.data, t, measure, true);
+      const double secs = timer.Seconds();
+      row.seconds.push_back(secs);
+      row.results.push_back(out.size());
+      row.candidates.push_back(0);
+      row.total_seconds += secs;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+inline void PrintTimingGrid(const std::string& dataset_name, Measure measure,
+                            const std::vector<double>& ts,
+                            const std::vector<TimingRow>& rows) {
+  std::printf("\n%s (%s) — seconds per threshold\n", dataset_name.c_str(),
+              MeasureName(measure).c_str());
+  std::printf("%-20s", "algorithm");
+  for (double t : ts) std::printf(" %9s%.2f", "t=", t);
+  std::printf(" %11s\n", "total");
+  PrintRule(20 + 12 * static_cast<int>(ts.size()) + 12);
+  for (const TimingRow& row : rows) {
+    std::printf("%-20s", row.algorithm.c_str());
+    for (double s : row.seconds) std::printf(" %11.3f", s);
+    std::printf(" %11.3f\n", row.total_seconds);
+  }
+  // Result-set sizes as a sanity footer (exact algorithms must agree).
+  std::printf("%-20s", "[result pairs]");
+  for (size_t i = 0; i < ts.size(); ++i) {
+    std::printf(" %11llu",
+                static_cast<unsigned long long>(rows.front().results[i]));
+  }
+  std::printf("\n");
+}
+
+}  // namespace bayeslsh::bench
+
+#endif  // BAYESLSH_BENCH_BENCH_TIMING_H_

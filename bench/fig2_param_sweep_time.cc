@@ -1,0 +1,55 @@
+// Figure 2 reproduction: effect of varying gamma, delta, epsilon (one at a
+// time, the others fixed at 0.05) on the running time of LSH+BayesLSH;
+// LSH Approx and exact-verification LSH shown for reference.
+//
+// Expected shape (paper §5.3): epsilon and gamma barely move the running
+// time; shrinking delta increases it substantially (every result pair then
+// needs more hashes), yet even delta = 0.01 stays well below exact LSH.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace bayeslsh;
+using namespace bayeslsh::bench;
+
+int main() {
+  PrintHeader(
+      "Figure 2: LSH+BayesLSH runtime vs gamma / delta / epsilon "
+      "(WikiWords100K-like, cosine, t = 0.7)");
+  BenchDataset ds = PrepareDataset(PaperDataset::kWikiWords100k,
+                                   Measure::kCosine);
+  const double t = 0.7;
+
+  const std::vector<double> values = {0.01, 0.03, 0.05, 0.07, 0.09};
+  std::printf("%-10s %14s %14s %14s\n", "value", "vary gamma", "vary delta",
+              "vary epsilon");
+  PrintRule(56);
+  for (double v : values) {
+    double secs[3];
+    for (int knob = 0; knob < 3; ++knob) {
+      PipelineConfig cfg = MakeBenchConfig(
+          Measure::kCosine, {GeneratorKind::kLsh, VerifierKind::kBayesLsh},
+          t, ds.gaussians.get());
+      cfg.bayes.gamma = knob == 0 ? v : 0.05;
+      cfg.bayes.delta = knob == 1 ? v : 0.05;
+      cfg.bayes.epsilon = knob == 2 ? v : 0.05;
+      secs[knob] = RunPipeline(ds.data, cfg).total_seconds;
+    }
+    std::printf("%-10.2f %14.3f %14.3f %14.3f\n", v, secs[0], secs[1],
+                secs[2]);
+  }
+
+  // Reference lines.
+  const PipelineResult lsh_exact = RunPipeline(
+      ds.data, MakeBenchConfig(Measure::kCosine,
+                               {GeneratorKind::kLsh, VerifierKind::kExact},
+                               t, ds.gaussians.get()));
+  const PipelineResult lsh_approx = RunPipeline(
+      ds.data, MakeBenchConfig(Measure::kCosine,
+                               {GeneratorKind::kLsh, VerifierKind::kMle}, t,
+                               ds.gaussians.get()));
+  std::printf("\nReference: LSH (exact verify) %.3f s, LSH Approx %.3f s\n",
+              lsh_exact.total_seconds, lsh_approx.total_seconds);
+  return 0;
+}

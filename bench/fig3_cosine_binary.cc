@@ -1,0 +1,22 @@
+// Figure 3(j)-(l) reproduction: running-time comparison on the binary
+// versions of the three largest datasets under *binary cosine* similarity,
+// thresholds 0.5 .. 0.9, including PPJoin+.
+
+#include "bench_common.h"
+#include "bench_timing.h"
+
+using namespace bayeslsh;
+using namespace bayeslsh::bench;
+
+int main() {
+  PrintHeader(
+      "Figure 3(j)-(l): timing, binary datasets, cosine similarity");
+  const auto thresholds = CosineThresholds();
+  for (const PaperDataset which : BinaryExperimentDatasets()) {
+    BenchDataset ds = PrepareDataset(which, Measure::kBinaryCosine);
+    const auto rows = RunTimingGrid(ds, Measure::kBinaryCosine, thresholds,
+                                    /*ppjoin=*/true);
+    PrintTimingGrid(ds.name, Measure::kBinaryCosine, thresholds, rows);
+  }
+  return 0;
+}

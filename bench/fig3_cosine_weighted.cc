@@ -1,0 +1,28 @@
+// Figure 3(a)-(f) reproduction: running-time comparison of all algorithms
+// on the six weighted (tf-idf) datasets under cosine similarity, thresholds
+// 0.5 .. 0.9.
+//
+// Expected shape (paper §5.2): BayesLSH variants beat their feeding
+// generator nearly everywhere; LSH-fed variants win on the text-shaped
+// datasets (RCV1, WikiWords*, Twitter), AllPairs-fed variants win on the
+// short-and-skewed graph datasets (WikiLinks, Orkut); LSH Approx beats
+// exact-verification LSH, and by the biggest factor on long-vector data.
+
+#include "bench_common.h"
+#include "bench_timing.h"
+
+using namespace bayeslsh;
+using namespace bayeslsh::bench;
+
+int main() {
+  PrintHeader(
+      "Figure 3(a)-(f): timing, weighted datasets, cosine similarity");
+  const auto thresholds = CosineThresholds();
+  for (const PaperDataset which : AllPaperDatasets()) {
+    BenchDataset ds = PrepareDataset(which, Measure::kCosine);
+    const auto rows =
+        RunTimingGrid(ds, Measure::kCosine, thresholds, /*ppjoin=*/false);
+    PrintTimingGrid(ds.name, Measure::kCosine, thresholds, rows);
+  }
+  return 0;
+}

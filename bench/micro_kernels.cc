@@ -1,0 +1,275 @@
+// google-benchmark micro-kernels for the library's hot paths, plus the
+// §4.3 ablations (quantized vs implicit Gaussian storage, inference cache
+// on/off economics).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bit_ops.h"
+#include "common/prng.h"
+#include "core/bbit_posterior.h"
+#include "core/cosine_posterior.h"
+#include "core/inference_cache.h"
+#include "core/jaccard_posterior.h"
+#include "data/text_generator.h"
+#include "euclidean/distance_posterior.h"
+#include "euclidean/pstable_hasher.h"
+#include "kernel/dense_matrix.h"
+#include "lsh/bbit_minwise.h"
+#include "lsh/gaussian_source.h"
+#include "lsh/icws_hasher.h"
+#include "lsh/inverse_normal_cdf.h"
+#include "lsh/minwise_hasher.h"
+#include "lsh/signature_store.h"
+#include "lsh/srp_hasher.h"
+#include "stats/special_functions.h"
+#include "vec/sparse_vector.h"
+#include "vec/transforms.h"
+
+namespace bayeslsh {
+namespace {
+
+Dataset BenchCorpus() {
+  TextCorpusConfig cfg;
+  cfg.num_docs = 500;
+  cfg.vocab_size = 5000;
+  cfg.avg_doc_len = 100;
+  cfg.num_clusters = 30;
+  cfg.seed = 99;
+  return L2NormalizeRows(TfIdfTransform(GenerateTextCorpus(cfg)));
+}
+
+void BM_RegularizedIncompleteBeta(benchmark::State& state) {
+  const double a = static_cast<double>(state.range(0));
+  double x = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegularizedIncompleteBeta(a, a * 0.4, x));
+    x = x < 0.9 ? x + 1e-4 : 0.3;
+  }
+}
+BENCHMARK(BM_RegularizedIncompleteBeta)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_InverseNormalCdf(benchmark::State& state) {
+  double p = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InverseNormalCdf(p));
+    p = p < 0.998 ? p + 1e-5 : 0.001;
+  }
+}
+BENCHMARK(BM_InverseNormalCdf);
+
+void BM_Mix64(benchmark::State& state) {
+  uint64_t x = 1;
+  for (auto _ : state) {
+    x = Mix64(x, 1234567);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_SparseDot(benchmark::State& state) {
+  const Dataset d = BenchCorpus();
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SparseDot(d.Row(i % d.num_vectors()),
+                  d.Row((i * 7 + 3) % d.num_vectors())));
+    ++i;
+  }
+}
+BENCHMARK(BM_SparseDot);
+
+void BM_MatchingBits(benchmark::State& state) {
+  std::vector<uint64_t> a(64), b(64);
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 64; ++i) {
+    a[i] = rng.Next();
+    b[i] = rng.Next();
+  }
+  uint32_t from = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MatchingBits(a.data(), b.data(), from % 64, from % 64 + 32));
+    ++from;
+  }
+}
+BENCHMARK(BM_MatchingBits);
+
+// SRP hashing: implicit counter-based Gaussians vs the paper's 2-byte
+// quantized tables (ablation of §4.3's storage optimization).
+void BM_SrpChunk_Implicit(benchmark::State& state) {
+  const Dataset d = BenchCorpus();
+  const ImplicitGaussianSource src(5);
+  const SrpHasher hasher(&src);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hasher.HashChunk(d.Row(i % d.num_vectors()), 0));
+    ++i;
+  }
+}
+BENCHMARK(BM_SrpChunk_Implicit);
+
+void BM_SrpChunk_QuantizedTable(benchmark::State& state) {
+  const Dataset d = BenchCorpus();
+  const QuantizedGaussianStore src(5, d.num_dims(), 64);
+  const SrpHasher hasher(&src);
+  // Warm the slab outside the timed region.
+  (void)hasher.HashChunk(d.Row(0), 0);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hasher.HashChunk(d.Row(i % d.num_vectors()), 0));
+    ++i;
+  }
+}
+BENCHMARK(BM_SrpChunk_QuantizedTable);
+
+void BM_MinwiseChunk(benchmark::State& state) {
+  const Dataset d = BenchCorpus();
+  const MinwiseHasher hasher(7);
+  uint32_t out[kMinhashChunkInts];
+  uint32_t i = 0;
+  for (auto _ : state) {
+    hasher.HashChunk(d.Row(i % d.num_vectors()), 0, out);
+    benchmark::DoNotOptimize(out[0]);
+    ++i;
+  }
+}
+BENCHMARK(BM_MinwiseChunk);
+
+// Posterior inference: raw model calls vs the memoizing cache — the
+// economics behind the §4.3 optimizations.
+void BM_CosinePosterior_ProbAbove(benchmark::State& state) {
+  const CosinePosterior model(0.7);
+  int m = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ProbAboveThreshold(m % 129, 128));
+    ++m;
+  }
+}
+BENCHMARK(BM_CosinePosterior_ProbAbove);
+
+void BM_JaccardPosterior_Concentration(benchmark::State& state) {
+  const JaccardPosterior model(0.6);
+  int m = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Concentration(m % 129, 128, 0.05));
+    ++m;
+  }
+}
+BENCHMARK(BM_JaccardPosterior_Concentration);
+
+void BM_InferenceCache_Hit(benchmark::State& state) {
+  const CosinePosterior model(0.7);
+  InferenceCache<CosinePosterior> cache(&model, 32, 256, 0.03, 0.05, 0.03);
+  (void)cache.EstimateAt(200, 256);  // Prime.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.EstimateAt(200, 256));
+  }
+}
+BENCHMARK(BM_InferenceCache_Hit);
+
+void BM_InferenceCacheConstruction(benchmark::State& state) {
+  const CosinePosterior model(0.7);
+  for (auto _ : state) {
+    InferenceCache<CosinePosterior> cache(&model, 32,
+                                          static_cast<uint32_t>(state.range(0)),
+                                          0.03, 0.05, 0.03);
+    benchmark::DoNotOptimize(cache.MinMatches(32));
+  }
+}
+BENCHMARK(BM_InferenceCacheConstruction)->Arg(512)->Arg(4096);
+
+// --- extension-module kernels ---
+
+void BM_BbitGroupMatch(benchmark::State& state) {
+  const uint32_t b = static_cast<uint32_t>(state.range(0));
+  Xoshiro256StarStar rng(3);
+  std::vector<uint64_t> x(16), y(16);
+  for (int i = 0; i < 16; ++i) {
+    x[i] = rng.Next();
+    y[i] = rng.Next();
+  }
+  const uint32_t groups = 16 * (64 / b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MatchingBbitGroups(x.data(), y.data(), 0, groups, b));
+  }
+  state.SetItemsProcessed(state.iterations() * groups);
+}
+BENCHMARK(BM_BbitGroupMatch)->Arg(1)->Arg(2)->Arg(8);
+
+void BM_IcwsChunk(benchmark::State& state) {
+  const Dataset data = BenchCorpus();
+  const IcwsHasher hasher(4);
+  uint32_t out[kIcwsChunkInts];
+  uint32_t row = 0, chunk = 0;
+  for (auto _ : state) {
+    hasher.HashChunk(data.Row(row), chunk, out);
+    benchmark::DoNotOptimize(out[0]);
+    row = (row + 1) % data.num_vectors();
+    chunk = (chunk + 1) % 8;
+  }
+  state.SetItemsProcessed(state.iterations() * kIcwsChunkInts);
+}
+BENCHMARK(BM_IcwsChunk);
+
+void BM_PstableChunk(benchmark::State& state) {
+  const Dataset data = BenchCorpus();
+  const QuantizedGaussianStore gaussians(9, data.num_dims(), 512);
+  const PstableHasher hasher(&gaussians, 9, 4.0);
+  int32_t out[kPstableChunkHashes];
+  uint32_t row = 0, chunk = 0;
+  for (auto _ : state) {
+    hasher.HashChunk(data.Row(row), chunk, out);
+    benchmark::DoNotOptimize(out[0]);
+    row = (row + 1) % data.num_vectors();
+    chunk = (chunk + 1) % 8;
+  }
+  state.SetItemsProcessed(state.iterations() * kPstableChunkHashes);
+}
+BENCHMARK(BM_PstableChunk);
+
+void BM_JacobiEigenSolve(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Xoshiro256StarStar rng(5);
+  DenseMatrix a(n, n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i; j < n; ++j) {
+      const double v = rng.NextUniform(-1.0, 1.0);
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymmetricEigen(a).values[0]);
+  }
+}
+BENCHMARK(BM_JacobiEigenSolve)->Arg(32)->Arg(128);
+
+void BM_EuclideanPosterior_ProbAbove(benchmark::State& state) {
+  const EuclideanPosterior model = EuclideanPosterior::MakeForRadius(1.0, 2.0);
+  int m = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ProbAboveThreshold(m, 128));
+    m = (m + 7) % 129;
+  }
+}
+BENCHMARK(BM_EuclideanPosterior_ProbAbove);
+
+void BM_BbitPosterior_ProbAbove(benchmark::State& state) {
+  const BbitMinwisePosterior model(0.5, 2);
+  int m = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ProbAboveThreshold(m, 128));
+    m = (m + 7) % 129;
+  }
+}
+BENCHMARK(BM_BbitPosterior_ProbAbove);
+
+}  // namespace
+}  // namespace bayeslsh
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Scaling bench: running time vs collection size for the paper's headline
+// algorithms (complements Fig. 3, which fixes the size and sweeps the
+// threshold).
+//
+// Text-like corpora of growing size (same Zipf/cluster shape), cosine
+// t = 0.7. Expected shape: the BayesLSH variants track their candidate
+// generator's growth but with a much smaller constant on the verification
+// side, so the gap over exact verification widens with n — candidate
+// counts grow superlinearly while the result set grows roughly linearly,
+// which is precisely the regime where pruning compounds (paper §5.2).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/text_generator.h"
+#include "lsh/signature_store.h"
+#include "lsh/srp_hasher.h"
+
+using namespace bayeslsh;
+using namespace bayeslsh::bench;
+
+namespace {
+
+Dataset MakeCorpus(uint32_t docs, uint64_t seed) {
+  TextCorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.vocab_size = 20000;
+  cfg.avg_doc_len = 80;
+  cfg.num_clusters = docs / 20;
+  cfg.seed = seed;
+  return L2NormalizeRows(TfIdfTransform(GenerateTextCorpus(cfg)));
+}
+
+}  // namespace
+
+int main() {
+  const double t = 0.7;
+  const double scale = BenchScale();
+
+  PrintHeader("Scaling: total seconds vs collection size "
+              "(text-like corpus, cosine, t = 0.7)");
+  std::printf("%-22s %8s %10s %12s %12s %10s\n", "algorithm", "docs",
+              "seconds", "candidates", "pairs", "verify s");
+  PrintRule(80);
+
+  for (const uint32_t docs :
+       {static_cast<uint32_t>(1000 * scale), static_cast<uint32_t>(2000 * scale),
+        static_cast<uint32_t>(4000 * scale),
+        static_cast<uint32_t>(8000 * scale)}) {
+    const Dataset data = MakeCorpus(docs, BenchSeed());
+    GaussianSourceCache gaussians(data.num_dims(), 2048);
+
+    // Materialize the shared quantized Gaussian tables up front so the
+    // first algorithm does not absorb their one-time cost.
+    for (const uint64_t s :
+         {GenerationSeed(BenchSeed()), VerificationSeed(BenchSeed())}) {
+      const auto src = gaussians.Get(s);
+      const SrpHasher h(src.get());
+      BitSignatureStore warm(&data, h);
+      warm.EnsureBits(0, 2048);
+    }
+
+    for (const AlgoSpec algo :
+         {AlgoSpec{GeneratorKind::kAllPairs, VerifierKind::kExact},
+          AlgoSpec{GeneratorKind::kAllPairs, VerifierKind::kBayesLsh},
+          AlgoSpec{GeneratorKind::kLsh, VerifierKind::kExact},
+          AlgoSpec{GeneratorKind::kLsh, VerifierKind::kBayesLsh}}) {
+      const PipelineConfig cfg =
+          MakeBenchConfig(Measure::kCosine, algo, t, &gaussians);
+      const PipelineResult res = RunPipeline(data, cfg);
+      std::printf("%-22s %8u %10.3f %12llu %12zu %10.3f\n",
+                  res.algorithm.c_str(), docs, res.total_seconds,
+                  static_cast<unsigned long long>(res.candidates),
+                  res.pairs.size(), res.verify_seconds);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

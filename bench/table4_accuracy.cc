@@ -1,0 +1,51 @@
+// Table 4 reproduction: percentage of similarity estimates with error
+// > 0.05, LSH Approx (fixed 2048 hashes) vs LSH+BayesLSH, across weighted
+// datasets and thresholds.
+//
+// Paper claim: the fixed-hash estimator's error rate swings strongly with
+// the threshold (bad at low thresholds, wastefully good at high ones),
+// while BayesLSH holds a consistent, gamma-governed error rate at every
+// threshold with no tuning.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace bayeslsh;
+using namespace bayeslsh::bench;
+
+int main() {
+  PrintHeader(
+      "Table 4: % of similarity estimates with |error| > 0.05");
+  const auto thresholds = CosineThresholds();
+
+  for (const VerifierKind verifier :
+       {VerifierKind::kMle, VerifierKind::kBayesLsh}) {
+    std::printf("\n%s\n", verifier == VerifierKind::kMle
+                              ? "LSH Approx (2048 hashes)"
+                              : "LSH + BayesLSH");
+    std::printf("%-22s", "dataset");
+    for (double t : thresholds) std::printf("   t=%.1f", t);
+    std::printf("\n");
+    PrintRule(22 + 8 * static_cast<int>(thresholds.size()));
+    for (const PaperDataset which : AllPaperDatasets()) {
+      BenchDataset ds = PrepareDataset(which, Measure::kCosine);
+      std::printf("%-22s", ds.name.c_str());
+      for (double t : thresholds) {
+        const PipelineConfig cfg =
+            MakeBenchConfig(Measure::kCosine, {GeneratorKind::kLsh, verifier},
+                            t, ds.gaussians.get());
+        const PipelineResult res = RunPipeline(ds.data, cfg);
+        const ErrorStats err =
+            EstimateErrors(ds.data, Measure::kCosine, res.pairs);
+        std::printf(" %7.2f", 100.0 * err.frac_error_gt_005);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nPaper reference: LSH Approx ranges ~8%% (t=0.5) down to ~0.02%% "
+      "(t=0.9);\nLSH+BayesLSH stays flat in the 1.5-5%% band at every "
+      "threshold.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table 5 reproduction: the effect of varying gamma, delta and epsilon one
+// at a time (others fixed at 0.05) on the relevant output-quality metric,
+// for LSH+BayesLSH on the WikiWords100K-like dataset at t = 0.7:
+//
+//   gamma   -> fraction of estimates with error > 0.05 (should track gamma,
+//              never exceeding it by much)
+//   delta   -> mean absolute estimate error (shrinks with delta)
+//   epsilon -> recall (false-negative rate stays below epsilon)
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace bayeslsh;
+using namespace bayeslsh::bench;
+
+int main() {
+  PrintHeader(
+      "Table 5: output quality vs gamma / delta / epsilon "
+      "(WikiWords100K-like, cosine, t = 0.7, LSH feed)");
+  BenchDataset ds = PrepareDataset(PaperDataset::kWikiWords100k,
+                                   Measure::kCosine);
+  const double t = 0.7;
+  const GroundTruth truth(ds.data, Measure::kCosine, t);
+  const auto truth_at_t = truth.AtThreshold(t);
+
+  std::printf("%-10s %22s %18s %18s\n", "value", "frac err>0.05 (gamma)",
+              "mean err (delta)", "recall (epsilon)");
+  PrintRule(72);
+  for (double v : {0.01, 0.03, 0.05, 0.07, 0.09}) {
+    // Vary gamma.
+    PipelineConfig cfg_g = MakeBenchConfig(
+        Measure::kCosine, {GeneratorKind::kLsh, VerifierKind::kBayesLsh}, t,
+        ds.gaussians.get());
+    cfg_g.bayes.gamma = v;
+    cfg_g.bayes.delta = 0.05;
+    cfg_g.bayes.epsilon = 0.05;
+    const ErrorStats err_g = EstimateErrors(
+        ds.data, Measure::kCosine, RunPipeline(ds.data, cfg_g).pairs);
+
+    // Vary delta.
+    PipelineConfig cfg_d = cfg_g;
+    cfg_d.bayes.gamma = 0.05;
+    cfg_d.bayes.delta = v;
+    const ErrorStats err_d = EstimateErrors(
+        ds.data, Measure::kCosine, RunPipeline(ds.data, cfg_d).pairs);
+
+    // Vary epsilon.
+    PipelineConfig cfg_e = cfg_g;
+    cfg_e.bayes.gamma = 0.05;
+    cfg_e.bayes.delta = 0.05;
+    cfg_e.bayes.epsilon = v;
+    const double recall =
+        Recall(RunPipeline(ds.data, cfg_e).pairs, truth_at_t);
+
+    std::printf("%-10.2f %21.1f%% %18.4f %17.2f%%\n", v,
+                100.0 * err_g.frac_error_gt_005, err_d.mean_abs_error,
+                100.0 * recall);
+  }
+  std::printf(
+      "\nPaper reference (same sweep): errors>0.05 grow 0.7%% -> 5.4%% with "
+      "gamma,\nmean error 0.001 -> 0.027 with delta, recall 98.8%% -> 95.4%% "
+      "as epsilon loosens.\n");
+  return 0;
+}

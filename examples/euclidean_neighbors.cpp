@@ -1,0 +1,79 @@
+// Euclidean nearest-neighbour retrieval with Bayesian candidate pruning —
+// the paper's §6 future-work scenario, on an embedding-lookup workload.
+//
+// A collection of dense "embedding" vectors is indexed once with E2LSH
+// (p-stable) banding; queries then retrieve all embeddings within a radius
+// (and the k nearest), with candidates pruned by the Euclidean distance
+// posterior before any exact distance is computed.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/euclidean_neighbors
+
+#include <cstdio>
+#include <vector>
+
+#include "bayeslsh/bayeslsh.h"
+
+int main() {
+  using namespace bayeslsh;
+
+  // 1. Simulate an embedding table: a slowly drifting sequence (think
+  //    frames of a video, or versions of a document embedding), so nearby
+  //    ids are nearby in space and distances form a continuum.
+  constexpr uint32_t kCount = 5000, kDim = 32;
+  constexpr double kRadius = 1.0;
+  Xoshiro256StarStar rng(7);
+  const double step = kRadius / 25.0;  // ~20 in-radius neighbours per side.
+  std::vector<double> x(kDim, 0.0);
+  DatasetBuilder builder(kDim);
+  for (uint32_t i = 0; i < kCount; ++i) {
+    std::vector<std::pair<DimId, float>> entries;
+    for (uint32_t d = 0; d < kDim; ++d) {
+      x[d] += step * rng.NextGaussian();
+      entries.emplace_back(d, static_cast<float>(x[d]));
+    }
+    builder.AddRow(std::move(entries));
+  }
+  const Dataset embeddings = std::move(builder).Build();
+
+  // 2. Build the index. The bucket width, band count, and the pruning
+  //    schedule all derive from the radius; epsilon bounds the probability
+  //    that a true neighbour is pruned.
+  EuclideanSearchConfig cfg;
+  cfg.radius = kRadius;
+  cfg.epsilon = 0.03;
+  cfg.seed = 7;
+  const EuclideanNnSearcher index(&embeddings, cfg);
+  std::printf(
+      "index: %u bands x %u hashes, bucket width %.2f, %u embeddings\n\n",
+      index.num_bands(), index.hashes_per_band(), index.bucket_width(),
+      embeddings.num_vectors());
+
+  // 3. Query: the 5 nearest neighbours of a few probe embeddings.
+  for (const uint32_t probe : {100u, 2500u, 4900u}) {
+    EuclideanSearchStats stats;
+    const auto top = index.KnnQuery(embeddings.Row(probe), 5, &stats);
+    std::printf(
+        "probe %4u: %llu candidates, %llu pruned, %llu exact distances\n",
+        probe, static_cast<unsigned long long>(stats.candidates),
+        static_cast<unsigned long long>(stats.pruned),
+        static_cast<unsigned long long>(stats.exact_computed));
+    for (const auto& m : top) {
+      std::printf("    id %4u  distance %.4f\n", m.id, m.distance);
+    }
+  }
+
+  // 4. The same machinery as a self-join: every pair of embeddings within
+  //    the radius (deduplication candidates, say).
+  EuclideanSearchStats join_stats;
+  const auto pairs = EuclideanRadiusJoin(embeddings, cfg, &join_stats);
+  std::printf(
+      "\nself-join: %llu candidates -> %zu pairs within radius %.1f "
+      "(%.1f%% of candidates pruned before exact verification)\n",
+      static_cast<unsigned long long>(join_stats.candidates), pairs.size(),
+      kRadius,
+      100.0 * join_stats.pruned /
+          std::max<uint64_t>(1, join_stats.candidates));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// BayesLSH — Bayesian candidate pruning and similarity estimation for
+// locality-sensitive hashing.
+//
+// Umbrella header for the public API. A minimal all-pairs search is:
+//
+//   #include "bayeslsh/bayeslsh.h"
+//
+//   bayeslsh::Dataset corpus = /* build or load */;
+//   corpus = bayeslsh::L2NormalizeRows(bayeslsh::TfIdfTransform(corpus));
+//
+//   bayeslsh::PipelineConfig cfg;
+//   cfg.measure = bayeslsh::Measure::kCosine;
+//   cfg.generator = bayeslsh::GeneratorKind::kAllPairs;
+//   cfg.verifier = bayeslsh::VerifierKind::kBayesLsh;
+//   cfg.threshold = 0.7;
+//   auto result = bayeslsh::RunPipeline(corpus, cfg);
+//   // result.pairs: {a, b, estimated similarity}
+//
+// See README.md for the architecture overview and examples/ for runnable
+// programs.
+
+#ifndef BAYESLSH_BAYESLSH_H_
+#define BAYESLSH_BAYESLSH_H_
+
+// Substrates.
+#include "common/prng.h"                 // IWYU pragma: export
+#include "common/timer.h"                // IWYU pragma: export
+#include "stats/beta_distribution.h"     // IWYU pragma: export
+#include "stats/binomial.h"              // IWYU pragma: export
+#include "stats/special_functions.h"     // IWYU pragma: export
+#include "vec/dataset.h"                 // IWYU pragma: export
+#include "vec/io.h"                      // IWYU pragma: export
+#include "vec/sparse_vector.h"           // IWYU pragma: export
+#include "vec/transforms.h"              // IWYU pragma: export
+
+// Similarity measures and exact joins.
+#include "sim/brute_force.h"             // IWYU pragma: export
+#include "sim/similarity.h"              // IWYU pragma: export
+
+// LSH hash families and signatures.
+#include "lsh/bbit_minwise.h"            // IWYU pragma: export
+#include "lsh/gaussian_source.h"         // IWYU pragma: export
+#include "lsh/icws_hasher.h"             // IWYU pragma: export
+#include "lsh/minwise_hasher.h"          // IWYU pragma: export
+#include "lsh/signature_store.h"         // IWYU pragma: export
+#include "lsh/srp_hasher.h"              // IWYU pragma: export
+
+// Kernelized similarity search (paper §6 future work).
+#include "kernel/dense_matrix.h"         // IWYU pragma: export
+#include "kernel/kernel_query.h"         // IWYU pragma: export
+#include "kernel/kernel_search.h"        // IWYU pragma: export
+#include "kernel/kernels.h"              // IWYU pragma: export
+#include "kernel/klsh.h"                 // IWYU pragma: export
+
+// Euclidean nearest-neighbour retrieval (paper §6 future work).
+#include "euclidean/distance_posterior.h"  // IWYU pragma: export
+#include "euclidean/nn_search.h"           // IWYU pragma: export
+#include "euclidean/pstable_hasher.h"      // IWYU pragma: export
+
+// Candidate generation.
+#include "candgen/allpairs.h"            // IWYU pragma: export
+#include "candgen/lsh_banding.h"         // IWYU pragma: export
+#include "candgen/multiprobe.h"          // IWYU pragma: export
+#include "candgen/ppjoin.h"              // IWYU pragma: export
+#include "candgen/prefix_filter_join.h"  // IWYU pragma: export
+
+// The BayesLSH core.
+#include "core/bayes_lsh.h"              // IWYU pragma: export
+#include "core/bbit_posterior.h"         // IWYU pragma: export
+#include "core/classical.h"              // IWYU pragma: export
+#include "core/cosine_posterior.h"       // IWYU pragma: export
+#include "core/jaccard_posterior.h"      // IWYU pragma: export
+#include "core/metrics.h"                // IWYU pragma: export
+#include "core/pipeline.h"               // IWYU pragma: export
+#include "core/topk_search.h"            // IWYU pragma: export
+
+// Synthetic workloads.
+#include "data/graph_generator.h"        // IWYU pragma: export
+#include "data/paper_datasets.h"         // IWYU pragma: export
+#include "data/text_generator.h"         // IWYU pragma: export
+
+#endif  // BAYESLSH_BAYESLSH_H_

@@ -1,0 +1,22 @@
+#include "candgen/candidates.h"
+
+#include <algorithm>
+
+namespace bayeslsh {
+
+CandidateList DedupPairKeys(std::vector<uint64_t>&& keys) {
+  CandidateList out;
+  out.raw_emitted = keys.size();
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  out.pairs.reserve(keys.size());
+  for (uint64_t k : keys) {
+    out.pairs.emplace_back(static_cast<uint32_t>(k >> 32),
+                           static_cast<uint32_t>(k));
+  }
+  keys.clear();
+  keys.shrink_to_fit();
+  return out;
+}
+
+}  // namespace bayeslsh

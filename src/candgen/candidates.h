@@ -1,0 +1,36 @@
+// Common types for the candidate-generation phase.
+//
+// Candidate generators produce *unverified* pairs; the verification phase
+// (exact, MLE, or BayesLSH — see core/) decides which of them are true
+// positives. The paper's central observation is that generators emit orders
+// of magnitude more candidates than there are result pairs, so the list also
+// carries bookkeeping used by the figures (e.g. Fig. 4 plots how fast
+// BayesLSH burns this list down).
+
+#ifndef BAYESLSH_CANDGEN_CANDIDATES_H_
+#define BAYESLSH_CANDGEN_CANDIDATES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bayeslsh {
+
+// An unordered-unique list of candidate pairs (a < b in every pair).
+struct CandidateList {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+
+  // Pairs emitted before deduplication (LSH emits one copy per colliding
+  // band). Equal to pairs.size() for generators that are duplicate-free.
+  uint64_t raw_emitted = 0;
+
+  uint64_t size() const { return pairs.size(); }
+};
+
+// Sorts pair keys, removes duplicates, and converts to a CandidateList.
+// Consumes (and frees) the keys vector. Keys encode (a << 32) | b.
+CandidateList DedupPairKeys(std::vector<uint64_t>&& keys);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CANDGEN_CANDIDATES_H_

@@ -1,0 +1,111 @@
+#include "candgen/lsh_banding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "common/bit_ops.h"
+#include "common/prng.h"
+#include "lsh/srp_hasher.h"
+
+namespace bayeslsh {
+
+uint32_t DeriveNumBands(double collision_prob_at_threshold, uint32_t k,
+                        double fn_rate, uint32_t max_bands) {
+  assert(k > 0);
+  assert(fn_rate > 0.0 && fn_rate < 1.0);
+  const double p = std::clamp(collision_prob_at_threshold, 0.0, 1.0);
+  const double band_hit = std::pow(p, static_cast<double>(k));
+  if (band_hit >= 1.0) return 1;
+  if (band_hit <= 0.0) return max_bands;
+  const double l = std::ceil(std::log(fn_rate) / std::log1p(-band_hit));
+  if (l < 1.0) return 1;
+  if (l > static_cast<double>(max_bands)) return max_bands;
+  return static_cast<uint32_t>(l);
+}
+
+namespace {
+
+// Groups (band_key, row) tuples and emits all intra-bucket pairs.
+// `entries` is keyed per band; sorted grouping avoids hash-map overhead.
+void EmitBucketPairs(std::vector<std::pair<uint64_t, uint32_t>>& entries,
+                     std::vector<uint64_t>* keys) {
+  std::sort(entries.begin(), entries.end());
+  size_t i = 0;
+  while (i < entries.size()) {
+    size_t j = i + 1;
+    while (j < entries.size() && entries[j].first == entries[i].first) ++j;
+    for (size_t a = i; a < j; ++a) {
+      for (size_t b = a + 1; b < j; ++b) {
+        const uint32_t ra = entries[a].second, rb = entries[b].second;
+        keys->push_back(ra < rb ? PairKey(ra, rb) : PairKey(rb, ra));
+      }
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+CandidateList CosineLshCandidates(BitSignatureStore* store, double threshold,
+                                  const LshBandingParams& params) {
+  const uint32_t k = params.hashes_per_band != 0 ? params.hashes_per_band
+                                                 : kDefaultCosineBandBits;
+  assert(k <= 64);
+  const double p = CosineToSrpR(threshold);
+  const uint32_t l = params.num_bands != 0
+                         ? params.num_bands
+                         : DeriveNumBands(p, k, params.expected_fn_rate,
+                                          params.max_bands);
+  const uint32_t n = store->num_rows();
+  store->EnsureAllBits(l * k);
+
+  std::vector<uint64_t> keys;
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  entries.reserve(n);
+  for (uint32_t band = 0; band < l; ++band) {
+    entries.clear();
+    for (uint32_t row = 0; row < n; ++row) {
+      // Empty rows have similarity 0 to everything (including each other,
+      // by this library's conventions) and are never candidates.
+      if (store->data()->RowLength(row) == 0) continue;
+      const uint64_t sig = ExtractBits(store->Words(row), band * k, k);
+      entries.emplace_back(sig, row);
+    }
+    EmitBucketPairs(entries, &keys);
+  }
+  return DedupPairKeys(std::move(keys));
+}
+
+CandidateList JaccardLshCandidates(IntSignatureStore* store, double threshold,
+                                   const LshBandingParams& params) {
+  const uint32_t k = params.hashes_per_band != 0 ? params.hashes_per_band
+                                                 : kDefaultJaccardBandInts;
+  const uint32_t l = params.num_bands != 0
+                         ? params.num_bands
+                         : DeriveNumBands(threshold, k,
+                                          params.expected_fn_rate,
+                                          params.max_bands);
+  const uint32_t n = store->num_rows();
+  store->EnsureAllHashes(l * k);
+
+  std::vector<uint64_t> keys;
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  entries.reserve(n);
+  for (uint32_t band = 0; band < l; ++band) {
+    entries.clear();
+    for (uint32_t row = 0; row < n; ++row) {
+      if (store->data()->RowLength(row) == 0) continue;  // See above.
+      const uint32_t* h = store->Hashes(row) + band * k;
+      // Collapse the k minhash values into one bucket key.
+      uint64_t sig = Mix64(0x5ba3d9be1e4fULL, band);
+      for (uint32_t i = 0; i < k; ++i) sig = Mix64(sig, h[i]);
+      entries.emplace_back(sig, row);
+    }
+    EmitBucketPairs(entries, &keys);
+  }
+  return DedupPairKeys(std::move(keys));
+}
+
+}  // namespace bayeslsh

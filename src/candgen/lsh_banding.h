@@ -1,0 +1,62 @@
+// LSH banding index: the classical candidate-generation scheme described in
+// paper §2.
+//
+// Each object gets l signatures, each the concatenation of k hashes; any
+// pair sharing at least one signature becomes a candidate. For a collision
+// probability p per hash at the similarity threshold, the number of bands
+// needed for an expected false-negative rate ε is
+//
+//     l = ceil( log ε / log(1 - p^k) )          [Xiao et al., TODS 2011]
+//
+// with p = t for minwise/Jaccard and p = c2r(t) = 1 - arccos(t)/π for
+// SRP/cosine.
+//
+// The signatures come from the same lazy stores used for verification, but
+// the pipeline draws them from an independent seed: BayesLSH's posterior
+// math assumes the verification hashes are unbiased, which hashes already
+// conditioned on a band collision are not (DESIGN.md §6).
+
+#ifndef BAYESLSH_CANDGEN_LSH_BANDING_H_
+#define BAYESLSH_CANDGEN_LSH_BANDING_H_
+
+#include <cstdint>
+
+#include "candgen/candidates.h"
+#include "lsh/signature_store.h"
+
+namespace bayeslsh {
+
+struct LshBandingParams {
+  // Hashes concatenated per signature (k). 0 selects the per-measure
+  // default: 8 bits for cosine, 3 ints for Jaccard.
+  uint32_t hashes_per_band = 0;
+
+  // Number of bands (l). 0 derives l from expected_fn_rate at the threshold.
+  uint32_t num_bands = 0;
+
+  // Expected false-negative rate ε used to derive l (paper uses 0.03).
+  double expected_fn_rate = 0.03;
+
+  // Safety cap on the derived l.
+  uint32_t max_bands = 4096;
+};
+
+inline constexpr uint32_t kDefaultCosineBandBits = 8;
+inline constexpr uint32_t kDefaultJaccardBandInts = 3;
+
+// l = ceil(log ε / log(1 - p^k)), clamped to [1, max_bands].
+uint32_t DeriveNumBands(double collision_prob_at_threshold, uint32_t k,
+                        double fn_rate, uint32_t max_bands);
+
+// Candidate pairs for cosine similarity: bands over SRP bit signatures.
+// Grows the store to num_bands * hashes_per_band bits for every row.
+CandidateList CosineLshCandidates(BitSignatureStore* store, double threshold,
+                                  const LshBandingParams& params);
+
+// Candidate pairs for Jaccard: bands over minwise integer signatures.
+CandidateList JaccardLshCandidates(IntSignatureStore* store, double threshold,
+                                   const LshBandingParams& params);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CANDGEN_LSH_BANDING_H_

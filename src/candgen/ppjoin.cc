@@ -1,0 +1,255 @@
+#include "candgen/ppjoin.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "candgen/prefix_filter_join.h"
+
+namespace bayeslsh {
+
+int SuffixHammingLowerBound(std::span<const uint32_t> x,
+                            std::span<const uint32_t> y, int hmax,
+                            int depth) {
+  const int nx = static_cast<int>(x.size());
+  const int ny = static_cast<int>(y.size());
+  const int size_diff = std::abs(nx - ny);
+  if (nx == 0 || ny == 0) return size_diff;
+  if (depth > kSuffixFilterMaxDepth) return size_diff;
+  // The size difference is itself a valid lower bound; if it already blows
+  // the budget there is no need to partition further.
+  if (size_diff > hmax) return size_diff;
+
+  // Partition both arrays around y's middle token. Because the arrays are
+  // sorted, tokens < w can only match left-side tokens and tokens > w only
+  // right-side ones, so
+  //
+  //   H(x, y) = H(xl, yl) + H(xr, yr) + [w not in x]
+  //          >= ||xl| - |yl|| + ||xr| - |yr|| + [w not in x].
+  //
+  // (The original paper additionally restricts the binary search to a
+  // positional window derived from hmax; that is a constant-factor probe
+  // optimization of the same bound — a position outside the window forces
+  // the size-imbalance term above the budget — and is deliberately omitted:
+  // every value returned here is a plain lower bound, which makes the
+  // no-over-pruning property self-evident.)
+  const int mid = ny / 2;
+  const uint32_t w = y[mid];
+  const uint32_t* pos = std::lower_bound(x.data(), x.data() + nx, w);
+  const int p = static_cast<int>(pos - x.data());
+  const bool found = p < nx && x[p] == w;
+  const int diff = found ? 0 : 1;
+
+  const auto xl = x.subspan(0, p);
+  const auto xr = x.subspan(found ? p + 1 : p);
+  const auto yl = y.subspan(0, mid);
+  const auto yr = y.subspan(mid + 1);
+
+  const int outer = std::abs(static_cast<int>(xl.size()) -
+                             static_cast<int>(yl.size())) +
+                    std::abs(static_cast<int>(xr.size()) -
+                             static_cast<int>(yr.size())) +
+                    diff;
+  if (outer > hmax) return outer;
+
+  const int hl_budget =
+      hmax - diff - std::abs(static_cast<int>(xr.size()) -
+                             static_cast<int>(yr.size()));
+  const int hl = SuffixHammingLowerBound(xl, yl, hl_budget, depth + 1);
+  const int with_left = hl + diff + std::abs(static_cast<int>(xr.size()) -
+                                             static_cast<int>(yr.size()));
+  if (with_left > hmax) return with_left;
+
+  const int hr_budget = hmax - diff - hl;
+  const int hr = SuffixHammingLowerBound(xr, yr, hr_budget, depth + 1);
+  return hl + hr + diff;
+}
+
+namespace {
+
+struct Posting {
+  uint32_t pos;     // Processing position of the indexed row.
+  uint32_t size;    // Its size (lazy size filter).
+  uint32_t offset;  // Token position within the indexed row.
+};
+
+uint32_t RequiredOverlap(uint32_t la, uint32_t lb, double threshold,
+                         Measure measure) {
+  if (measure == Measure::kJaccard) {
+    return CeilSafe(threshold / (1.0 + threshold) *
+                    (static_cast<double>(la) + lb));
+  }
+  return CeilSafe(threshold * std::sqrt(static_cast<double>(la) * lb));
+}
+
+uint32_t PrefixLengthOf(uint32_t size, double threshold, Measure measure) {
+  if (size == 0) return 0;
+  const double frac = measure == Measure::kJaccard
+                          ? threshold
+                          : threshold * threshold;
+  const uint32_t need = CeilSafe(frac * size);
+  return need >= size ? 1u : size - need + 1u;
+}
+
+uint32_t MergeOverlap(const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b) {
+  uint32_t o = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++o;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+std::vector<ScoredPair> PpjoinJoin(const Dataset& data, double threshold,
+                                   Measure measure, bool use_suffix_filter,
+                                   PpjoinStats* stats) {
+  assert(threshold > 0.0 && threshold <= 1.0);
+  assert(measure == Measure::kJaccard || measure == Measure::kBinaryCosine);
+  const uint32_t n = data.num_vectors();
+  const uint32_t d = data.num_dims();
+
+  // Reorder: tokens by ascending frequency, rows by ascending size
+  // (identical to the prefix-filter join; kept local for self-containment).
+  const std::vector<uint32_t> freq = data.DimFrequencies();
+  std::vector<uint32_t> dims(d);
+  std::iota(dims.begin(), dims.end(), 0u);
+  std::sort(dims.begin(), dims.end(), [&](uint32_t a, uint32_t b) {
+    return freq[a] != freq[b] ? freq[a] < freq[b] : a < b;
+  });
+  std::vector<uint32_t> rank_of(d);
+  for (uint32_t i = 0; i < d; ++i) rank_of[dims[i]] = i;
+
+  std::vector<uint32_t> orig_id(n);
+  std::iota(orig_id.begin(), orig_id.end(), 0u);
+  std::sort(orig_id.begin(), orig_id.end(), [&](uint32_t a, uint32_t b) {
+    const uint32_t la = data.RowLength(a), lb = data.RowLength(b);
+    return la != lb ? la < lb : a < b;
+  });
+  std::vector<std::vector<uint32_t>> rows(n);
+  for (uint32_t p = 0; p < n; ++p) {
+    const SparseVectorView v = data.Row(orig_id[p]);
+    rows[p].resize(v.size());
+    for (uint32_t k = 0; k < v.size(); ++k) rows[p][k] = rank_of[v.indices[k]];
+    std::sort(rows[p].begin(), rows[p].end());
+  }
+
+  std::vector<std::vector<Posting>> index(d);
+  std::vector<uint32_t> front(d, 0);
+
+  constexpr int64_t kDead = std::numeric_limits<int64_t>::min();
+  std::vector<int64_t> acc(n, 0);
+  std::vector<uint32_t> stamp(n, UINT32_MAX);
+  std::vector<uint32_t> touched;
+
+  PpjoinStats local;
+  std::vector<ScoredPair> out;
+
+  for (uint32_t p = 0; p < n; ++p) {
+    const auto& x = rows[p];
+    const auto size_x = static_cast<uint32_t>(x.size());
+    const uint32_t px = PrefixLengthOf(size_x, threshold, measure);
+    const double frac = measure == Measure::kJaccard
+                            ? threshold
+                            : threshold * threshold;
+    const uint32_t minsize = CeilSafe(frac * size_x);
+
+    touched.clear();
+    for (uint32_t k = 0; k < px && k < size_x; ++k) {
+      const uint32_t w = x[k];
+      auto& list = index[w];
+      uint32_t& f = front[w];
+      while (f < list.size() && list[f].size < minsize) ++f;
+      for (uint32_t e = f; e < list.size(); ++e) {
+        const Posting& pe = list[e];
+        const uint32_t q = pe.pos;
+        if (stamp[q] != p) {
+          stamp[q] = p;
+          acc[q] = 0;
+          touched.push_back(q);
+        }
+        if (acc[q] == kDead) continue;
+        const auto& y = rows[q];
+        const auto size_y = static_cast<uint32_t>(y.size());
+        const uint32_t alpha =
+            RequiredOverlap(size_x, size_y, threshold, measure);
+        // Positional filter: best possible total overlap from here on.
+        const int64_t ubound =
+            1 + std::min<int64_t>(size_x - k - 1, size_y - pe.offset - 1);
+        if (acc[q] + ubound < static_cast<int64_t>(alpha)) {
+          ++local.positional_pruned;
+          acc[q] = kDead;
+          continue;
+        }
+        if (acc[q] == 0) {
+          // First encounter: tokens before (k, offset) in either row cannot
+          // match the other (see header), so total overlap =
+          // 1 + overlap(suffixes).
+          ++local.encounters;
+          if (use_suffix_filter) {
+            const std::span<const uint32_t> xs(x.data() + k + 1,
+                                               size_x - k - 1);
+            const std::span<const uint32_t> ys(y.data() + pe.offset + 1,
+                                               size_y - pe.offset - 1);
+            const int need_suffix = static_cast<int>(alpha) - 1;
+            const int hmax = static_cast<int>(xs.size()) +
+                             static_cast<int>(ys.size()) - 2 * need_suffix;
+            if (hmax < 0 ||
+                SuffixHammingLowerBound(xs, ys, hmax) > hmax) {
+              ++local.suffix_pruned;
+              acc[q] = kDead;
+              continue;
+            }
+          }
+        }
+        acc[q] += 1;
+      }
+    }
+
+    for (uint32_t q : touched) {
+      if (acc[q] == kDead || acc[q] <= 0) continue;
+      ++local.verified;
+      const auto& y = rows[q];
+      const uint32_t o = MergeOverlap(x, y);
+      const uint32_t size_y = static_cast<uint32_t>(y.size());
+      double s;
+      if (measure == Measure::kJaccard) {
+        const uint32_t uni = size_x + size_y - o;
+        s = uni == 0 ? 0.0 : static_cast<double>(o) / uni;
+      } else {
+        s = (size_x == 0 || size_y == 0)
+                ? 0.0
+                : o / std::sqrt(static_cast<double>(size_x) * size_y);
+      }
+      if (s >= threshold) {
+        const uint32_t a = orig_id[q], b = orig_id[p];
+        out.push_back(a < b ? ScoredPair{a, b, s} : ScoredPair{b, a, s});
+      }
+    }
+
+    for (uint32_t k = 0; k < px && k < size_x; ++k) {
+      index[x[k]].push_back({p, size_x, k});
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              return a.a != b.a ? a.a < b.a : a.b < b.b;
+            });
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace bayeslsh

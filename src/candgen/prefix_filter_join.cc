@@ -1,0 +1,195 @@
+#include "candgen/prefix_filter_join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/bit_ops.h"
+
+namespace bayeslsh {
+
+namespace {
+
+// Rows re-tokenized by frequency rank and sorted by size.
+struct BinaryReordered {
+  std::vector<uint32_t> orig_id;             // By processing position.
+  std::vector<std::vector<uint32_t>> rows;   // Ranked tokens, ascending.
+};
+
+BinaryReordered ReorderBinary(const Dataset& data) {
+  BinaryReordered r;
+  const uint32_t n = data.num_vectors();
+  const uint32_t d = data.num_dims();
+  const std::vector<uint32_t> freq = data.DimFrequencies();
+  std::vector<uint32_t> dims(d);
+  std::iota(dims.begin(), dims.end(), 0u);
+  // Rare tokens first: ascending frequency.
+  std::sort(dims.begin(), dims.end(), [&](uint32_t a, uint32_t b) {
+    return freq[a] != freq[b] ? freq[a] < freq[b] : a < b;
+  });
+  std::vector<uint32_t> rank_of(d);
+  for (uint32_t i = 0; i < d; ++i) rank_of[dims[i]] = i;
+
+  r.orig_id.resize(n);
+  std::iota(r.orig_id.begin(), r.orig_id.end(), 0u);
+  std::sort(r.orig_id.begin(), r.orig_id.end(), [&](uint32_t a, uint32_t b) {
+    const uint32_t la = data.RowLength(a), lb = data.RowLength(b);
+    return la != lb ? la < lb : a < b;
+  });
+
+  r.rows.resize(n);
+  for (uint32_t p = 0; p < n; ++p) {
+    const SparseVectorView v = data.Row(r.orig_id[p]);
+    auto& row = r.rows[p];
+    row.resize(v.size());
+    for (uint32_t k = 0; k < v.size(); ++k) row[k] = rank_of[v.indices[k]];
+    std::sort(row.begin(), row.end());
+  }
+  return r;
+}
+
+uint32_t PrefixLength(uint32_t size, double threshold, Measure measure) {
+  if (size == 0) return 0;
+  const double frac = measure == Measure::kJaccard
+                          ? threshold
+                          : threshold * threshold;  // Binary cosine.
+  const uint32_t need = CeilSafe(frac * size);
+  return need >= size ? 1u : size - need + 1u;
+}
+
+uint32_t MinSize(uint32_t probe_size, double threshold, Measure measure) {
+  const double frac = measure == Measure::kJaccard
+                          ? threshold
+                          : threshold * threshold;
+  return CeilSafe(frac * probe_size);
+}
+
+// Exact overlap by merge of two ascending token arrays.
+uint32_t MergeOverlap(const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b) {
+  uint32_t o = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++o;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return o;
+}
+
+double SetSimilarity(uint32_t overlap, uint32_t la, uint32_t lb,
+                     Measure measure) {
+  if (measure == Measure::kJaccard) {
+    const uint32_t uni = la + lb - overlap;
+    return uni == 0 ? 0.0 : static_cast<double>(overlap) / uni;
+  }
+  if (la == 0 || lb == 0) return 0.0;
+  return overlap / std::sqrt(static_cast<double>(la) * lb);
+}
+
+struct Posting {
+  uint32_t pos;   // Processing position.
+  uint32_t size;  // Row size (for the lazy size filter).
+};
+
+void PrefixFilterCore(const Dataset& data, double threshold, Measure measure,
+                      std::vector<ScoredPair>* out_matches,
+                      std::vector<uint64_t>* out_candidates,
+                      PrefixJoinStats* stats) {
+  assert(threshold > 0.0 && threshold <= 1.0);
+  assert(measure == Measure::kJaccard || measure == Measure::kBinaryCosine);
+  const uint32_t n = data.num_vectors();
+  BinaryReordered r = ReorderBinary(data);
+
+  std::vector<std::vector<Posting>> index(data.num_dims());
+  // Lazy size-filter front pointer per posting list: rows are indexed in
+  // increasing size order, so undersized entries cluster at the front.
+  std::vector<uint32_t> front(data.num_dims(), 0);
+
+  std::vector<uint32_t> stamp(n, UINT32_MAX);
+  std::vector<uint32_t> touched;
+
+  PrefixJoinStats local;
+  for (uint32_t p = 0; p < n; ++p) {
+    const auto& x = r.rows[p];
+    const auto size = static_cast<uint32_t>(x.size());
+    const uint32_t px = PrefixLength(size, threshold, measure);
+    const uint32_t minsize = MinSize(size, threshold, measure);
+
+    touched.clear();
+    for (uint32_t k = 0; k < px && k < size; ++k) {
+      const uint32_t w = x[k];
+      auto& list = index[w];
+      uint32_t& f = front[w];
+      while (f < list.size() && list[f].size < minsize) {
+        ++f;
+        ++local.size_skipped;
+      }
+      for (uint32_t e = f; e < list.size(); ++e) {
+        const uint32_t q = list[e].pos;
+        if (stamp[q] != p) {
+          stamp[q] = p;
+          touched.push_back(q);
+        }
+      }
+    }
+    local.candidates += touched.size();
+
+    if (out_candidates != nullptr) {
+      for (uint32_t q : touched) {
+        const uint32_t a = r.orig_id[q], b = r.orig_id[p];
+        out_candidates->push_back(a < b ? PairKey(a, b) : PairKey(b, a));
+      }
+    }
+    if (out_matches != nullptr) {
+      for (uint32_t q : touched) {
+        ++local.verified;
+        const uint32_t o = MergeOverlap(x, r.rows[q]);
+        const double s = SetSimilarity(
+            o, size, static_cast<uint32_t>(r.rows[q].size()), measure);
+        if (s >= threshold) {
+          const uint32_t a = r.orig_id[q], b = r.orig_id[p];
+          out_matches->push_back(a < b ? ScoredPair{a, b, s}
+                                       : ScoredPair{b, a, s});
+        }
+      }
+    }
+
+    // Index x's prefix.
+    for (uint32_t k = 0; k < px && k < size; ++k) {
+      index[x[k]].push_back({p, size});
+    }
+  }
+  if (stats != nullptr) *stats = local;
+}
+
+}  // namespace
+
+std::vector<ScoredPair> PrefixFilterJoin(const Dataset& data,
+                                         double threshold, Measure measure,
+                                         PrefixJoinStats* stats) {
+  std::vector<ScoredPair> matches;
+  PrefixFilterCore(data, threshold, measure, &matches, nullptr, stats);
+  std::sort(matches.begin(), matches.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              return a.a != b.a ? a.a < b.a : a.b < b.b;
+            });
+  return matches;
+}
+
+CandidateList PrefixFilterCandidates(const Dataset& data, double threshold,
+                                     Measure measure,
+                                     PrefixJoinStats* stats) {
+  std::vector<uint64_t> keys;
+  PrefixFilterCore(data, threshold, measure, nullptr, &keys, stats);
+  return DedupPairKeys(std::move(keys));
+}
+
+}  // namespace bayeslsh

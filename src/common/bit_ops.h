@@ -1,0 +1,74 @@
+// Bit-level utilities for packed hash signatures.
+//
+// SRP (signed random projection) hashes for cosine similarity are single
+// bits; signatures are stored as arrays of 64-bit words. BayesLSH compares
+// hashes k at a time (k = 32 by default), so we need fast "how many of bits
+// [from, to) agree between these two words arrays" kernels, including
+// unaligned ranges.
+
+#ifndef BAYESLSH_COMMON_BIT_OPS_H_
+#define BAYESLSH_COMMON_BIT_OPS_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace bayeslsh {
+
+inline constexpr int kBitsPerWord = 64;
+
+// Number of 64-bit words needed to hold n bits.
+inline constexpr uint32_t WordsForBits(uint32_t n_bits) {
+  return (n_bits + kBitsPerWord - 1) / kBitsPerWord;
+}
+
+// Returns the number of positions in [from, to) where the bit sequences
+// stored in `a` and `b` agree. Bit i lives in word i/64 at bit offset i%64.
+// Requires from <= to and both arrays to cover at least WordsForBits(to)
+// words.
+inline uint32_t MatchingBits(const uint64_t* a, const uint64_t* b,
+                             uint32_t from, uint32_t to) {
+  assert(from <= to);
+  if (from == to) return 0;
+  uint32_t first_word = from / kBitsPerWord;
+  uint32_t last_word = (to - 1) / kBitsPerWord;
+  uint32_t matches = 0;
+  for (uint32_t w = first_word; w <= last_word; ++w) {
+    uint64_t agree = ~(a[w] ^ b[w]);
+    uint64_t mask = ~0ULL;
+    if (w == first_word) {
+      mask &= ~0ULL << (from % kBitsPerWord);
+    }
+    if (w == last_word) {
+      const uint32_t end_off = to - w * kBitsPerWord;  // in (0, 64]
+      if (end_off < kBitsPerWord) mask &= (1ULL << end_off) - 1;
+    }
+    matches += std::popcount(agree & mask);
+  }
+  return matches;
+}
+
+// Extracts bits [from, from + count) of the bit sequence in `words` as the
+// low `count` bits of a uint64_t. Requires 0 < count <= 64.
+inline uint64_t ExtractBits(const uint64_t* words, uint32_t from,
+                            uint32_t count) {
+  assert(count > 0 && count <= 64);
+  const uint32_t word = from / kBitsPerWord;
+  const uint32_t off = from % kBitsPerWord;
+  uint64_t value = words[word] >> off;
+  if (off != 0 && off + count > kBitsPerWord) {
+    value |= words[word + 1] << (kBitsPerWord - off);
+  }
+  if (count < kBitsPerWord) value &= (1ULL << count) - 1;
+  return value;
+}
+
+// Packs the ordered pair (a, b) with a < b into one 64-bit key. Used for
+// candidate-pair deduplication sets.
+inline constexpr uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_COMMON_BIT_OPS_H_

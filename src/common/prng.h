@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation used throughout bayeslsh.
+//
+// Two flavours are provided:
+//  * SplitMix64 / Xoshiro256StarStar: sequential generators for data
+//    generation and sampling.
+//  * Mix64 / counter-based helpers: stateless "random access" hashing, used
+//    by the LSH hash families so that hash i of dimension d can be evaluated
+//    lazily, in any order, and reproducibly (see lsh/gaussian_source.h).
+//
+// All generators are fully deterministic given their seed; none of them read
+// global state. std::* engines are deliberately avoided because their output
+// is not guaranteed to be identical across standard library implementations.
+
+#ifndef BAYESLSH_COMMON_PRNG_H_
+#define BAYESLSH_COMMON_PRNG_H_
+
+#include <cstdint>
+
+namespace bayeslsh {
+
+// Finalizer from the SplitMix64 generator (public domain, Sebastiano Vigna).
+// A high-quality 64-bit mixing function: every input bit affects every
+// output bit. Suitable as a stateless hash of a 64-bit key.
+inline constexpr uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Combines two 64-bit keys into one well-mixed 64-bit hash.
+inline constexpr uint64_t Mix64(uint64_t a, uint64_t b) {
+  return Mix64(a ^ Mix64(b));
+}
+
+// Combines three 64-bit keys into one well-mixed 64-bit hash.
+inline constexpr uint64_t Mix64(uint64_t a, uint64_t b, uint64_t c) {
+  return Mix64(a ^ Mix64(b ^ Mix64(c)));
+}
+
+// Maps a 64-bit hash to a double uniformly distributed in [0, 1).
+inline constexpr double ToUnitUniform(uint64_t bits) {
+  // Use the top 53 bits; 2^-53 is the spacing of doubles in [0.5, 1).
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+// Maps a 64-bit hash to a double uniformly distributed in (0, 1).
+// Never returns exactly 0, which callers feeding logarithms rely on.
+inline constexpr double ToOpenUnitUniform(uint64_t bits) {
+  return (static_cast<double>(bits >> 11) + 0.5) * 0x1.0p-53;
+}
+
+// Sequential SplitMix64 generator. Used mainly to seed Xoshiro.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(uint64_t seed) : state_(seed) {}
+
+  constexpr uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256** 1.0 (public domain, Blackman & Vigna). Fast, high-quality
+// general-purpose generator for synthetic data generation and sampling.
+class Xoshiro256StarStar {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256StarStar(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextUnit() { return ToUnitUniform(Next()); }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextUnit();
+  }
+
+  // Standard normal deviate (Box-Muller; consumes two outputs every other
+  // call).
+  double NextGaussian();
+
+  // UniformRandomBitGenerator interface so the generator can be used with
+  // <algorithm> utilities such as std::shuffle.
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return Next(); }
+
+ private:
+  uint64_t s_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_COMMON_PRNG_H_

@@ -1,0 +1,30 @@
+// Minimal wall-clock timer for the benchmark harness and pipeline
+// instrumentation.
+
+#ifndef BAYESLSH_COMMON_TIMER_H_
+#define BAYESLSH_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace bayeslsh {
+
+// Measures elapsed wall time in seconds. Restartable.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_COMMON_TIMER_H_

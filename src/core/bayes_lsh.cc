@@ -1,0 +1,59 @@
+// Explicit instantiations of the BayesLSH engines for the built-in
+// (posterior model, signature store) combinations. The template definitions
+// live in core/bayes_lsh_impl.h so that other modules (e.g. kernel/) can
+// instantiate the engines for their own stores.
+
+#include "core/bayes_lsh_impl.h"
+
+#include "lsh/icws_hasher.h"
+
+namespace bayeslsh {
+
+template std::vector<ScoredPair>
+BayesLshVerify<JaccardPosterior, IntSignatureStore>(
+    const JaccardPosterior&, IntSignatureStore*,
+    const std::vector<std::pair<uint32_t, uint32_t>>&, const BayesLshParams&,
+    VerifyStats*);
+template std::vector<ScoredPair>
+BayesLshVerify<CosinePosterior, BitSignatureStore>(
+    const CosinePosterior&, BitSignatureStore*,
+    const std::vector<std::pair<uint32_t, uint32_t>>&, const BayesLshParams&,
+    VerifyStats*);
+template std::vector<ScoredPair>
+BayesLshLiteVerify<JaccardPosterior, IntSignatureStore>(
+    const JaccardPosterior&, IntSignatureStore*,
+    const std::vector<std::pair<uint32_t, uint32_t>>&, uint32_t,
+    const std::function<double(uint32_t, uint32_t)>&, double,
+    const BayesLshParams&, VerifyStats*);
+template std::vector<ScoredPair>
+BayesLshLiteVerify<CosinePosterior, BitSignatureStore>(
+    const CosinePosterior&, BitSignatureStore*,
+    const std::vector<std::pair<uint32_t, uint32_t>>&, uint32_t,
+    const std::function<double(uint32_t, uint32_t)>&, double,
+    const BayesLshParams&, VerifyStats*);
+template std::vector<ScoredPair>
+BayesLshVerify<BbitMinwisePosterior, BbitSignatureStore>(
+    const BbitMinwisePosterior&, BbitSignatureStore*,
+    const std::vector<std::pair<uint32_t, uint32_t>>&, const BayesLshParams&,
+    VerifyStats*);
+template std::vector<ScoredPair>
+BayesLshLiteVerify<BbitMinwisePosterior, BbitSignatureStore>(
+    const BbitMinwisePosterior&, BbitSignatureStore*,
+    const std::vector<std::pair<uint32_t, uint32_t>>&, uint32_t,
+    const std::function<double(uint32_t, uint32_t)>&, double,
+    const BayesLshParams&, VerifyStats*);
+// Weighted Jaccard rides the plain Jaccard posterior (the ICWS collision
+// probability is exactly J_w) over the ICWS store.
+template std::vector<ScoredPair>
+BayesLshVerify<JaccardPosterior, IcwsSignatureStore>(
+    const JaccardPosterior&, IcwsSignatureStore*,
+    const std::vector<std::pair<uint32_t, uint32_t>>&, const BayesLshParams&,
+    VerifyStats*);
+template std::vector<ScoredPair>
+BayesLshLiteVerify<JaccardPosterior, IcwsSignatureStore>(
+    const JaccardPosterior&, IcwsSignatureStore*,
+    const std::vector<std::pair<uint32_t, uint32_t>>&, uint32_t,
+    const std::function<double(uint32_t, uint32_t)>&, double,
+    const BayesLshParams&, VerifyStats*);
+
+}  // namespace bayeslsh

@@ -1,0 +1,135 @@
+// Template definitions for the BayesLSH / BayesLSH-Lite engines declared
+// in core/bayes_lsh.h.
+//
+// The engines are generic over (PosteriorModel, Store); translation units
+// that pair them with a new store type include this header and add an
+// explicit instantiation (see core/bayes_lsh.cc for the built-in sparse
+// combinations and kernel/kernel_search.cc for the KLSH one). Keeping the
+// definitions out of core/bayes_lsh.h keeps rebuilds of the public header
+// cheap and the instantiation set explicit.
+
+#ifndef BAYESLSH_CORE_BAYES_LSH_IMPL_H_
+#define BAYESLSH_CORE_BAYES_LSH_IMPL_H_
+
+#include <cassert>
+
+#include "core/bayes_lsh.h"
+
+namespace bayeslsh {
+namespace internal {
+
+// Records a pair's lifetime into the Fig. 4 survival curve: the pair was
+// alive for rounds [0, pruned_at_round). Accepted pairs pass
+// pruned_at_round = total_rounds + 1 so they count as alive everywhere.
+inline void RecordSurvival(std::vector<uint64_t>* curve,
+                           uint32_t pruned_at_round) {
+  for (uint32_t r = 0; r < curve->size() && r < pruned_at_round; ++r) {
+    ++(*curve)[r];
+  }
+}
+
+}  // namespace internal
+
+template <typename Model, typename Store>
+std::vector<ScoredPair> BayesLshVerify(
+    const Model& model, Store* store,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    const BayesLshParams& params, VerifyStats* stats) {
+  assert(params.hashes_per_round > 0 &&
+         params.max_hashes % params.hashes_per_round == 0);
+  const uint32_t k = params.hashes_per_round;
+  const uint32_t rounds = params.max_hashes / k;
+
+  InferenceCache<Model> cache(&model, k, params.max_hashes, params.epsilon,
+                              params.delta, params.gamma);
+  VerifyStats local;
+  local.pairs_in = pairs.size();
+  local.surviving_after_round.assign(rounds + 1, 0);
+
+  std::vector<ScoredPair> out;
+  for (const auto& [a, b] : pairs) {
+    uint32_t m = 0, n = 0;
+    bool resolved = false;
+    for (uint32_t r = 0; r < rounds; ++r) {
+      m += store->MatchCount(a, b, n, n + k);
+      n += k;
+      local.hashes_compared += k;
+      if (m < cache.MinMatches(n)) {
+        ++local.pruned;
+        internal::RecordSurvival(&local.surviving_after_round, r + 1);
+        resolved = true;
+        break;
+      }
+      const auto er = cache.EstimateAt(m, n);
+      if (er.concentrated) {
+        ++local.accepted;
+        out.push_back({a, b, er.estimate});
+        internal::RecordSurvival(&local.surviving_after_round, rounds + 1);
+        resolved = true;
+        break;
+      }
+    }
+    if (!resolved) {
+      // Hash budget exhausted: accept with the current estimate.
+      ++local.forced_accepts;
+      ++local.accepted;
+      out.push_back({a, b, model.Estimate(static_cast<int>(m),
+                                          static_cast<int>(n))});
+      internal::RecordSurvival(&local.surviving_after_round, rounds + 1);
+    }
+  }
+  local.cache = cache.stats();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+template <typename Model, typename Store>
+std::vector<ScoredPair> BayesLshLiteVerify(
+    const Model& model, Store* store,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    uint32_t max_prune_hashes,
+    const std::function<double(uint32_t, uint32_t)>& exact_sim,
+    double threshold, const BayesLshParams& params, VerifyStats* stats) {
+  assert(params.hashes_per_round > 0 &&
+         max_prune_hashes % params.hashes_per_round == 0);
+  const uint32_t k = params.hashes_per_round;
+  const uint32_t rounds = max_prune_hashes / k;
+
+  InferenceCache<Model> cache(&model, k, max_prune_hashes, params.epsilon,
+                              /*delta=*/params.delta, /*gamma=*/params.gamma);
+  VerifyStats local;
+  local.pairs_in = pairs.size();
+  local.surviving_after_round.assign(rounds + 1, 0);
+
+  std::vector<ScoredPair> out;
+  for (const auto& [a, b] : pairs) {
+    uint32_t m = 0, n = 0;
+    bool pruned = false;
+    for (uint32_t r = 0; r < rounds; ++r) {
+      m += store->MatchCount(a, b, n, n + k);
+      n += k;
+      local.hashes_compared += k;
+      if (m < cache.MinMatches(n)) {
+        ++local.pruned;
+        internal::RecordSurvival(&local.surviving_after_round, r + 1);
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) continue;
+    internal::RecordSurvival(&local.surviving_after_round, rounds + 1);
+    ++local.exact_computed;
+    const double s = exact_sim(a, b);
+    if (s >= threshold) {
+      ++local.accepted;
+      out.push_back({a, b, s});
+    }
+  }
+  local.cache = cache.stats();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_BAYES_LSH_IMPL_H_

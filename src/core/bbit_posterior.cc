@@ -1,0 +1,67 @@
+#include "core/bbit_posterior.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "lsh/bbit_minwise.h"
+#include "stats/special_functions.h"
+
+namespace bayeslsh {
+
+BbitMinwisePosterior::BbitMinwisePosterior(double threshold,
+                                           uint32_t bits_per_hash)
+    : threshold_(threshold),
+      bits_per_hash_(bits_per_hash),
+      floor_(std::ldexp(1.0, -static_cast<int>(bits_per_hash))),
+      threshold_u_(SToU(threshold)) {
+  assert(threshold > 0.0 && threshold < 1.0);
+  assert(IsValidBbitWidth(bits_per_hash));
+}
+
+double BbitMinwisePosterior::PosteriorMassU(int m, int n, double ulo,
+                                            double uhi) const {
+  ulo = std::max(ulo, floor_);
+  uhi = std::min(uhi, 1.0);
+  if (ulo >= uhi) return 0.0;
+  const double a = m + 1.0;
+  const double b = n - m + 1.0;
+  // Mirrored evaluation, as in the cosine model: for high-similarity pairs
+  // the mass of interest hugs u = 1, where 1 - I_x(a, b) = I_{1-x}(b, a)
+  // avoids the 1 - (1 - tiny) cancellation.
+  const double upper_tail_lo = RegularizedIncompleteBeta(b, a, 1.0 - ulo);
+  const double upper_tail_hi = RegularizedIncompleteBeta(b, a, 1.0 - uhi);
+  const double denom = RegularizedIncompleteBeta(b, a, 1.0 - floor_);
+  if (denom <= 0.0) {
+    // The whole posterior mass sits below u = c to machine precision
+    // (m ≪ n at a wide floor); treat the truncated posterior as a point
+    // mass at c.
+    return ulo <= floor_ && uhi >= floor_ ? 1.0 : 0.0;
+  }
+  return std::clamp((upper_tail_lo - upper_tail_hi) / denom, 0.0, 1.0);
+}
+
+double BbitMinwisePosterior::ProbAboveThreshold(int m, int n) const {
+  assert(m >= 0 && m <= n);
+  return PosteriorMassU(m, n, threshold_u_, 1.0);
+}
+
+double BbitMinwisePosterior::Estimate(int m, int n) const {
+  assert(m >= 0 && m <= n && n > 0);
+  const double u_hat =
+      std::clamp(static_cast<double>(m) / n, floor_, 1.0);
+  return UToS(u_hat);
+}
+
+double BbitMinwisePosterior::Concentration(int m, int n, double delta) const {
+  assert(m >= 0 && m <= n && n > 0);
+  assert(delta > 0.0);
+  const double s_hat = Estimate(m, n);
+  // s2u is affine and monotone; clamp the similarity interval into [0, 1]
+  // first so the u interval stays inside the posterior's support.
+  const double u_lo = SToU(std::max(s_hat - delta, 0.0));
+  const double u_hi = SToU(std::min(s_hat + delta, 1.0));
+  return PosteriorMassU(m, n, u_lo, u_hi);
+}
+
+}  // namespace bayeslsh

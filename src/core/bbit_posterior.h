@@ -1,0 +1,77 @@
+// Bayesian posterior model for Jaccard similarity observed through b-bit
+// minwise hashes (lsh/bbit_minwise.h).
+//
+// A b-bit hash pair collides with probability
+//
+//     u(S) = c + (1 - c) S,    c = 2^-b,
+//
+// so — exactly as with the cosine model, where the observable collision
+// rate r lives on [0.5, 1] rather than being the similarity itself — the
+// binomial likelihood is in terms of u ∈ [c, 1], not S. Following the
+// paper's §4.2 recipe we place a uniform prior on the observable u over
+// [c, 1] (equivalently, a uniform prior on S: the map is affine), obtain
+// the truncated-Beta posterior
+//
+//     p(u | M(m, n)) ∝ u^m (1 - u)^{n-m}    on [c, 1],
+//
+// and translate statements about S through the affine bijections
+// s2u(s) = c + (1 - c)s and u2s(u) = (u - c)/(1 - c):
+//
+//     Pr[S ≥ t | M]  = [B_1(a,b) − B_{s2u(t)}(a,b)] / [B_1(a,b) − B_c(a,b)]
+//     Û = clamp(m/n, c, 1),  Ŝ = u2s(Û)
+//     Pr[|S − Ŝ| < δ | M] = [B_{s2u(Ŝ+δ)} − B_{s2u(Ŝ−δ)}] / [B_1 − B_c]
+//
+// with a = m + 1, b = n − m + 1. At b = 32 the floor c = 2^-32 is below
+// the resolution of any feasible hash count and the model coincides with
+// JaccardPosterior under the uniform prior (tested). At b = 1 the floor is
+// 0.5 — structurally identical to the cosine model's truncation.
+//
+// This class satisfies the PosteriorModel concept consumed by the BayesLSH
+// engine (see core/bayes_lsh.h).
+
+#ifndef BAYESLSH_CORE_BBIT_POSTERIOR_H_
+#define BAYESLSH_CORE_BBIT_POSTERIOR_H_
+
+#include <cstdint>
+
+namespace bayeslsh {
+
+class BbitMinwisePosterior {
+ public:
+  // threshold is a Jaccard similarity in (0, 1); bits_per_hash must satisfy
+  // IsValidBbitWidth.
+  BbitMinwisePosterior(double threshold, uint32_t bits_per_hash);
+
+  double threshold() const { return threshold_; }
+  uint32_t bits_per_hash() const { return bits_per_hash_; }
+
+  // The chance-collision floor c = 2^-b.
+  double collision_floor() const { return floor_; }
+
+  // Pr[S >= threshold | m of n hashes matched]. Monotone non-decreasing in
+  // m for fixed n (the inference cache's binary search relies on this).
+  double ProbAboveThreshold(int m, int n) const;
+
+  // MAP estimate of the Jaccard similarity: u2s(clamp(m/n, c, 1)).
+  double Estimate(int m, int n) const;
+
+  // Pr[|S - Estimate(m, n)| < delta | m of n matched].
+  double Concentration(int m, int n, double delta) const;
+
+ private:
+  // Posterior mass of u in [ulo, uhi] (clamped to [c, 1]), normalized by
+  // the prior-truncated denominator.
+  double PosteriorMassU(int m, int n, double ulo, double uhi) const;
+
+  double SToU(double s) const { return floor_ + (1.0 - floor_) * s; }
+  double UToS(double u) const { return (u - floor_) / (1.0 - floor_); }
+
+  double threshold_;
+  uint32_t bits_per_hash_;
+  double floor_;        // c = 2^-b.
+  double threshold_u_;  // s2u(threshold).
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_BBIT_POSTERIOR_H_

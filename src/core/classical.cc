@@ -1,0 +1,66 @@
+#include "core/classical.h"
+
+#include "lsh/srp_hasher.h"
+
+namespace bayeslsh {
+
+std::vector<ScoredPair> ExactVerify(
+    const Dataset& data,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs, double threshold,
+    Measure measure, ClassicalStats* stats) {
+  ClassicalStats local;
+  local.pairs_in = pairs.size();
+  std::vector<ScoredPair> out;
+  for (const auto& [a, b] : pairs) {
+    const double s = ExactSimilarity(data, a, b, measure);
+    if (s >= threshold) {
+      out.push_back({a, b, s});
+      ++local.accepted;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<ScoredPair> MleVerifyCosine(
+    BitSignatureStore* store,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs, double threshold,
+    uint32_t num_hashes, ClassicalStats* stats) {
+  ClassicalStats local;
+  local.pairs_in = pairs.size();
+  std::vector<ScoredPair> out;
+  for (const auto& [a, b] : pairs) {
+    const uint32_t m = store->MatchCount(a, b, 0, num_hashes);
+    local.hashes_compared += num_hashes;
+    const double est =
+        SrpRToCosine(static_cast<double>(m) / num_hashes);
+    if (est >= threshold) {
+      out.push_back({a, b, est});
+      ++local.accepted;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<ScoredPair> MleVerifyJaccard(
+    IntSignatureStore* store,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs, double threshold,
+    uint32_t num_hashes, ClassicalStats* stats) {
+  ClassicalStats local;
+  local.pairs_in = pairs.size();
+  std::vector<ScoredPair> out;
+  for (const auto& [a, b] : pairs) {
+    const uint32_t m = store->MatchCount(a, b, 0, num_hashes);
+    local.hashes_compared += num_hashes;
+    const double est = static_cast<double>(m) / num_hashes;
+    if (est >= threshold) {
+      out.push_back({a, b, est});
+      ++local.accepted;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,53 @@
+// Classical (non-Bayesian) candidate verification, paper §2-§3:
+//
+//  * ExactVerify      — compute every candidate's exact similarity; keep
+//                       pairs >= threshold ("LSH" / exact baselines).
+//  * MLE verification — estimate the similarity as the match fraction over
+//                       a *fixed* number of hashes ("LSH Approx"); keep
+//                       pairs whose estimate >= threshold. The fixed hash
+//                       count is the knob §3.1 shows cannot be tuned well,
+//                       which is BayesLSH's motivation.
+
+#ifndef BAYESLSH_CORE_CLASSICAL_H_
+#define BAYESLSH_CORE_CLASSICAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "lsh/signature_store.h"
+#include "sim/brute_force.h"
+#include "sim/similarity.h"
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+struct ClassicalStats {
+  uint64_t pairs_in = 0;
+  uint64_t accepted = 0;
+  uint64_t hashes_compared = 0;
+};
+
+// Exact verification of candidate pairs under `measure` (see
+// sim/similarity.h for the kCosine pre-normalization convention).
+std::vector<ScoredPair> ExactVerify(
+    const Dataset& data, const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    double threshold, Measure measure, ClassicalStats* stats = nullptr);
+
+// MLE verification for cosine: m/n estimates the SRP collision probability
+// r, so the similarity estimate is r2c(m/n). Uses `num_hashes` bits per pair.
+std::vector<ScoredPair> MleVerifyCosine(
+    BitSignatureStore* store,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs, double threshold,
+    uint32_t num_hashes, ClassicalStats* stats = nullptr);
+
+// MLE verification for Jaccard: the estimate is the match fraction m/n
+// itself. Uses `num_hashes` minwise hashes per pair.
+std::vector<ScoredPair> MleVerifyJaccard(
+    IntSignatureStore* store,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs, double threshold,
+    uint32_t num_hashes, ClassicalStats* stats = nullptr);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_CLASSICAL_H_

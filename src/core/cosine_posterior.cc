@@ -1,0 +1,62 @@
+#include "core/cosine_posterior.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "lsh/srp_hasher.h"
+#include "stats/special_functions.h"
+
+namespace bayeslsh {
+
+CosinePosterior::CosinePosterior(double threshold)
+    : threshold_(threshold), threshold_r_(CosineToSrpR(threshold)) {
+  assert(threshold > 0.0 && threshold < 1.0);
+}
+
+double CosinePosterior::PosteriorMassR(int m, int n, double rlo,
+                                       double rhi) const {
+  rlo = std::max(rlo, 0.5);
+  rhi = std::min(rhi, 1.0);
+  if (rlo >= rhi) return 0.0;
+  const double a = m + 1.0;
+  const double b = n - m + 1.0;
+  // Mirrored evaluation: I_x(a, b) = 1 - I_{1-x}(b, a). The masses of
+  // interest all hug x = 1, where the mirrored form is the numerically
+  // stable one (no 1 - (1 - tiny) cancellation).
+  const double upper_tail_lo = RegularizedIncompleteBeta(b, a, 1.0 - rlo);
+  const double upper_tail_hi = RegularizedIncompleteBeta(b, a, 1.0 - rhi);
+  const double denom = RegularizedIncompleteBeta(b, a, 0.5);
+  if (denom <= 0.0) {
+    // The whole posterior mass sits below r = 0.5 to machine precision
+    // (m ≪ n); treat the truncated posterior as a point mass at 0.5.
+    return rlo <= 0.5 && rhi >= 0.5 ? 1.0 : 0.0;
+  }
+  return std::clamp((upper_tail_lo - upper_tail_hi) / denom, 0.0, 1.0);
+}
+
+double CosinePosterior::ProbAboveThreshold(int m, int n) const {
+  assert(m >= 0 && m <= n);
+  return PosteriorMassR(m, n, threshold_r_, 1.0);
+}
+
+double CosinePosterior::Estimate(int m, int n) const {
+  assert(m >= 0 && m <= n && n > 0);
+  const double r_hat =
+      std::clamp(static_cast<double>(m) / n, 0.5, 1.0);
+  return SrpRToCosine(r_hat);
+}
+
+double CosinePosterior::Concentration(int m, int n, double delta) const {
+  assert(m >= 0 && m <= n && n > 0);
+  assert(delta > 0.0);
+  const double s_hat = Estimate(m, n);
+  const double s_lo = s_hat - delta;
+  const double s_hi = s_hat + delta;
+  // c2r is monotone; clamp the cosine interval into [-1, 1] first.
+  const double r_lo = CosineToSrpR(std::max(s_lo, -1.0));
+  const double r_hi = s_hi >= 1.0 ? 1.0 : CosineToSrpR(s_hi);
+  return PosteriorMassR(m, n, r_lo, r_hi);
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,56 @@
+// Bayesian posterior model for cosine similarity (paper §4.2).
+//
+// SRP hashes collide with probability r(x, y) = 1 − θ(x, y)/π, which lives
+// in [0.5, 1] for non-negatively-similar pairs — not with probability
+// cos(x, y) itself. Following the paper we place a *uniform prior on
+// r ∈ [0.5, 1]* (a Beta prior would not stay conjugate on a truncated
+// domain), obtain the truncated-Beta posterior
+//
+//     p(r | M(m, n)) ∝ r^m (1 − r)^{n−m}    on [0.5, 1],
+//
+// and translate every statement about the cosine similarity S through the
+// monotone bijections r2c(r) = cos(π(1 − r)) and c2r(c) = 1 − arccos(c)/π:
+//
+//     Pr[S ≥ t | M] = [B_1(a,b) − B_{c2r(t)}(a,b)] / [B_1(a,b) − B_½(a,b)]
+//     R̂ = m/n (truncated to [½, 1]),  Ŝ = r2c(R̂)
+//     Pr[|S − Ŝ| < δ | M] = [B_{c2r(Ŝ+δ)} − B_{c2r(Ŝ−δ)}] / [B_1 − B_½]
+//
+// with a = m + 1, b = n − m + 1. To avoid catastrophic cancellation when
+// m ≪ n (the numerator and denominator are both tiny tail masses), all
+// ratios are evaluated in the mirrored parameterization
+// 1 − I_x(a, b) = I_{1−x}(b, a).
+
+#ifndef BAYESLSH_CORE_COSINE_POSTERIOR_H_
+#define BAYESLSH_CORE_COSINE_POSTERIOR_H_
+
+namespace bayeslsh {
+
+class CosinePosterior {
+ public:
+  // threshold is a cosine similarity in (0, 1).
+  explicit CosinePosterior(double threshold);
+
+  double threshold() const { return threshold_; }
+
+  // Pr[S >= threshold | m of n hashes matched]. Monotone non-decreasing
+  // in m for fixed n.
+  double ProbAboveThreshold(int m, int n) const;
+
+  // MAP estimate of the cosine similarity: r2c(clamp(m/n, 1/2, 1)).
+  double Estimate(int m, int n) const;
+
+  // Pr[|S - Estimate(m, n)| < delta | m of n matched].
+  double Concentration(int m, int n, double delta) const;
+
+ private:
+  // Posterior mass of r in [rlo, rhi] (clamped to [0.5, 1]), i.e.
+  // normalized by the prior-truncated denominator.
+  double PosteriorMassR(int m, int n, double rlo, double rhi) const;
+
+  double threshold_;
+  double threshold_r_;  // c2r(threshold).
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_COSINE_POSTERIOR_H_

@@ -1,0 +1,12 @@
+// Explicit instantiations of InferenceCache for the built-in posterior
+// models; the template definitions live in core/inference_cache_impl.h.
+
+#include "core/inference_cache_impl.h"
+
+namespace bayeslsh {
+
+template class InferenceCache<JaccardPosterior>;
+template class InferenceCache<CosinePosterior>;
+template class InferenceCache<BbitMinwisePosterior>;
+
+}  // namespace bayeslsh

@@ -1,0 +1,31 @@
+#include "core/jaccard_posterior.h"
+
+#include <cassert>
+
+namespace bayeslsh {
+
+JaccardPosterior::JaccardPosterior(double threshold, BetaDistribution prior)
+    : threshold_(threshold), prior_(prior) {
+  assert(threshold > 0.0 && threshold < 1.0);
+}
+
+double JaccardPosterior::ProbAboveThreshold(int m, int n) const {
+  assert(m >= 0 && m <= n);
+  const BetaDistribution post = prior_.Posterior(m, n);
+  return 1.0 - post.Cdf(threshold_);
+}
+
+double JaccardPosterior::Estimate(int m, int n) const {
+  assert(m >= 0 && m <= n);
+  return prior_.Posterior(m, n).Mode();
+}
+
+double JaccardPosterior::Concentration(int m, int n, double delta) const {
+  assert(m >= 0 && m <= n);
+  assert(delta > 0.0);
+  const BetaDistribution post = prior_.Posterior(m, n);
+  const double est = post.Mode();
+  return post.Mass(est - delta, est + delta);
+}
+
+}  // namespace bayeslsh

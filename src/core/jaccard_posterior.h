@@ -1,0 +1,56 @@
+// Bayesian posterior model for Jaccard similarity (paper §4.1).
+//
+// Minwise hashes collide with probability exactly equal to the Jaccard
+// similarity S, so observing m matches out of n hashes gives a binomial
+// likelihood. With a conjugate Beta(α, β) prior,
+//
+//     p(S | M(m, n)) = Beta(m + α, n − m + β)
+//
+// and the three inference primitives (Eqns 3, 4, 6) have closed forms in
+// the regularized incomplete beta function:
+//
+//     Pr[S ≥ t | M]            = 1 − I_t(m+α, n−m+β)
+//     Ŝ (posterior mode)       = (m+α−1) / (n+α+β−2)
+//     Pr[|S − Ŝ| < δ | M]      = I_{Ŝ+δ}(·) − I_{Ŝ−δ}(·)
+//
+// (The paper prints the mode denominator as n+α+β−1; the mode of
+// Beta(a, b) is (a−1)/(a+b−2), giving n+α+β−2 — we implement the correct
+// form. For α = β = 1 both agree to O(1/n).)
+//
+// This class satisfies the PosteriorModel concept consumed by the BayesLSH
+// engine (see core/bayes_lsh.h).
+
+#ifndef BAYESLSH_CORE_JACCARD_POSTERIOR_H_
+#define BAYESLSH_CORE_JACCARD_POSTERIOR_H_
+
+#include "stats/beta_distribution.h"
+
+namespace bayeslsh {
+
+class JaccardPosterior {
+ public:
+  // threshold in (0, 1); prior defaults to uniform Beta(1, 1).
+  JaccardPosterior(double threshold,
+                   BetaDistribution prior = BetaDistribution(1.0, 1.0));
+
+  double threshold() const { return threshold_; }
+  const BetaDistribution& prior() const { return prior_; }
+
+  // Pr[S >= threshold | m of n hashes matched]. Monotone non-decreasing in
+  // m for fixed n (the inference cache's binary search relies on this).
+  double ProbAboveThreshold(int m, int n) const;
+
+  // Maximum-a-posteriori similarity estimate.
+  double Estimate(int m, int n) const;
+
+  // Pr[|S - Estimate(m, n)| < delta | m of n matched].
+  double Concentration(int m, int n, double delta) const;
+
+ private:
+  double threshold_;
+  BetaDistribution prior_;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_JACCARD_POSTERIOR_H_

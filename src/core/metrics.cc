@@ -1,0 +1,51 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/bit_ops.h"
+
+namespace bayeslsh {
+
+double Recall(const std::vector<ScoredPair>& output,
+              const std::vector<ScoredPair>& truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<uint64_t> out_keys;
+  out_keys.reserve(output.size() * 2);
+  for (const ScoredPair& p : output) out_keys.insert(PairKey(p.a, p.b));
+  uint64_t hit = 0;
+  for (const ScoredPair& p : truth) {
+    if (out_keys.contains(PairKey(p.a, p.b))) ++hit;
+  }
+  return static_cast<double>(hit) / truth.size();
+}
+
+double FalseNegativeRate(const std::vector<ScoredPair>& output,
+                         const std::vector<ScoredPair>& truth) {
+  return 1.0 - Recall(output, truth);
+}
+
+ErrorStats EstimateErrors(const Dataset& data, Measure measure,
+                          const std::vector<ScoredPair>& output,
+                          double custom_level) {
+  ErrorStats s;
+  s.pairs = output.size();
+  if (output.empty()) return s;
+  uint64_t gt_005 = 0, gt_custom = 0;
+  double sum = 0.0;
+  for (const ScoredPair& p : output) {
+    const double exact = ExactSimilarity(data, p.a, p.b, measure);
+    const double err = std::abs(p.sim - exact);
+    sum += err;
+    s.max_abs_error = std::max(s.max_abs_error, err);
+    if (err > 0.05) ++gt_005;
+    if (err > custom_level) ++gt_custom;
+  }
+  s.mean_abs_error = sum / output.size();
+  s.frac_error_gt_005 = static_cast<double>(gt_005) / output.size();
+  s.frac_error_gt_custom = static_cast<double>(gt_custom) / output.size();
+  return s;
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,46 @@
+// Output-quality metrics: recall against an exact ground truth (paper
+// Table 3) and similarity-estimate error statistics (Tables 4, 5).
+
+#ifndef BAYESLSH_CORE_METRICS_H_
+#define BAYESLSH_CORE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/brute_force.h"
+#include "sim/similarity.h"
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+// |output ∩ truth| / |truth|, pairs matched on (a, b) ids only.
+// Returns 1.0 for an empty truth set. Both lists may be in any order.
+double Recall(const std::vector<ScoredPair>& output,
+              const std::vector<ScoredPair>& truth);
+
+struct ErrorStats {
+  uint64_t pairs = 0;
+  double mean_abs_error = 0.0;
+  double max_abs_error = 0.0;
+  // Fraction of output pairs whose |estimate - exact| exceeds 0.05 — the
+  // paper's Table 4 metric.
+  double frac_error_gt_005 = 0.0;
+  // Fraction exceeding an arbitrary second level (set by caller; default
+  // matches delta = 0.05 so the two coincide unless changed).
+  double frac_error_gt_custom = 0.0;
+};
+
+// Compares each output pair's reported similarity against the exact
+// similarity under `measure`. `custom_level` feeds frac_error_gt_custom.
+ErrorStats EstimateErrors(const Dataset& data, Measure measure,
+                          const std::vector<ScoredPair>& output,
+                          double custom_level = 0.05);
+
+// False-negative rate among truth pairs: 1 - Recall (convenience for the
+// ε sweeps of Table 5).
+double FalseNegativeRate(const std::vector<ScoredPair>& output,
+                         const std::vector<ScoredPair>& truth);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_METRICS_H_

@@ -1,0 +1,260 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "candgen/allpairs.h"
+#include "candgen/candidates.h"
+#include "candgen/prefix_filter_join.h"
+#include "common/prng.h"
+#include "common/timer.h"
+#include "core/classical.h"
+#include "lsh/minwise_hasher.h"
+#include "lsh/srp_hasher.h"
+#include "stats/beta_distribution.h"
+#include "vec/transforms.h"
+
+namespace bayeslsh {
+
+uint64_t GenerationSeed(uint64_t master_seed) {
+  return Mix64(master_seed, 0xC0DEC0DEULL);
+}
+
+uint64_t VerificationSeed(uint64_t master_seed) {
+  return Mix64(master_seed, 0xFACEFEEDULL);
+}
+
+namespace {
+
+bool IsCosineLike(Measure m) {
+  return m == Measure::kCosine || m == Measure::kBinaryCosine;
+}
+
+uint32_t DefaultRoundHashes(Measure m) { return IsCosineLike(m) ? 32 : 16; }
+uint32_t DefaultMaxHashes(Measure m) { return IsCosineLike(m) ? 4096 : 512; }
+uint32_t DefaultLiteHashes(Measure m) { return IsCosineLike(m) ? 128 : 64; }
+uint32_t DefaultMleHashes(Measure m) { return IsCosineLike(m) ? 2048 : 360; }
+
+// Resolves the 0-means-default fields against the measure.
+BayesLshParams ResolveBayesParams(const PipelineConfig& c) {
+  BayesLshParams p = c.bayes;
+  if (p.hashes_per_round == 0) p.hashes_per_round = DefaultRoundHashes(c.measure);
+  if (p.max_hashes == 0) p.max_hashes = DefaultMaxHashes(c.measure);
+  // Round the budget to whole rounds.
+  p.max_hashes -= p.max_hashes % p.hashes_per_round;
+  return p;
+}
+
+// Fits the Jaccard Beta prior from a uniform sample of candidate pairs,
+// as recommended in paper §4.1.
+//
+// One robustness addition over the paper: the fitted prior's strength
+// (alpha + beta, the "equivalent pseudo-hash count") is capped. Candidate
+// sets dominated by near-zero similarities — AllPairs feeds routinely are —
+// produce method-of-moments fits with alpha + beta in the hundreds, a prior
+// so opinionated that no realistic number of hash matches can rescue a true
+// pair from pruning (recall collapses). Capping preserves the fitted mean
+// while keeping the paper's "the data swamps the prior" premise
+// (see Appendix A of the paper) actually true.
+constexpr double kMaxPriorStrength = 5.0;
+
+BetaDistribution FitJaccardPrior(const Dataset& data,
+                                 const CandidateList& candidates,
+                                 uint32_t sample_size, uint64_t seed) {
+  if (sample_size == 0 || candidates.pairs.empty()) {
+    return BetaDistribution(1.0, 1.0);
+  }
+  Xoshiro256StarStar rng(Mix64(seed, 0xBE7A0F17ULL));
+  std::vector<double> sims;
+  sims.reserve(sample_size);
+  const uint64_t total = candidates.pairs.size();
+  for (uint32_t i = 0; i < sample_size; ++i) {
+    const auto& [a, b] = candidates.pairs[rng.NextBounded(total)];
+    sims.push_back(ExactSimilarity(data, a, b, Measure::kJaccard));
+  }
+  const BetaDistribution fit = BetaDistribution::FitMethodOfMoments(sims);
+  const double strength = fit.alpha() + fit.beta();
+  if (strength <= kMaxPriorStrength) return fit;
+  const double scale = kMaxPriorStrength / strength;
+  return BetaDistribution(fit.alpha() * scale, fit.beta() * scale);
+}
+
+}  // namespace
+
+std::string AlgorithmName(const PipelineConfig& config) {
+  if (config.generator == GeneratorKind::kAllPairs &&
+      config.verifier == VerifierKind::kExact) {
+    return "AllPairs";
+  }
+  const std::string gen =
+      config.generator == GeneratorKind::kAllPairs ? "AP" : "LSH";
+  switch (config.verifier) {
+    case VerifierKind::kExact:
+      return "LSH";  // Exact-verification LSH: the paper's plain "LSH".
+    case VerifierKind::kMle:
+      return gen == "LSH" ? "LSH Approx" : "AP+MLE";
+    case VerifierKind::kBayesLsh:
+      return gen + "+BayesLSH";
+    case VerifierKind::kBayesLshLite:
+      return gen + "+BayesLSH-Lite";
+  }
+  return "unknown";
+}
+
+PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
+  PipelineResult result;
+  result.algorithm = AlgorithmName(config);
+  WallTimer total_timer;
+
+  const Measure measure = config.measure;
+  const double t = config.threshold;
+  const BayesLshParams bayes = ResolveBayesParams(config);
+  const uint32_t lite_h = config.lite_max_hashes != 0
+                              ? config.lite_max_hashes
+                              : DefaultLiteHashes(measure);
+  const uint32_t mle_n = config.mle_hashes != 0 ? config.mle_hashes
+                                                : DefaultMleHashes(measure);
+
+  // For binary cosine, AllPairs and SRP operate on the weighted view.
+  // (SRP signs are scale-invariant, so hashing the plain binary rows would
+  // be equivalent; using one view keeps the code paths uniform.)
+  const bool needs_weighted_view = measure == Measure::kBinaryCosine;
+  Dataset weighted_view;
+  const Dataset* cosine_data = &data;
+  if (needs_weighted_view) {
+    weighted_view = BinarizeNormalized(data);
+    cosine_data = &weighted_view;
+  }
+
+  // --- Special case: native exact AllPairs join. ---
+  if (config.generator == GeneratorKind::kAllPairs &&
+      config.verifier == VerifierKind::kExact) {
+    WallTimer timer;
+    if (IsCosineLike(measure)) {
+      result.pairs = AllPairsJoin(*cosine_data, t);
+    } else {
+      result.pairs = PrefixFilterJoin(data, t, Measure::kJaccard);
+    }
+    result.generate_seconds = timer.Seconds();
+    result.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
+  // --- Phase 1: candidate generation. ---
+  const uint64_t gen_seed = GenerationSeed(config.seed);
+  CandidateList candidates;
+  WallTimer gen_timer;
+
+  // Lazily created signature stores (only for the paths that need them).
+  std::shared_ptr<const GaussianSource> gen_gauss, verify_gauss;
+  std::unique_ptr<BitSignatureStore> gen_bits;
+  std::unique_ptr<IntSignatureStore> gen_ints;
+  GaussianSourceCache local_cache(cosine_data->num_dims(), 0);
+  GaussianSourceCache* gauss_cache =
+      config.gaussian_cache != nullptr ? config.gaussian_cache : &local_cache;
+
+  if (config.generator == GeneratorKind::kAllPairs) {
+    if (IsCosineLike(measure)) {
+      candidates = AllPairsCandidates(*cosine_data, t);
+    } else {
+      candidates = PrefixFilterCandidates(data, t, Measure::kJaccard);
+    }
+  } else {
+    if (IsCosineLike(measure)) {
+      gen_gauss = gauss_cache->Get(gen_seed);
+      gen_bits = std::make_unique<BitSignatureStore>(
+          cosine_data, SrpHasher(gen_gauss.get()));
+      candidates = CosineLshCandidates(gen_bits.get(), t, config.banding);
+      result.gen_hashes_computed = gen_bits->bits_computed();
+    } else {
+      gen_ints = std::make_unique<IntSignatureStore>(
+          &data, MinwiseHasher(gen_seed));
+      candidates = JaccardLshCandidates(gen_ints.get(), t, config.banding);
+      result.gen_hashes_computed = gen_ints->hashes_computed();
+    }
+  }
+  result.generate_seconds = gen_timer.Seconds();
+  result.candidates = candidates.size();
+  result.raw_candidates = candidates.raw_emitted;
+
+  // --- Phase 2: verification. ---
+  const uint64_t verify_seed = VerificationSeed(config.seed);
+  WallTimer verify_timer;
+
+  switch (config.verifier) {
+    case VerifierKind::kExact: {
+      result.pairs = ExactVerify(data, candidates.pairs, t, measure);
+      break;
+    }
+    case VerifierKind::kMle: {
+      if (IsCosineLike(measure)) {
+        verify_gauss = gauss_cache->Get(verify_seed);
+        BitSignatureStore store(cosine_data, SrpHasher(verify_gauss.get()));
+        result.pairs = MleVerifyCosine(&store, candidates.pairs, t, mle_n);
+        result.verify_hashes_computed = store.bits_computed();
+      } else {
+        IntSignatureStore store(&data, MinwiseHasher(verify_seed));
+        result.pairs = MleVerifyJaccard(&store, candidates.pairs, t, mle_n);
+        result.verify_hashes_computed = store.hashes_computed();
+      }
+      break;
+    }
+    case VerifierKind::kBayesLsh: {
+      if (IsCosineLike(measure)) {
+        verify_gauss = gauss_cache->Get(verify_seed);
+        BitSignatureStore store(cosine_data, SrpHasher(verify_gauss.get()));
+        const CosinePosterior model(t);
+        result.pairs = BayesLshVerify(model, &store, candidates.pairs, bayes,
+                                      &result.vstats);
+        result.verify_hashes_computed = store.bits_computed();
+      } else {
+        IntSignatureStore store(&data, MinwiseHasher(verify_seed));
+        const JaccardPosterior model(
+            t, FitJaccardPrior(data, candidates, config.prior_sample_size,
+                               config.seed));
+        result.pairs = BayesLshVerify(model, &store, candidates.pairs, bayes,
+                                      &result.vstats);
+        result.verify_hashes_computed = store.hashes_computed();
+      }
+      break;
+    }
+    case VerifierKind::kBayesLshLite: {
+      const uint32_t h = lite_h - lite_h % bayes.hashes_per_round;
+      if (IsCosineLike(measure)) {
+        verify_gauss = gauss_cache->Get(verify_seed);
+        BitSignatureStore store(cosine_data, SrpHasher(verify_gauss.get()));
+        const CosinePosterior model(t);
+        auto exact = [&](uint32_t a, uint32_t b) {
+          return ExactSimilarity(data, a, b, measure);
+        };
+        result.pairs = BayesLshLiteVerify(model, &store, candidates.pairs, h,
+                                          exact, t, bayes, &result.vstats);
+        result.verify_hashes_computed = store.bits_computed();
+      } else {
+        IntSignatureStore store(&data, MinwiseHasher(verify_seed));
+        const JaccardPosterior model(
+            t, FitJaccardPrior(data, candidates, config.prior_sample_size,
+                               config.seed));
+        auto exact = [&](uint32_t a, uint32_t b) {
+          return ExactSimilarity(data, a, b, measure);
+        };
+        result.pairs = BayesLshLiteVerify(model, &store, candidates.pairs, h,
+                                          exact, t, bayes, &result.vstats);
+        result.verify_hashes_computed = store.hashes_computed();
+      }
+      break;
+    }
+  }
+  result.verify_seconds = verify_timer.Seconds();
+
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              return a.a != b.a ? a.a < b.a : a.b < b.b;
+            });
+  result.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace bayeslsh

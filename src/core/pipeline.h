@@ -1,0 +1,105 @@
+// End-to-end all-pairs similarity search pipelines: candidate generation ×
+// verification, covering every algorithm the paper benchmarks.
+//
+//   generator \ verifier |  kExact   |  kMle       |  kBayesLsh     | kBayesLshLite
+//   ---------------------+-----------+-------------+----------------+---------------
+//   kAllPairs            |  AllPairs*|     —       | AP+BayesLSH    | AP+BayesLSH-Lite
+//   kLsh                 |  LSH      | LSH Approx  | LSH+BayesLSH   | LSH+BayesLSH-Lite
+//
+//   * kAllPairs × kExact runs the native AllPairs join (its internal
+//     verification with upper-bound pruning), not generate-then-verify —
+//     matching how the baseline is deployed in the paper.
+//
+// PPJoin+ does not fit the generate/verify split (it is exact and
+// prefix-organized); benchmarks call PpjoinJoin directly.
+//
+// Measure handling: kCosine expects L2-normalized real-valued rows;
+// kJaccard and kBinaryCosine expect binary rows (values ignored). For
+// kBinaryCosine the pipeline internally builds the 1/sqrt(len)-normalized
+// view where AllPairs and SRP need weighted vectors.
+
+#ifndef BAYESLSH_CORE_PIPELINE_H_
+#define BAYESLSH_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "candgen/lsh_banding.h"
+#include "core/bayes_lsh.h"
+#include "lsh/gaussian_source.h"
+#include "sim/brute_force.h"
+#include "sim/similarity.h"
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+enum class GeneratorKind { kAllPairs, kLsh };
+enum class VerifierKind { kExact, kMle, kBayesLsh, kBayesLshLite };
+
+struct PipelineConfig {
+  Measure measure = Measure::kCosine;
+  GeneratorKind generator = GeneratorKind::kAllPairs;
+  VerifierKind verifier = VerifierKind::kBayesLsh;
+  double threshold = 0.7;
+
+  // ε / δ / γ and the per-round hash count for the BayesLSH verifiers.
+  // bayes.hashes_per_round / bayes.max_hashes of 0 select per-measure
+  // defaults (32 / 4096 for cosine bits, 16 / 512 for Jaccard ints).
+  BayesLshParams bayes = {.hashes_per_round = 0, .max_hashes = 0};
+
+  // BayesLSH-Lite hash budget h; 0 selects the paper defaults
+  // (128 cosine / 64 Jaccard).
+  uint32_t lite_max_hashes = 0;
+
+  // Fixed hash count for kMle ("LSH Approx"); 0 selects the paper defaults
+  // (2048 cosine / 360 Jaccard).
+  uint32_t mle_hashes = 0;
+
+  // Candidate generation (kLsh generator).
+  LshBandingParams banding;
+
+  // Jaccard prior: fit Beta by method-of-moments on the exact similarities
+  // of this many randomly sampled candidates (0 = uniform prior).
+  uint32_t prior_sample_size = 300;
+
+  // Master seed; candidate-generation and verification hashes use
+  // independent streams derived from it (see DESIGN.md §6).
+  uint64_t seed = 42;
+
+  // Optional shared Gaussian providers keyed by derived seed, letting a
+  // benchmark reuse quantized tables across pipeline runs. May be null.
+  GaussianSourceCache* gaussian_cache = nullptr;
+};
+
+struct PipelineResult {
+  std::string algorithm;  // e.g. "LSH+BayesLSH".
+  std::vector<ScoredPair> pairs;
+
+  uint64_t candidates = 0;      // After dedup.
+  uint64_t raw_candidates = 0;  // Before dedup (LSH multiplicity).
+
+  double generate_seconds = 0.0;  // Candidate generation (incl. hashing).
+  double verify_seconds = 0.0;    // Verification (incl. lazy hashing).
+  double total_seconds = 0.0;
+
+  uint64_t gen_hashes_computed = 0;     // Banding signature hashes.
+  uint64_t verify_hashes_computed = 0;  // Verification signature hashes.
+
+  VerifyStats vstats;  // Populated by the BayesLSH verifiers.
+};
+
+// Human-readable algorithm name matching the paper's labels.
+std::string AlgorithmName(const PipelineConfig& config);
+
+// Runs one full pipeline on `data` (prepared per the measure conventions
+// above).
+PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config);
+
+// Derived seeds for the two independent hash streams.
+uint64_t GenerationSeed(uint64_t master_seed);
+uint64_t VerificationSeed(uint64_t master_seed);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_PIPELINE_H_

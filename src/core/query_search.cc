@@ -1,0 +1,323 @@
+#include "core/query_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bit_ops.h"
+#include "common/prng.h"
+#include "core/cosine_posterior.h"
+#include "core/jaccard_posterior.h"
+#include "core/pipeline.h"
+#include "lsh/minwise_hasher.h"
+#include "lsh/srp_hasher.h"
+
+namespace bayeslsh {
+
+namespace {
+
+bool CosineLike(Measure m) {
+  return m == Measure::kCosine || m == Measure::kBinaryCosine;
+}
+
+double ExactQuerySimilarity(const Dataset& data, uint32_t row,
+                            const SparseVectorView& q, Measure measure) {
+  const SparseVectorView x = data.Row(row);
+  switch (measure) {
+    case Measure::kCosine:
+      return SparseDot(x, q);  // Query must be pre-normalized.
+    case Measure::kJaccard:
+      return JaccardSimilarity(x, q);
+    case Measure::kBinaryCosine:
+      return BinaryCosineSimilarity(x, q);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+struct QuerySearcher::Impl {
+  const Dataset* data;
+  QuerySearchConfig cfg;
+  uint32_t k = 0;  // Hashes per band.
+  uint32_t l = 0;  // Bands.
+  uint32_t lite_h = 0;
+
+  // Banding (generation-seed) hashers for queries.
+  std::shared_ptr<const GaussianSource> gen_gauss;
+  std::optional<MinwiseHasher> gen_minhash;
+
+  // Verification (verification-seed) hashers + collection stores.
+  std::shared_ptr<const GaussianSource> verify_gauss;
+  std::optional<MinwiseHasher> verify_minhash;
+  mutable std::optional<BitSignatureStore> bits;
+  mutable std::optional<IntSignatureStore> ints;
+
+  // Posterior models + caches (threshold-bound, hence per-searcher).
+  std::optional<CosinePosterior> cos_model;
+  std::optional<JaccardPosterior> jac_model;
+  mutable std::optional<InferenceCache<CosinePosterior>> cos_cache;
+  mutable std::optional<InferenceCache<JaccardPosterior>> jac_cache;
+
+  // Banding buckets: per band, key -> row ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> buckets;
+
+  // Resolved BayesLSH params.
+  BayesLshParams bayes;
+
+  // --- verification of one candidate against the current query ---
+  // Returns true with the similarity in *sim if the candidate is kept.
+  template <typename EnsureQuery, typename MatchRange>
+  bool VerifyCandidate(uint32_t row, const SparseVectorView& q,
+                       const EnsureQuery& ensure_query,
+                       const MatchRange& match_range, QueryStats* stats,
+                       double* sim) const {
+    const uint32_t kk = bayes.hashes_per_round;
+    const uint32_t budget = cfg.exact_verification ? lite_h : bayes.max_hashes;
+    uint32_t m = 0, n = 0;
+    while (n < budget) {
+      ensure_query(n + kk);
+      m += match_range(row, n, n + kk);
+      n += kk;
+      if (stats != nullptr) stats->hashes_compared += kk;
+      const uint32_t min_matches = CosineLike(cfg.measure)
+                                       ? cos_cache->MinMatches(n)
+                                       : jac_cache->MinMatches(n);
+      if (m < min_matches) {
+        if (stats != nullptr) ++stats->pruned;
+        return false;
+      }
+      if (!cfg.exact_verification) {
+        bool concentrated;
+        float estimate;
+        if (CosineLike(cfg.measure)) {
+          const auto er = cos_cache->EstimateAt(m, n);
+          concentrated = er.concentrated;
+          estimate = er.estimate;
+        } else {
+          const auto er = jac_cache->EstimateAt(m, n);
+          concentrated = er.concentrated;
+          estimate = er.estimate;
+        }
+        if (concentrated) {
+          *sim = estimate;
+          return true;
+        }
+      }
+    }
+    if (cfg.exact_verification) {
+      const double s = ExactQuerySimilarity(*data, row, q, cfg.measure);
+      if (s >= cfg.threshold) {
+        *sim = s;
+        return true;
+      }
+      return false;
+    }
+    // Estimation mode, budget exhausted: forced accept (cf. Algorithm 1).
+    *sim = CosineLike(cfg.measure)
+               ? cos_model->Estimate(static_cast<int>(m), static_cast<int>(n))
+               : jac_model->Estimate(static_cast<int>(m), static_cast<int>(n));
+    return true;
+  }
+};
+
+QuerySearcher::QuerySearcher(const Dataset* data,
+                             const QuerySearchConfig& config)
+    : impl_(std::make_unique<Impl>()) {
+  assert(data != nullptr);
+  Impl& im = *impl_;
+  im.data = data;
+  im.cfg = config;
+
+  const bool cosine = CosineLike(config.measure);
+  im.bayes = config.bayes;
+  if (im.bayes.hashes_per_round == 0) im.bayes.hashes_per_round = cosine ? 32 : 16;
+  if (im.bayes.max_hashes == 0) im.bayes.max_hashes = cosine ? 4096 : 512;
+  im.bayes.max_hashes -= im.bayes.max_hashes % im.bayes.hashes_per_round;
+  im.lite_h = config.lite_max_hashes != 0 ? config.lite_max_hashes
+                                          : (cosine ? 128u : 64u);
+  im.lite_h -= im.lite_h % im.bayes.hashes_per_round;
+  if (im.lite_h == 0) im.lite_h = im.bayes.hashes_per_round;
+
+  // Banding shape.
+  im.k = config.banding.hashes_per_band != 0
+             ? config.banding.hashes_per_band
+             : (cosine ? kDefaultCosineBandBits : kDefaultJaccardBandInts);
+  const double p = cosine ? CosineToSrpR(config.threshold) : config.threshold;
+  im.l = config.banding.num_bands != 0
+             ? config.banding.num_bands
+             : DeriveNumBands(p, im.k, config.banding.expected_fn_rate,
+                              config.banding.max_bands);
+  num_bands_ = im.l;
+  hashes_per_band_ = im.k;
+
+  const uint64_t gen_seed = GenerationSeed(config.seed);
+  const uint64_t verify_seed = VerificationSeed(config.seed);
+
+  // Models and caches.
+  if (cosine) {
+    im.cos_model.emplace(config.threshold);
+    im.cos_cache.emplace(&*im.cos_model, im.bayes.hashes_per_round,
+                         config.exact_verification ? im.lite_h
+                                                   : im.bayes.max_hashes,
+                         im.bayes.epsilon, im.bayes.delta, im.bayes.gamma);
+    im.gen_gauss = std::make_shared<ImplicitGaussianSource>(gen_seed);
+    im.verify_gauss = std::make_shared<ImplicitGaussianSource>(verify_seed);
+    im.bits.emplace(data, SrpHasher(im.verify_gauss.get()));
+  } else {
+    im.jac_model.emplace(config.threshold);  // Uniform prior in query mode.
+    im.jac_cache.emplace(&*im.jac_model, im.bayes.hashes_per_round,
+                         config.exact_verification ? im.lite_h
+                                                   : im.bayes.max_hashes,
+                         im.bayes.epsilon, im.bayes.delta, im.bayes.gamma);
+    im.gen_minhash.emplace(gen_seed);
+    im.verify_minhash.emplace(verify_seed);
+    im.ints.emplace(data, MinwiseHasher(verify_seed));
+  }
+
+  // Build the banding buckets over the collection with the generation-seed
+  // hashes (a separate, throwaway store: banding hashes are not reused for
+  // verification; see DESIGN.md §6).
+  im.buckets.resize(im.l);
+  const uint32_t n = data->num_vectors();
+  if (cosine) {
+    BitSignatureStore gen_store(data, SrpHasher(im.gen_gauss.get()));
+    gen_store.EnsureAllBits(im.l * im.k);
+    for (uint32_t band = 0; band < im.l; ++band) {
+      for (uint32_t row = 0; row < n; ++row) {
+        if (data->RowLength(row) == 0) continue;
+        const uint64_t key =
+            ExtractBits(gen_store.Words(row), band * im.k, im.k);
+        im.buckets[band][key].push_back(row);
+      }
+    }
+  } else {
+    IntSignatureStore gen_store(data, MinwiseHasher(gen_seed));
+    gen_store.EnsureAllHashes(im.l * im.k);
+    for (uint32_t band = 0; band < im.l; ++band) {
+      for (uint32_t row = 0; row < n; ++row) {
+        if (data->RowLength(row) == 0) continue;
+        const uint32_t* h = gen_store.Hashes(row) + band * im.k;
+        uint64_t key = Mix64(0x5ba3d9be1e4fULL, band);
+        for (uint32_t i = 0; i < im.k; ++i) key = Mix64(key, h[i]);
+        im.buckets[band][key].push_back(row);
+      }
+    }
+  }
+}
+
+QuerySearcher::~QuerySearcher() = default;
+
+std::vector<QueryMatch> QuerySearcher::Query(const SparseVectorView& q,
+                                             QueryStats* stats) const {
+  Impl& im = *impl_;
+  std::vector<QueryMatch> out;
+  if (q.empty()) return out;
+
+  // 1. Collect candidates from the buckets the query falls into.
+  std::vector<uint32_t> candidates;
+  if (CosineLike(im.cfg.measure)) {
+    const SrpHasher hasher(im.gen_gauss.get());
+    std::vector<uint64_t> qwords(WordsForBits(im.l * im.k));
+    for (uint32_t c = 0; c < qwords.size(); ++c) {
+      qwords[c] = hasher.HashChunk(q, c);
+    }
+    for (uint32_t band = 0; band < im.l; ++band) {
+      const uint64_t key = ExtractBits(qwords.data(), band * im.k, im.k);
+      const auto it = im.buckets[band].find(key);
+      if (it == im.buckets[band].end()) continue;
+      candidates.insert(candidates.end(), it->second.begin(),
+                        it->second.end());
+    }
+  } else {
+    const uint32_t chunks =
+        (im.l * im.k + kMinhashChunkInts - 1) / kMinhashChunkInts;
+    std::vector<uint32_t> qints(chunks * kMinhashChunkInts);
+    for (uint32_t c = 0; c < chunks; ++c) {
+      im.gen_minhash->HashChunk(q, c, qints.data() + c * kMinhashChunkInts);
+    }
+    for (uint32_t band = 0; band < im.l; ++band) {
+      uint64_t key = Mix64(0x5ba3d9be1e4fULL, band);
+      for (uint32_t i = 0; i < im.k; ++i) {
+        key = Mix64(key, qints[band * im.k + i]);
+      }
+      const auto it = im.buckets[band].find(key);
+      if (it == im.buckets[band].end()) continue;
+      candidates.insert(candidates.end(), it->second.begin(),
+                        it->second.end());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (stats != nullptr) {
+    *stats = QueryStats{};
+    stats->candidates = candidates.size();
+  }
+
+  // 2. Verify each candidate with incremental Bayesian pruning, using
+  //    verification-seed hashes (independent of the banding hashes).
+  if (CosineLike(im.cfg.measure)) {
+    const SrpHasher vhasher(im.verify_gauss.get());
+    std::vector<uint64_t> qbits;
+    auto ensure_query = [&](uint32_t n_bits) {
+      while (qbits.size() < WordsForBits(n_bits)) {
+        qbits.push_back(
+            vhasher.HashChunk(q, static_cast<uint32_t>(qbits.size())));
+      }
+    };
+    auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+      im.bits->EnsureBits(row, to);
+      return MatchingBits(qbits.data(), im.bits->Words(row), from, to);
+    };
+    for (uint32_t row : candidates) {
+      double sim = 0.0;
+      if (im.VerifyCandidate(row, q, ensure_query, match_range, stats,
+                             &sim)) {
+        out.push_back({row, sim});
+      }
+    }
+  } else {
+    std::vector<uint32_t> qints;
+    auto ensure_query = [&](uint32_t n_hashes) {
+      while (qints.size() < n_hashes) {
+        const auto chunk = static_cast<uint32_t>(qints.size()) /
+                           kMinhashChunkInts;
+        qints.resize(qints.size() + kMinhashChunkInts);
+        im.verify_minhash->HashChunk(
+            q, chunk, qints.data() + chunk * kMinhashChunkInts);
+      }
+    };
+    auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+      im.ints->EnsureHashes(row, to);
+      const uint32_t* h = im.ints->Hashes(row);
+      uint32_t m = 0;
+      for (uint32_t i = from; i < to; ++i) m += (h[i] == qints[i]);
+      return m;
+    };
+    for (uint32_t row : candidates) {
+      double sim = 0.0;
+      if (im.VerifyCandidate(row, q, ensure_query, match_range, stats,
+                             &sim)) {
+        out.push_back({row, sim});
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const QueryMatch& a,
+                                       const QueryMatch& b) {
+    return a.sim != b.sim ? a.sim > b.sim : a.id < b.id;
+  });
+  return out;
+}
+
+std::vector<QueryMatch> QuerySearcher::QueryTopK(const SparseVectorView& q,
+                                                 uint32_t k,
+                                                 QueryStats* stats) const {
+  std::vector<QueryMatch> all = Query(q, stats);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,95 @@
+// Query-mode similarity search: the general problem of paper §1 ("given a
+// query object q, retrieve all objects from D with s(x, q) > t"), as
+// opposed to the all-pairs self-join the benchmarks focus on.
+//
+// An index is built once over the collection (LSH banding buckets plus the
+// lazy signature store); each query is then hashed, probed against the
+// buckets, and its candidates are verified with BayesLSH — so the paper's
+// pruning machinery amortizes across queries exactly as it does across
+// pairs in the self-join. Supports threshold queries and top-k (top-k is
+// implemented as a threshold query with a similarity-ordered cut, the
+// standard adaptation).
+//
+// Queries do not mutate the index and may use vectors not present in the
+// collection. Like the rest of the library, single-threaded by design; one
+// searcher per thread is the intended concurrency model.
+
+#ifndef BAYESLSH_CORE_QUERY_SEARCH_H_
+#define BAYESLSH_CORE_QUERY_SEARCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "candgen/lsh_banding.h"
+#include "core/bayes_lsh.h"
+#include "lsh/gaussian_source.h"
+#include "lsh/signature_store.h"
+#include "sim/similarity.h"
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+struct QuerySearchConfig {
+  Measure measure = Measure::kCosine;
+  double threshold = 0.7;
+
+  // Verification: BayesLSH estimation by default; exact verification of
+  // unpruned candidates (the Lite behaviour) if true.
+  bool exact_verification = false;
+
+  BayesLshParams bayes;          // hashes_per_round/max_hashes 0 = defaults.
+  uint32_t lite_max_hashes = 0;  // 0 = measure default (128 / 64).
+  LshBandingParams banding;      // Index shape; num_bands 0 = derive.
+  uint64_t seed = 42;
+};
+
+// One query result.
+struct QueryMatch {
+  uint32_t id = 0;    // Row in the indexed collection.
+  double sim = 0.0;   // Estimate (or exact value with exact_verification).
+
+  friend bool operator==(const QueryMatch&, const QueryMatch&) = default;
+};
+
+struct QueryStats {
+  uint64_t candidates = 0;
+  uint64_t pruned = 0;
+  uint64_t hashes_compared = 0;
+};
+
+// Threshold / top-k search over a fixed collection.
+//
+// The collection must follow the measure conventions of sim/similarity.h
+// (kCosine: L2-normalized rows; kJaccard/kBinaryCosine: binary rows) and
+// must outlive the searcher.
+class QuerySearcher {
+ public:
+  QuerySearcher(const Dataset* data, const QuerySearchConfig& config);
+  ~QuerySearcher();
+
+  QuerySearcher(const QuerySearcher&) = delete;
+  QuerySearcher& operator=(const QuerySearcher&) = delete;
+
+  // All collection rows x with s(x, q) >= threshold (subject to the
+  // BayesLSH guarantees), sorted by decreasing similarity.
+  std::vector<QueryMatch> Query(const SparseVectorView& q,
+                                QueryStats* stats = nullptr) const;
+
+  // The k most similar rows among those reaching the threshold; ties by id.
+  std::vector<QueryMatch> QueryTopK(const SparseVectorView& q, uint32_t k,
+                                    QueryStats* stats = nullptr) const;
+
+  uint32_t num_bands() const { return num_bands_; }
+  uint32_t hashes_per_band() const { return hashes_per_band_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  uint32_t num_bands_ = 0;
+  uint32_t hashes_per_band_ = 0;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_QUERY_SEARCH_H_

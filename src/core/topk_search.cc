@@ -1,0 +1,66 @@
+#include "core/topk_search.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/timer.h"
+#include "sim/similarity.h"
+
+namespace bayeslsh {
+
+std::vector<ScoredPair> TopKAllPairs(const Dataset& data,
+                                     const TopKConfig& config,
+                                     TopKStats* stats) {
+  assert(config.k > 0);
+  assert(config.floor_threshold > 0.0 && config.floor_threshold < 1.0);
+  assert(config.start_threshold >= config.floor_threshold);
+  assert(config.decay > 0.0 && config.decay < 1.0);
+
+  WallTimer timer;
+  TopKStats local;
+
+  PipelineConfig run;
+  run.measure = config.measure;
+  run.generator = config.generator;
+  // Estimation-mode verification: the descent only needs "enough pairs",
+  // and the survivors get exact similarities below anyway.
+  run.verifier = VerifierKind::kBayesLsh;
+  run.bayes = config.bayes;
+  run.banding = config.banding;
+  run.seed = config.seed;
+  run.gaussian_cache = config.gaussian_cache;
+
+  std::vector<ScoredPair> survivors;
+  double t = config.start_threshold;
+  while (true) {
+    run.threshold = t;
+    PipelineResult result = RunPipeline(data, run);
+    ++local.iterations;
+    local.final_threshold = t;
+    local.candidates = result.candidates;
+    survivors = std::move(result.pairs);
+    if (survivors.size() >= config.k || t <= config.floor_threshold) break;
+    t = std::max(config.floor_threshold, t * config.decay);
+  }
+
+  // Exact similarities for the survivors; the estimate-based pipeline
+  // output may include pairs below the floor (δ slack) — drop those.
+  std::vector<ScoredPair> exact;
+  exact.reserve(survivors.size());
+  for (const ScoredPair& p : survivors) {
+    const double s = ExactSimilarity(data, p.a, p.b, config.measure);
+    if (s >= config.floor_threshold) exact.push_back({p.a, p.b, s});
+  }
+  std::sort(exact.begin(), exact.end(),
+            [](const ScoredPair& x, const ScoredPair& y) {
+              if (x.sim != y.sim) return x.sim > y.sim;
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  if (exact.size() > config.k) exact.resize(config.k);
+
+  local.total_seconds = timer.Seconds();
+  if (stats != nullptr) *stats = local;
+  return exact;
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,145 @@
+#include "data/paper_datasets.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "data/graph_generator.h"
+#include "data/text_generator.h"
+#include "vec/transforms.h"
+
+namespace bayeslsh {
+
+std::vector<PaperDataset> AllPaperDatasets() {
+  return {PaperDataset::kRcv1,      PaperDataset::kWikiWords100k,
+          PaperDataset::kWikiWords500k, PaperDataset::kWikiLinks,
+          PaperDataset::kOrkut,     PaperDataset::kTwitter};
+}
+
+std::vector<PaperDataset> BinaryExperimentDatasets() {
+  return {PaperDataset::kWikiWords500k, PaperDataset::kOrkut,
+          PaperDataset::kTwitter};
+}
+
+std::string PaperDatasetName(PaperDataset which) {
+  switch (which) {
+    case PaperDataset::kRcv1:
+      return "RCV1-like";
+    case PaperDataset::kWikiWords100k:
+      return "WikiWords100K-like";
+    case PaperDataset::kWikiWords500k:
+      return "WikiWords500K-like";
+    case PaperDataset::kWikiLinks:
+      return "WikiLinks-like";
+    case PaperDataset::kOrkut:
+      return "Orkut-like";
+    case PaperDataset::kTwitter:
+      return "Twitter-like";
+  }
+  return "unknown";
+}
+
+bool IsGraphShaped(PaperDataset which) {
+  switch (which) {
+    case PaperDataset::kWikiLinks:
+    case PaperDataset::kOrkut:
+    case PaperDataset::kTwitter:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+uint32_t Scaled(uint32_t base, double scale) {
+  const double v = std::round(base * scale);
+  return v < 64.0 ? 64u : static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Dataset MakeRawPaperDataset(PaperDataset which, double scale, uint64_t seed) {
+  assert(scale > 0.0);
+  switch (which) {
+    case PaperDataset::kRcv1: {
+      TextCorpusConfig c;
+      c.num_docs = Scaled(4500, scale);
+      c.vocab_size = 12000;
+      c.avg_doc_len = 76.0;
+      c.doc_len_sigma = 0.5;
+      c.num_clusters = Scaled(220, scale);
+      c.cluster_size = 4;
+      c.seed = seed;
+      return GenerateTextCorpus(c);
+    }
+    case PaperDataset::kWikiWords100k: {
+      // Long documents (paper avg 786); dimensionality well above doc count.
+      TextCorpusConfig c;
+      c.num_docs = Scaled(2000, scale);
+      c.vocab_size = 30000;
+      c.avg_doc_len = 400.0;
+      c.doc_len_sigma = 0.35;
+      c.num_clusters = Scaled(120, scale);
+      c.cluster_size = 4;
+      c.seed = seed + 1;
+      return GenerateTextCorpus(c);
+    }
+    case PaperDataset::kWikiWords500k: {
+      TextCorpusConfig c;
+      c.num_docs = Scaled(6000, scale);
+      c.vocab_size = 30000;
+      c.avg_doc_len = 200.0;
+      c.doc_len_sigma = 0.4;
+      c.num_clusters = Scaled(280, scale);
+      c.cluster_size = 4;
+      c.seed = seed + 2;
+      return GenerateTextCorpus(c);
+    }
+    case PaperDataset::kWikiLinks: {
+      // Short vectors, very skewed lengths: AllPairs territory.
+      GraphConfig c;
+      c.num_nodes = Scaled(9000, scale);
+      c.avg_degree = 24.0;
+      c.degree_sigma = 0.9;
+      c.num_communities = Scaled(400, scale);
+      c.community_size = 4;
+      c.seed = seed + 3;
+      return GenerateGraphAdjacency(c);
+    }
+    case PaperDataset::kOrkut: {
+      GraphConfig c;
+      c.num_nodes = Scaled(9000, scale);
+      c.avg_degree = 76.0;
+      c.degree_sigma = 0.8;
+      c.num_communities = Scaled(400, scale);
+      c.community_size = 4;
+      c.seed = seed + 4;
+      return GenerateGraphAdjacency(c);
+    }
+    case PaperDataset::kTwitter: {
+      // Few users, very long follow vectors (paper avg 1369).
+      GraphConfig c;
+      c.num_nodes = Scaled(2400, scale);
+      c.avg_degree = 500.0;
+      c.degree_sigma = 0.5;
+      c.num_communities = Scaled(150, scale);
+      c.community_size = 4;
+      c.seed = seed + 5;
+      return GenerateGraphAdjacency(c);
+    }
+  }
+  return Dataset();
+}
+
+Dataset MakeWeightedPaperDataset(PaperDataset which, double scale,
+                                 uint64_t seed) {
+  return L2NormalizeRows(
+      TfIdfTransform(MakeRawPaperDataset(which, scale, seed)));
+}
+
+Dataset MakeBinaryPaperDataset(PaperDataset which, double scale,
+                               uint64_t seed) {
+  return Binarize(MakeRawPaperDataset(which, scale, seed));
+}
+
+}  // namespace bayeslsh

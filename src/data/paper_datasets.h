@@ -1,0 +1,67 @@
+// Scaled stand-ins for the paper's six evaluation datasets (Table 1).
+//
+// Each config preserves the *shape* that drives algorithm behaviour —
+// text-like (long weighted vectors, vocabulary dims) vs graph-like (short
+// skewed vectors, dim == #nodes, high length variance) — at a size where the
+// full benchmark suite, including the slowest exact baselines, runs in
+// minutes on one core. See DESIGN.md §2 for the substitution argument.
+//
+//   paper dataset     vectors    avg len   our default (scale = 1)
+//   RCV1              804,414        76    4,500 docs   × ~55 unique terms
+//   WikiWords100K     100,528       786    2,000 docs   × ~230
+//   WikiWords500K     494,244       398    6,000 docs   × ~130
+//   WikiLinks       1,815,914        24    9,000 nodes  × ~24
+//   Orkut           3,072,626        76    9,000 nodes  × ~75
+//   Twitter           146,170     1,369    2,400 nodes  × ~480
+//
+// The `scale` parameter multiplies the vector count for users with more
+// patience.
+
+#ifndef BAYESLSH_DATA_PAPER_DATASETS_H_
+#define BAYESLSH_DATA_PAPER_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+enum class PaperDataset {
+  kRcv1,
+  kWikiWords100k,
+  kWikiWords500k,
+  kWikiLinks,
+  kOrkut,
+  kTwitter,
+};
+
+// All six, in the paper's Table 1 order.
+std::vector<PaperDataset> AllPaperDatasets();
+
+// The three largest (by non-zeros), used for the binary experiments
+// (Figure 3(g)-(l)): WikiWords500K, Orkut, Twitter.
+std::vector<PaperDataset> BinaryExperimentDatasets();
+
+std::string PaperDatasetName(PaperDataset which);
+
+// True for the graph-shaped datasets (WikiLinks, Orkut, Twitter).
+bool IsGraphShaped(PaperDataset which);
+
+// Raw dataset (term counts for text, binary adjacency for graphs).
+Dataset MakeRawPaperDataset(PaperDataset which, double scale = 1.0,
+                            uint64_t seed = 1234);
+
+// Tf-idf weighted + L2-normalized — ready for Measure::kCosine, matching
+// the paper's weighted experiments.
+Dataset MakeWeightedPaperDataset(PaperDataset which, double scale = 1.0,
+                                 uint64_t seed = 1234);
+
+// Binarized — ready for kJaccard / kBinaryCosine.
+Dataset MakeBinaryPaperDataset(PaperDataset which, double scale = 1.0,
+                               uint64_t seed = 1234);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_DATA_PAPER_DATASETS_H_

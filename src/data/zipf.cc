@@ -1,0 +1,33 @@
+#include "data/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bayeslsh {
+
+ZipfSampler::ZipfSampler(uint32_t n, double exponent) {
+  assert(n >= 1);
+  assert(exponent >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against rounding.
+}
+
+uint32_t ZipfSampler::Sample(Xoshiro256StarStar& rng) const {
+  const double u = rng.NextUnit();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(uint32_t k) const {
+  assert(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,39 @@
+// Zipf-distributed sampling over {0, ..., n-1}: rank k is drawn with
+// probability proportional to 1 / (k+1)^s.
+//
+// Zipfian feature frequencies are the statistical property of text corpora
+// (and of graph in-degrees) that drives the behaviour of every algorithm in
+// this library: prefix filters key on rare features, AllPairs on
+// document-frequency ordering, LSH bucket sizes on feature skew. The
+// synthetic corpora are built on this sampler.
+
+#ifndef BAYESLSH_DATA_ZIPF_H_
+#define BAYESLSH_DATA_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace bayeslsh {
+
+class ZipfSampler {
+ public:
+  // n >= 1 ranks; exponent s >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(uint32_t n, double exponent);
+
+  // Draws one rank in [0, n).
+  uint32_t Sample(Xoshiro256StarStar& rng) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(cdf_.size()); }
+
+  // Probability of rank k.
+  double Probability(uint32_t k) const;
+
+ private:
+  std::vector<double> cdf_;  // Normalized cumulative weights.
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_DATA_ZIPF_H_

@@ -1,0 +1,81 @@
+#include "euclidean/distance_posterior.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "euclidean/pstable_hasher.h"
+
+namespace bayeslsh {
+
+EuclideanPosterior::EuclideanPosterior(double radius, double width,
+                                       double max_distance,
+                                       uint32_t grid_size)
+    : radius_(radius), width_(width), max_distance_(max_distance) {
+  assert(radius > 0.0 && width > 0.0);
+  assert(max_distance > radius);
+  assert(grid_size >= 16);
+  centers_.resize(grid_size);
+  log_p_.resize(grid_size);
+  log_1mp_.resize(grid_size);
+  const double cell = max_distance_ / grid_size;
+  for (uint32_t i = 0; i < grid_size; ++i) {
+    const double c = (i + 0.5) * cell;
+    centers_[i] = c;
+    // Clamp collision probabilities away from {0, 1} so both logs are
+    // finite: the clamp (1e-12) is far below any resolvable posterior mass.
+    const double p =
+        std::clamp(PstableCollisionProb(c, width_), 1e-12, 1.0 - 1e-12);
+    log_p_[i] = std::log(p);
+    log_1mp_[i] = std::log1p(-p);
+  }
+}
+
+double EuclideanPosterior::PosteriorMass(int m, int n, double lo,
+                                         double hi) const {
+  assert(m >= 0 && m <= n);
+  // Log-likelihood per cell under the uniform prior; normalize by the
+  // running maximum to avoid underflow at large n.
+  double log_max = -std::numeric_limits<double>::infinity();
+  const size_t g = centers_.size();
+  // First pass: find the maximum log-likelihood.
+  for (size_t i = 0; i < g; ++i) {
+    const double ll = m * log_p_[i] + (n - m) * log_1mp_[i];
+    if (ll > log_max) log_max = ll;
+  }
+  double total = 0.0, inside = 0.0;
+  for (size_t i = 0; i < g; ++i) {
+    const double ll = m * log_p_[i] + (n - m) * log_1mp_[i];
+    const double weight = std::exp(ll - log_max);
+    total += weight;
+    if (centers_[i] >= lo && centers_[i] <= hi) inside += weight;
+  }
+  return total > 0.0 ? std::clamp(inside / total, 0.0, 1.0) : 0.0;
+}
+
+double EuclideanPosterior::ProbAboveThreshold(int m, int n) const {
+  return PosteriorMass(m, n, 0.0, radius_);
+}
+
+double EuclideanPosterior::Estimate(int m, int n) const {
+  assert(m >= 0 && m <= n);
+  double best = -std::numeric_limits<double>::infinity();
+  double arg = centers_.back();
+  for (size_t i = 0; i < centers_.size(); ++i) {
+    const double ll = m * log_p_[i] + (n - m) * log_1mp_[i];
+    if (ll > best) {
+      best = ll;
+      arg = centers_[i];
+    }
+  }
+  return arg;
+}
+
+double EuclideanPosterior::Concentration(int m, int n, double delta) const {
+  assert(delta > 0.0);
+  const double c_hat = Estimate(m, n);
+  return PosteriorMass(m, n, c_hat - delta, c_hat + delta);
+}
+
+}  // namespace bayeslsh

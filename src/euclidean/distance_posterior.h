@@ -1,0 +1,85 @@
+// Bayesian posterior over Euclidean distance from p-stable hash-match
+// counts — the inferential core of the paper's second future-work item
+// ("a BayesLSH-Lite analogue ... for nearest neighbor retrieval for
+// Euclidean distances", §6).
+//
+// The observable is the p-stable collision rate p(c) of
+// euclidean/pstable_hasher.h, a known monotone-decreasing function of the
+// distance c. Observing m matches in n hashes gives the likelihood
+//
+//     L(c) = p(c)^m (1 - p(c))^{n-m}.
+//
+// Unlike the Jaccard (conjugate Beta) and cosine/b-bit (truncated Beta)
+// cases, p(c) is not an affine map of the parameter, so there is no
+// incomplete-beta closed form; following the paper's general recipe (§4:
+// "plugging in ... a suitable prior") we take a uniform prior over
+// c ∈ [0, c_max] and integrate numerically on a fixed grid. The grid is
+// small (default 512 points) and every quantity the engine needs is cached
+// by (m, n) through InferenceCache, so the numerics are off the hot path —
+// the same economics as §4.3.
+//
+// To keep the PosteriorModel concept (ProbAboveThreshold / Estimate /
+// Concentration) intact — "above threshold" meaning "is a true positive" —
+// the model is phrased in terms of *proximity*: a true positive is a pair
+// with distance at most the query radius, so
+//
+//     ProbAboveThreshold(m, n) = Pr[C <= radius | M(m, n)],
+//
+// monotone non-decreasing in m (more collisions → closer), which is what
+// the minMatches binary search requires. Estimate() returns the MAP
+// distance; Concentration() is the posterior mass within ±delta of it.
+
+#ifndef BAYESLSH_EUCLIDEAN_DISTANCE_POSTERIOR_H_
+#define BAYESLSH_EUCLIDEAN_DISTANCE_POSTERIOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bayeslsh {
+
+class EuclideanPosterior {
+ public:
+  // radius: the query radius defining a true positive (> 0).
+  // width:  the p-stable bucket width w of the hasher observed.
+  // max_distance: upper end of the uniform prior's support; distances are
+  //   only resolved inside [0, max_distance], anything farther collapses
+  //   onto the boundary (and is pruned long before that matters). A
+  //   multiple of the radius — 8x by default via MakeForRadius — is ample.
+  // grid_size: number of quadrature cells.
+  EuclideanPosterior(double radius, double width, double max_distance,
+                     uint32_t grid_size = 512);
+
+  // Convenience: prior support [0, 8 * radius].
+  static EuclideanPosterior MakeForRadius(double radius, double width) {
+    return EuclideanPosterior(radius, width, 8.0 * radius);
+  }
+
+  double radius() const { return radius_; }
+  double width() const { return width_; }
+  double max_distance() const { return max_distance_; }
+
+  // Pr[C <= radius | m of n hashes matched]; monotone non-decreasing in m.
+  double ProbAboveThreshold(int m, int n) const;
+
+  // MAP distance estimate (grid-resolution accuracy).
+  double Estimate(int m, int n) const;
+
+  // Pr[|C - Estimate(m, n)| < delta | M(m, n)] — delta in distance units.
+  double Concentration(int m, int n, double delta) const;
+
+ private:
+  // Normalized posterior mass of the grid cells whose centers lie in
+  // [lo, hi].
+  double PosteriorMass(int m, int n, double lo, double hi) const;
+
+  double radius_;
+  double width_;
+  double max_distance_;
+  std::vector<double> centers_;    // Grid cell centers.
+  std::vector<double> log_p_;      // log p(c_i).
+  std::vector<double> log_1mp_;    // log(1 - p(c_i)).
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_EUCLIDEAN_DISTANCE_POSTERIOR_H_

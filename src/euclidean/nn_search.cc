@@ -1,0 +1,318 @@
+#include "euclidean/nn_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <unordered_map>
+
+#include "candgen/candidates.h"
+#include "candgen/lsh_banding.h"
+#include "common/bit_ops.h"
+#include "common/prng.h"
+#include "core/inference_cache_impl.h"
+#include "euclidean/distance_posterior.h"
+#include "euclidean/pstable_hasher.h"
+
+namespace bayeslsh {
+
+// The Euclidean model rides the same cache as the similarity posteriors.
+template class InferenceCache<EuclideanPosterior>;
+
+namespace {
+
+// Resolved configuration shared by the join and the searcher.
+struct Resolved {
+  double width;
+  uint32_t band_k;
+  uint32_t num_bands;
+  uint32_t max_prune_hashes;
+};
+
+Resolved ResolveConfig(const EuclideanSearchConfig& config) {
+  Resolved r;
+  r.width = config.bucket_width > 0.0 ? config.bucket_width
+                                      : 2.0 * config.radius;
+  r.band_k = config.hashes_per_band != 0 ? config.hashes_per_band : 4;
+  const double p_at_radius = PstableCollisionProb(config.radius, r.width);
+  r.num_bands = config.num_bands != 0
+                    ? config.num_bands
+                    : DeriveNumBands(p_at_radius, r.band_k,
+                                     config.expected_fn_rate,
+                                     config.max_bands);
+  // Round the pruning budget up to whole rounds.
+  const uint32_t k = config.hashes_per_round;
+  r.max_prune_hashes =
+      (config.max_prune_hashes + k - 1) / k * k;
+  return r;
+}
+
+// Collapses k consecutive hash ints into one bucket key.
+uint64_t BandKey(const int32_t* hashes, uint32_t k, uint32_t band) {
+  uint64_t key = Mix64(0xecb4dULL, band);
+  for (uint32_t i = 0; i < k; ++i) {
+    key = Mix64(key, static_cast<uint64_t>(static_cast<uint32_t>(hashes[i])));
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<DistancePair> BruteForceRadiusJoin(const Dataset& data,
+                                               double radius) {
+  std::vector<DistancePair> out;
+  const uint32_t n = data.num_vectors();
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      const double d = SparseEuclideanDistance(data.Row(i), data.Row(j));
+      if (d <= radius) out.push_back({i, j, d});
+    }
+  }
+  return out;
+}
+
+std::vector<DistancePair> EuclideanRadiusJoin(
+    const Dataset& data, const EuclideanSearchConfig& config,
+    EuclideanSearchStats* stats) {
+  const Resolved r = ResolveConfig(config);
+  EuclideanSearchStats local;
+
+  // Gaussian components come from the paper's §4.3 quantized tables: deep
+  // per-point hashing would otherwise pay an inverse-CDF per component.
+  const uint64_t band_seed = Mix64(config.seed, 0x6e);
+  const uint64_t verify_seed = Mix64(config.seed, 0xe5);
+  const QuantizedGaussianStore band_gaussians(
+      band_seed, data.num_dims(), r.num_bands * r.band_k);
+  const QuantizedGaussianStore verify_gaussians(
+      verify_seed, data.num_dims(), r.max_prune_hashes);
+
+  // Candidate generation: banding over an independent hash stream.
+  PstableSignatureStore band_store(
+      &data, PstableHasher(&band_gaussians, band_seed, r.width));
+  band_store.EnsureAllHashes(r.num_bands * r.band_k);
+  std::vector<uint64_t> keys;
+  {
+    std::vector<std::pair<uint64_t, uint32_t>> entries;
+    entries.reserve(data.num_vectors());
+    for (uint32_t band = 0; band < r.num_bands; ++band) {
+      entries.clear();
+      for (uint32_t row = 0; row < data.num_vectors(); ++row) {
+        entries.emplace_back(
+            BandKey(band_store.Hashes(row) + band * r.band_k, r.band_k,
+                    band),
+            row);
+      }
+      std::sort(entries.begin(), entries.end());
+      size_t i = 0;
+      while (i < entries.size()) {
+        size_t j = i + 1;
+        while (j < entries.size() && entries[j].first == entries[i].first) {
+          ++j;
+        }
+        for (size_t a = i; a < j; ++a) {
+          for (size_t b = a + 1; b < j; ++b) {
+            const uint32_t ra = entries[a].second, rb = entries[b].second;
+            keys.push_back(ra < rb ? PairKey(ra, rb) : PairKey(rb, ra));
+          }
+        }
+        i = j;
+      }
+    }
+  }
+  const CandidateList cands = DedupPairKeys(std::move(keys));
+  local.candidates = cands.size();
+
+  // Pruning + exact verification. max_prune_hashes == 0 runs the classic
+  // E2LSH pipeline (exact distance for every candidate).
+  const EuclideanPosterior model =
+      EuclideanPosterior::MakeForRadius(config.radius, r.width);
+  std::optional<InferenceCache<EuclideanPosterior>> cache;
+  if (r.max_prune_hashes > 0) {
+    cache.emplace(&model, config.hashes_per_round, r.max_prune_hashes,
+                  config.epsilon, /*delta=*/0.05, /*gamma=*/0.05);
+  }
+  PstableSignatureStore verify_store(
+      &data, PstableHasher(&verify_gaussians, verify_seed, r.width));
+
+  std::vector<DistancePair> out;
+  const uint32_t rounds = r.max_prune_hashes / config.hashes_per_round;
+  for (const auto& [a, b] : cands.pairs) {
+    uint32_t m = 0, n = 0;
+    bool pruned = false;
+    for (uint32_t round = 0; round < rounds; ++round) {
+      m += verify_store.MatchCount(a, b, n, n + config.hashes_per_round);
+      n += config.hashes_per_round;
+      local.hashes_compared += config.hashes_per_round;
+      if (m < cache->MinMatches(n)) {
+        ++local.pruned;
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) continue;
+    ++local.exact_computed;
+    const double d = SparseEuclideanDistance(data.Row(a), data.Row(b));
+    if (d <= config.radius) out.push_back({a, b, d});
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Indexed query mode
+// ---------------------------------------------------------------------------
+
+struct EuclideanNnSearcher::Impl {
+  const Dataset* data;
+  EuclideanSearchConfig config;
+  Resolved resolved;
+
+  // §4.3 quantized Gaussian tables backing both hash streams.
+  QuantizedGaussianStore band_gaussians;
+  QuantizedGaussianStore verify_gaussians;
+  PstableHasher band_hasher;
+  PstableHasher verify_hasher;
+  PstableSignatureStore verify_store;
+  EuclideanPosterior model;
+  // Only MinMatches (precomputed) is read by queries. Absent when pruning
+  // is disabled (max_prune_hashes == 0).
+  std::optional<InferenceCache<EuclideanPosterior>> cache;
+
+  // buckets[band] maps band key -> row ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> buckets;
+
+  Impl(const Dataset* d, const EuclideanSearchConfig& cfg)
+      : data(d),
+        config(cfg),
+        resolved(ResolveConfig(cfg)),
+        band_gaussians(Mix64(cfg.seed, 0x6e), d->num_dims(),
+                       resolved.num_bands * resolved.band_k),
+        verify_gaussians(Mix64(cfg.seed, 0xe5), d->num_dims(),
+                         resolved.max_prune_hashes),
+        band_hasher(&band_gaussians, Mix64(cfg.seed, 0x6e), resolved.width),
+        verify_hasher(&verify_gaussians, Mix64(cfg.seed, 0xe5),
+                      resolved.width),
+        verify_store(d, verify_hasher),
+        model(EuclideanPosterior::MakeForRadius(cfg.radius, resolved.width)) {
+    if (resolved.max_prune_hashes > 0) {
+      cache.emplace(&model, cfg.hashes_per_round, resolved.max_prune_hashes,
+                    cfg.epsilon, /*delta=*/0.05, /*gamma=*/0.05);
+    }
+    PstableSignatureStore band_store(d, band_hasher);
+    band_store.EnsureAllHashes(resolved.num_bands * resolved.band_k);
+    buckets.resize(resolved.num_bands);
+    for (uint32_t band = 0; band < resolved.num_bands; ++band) {
+      for (uint32_t row = 0; row < d->num_vectors(); ++row) {
+        const uint64_t key = BandKey(
+            band_store.Hashes(row) + band * resolved.band_k, resolved.band_k,
+            band);
+        buckets[band][key].push_back(row);
+      }
+    }
+  }
+
+  // Hashes of the query vector under a hasher, grown on demand.
+  struct QuerySignature {
+    const PstableHasher* hasher;
+    const SparseVectorView* q;
+    std::vector<int32_t> hashes;
+
+    void Ensure(uint32_t n) {
+      const uint32_t have = static_cast<uint32_t>(hashes.size());
+      if (n <= have) return;
+      const uint32_t want = (n + kPstableChunkHashes - 1) /
+                            kPstableChunkHashes * kPstableChunkHashes;
+      hashes.resize(want);
+      for (uint32_t j = have; j < want; j += kPstableChunkHashes) {
+        hasher->HashChunk(*q, j / kPstableChunkHashes, hashes.data() + j);
+      }
+    }
+  };
+
+  std::vector<EuclideanMatch> Radius(const SparseVectorView& q,
+                                     EuclideanSearchStats* stats) {
+    EuclideanSearchStats local;
+
+    // Probe the index.
+    QuerySignature band_sig{&band_hasher, &q, {}};
+    band_sig.Ensure(resolved.num_bands * resolved.band_k);
+    std::vector<uint32_t> cand;
+    for (uint32_t band = 0; band < resolved.num_bands; ++band) {
+      const uint64_t key =
+          BandKey(band_sig.hashes.data() + band * resolved.band_k,
+                  resolved.band_k, band);
+      const auto it = buckets[band].find(key);
+      if (it == buckets[band].end()) continue;
+      cand.insert(cand.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    local.candidates = cand.size();
+
+    // Prune with verification hashes, then verify exactly.
+    QuerySignature ver_sig{&verify_hasher, &q, {}};
+    const uint32_t rounds =
+        resolved.max_prune_hashes / config.hashes_per_round;
+    std::vector<EuclideanMatch> out;
+    for (const uint32_t row : cand) {
+      uint32_t m = 0, n = 0;
+      bool pruned = false;
+      for (uint32_t round = 0; round < rounds; ++round) {
+        const uint32_t to = n + config.hashes_per_round;
+        ver_sig.Ensure(to);
+        verify_store.EnsureHashes(row, to);
+        const int32_t* hq = ver_sig.hashes.data();
+        const int32_t* hr = verify_store.Hashes(row);
+        for (uint32_t i = n; i < to; ++i) m += (hq[i] == hr[i]);
+        n = to;
+        local.hashes_compared += config.hashes_per_round;
+        if (m < cache->MinMatches(n)) {
+          ++local.pruned;
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) continue;
+      ++local.exact_computed;
+      const double d = SparseEuclideanDistance(q, data->Row(row));
+      if (d <= config.radius) out.push_back({row, d});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const EuclideanMatch& x, const EuclideanMatch& y) {
+                return x.distance != y.distance ? x.distance < y.distance
+                                                : x.id < y.id;
+              });
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+};
+
+EuclideanNnSearcher::EuclideanNnSearcher(const Dataset* data,
+                                         const EuclideanSearchConfig& config)
+    : impl_(std::make_unique<Impl>(data, config)) {}
+
+EuclideanNnSearcher::~EuclideanNnSearcher() = default;
+
+std::vector<EuclideanMatch> EuclideanNnSearcher::RadiusQuery(
+    const SparseVectorView& q, EuclideanSearchStats* stats) const {
+  return impl_->Radius(q, stats);
+}
+
+std::vector<EuclideanMatch> EuclideanNnSearcher::KnnQuery(
+    const SparseVectorView& q, uint32_t k,
+    EuclideanSearchStats* stats) const {
+  std::vector<EuclideanMatch> matches = impl_->Radius(q, stats);
+  if (matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+uint32_t EuclideanNnSearcher::num_bands() const {
+  return impl_->resolved.num_bands;
+}
+uint32_t EuclideanNnSearcher::hashes_per_band() const {
+  return impl_->resolved.band_k;
+}
+double EuclideanNnSearcher::bucket_width() const {
+  return impl_->resolved.width;
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,135 @@
+// Euclidean nearest-neighbour retrieval with Bayesian candidate pruning —
+// the paper's second future-work item (§6): "a BayesLSH-Lite analogue can
+// be developed for candidate pruning in the case of nearest neighbor
+// retrieval for Euclidean distances (although the final distance may have
+// to be calculated exactly)".
+//
+// Shape of the solution, mirroring the paper's Lite pipeline:
+//
+//   1. Candidate generation: classic E2LSH banding over p-stable hashes
+//      (l bands of k concatenated hashes; l derived from the collision
+//      probability at the query radius and the target false-negative
+//      rate, exactly like the similarity banding of candgen/).
+//   2. Candidate pruning: compare *verification* p-stable hashes (an
+//      independent stream) k-at-a-time; prune as soon as
+//      Pr[C <= radius | M(m, n)] < ε under the grid posterior of
+//      euclidean/distance_posterior.h, using the same minMatches
+//      precomputation as Algorithm 2.
+//   3. Exact verification: survivors get an exact distance computation and
+//      a radius filter — "the final distance calculated exactly", as the
+//      paper anticipated.
+//
+// Both access patterns are provided: a self-join (all pairs within a
+// radius) and an indexed query mode (radius and bounded k-NN queries).
+
+#ifndef BAYESLSH_EUCLIDEAN_NN_SEARCH_H_
+#define BAYESLSH_EUCLIDEAN_NN_SEARCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "vec/dataset.h"
+#include "vec/sparse_vector.h"
+
+namespace bayeslsh {
+
+struct EuclideanSearchConfig {
+  // A pair/query match is a point at distance <= radius.
+  double radius = 1.0;
+
+  // p-stable bucket width w; 0 derives 2 * radius (collision probability
+  // ~0.61 at the radius — informative hashes on both sides of it).
+  double bucket_width = 0.0;
+
+  // Banding index: k hashes per band (default 4) and l bands (0 derives l
+  // from expected_fn_rate at the radius, capped at max_bands).
+  uint32_t hashes_per_band = 0;
+  uint32_t num_bands = 0;
+  double expected_fn_rate = 0.03;
+  uint32_t max_bands = 4096;
+
+  // Pruning (the Lite analogue): recall parameter and hash schedule.
+  // max_prune_hashes = 0 disables pruning entirely (every candidate gets an
+  // exact distance — the classical E2LSH pipeline, kept as a baseline).
+  double epsilon = 0.03;
+  uint32_t hashes_per_round = 32;
+  uint32_t max_prune_hashes = 128;
+
+  uint64_t seed = 42;
+};
+
+// One retrieved neighbour.
+struct EuclideanMatch {
+  uint32_t id = 0;
+  double distance = 0.0;
+
+  friend bool operator==(const EuclideanMatch&,
+                         const EuclideanMatch&) = default;
+};
+
+// One self-join result pair (a < b).
+struct DistancePair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  double distance = 0.0;
+
+  friend bool operator==(const DistancePair&, const DistancePair&) = default;
+};
+
+struct EuclideanSearchStats {
+  uint64_t candidates = 0;
+  uint64_t pruned = 0;
+  uint64_t exact_computed = 0;
+  uint64_t hashes_compared = 0;
+};
+
+// Exact O(n^2) self-join: all pairs (a < b) with distance <= radius, in
+// lexicographic order — the ground truth for tests and benches.
+std::vector<DistancePair> BruteForceRadiusJoin(const Dataset& data,
+                                               double radius);
+
+// E2LSH banding + Bayesian pruning + exact distances; the all-pairs
+// analogue. Output pairs carry exact distances and satisfy the radius; the
+// recall shortfall is bounded by the banding false-negative rate plus the
+// pruning ε (both user-set).
+std::vector<DistancePair> EuclideanRadiusJoin(
+    const Dataset& data, const EuclideanSearchConfig& config,
+    EuclideanSearchStats* stats = nullptr);
+
+// Indexed query mode: the banding index and data signatures are built once;
+// each query hashes the query vector, probes the buckets, prunes with the
+// distance posterior, and verifies survivors exactly.
+class EuclideanNnSearcher {
+ public:
+  // The dataset must outlive the searcher.
+  EuclideanNnSearcher(const Dataset* data,
+                      const EuclideanSearchConfig& config);
+  ~EuclideanNnSearcher();
+
+  EuclideanNnSearcher(const EuclideanNnSearcher&) = delete;
+  EuclideanNnSearcher& operator=(const EuclideanNnSearcher&) = delete;
+
+  // All indexed points within `radius` of q, sorted by increasing distance.
+  std::vector<EuclideanMatch> RadiusQuery(
+      const SparseVectorView& q, EuclideanSearchStats* stats = nullptr) const;
+
+  // The k nearest points among those within the radius (radius-bounded
+  // k-NN: LSH indexes cannot see beyond the radius they are tuned for; ask
+  // a larger radius for a wider net). Sorted by increasing distance.
+  std::vector<EuclideanMatch> KnnQuery(
+      const SparseVectorView& q, uint32_t k,
+      EuclideanSearchStats* stats = nullptr) const;
+
+  uint32_t num_bands() const;
+  uint32_t hashes_per_band() const;
+  double bucket_width() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_EUCLIDEAN_NN_SEARCH_H_

@@ -1,0 +1,100 @@
+#include "euclidean/pstable_hasher.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "common/prng.h"
+#include "lsh/gaussian_source.h"
+#include "lsh/inverse_normal_cdf.h"
+
+namespace bayeslsh {
+
+double PstableCollisionProb(double distance, double width) {
+  assert(width > 0.0);
+  if (distance <= 0.0) return 1.0;
+  const double r = width / distance;
+  // p(c) = 1 - 2 Phi(-r) - 2/(sqrt(2 pi) r) (1 - exp(-r^2 / 2)).
+  const double gaussian_tail = NormalCdf(-r);
+  const double density_term =
+      2.0 / (std::sqrt(2.0 * std::numbers::pi) * r) *
+      (1.0 - std::exp(-0.5 * r * r));
+  const double p = 1.0 - 2.0 * gaussian_tail - density_term;
+  return p < 0.0 ? 0.0 : p;
+}
+
+PstableHasher::PstableHasher(uint64_t seed, double width)
+    : source_(nullptr), fallback_(seed), seed_(seed), width_(width) {
+  assert(width > 0.0);
+}
+
+PstableHasher::PstableHasher(const GaussianSource* source, uint64_t seed,
+                             double width)
+    : source_(source), fallback_(seed), seed_(seed), width_(width) {
+  assert(source != nullptr);
+  assert(width > 0.0);
+}
+
+void PstableHasher::HashChunk(const SparseVectorView& v, uint32_t chunk,
+                              int32_t* out) const {
+  // Projections of this chunk's 64 hash functions, accumulated dimension by
+  // dimension through the same counter-based Gaussian layout the SRP path
+  // uses (component (hash, dim) from Mix64), so sparse vectors only touch
+  // their non-zero dimensions.
+  double acc[kPstableChunkHashes] = {0.0};
+  const GaussianSource& gaussians =
+      source_ != nullptr ? *source_
+                         : static_cast<const GaussianSource&>(fallback_);
+  double components[kPstableChunkHashes];
+  for (uint32_t e = 0; e < v.size(); ++e) {
+    gaussians.FillChunk(v.indices[e], chunk, components);
+    const double weight = v.values[e];
+    for (uint32_t j = 0; j < kPstableChunkHashes; ++j) {
+      acc[j] += weight * components[j];
+    }
+  }
+  const uint32_t base = chunk * kPstableChunkHashes;
+  for (uint32_t j = 0; j < kPstableChunkHashes; ++j) {
+    // Offset b_i uniform in [0, w), independent of the projection stream.
+    const double offset =
+        width_ * ToUnitUniform(Mix64(seed_ ^ 0x0ff5e7ULL, base + j));
+    out[j] = static_cast<int32_t>(std::floor((acc[j] + offset) / width_));
+  }
+}
+
+PstableSignatureStore::PstableSignatureStore(const Dataset* data,
+                                             PstableHasher hasher)
+    : data_(data), hasher_(hasher), hashes_(data->num_vectors()) {}
+
+void PstableSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
+  const uint32_t have = NumHashes(row);
+  if (n_hashes <= have) return;
+  const uint32_t want = (n_hashes + kPstableChunkHashes - 1) /
+                        kPstableChunkHashes * kPstableChunkHashes;
+  auto& h = hashes_[row];
+  h.resize(want);
+  const SparseVectorView v = data_->Row(row);
+  for (uint32_t j = have; j < want; j += kPstableChunkHashes) {
+    hasher_.HashChunk(v, j / kPstableChunkHashes, h.data() + j);
+  }
+  hashes_computed_ += want - have;
+}
+
+void PstableSignatureStore::EnsureAllHashes(uint32_t n_hashes) {
+  for (uint32_t row = 0; row < num_rows(); ++row) {
+    EnsureHashes(row, n_hashes);
+  }
+}
+
+uint32_t PstableSignatureStore::MatchCount(uint32_t a, uint32_t b,
+                                           uint32_t from, uint32_t to) {
+  EnsureHashes(a, to);
+  EnsureHashes(b, to);
+  const int32_t* ha = hashes_[a].data();
+  const int32_t* hb = hashes_[b].data();
+  uint32_t matches = 0;
+  for (uint32_t i = from; i < to; ++i) matches += (ha[i] == hb[i]);
+  return matches;
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,160 @@
+#include "kernel/dense_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace bayeslsh {
+
+DenseMatrix DenseMatrix::Identity(uint32_t n) {
+  DenseMatrix m(n, n);
+  for (uint32_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> MatVec(const DenseMatrix& a, const std::vector<double>& x) {
+  assert(x.size() == a.cols());
+  std::vector<double> y(a.rows(), 0.0);
+  for (uint32_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i);
+    double acc = 0.0;
+    for (uint32_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.cols() == b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  for (uint32_t i = 0; i < a.rows(); ++i) {
+    for (uint32_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      double* crow = c.row(i);
+      for (uint32_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+double SymmetryDefect(const DenseMatrix& a) {
+  assert(a.rows() == a.cols());
+  double defect = 0.0;
+  for (uint32_t i = 0; i < a.rows(); ++i) {
+    for (uint32_t j = i + 1; j < a.cols(); ++j) {
+      defect = std::max(defect, std::abs(a.at(i, j) - a.at(j, i)));
+    }
+  }
+  return defect;
+}
+
+namespace {
+
+// Sum of squares of the strictly-upper-triangular entries.
+double OffDiagonalNormSq(const DenseMatrix& a) {
+  double s = 0.0;
+  for (uint32_t i = 0; i < a.rows(); ++i) {
+    for (uint32_t j = i + 1; j < a.cols(); ++j) {
+      s += a.at(i, j) * a.at(i, j);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+SymmetricEigenResult SymmetricEigen(const DenseMatrix& input, double tol,
+                                    uint32_t max_sweeps) {
+  assert(input.rows() == input.cols());
+  const uint32_t n = input.rows();
+  DenseMatrix a = input;  // Working copy, driven to diagonal form.
+  DenseMatrix v = DenseMatrix::Identity(n);
+
+  double frob_sq = 0.0;
+  for (double x : a.data()) frob_sq += x * x;
+  const double stop = tol * tol * std::max(frob_sq, 1e-300);
+
+  uint32_t sweep = 0;
+  for (; sweep < max_sweeps; ++sweep) {
+    if (2.0 * OffDiagonalNormSq(a) <= stop) break;
+    for (uint32_t p = 0; p + 1 < n; ++p) {
+      for (uint32_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (apq == 0.0) continue;
+        // Jacobi rotation angle: tan(2θ) = 2 a_pq / (a_qq - a_pp).
+        const double theta = (a.at(q, q) - a.at(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // A <- Jᵀ A J on rows/columns p and q.
+        for (uint32_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p), akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (uint32_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k), aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (uint32_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p), vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort eigenpairs descending by eigenvalue.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<double> diag(n);
+  for (uint32_t i = 0; i < n; ++i) diag[i] = a.at(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t x, uint32_t y) { return diag[x] > diag[y]; });
+
+  SymmetricEigenResult result;
+  result.values.resize(n);
+  result.vectors = DenseMatrix(n, n);
+  for (uint32_t j = 0; j < n; ++j) {
+    result.values[j] = diag[order[j]];
+    for (uint32_t i = 0; i < n; ++i) {
+      result.vectors.at(i, j) = v.at(i, order[j]);
+    }
+  }
+  result.sweeps = sweep;
+  return result;
+}
+
+DenseMatrix SymmetricInverseSqrt(const DenseMatrix& a, double rel_eps) {
+  const SymmetricEigenResult eig = SymmetricEigen(a);
+  const uint32_t n = a.rows();
+  const double lambda_max = eig.values.empty() ? 0.0 : eig.values.front();
+  const double cutoff = rel_eps * std::max(lambda_max, 0.0);
+
+  // B = V diag(f(λ)) Vᵀ without forming the diagonal matrix:
+  // B_ij = Σ_k f(λ_k) V_ik V_jk.
+  DenseMatrix b(n, n);
+  for (uint32_t k = 0; k < n; ++k) {
+    if (eig.values[k] <= cutoff) continue;  // Pseudo-inverse clamp.
+    const double f = 1.0 / std::sqrt(eig.values[k]);
+    for (uint32_t i = 0; i < n; ++i) {
+      const double vif = eig.vectors.at(i, k) * f;
+      if (vif == 0.0) continue;
+      for (uint32_t j = 0; j < n; ++j) {
+        b.at(i, j) += vif * eig.vectors.at(j, k);
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,90 @@
+// Minimal dense symmetric linear algebra for kernelized LSH.
+//
+// KLSH (kernel/klsh.h) needs exactly one non-trivial matrix computation:
+// the inverse square root K^{-1/2} of a p×p anchor kernel matrix, with p a
+// few hundred. We implement the classical cyclic Jacobi eigenvalue
+// algorithm — unconditionally stable for symmetric matrices, O(p^3) per
+// sweep with a handful of sweeps to converge, which at p ≤ 512 costs
+// milliseconds — and assemble K^{-1/2} = V diag(λ^{-1/2}) V^T with
+// eigenvalue clamping for the (near-)singular directions that arise when
+// anchors are nearly collinear in feature space.
+//
+// This is deliberately not a general linear-algebra library: row-major
+// square matrices, symmetric eigensolve, and the few products KLSH needs.
+
+#ifndef BAYESLSH_KERNEL_DENSE_MATRIX_H_
+#define BAYESLSH_KERNEL_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bayeslsh {
+
+// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(uint32_t rows, uint32_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols) {}
+
+  static DenseMatrix Identity(uint32_t n);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+
+  double& at(uint32_t i, uint32_t j) {
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+  double at(uint32_t i, uint32_t j) const {
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+
+  // Contiguous row access.
+  double* row(uint32_t i) { return data_.data() + static_cast<size_t>(i) * cols_; }
+  const double* row(uint32_t i) const {
+    return data_.data() + static_cast<size_t>(i) * cols_;
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  uint32_t rows_ = 0;
+  uint32_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// y = A x. Requires x.size() == A.cols(); returns a vector of A.rows().
+std::vector<double> MatVec(const DenseMatrix& a, const std::vector<double>& x);
+
+// C = A B. Requires A.cols() == B.rows().
+DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b);
+
+// Largest |A_ij - A_ji| (symmetry defect; testing aid).
+double SymmetryDefect(const DenseMatrix& a);
+
+struct SymmetricEigenResult {
+  // Eigenvalues in descending order.
+  std::vector<double> values;
+  // Column j of `vectors` is the eigenvector for values[j].
+  DenseMatrix vectors;
+  uint32_t sweeps = 0;  // Jacobi sweeps used.
+};
+
+// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+// The input must be square and symmetric (asserted up to a tolerance).
+// Converges to off-diagonal Frobenius norm < tol * ||A||_F.
+SymmetricEigenResult SymmetricEigen(const DenseMatrix& a,
+                                    double tol = 1e-12,
+                                    uint32_t max_sweeps = 64);
+
+// A^{-1/2} for a symmetric positive semi-definite matrix, computed as
+// V diag(f(λ)) V^T with f(λ) = λ^{-1/2} for λ > rel_eps * λ_max and 0
+// otherwise (spectral pseudo-inverse square root). The clamp handles the
+// rank deficiency of kernel matrices over near-duplicate anchors.
+DenseMatrix SymmetricInverseSqrt(const DenseMatrix& a,
+                                 double rel_eps = 1e-10);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_KERNEL_DENSE_MATRIX_H_

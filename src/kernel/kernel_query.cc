@@ -1,0 +1,215 @@
+#include "kernel/kernel_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/bit_ops.h"
+#include "common/prng.h"
+#include "core/cosine_posterior.h"
+#include "core/inference_cache.h"
+#include "lsh/srp_hasher.h"
+
+namespace bayeslsh {
+
+struct KernelQuerySearcher::Impl {
+  const Dataset* data;
+  const Kernel* kernel;
+  KernelQueryConfig config;
+
+  uint32_t band_k;
+  uint32_t num_bands;
+  uint32_t round_k;
+  uint32_t max_hashes;
+  uint32_t lite_hashes;
+
+  KlshHasher band_hasher;
+  KlshHasher verify_hasher;
+  KlshSignatureStore verify_store;
+  CosinePosterior model;
+  InferenceCache<CosinePosterior> cache;
+
+  // buckets[band] maps band key -> row ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> buckets;
+
+  // Cached self-kernels for exact verification (built lazily).
+  std::vector<double> self_kernels;
+
+  uint64_t extra_kernel_evals = 0;  // Query rows + exact verifications.
+
+  static uint32_t ResolveBands(const KernelQueryConfig& cfg, uint32_t k) {
+    if (cfg.banding.num_bands != 0) return cfg.banding.num_bands;
+    return DeriveNumBands(CosineToSrpR(cfg.threshold), k,
+                          cfg.banding.expected_fn_rate,
+                          cfg.banding.max_bands);
+  }
+
+  static KlshParams SeededKlsh(const KernelQueryConfig& cfg, uint64_t salt) {
+    KlshParams p = cfg.klsh;
+    p.seed = Mix64(cfg.seed, salt);
+    return p;
+  }
+
+  Impl(const Dataset* d, const Kernel* krn, const KernelQueryConfig& cfg)
+      : data(d),
+        kernel(krn),
+        config(cfg),
+        band_k(cfg.banding.hashes_per_band != 0 ? cfg.banding.hashes_per_band
+                                                : kDefaultCosineBandBits),
+        num_bands(ResolveBands(cfg, band_k)),
+        round_k(cfg.bayes.hashes_per_round != 0 ? cfg.bayes.hashes_per_round
+                                                : 32),
+        max_hashes(cfg.bayes.max_hashes != 0 ? cfg.bayes.max_hashes : 4096),
+        lite_hashes(cfg.lite_max_hashes != 0 ? cfg.lite_max_hashes : 128),
+        band_hasher(*d, krn, SeededKlsh(cfg, 0x9e)),
+        verify_hasher(*d, krn, SeededKlsh(cfg, 0xe5)),
+        verify_store(d, &verify_hasher),
+        model(cfg.threshold),
+        cache(&model, round_k,
+              cfg.exact_verification
+                  ? (lite_hashes + round_k - 1) / round_k * round_k
+                  : max_hashes,
+              cfg.bayes.epsilon, cfg.bayes.delta, cfg.bayes.gamma),
+        self_kernels(d->num_vectors(), -1.0) {
+    // Build the banding index once.
+    KlshSignatureStore band_store(d, &band_hasher);
+    band_store.EnsureAllBits(num_bands * band_k);
+    buckets.resize(num_bands);
+    for (uint32_t band = 0; band < num_bands; ++band) {
+      for (uint32_t row = 0; row < d->num_vectors(); ++row) {
+        if (d->RowLength(row) == 0) continue;
+        const uint64_t sig =
+            ExtractBits(band_store.Words(row), band * band_k, band_k);
+        buckets[band][sig].push_back(row);
+      }
+    }
+    extra_kernel_evals = band_store.kernel_evals();
+  }
+
+  double SelfKernel(uint32_t row) {
+    if (self_kernels[row] < 0.0) {
+      self_kernels[row] = kernel->Evaluate(data->Row(row), data->Row(row));
+      ++extra_kernel_evals;
+    }
+    return self_kernels[row];
+  }
+
+  std::vector<QueryMatch> Run(const SparseVectorView& q, QueryStats* stats) {
+    QueryStats local;
+
+    // Probe the index with the query's banding signature.
+    const std::vector<double> band_row = band_hasher.AnchorKernelRow(q);
+    extra_kernel_evals += band_hasher.num_anchors();
+    std::vector<uint64_t> band_words(
+        WordsForBits(num_bands * band_k));
+    for (uint32_t chunk = 0; chunk < band_words.size(); ++chunk) {
+      band_words[chunk] = band_hasher.HashChunk(band_row, chunk);
+    }
+    std::vector<uint32_t> cand;
+    for (uint32_t band = 0; band < num_bands; ++band) {
+      const uint64_t sig =
+          ExtractBits(band_words.data(), band * band_k, band_k);
+      const auto it = buckets[band].find(sig);
+      if (it == buckets[band].end()) continue;
+      cand.insert(cand.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    local.candidates = cand.size();
+
+    // Verification hashes of the query, grown lazily by chunk.
+    const std::vector<double> ver_row = verify_hasher.AnchorKernelRow(q);
+    extra_kernel_evals += verify_hasher.num_anchors();
+    std::vector<uint64_t> ver_words;
+    auto ensure_query_bits = [&](uint32_t n_bits) {
+      const uint32_t want = WordsForBits(n_bits);
+      for (uint32_t chunk = static_cast<uint32_t>(ver_words.size());
+           chunk < want; ++chunk) {
+        ver_words.push_back(verify_hasher.HashChunk(ver_row, chunk));
+      }
+    };
+
+    const double qq = kernel->Evaluate(q, q);
+    ++extra_kernel_evals;
+    const uint32_t budget = cache.max_hashes();
+    std::vector<QueryMatch> out;
+    for (const uint32_t row : cand) {
+      uint32_t m = 0, n = 0;
+      bool pruned = false, estimated = false;
+      float estimate = 0.0f;
+      while (n < budget) {
+        const uint32_t to = n + round_k;
+        ensure_query_bits(to);
+        verify_store.EnsureBits(row, to);
+        m += MatchingBits(ver_words.data(), verify_store.Words(row), n, to);
+        n = to;
+        local.hashes_compared += round_k;
+        if (m < cache.MinMatches(n)) {
+          ++local.pruned;
+          pruned = true;
+          break;
+        }
+        if (!config.exact_verification) {
+          const auto er = cache.EstimateAt(m, n);
+          if (er.concentrated) {
+            estimated = true;
+            estimate = er.estimate;
+            break;
+          }
+        }
+      }
+      if (pruned) continue;
+      if (config.exact_verification) {
+        const double self = SelfKernel(row);
+        if (self <= 0.0 || qq <= 0.0) continue;
+        ++extra_kernel_evals;
+        const double s = std::clamp(
+            kernel->Evaluate(q, data->Row(row)) / std::sqrt(self * qq),
+            -1.0, 1.0);
+        if (s >= config.threshold) out.push_back({row, s});
+      } else {
+        // Estimate-mode: concentrated estimate, or the budget-exhausted
+        // posterior mode (forced accept, as in Algorithm 1).
+        out.push_back({row, estimated
+                                ? estimate
+                                : model.Estimate(static_cast<int>(m),
+                                                 static_cast<int>(n))});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const QueryMatch& a, const QueryMatch& b) {
+                return a.sim != b.sim ? a.sim > b.sim : a.id < b.id;
+              });
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+};
+
+KernelQuerySearcher::KernelQuerySearcher(const Dataset* data,
+                                         const Kernel* kernel,
+                                         const KernelQueryConfig& config)
+    : impl_(std::make_unique<Impl>(data, kernel, config)) {}
+
+KernelQuerySearcher::~KernelQuerySearcher() = default;
+
+std::vector<QueryMatch> KernelQuerySearcher::Query(const SparseVectorView& q,
+                                                   QueryStats* stats) const {
+  return impl_->Run(q, stats);
+}
+
+std::vector<QueryMatch> KernelQuerySearcher::QueryTopK(
+    const SparseVectorView& q, uint32_t k, QueryStats* stats) const {
+  std::vector<QueryMatch> matches = impl_->Run(q, stats);
+  if (matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+uint32_t KernelQuerySearcher::num_bands() const { return impl_->num_bands; }
+uint32_t KernelQuerySearcher::hashes_per_band() const {
+  return impl_->band_k;
+}
+uint64_t KernelQuerySearcher::kernel_evals() const {
+  return impl_->extra_kernel_evals + impl_->verify_store.kernel_evals();
+}
+
+}  // namespace bayeslsh

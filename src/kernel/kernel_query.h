@@ -1,0 +1,78 @@
+// Query-mode kernelized similarity search: "given a query object q,
+// retrieve all objects with kernel cosine s(x, q) >= t" (the general
+// problem of paper §1, under the §6 future-work similarity measure).
+//
+// The KLSH banding index and the collection-side signature store are built
+// once; each query computes its own anchor kernel row (p kernel
+// evaluations — the irreducible per-query hashing cost), probes the
+// buckets, prunes candidates with the cosine posterior, and verifies the
+// survivors with exact kernel cosines by default (the Lite behaviour,
+// recommended for kernels: hash-only estimates inherit the KLSH
+// span-projection bias; see kernel/klsh.h).
+//
+// Queries do not mutate the index and may be vectors not present in the
+// collection. Single-threaded by design, one searcher per thread.
+
+#ifndef BAYESLSH_KERNEL_KERNEL_QUERY_H_
+#define BAYESLSH_KERNEL_KERNEL_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "candgen/lsh_banding.h"
+#include "core/bayes_lsh.h"
+#include "core/query_search.h"
+#include "kernel/klsh.h"
+
+namespace bayeslsh {
+
+struct KernelQueryConfig {
+  double threshold = 0.7;  // Kernel-cosine threshold in (0, 1).
+
+  // Exact kernel cosines for unpruned candidates (default, recommended);
+  // false returns posterior-mode estimates instead (no exact kernel work
+  // per candidate, at the cost of the KLSH span bias).
+  bool exact_verification = true;
+
+  KlshParams klsh;
+  LshBandingParams banding;
+  BayesLshParams bayes;          // hashes_per_round/max_hashes 0 = 32/4096.
+  uint32_t lite_max_hashes = 0;  // 0 = 128.
+  uint64_t seed = 42;
+};
+
+// Threshold / top-k kernel search over a fixed collection. The collection,
+// kernel and searcher lifetimes: both referents must outlive the searcher.
+class KernelQuerySearcher {
+ public:
+  KernelQuerySearcher(const Dataset* data, const Kernel* kernel,
+                      const KernelQueryConfig& config);
+  ~KernelQuerySearcher();
+
+  KernelQuerySearcher(const KernelQuerySearcher&) = delete;
+  KernelQuerySearcher& operator=(const KernelQuerySearcher&) = delete;
+
+  // All collection rows x with s(x, q) >= threshold (subject to the
+  // BayesLSH guarantees), sorted by decreasing similarity.
+  std::vector<QueryMatch> Query(const SparseVectorView& q,
+                                QueryStats* stats = nullptr) const;
+
+  // The k most similar rows among those reaching the threshold.
+  std::vector<QueryMatch> QueryTopK(const SparseVectorView& q, uint32_t k,
+                                    QueryStats* stats = nullptr) const;
+
+  uint32_t num_bands() const;
+  uint32_t hashes_per_band() const;
+
+  // Kernel evaluations spent so far (index build + queries).
+  uint64_t kernel_evals() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_KERNEL_KERNEL_QUERY_H_

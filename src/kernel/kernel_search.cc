@@ -1,0 +1,131 @@
+#include "kernel/kernel_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.h"
+#include "common/timer.h"
+#include "core/bayes_lsh_impl.h"
+#include "core/cosine_posterior.h"
+
+namespace bayeslsh {
+
+// The kernelized engine combination (everything else reuses the built-in
+// instantiations from core/bayes_lsh.cc).
+template std::vector<ScoredPair>
+BayesLshVerify<CosinePosterior, KlshSignatureStore>(
+    const CosinePosterior&, KlshSignatureStore*,
+    const std::vector<std::pair<uint32_t, uint32_t>>&, const BayesLshParams&,
+    VerifyStats*);
+template std::vector<ScoredPair>
+BayesLshLiteVerify<CosinePosterior, KlshSignatureStore>(
+    const CosinePosterior&, KlshSignatureStore*,
+    const std::vector<std::pair<uint32_t, uint32_t>>&, uint32_t,
+    const std::function<double(uint32_t, uint32_t)>&, double,
+    const BayesLshParams&, VerifyStats*);
+
+namespace {
+
+// Exact kernel cosine with cached self-kernels. Each pair costs one cross
+// kernel evaluation (plus one self evaluation per first-touched object).
+class ExactKernelCosine {
+ public:
+  ExactKernelCosine(const Dataset* data, const Kernel* kernel)
+      : data_(data), kernel_(kernel), self_(data->num_vectors(), -1.0) {}
+
+  double operator()(uint32_t a, uint32_t b) {
+    const double sa = Self(a), sb = Self(b);
+    if (sa <= 0.0 || sb <= 0.0) return 0.0;
+    ++evals_;
+    return std::clamp(
+        kernel_->Evaluate(data_->Row(a), data_->Row(b)) / std::sqrt(sa * sb),
+        -1.0, 1.0);
+  }
+
+  uint64_t evals() const { return evals_; }
+
+ private:
+  double Self(uint32_t i) {
+    if (self_[i] < 0.0) {
+      self_[i] = kernel_->Evaluate(data_->Row(i), data_->Row(i));
+      ++evals_;
+    }
+    return self_[i];
+  }
+
+  const Dataset* data_;
+  const Kernel* kernel_;
+  std::vector<double> self_;
+  uint64_t evals_ = 0;
+};
+
+}  // namespace
+
+KernelAllPairsResult KernelAllPairs(const Dataset& data, const Kernel& kernel,
+                                    const KernelAllPairsConfig& config) {
+  KernelAllPairsResult result;
+  WallTimer total;
+
+  // Candidate generation: KLSH banding from a generation-seeded hasher.
+  WallTimer gen;
+  KlshParams gen_klsh = config.klsh;
+  gen_klsh.seed = Mix64(config.seed, 0x9e);
+  const KlshHasher gen_hasher(data, &kernel, gen_klsh);
+  KlshSignatureStore gen_store(&data, &gen_hasher);
+  const CandidateList cands =
+      KlshCandidates(&gen_store, config.threshold, config.banding);
+  result.candidates = cands.size();
+  result.generate_seconds = gen.Seconds();
+  result.hash_kernel_evals += gen_store.kernel_evals();
+
+  // Verification hashes come from an independent stream (same argument as
+  // the sparse pipeline: band-conditioned hashes are biased).
+  WallTimer verify;
+  KlshParams ver_klsh = config.klsh;
+  ver_klsh.seed = Mix64(config.seed, 0xe5);
+  const KlshHasher ver_hasher(data, &kernel, ver_klsh);
+  KlshSignatureStore ver_store(&data, &ver_hasher);
+
+  const CosinePosterior model(config.threshold);
+  BayesLshParams bayes = config.bayes;
+  if (bayes.hashes_per_round == 0) bayes.hashes_per_round = 32;
+  if (bayes.max_hashes == 0) bayes.max_hashes = 4096;
+
+  ExactKernelCosine exact(&data, &kernel);
+  switch (config.verifier) {
+    case KernelVerifier::kBayesLsh:
+      result.pairs = BayesLshVerify(model, &ver_store, cands.pairs, bayes,
+                                    &result.vstats);
+      break;
+    case KernelVerifier::kBayesLshLite: {
+      const uint32_t h =
+          config.lite_max_hashes != 0 ? config.lite_max_hashes : 128;
+      result.pairs = BayesLshLiteVerify<CosinePosterior, KlshSignatureStore>(
+          model, &ver_store, cands.pairs, h,
+          [&exact](uint32_t a, uint32_t b) { return exact(a, b); },
+          config.threshold, bayes, &result.vstats);
+      break;
+    }
+    case KernelVerifier::kExact: {
+      for (const auto& [a, b] : cands.pairs) {
+        const double s = exact(a, b);
+        if (s >= config.threshold) result.pairs.push_back({a, b, s});
+      }
+      result.vstats.pairs_in = cands.size();
+      result.vstats.exact_computed = cands.size();
+      result.vstats.accepted = result.pairs.size();
+      break;
+    }
+  }
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const ScoredPair& x, const ScoredPair& y) {
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  result.verify_seconds = verify.Seconds();
+  result.hash_kernel_evals += ver_store.kernel_evals();
+  result.exact_kernel_evals = exact.evals();
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace bayeslsh

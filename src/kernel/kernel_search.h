@@ -1,0 +1,76 @@
+// All-pairs similarity search under a kernelized similarity measure — the
+// paper's future-work instantiation of BayesLSH, assembled from KLSH
+// candidate generation (kernel/klsh.h) + BayesLSH verification with the
+// cosine posterior (the KLSH collision law is the feature-space angle law,
+// so CosinePosterior carries over unchanged).
+//
+// The economics differ from the sparse-vector pipelines: one hash costs p
+// kernel evaluations amortized per object plus a p-vector dot, and one
+// exact similarity costs 3 kernel evaluations (k(x,y) and both
+// self-kernels, the latter cached). Lazy hashing and early pruning are
+// therefore worth proportionally more here, which is exactly why the paper
+// singles kernels out (§4, advantage 3; §6).
+
+#ifndef BAYESLSH_KERNEL_KERNEL_SEARCH_H_
+#define BAYESLSH_KERNEL_KERNEL_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "candgen/lsh_banding.h"
+#include "core/bayes_lsh.h"
+#include "kernel/klsh.h"
+#include "sim/brute_force.h"
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+enum class KernelVerifier {
+  kBayesLsh,      // Posterior-mode estimates (Algorithm 1).
+  kBayesLshLite,  // Prune with hashes, exact kernel cosine for survivors.
+  kExact,         // Exact kernel cosine for every candidate (baseline).
+};
+
+struct KernelAllPairsConfig {
+  double threshold = 0.7;  // Kernel-cosine threshold in (0, 1).
+  KernelVerifier verifier = KernelVerifier::kBayesLsh;
+
+  KlshParams klsh;         // Anchor count, direction construction, seed.
+  LshBandingParams banding;
+
+  // ε / δ / γ and the per-round hash count; hashes_per_round/max_hashes of
+  // 0 select the cosine defaults (32 / 4096).
+  BayesLshParams bayes = {.hashes_per_round = 0, .max_hashes = 0};
+
+  // BayesLSH-Lite pruning budget h; 0 selects the cosine default (128).
+  uint32_t lite_max_hashes = 0;
+
+  // Master seed for candidate-generation hashes; verification hashes use an
+  // independent stream (klsh.seed is derived from it unless set).
+  uint64_t seed = 42;
+};
+
+struct KernelAllPairsResult {
+  std::vector<ScoredPair> pairs;
+
+  uint64_t candidates = 0;
+  double generate_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  // Kernel evaluations spent: hashing (anchor rows, both stores) and exact
+  // verification. The headline cost measure for kernelized search.
+  uint64_t hash_kernel_evals = 0;
+  uint64_t exact_kernel_evals = 0;
+
+  VerifyStats vstats;
+};
+
+// Runs KLSH candidate generation + the selected verifier over `data` under
+// the kernel cosine of `kernel`. The kernel must outlive the call only.
+KernelAllPairsResult KernelAllPairs(const Dataset& data, const Kernel& kernel,
+                                    const KernelAllPairsConfig& config);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_KERNEL_KERNEL_SEARCH_H_

@@ -1,0 +1,133 @@
+#include "kernel/kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bayeslsh {
+
+double LinearKernel::Evaluate(const SparseVectorView& x,
+                              const SparseVectorView& y) const {
+  return SparseDot(x, y);
+}
+
+RbfKernel::RbfKernel(double gamma) : gamma_(gamma) { assert(gamma > 0.0); }
+
+double RbfKernel::Evaluate(const SparseVectorView& x,
+                           const SparseVectorView& y) const {
+  // ||x - y||^2 = ||x||^2 + ||y||^2 - 2 <x, y>, clamped against the small
+  // negative values floating-point cancellation can produce.
+  const double nx = SparseNorm2(x), ny = SparseNorm2(y);
+  const double d2 = std::max(nx * nx + ny * ny - 2.0 * SparseDot(x, y), 0.0);
+  return std::exp(-gamma_ * d2);
+}
+
+std::string RbfKernel::Name() const {
+  return "rbf(gamma=" + std::to_string(gamma_) + ")";
+}
+
+ChiSquareKernel::ChiSquareKernel(double gamma) : gamma_(gamma) {
+  assert(gamma > 0.0);
+}
+
+double ChiSquareKernel::Evaluate(const SparseVectorView& x,
+                                 const SparseVectorView& y) const {
+  // Merge over the union of supports. A dimension present in one vector
+  // only contributes w^2 / w = w; shared dimensions contribute
+  // (wx - wy)^2 / (wx + wy).
+  double chi2 = 0.0;
+  size_t i = 0, j = 0;
+  const size_t nx = x.indices.size(), ny = y.indices.size();
+  while (i < nx && j < ny) {
+    const DimId dx = x.indices[i], dy = y.indices[j];
+    if (dx == dy) {
+      const double wx = x.values[i], wy = y.values[j];
+      assert(wx >= 0.0 && wy >= 0.0);
+      const double sum = wx + wy;
+      if (sum > 0.0) {
+        const double diff = wx - wy;
+        chi2 += diff * diff / sum;
+      }
+      ++i;
+      ++j;
+    } else if (dx < dy) {
+      assert(x.values[i] >= 0.0f);
+      chi2 += x.values[i];
+      ++i;
+    } else {
+      assert(y.values[j] >= 0.0f);
+      chi2 += y.values[j];
+      ++j;
+    }
+  }
+  for (; i < nx; ++i) chi2 += x.values[i];
+  for (; j < ny; ++j) chi2 += y.values[j];
+  return std::exp(-gamma_ * chi2);
+}
+
+std::string ChiSquareKernel::Name() const {
+  return "chi2(gamma=" + std::to_string(gamma_) + ")";
+}
+
+PolynomialKernel::PolynomialKernel(double scale, double offset,
+                                   uint32_t degree)
+    : scale_(scale), offset_(offset), degree_(degree) {
+  assert(scale > 0.0 && offset >= 0.0 && degree >= 1);
+}
+
+double PolynomialKernel::Evaluate(const SparseVectorView& x,
+                                  const SparseVectorView& y) const {
+  const double base = scale_ * SparseDot(x, y) + offset_;
+  double acc = 1.0;
+  for (uint32_t i = 0; i < degree_; ++i) acc *= base;
+  return acc;
+}
+
+std::string PolynomialKernel::Name() const {
+  return "poly(scale=" + std::to_string(scale_) +
+         ",offset=" + std::to_string(offset_) +
+         ",degree=" + std::to_string(degree_) + ")";
+}
+
+double KernelCosine(const Kernel& kernel, const SparseVectorView& x,
+                    const SparseVectorView& y) {
+  const double kxx = kernel.Evaluate(x, x);
+  const double kyy = kernel.Evaluate(y, y);
+  if (kxx <= 0.0 || kyy <= 0.0) return 0.0;
+  return std::clamp(kernel.Evaluate(x, y) / std::sqrt(kxx * kyy), -1.0, 1.0);
+}
+
+std::vector<double> KernelRow(const Kernel& kernel, const SparseVectorView& x,
+                              const Dataset& anchors) {
+  std::vector<double> row(anchors.num_vectors());
+  for (uint32_t i = 0; i < anchors.num_vectors(); ++i) {
+    row[i] = kernel.Evaluate(x, anchors.Row(i));
+  }
+  return row;
+}
+
+std::vector<ScoredPair> KernelBruteForceJoin(const Dataset& data,
+                                             const Kernel& kernel,
+                                             double threshold) {
+  const uint32_t n = data.num_vectors();
+  // Self-kernels once; the pair loop then reuses them.
+  std::vector<double> self(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    self[i] = kernel.Evaluate(data.Row(i), data.Row(i));
+  }
+  std::vector<ScoredPair> out;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (self[i] <= 0.0) continue;
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (self[j] <= 0.0) continue;
+      const double s = std::clamp(
+          kernel.Evaluate(data.Row(i), data.Row(j)) /
+              std::sqrt(self[i] * self[j]),
+          -1.0, 1.0);
+      if (s >= threshold) out.push_back({i, j, s});
+    }
+  }
+  return out;
+}
+
+}  // namespace bayeslsh

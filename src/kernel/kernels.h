@@ -1,0 +1,124 @@
+// Kernel functions for kernelized similarity search (paper §6, future work:
+// "extend BayesLSH for similarity search with learned (kernelized) metrics",
+// citing Kulis & Grauman's kernelized LSH [12]).
+//
+// A kernel k(x, y) = ⟨φ(x), φ(y)⟩ defines an implicit feature space. The
+// similarity measure searched against is the *kernel cosine*
+//
+//     s(x, y) = k(x, y) / sqrt(k(x, x) k(y, y))
+//             = cos(θ(φ(x), φ(y))),
+//
+// i.e. exactly the cosine similarity in feature space — which is what KLSH
+// hash collisions observe (Pr[h(x) = h(y)] ≈ 1 − θ/π), so the cosine
+// posterior model of core/cosine_posterior.h carries over unchanged.
+//
+// Kernels are cheap value types behind a small virtual interface; KLSH only
+// calls them through KernelRow (one object against the anchor set), which
+// is the unit of caching in the signature store.
+
+#ifndef BAYESLSH_KERNEL_KERNELS_H_
+#define BAYESLSH_KERNEL_KERNELS_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/brute_force.h"
+#include "vec/dataset.h"
+#include "vec/sparse_vector.h"
+
+namespace bayeslsh {
+
+// Positive semi-definite kernel on sparse vectors.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  virtual double Evaluate(const SparseVectorView& x,
+                          const SparseVectorView& y) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+// k(x, y) = ⟨x, y⟩. Kernel cosine == plain cosine; useful as a calibration
+// baseline (KLSH with the linear kernel should behave like SRP).
+class LinearKernel final : public Kernel {
+ public:
+  double Evaluate(const SparseVectorView& x,
+                  const SparseVectorView& y) const override;
+  std::string Name() const override { return "linear"; }
+};
+
+// k(x, y) = exp(-gamma ||x - y||^2). Always in (0, 1]; k(x, x) = 1, so the
+// kernel cosine equals the kernel value itself.
+class RbfKernel final : public Kernel {
+ public:
+  explicit RbfKernel(double gamma);
+
+  double Evaluate(const SparseVectorView& x,
+                  const SparseVectorView& y) const override;
+  std::string Name() const override;
+
+  double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+};
+
+// Exponential chi-square kernel for histogram data:
+//
+//     k(x, y) = exp(-gamma Σ_d (x_d - y_d)^2 / (x_d + y_d)),
+//
+// with 0/0 terms contributing 0 and all weights required non-negative.
+// This is the kernel Kulis & Grauman's KLSH experiments use for image
+// descriptors (bags of visual words are histograms); k(x, x) = 1, so the
+// kernel cosine equals the kernel value, as for RBF.
+class ChiSquareKernel final : public Kernel {
+ public:
+  explicit ChiSquareKernel(double gamma);
+
+  double Evaluate(const SparseVectorView& x,
+                  const SparseVectorView& y) const override;
+  std::string Name() const override;
+
+  double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+};
+
+// k(x, y) = (scale ⟨x, y⟩ + offset)^degree with offset >= 0 (required for
+// positive semi-definiteness).
+class PolynomialKernel final : public Kernel {
+ public:
+  PolynomialKernel(double scale, double offset, uint32_t degree);
+
+  double Evaluate(const SparseVectorView& x,
+                  const SparseVectorView& y) const override;
+  std::string Name() const override;
+
+ private:
+  double scale_;
+  double offset_;
+  uint32_t degree_;
+};
+
+// Kernel cosine similarity k(x,y)/sqrt(k(x,x) k(y,y)), clamped to [-1, 1].
+// Returns 0 if either self-kernel is <= 0 (degenerate input).
+double KernelCosine(const Kernel& kernel, const SparseVectorView& x,
+                    const SparseVectorView& y);
+
+// k(x, anchor_i) for every anchor row, in order — the hashing unit of KLSH.
+std::vector<double> KernelRow(const Kernel& kernel, const SparseVectorView& x,
+                              const Dataset& anchors);
+
+// Exact all-pairs join under the kernel cosine: all (i < j) with
+// s(i, j) >= threshold, in lexicographic order. O(n^2) kernel evaluations —
+// the ground-truth / baseline path, and precisely the cost BayesLSH+KLSH is
+// built to avoid.
+std::vector<ScoredPair> KernelBruteForceJoin(const Dataset& data,
+                                             const Kernel& kernel,
+                                             double threshold);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_KERNEL_KERNELS_H_

@@ -1,0 +1,200 @@
+#include "kernel/klsh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <utility>
+
+#include "common/bit_ops.h"
+#include "common/prng.h"
+#include "lsh/inverse_normal_cdf.h"
+#include "lsh/srp_hasher.h"
+
+namespace bayeslsh {
+
+namespace {
+
+// Copies `count` distinct rows of `data`, sampled without replacement, into
+// a new dataset (preserving dimensionality).
+Dataset SampleAnchorRows(const Dataset& data, uint32_t count, uint64_t seed) {
+  std::vector<uint32_t> ids(data.num_vectors());
+  std::iota(ids.begin(), ids.end(), 0u);
+  Xoshiro256StarStar rng(Mix64(seed, 0xa2c4055ULL));
+  // Partial Fisher-Yates: only the first `count` positions are needed.
+  for (uint32_t i = 0; i < count && i + 1 < ids.size(); ++i) {
+    const uint64_t j = i + rng.NextBounded(ids.size() - i);
+    std::swap(ids[i], ids[j]);
+  }
+  DatasetBuilder builder(data.num_dims());
+  for (uint32_t i = 0; i < count; ++i) {
+    const SparseVectorView row = data.Row(ids[i]);
+    std::vector<std::pair<DimId, float>> entries;
+    entries.reserve(row.size());
+    for (uint32_t e = 0; e < row.size(); ++e) {
+      entries.emplace_back(row.indices[e], row.values[e]);
+    }
+    builder.AddRow(std::move(entries));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+KlshHasher::KlshHasher(const Dataset& data, const Kernel* kernel,
+                       KlshParams params)
+    : kernel_(kernel), params_(params) {
+  assert(data.num_vectors() > 0);
+  const uint32_t p = std::min(params_.num_anchors, data.num_vectors());
+  assert(p > 0);
+  anchors_ = SampleAnchorRows(data, p, params_.seed);
+
+  DenseMatrix k(p, p);
+  for (uint32_t i = 0; i < p; ++i) {
+    for (uint32_t j = i; j < p; ++j) {
+      const double v = kernel_->Evaluate(anchors_.Row(i), anchors_.Row(j));
+      k.at(i, j) = v;
+      k.at(j, i) = v;
+    }
+  }
+  k_inv_sqrt_ = SymmetricInverseSqrt(k);
+}
+
+std::vector<double> KlshHasher::AnchorKernelRow(
+    const SparseVectorView& x) const {
+  return KernelRow(*kernel_, x, anchors_);
+}
+
+const DenseMatrix& KlshHasher::WeightSlab(uint32_t chunk) const {
+  if (chunk >= slabs_.size()) slabs_.resize(chunk + 1);
+  if (slabs_[chunk] == nullptr) {
+    const uint32_t p = num_anchors();
+    auto slab = std::make_unique<DenseMatrix>(p, 64);
+    for (uint32_t j = 0; j < 64; ++j) {
+      const uint64_t hash_index = static_cast<uint64_t>(chunk) * 64 + j;
+      // The pre-whitening direction z in anchor coordinates.
+      std::vector<double> z(p, 0.0);
+      if (params_.direction == KlshDirection::kGaussianNystrom) {
+        for (uint32_t i = 0; i < p; ++i) {
+          const uint64_t bits = Mix64(params_.seed, hash_index, i);
+          z[i] = InverseNormalCdf(ToOpenUnitUniform(bits));
+        }
+      } else {
+        // kSubsetClt: indicator of a size-t subset drawn without
+        // replacement, deterministically from (seed, hash_index).
+        const uint32_t t = std::min(params_.subset_size, p);
+        Xoshiro256StarStar rng(Mix64(params_.seed, hash_index, 0x5b5e7ULL));
+        std::vector<uint32_t> ids(p);
+        std::iota(ids.begin(), ids.end(), 0u);
+        for (uint32_t i = 0; i < t; ++i) {
+          const uint64_t r = i + rng.NextBounded(p - i);
+          std::swap(ids[i], ids[r]);
+          z[ids[i]] = 1.0;
+        }
+      }
+      // w = K^{-1/2} z, written into column j.
+      const std::vector<double> w = MatVec(k_inv_sqrt_, z);
+      for (uint32_t i = 0; i < p; ++i) slab->at(i, j) = w[i];
+    }
+    slabs_[chunk] = std::move(slab);
+  }
+  return *slabs_[chunk];
+}
+
+uint64_t KlshHasher::HashChunk(const std::vector<double>& kernel_row,
+                               uint32_t chunk) const {
+  const DenseMatrix& slab = WeightSlab(chunk);
+  const uint32_t p = num_anchors();
+  assert(kernel_row.size() == p);
+  double dots[64] = {0.0};
+  for (uint32_t i = 0; i < p; ++i) {
+    const double ki = kernel_row[i];
+    if (ki == 0.0) continue;
+    const double* wrow = slab.row(i);
+    for (uint32_t j = 0; j < 64; ++j) dots[j] += ki * wrow[j];
+  }
+  uint64_t word = 0;
+  for (uint32_t j = 0; j < 64; ++j) {
+    if (dots[j] >= 0.0) word |= 1ULL << j;
+  }
+  return word;
+}
+
+KlshSignatureStore::KlshSignatureStore(const Dataset* data,
+                                       const KlshHasher* hasher)
+    : data_(data),
+      hasher_(hasher),
+      words_(data->num_vectors()),
+      kernel_rows_(data->num_vectors()) {}
+
+void KlshSignatureStore::EnsureBits(uint32_t row, uint32_t n_bits) {
+  const uint32_t have = NumBits(row);
+  if (n_bits <= have) return;
+  auto& kr = kernel_rows_[row];
+  if (kr.empty()) {
+    kr = hasher_->AnchorKernelRow(data_->Row(row));
+    kernel_evals_ += hasher_->num_anchors();
+  }
+  const uint32_t want_words = WordsForBits(n_bits);
+  auto& w = words_[row];
+  const uint32_t have_words = static_cast<uint32_t>(w.size());
+  w.resize(want_words);
+  for (uint32_t chunk = have_words; chunk < want_words; ++chunk) {
+    w[chunk] = hasher_->HashChunk(kr, chunk);
+  }
+  bits_computed_ += static_cast<uint64_t>(want_words - have_words) * 64;
+}
+
+void KlshSignatureStore::EnsureAllBits(uint32_t n_bits) {
+  for (uint32_t row = 0; row < num_rows(); ++row) EnsureBits(row, n_bits);
+}
+
+uint32_t KlshSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
+                                        uint32_t to) {
+  EnsureBits(a, to);
+  EnsureBits(b, to);
+  return MatchingBits(words_[a].data(), words_[b].data(), from, to);
+}
+
+CandidateList KlshCandidates(KlshSignatureStore* store, double threshold,
+                             const LshBandingParams& params) {
+  const uint32_t k = params.hashes_per_band != 0 ? params.hashes_per_band
+                                                 : kDefaultCosineBandBits;
+  assert(k <= 64);
+  const double p = CosineToSrpR(threshold);
+  const uint32_t l = params.num_bands != 0
+                         ? params.num_bands
+                         : DeriveNumBands(p, k, params.expected_fn_rate,
+                                          params.max_bands);
+  const uint32_t n = store->num_rows();
+  store->EnsureAllBits(l * k);
+
+  std::vector<uint64_t> keys;
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  entries.reserve(n);
+  for (uint32_t band = 0; band < l; ++band) {
+    entries.clear();
+    for (uint32_t row = 0; row < n; ++row) {
+      if (store->data()->RowLength(row) == 0) continue;
+      const uint64_t sig = ExtractBits(store->Words(row), band * k, k);
+      entries.emplace_back(sig, row);
+    }
+    // Same bucketing as the SRP banding path (candgen/lsh_banding.cc):
+    // sort groups equal signatures together, emit intra-bucket pairs.
+    std::sort(entries.begin(), entries.end());
+    size_t i = 0;
+    while (i < entries.size()) {
+      size_t j = i + 1;
+      while (j < entries.size() && entries[j].first == entries[i].first) ++j;
+      for (size_t x = i; x < j; ++x) {
+        for (size_t y = x + 1; y < j; ++y) {
+          const uint32_t rx = entries[x].second, ry = entries[y].second;
+          keys.push_back(rx < ry ? PairKey(rx, ry) : PairKey(ry, rx));
+        }
+      }
+      i = j;
+    }
+  }
+  return DedupPairKeys(std::move(keys));
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,157 @@
+// Kernelized locality-sensitive hashing (Kulis & Grauman, ICCV'09 — the
+// paper's reference [12] and its named future-work target).
+//
+// Plain SRP hashing needs an explicit random Gaussian direction r and the
+// inner product ⟨r, x⟩; with a kernel, the feature map φ is implicit and
+// only k(x, y) = ⟨φ(x), φ(y)⟩ is computable. KLSH builds hash directions
+// *inside the span of p anchor objects* x_1..x_p: a direction is
+// represented by weights w ∈ R^p with
+//
+//     h(x) = sign( Σ_i w_i k(x, x_i) )  = sign(⟨ Σ_i w_i φ(x_i), φ(x) ⟩).
+//
+// Two constructions of w are provided:
+//
+//  * kGaussianNystrom (default): w = K^{-1/2} g with g ~ N(0, I_p) and K
+//    the anchor kernel matrix. The feature-space direction Φ K^{-1/2} g
+//    then has covariance Φ K^{-1} Φᵀ — the orthogonal projector onto
+//    span(φ(x_1)..φ(x_p)) — i.e. it is an exactly spherical Gaussian
+//    within the anchor span. The SRP collision law
+//    Pr[h(x) = h(y)] = 1 − θ(Pφ(x), Pφ(y))/π holds exactly for the
+//    projected features, and approaches the law for the raw features as
+//    the anchors span the data (tested with spanning anchors).
+//
+//  * kSubsetClt: Kulis & Grauman's original construction
+//    w = K^{-1/2} e_S, e_S the indicator of a random size-t anchor subset,
+//    which approximates a Gaussian via the central limit theorem. Kept for
+//    fidelity to [12] and ablated against the Nyström variant
+//    (bench/ext_kernel_bayeslsh.cc); its uncentered mean biases collisions
+//    slightly toward the data's mean direction.
+//
+// Because the collision probability is the feature-space angle law,
+// BayesLSH verification reuses CosinePosterior as-is, with the threshold
+// interpreted as a *kernel cosine* (see kernel/kernels.h). What changes is
+// only the signature store (KlshSignatureStore): hashing an object is now
+// p kernel evaluations + a p-dot per 64 bits — expensive, which is exactly
+// the regime the paper's lazy-hashing argument targets (§4, advantage 3).
+
+#ifndef BAYESLSH_KERNEL_KLSH_H_
+#define BAYESLSH_KERNEL_KLSH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "candgen/candidates.h"
+#include "candgen/lsh_banding.h"
+#include "kernel/dense_matrix.h"
+#include "kernel/kernels.h"
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+enum class KlshDirection {
+  kGaussianNystrom,  // w = K^{-1/2} g, g ~ N(0, I): exact span-spherical law.
+  kSubsetClt,        // w = K^{-1/2} e_S: Kulis & Grauman's CLT construction.
+};
+
+struct KlshParams {
+  // Number of anchor objects p sampled from the collection. Larger p spans
+  // the data better (tighter collision law) at O(p) kernel evaluations per
+  // hashed object and an O(p^3) one-time eigensolve.
+  uint32_t num_anchors = 256;
+
+  // Subset size t for kSubsetClt (ignored by kGaussianNystrom). Kulis &
+  // Grauman use t ~ 30.
+  uint32_t subset_size = 30;
+
+  KlshDirection direction = KlshDirection::kGaussianNystrom;
+
+  // Seeds anchor sampling and hash-direction generation.
+  uint64_t seed = 42;
+};
+
+// Owns the anchors, K^{-1/2}, and the lazily-built per-chunk weight slabs.
+// Immutable after construction except for the slab cache; one hasher is
+// shared by all rows of a signature store.
+class KlshHasher {
+ public:
+  // Samples min(params.num_anchors, data.num_vectors()) distinct anchor
+  // rows from `data` (copied — `data` need not outlive the hasher) and
+  // factorizes their kernel matrix. The kernel must outlive the hasher.
+  KlshHasher(const Dataset& data, const Kernel* kernel, KlshParams params);
+
+  uint32_t num_anchors() const { return anchors_.num_vectors(); }
+  const Dataset& anchors() const { return anchors_; }
+  const Kernel& kernel() const { return *kernel_; }
+  const KlshParams& params() const { return params_; }
+
+  // k(x, anchor_i) for all anchors — the per-object hashing input.
+  std::vector<double> AnchorKernelRow(const SparseVectorView& x) const;
+
+  // Hash bits [64*chunk, 64*chunk + 64) of an object with the given anchor
+  // kernel row, packed with hash 64*chunk + j at bit j.
+  uint64_t HashChunk(const std::vector<double>& kernel_row,
+                     uint32_t chunk) const;
+
+  // Weight matrix for one chunk: column j holds w for hash 64*chunk + j.
+  // Built deterministically from (seed, chunk) on first use and cached.
+  const DenseMatrix& WeightSlab(uint32_t chunk) const;
+
+ private:
+  const Kernel* kernel_;
+  KlshParams params_;
+  Dataset anchors_;
+  DenseMatrix k_inv_sqrt_;  // K^{-1/2} over the anchors.
+  mutable std::vector<std::unique_ptr<DenseMatrix>> slabs_;
+};
+
+// Lazy, chunk-grown KLSH bit signatures; the kernelized analogue of
+// BitSignatureStore with the same MatchCount contract. Hashing an object
+// for the first time computes its anchor kernel row (p kernel
+// evaluations), which is cached — the dominant cost this store exists to
+// amortize and defer.
+class KlshSignatureStore {
+ public:
+  // Both referents must outlive the store.
+  KlshSignatureStore(const Dataset* data, const KlshHasher* hasher);
+
+  uint32_t num_rows() const { return static_cast<uint32_t>(words_.size()); }
+
+  void EnsureBits(uint32_t row, uint32_t n_bits);
+  void EnsureAllBits(uint32_t n_bits);
+
+  uint32_t NumBits(uint32_t row) const {
+    return static_cast<uint32_t>(words_[row].size()) * 64;
+  }
+
+  const uint64_t* Words(uint32_t row) const { return words_[row].data(); }
+
+  // Number of hash positions in [from, to) where rows a and b agree,
+  // growing both signatures as needed.
+  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
+
+  // Instrumentation: total hash bits computed, and total kernel
+  // evaluations spent on anchor rows (p per first-touched object).
+  uint64_t bits_computed() const { return bits_computed_; }
+  uint64_t kernel_evals() const { return kernel_evals_; }
+
+  const Dataset* data() const { return data_; }
+
+ private:
+  const Dataset* data_;
+  const KlshHasher* hasher_;
+  std::vector<std::vector<uint64_t>> words_;
+  std::vector<std::vector<double>> kernel_rows_;  // Empty until first touch.
+  uint64_t bits_computed_ = 0;
+  uint64_t kernel_evals_ = 0;
+};
+
+// Candidate pairs for the kernel cosine via banding over KLSH signatures;
+// the kernelized mirror of CosineLshCandidates (the collision probability
+// at the threshold is c2r(threshold), as for SRP).
+CandidateList KlshCandidates(KlshSignatureStore* store, double threshold,
+                             const LshBandingParams& params);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_KERNEL_KLSH_H_

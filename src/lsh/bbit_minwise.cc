@@ -1,0 +1,78 @@
+#include "lsh/bbit_minwise.h"
+
+#include <utility>
+
+namespace bayeslsh {
+
+static_assert(BbitSignatureStore::kChunkHashes % kMinhashChunkInts == 0,
+              "b-bit growth quantum must be whole minwise chunks");
+
+BbitSignatureStore::BbitSignatureStore(const Dataset* data,
+                                       MinwiseHasher hasher,
+                                       uint32_t bits_per_hash)
+    : data_(data),
+      hasher_(std::move(hasher)),
+      bits_per_hash_(bits_per_hash),
+      values_per_word_(64 / bits_per_hash),
+      words_(data->num_vectors()) {
+  assert(IsValidBbitWidth(bits_per_hash));
+}
+
+void BbitSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
+  const uint32_t have = NumHashes(row);
+  if (n_hashes <= have) return;
+  const uint32_t want =
+      (n_hashes + kChunkHashes - 1) / kChunkHashes * kChunkHashes;
+  auto& w = words_[row];
+  w.resize(want / values_per_word_, 0);
+
+  const SparseVectorView v = data_->Row(row);
+  const uint64_t value_mask = (bits_per_hash_ == 32)
+                                  ? 0xffffffffULL
+                                  : (1ULL << bits_per_hash_) - 1;
+  uint32_t scratch[kMinhashChunkInts];
+  for (uint32_t j = have; j < want; j += kMinhashChunkInts) {
+    hasher_.HashChunk(v, j / kMinhashChunkInts, scratch);
+    for (uint32_t i = 0; i < kMinhashChunkInts; ++i) {
+      const uint32_t hash_index = j + i;
+      const uint64_t value = scratch[i] & value_mask;
+      const uint32_t word = hash_index / values_per_word_;
+      const uint32_t group = hash_index % values_per_word_;
+      w[word] |= value << (group * bits_per_hash_);
+    }
+  }
+  hashes_computed_ += want - have;
+}
+
+void BbitSignatureStore::EnsureAllHashes(uint32_t n_hashes) {
+  for (uint32_t row = 0; row < num_rows(); ++row) {
+    EnsureHashes(row, n_hashes);
+  }
+}
+
+uint32_t BbitSignatureStore::HashValue(uint32_t row, uint32_t j) const {
+  assert(j < NumHashes(row));
+  const uint64_t word = words_[row][j / values_per_word_];
+  const uint32_t group = j % values_per_word_;
+  const uint64_t value_mask = (bits_per_hash_ == 32)
+                                  ? 0xffffffffULL
+                                  : (1ULL << bits_per_hash_) - 1;
+  return static_cast<uint32_t>((word >> (group * bits_per_hash_)) &
+                               value_mask);
+}
+
+uint32_t BbitSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
+                                        uint32_t to) {
+  EnsureHashes(a, to);
+  EnsureHashes(b, to);
+  return MatchingBbitGroups(words_[a].data(), words_[b].data(), from, to,
+                            bits_per_hash_);
+}
+
+uint64_t BbitSignatureStore::signature_bytes() const {
+  uint64_t words = 0;
+  for (const auto& w : words_) words += w.size();
+  return words * sizeof(uint64_t);
+}
+
+}  // namespace bayeslsh

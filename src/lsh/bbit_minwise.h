@@ -1,0 +1,141 @@
+// b-bit minwise hashing for Jaccard similarity (Li & König, WWW'10 —
+// reference [15] of the paper).
+//
+// Instead of storing each minhash as a 32-bit integer, only its lowest b
+// bits are kept. Two b-bit values collide when the underlying minhashes
+// collide (probability J, the Jaccard similarity) or when they differ but
+// their low b bits happen to agree (probability 2^-b for a counter-based
+// hash over a large universe). The per-hash collision probability is thus
+//
+//     Pr[collision] = c + (1 - c) J,   c = 2^-b,
+//
+// an affine "noise floor" on top of the plain minwise model. (Li & König's
+// exact C also carries O(|x|/D) set-size corrections, which vanish for the
+// sparse, high-dimensional data this library targets; DESIGN.md records the
+// substitution.) BayesLSH accommodates the changed likelihood with a new
+// posterior model (core/bbit_posterior.h) — nothing in the engine changes,
+// which is exactly the paper's portability claim.
+//
+// The payoff is storage and comparison speed: a b = 2 signature packs 32
+// hashes into one word, so a round of k = 32 hash comparisons is a single
+// XOR + fold + popcount instead of 32 integer compares. The price is
+// information per hash, quantified by the posterior's wider spread; the
+// ablation bench (bench/ablation_bbit_minwise.cc) measures the trade.
+
+#ifndef BAYESLSH_LSH_BBIT_MINWISE_H_
+#define BAYESLSH_LSH_BBIT_MINWISE_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "lsh/minwise_hasher.h"
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+// True iff b is a supported signature width: a power of two in [1, 32].
+// (64 is excluded: a 64-bit "b-bit" hash is just the full hash and would
+// need none of this machinery.)
+inline constexpr bool IsValidBbitWidth(uint32_t b) {
+  return b >= 1 && b <= 32 && std::has_single_bit(b);
+}
+
+// Mask with the lowest bit of every b-bit group set, e.g. 0x1111... for
+// b = 4. Requires IsValidBbitWidth(b).
+inline constexpr uint64_t BbitGroupLsbMask(uint32_t b) {
+  uint64_t mask = 0;
+  for (uint32_t g = 0; g < 64 / b; ++g) mask |= 1ULL << (g * b);
+  return mask;
+}
+
+// Number of b-bit groups in [from, to) that agree between the packed
+// sequences `a` and `b`. Group j of a sequence occupies bits
+// [b*(j % vpw), b*(j % vpw + 1)) of word j / vpw with vpw = 64 / b values
+// per word. Requires from <= to and both arrays to cover group to - 1.
+//
+// Word-parallel: the diff word's bits are OR-folded into each group's
+// lowest bit (shifts of b/2, b/4, ..., 1 stay within a group's reach), so
+// one popcount counts the disagreeing groups of a whole word.
+inline uint32_t MatchingBbitGroups(const uint64_t* a, const uint64_t* b,
+                                   uint32_t from, uint32_t to,
+                                   uint32_t bits_per_hash) {
+  assert(from <= to && IsValidBbitWidth(bits_per_hash));
+  if (from == to) return 0;
+  const uint32_t vpw = 64 / bits_per_hash;
+  const uint64_t lsb_mask = BbitGroupLsbMask(bits_per_hash);
+  const uint32_t first_word = from / vpw;
+  const uint32_t last_word = (to - 1) / vpw;
+  uint32_t matches = 0;
+  for (uint32_t w = first_word; w <= last_word; ++w) {
+    uint64_t diff = a[w] ^ b[w];
+    for (uint32_t s = bits_per_hash >> 1; s >= 1; s >>= 1) diff |= diff >> s;
+    const uint32_t glo = (w == first_word) ? from - w * vpw : 0;
+    const uint32_t ghi = (w == last_word) ? to - w * vpw : vpw;
+    uint64_t mask = lsb_mask;
+    if (glo > 0) mask &= ~0ULL << (glo * bits_per_hash);
+    if (ghi < vpw) mask &= (1ULL << (ghi * bits_per_hash)) - 1;
+    matches += (ghi - glo) -
+               static_cast<uint32_t>(std::popcount(diff & mask));
+  }
+  return matches;
+}
+
+// Lazy, chunk-grown store of b-bit minwise signatures; the b-bit analogue
+// of IntSignatureStore, satisfying the same MatchCount contract consumed by
+// the BayesLSH engines. Signatures grow in chunks of 64 hash values
+// (= 4 minwise chunks = b words), so a pair pruned after 64 hashes costs
+// each endpoint exactly one growth step.
+class BbitSignatureStore {
+ public:
+  // Growth quantum in hash values.
+  static constexpr uint32_t kChunkHashes = 64;
+
+  // Both referents must outlive the store. Requires
+  // IsValidBbitWidth(bits_per_hash).
+  BbitSignatureStore(const Dataset* data, MinwiseHasher hasher,
+                     uint32_t bits_per_hash);
+
+  uint32_t num_rows() const { return static_cast<uint32_t>(words_.size()); }
+  uint32_t bits_per_hash() const { return bits_per_hash_; }
+
+  // Grows row's signature to at least n hashes (rounded up to chunks).
+  void EnsureHashes(uint32_t row, uint32_t n_hashes);
+
+  // Grows every row to at least n hashes.
+  void EnsureAllHashes(uint32_t n_hashes);
+
+  // Hashes currently materialized for a row.
+  uint32_t NumHashes(uint32_t row) const {
+    return static_cast<uint32_t>(words_[row].size()) * values_per_word_;
+  }
+
+  // The b-bit value of hash j for a row (test/debug access).
+  uint32_t HashValue(uint32_t row, uint32_t j) const;
+
+  // Number of hash positions in [from, to) where rows a and b agree,
+  // growing both signatures as needed.
+  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
+
+  // Total underlying minwise hashes computed so far (instrumentation; the
+  // b-bit truncation does not reduce hashing work, only storage).
+  uint64_t hashes_computed() const { return hashes_computed_; }
+
+  // Bytes of signature storage currently held across all rows.
+  uint64_t signature_bytes() const;
+
+  const Dataset* data() const { return data_; }
+
+ private:
+  const Dataset* data_;
+  MinwiseHasher hasher_;
+  uint32_t bits_per_hash_;
+  uint32_t values_per_word_;
+  std::vector<std::vector<uint64_t>> words_;
+  uint64_t hashes_computed_ = 0;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_LSH_BBIT_MINWISE_H_

@@ -1,0 +1,101 @@
+#include "lsh/gaussian_source.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/prng.h"
+#include "lsh/inverse_normal_cdf.h"
+
+namespace bayeslsh {
+
+double GaussianSource::Component(uint32_t hash_index, DimId dim) const {
+  double buf[kSrpChunkBits];
+  FillChunk(dim, hash_index / kSrpChunkBits, buf);
+  return buf[hash_index % kSrpChunkBits];
+}
+
+void ImplicitGaussianSource::FillChunk(DimId dim, uint32_t chunk,
+                                       double* out) const {
+  const uint32_t base = chunk * kSrpChunkBits;
+  for (uint32_t j = 0; j < kSrpChunkBits; ++j) {
+    const uint64_t bits = Mix64(seed_, base + j, dim);
+    out[j] = InverseNormalCdf(ToOpenUnitUniform(bits));
+  }
+}
+
+QuantizedGaussianStore::QuantizedGaussianStore(uint64_t seed,
+                                               uint32_t num_dims,
+                                               uint32_t stored_hashes)
+    : base_(seed),
+      num_dims_(num_dims),
+      stored_chunks_((stored_hashes + kSrpChunkBits - 1) / kSrpChunkBits),
+      slabs_(stored_chunks_) {}
+
+uint16_t QuantizedGaussianStore::Quantize(double x) {
+  // Paper §4.3: x' = (x + 8) * 2^16 / 16 for x in (-8, 8). We round to
+  // nearest (the paper floors), halving the maximum error to 2^-13.
+  x = std::clamp(x, -8.0, 8.0 - 1.0 / 4096.0);
+  const double scaled = (x + 8.0) * 4096.0;
+  const long q = std::lround(scaled);
+  return static_cast<uint16_t>(std::clamp(q, 0L, 65535L));
+}
+
+double QuantizedGaussianStore::Dequantize(uint16_t q) {
+  return static_cast<double>(q) / 4096.0 - 8.0;
+}
+
+const uint16_t* QuantizedGaussianStore::Slab(uint32_t chunk) const {
+  assert(chunk < stored_chunks_);
+  auto& slab = slabs_[chunk];
+  if (!slab) {
+    slab = std::make_unique<uint16_t[]>(static_cast<size_t>(num_dims_) *
+                                        kSrpChunkBits);
+    double g[kSrpChunkBits];
+    for (DimId d = 0; d < num_dims_; ++d) {
+      base_.FillChunk(d, chunk, g);
+      uint16_t* row = slab.get() + static_cast<size_t>(d) * kSrpChunkBits;
+      for (uint32_t j = 0; j < kSrpChunkBits; ++j) row[j] = Quantize(g[j]);
+    }
+  }
+  return slab.get();
+}
+
+void QuantizedGaussianStore::FillChunk(DimId dim, uint32_t chunk,
+                                       double* out) const {
+  assert(dim < num_dims_);
+  if (chunk >= stored_chunks_) {
+    base_.FillChunk(dim, chunk, out);
+    return;
+  }
+  const uint16_t* row =
+      Slab(chunk) + static_cast<size_t>(dim) * kSrpChunkBits;
+  for (uint32_t j = 0; j < kSrpChunkBits; ++j) out[j] = Dequantize(row[j]);
+}
+
+uint64_t QuantizedGaussianStore::table_bytes() const {
+  uint64_t bytes = 0;
+  for (const auto& slab : slabs_) {
+    if (slab) {
+      bytes += static_cast<uint64_t>(num_dims_) * kSrpChunkBits *
+               sizeof(uint16_t);
+    }
+  }
+  return bytes;
+}
+
+std::shared_ptr<const GaussianSource> GaussianSourceCache::Get(uint64_t seed) {
+  auto it = cache_.find(seed);
+  if (it != cache_.end()) return it->second;
+  std::shared_ptr<const GaussianSource> src;
+  if (stored_hashes_ == 0) {
+    src = std::make_shared<ImplicitGaussianSource>(seed);
+  } else {
+    src = std::make_shared<QuantizedGaussianStore>(seed, num_dims_,
+                                                   stored_hashes_);
+  }
+  cache_.emplace(seed, src);
+  return src;
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,139 @@
+#include "lsh/icws_hasher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/bit_ops.h"
+#include "common/prng.h"
+
+namespace bayeslsh {
+
+namespace {
+
+// Gamma(2, 1) deviate: sum of two unit exponentials, derived from a
+// 64-bit key by further mixing (stream constants keep draws independent).
+double Gamma21(uint64_t key, uint64_t stream) {
+  const double u1 = ToOpenUnitUniform(Mix64(key, stream, 0x11));
+  const double u2 = ToOpenUnitUniform(Mix64(key, stream, 0x22));
+  return -std::log(u1) - std::log(u2);
+}
+
+}  // namespace
+
+void IcwsHasher::HashChunk(const SparseVectorView& v, uint32_t chunk,
+                           uint32_t* out) const {
+  const uint32_t base = chunk * kIcwsChunkInts;
+  for (uint32_t j = 0; j < kIcwsChunkInts; ++j) {
+    const uint64_t fn = base + j;
+    double best_log_a = std::numeric_limits<double>::infinity();
+    DimId best_dim = 0;
+    int64_t best_t = 0;
+    bool any = false;
+    for (uint32_t e = 0; e < v.size(); ++e) {
+      const double w = v.values[e];
+      if (w <= 0.0f) continue;  // Zero/negative weights carry no mass.
+      const DimId d = v.indices[e];
+      const uint64_t key = Mix64(seed_, fn, d);
+      const double r = Gamma21(key, 0xa);
+      const double c = Gamma21(key, 0xb);
+      const double beta = ToUnitUniform(Mix64(key, 0xc));
+      const double t = std::floor(std::log(w) / r + beta);
+      const double log_y = r * (t - beta);
+      const double log_a = std::log(c) - log_y - r;
+      if (log_a < best_log_a) {
+        best_log_a = log_a;
+        best_dim = d;
+        best_t = static_cast<int64_t>(t);
+        any = true;
+      }
+    }
+    if (!any) {
+      // Empty (or all-zero) vector: fixed sentinel per hash function.
+      out[j] = static_cast<uint32_t>(Mix64(seed_, fn, ~0ULL));
+      continue;
+    }
+    // 32-bit fingerprint of the (dimension, t) sample.
+    out[j] = static_cast<uint32_t>(
+        Mix64(best_dim, static_cast<uint64_t>(best_t)));
+  }
+}
+
+IcwsSignatureStore::IcwsSignatureStore(const Dataset* data, IcwsHasher hasher)
+    : data_(data), hasher_(hasher), hashes_(data->num_vectors()) {}
+
+void IcwsSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
+  const uint32_t have = NumHashes(row);
+  if (n_hashes <= have) return;
+  const uint32_t want =
+      (n_hashes + kIcwsChunkInts - 1) / kIcwsChunkInts * kIcwsChunkInts;
+  auto& h = hashes_[row];
+  h.resize(want);
+  const SparseVectorView v = data_->Row(row);
+  for (uint32_t j = have; j < want; j += kIcwsChunkInts) {
+    hasher_.HashChunk(v, j / kIcwsChunkInts, h.data() + j);
+  }
+  hashes_computed_ += want - have;
+}
+
+void IcwsSignatureStore::EnsureAllHashes(uint32_t n_hashes) {
+  for (uint32_t row = 0; row < num_rows(); ++row) {
+    EnsureHashes(row, n_hashes);
+  }
+}
+
+uint32_t IcwsSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
+                                        uint32_t to) {
+  EnsureHashes(a, to);
+  EnsureHashes(b, to);
+  const uint32_t* ha = hashes_[a].data();
+  const uint32_t* hb = hashes_[b].data();
+  uint32_t matches = 0;
+  for (uint32_t i = from; i < to; ++i) matches += (ha[i] == hb[i]);
+  return matches;
+}
+
+CandidateList IcwsLshCandidates(IcwsSignatureStore* store, double threshold,
+                                const LshBandingParams& params) {
+  const uint32_t k = params.hashes_per_band != 0 ? params.hashes_per_band
+                                                 : kDefaultJaccardBandInts;
+  const uint32_t l = params.num_bands != 0
+                         ? params.num_bands
+                         : DeriveNumBands(threshold, k,
+                                          params.expected_fn_rate,
+                                          params.max_bands);
+  const uint32_t n = store->num_rows();
+  store->EnsureAllHashes(l * k);
+
+  std::vector<uint64_t> keys;
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  entries.reserve(n);
+  for (uint32_t band = 0; band < l; ++band) {
+    entries.clear();
+    for (uint32_t row = 0; row < n; ++row) {
+      if (store->data()->RowLength(row) == 0) continue;
+      const uint32_t* h = store->Hashes(row) + band * k;
+      uint64_t sig = Mix64(0x1c3517ULL, band);
+      for (uint32_t i = 0; i < k; ++i) sig = Mix64(sig, h[i]);
+      entries.emplace_back(sig, row);
+    }
+    std::sort(entries.begin(), entries.end());
+    size_t i = 0;
+    while (i < entries.size()) {
+      size_t j = i + 1;
+      while (j < entries.size() && entries[j].first == entries[i].first) ++j;
+      for (size_t a = i; a < j; ++a) {
+        for (size_t b = a + 1; b < j; ++b) {
+          const uint32_t ra = entries[a].second, rb = entries[b].second;
+          keys.push_back(ra < rb ? PairKey(ra, rb) : PairKey(rb, ra));
+        }
+      }
+      i = j;
+    }
+  }
+  return DedupPairKeys(std::move(keys));
+}
+
+}  // namespace bayeslsh

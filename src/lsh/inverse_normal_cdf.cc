@@ -1,0 +1,59 @@
+#include "lsh/inverse_normal_cdf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bayeslsh {
+
+namespace {
+
+// Coefficients of Peter Acklam's inverse-normal-CDF approximation.
+constexpr double kA[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                          -2.759285104469687e+02, 1.383577518672690e+02,
+                          -3.066479806614716e+01, 2.506628277459239e+00};
+constexpr double kB[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                          -1.556989798598866e+02, 6.680131188771972e+01,
+                          -1.328068155288572e+01};
+constexpr double kC[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                          -2.400758277161838e+00, -2.549732539343734e+00,
+                          4.374664141464968e+00,  2.938163982698783e+00};
+constexpr double kD[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                          2.445134137142996e+00, 3.754408661907416e+00};
+
+constexpr double kPLow = 0.02425;
+constexpr double kPHigh = 1.0 - kPLow;
+
+}  // namespace
+
+double InverseNormalCdf(double p) {
+  assert(p > 0.0 && p < 1.0);
+  if (p < kPLow) {
+    // Lower tail.
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+            kC[5]) /
+           ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  }
+  if (p > kPHigh) {
+    // Upper tail, by symmetry.
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    return -(((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) *
+                 q +
+             kC[5]) /
+           ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  }
+  // Central region.
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((kA[0] * r + kA[1]) * r + kA[2]) * r + kA[3]) * r + kA[4]) * r +
+          kA[5]) *
+         q /
+         (((((kB[0] * r + kB[1]) * r + kB[2]) * r + kB[3]) * r + kB[4]) * r +
+          1.0);
+}
+
+double NormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+}  // namespace bayeslsh

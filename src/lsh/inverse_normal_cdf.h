@@ -1,0 +1,25 @@
+// Inverse CDF (quantile function) of the standard normal distribution.
+//
+// Used by the counter-based Gaussian source: a 64-bit hash is mapped to a
+// uniform in (0, 1) and then through this function to an N(0, 1) deviate.
+// This gives O(1) random access to component (hash_index, dimension) of the
+// random projection matrix without storing it.
+
+#ifndef BAYESLSH_LSH_INVERSE_NORMAL_CDF_H_
+#define BAYESLSH_LSH_INVERSE_NORMAL_CDF_H_
+
+namespace bayeslsh {
+
+// Returns z such that Phi(z) = p, for p in (0, 1). Implementation is Peter
+// Acklam's rational approximation (relative error < 1.15e-9 over the full
+// open interval), which is more than enough precision for sign-of-projection
+// hashing. Requires 0 < p < 1.
+double InverseNormalCdf(double p);
+
+// Standard normal CDF (via std::erfc); exposed for tests that validate
+// InverseNormalCdf by round-tripping.
+double NormalCdf(double z);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_LSH_INVERSE_NORMAL_CDF_H_

@@ -1,0 +1,28 @@
+#include "lsh/minwise_hasher.h"
+
+#include <limits>
+
+#include "common/prng.h"
+
+namespace bayeslsh {
+
+void MinwiseHasher::HashChunk(const SparseVectorView& v, uint32_t chunk,
+                              uint32_t* out) const {
+  const uint32_t base = chunk * kMinhashChunkInts;
+  for (uint32_t j = 0; j < kMinhashChunkInts; ++j) {
+    const uint64_t fn = base + j;
+    uint64_t best = std::numeric_limits<uint64_t>::max();
+    for (DimId d : v.indices) {
+      const uint64_t h = Mix64(seed_, fn, d);
+      if (h < best) best = h;
+    }
+    if (v.empty()) {
+      // Sentinel for the empty set; any fixed value works as long as it is
+      // a pure function of (seed, fn).
+      best = Mix64(seed_, fn, std::numeric_limits<uint64_t>::max());
+    }
+    out[j] = static_cast<uint32_t>(best);
+  }
+}
+
+}  // namespace bayeslsh

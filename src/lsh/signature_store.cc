@@ -1,0 +1,74 @@
+#include "lsh/signature_store.h"
+
+#include <cassert>
+
+namespace bayeslsh {
+
+BitSignatureStore::BitSignatureStore(const Dataset* data, SrpHasher hasher)
+    : data_(data), hasher_(hasher), words_(data->num_vectors()) {}
+
+void BitSignatureStore::EnsureBits(uint32_t row, uint32_t n_bits) {
+  auto& w = words_[row];
+  const uint32_t have = static_cast<uint32_t>(w.size());
+  const uint32_t need = WordsForBits(n_bits);
+  if (have >= need) return;
+  const SparseVectorView v = data_->Row(row);
+  w.reserve(need);
+  for (uint32_t c = have; c < need; ++c) {
+    w.push_back(hasher_.HashChunk(v, c));
+  }
+  bits_computed_ += static_cast<uint64_t>(need - have) * kBitsPerWord;
+}
+
+void BitSignatureStore::EnsureAllBits(uint32_t n_bits) {
+  for (uint32_t i = 0; i < num_rows(); ++i) EnsureBits(i, n_bits);
+}
+
+uint32_t BitSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
+                                       uint32_t to) {
+  assert(from <= to);
+  EnsureBits(a, to);
+  EnsureBits(b, to);
+  return MatchingBits(words_[a].data(), words_[b].data(), from, to);
+}
+
+IntSignatureStore::IntSignatureStore(const Dataset* data,
+                                     MinwiseHasher hasher)
+    : data_(data), hasher_(hasher), hashes_(data->num_vectors()) {}
+
+void IntSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
+  auto& h = hashes_[row];
+  const uint32_t have = static_cast<uint32_t>(h.size());
+  // Round up to whole chunks.
+  const uint32_t need_chunks =
+      (n_hashes + kMinhashChunkInts - 1) / kMinhashChunkInts;
+  const uint32_t need = need_chunks * kMinhashChunkInts;
+  if (have >= need) return;
+  assert(have % kMinhashChunkInts == 0);
+  const SparseVectorView v = data_->Row(row);
+  h.resize(need);
+  for (uint32_t c = have / kMinhashChunkInts; c < need_chunks; ++c) {
+    hasher_.HashChunk(v, c, h.data() + c * kMinhashChunkInts);
+  }
+  hashes_computed_ += need - have;
+}
+
+void IntSignatureStore::EnsureAllHashes(uint32_t n_hashes) {
+  for (uint32_t i = 0; i < num_rows(); ++i) EnsureHashes(i, n_hashes);
+}
+
+uint32_t IntSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
+                                       uint32_t to) {
+  assert(from <= to);
+  EnsureHashes(a, to);
+  EnsureHashes(b, to);
+  const uint32_t* ha = hashes_[a].data();
+  const uint32_t* hb = hashes_[b].data();
+  uint32_t matches = 0;
+  for (uint32_t i = from; i < to; ++i) {
+    matches += (ha[i] == hb[i]) ? 1 : 0;
+  }
+  return matches;
+}
+
+}  // namespace bayeslsh

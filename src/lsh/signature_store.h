@@ -1,0 +1,95 @@
+// Lazy, chunk-grown signature storage.
+//
+// BayesLSH's cost model depends on hashing each object only as much as
+// needed: a pair pruned after 32 bits should not force its endpoints to be
+// hashed 2048 times. These stores grow each row's signature on demand, in
+// whole chunks (64 bits for SRP, 16 ints for minwise), and track the total
+// hashing work done — which the pipeline reports as "hashing overhead",
+// mirroring the paper's discussion of amortized hashing costs.
+//
+// Not thread-safe: the paper's algorithms (and ours) are single-threaded.
+
+#ifndef BAYESLSH_LSH_SIGNATURE_STORE_H_
+#define BAYESLSH_LSH_SIGNATURE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_ops.h"
+#include "lsh/minwise_hasher.h"
+#include "lsh/srp_hasher.h"
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+// Bit signatures (SRP / cosine). Hash i of row v is bit i%64 of word i/64.
+class BitSignatureStore {
+ public:
+  // Both referents must outlive the store.
+  BitSignatureStore(const Dataset* data, SrpHasher hasher);
+
+  uint32_t num_rows() const { return static_cast<uint32_t>(words_.size()); }
+
+  // Grows row's signature to at least n_bits hashes (rounded up to chunks).
+  void EnsureBits(uint32_t row, uint32_t n_bits);
+
+  // Grows every row to at least n_bits hashes.
+  void EnsureAllBits(uint32_t n_bits);
+
+  // Bits currently available for a row.
+  uint32_t NumBits(uint32_t row) const {
+    return static_cast<uint32_t>(words_[row].size()) * kBitsPerWord;
+  }
+
+  const uint64_t* Words(uint32_t row) const { return words_[row].data(); }
+
+  // Number of hash positions in [from, to) where rows a and b agree,
+  // growing both signatures as needed.
+  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
+
+  // Total hash bits computed so far across all rows (instrumentation).
+  uint64_t bits_computed() const { return bits_computed_; }
+
+  const Dataset* data() const { return data_; }
+
+ private:
+  const Dataset* data_;
+  SrpHasher hasher_;
+  std::vector<std::vector<uint64_t>> words_;
+  uint64_t bits_computed_ = 0;
+};
+
+// Integer signatures (minwise / Jaccard).
+class IntSignatureStore {
+ public:
+  IntSignatureStore(const Dataset* data, MinwiseHasher hasher);
+
+  uint32_t num_rows() const { return static_cast<uint32_t>(hashes_.size()); }
+
+  void EnsureHashes(uint32_t row, uint32_t n_hashes);
+  void EnsureAllHashes(uint32_t n_hashes);
+
+  uint32_t NumHashes(uint32_t row) const {
+    return static_cast<uint32_t>(hashes_[row].size());
+  }
+
+  const uint32_t* Hashes(uint32_t row) const { return hashes_[row].data(); }
+
+  // Number of hash positions in [from, to) where rows a and b agree,
+  // growing both signatures as needed.
+  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
+
+  uint64_t hashes_computed() const { return hashes_computed_; }
+
+  const Dataset* data() const { return data_; }
+
+ private:
+  const Dataset* data_;
+  MinwiseHasher hasher_;
+  std::vector<std::vector<uint32_t>> hashes_;
+  uint64_t hashes_computed_ = 0;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_LSH_SIGNATURE_STORE_H_

@@ -1,0 +1,22 @@
+#include "lsh/srp_hasher.h"
+
+namespace bayeslsh {
+
+uint64_t SrpHasher::HashChunk(const SparseVectorView& v,
+                              uint32_t chunk) const {
+  double acc[kSrpChunkBits] = {0.0};
+  double g[kSrpChunkBits];
+  const uint32_t n = v.size();
+  for (uint32_t k = 0; k < n; ++k) {
+    source_->FillChunk(v.indices[k], chunk, g);
+    const double w = v.values[k];
+    for (uint32_t j = 0; j < kSrpChunkBits; ++j) acc[j] += w * g[j];
+  }
+  uint64_t bits = 0;
+  for (uint32_t j = 0; j < kSrpChunkBits; ++j) {
+    if (acc[j] >= 0.0) bits |= (1ULL << j);
+  }
+  return bits;
+}
+
+}  // namespace bayeslsh

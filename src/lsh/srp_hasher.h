@@ -1,0 +1,58 @@
+// Signed-random-projection (SRP) hashing for cosine similarity
+// (Charikar, STOC'02).
+//
+// h_i(x) = 1 iff dot(r_i, x) >= 0, with r_i a random Gaussian vector, and
+//
+//   Pr[h_i(x) == h_i(y)] = 1 - theta(x, y) / pi  =: r(x, y)
+//
+// Note the collision probability is r(x, y), *not* cos(x, y) — the BayesLSH
+// cosine posterior (core/cosine_posterior.h) does all inference on r and maps
+// results through r2c/c2r.
+//
+// Hashes are computed 64 at a time ("chunks") and bit-packed into a uint64_t,
+// which makes comparing k = 32 or 64 hashes a single XOR + popcount.
+
+#ifndef BAYESLSH_LSH_SRP_HASHER_H_
+#define BAYESLSH_LSH_SRP_HASHER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "lsh/gaussian_source.h"
+#include "vec/sparse_vector.h"
+
+namespace bayeslsh {
+
+// Maps the SRP collision probability r in [0.5, 1] to cosine similarity:
+// r2c(r) = cos(pi (1 - r)).
+inline double SrpRToCosine(double r) {
+  return std::cos(std::numbers::pi * (1.0 - r));
+}
+
+// Maps cosine similarity c in [-1, 1] to the SRP collision probability:
+// c2r(c) = 1 - arccos(c) / pi.
+inline double CosineToSrpR(double c) {
+  return 1.0 - std::acos(std::clamp(c, -1.0, 1.0)) / std::numbers::pi;
+}
+
+// Stateless hasher: signature bits of a vector are a pure function of
+// (gaussian source, vector).
+class SrpHasher {
+ public:
+  // The source must outlive the hasher.
+  explicit SrpHasher(const GaussianSource* source) : source_(source) {}
+
+  // Computes hash bits [64*chunk, 64*chunk + 64) of v, packed with hash
+  // 64*chunk + j at bit j. The empty vector hashes to all-ones (projection
+  // 0 counts as non-negative).
+  uint64_t HashChunk(const SparseVectorView& v, uint32_t chunk) const;
+
+ private:
+  const GaussianSource* source_;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_LSH_SRP_HASHER_H_

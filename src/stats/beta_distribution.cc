@@ -1,0 +1,90 @@
+#include "stats/beta_distribution.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "stats/special_functions.h"
+
+namespace bayeslsh {
+
+BetaDistribution::BetaDistribution(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  assert(alpha > 0 && beta > 0);
+}
+
+double BetaDistribution::Pdf(double s) const {
+  if (s <= 0.0 || s >= 1.0) {
+    // Density at the boundary: 0 except for shapes that diverge there; the
+    // finite convention 0 keeps downstream numerics safe.
+    return 0.0;
+  }
+  return std::exp(LogPdf(s));
+}
+
+double BetaDistribution::LogPdf(double s) const {
+  if (s <= 0.0 || s >= 1.0) return -std::numeric_limits<double>::infinity();
+  return (alpha_ - 1.0) * std::log(s) + (beta_ - 1.0) * std::log1p(-s) -
+         LogBeta(alpha_, beta_);
+}
+
+double BetaDistribution::Cdf(double s) const {
+  return RegularizedIncompleteBeta(alpha_, beta_, s);
+}
+
+double BetaDistribution::Mass(double lo, double hi) const {
+  return BetaMass(alpha_, beta_, lo, hi);
+}
+
+double BetaDistribution::Variance() const {
+  const double ab = alpha_ + beta_;
+  return alpha_ * beta_ / (ab * ab * (ab + 1.0));
+}
+
+double BetaDistribution::Mode() const {
+  if (alpha_ > 1.0 && beta_ > 1.0) {
+    return (alpha_ - 1.0) / (alpha_ + beta_ - 2.0);
+  }
+  if (alpha_ <= 1.0 && beta_ > 1.0) return 0.0;
+  if (alpha_ > 1.0 && beta_ <= 1.0) return 1.0;
+  // Uniform or U-shaped: no unique interior mode; the mean is a stable
+  // point summary.
+  return Mean();
+}
+
+BetaDistribution BetaDistribution::Posterior(int m, int n) const {
+  assert(m >= 0 && m <= n);
+  return BetaDistribution(alpha_ + m, beta_ + (n - m));
+}
+
+BetaDistribution BetaDistribution::MethodOfMoments(double mean,
+                                                   double variance) {
+  // Guard against degenerate moments; see header.
+  constexpr double kMinVariance = 1e-12;
+  if (!(mean > 0.0 && mean < 1.0) || variance < kMinVariance) {
+    return BetaDistribution(1.0, 1.0);
+  }
+  // The fit is only valid when variance < mean(1-mean) (a Beta cannot be
+  // more dispersed than a Bernoulli with the same mean).
+  const double spread = mean * (1.0 - mean);
+  if (variance >= spread) return BetaDistribution(1.0, 1.0);
+  const double common = spread / variance - 1.0;
+  const double alpha = mean * common;
+  const double beta = (1.0 - mean) * common;
+  if (alpha <= 0.0 || beta <= 0.0) return BetaDistribution(1.0, 1.0);
+  return BetaDistribution(alpha, beta);
+}
+
+BetaDistribution BetaDistribution::FitMethodOfMoments(
+    std::span<const double> samples) {
+  if (samples.empty()) return BetaDistribution(1.0, 1.0);
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  const double mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double s : samples) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(samples.size());  // Biased, as in the paper.
+  return MethodOfMoments(mean, var);
+}
+
+}  // namespace bayeslsh

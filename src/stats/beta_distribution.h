@@ -1,0 +1,71 @@
+// Beta distribution: the conjugate prior (and posterior) used by BayesLSH
+// for Jaccard similarity (paper §4.1).
+//
+// The prior Beta(α, β) can either be uniform (α = β = 1) or fit by the
+// method of moments to a random sample of candidate-pair similarities, as
+// the paper recommends:
+//
+//   α̂ = s̄ ( s̄(1-s̄)/s̄_v − 1 ),   β̂ = (1−s̄) ( s̄(1-s̄)/s̄_v − 1 )
+//
+// where s̄ and s̄_v are the sample mean and (biased) sample variance.
+
+#ifndef BAYESLSH_STATS_BETA_DISTRIBUTION_H_
+#define BAYESLSH_STATS_BETA_DISTRIBUTION_H_
+
+#include <span>
+
+namespace bayeslsh {
+
+// An immutable Beta(alpha, beta) distribution on (0, 1).
+class BetaDistribution {
+ public:
+  // Requires alpha > 0 and beta > 0.
+  BetaDistribution(double alpha, double beta);
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+  // Probability density at s in (0, 1).
+  double Pdf(double s) const;
+
+  // log Pdf(s); -inf outside the support.
+  double LogPdf(double s) const;
+
+  // CDF at s: the regularized incomplete beta function I_s(alpha, beta).
+  double Cdf(double s) const;
+
+  // P[lo <= S <= hi], interval clamped to [0, 1].
+  double Mass(double lo, double hi) const;
+
+  double Mean() const { return alpha_ / (alpha_ + beta_); }
+
+  double Variance() const;
+
+  // Mode of the density. Defined for alpha > 1 && beta > 1 as
+  // (alpha-1)/(alpha+beta-2); for boundary-mode shapes returns the
+  // appropriate endpoint (0 or 1), and for the U-shaped / uniform cases
+  // returns the mean as a sensible point summary.
+  double Mode() const;
+
+  // Bayesian update: posterior after observing m successes in n Bernoulli
+  // trials with success probability S ~ this prior. Conjugacy gives
+  // Beta(alpha + m, beta + (n - m)).
+  BetaDistribution Posterior(int m, int n) const;
+
+  // Method-of-moments fit from a sample mean and biased sample variance.
+  // Falls back to the uniform Beta(1, 1) when the moments are degenerate
+  // (variance ~ 0, or mean outside (0, 1)), which happens for pathological
+  // candidate samples (e.g. all-identical similarities).
+  static BetaDistribution MethodOfMoments(double mean, double variance);
+
+  // Method-of-moments fit from raw similarity samples.
+  static BetaDistribution FitMethodOfMoments(std::span<const double> samples);
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_STATS_BETA_DISTRIBUTION_H_

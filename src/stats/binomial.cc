@@ -1,0 +1,63 @@
+#include "stats/binomial.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace bayeslsh {
+
+double BinomialPmf(int m, int n, double p) {
+  assert(m >= 0 && m <= n);
+  assert(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) return m == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return m == n ? 1.0 : 0.0;
+  const double log_pmf = LogChoose(static_cast<unsigned>(n),
+                                   static_cast<unsigned>(m)) +
+                         m * std::log(p) + (n - m) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double BinomialCdf(int m, int n, double p) {
+  assert(n >= 0);
+  assert(p >= 0.0 && p <= 1.0);
+  if (m < 0) return 0.0;
+  if (m >= n) return 1.0;
+  if (p == 0.0) return 1.0;
+  if (p == 1.0) return 0.0;  // m < n here.
+  // P[X <= m] = I_{1-p}(n - m, m + 1).
+  return RegularizedIncompleteBeta(static_cast<double>(n - m),
+                                   static_cast<double>(m + 1), 1.0 - p);
+}
+
+double MleConcentrationProbability(double s, int n, double delta) {
+  assert(n >= 1);
+  assert(delta > 0.0);
+  // |m/n - s| < delta  <=>  (s - delta) n < m < (s + delta) n: count the
+  // integers strictly inside the open interval. (The paper's §3.1 summation
+  // writes closed fractional bounds; no rounding convention of that sum
+  // reproduces all of Figure 1's quoted values simultaneously, so we use
+  // the strict-statistical reading — see the Figure 1 bench notes in
+  // EXPERIMENTS.md. The U-shape and the ~350-hashes-at-0.5 value agree.)
+  // The 1e-12 nudges keep strict inequalities strict under floating-point
+  // noise (e.g. (0.95 + 0.05) * n evaluating to just above n would
+  // otherwise admit m = n, whose error is exactly delta, not < delta).
+  const double lo_real = (s - delta) * n;
+  const double hi_real = (s + delta) * n;
+  int lo = static_cast<int>(std::floor(lo_real + 1e-12)) + 1;
+  int hi = static_cast<int>(std::ceil(hi_real - 1e-12)) - 1;
+  if (lo < 0) lo = 0;
+  if (hi > n) hi = n;
+  if (lo > hi) return 0.0;
+  return BinomialCdf(hi, n, s) - BinomialCdf(lo - 1, n, s);
+}
+
+int RequiredHashes(double s, double delta, double gamma, int max_n) {
+  assert(delta > 0.0 && gamma > 0.0 && gamma < 1.0);
+  for (int n = 1; n <= max_n; ++n) {
+    if (MleConcentrationProbability(s, n, delta) >= 1.0 - gamma) return n;
+  }
+  return max_n + 1;
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,41 @@
+// Binomial distribution utilities, used for the *classical* (frequentist)
+// similarity-estimation analysis of paper §3.
+//
+// With n hashes compared and true similarity s, the number of matches m is
+// Binomial(n, s). The maximum-likelihood estimate ŝ = m/n has variance
+// s(1-s)/n, so the number of hashes needed for a given accuracy depends on
+// the unknown s — the paper's Figure 1 plots exactly that curve, which
+// RequiredHashes() reproduces.
+
+#ifndef BAYESLSH_STATS_BINOMIAL_H_
+#define BAYESLSH_STATS_BINOMIAL_H_
+
+namespace bayeslsh {
+
+// P[X = m] for X ~ Binomial(n, p). Numerically stable in the tails (log-space
+// evaluation). Requires 0 <= m <= n and p in [0, 1].
+double BinomialPmf(int m, int n, double p);
+
+// P[X <= m] for X ~ Binomial(n, p). m may be any integer (values below 0 /
+// above n clamp to 0 / 1). Uses the incomplete-beta identity
+// P[X <= m] = I_{1-p}(n-m, m+1).
+double BinomialCdf(int m, int n, double p);
+
+// P[|m/n - s| < delta] for m ~ Binomial(n, s): the probability that the MLE
+// from n hashes lands strictly within delta of the true similarity s (the
+// concentration probability of paper §3.1; see the .cc note on the paper's
+// boundary convention).
+double MleConcentrationProbability(double s, int n, double delta);
+
+// The minimum number of hashes n such that the MLE ŝ_n = m/n satisfies
+// P[|ŝ_n − s| < delta] >= 1 − gamma, searching n in [1, max_n].
+// Returns max_n + 1 if no n in range suffices. Reproduces Figure 1.
+//
+// Note the concentration probability is not monotone in n (it oscillates as
+// new integer match-counts enter/leave the window), so this scans n rather
+// than binary-searching.
+int RequiredHashes(double s, double delta, double gamma, int max_n = 20000);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_STATS_BINOMIAL_H_

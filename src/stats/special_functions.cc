@@ -1,0 +1,100 @@
+#include "stats/special_functions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace bayeslsh {
+
+double LogBeta(double a, double b) {
+  assert(a > 0 && b > 0);
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+namespace {
+
+// Evaluates the continued fraction for the incomplete beta function by the
+// modified Lentz method. The standard expansion is
+//
+//   I_x(a,b) = prefix * (1 / (1 + d_1/(1 + d_2/(1 + ...))))
+//
+// with d_{2m+1} = -(a+m)(a+b+m) x / ((a+2m)(a+2m+1))
+// and  d_{2m}   = m (b-m) x / ((a+2m-1)(a+2m))
+//
+// It converges rapidly when x < (a+1)/(a+b+2); the caller uses the symmetry
+// I_x(a,b) = 1 - I_{1-x}(b,a) to ensure that.
+double IncompleteBetaContinuedFraction(double a, double b, double x) {
+  constexpr double kTiny = 1e-300;
+  constexpr double kEps = 1e-15;
+  constexpr int kMaxIter = 500;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    // Even step.
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    // Odd step.
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  assert(a > 0 && b > 0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+
+  // log of the prefix x^a (1-x)^b / (a B(a,b)).
+  const double log_prefix =
+      a * std::log(x) + b * std::log1p(-x) - LogBeta(a, b);
+
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return std::exp(log_prefix) * IncompleteBetaContinuedFraction(a, b, x) / a;
+  }
+  // Symmetry: evaluate the mirrored fraction, which converges fast here.
+  const double mirrored =
+      std::exp(log_prefix) * IncompleteBetaContinuedFraction(b, a, 1.0 - x) /
+      b;
+  return 1.0 - mirrored;
+}
+
+double BetaMass(double a, double b, double lo, double hi) {
+  lo = std::max(lo, 0.0);
+  hi = std::min(hi, 1.0);
+  if (lo >= hi) return 0.0;
+  return RegularizedIncompleteBeta(a, b, hi) -
+         RegularizedIncompleteBeta(a, b, lo);
+}
+
+double LogChoose(unsigned n, unsigned k) {
+  assert(k <= n);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+}  // namespace bayeslsh

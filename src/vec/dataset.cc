@@ -1,0 +1,95 @@
+#include "vec/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bayeslsh {
+
+Dataset::Dataset(uint32_t num_dims, std::vector<uint64_t> indptr,
+                 std::vector<DimId> indices, std::vector<float> values)
+    : num_dims_(num_dims),
+      indptr_(std::move(indptr)),
+      indices_(std::move(indices)),
+      values_(std::move(values)) {
+  assert(!indptr_.empty());
+  assert(indptr_.front() == 0);
+  assert(indptr_.back() == indices_.size());
+  assert(indices_.size() == values_.size());
+}
+
+DatasetStats Dataset::Stats() const {
+  DatasetStats s;
+  s.num_vectors = num_vectors();
+  s.num_dims = num_dims_;
+  s.total_nnz = nnz();
+  if (s.num_vectors == 0) return s;
+  s.avg_length = static_cast<double>(s.total_nnz) / s.num_vectors;
+  double var = 0.0;
+  for (uint32_t i = 0; i < s.num_vectors; ++i) {
+    const uint32_t len = RowLength(i);
+    s.max_length = std::max(s.max_length, len);
+    const double d = len - s.avg_length;
+    var += d * d;
+  }
+  s.length_stddev = std::sqrt(var / s.num_vectors);
+  return s;
+}
+
+std::vector<uint32_t> Dataset::DimFrequencies() const {
+  std::vector<uint32_t> freq(num_dims_, 0);
+  for (DimId d : indices_) ++freq[d];
+  return freq;
+}
+
+std::vector<float> Dataset::DimMaxWeights() const {
+  std::vector<float> mw(num_dims_, 0.0f);
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    const float a = std::abs(values_[k]);
+    if (a > mw[indices_[k]]) mw[indices_[k]] = a;
+  }
+  return mw;
+}
+
+void DatasetBuilder::AddRow(std::vector<std::pair<DimId, float>> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t out = 0;
+  // Merge duplicates, drop zeros.
+  for (size_t i = 0; i < entries.size();) {
+    const DimId d = entries[i].first;
+    double w = 0.0;
+    while (i < entries.size() && entries[i].first == d) {
+      w += entries[i].second;
+      ++i;
+    }
+    if (w != 0.0) {
+      entries[out++] = {d, static_cast<float>(w)};
+    }
+  }
+  entries.resize(out);
+  for (const auto& [d, w] : entries) {
+    if (d >= num_dims_) num_dims_ = d + 1;
+    indices_.push_back(d);
+    values_.push_back(w);
+  }
+  indptr_.push_back(indices_.size());
+}
+
+void DatasetBuilder::AddSetRow(std::vector<DimId> dims) {
+  std::sort(dims.begin(), dims.end());
+  dims.erase(std::unique(dims.begin(), dims.end()), dims.end());
+  for (DimId d : dims) {
+    if (d >= num_dims_) num_dims_ = d + 1;
+    indices_.push_back(d);
+    values_.push_back(1.0f);
+  }
+  indptr_.push_back(indices_.size());
+}
+
+Dataset DatasetBuilder::Build() && {
+  return Dataset(num_dims_, std::move(indptr_), std::move(indices_),
+                 std::move(values_));
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,106 @@
+// CSR-format collection of sparse vectors: the object collection D on which
+// all-pairs similarity search runs.
+//
+// Rows are built through DatasetBuilder (which sorts and merges duplicate
+// feature ids), after which a Dataset is immutable. Transformations such as
+// tf-idf weighting and L2 normalization produce new Datasets
+// (see vec/transforms.h).
+
+#ifndef BAYESLSH_VEC_DATASET_H_
+#define BAYESLSH_VEC_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vec/sparse_vector.h"
+
+namespace bayeslsh {
+
+// Aggregate statistics of a dataset, matching the columns of the paper's
+// Table 1.
+struct DatasetStats {
+  uint32_t num_vectors = 0;
+  uint32_t num_dims = 0;
+  double avg_length = 0.0;   // Average non-zeros per vector.
+  uint64_t total_nnz = 0;    // Total non-zeros.
+  uint32_t max_length = 0;   // Longest vector.
+  double length_stddev = 0;  // Std-dev of vector lengths.
+};
+
+// Immutable CSR sparse matrix; row i is object i.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(uint32_t num_dims, std::vector<uint64_t> indptr,
+          std::vector<DimId> indices, std::vector<float> values);
+
+  uint32_t num_vectors() const {
+    return indptr_.empty() ? 0 : static_cast<uint32_t>(indptr_.size() - 1);
+  }
+  uint32_t num_dims() const { return num_dims_; }
+  uint64_t nnz() const { return indices_.size(); }
+
+  // Number of non-zeros in row i.
+  uint32_t RowLength(uint32_t i) const {
+    return static_cast<uint32_t>(indptr_[i + 1] - indptr_[i]);
+  }
+
+  SparseVectorView Row(uint32_t i) const {
+    const uint64_t begin = indptr_[i], end = indptr_[i + 1];
+    return SparseVectorView{
+        {indices_.data() + begin, indices_.data() + end},
+        {values_.data() + begin, values_.data() + end}};
+  }
+
+  const std::vector<uint64_t>& indptr() const { return indptr_; }
+  const std::vector<DimId>& indices() const { return indices_; }
+  const std::vector<float>& values() const { return values_; }
+
+  DatasetStats Stats() const;
+
+  // Number of rows in which each dimension appears (document frequency).
+  std::vector<uint32_t> DimFrequencies() const;
+
+  // Largest absolute weight per dimension across all rows ("maxweight_i(V)"
+  // in the AllPairs paper).
+  std::vector<float> DimMaxWeights() const;
+
+ private:
+  uint32_t num_dims_ = 0;
+  std::vector<uint64_t> indptr_ = {0};
+  std::vector<DimId> indices_;
+  std::vector<float> values_;
+};
+
+// Incremental row-by-row builder. Duplicate feature ids within a row are
+// merged by summing their weights; zero-weight entries are dropped.
+class DatasetBuilder {
+ public:
+  explicit DatasetBuilder(uint32_t num_dims = 0) : num_dims_(num_dims) {}
+
+  // Adds one row given (dim, weight) pairs in any order.
+  void AddRow(std::vector<std::pair<DimId, float>> entries);
+
+  // Adds one row from a plain set of dimensions, all with weight 1
+  // (binary data).
+  void AddSetRow(std::vector<DimId> dims);
+
+  uint32_t num_rows() const {
+    return static_cast<uint32_t>(indptr_.size() - 1);
+  }
+
+  // Finalizes the dataset. The builder is left empty.
+  Dataset Build() &&;
+
+ private:
+  uint32_t num_dims_;
+  std::vector<uint64_t> indptr_ = {0};
+  std::vector<DimId> indices_;
+  std::vector<float> values_;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_VEC_DATASET_H_

@@ -1,0 +1,96 @@
+#include "vec/sparse_vector.h"
+
+#include <cmath>
+
+namespace bayeslsh {
+
+double SparseDot(const SparseVectorView& a, const SparseVectorView& b) {
+  double acc = 0.0;
+  size_t i = 0, j = 0;
+  const size_t na = a.indices.size(), nb = b.indices.size();
+  while (i < na && j < nb) {
+    const DimId da = a.indices[i], db = b.indices[j];
+    if (da == db) {
+      acc += static_cast<double>(a.values[i]) * b.values[j];
+      ++i;
+      ++j;
+    } else if (da < db) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return acc;
+}
+
+uint32_t SparseOverlap(const SparseVectorView& a, const SparseVectorView& b) {
+  uint32_t overlap = 0;
+  size_t i = 0, j = 0;
+  const size_t na = a.indices.size(), nb = b.indices.size();
+  while (i < na && j < nb) {
+    const DimId da = a.indices[i], db = b.indices[j];
+    if (da == db) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (da < db) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+double SparseEuclideanDistance(const SparseVectorView& a,
+                               const SparseVectorView& b) {
+  double acc = 0.0;
+  size_t i = 0, j = 0;
+  const size_t na = a.indices.size(), nb = b.indices.size();
+  while (i < na && j < nb) {
+    const DimId da = a.indices[i], db = b.indices[j];
+    double diff;
+    if (da == db) {
+      diff = static_cast<double>(a.values[i]) - b.values[j];
+      ++i;
+      ++j;
+    } else if (da < db) {
+      diff = a.values[i];
+      ++i;
+    } else {
+      diff = b.values[j];
+      ++j;
+    }
+    acc += diff * diff;
+  }
+  for (; i < na; ++i) {
+    acc += static_cast<double>(a.values[i]) * a.values[i];
+  }
+  for (; j < nb; ++j) {
+    acc += static_cast<double>(b.values[j]) * b.values[j];
+  }
+  return std::sqrt(acc);
+}
+
+double SparseNorm2(const SparseVectorView& v) {
+  double acc = 0.0;
+  for (float x : v.values) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+double SparseNorm1(const SparseVectorView& v) {
+  double acc = 0.0;
+  for (float x : v.values) acc += std::abs(static_cast<double>(x));
+  return acc;
+}
+
+float SparseMaxWeight(const SparseVectorView& v) {
+  float mw = 0.0f;
+  for (float x : v.values) {
+    const float ax = std::abs(x);
+    if (ax > mw) mw = ax;
+  }
+  return mw;
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,50 @@
+// Sparse vector views and element-wise kernels.
+//
+// The library stores whole collections in CSR form (see vec/dataset.h);
+// a SparseVectorView is a non-owning (indices, values) slice of one row.
+// Indices are always strictly increasing within a row.
+
+#ifndef BAYESLSH_VEC_SPARSE_VECTOR_H_
+#define BAYESLSH_VEC_SPARSE_VECTOR_H_
+
+#include <cstdint>
+#include <span>
+
+namespace bayeslsh {
+
+// Feature id type. Dimensionalities in this library fit 32 bits.
+using DimId = uint32_t;
+
+// A non-owning view of one sparse vector: parallel arrays of strictly
+// increasing feature ids and their (float) weights.
+struct SparseVectorView {
+  std::span<const DimId> indices;
+  std::span<const float> values;
+
+  uint32_t size() const { return static_cast<uint32_t>(indices.size()); }
+  bool empty() const { return indices.empty(); }
+};
+
+// Dot product of two sparse vectors by sorted-merge. O(|a| + |b|).
+double SparseDot(const SparseVectorView& a, const SparseVectorView& b);
+
+// Number of shared feature ids (set overlap). O(|a| + |b|).
+uint32_t SparseOverlap(const SparseVectorView& a, const SparseVectorView& b);
+
+// Euclidean (L2) norm.
+double SparseNorm2(const SparseVectorView& v);
+
+// Euclidean distance ||a - b||, computed by sorted-merge over the union of
+// supports (exact, no cancellation-prone norm identity). O(|a| + |b|).
+double SparseEuclideanDistance(const SparseVectorView& a,
+                               const SparseVectorView& b);
+
+// L1 norm (sum of |values|).
+double SparseNorm1(const SparseVectorView& v);
+
+// Largest absolute weight; 0 for the empty vector.
+float SparseMaxWeight(const SparseVectorView& v);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_VEC_SPARSE_VECTOR_H_

@@ -1,0 +1,59 @@
+#include "vec/transforms.h"
+
+#include <cmath>
+#include <vector>
+
+namespace bayeslsh {
+
+Dataset TfIdfTransform(const Dataset& in) {
+  const uint32_t n = in.num_vectors();
+  const std::vector<uint32_t> df = in.DimFrequencies();
+  std::vector<double> idf(df.size(), 0.0);
+  for (size_t d = 0; d < df.size(); ++d) {
+    if (df[d] > 0) idf[d] = std::log(static_cast<double>(n) / df[d]);
+  }
+  DatasetBuilder out(in.num_dims());
+  std::vector<std::pair<DimId, float>> row;
+  for (uint32_t i = 0; i < n; ++i) {
+    const SparseVectorView v = in.Row(i);
+    row.clear();
+    row.reserve(v.size());
+    for (uint32_t k = 0; k < v.size(); ++k) {
+      const double w = v.values[k] * idf[v.indices[k]];
+      if (w != 0.0) row.emplace_back(v.indices[k], static_cast<float>(w));
+    }
+    out.AddRow(row);
+  }
+  return std::move(out).Build();
+}
+
+Dataset L2NormalizeRows(const Dataset& in) {
+  const uint32_t n = in.num_vectors();
+  std::vector<uint64_t> indptr = in.indptr();
+  std::vector<DimId> indices = in.indices();
+  std::vector<float> values = in.values();
+  for (uint32_t i = 0; i < n; ++i) {
+    double norm_sq = 0.0;
+    for (uint64_t k = indptr[i]; k < indptr[i + 1]; ++k) {
+      norm_sq += static_cast<double>(values[k]) * values[k];
+    }
+    if (norm_sq <= 0.0) continue;
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (uint64_t k = indptr[i]; k < indptr[i + 1]; ++k) {
+      values[k] = static_cast<float>(values[k] * inv);
+    }
+  }
+  return Dataset(in.num_dims(), std::move(indptr), std::move(indices),
+                 std::move(values));
+}
+
+Dataset Binarize(const Dataset& in) {
+  std::vector<float> values(in.nnz(), 1.0f);
+  return Dataset(in.num_dims(), in.indptr(), in.indices(), std::move(values));
+}
+
+Dataset BinarizeNormalized(const Dataset& in) {
+  return L2NormalizeRows(Binarize(in));
+}
+
+}  // namespace bayeslsh

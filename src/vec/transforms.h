@@ -1,0 +1,31 @@
+// Dataset-level transformations used to prepare the paper's workloads:
+// tf-idf weighting, L2 normalization (cosine similarity on unit vectors is
+// just a dot product), and binarization (for the Jaccard / binary-cosine
+// experiments).
+
+#ifndef BAYESLSH_VEC_TRANSFORMS_H_
+#define BAYESLSH_VEC_TRANSFORMS_H_
+
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+// Replaces every weight w of dimension d by w * log(N / df(d)), where N is
+// the number of vectors and df(d) the number of vectors containing d.
+// Dimensions appearing in every vector get idf 0 and are dropped.
+Dataset TfIdfTransform(const Dataset& in);
+
+// Scales every row to unit L2 norm. Empty rows stay empty.
+Dataset L2NormalizeRows(const Dataset& in);
+
+// Keeps the sparsity pattern, sets every weight to 1.
+Dataset Binarize(const Dataset& in);
+
+// Binarize followed by L2 normalization: every entry of a row with L
+// non-zeros becomes 1/sqrt(L). On such vectors the dot product equals the
+// binary cosine similarity |x ∩ y| / sqrt(|x| |y|).
+Dataset BinarizeNormalized(const Dataset& in);
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_VEC_TRANSFORMS_H_

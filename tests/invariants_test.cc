@@ -1,0 +1,142 @@
+// Cross-cutting mathematical invariants of the posterior models, swept over
+// parameter grids. These complement the pointwise checks in core_test.cc:
+// they assert the *relations* every PosteriorModel implementation must
+// satisfy for the BayesLSH engine to be correct (the prune rule depends on
+// monotonicity in m and in the threshold; the accept rule on monotonicity
+// in delta).
+
+#include <gtest/gtest.h>
+
+#include "core/cosine_posterior.h"
+#include "core/jaccard_posterior.h"
+
+namespace bayeslsh {
+namespace {
+
+class ThresholdGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdGrid, JaccardProbAboveIsAProbability) {
+  const JaccardPosterior model(GetParam());
+  for (int n : {16, 64, 256, 512}) {
+    for (int m = 0; m <= n; m += n / 8) {
+      const double p = model.ProbAboveThreshold(m, n);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST_P(ThresholdGrid, CosineProbAboveIsAProbability) {
+  const CosinePosterior model(GetParam());
+  for (int n : {32, 128, 512, 2048}) {
+    for (int m = 0; m <= n; m += n / 8) {
+      const double p = model.ProbAboveThreshold(m, n);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST_P(ThresholdGrid, EstimatesStayInRange) {
+  const JaccardPosterior jac(GetParam());
+  const CosinePosterior cos(GetParam());
+  for (int n : {16, 64, 256}) {
+    for (int m = 0; m <= n; m += std::max(1, n / 16)) {
+      const double ej = jac.Estimate(m, n);
+      EXPECT_GE(ej, 0.0);
+      EXPECT_LE(ej, 1.0);
+      const double ec = cos.Estimate(m, n);
+      EXPECT_GE(ec, -1.0);
+      EXPECT_LE(ec, 1.0);
+    }
+  }
+}
+
+TEST_P(ThresholdGrid, ConcentrationMonotoneInDelta) {
+  const JaccardPosterior jac(GetParam());
+  const CosinePosterior cos(GetParam());
+  for (int n : {32, 128}) {
+    for (int m : {n / 4, n / 2, 3 * n / 4, n}) {
+      double prev_j = -1.0, prev_c = -1.0;
+      for (double delta : {0.01, 0.02, 0.05, 0.1, 0.2, 0.5}) {
+        const double cj = jac.Concentration(m, n, delta);
+        const double cc = cos.Concentration(m, n, delta);
+        EXPECT_GE(cj, prev_j - 1e-12) << "m=" << m << " n=" << n;
+        EXPECT_GE(cc, prev_c - 1e-12) << "m=" << m << " n=" << n;
+        prev_j = cj;
+        prev_c = cc;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdGrid,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+// Pr[S >= t] must be non-increasing in t for fixed evidence: the engine's
+// prune bar rises with the threshold.
+TEST(CrossThresholdInvariants, JaccardProbAboveDecreasesWithThreshold) {
+  for (int n : {32, 128}) {
+    for (int m : {n / 4, n / 2, 3 * n / 4}) {
+      double prev = 2.0;
+      for (double t : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        const double p = JaccardPosterior(t).ProbAboveThreshold(m, n);
+        EXPECT_LE(p, prev + 1e-12) << "m=" << m << " n=" << n << " t=" << t;
+        prev = p;
+      }
+    }
+  }
+}
+
+TEST(CrossThresholdInvariants, CosineProbAboveDecreasesWithThreshold) {
+  for (int n : {64, 256}) {
+    for (int m : {n / 2, 5 * n / 8, 3 * n / 4, 7 * n / 8}) {
+      double prev = 2.0;
+      for (double t : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        const double p = CosinePosterior(t).ProbAboveThreshold(m, n);
+        EXPECT_LE(p, prev + 1e-12) << "m=" << m << " n=" << n << " t=" << t;
+        prev = p;
+      }
+    }
+  }
+}
+
+// Scaling the evidence (same match fraction, more hashes) must sharpen the
+// posterior: probability moves away from 1/2 toward 0 or 1 depending on
+// which side of the threshold the match fraction sits.
+TEST(EvidenceScalingInvariants, JaccardSharpensWithMoreHashes) {
+  const JaccardPosterior model(0.5);
+  // Fraction 0.75 (above threshold): probability increases with n.
+  EXPECT_LT(model.ProbAboveThreshold(12, 16),
+            model.ProbAboveThreshold(384, 512));
+  // Fraction 0.25 (below): decreases with n.
+  EXPECT_GT(model.ProbAboveThreshold(4, 16),
+            model.ProbAboveThreshold(128, 512));
+}
+
+TEST(EvidenceScalingInvariants, CosineSharpensWithMoreHashes) {
+  const CosinePosterior model(0.5);
+  // r(0.5) ~ 0.667. Fraction 0.8 is above it, 0.55 below.
+  EXPECT_LT(model.ProbAboveThreshold(26, 32),    // 0.8125
+            model.ProbAboveThreshold(416, 512));
+  EXPECT_GT(model.ProbAboveThreshold(18, 32),    // 0.5625
+            model.ProbAboveThreshold(288, 512));
+}
+
+// The posterior mode must sit inside any interval that captures nearly all
+// posterior mass: concentration at the mode with wide delta approaches 1.
+TEST(ModeCoverageInvariants, WideDeltaCoversEverything) {
+  for (double t : {0.4, 0.7}) {
+    const JaccardPosterior jac(t);
+    const CosinePosterior cos(t);
+    for (int n : {16, 128}) {
+      for (int m : {0, n / 2, n}) {
+        EXPECT_NEAR(jac.Concentration(m, n, 1.0), 1.0, 1e-9);
+        EXPECT_NEAR(cos.Concentration(m, n, 2.0), 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bayeslsh

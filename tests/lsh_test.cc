@@ -1,0 +1,504 @@
+// Tests for the hashing substrate: bit ops, inverse normal CDF, Gaussian
+// sources (incl. the 2-byte quantized store), SRP and minwise hashers, and
+// the lazy signature stores. The LSH collision-probability laws — the
+// foundation every posterior in core/ rests on — are verified statistically.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bit_ops.h"
+#include "common/prng.h"
+#include "lsh/gaussian_source.h"
+#include "lsh/inverse_normal_cdf.h"
+#include "lsh/minwise_hasher.h"
+#include "lsh/signature_store.h"
+#include "lsh/srp_hasher.h"
+#include "sim/similarity.h"
+#include "vec/dataset.h"
+#include "vec/transforms.h"
+
+namespace bayeslsh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bit ops
+// ---------------------------------------------------------------------------
+
+TEST(BitOpsTest, MatchingBitsIdenticalWords) {
+  const std::vector<uint64_t> a = {0xDEADBEEFCAFEF00DULL, 0x123456789ULL};
+  EXPECT_EQ(MatchingBits(a.data(), a.data(), 0, 128), 128u);
+  EXPECT_EQ(MatchingBits(a.data(), a.data(), 5, 77), 72u);
+}
+
+TEST(BitOpsTest, MatchingBitsComplementWords) {
+  const std::vector<uint64_t> a = {0xFFFFFFFFFFFFFFFFULL};
+  const std::vector<uint64_t> b = {0x0ULL};
+  EXPECT_EQ(MatchingBits(a.data(), b.data(), 0, 64), 0u);
+  EXPECT_EQ(MatchingBits(a.data(), b.data(), 10, 20), 0u);
+}
+
+TEST(BitOpsTest, MatchingBitsSubRangesAgainstNaive) {
+  Xoshiro256StarStar rng(11);
+  std::vector<uint64_t> a(4), b(4);
+  for (int i = 0; i < 4; ++i) {
+    a[i] = rng.Next();
+    b[i] = rng.Next();
+  }
+  auto naive = [&](uint32_t from, uint32_t to) {
+    uint32_t m = 0;
+    for (uint32_t i = from; i < to; ++i) {
+      const uint64_t ba = (a[i / 64] >> (i % 64)) & 1;
+      const uint64_t bb = (b[i / 64] >> (i % 64)) & 1;
+      m += (ba == bb);
+    }
+    return m;
+  };
+  for (uint32_t from : {0u, 1u, 31u, 63u, 64u, 100u}) {
+    for (uint32_t to : {from, from + 1, from + 32, from + 64, 200u, 256u}) {
+      if (to < from || to > 256) continue;
+      EXPECT_EQ(MatchingBits(a.data(), b.data(), from, to), naive(from, to))
+          << "from=" << from << " to=" << to;
+    }
+  }
+}
+
+TEST(BitOpsTest, ExtractBitsWithinWord) {
+  const std::vector<uint64_t> w = {0xABCD1234ULL};
+  EXPECT_EQ(ExtractBits(w.data(), 0, 16), 0x1234ULL);
+  EXPECT_EQ(ExtractBits(w.data(), 16, 16), 0xABCDULL);
+  EXPECT_EQ(ExtractBits(w.data(), 4, 8), 0x23ULL);
+}
+
+TEST(BitOpsTest, ExtractBitsAcrossWordBoundary) {
+  const std::vector<uint64_t> w = {0xF000000000000000ULL, 0x0000000000000001ULL};
+  // Bits 60..68: 1111 (end of word 0) then 1 at bit 64, zeros after.
+  EXPECT_EQ(ExtractBits(w.data(), 60, 8), 0b00011111ULL);
+}
+
+TEST(BitOpsTest, ExtractFullWord) {
+  const std::vector<uint64_t> w = {0x0123456789ABCDEFULL, 0xFULL};
+  EXPECT_EQ(ExtractBits(w.data(), 0, 64), 0x0123456789ABCDEFULL);
+}
+
+TEST(BitOpsTest, PairKeyOrdering) {
+  EXPECT_EQ(PairKey(1, 2), (1ULL << 32) | 2ULL);
+  EXPECT_NE(PairKey(1, 2), PairKey(2, 1));
+}
+
+TEST(BitOpsTest, WordsForBits) {
+  EXPECT_EQ(WordsForBits(0), 0u);
+  EXPECT_EQ(WordsForBits(1), 1u);
+  EXPECT_EQ(WordsForBits(64), 1u);
+  EXPECT_EQ(WordsForBits(65), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// PRNG primitives
+// ---------------------------------------------------------------------------
+
+TEST(PrngTest, Mix64Deterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+  EXPECT_NE(Mix64(1, 2), Mix64(2, 1));
+  EXPECT_NE(Mix64(1, 2, 3), Mix64(1, 3, 2));
+}
+
+TEST(PrngTest, UnitUniformRange) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextUnit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(PrngTest, NextBoundedIsUnbiasedish) {
+  Xoshiro256StarStar rng(3);
+  std::vector<int> counts(7, 0);
+  const int trials = 70000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.NextBounded(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 7.0, 5.0 * std::sqrt(trials / 7.0));
+  }
+}
+
+TEST(PrngTest, GaussianMomentsAreStandard) {
+  Xoshiro256StarStar rng(5);
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(PrngTest, SameSeedSameStream) {
+  Xoshiro256StarStar a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+// ---------------------------------------------------------------------------
+// Inverse normal CDF
+// ---------------------------------------------------------------------------
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.8413447460685429), 1.0, 1e-6);
+}
+
+TEST(InverseNormalCdfTest, RoundTripsThroughNormalCdf) {
+  for (double p = 0.0005; p < 1.0; p += 0.0125) {
+    EXPECT_NEAR(NormalCdf(InverseNormalCdf(p)), p, 2e-9) << "p=" << p;
+  }
+}
+
+TEST(InverseNormalCdfTest, TailsAreSymmetricAndFinite) {
+  for (double p : {1e-12, 1e-9, 1e-6, 1e-3}) {
+    const double lo = InverseNormalCdf(p);
+    const double hi = InverseNormalCdf(1.0 - p);
+    EXPECT_NEAR(lo, -hi, 1e-6 * std::abs(hi));
+    EXPECT_TRUE(std::isfinite(lo));
+    EXPECT_LT(lo, -2.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gaussian sources
+// ---------------------------------------------------------------------------
+
+TEST(GaussianSourceTest, ImplicitIsDeterministicAndSeedSensitive) {
+  const ImplicitGaussianSource s1(99), s2(99), s3(100);
+  EXPECT_DOUBLE_EQ(s1.Component(5, 17), s2.Component(5, 17));
+  EXPECT_NE(s1.Component(5, 17), s3.Component(5, 17));
+  EXPECT_NE(s1.Component(5, 17), s1.Component(6, 17));
+  EXPECT_NE(s1.Component(5, 17), s1.Component(5, 18));
+}
+
+TEST(GaussianSourceTest, ImplicitComponentsAreStandardNormal) {
+  const ImplicitGaussianSource src(4);
+  double sum = 0, sum_sq = 0;
+  const int dims = 2000;
+  double buf[kSrpChunkBits];
+  for (DimId d = 0; d < dims; ++d) {
+    src.FillChunk(d, 0, buf);
+    for (double g : buf) {
+      sum += g;
+      sum_sq += g * g;
+    }
+  }
+  const double n = dims * kSrpChunkBits;
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(QuantizedGaussianTest, EncodingErrorWithinHalfStep) {
+  // Paper §4.3 quantization; we round to nearest so max error is 2^-13.
+  for (double x : {-7.99, -3.2, -0.5, 0.0, 0.1, 1.0, 4.4, 7.9}) {
+    const uint16_t q = QuantizedGaussianStore::Quantize(x);
+    EXPECT_NEAR(QuantizedGaussianStore::Dequantize(q), x, 1.0 / 8192.0 + 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(QuantizedGaussianTest, ClampsOutOfRange) {
+  const uint16_t lo = QuantizedGaussianStore::Quantize(-100.0);
+  const uint16_t hi = QuantizedGaussianStore::Quantize(100.0);
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 65535);
+}
+
+TEST(QuantizedGaussianTest, StoreMatchesImplicitUpToQuantization) {
+  const uint64_t seed = 31337;
+  const ImplicitGaussianSource implicit(seed);
+  const QuantizedGaussianStore store(seed, /*num_dims=*/64,
+                                     /*stored_hashes=*/128);
+  double gi[kSrpChunkBits], gq[kSrpChunkBits];
+  for (DimId d = 0; d < 64; d += 7) {
+    for (uint32_t chunk : {0u, 1u}) {
+      implicit.FillChunk(d, chunk, gi);
+      store.FillChunk(d, chunk, gq);
+      for (uint32_t j = 0; j < kSrpChunkBits; ++j) {
+        EXPECT_NEAR(gq[j], gi[j], 1.0 / 8192.0 + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(QuantizedGaussianTest, FallsBackToImplicitBeyondStoredRange) {
+  const uint64_t seed = 8;
+  const ImplicitGaussianSource implicit(seed);
+  const QuantizedGaussianStore store(seed, 16, /*stored_hashes=*/64);
+  double gi[kSrpChunkBits], gq[kSrpChunkBits];
+  implicit.FillChunk(3, /*chunk=*/5, gi);
+  store.FillChunk(3, /*chunk=*/5, gq);
+  for (uint32_t j = 0; j < kSrpChunkBits; ++j) {
+    EXPECT_DOUBLE_EQ(gq[j], gi[j]);  // Bit-exact: same code path.
+  }
+}
+
+TEST(QuantizedGaussianTest, SlabsAreLazy) {
+  QuantizedGaussianStore store(1, /*num_dims=*/1000, /*stored_hashes=*/256);
+  EXPECT_EQ(store.table_bytes(), 0u);
+  double g[kSrpChunkBits];
+  store.FillChunk(0, 0, g);
+  EXPECT_EQ(store.table_bytes(), 1000ull * kSrpChunkBits * 2);
+  store.FillChunk(5, 0, g);  // Same slab; no growth.
+  EXPECT_EQ(store.table_bytes(), 1000ull * kSrpChunkBits * 2);
+}
+
+TEST(GaussianSourceCacheTest, SharesPerSeedInstances) {
+  GaussianSourceCache cache(100, 64);
+  const auto a = cache.Get(1);
+  const auto b = cache.Get(1);
+  const auto c = cache.Get(2);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+}
+
+// ---------------------------------------------------------------------------
+// SRP hashing: collision law Pr[h(x) == h(y)] = 1 - theta/pi
+// ---------------------------------------------------------------------------
+
+TEST(SrpMappingTest, RAndCosineBijections) {
+  EXPECT_NEAR(CosineToSrpR(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(CosineToSrpR(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(CosineToSrpR(-1.0), 0.0, 1e-12);
+  for (double c : {-0.9, -0.3, 0.0, 0.4, 0.7, 0.99}) {
+    EXPECT_NEAR(SrpRToCosine(CosineToSrpR(c)), c, 1e-10);
+  }
+  for (double r : {0.5, 0.6, 0.75, 0.9, 1.0}) {
+    EXPECT_NEAR(CosineToSrpR(SrpRToCosine(r)), r, 1e-10);
+  }
+}
+
+TEST(SrpHasherTest, DeterministicPerSourceSeed) {
+  DatasetBuilder b;
+  b.AddRow({{0, 0.5f}, {3, 1.0f}, {7, -0.25f}});
+  const Dataset d = std::move(b).Build();
+  const ImplicitGaussianSource s1(5), s2(5), s3(6);
+  EXPECT_EQ(SrpHasher(&s1).HashChunk(d.Row(0), 0),
+            SrpHasher(&s2).HashChunk(d.Row(0), 0));
+  EXPECT_NE(SrpHasher(&s1).HashChunk(d.Row(0), 0),
+            SrpHasher(&s3).HashChunk(d.Row(0), 0));
+}
+
+TEST(SrpHasherTest, ScaleInvariance) {
+  // SRP depends only on direction: x and 10x hash identically.
+  DatasetBuilder b;
+  b.AddRow({{1, 0.3f}, {4, 0.8f}, {9, 0.1f}});
+  b.AddRow({{1, 3.0f}, {4, 8.0f}, {9, 1.0f}});
+  const Dataset d = std::move(b).Build();
+  const ImplicitGaussianSource src(17);
+  const SrpHasher h(&src);
+  for (uint32_t chunk = 0; chunk < 4; ++chunk) {
+    EXPECT_EQ(h.HashChunk(d.Row(0), chunk), h.HashChunk(d.Row(1), chunk));
+  }
+}
+
+TEST(SrpHasherTest, IdenticalVectorsAlwaysCollide) {
+  DatasetBuilder b;
+  b.AddRow({{2, 1.5f}, {5, 2.5f}});
+  b.AddRow({{2, 1.5f}, {5, 2.5f}});
+  const Dataset d = std::move(b).Build();
+  const ImplicitGaussianSource src(1);
+  BitSignatureStore store(&d, SrpHasher(&src));
+  EXPECT_EQ(store.MatchCount(0, 1, 0, 512), 512u);
+}
+
+// Statistical check of the SRP law across several similarity levels.
+class SrpCollisionLawTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SrpCollisionLawTest, MatchFractionApproximatesR) {
+  const double target_cos = GetParam();
+  // Two 2-d dense vectors with exactly the target cosine, embedded sparsely.
+  const double angle = std::acos(target_cos);
+  DatasetBuilder b;
+  b.AddRow({{10, 1.0f}, {20, 0.0f}, {30, 0.0f}});  // Zero dropped by builder.
+  b.AddRow({{10, static_cast<float>(std::cos(angle))},
+            {20, static_cast<float>(std::sin(angle))}});
+  // Row 0 reduces to a single dim; rebuild cleanly.
+  DatasetBuilder b2;
+  b2.AddRow({{10, 1.0f}});
+  b2.AddRow({{10, static_cast<float>(std::cos(angle))},
+             {20, static_cast<float>(std::sin(angle))}});
+  const Dataset d = std::move(b2).Build();
+
+  const ImplicitGaussianSource src(1234);
+  BitSignatureStore store(&d, SrpHasher(&src));
+  const uint32_t n = 16384;
+  const uint32_t m = store.MatchCount(0, 1, 0, n);
+  const double expected_r = CosineToSrpR(target_cos);
+  // 4-sigma band for a binomial with n trials.
+  const double sigma = std::sqrt(expected_r * (1 - expected_r) / n);
+  EXPECT_NEAR(static_cast<double>(m) / n, expected_r, 4.0 * sigma + 1e-4)
+      << "cos=" << target_cos;
+}
+
+INSTANTIATE_TEST_SUITE_P(CosineSweep, SrpCollisionLawTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.7, 0.8, 0.9,
+                                           0.95));
+
+// ---------------------------------------------------------------------------
+// Minwise hashing: collision law Pr[h(x) == h(y)] = Jaccard(x, y)
+// ---------------------------------------------------------------------------
+
+TEST(MinwiseHasherTest, DeterministicAndSeedSensitive) {
+  DatasetBuilder b;
+  b.AddSetRow({1, 5, 9, 12});
+  const Dataset d = std::move(b).Build();
+  uint32_t h1[kMinhashChunkInts], h2[kMinhashChunkInts],
+      h3[kMinhashChunkInts];
+  MinwiseHasher(7).HashChunk(d.Row(0), 0, h1);
+  MinwiseHasher(7).HashChunk(d.Row(0), 0, h2);
+  MinwiseHasher(8).HashChunk(d.Row(0), 0, h3);
+  bool any_diff = false;
+  for (uint32_t i = 0; i < kMinhashChunkInts; ++i) {
+    EXPECT_EQ(h1[i], h2[i]);
+    any_diff |= (h1[i] != h3[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MinwiseHasherTest, IdenticalSetsAlwaysCollide) {
+  DatasetBuilder b;
+  b.AddSetRow({3, 6, 9});
+  b.AddSetRow({9, 3, 6});
+  const Dataset d = std::move(b).Build();
+  IntSignatureStore store(&d, MinwiseHasher(2));
+  EXPECT_EQ(store.MatchCount(0, 1, 0, 256), 256u);
+}
+
+TEST(MinwiseHasherTest, DisjointSetsRarelyCollide) {
+  DatasetBuilder b;
+  b.AddSetRow({1, 2, 3, 4, 5});
+  b.AddSetRow({100, 200, 300, 400, 500});
+  const Dataset d = std::move(b).Build();
+  IntSignatureStore store(&d, MinwiseHasher(2));
+  // 32-bit truncation collisions only: expect ~0 of 512.
+  EXPECT_LE(store.MatchCount(0, 1, 0, 512), 1u);
+}
+
+class MinhashCollisionLawTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MinhashCollisionLawTest, MatchFractionApproximatesJaccard) {
+  const double target = GetParam();
+  // Sets A = [0, 100), B = [k, k + 100) with overlap o: J = o / (200 - o);
+  // choose o for the target J: o = 200 J / (1 + J).
+  const int size = 100;
+  const int o = static_cast<int>(std::lround(2 * size * target / (1 + target)));
+  std::vector<DimId> a(size), bset(size);
+  for (int i = 0; i < size; ++i) a[i] = i;
+  for (int i = 0; i < size; ++i) bset[i] = size - o + i;
+  DatasetBuilder builder;
+  builder.AddSetRow(a);
+  builder.AddSetRow(bset);
+  const Dataset d = std::move(builder).Build();
+  const double true_j = JaccardSimilarity(d.Row(0), d.Row(1));
+
+  IntSignatureStore store(&d, MinwiseHasher(77));
+  const uint32_t n = 8192;
+  const uint32_t m = store.MatchCount(0, 1, 0, n);
+  const double sigma = std::sqrt(true_j * (1 - true_j) / n);
+  EXPECT_NEAR(static_cast<double>(m) / n, true_j, 4.0 * sigma + 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(JaccardSweep, MinhashCollisionLawTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+// ---------------------------------------------------------------------------
+// Signature stores: lazy growth and instrumentation
+// ---------------------------------------------------------------------------
+
+TEST(BitSignatureStoreTest, GrowsLazilyByChunks) {
+  DatasetBuilder b;
+  b.AddRow({{0, 1.0f}});
+  b.AddRow({{1, 1.0f}});
+  const Dataset d = std::move(b).Build();
+  const ImplicitGaussianSource src(3);
+  BitSignatureStore store(&d, SrpHasher(&src));
+  EXPECT_EQ(store.NumBits(0), 0u);
+  EXPECT_EQ(store.bits_computed(), 0u);
+  store.EnsureBits(0, 65);  // Rounds to 2 chunks.
+  EXPECT_EQ(store.NumBits(0), 128u);
+  EXPECT_EQ(store.NumBits(1), 0u);  // Other rows untouched.
+  EXPECT_EQ(store.bits_computed(), 128u);
+  store.EnsureBits(0, 100);  // Already covered: no work.
+  EXPECT_EQ(store.bits_computed(), 128u);
+}
+
+TEST(BitSignatureStoreTest, MatchCountGrowsOnDemand) {
+  DatasetBuilder b;
+  b.AddRow({{0, 1.0f}, {2, 1.0f}});
+  b.AddRow({{0, 1.0f}, {3, 1.0f}});
+  const Dataset d = std::move(b).Build();
+  const ImplicitGaussianSource src(3);
+  BitSignatureStore store(&d, SrpHasher(&src));
+  const uint32_t m = store.MatchCount(0, 1, 32, 96);
+  EXPECT_LE(m, 64u);
+  EXPECT_GE(store.NumBits(0), 96u);
+  EXPECT_GE(store.NumBits(1), 96u);
+}
+
+TEST(BitSignatureStoreTest, ExtensionIsConsistentWithFreshStore) {
+  // Growing a signature incrementally must give the same bits as computing
+  // it in one shot (lazy growth cannot change hash values).
+  DatasetBuilder b;
+  b.AddRow({{0, 1.0f}, {5, -2.0f}, {9, 0.5f}});
+  const Dataset d = std::move(b).Build();
+  const ImplicitGaussianSource src(10);
+  BitSignatureStore incremental(&d, SrpHasher(&src));
+  incremental.EnsureBits(0, 64);
+  incremental.EnsureBits(0, 256);
+  BitSignatureStore oneshot(&d, SrpHasher(&src));
+  oneshot.EnsureBits(0, 256);
+  for (uint32_t w = 0; w < WordsForBits(256); ++w) {
+    EXPECT_EQ(incremental.Words(0)[w], oneshot.Words(0)[w]);
+  }
+}
+
+TEST(IntSignatureStoreTest, GrowsLazilyByChunks) {
+  DatasetBuilder b;
+  b.AddSetRow({1, 2, 3});
+  const Dataset d = std::move(b).Build();
+  IntSignatureStore store(&d, MinwiseHasher(4));
+  EXPECT_EQ(store.NumHashes(0), 0u);
+  store.EnsureHashes(0, 17);  // Rounds to 32 (2 chunks of 16).
+  EXPECT_EQ(store.NumHashes(0), 32u);
+  EXPECT_EQ(store.hashes_computed(), 32u);
+}
+
+TEST(IntSignatureStoreTest, ExtensionIsConsistentWithFreshStore) {
+  DatasetBuilder b;
+  b.AddSetRow({4, 8, 15, 16, 23, 42});
+  const Dataset d = std::move(b).Build();
+  IntSignatureStore inc(&d, MinwiseHasher(5));
+  inc.EnsureHashes(0, 16);
+  inc.EnsureHashes(0, 64);
+  IntSignatureStore oneshot(&d, MinwiseHasher(5));
+  oneshot.EnsureHashes(0, 64);
+  for (uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(inc.Hashes(0)[i], oneshot.Hashes(0)[i]);
+  }
+}
+
+TEST(IntSignatureStoreTest, EnsureAllTouchesEveryRow) {
+  DatasetBuilder b;
+  b.AddSetRow({1});
+  b.AddSetRow({2});
+  b.AddSetRow({3});
+  const Dataset d = std::move(b).Build();
+  IntSignatureStore store(&d, MinwiseHasher(4));
+  store.EnsureAllHashes(16);
+  for (uint32_t i = 0; i < 3; ++i) EXPECT_EQ(store.NumHashes(i), 16u);
+  EXPECT_EQ(store.hashes_computed(), 48u);
+}
+
+}  // namespace
+}  // namespace bayeslsh

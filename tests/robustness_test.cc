@@ -1,0 +1,332 @@
+// Robustness and edge-case tests: degenerate datasets (empty, single-row,
+// all-duplicates, empty rows), unusual weights (negative components),
+// extreme thresholds, and the cosine BayesLSH engine driven directly on
+// pairs with controlled geometry.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "candgen/allpairs.h"
+#include "candgen/lsh_banding.h"
+#include "candgen/ppjoin.h"
+#include "candgen/prefix_filter_join.h"
+#include "common/prng.h"
+#include "core/bayes_lsh.h"
+#include "core/metrics.h"
+#include "core/pipeline.h"
+#include "lsh/gaussian_source.h"
+#include "sim/brute_force.h"
+#include "vec/transforms.h"
+
+namespace bayeslsh {
+namespace {
+
+std::vector<PipelineConfig> AllCombos(Measure measure, double threshold) {
+  std::vector<PipelineConfig> out;
+  for (GeneratorKind g : {GeneratorKind::kAllPairs, GeneratorKind::kLsh}) {
+    for (VerifierKind v : {VerifierKind::kExact, VerifierKind::kMle,
+                           VerifierKind::kBayesLsh,
+                           VerifierKind::kBayesLshLite}) {
+      PipelineConfig cfg;
+      cfg.measure = measure;
+      cfg.generator = g;
+      cfg.verifier = v;
+      cfg.threshold = threshold;
+      out.push_back(cfg);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate datasets through every pipeline combination
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateDatasetTest, EmptyDatasetProducesNoPairs) {
+  const Dataset empty;
+  for (const Measure m :
+       {Measure::kCosine, Measure::kJaccard, Measure::kBinaryCosine}) {
+    for (const PipelineConfig& cfg : AllCombos(m, 0.7)) {
+      const PipelineResult res = RunPipeline(empty, cfg);
+      EXPECT_TRUE(res.pairs.empty()) << res.algorithm;
+      EXPECT_EQ(res.candidates, 0u);
+    }
+  }
+}
+
+TEST(DegenerateDatasetTest, SingleRowProducesNoPairs) {
+  DatasetBuilder b;
+  b.AddSetRow({1, 2, 3});
+  const Dataset d = std::move(b).Build();
+  for (const PipelineConfig& cfg : AllCombos(Measure::kJaccard, 0.5)) {
+    EXPECT_TRUE(RunPipeline(d, cfg).pairs.empty());
+  }
+}
+
+TEST(DegenerateDatasetTest, AllDuplicateRowsFoundByEveryCombo) {
+  // 12 identical rows: all 66 pairs have similarity 1. Also stresses the
+  // LSH banding bucket that contains every row.
+  DatasetBuilder b;
+  for (int i = 0; i < 12; ++i) b.AddSetRow({2, 4, 6, 8, 10, 12, 14});
+  const Dataset d = std::move(b).Build();
+  for (const Measure m : {Measure::kJaccard, Measure::kBinaryCosine}) {
+    for (const PipelineConfig& cfg : AllCombos(m, 0.9)) {
+      const PipelineResult res = RunPipeline(d, cfg);
+      EXPECT_EQ(res.pairs.size(), 66u)
+          << res.algorithm << " " << MeasureName(m);
+      for (const auto& p : res.pairs) EXPECT_GT(p.sim, 0.95);
+    }
+  }
+}
+
+TEST(DegenerateDatasetTest, EmptyRowsMixedInAreIgnored) {
+  DatasetBuilder b;
+  b.AddSetRow({1, 2, 3});
+  b.AddRow({});
+  b.AddSetRow({1, 2, 3});
+  b.AddRow({});
+  const Dataset d = std::move(b).Build();
+  for (const PipelineConfig& cfg : AllCombos(Measure::kJaccard, 0.5)) {
+    const PipelineResult res = RunPipeline(d, cfg);
+    // Only the (0, 2) pair qualifies; empty rows never match anything.
+    ASSERT_EQ(res.pairs.size(), 1u) << res.algorithm;
+    EXPECT_EQ(res.pairs[0].a, 0u);
+    EXPECT_EQ(res.pairs[0].b, 2u);
+  }
+}
+
+TEST(DegenerateDatasetTest, ThresholdNearOne) {
+  DatasetBuilder b;
+  b.AddSetRow({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  b.AddSetRow({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  b.AddSetRow({1, 2, 3, 4, 5, 6, 7, 8, 9, 11});
+  const Dataset d = std::move(b).Build();
+  const auto exact = PrefixFilterJoin(d, 0.999, Measure::kJaccard);
+  ASSERT_EQ(exact.size(), 1u);
+  const auto pp = PpjoinJoin(d, 0.999, Measure::kJaccard);
+  ASSERT_EQ(pp.size(), 1u);
+  EXPECT_EQ(pp[0].a, 0u);
+  EXPECT_EQ(pp[0].b, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Negative weights (general real-valued vectors, not just tf-idf)
+// ---------------------------------------------------------------------------
+
+TEST(NegativeWeightsTest, AllPairsStaysExact) {
+  Xoshiro256StarStar rng(321);
+  DatasetBuilder b(60);
+  for (int i = 0; i < 150; ++i) {
+    std::vector<std::pair<DimId, float>> row;
+    const int len = 3 + static_cast<int>(rng.NextBounded(8));
+    for (int k = 0; k < len; ++k) {
+      row.emplace_back(static_cast<DimId>(rng.NextBounded(60)),
+                       static_cast<float>(rng.NextUniform(-2.0, 2.0)));
+    }
+    b.AddRow(std::move(row));
+  }
+  const Dataset d = L2NormalizeRows(std::move(b).Build());
+  for (double t : {0.3, 0.6, 0.9}) {
+    const auto truth = BruteForceJoin(d, t, Measure::kCosine);
+    const auto result = AllPairsJoin(d, t);
+    std::set<std::pair<uint32_t, uint32_t>> rs, ts;
+    for (const auto& p : result) rs.insert({p.a, p.b});
+    for (const auto& p : truth) ts.insert({p.a, p.b});
+    for (const auto& p : truth) {
+      if (std::abs(p.sim - t) > 1e-9) {
+        EXPECT_TRUE(rs.contains({p.a, p.b}))
+            << "missed (" << p.a << "," << p.b << ") at t=" << t;
+      }
+    }
+    for (const auto& p : result) {
+      if (std::abs(p.sim - t) > 1e-9) {
+        EXPECT_TRUE(ts.contains({p.a, p.b}))
+            << "spurious (" << p.a << "," << p.b << ") at t=" << t;
+      }
+    }
+  }
+}
+
+TEST(NegativeWeightsTest, SrpLawHoldsForNegativeSimilarity) {
+  // Anti-parallel vectors: cosine -1, so r = 0 and hash bits are always
+  // complementary.
+  DatasetBuilder b;
+  b.AddRow({{3, 1.0f}, {7, 2.0f}});
+  b.AddRow({{3, -1.0f}, {7, -2.0f}});
+  const Dataset d = std::move(b).Build();
+  const ImplicitGaussianSource src(5);
+  BitSignatureStore store(&d, SrpHasher(&src));
+  EXPECT_EQ(store.MatchCount(0, 1, 0, 512), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cosine BayesLSH engine on controlled geometry
+// ---------------------------------------------------------------------------
+
+// Pairs of 2-d vectors (embedded sparsely) with exact cosine `c`.
+Dataset PairsWithCosine(int num_pairs, double c) {
+  const double angle = std::acos(c);
+  DatasetBuilder b;
+  for (int p = 0; p < num_pairs; ++p) {
+    const DimId d0 = 2 * p, d1 = 2 * p + 1;
+    b.AddRow({{d0, 1.0f}});
+    b.AddRow({{d0, static_cast<float>(std::cos(angle))},
+              {d1, static_cast<float>(std::sin(angle))}});
+  }
+  return std::move(b).Build();
+}
+
+TEST(CosineEngineTest, AcceptsHighSimilarityPairs) {
+  const Dataset d = PairsWithCosine(100, 0.85);
+  const ImplicitGaussianSource src(11);
+  BitSignatureStore store(&d, SrpHasher(&src));
+  const CosinePosterior model(0.7);
+  BayesLshParams params;  // Defaults: k=32, max 4096.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t i = 0; i < d.num_vectors(); i += 2) pairs.push_back({i, i + 1});
+  VerifyStats stats;
+  const auto out = BayesLshVerify(model, &store, pairs, params, &stats);
+  EXPECT_GE(out.size(), 95u);  // epsilon = 0.03 recall.
+  for (const auto& p : out) EXPECT_NEAR(p.sim, 0.85, 0.12);
+}
+
+TEST(CosineEngineTest, PrunesOrthogonalPairsFast) {
+  const Dataset d = PairsWithCosine(100, 0.0);
+  const ImplicitGaussianSource src(12);
+  BitSignatureStore store(&d, SrpHasher(&src));
+  const CosinePosterior model(0.7);
+  BayesLshParams params;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t i = 0; i < d.num_vectors(); i += 2) pairs.push_back({i, i + 1});
+  VerifyStats stats;
+  const auto out = BayesLshVerify(model, &store, pairs, params, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.pruned, 100u);
+  // Orthogonal pairs (r = 0.5) should rarely survive the first two rounds.
+  EXPECT_LE(stats.hashes_compared, 100ull * 32 * 4);
+}
+
+TEST(CosineEngineTest, DeltaAccuracyHolds) {
+  const double true_cos = 0.75;
+  const Dataset d = PairsWithCosine(300, true_cos);
+  const ImplicitGaussianSource src(13);
+  BitSignatureStore store(&d, SrpHasher(&src));
+  const CosinePosterior model(0.5);
+  BayesLshParams params;
+  params.delta = 0.05;
+  params.gamma = 0.03;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t i = 0; i < d.num_vectors(); i += 2) pairs.push_back({i, i + 1});
+  const auto out = BayesLshVerify(model, &store, pairs, params);
+  ASSERT_GT(out.size(), 250u);
+  int bad = 0;
+  for (const auto& p : out) {
+    if (std::abs(p.sim - true_cos) >= params.delta) ++bad;
+  }
+  EXPECT_LE(static_cast<double>(bad) / out.size(), 3 * params.gamma + 0.02);
+}
+
+TEST(CosineEngineTest, LiteBudgetIsRespectedPerPair) {
+  const Dataset d = PairsWithCosine(50, 0.72);
+  const ImplicitGaussianSource src(14);
+  BitSignatureStore store(&d, SrpHasher(&src));
+  const CosinePosterior model(0.7);
+  BayesLshParams params;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t i = 0; i < d.num_vectors(); i += 2) pairs.push_back({i, i + 1});
+  auto exact = [&](uint32_t a, uint32_t b) {
+    return ExactSimilarity(d, a, b, Measure::kCosine);
+  };
+  VerifyStats stats;
+  BayesLshLiteVerify(model, &store, pairs, /*h=*/128, exact, 0.7, params,
+                     &stats);
+  EXPECT_LE(stats.hashes_compared, 50ull * 128);
+  for (uint32_t i = 0; i < d.num_vectors(); ++i) {
+    EXPECT_LE(store.NumBits(i), 128u);  // Lazy store never over-hashes.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Banding robustness
+// ---------------------------------------------------------------------------
+
+TEST(BandingRobustnessTest, MaxBandsClampHolds) {
+  DatasetBuilder b;
+  for (int i = 0; i < 20; ++i) b.AddSetRow({static_cast<DimId>(i), 100});
+  const Dataset d = std::move(b).Build();
+  IntSignatureStore store(&d, MinwiseHasher(3));
+  LshBandingParams params;
+  params.hashes_per_band = 4;
+  params.max_bands = 8;
+  params.expected_fn_rate = 1e-9;  // Would demand far more than 8 bands.
+  JaccardLshCandidates(&store, 0.2, params);
+  EXPECT_LE(store.NumHashes(0), 8u * 4u + kMinhashChunkInts);
+}
+
+TEST(BandingRobustnessTest, ThresholdNearOneUsesFewBands) {
+  EXPECT_LE(DeriveNumBands(0.99, 2, 0.03, 4096), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline equivalences
+// ---------------------------------------------------------------------------
+
+TEST(PipelineEquivalenceTest, BinaryCosineExactEqualsPrefixFilterOnSets) {
+  // The pipeline's binary-cosine AllPairs path (weighted AllPairs on
+  // normalized rows) must agree with the set-based brute force.
+  Xoshiro256StarStar rng(77);
+  DatasetBuilder b(100);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<DimId> row;
+    const int len = 2 + static_cast<int>(rng.NextBounded(12));
+    for (int k = 0; k < len; ++k) {
+      row.push_back(static_cast<DimId>(rng.NextBounded(100)));
+    }
+    b.AddSetRow(std::move(row));
+  }
+  const Dataset d = std::move(b).Build();
+  PipelineConfig cfg;
+  cfg.measure = Measure::kBinaryCosine;
+  cfg.generator = GeneratorKind::kAllPairs;
+  cfg.verifier = VerifierKind::kExact;
+  cfg.threshold = 0.6;
+  const auto res = RunPipeline(d, cfg);
+  const auto truth = BruteForceJoin(d, 0.6, Measure::kBinaryCosine);
+  // Tolerance: float normalization vs integer set arithmetic can disagree
+  // only for pairs exactly at the threshold.
+  std::set<std::pair<uint32_t, uint32_t>> rs;
+  for (const auto& p : res.pairs) rs.insert({p.a, p.b});
+  for (const auto& p : truth) {
+    if (std::abs(p.sim - 0.6) > 1e-6) {
+      EXPECT_TRUE(rs.contains({p.a, p.b}));
+    }
+  }
+}
+
+TEST(PipelineEquivalenceTest, LiteAndFullAgreeOnClearPairs) {
+  // For pairs far from the threshold, BayesLSH and BayesLSH-Lite must make
+  // identical keep/prune decisions (they share the pruning rule).
+  DatasetBuilder b;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<DimId> base;
+    for (int k = 0; k < 30; ++k) base.push_back(i * 64 + k);
+    b.AddSetRow(base);
+    b.AddSetRow(base);  // Duplicate: similarity 1.
+  }
+  const Dataset d = std::move(b).Build();
+  PipelineConfig cfg;
+  cfg.measure = Measure::kJaccard;
+  cfg.generator = GeneratorKind::kAllPairs;
+  cfg.threshold = 0.8;
+  cfg.verifier = VerifierKind::kBayesLsh;
+  const auto full = RunPipeline(d, cfg);
+  cfg.verifier = VerifierKind::kBayesLshLite;
+  const auto lite = RunPipeline(d, cfg);
+  EXPECT_EQ(full.pairs.size(), 40u);
+  EXPECT_EQ(lite.pairs.size(), 40u);
+}
+
+}  // namespace
+}  // namespace bayeslsh

@@ -1,0 +1,194 @@
+// Tests for the exact similarity kernels and the ground-truth joiners.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "sim/brute_force.h"
+#include "sim/similarity.h"
+#include "vec/dataset.h"
+#include "vec/transforms.h"
+
+namespace bayeslsh {
+namespace {
+
+Dataset TwoRowDataset(std::vector<std::pair<DimId, float>> a,
+                      std::vector<std::pair<DimId, float>> b) {
+  DatasetBuilder builder;
+  builder.AddRow(std::move(a));
+  builder.AddRow(std::move(b));
+  return std::move(builder).Build();
+}
+
+// Random sparse dataset with some structure (shared dims guaranteed).
+Dataset RandomDataset(uint32_t rows, uint32_t dims, uint32_t avg_len,
+                      uint64_t seed, bool binary = false) {
+  Xoshiro256StarStar rng(seed);
+  DatasetBuilder builder(dims);
+  for (uint32_t i = 0; i < rows; ++i) {
+    const uint32_t len =
+        1 + static_cast<uint32_t>(rng.NextBounded(2 * avg_len));
+    std::vector<std::pair<DimId, float>> row;
+    row.reserve(len);
+    for (uint32_t k = 0; k < len; ++k) {
+      const auto d = static_cast<DimId>(rng.NextBounded(dims));
+      const float w =
+          binary ? 1.0f : static_cast<float>(0.1 + rng.NextUnit() * 2.0);
+      row.emplace_back(d, w);
+    }
+    builder.AddRow(std::move(row));
+  }
+  return std::move(builder).Build();
+}
+
+// ---------------------------------------------------------------------------
+// Similarity measures
+// ---------------------------------------------------------------------------
+
+TEST(SimilarityTest, CosineOfIdenticalDirectionIsOne) {
+  const Dataset d = TwoRowDataset({{0, 1.0f}, {1, 2.0f}},
+                                  {{0, 2.0f}, {1, 4.0f}});
+  EXPECT_NEAR(CosineSimilarity(d.Row(0), d.Row(1)), 1.0, 1e-7);
+}
+
+TEST(SimilarityTest, CosineOfOrthogonalIsZero) {
+  const Dataset d = TwoRowDataset({{0, 1.0f}}, {{1, 1.0f}});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(d.Row(0), d.Row(1)), 0.0);
+}
+
+TEST(SimilarityTest, CosineKnownAngle) {
+  // (1, 0) vs (1, 1): cos = 1/sqrt(2).
+  const Dataset d = TwoRowDataset({{0, 1.0f}}, {{0, 1.0f}, {1, 1.0f}});
+  EXPECT_NEAR(CosineSimilarity(d.Row(0), d.Row(1)), 1.0 / std::sqrt(2.0),
+              1e-7);
+}
+
+TEST(SimilarityTest, CosineEmptyVectorIsZero) {
+  const Dataset d = TwoRowDataset({}, {{0, 1.0f}});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(d.Row(0), d.Row(1)), 0.0);
+}
+
+TEST(SimilarityTest, JaccardBasics) {
+  const Dataset d = TwoRowDataset({{0, 1.0f}, {1, 1.0f}, {2, 1.0f}},
+                                  {{1, 1.0f}, {2, 1.0f}, {3, 1.0f}});
+  EXPECT_NEAR(JaccardSimilarity(d.Row(0), d.Row(1)), 2.0 / 4.0, 1e-12);
+}
+
+TEST(SimilarityTest, JaccardIdenticalSetsIsOne) {
+  const Dataset d = TwoRowDataset({{3, 1.0f}, {9, 2.0f}},
+                                  {{3, 5.0f}, {9, 1.0f}});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(d.Row(0), d.Row(1)), 1.0);
+}
+
+TEST(SimilarityTest, JaccardBothEmptyIsZeroByConvention) {
+  const Dataset d = TwoRowDataset({}, {});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(d.Row(0), d.Row(1)), 0.0);
+}
+
+TEST(SimilarityTest, BinaryCosineBasics) {
+  const Dataset d = TwoRowDataset({{0, 1.0f}, {1, 1.0f}, {2, 1.0f},
+                                   {3, 1.0f}},
+                                  {{2, 1.0f}, {3, 1.0f}, {4, 1.0f},
+                                   {5, 1.0f}, {6, 1.0f}, {7, 1.0f},
+                                   {8, 1.0f}, {9, 1.0f}, {10, 1.0f}});
+  EXPECT_NEAR(BinaryCosineSimilarity(d.Row(0), d.Row(1)), 2.0 / 6.0, 1e-12);
+}
+
+TEST(SimilarityTest, BinaryCosineMatchesWeightedCosineOnNormalizedBinary) {
+  const Dataset raw = RandomDataset(30, 60, 8, 99, /*binary=*/true);
+  const Dataset norm = BinarizeNormalized(raw);
+  for (uint32_t i = 0; i < raw.num_vectors(); ++i) {
+    for (uint32_t j = i + 1; j < raw.num_vectors(); ++j) {
+      const double set_based = BinaryCosineSimilarity(raw.Row(i), raw.Row(j));
+      const double dot_based = SparseDot(norm.Row(i), norm.Row(j));
+      EXPECT_NEAR(set_based, dot_based, 1e-5);
+    }
+  }
+}
+
+TEST(SimilarityTest, ExactSimilarityDispatch) {
+  const Dataset bin = TwoRowDataset({{0, 1.0f}, {1, 1.0f}},
+                                    {{1, 1.0f}, {2, 1.0f}});
+  EXPECT_NEAR(ExactSimilarity(bin, 0, 1, Measure::kJaccard), 1.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(ExactSimilarity(bin, 0, 1, Measure::kBinaryCosine), 0.5, 1e-12);
+  // kCosine is a plain dot (pre-normalized convention).
+  const Dataset norm = BinarizeNormalized(bin);
+  EXPECT_NEAR(ExactSimilarity(norm, 0, 1, Measure::kCosine), 0.5, 1e-6);
+}
+
+TEST(MeasureNameTest, AllNamed) {
+  EXPECT_EQ(MeasureName(Measure::kCosine), "cosine");
+  EXPECT_EQ(MeasureName(Measure::kJaccard), "jaccard");
+  EXPECT_EQ(MeasureName(Measure::kBinaryCosine), "binary-cosine");
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force vs inverted-index join (cross-validation)
+// ---------------------------------------------------------------------------
+
+class JoinAgreementTest
+    : public ::testing::TestWithParam<std::tuple<Measure, double, uint64_t>> {
+};
+
+TEST_P(JoinAgreementTest, InvertedIndexMatchesBruteForce) {
+  const auto [measure, threshold, seed] = GetParam();
+  const bool binary = measure != Measure::kCosine;
+  Dataset data = RandomDataset(120, 80, 10, seed, binary);
+  if (measure == Measure::kCosine) data = L2NormalizeRows(data);
+
+  const auto brute = BruteForceJoin(data, threshold, measure);
+  const auto indexed = InvertedIndexJoin(data, threshold, measure);
+  ASSERT_EQ(brute.size(), indexed.size());
+  for (size_t i = 0; i < brute.size(); ++i) {
+    EXPECT_EQ(brute[i].a, indexed[i].a);
+    EXPECT_EQ(brute[i].b, indexed[i].b);
+    EXPECT_NEAR(brute[i].sim, indexed[i].sim, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeasuresAndThresholds, JoinAgreementTest,
+    ::testing::Combine(::testing::Values(Measure::kCosine, Measure::kJaccard,
+                                         Measure::kBinaryCosine),
+                       ::testing::Values(0.3, 0.5, 0.7, 0.9),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(BruteForceJoinTest, OutputsSortedUniquePairsWithAlessB) {
+  const Dataset data =
+      L2NormalizeRows(RandomDataset(60, 40, 6, 5, /*binary=*/false));
+  const auto out = BruteForceJoin(data, 0.4, Measure::kCosine);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LT(out[i].a, out[i].b);
+    if (i > 0) {
+      EXPECT_TRUE(out[i - 1].a < out[i].a ||
+                  (out[i - 1].a == out[i].a && out[i - 1].b < out[i].b));
+    }
+  }
+}
+
+TEST(BruteForceJoinTest, ThresholdOneKeepsOnlyExactDuplicates) {
+  DatasetBuilder b;
+  b.AddSetRow({1, 2, 3});
+  b.AddSetRow({1, 2, 3});
+  b.AddSetRow({1, 2, 4});
+  const Dataset d = std::move(b).Build();
+  const auto out = BruteForceJoin(d, 1.0, Measure::kJaccard);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].a, 0u);
+  EXPECT_EQ(out[0].b, 1u);
+}
+
+TEST(InvertedIndexJoinTest, EmptyRowsNeverMatch) {
+  DatasetBuilder b;
+  b.AddSetRow({});
+  b.AddSetRow({});
+  b.AddSetRow({1, 2});
+  const Dataset d = std::move(b).Build();
+  const auto out = InvertedIndexJoin(d, 0.5, Measure::kJaccard);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace bayeslsh

@@ -1,0 +1,349 @@
+// Tests for the statistical substrate: special functions, Beta
+// distribution, and the binomial utilities behind Figure 1.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "stats/beta_distribution.h"
+#include "stats/binomial.h"
+#include "stats/special_functions.h"
+
+namespace bayeslsh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LogBeta / LogChoose
+// ---------------------------------------------------------------------------
+
+TEST(LogBetaTest, MatchesKnownValues) {
+  // B(1, 1) = 1.
+  EXPECT_NEAR(LogBeta(1, 1), 0.0, 1e-12);
+  // B(2, 3) = 1!2!/4! = 1/12.
+  EXPECT_NEAR(LogBeta(2, 3), std::log(1.0 / 12.0), 1e-12);
+  // B(0.5, 0.5) = pi.
+  EXPECT_NEAR(LogBeta(0.5, 0.5), std::log(M_PI), 1e-12);
+}
+
+TEST(LogBetaTest, Symmetry) {
+  EXPECT_DOUBLE_EQ(LogBeta(3.7, 11.2), LogBeta(11.2, 3.7));
+}
+
+TEST(LogChooseTest, SmallValues) {
+  EXPECT_NEAR(LogChoose(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogChoose(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogChoose(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(LogChoose(52, 5), std::log(2598960.0), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// RegularizedIncompleteBeta
+// ---------------------------------------------------------------------------
+
+TEST(IncompleteBetaTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(3, 4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(3, 4, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // Beta(1,1) is uniform: I_x(1,1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, LinearCase) {
+  // I_x(1, 2) = 1 - (1-x)^2.
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1, 2, x), 1 - (1 - x) * (1 - x),
+                1e-12);
+  }
+  // I_x(2, 1) = x^2.
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2, 1, x), x * x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double a : {0.7, 2.0, 17.5, 300.0}) {
+    for (double b : {1.3, 8.0, 120.0}) {
+      for (double x : {0.05, 0.3, 0.62, 0.94}) {
+        EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x),
+                    1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x), 1e-11)
+            << "a=" << a << " b=" << b << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(IncompleteBetaTest, MedianOfSymmetricBeta) {
+  // Symmetric Beta has median 0.5.
+  for (double a : {1.0, 2.0, 5.0, 40.0, 500.0}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, a, 0.5), 0.5, 1e-11);
+  }
+}
+
+TEST(IncompleteBetaTest, MatchesBinomialSummation) {
+  // P[Binomial(n, p) <= k] = I_{1-p}(n-k, k+1): check against a direct sum.
+  const int n = 25;
+  const double p = 0.37;
+  double cum = 0.0;
+  for (int k = 0; k < n; ++k) {
+    cum += BinomialPmf(k, n, p);
+    EXPECT_NEAR(RegularizedIncompleteBeta(n - k, k + 1, 1 - p), cum, 1e-10)
+        << "k=" << k;
+  }
+}
+
+TEST(IncompleteBetaTest, LargeParametersStayFinite) {
+  // Hash counts up to 4096 give Beta parameters in the thousands.
+  const double v = RegularizedIncompleteBeta(3000, 1100, 0.7);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+  // Mean of Beta(3000, 1100) ~ 0.7317; CDF at 0.7 should be small but
+  // non-zero.
+  EXPECT_LT(v, 0.01);
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(IncompleteBetaTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0001; x += 0.02) {
+    const double v = RegularizedIncompleteBeta(12.5, 7.25, std::min(x, 1.0));
+    EXPECT_GE(v, prev - 1e-14);
+    prev = v;
+  }
+}
+
+TEST(BetaMassTest, ClampsAndOrders) {
+  EXPECT_DOUBLE_EQ(BetaMass(2, 2, -1.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(BetaMass(2, 2, 0.8, 0.2), 0.0);
+  EXPECT_NEAR(BetaMass(1, 1, 0.25, 0.5), 0.25, 1e-12);
+}
+
+// Property sweep: I_x(a, b) agrees with numerical integration of the pdf.
+class IncompleteBetaQuadratureTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(IncompleteBetaQuadratureTest, AgreesWithMidpointIntegration) {
+  const auto [a, b] = GetParam();
+  const BetaDistribution dist(a, b);
+  // Midpoint rule on [0, x]: avoids the support endpoints where the pdf
+  // convention (0 outside the open interval) would bias Simpson's rule for
+  // shapes with a = 1 or b = 1.
+  for (double x : {0.2, 0.5, 0.8}) {
+    const int steps = 400000;
+    const double h = x / steps;
+    double integral = 0.0;
+    for (int i = 0; i < steps; ++i) {
+      integral += dist.Pdf((i + 0.5) * h);
+    }
+    integral *= h;
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x), integral, 1e-6)
+        << "a=" << a << " b=" << b << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, IncompleteBetaQuadratureTest,
+    ::testing::Values(std::make_tuple(1.0, 1.0), std::make_tuple(2.0, 5.0),
+                      std::make_tuple(5.0, 2.0), std::make_tuple(9.5, 9.5),
+                      std::make_tuple(33.0, 17.0),
+                      std::make_tuple(1.0, 24.0)));
+
+// ---------------------------------------------------------------------------
+// BetaDistribution
+// ---------------------------------------------------------------------------
+
+TEST(BetaDistributionTest, MomentsOfKnownShapes) {
+  const BetaDistribution b(2, 6);
+  EXPECT_NEAR(b.Mean(), 0.25, 1e-12);
+  EXPECT_NEAR(b.Variance(), 2.0 * 6.0 / (64.0 * 9.0), 1e-12);
+}
+
+TEST(BetaDistributionTest, ModeInteriorShapes) {
+  EXPECT_NEAR(BetaDistribution(3, 3).Mode(), 0.5, 1e-12);
+  EXPECT_NEAR(BetaDistribution(2, 4).Mode(), 0.25, 1e-12);
+  EXPECT_NEAR(BetaDistribution(10, 2).Mode(), 0.9, 1e-12);
+}
+
+TEST(BetaDistributionTest, ModeBoundaryShapes) {
+  EXPECT_DOUBLE_EQ(BetaDistribution(1, 5).Mode(), 0.0);
+  EXPECT_DOUBLE_EQ(BetaDistribution(0.5, 5).Mode(), 0.0);
+  EXPECT_DOUBLE_EQ(BetaDistribution(5, 1).Mode(), 1.0);
+  // Uniform falls back to the mean.
+  EXPECT_DOUBLE_EQ(BetaDistribution(1, 1).Mode(), 0.5);
+}
+
+TEST(BetaDistributionTest, PdfIntegratesToOne) {
+  const BetaDistribution b(4.2, 2.9);
+  const int steps = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    sum += b.Pdf((i + 0.5) / steps) / steps;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(BetaDistributionTest, PosteriorConjugacy) {
+  const BetaDistribution prior(2.5, 3.5);
+  const BetaDistribution post = prior.Posterior(7, 10);
+  EXPECT_DOUBLE_EQ(post.alpha(), 9.5);
+  EXPECT_DOUBLE_EQ(post.beta(), 6.5);
+}
+
+TEST(BetaDistributionTest, PosteriorOfZeroTrialsIsPrior) {
+  const BetaDistribution prior(2.5, 3.5);
+  const BetaDistribution post = prior.Posterior(0, 0);
+  EXPECT_DOUBLE_EQ(post.alpha(), prior.alpha());
+  EXPECT_DOUBLE_EQ(post.beta(), prior.beta());
+}
+
+TEST(BetaDistributionTest, MethodOfMomentsRecoversShape) {
+  // Fit from the exact moments of Beta(4, 9).
+  const BetaDistribution truth(4, 9);
+  const BetaDistribution fit =
+      BetaDistribution::MethodOfMoments(truth.Mean(), truth.Variance());
+  EXPECT_NEAR(fit.alpha(), 4.0, 1e-9);
+  EXPECT_NEAR(fit.beta(), 9.0, 1e-9);
+}
+
+TEST(BetaDistributionTest, MethodOfMomentsDegenerateFallsBackToUniform) {
+  // Zero variance.
+  BetaDistribution f1 = BetaDistribution::MethodOfMoments(0.4, 0.0);
+  EXPECT_DOUBLE_EQ(f1.alpha(), 1.0);
+  EXPECT_DOUBLE_EQ(f1.beta(), 1.0);
+  // Mean at the boundary.
+  BetaDistribution f2 = BetaDistribution::MethodOfMoments(1.0, 0.01);
+  EXPECT_DOUBLE_EQ(f2.alpha(), 1.0);
+  // Variance too large for any Beta.
+  BetaDistribution f3 = BetaDistribution::MethodOfMoments(0.5, 0.4);
+  EXPECT_DOUBLE_EQ(f3.alpha(), 1.0);
+}
+
+TEST(BetaDistributionTest, FitFromSamplesMatchesPaperFormula) {
+  // Paper §4.1: alpha = s̄ (s̄(1-s̄)/s̄_v - 1), beta analogous, with the
+  // biased sample variance.
+  const std::vector<double> samples = {0.2, 0.4, 0.35, 0.6, 0.15, 0.45};
+  double mean = 0;
+  for (double s : samples) mean += s;
+  mean /= samples.size();
+  double var = 0;
+  for (double s : samples) var += (s - mean) * (s - mean);
+  var /= samples.size();
+  const double common = mean * (1 - mean) / var - 1.0;
+
+  const BetaDistribution fit = BetaDistribution::FitMethodOfMoments(samples);
+  EXPECT_NEAR(fit.alpha(), mean * common, 1e-12);
+  EXPECT_NEAR(fit.beta(), (1 - mean) * common, 1e-12);
+}
+
+TEST(BetaDistributionTest, FitFromEmptySampleIsUniform) {
+  const BetaDistribution fit = BetaDistribution::FitMethodOfMoments({});
+  EXPECT_DOUBLE_EQ(fit.alpha(), 1.0);
+  EXPECT_DOUBLE_EQ(fit.beta(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Binomial
+// ---------------------------------------------------------------------------
+
+TEST(BinomialTest, PmfSumsToOne) {
+  for (double p : {0.1, 0.5, 0.83}) {
+    double sum = 0.0;
+    for (int m = 0; m <= 40; ++m) sum += BinomialPmf(m, 40, p);
+    EXPECT_NEAR(sum, 1.0, 1e-10);
+  }
+}
+
+TEST(BinomialTest, PmfDegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(0, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(3, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(9, 10, 1.0), 0.0);
+}
+
+TEST(BinomialTest, CdfMatchesCumulativeSum) {
+  const int n = 30;
+  const double p = 0.42;
+  double cum = 0.0;
+  for (int m = 0; m <= n; ++m) {
+    cum += BinomialPmf(m, n, p);
+    EXPECT_NEAR(BinomialCdf(m, n, p), cum, 1e-10) << "m=" << m;
+  }
+}
+
+TEST(BinomialTest, CdfClamping) {
+  EXPECT_DOUBLE_EQ(BinomialCdf(-1, 20, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(20, 20, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(25, 20, 0.5), 1.0);
+}
+
+TEST(MleConcentrationTest, GrowsWithN) {
+  // More hashes concentrate the estimator (checked at stable n values).
+  const double s = 0.7, delta = 0.05;
+  const double p100 = MleConcentrationProbability(s, 100, delta);
+  const double p1000 = MleConcentrationProbability(s, 1000, delta);
+  EXPECT_GT(p1000, p100);
+  EXPECT_GT(p1000, 0.99);
+}
+
+TEST(MleConcentrationTest, WideDeltaIsCertain) {
+  EXPECT_NEAR(MleConcentrationProbability(0.5, 10, 0.6), 1.0, 1e-12);
+}
+
+TEST(RequiredHashesTest, PaperFigure1Shape) {
+  // Paper §3.1: "A similarity of 0.5 needs 350 hashes ... a similarity of
+  // 0.95 needs only 16" for delta = gamma = 0.05. Under the strict
+  // |error| < delta reading we get ~371 and ~81: the mid-similarity value
+  // matches, and the shape (multiples more hashes near 0.5) holds; the
+  // paper's 16 corresponds to a looser summation window at the boundary.
+  const int at_05 = RequiredHashes(0.5, 0.05, 0.05);
+  const int at_095 = RequiredHashes(0.95, 0.05, 0.05);
+  EXPECT_GE(at_05, 250);
+  EXPECT_LE(at_05, 450);
+  EXPECT_LE(at_095, 120);
+  EXPECT_GT(at_05, 3 * at_095);
+}
+
+TEST(RequiredHashesTest, PeaksNearHalf) {
+  const int lo = RequiredHashes(0.05, 0.05, 0.05);
+  const int mid = RequiredHashes(0.5, 0.05, 0.05);
+  const int hi = RequiredHashes(0.95, 0.05, 0.05);
+  EXPECT_GT(mid, lo);
+  EXPECT_GT(mid, hi);
+}
+
+TEST(RequiredHashesTest, StricterAccuracyNeedsMoreHashes) {
+  EXPECT_GT(RequiredHashes(0.5, 0.025, 0.05), RequiredHashes(0.5, 0.05, 0.05));
+  EXPECT_GT(RequiredHashes(0.5, 0.05, 0.01), RequiredHashes(0.5, 0.05, 0.09));
+}
+
+TEST(RequiredHashesTest, ReturnsSentinelWhenOutOfRange) {
+  EXPECT_EQ(RequiredHashes(0.5, 0.001, 0.001, /*max_n=*/50), 51);
+}
+
+// Parameterized sweep across similarities: the required-hash count must
+// produce an estimator that is actually concentrated at that n.
+class RequiredHashesSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RequiredHashesSweep, AchievesRequestedConcentration) {
+  const double s = GetParam();
+  const double delta = 0.05, gamma = 0.05;
+  const int n = RequiredHashes(s, delta, gamma);
+  ASSERT_LE(n, 20000);
+  EXPECT_GE(MleConcentrationProbability(s, n, delta), 1.0 - gamma);
+  if (n > 1) {
+    // n is minimal: n-1 hashes fail.
+    EXPECT_LT(MleConcentrationProbability(s, n - 1, delta), 1.0 - gamma);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SimilaritySweep, RequiredHashesSweep,
+                         ::testing::Values(0.05, 0.15, 0.25, 0.35, 0.45, 0.5,
+                                           0.55, 0.65, 0.75, 0.85, 0.95));
+
+}  // namespace
+}  // namespace bayeslsh

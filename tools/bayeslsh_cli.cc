@@ -1,0 +1,258 @@
+// bayeslsh — command-line all-pairs similarity search.
+//
+// Subcommands:
+//
+//   bayeslsh allpairs --input data.txt --measure cosine --threshold 0.7
+//            [--generator allpairs|lsh] [--verifier bayeslsh|bayeslsh-lite|
+//             exact|mle] [--epsilon E] [--delta D] [--gamma G] [--seed S]
+//            [--tfidf] [--normalize] [--output pairs.txt]
+//       Runs the full pipeline on a dataset file (see vec/io.h for the
+//       format) and writes one "a b similarity" line per result pair.
+//
+//   bayeslsh generate --kind text|graph --vectors N --output data.txt
+//            [--seed S]
+//       Writes a synthetic corpus in the library's dataset format, so the
+//       tool is try-able without bringing data.
+//
+//   bayeslsh stats --input data.txt
+//       Prints Table-1-style statistics for a dataset file.
+//
+// Exit codes: 0 success, 1 bad usage, 2 I/O or data error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bayeslsh/bayeslsh.h"
+
+namespace {
+
+using namespace bayeslsh;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  bayeslsh allpairs --input FILE --threshold T [options]\n"
+      "  bayeslsh generate --kind text|graph --vectors N --output FILE\n"
+      "           [--binary]\n"
+      "  bayeslsh stats --input FILE\n"
+      "\n"
+      "Input files may be in the text or the binary dataset format\n"
+      "(auto-detected); generate writes binary with --binary.\n"
+      "\n"
+      "allpairs options:\n"
+      "  --measure cosine|jaccard|binary-cosine   (default cosine)\n"
+      "  --generator allpairs|lsh                 (default allpairs)\n"
+      "  --verifier bayeslsh|bayeslsh-lite|exact|mle (default bayeslsh)\n"
+      "  --epsilon E --delta D --gamma G          (default 0.03/0.05/0.03)\n"
+      "  --tfidf --normalize                      (input transforms)\n"
+      "  --seed S --output FILE\n");
+  return 1;
+}
+
+// Minimal flag parser: --key value pairs plus boolean --flags.
+struct Args {
+  std::map<std::string, std::string> values;
+  std::map<std::string, bool> flags;
+
+  static Args Parse(int argc, char** argv, int first) {
+    Args a;
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        a.values[key] = argv[++i];
+      } else {
+        a.flags[key] = true;
+      }
+    }
+    return a;
+  }
+
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    const auto it = values.find(key);
+    return it == values.end() ? dflt : it->second;
+  }
+  double GetDouble(const std::string& key, double dflt) const {
+    const auto it = values.find(key);
+    return it == values.end() ? dflt : std::atof(it->second.c_str());
+  }
+  uint64_t GetUint(const std::string& key, uint64_t dflt) const {
+    const auto it = values.find(key);
+    return it == values.end()
+               ? dflt
+               : static_cast<uint64_t>(std::atoll(it->second.c_str()));
+  }
+  bool Has(const std::string& key) const {
+    return flags.count(key) > 0 || values.count(key) > 0;
+  }
+};
+
+int RunAllPairs(const Args& args) {
+  if (!args.Has("input") || !args.Has("threshold")) return Usage();
+
+  Dataset data;
+  try {
+    data = ReadDatasetAutoFile(args.Get("input", ""));
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (args.Has("tfidf")) data = TfIdfTransform(data);
+
+  PipelineConfig cfg;
+  const std::string measure = args.Get("measure", "cosine");
+  if (measure == "cosine") {
+    cfg.measure = Measure::kCosine;
+  } else if (measure == "jaccard") {
+    cfg.measure = Measure::kJaccard;
+  } else if (measure == "binary-cosine") {
+    cfg.measure = Measure::kBinaryCosine;
+  } else {
+    std::fprintf(stderr, "error: unknown measure '%s'\n", measure.c_str());
+    return 1;
+  }
+  // Cosine expects unit rows; normalize by default for cosine (opt-out by
+  // passing pre-normalized data without --normalize is fine too).
+  if (cfg.measure == Measure::kCosine &&
+      (args.Has("normalize") || args.Has("tfidf"))) {
+    data = L2NormalizeRows(data);
+  }
+
+  const std::string generator = args.Get("generator", "allpairs");
+  if (generator == "allpairs") {
+    cfg.generator = GeneratorKind::kAllPairs;
+  } else if (generator == "lsh") {
+    cfg.generator = GeneratorKind::kLsh;
+  } else {
+    std::fprintf(stderr, "error: unknown generator '%s'\n",
+                 generator.c_str());
+    return 1;
+  }
+
+  const std::string verifier = args.Get("verifier", "bayeslsh");
+  if (verifier == "bayeslsh") {
+    cfg.verifier = VerifierKind::kBayesLsh;
+  } else if (verifier == "bayeslsh-lite") {
+    cfg.verifier = VerifierKind::kBayesLshLite;
+  } else if (verifier == "exact") {
+    cfg.verifier = VerifierKind::kExact;
+  } else if (verifier == "mle") {
+    cfg.verifier = VerifierKind::kMle;
+  } else {
+    std::fprintf(stderr, "error: unknown verifier '%s'\n", verifier.c_str());
+    return 1;
+  }
+
+  cfg.threshold = args.GetDouble("threshold", 0.7);
+  cfg.bayes.epsilon = args.GetDouble("epsilon", 0.03);
+  cfg.bayes.delta = args.GetDouble("delta", 0.05);
+  cfg.bayes.gamma = args.GetDouble("gamma", 0.03);
+  cfg.seed = args.GetUint("seed", 42);
+
+  const PipelineResult result = RunPipeline(data, cfg);
+
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (args.Has("output")) {
+    file.open(args.Get("output", ""));
+    if (!file) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   args.Get("output", "").c_str());
+      return 2;
+    }
+    out = &file;
+  }
+  for (const auto& p : result.pairs) {
+    (*out) << p.a << ' ' << p.b << ' ' << p.sim << '\n';
+  }
+
+  std::fprintf(stderr,
+               "%s: %u vectors, %llu candidates -> %zu pairs in %.3f s "
+               "(generate %.3f s, verify %.3f s)\n",
+               result.algorithm.c_str(), data.num_vectors(),
+               static_cast<unsigned long long>(result.candidates),
+               result.pairs.size(), result.total_seconds,
+               result.generate_seconds, result.verify_seconds);
+  return 0;
+}
+
+int RunGenerate(const Args& args) {
+  if (!args.Has("output")) return Usage();
+  const std::string kind = args.Get("kind", "text");
+  const uint32_t vectors =
+      static_cast<uint32_t>(args.GetUint("vectors", 2000));
+  const uint64_t seed = args.GetUint("seed", 42);
+
+  Dataset data;
+  if (kind == "text") {
+    TextCorpusConfig cfg;
+    cfg.num_docs = vectors;
+    cfg.vocab_size = std::max<uint32_t>(1000, vectors * 4);
+    cfg.avg_doc_len = 60;
+    cfg.num_clusters = std::max<uint32_t>(1, vectors / 20);
+    cfg.seed = seed;
+    data = GenerateTextCorpus(cfg);
+  } else if (kind == "graph") {
+    GraphConfig cfg;
+    cfg.num_nodes = vectors;
+    cfg.seed = seed;
+    data = GenerateGraphAdjacency(cfg);
+  } else {
+    std::fprintf(stderr, "error: unknown kind '%s'\n", kind.c_str());
+    return 1;
+  }
+  try {
+    if (args.Has("binary")) {
+      WriteDatasetBinaryFile(data, args.Get("output", ""));
+    } else {
+      WriteDatasetFile(data, args.Get("output", ""));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "wrote %u vectors (%llu non-zeros) to %s\n",
+               data.num_vectors(),
+               static_cast<unsigned long long>(data.nnz()),
+               args.Get("output", "").c_str());
+  return 0;
+}
+
+int RunStats(const Args& args) {
+  if (!args.Has("input")) return Usage();
+  Dataset data;
+  try {
+    data = ReadDatasetAutoFile(args.Get("input", ""));
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const DatasetStats s = data.Stats();
+  std::printf("vectors:        %u\n", s.num_vectors);
+  std::printf("dimensions:     %u\n", s.num_dims);
+  std::printf("non-zeros:      %llu\n",
+              static_cast<unsigned long long>(s.total_nnz));
+  std::printf("avg length:     %.1f\n", s.avg_length);
+  std::printf("max length:     %u\n", s.max_length);
+  std::printf("length stddev:  %.1f\n", s.length_stddev);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Args args = Args::Parse(argc, argv, 2);
+  if (cmd == "allpairs") return RunAllPairs(args);
+  if (cmd == "generate") return RunGenerate(args);
+  if (cmd == "stats") return RunStats(args);
+  return Usage();
+}
