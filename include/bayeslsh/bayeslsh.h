@@ -16,8 +16,9 @@
 //   auto result = bayeslsh::RunPipeline(corpus, cfg);
 //   // result.pairs: {a, b, estimated similarity}
 //
-// See README.md for the architecture overview and examples/ for runnable
-// programs.
+// See the top-level README.md for build instructions and the module map,
+// docs/ARCHITECTURE.md for the end-to-end design, docs/CLI.md for the
+// command-line tool, and examples/ for runnable programs.
 
 #ifndef BAYESLSH_BAYESLSH_H_
 #define BAYESLSH_BAYESLSH_H_

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Local wrapper for the tier-1 verification: configure, build, and run every
+# test suite. Mirrors what CI runs on each push.
+#
+#   scripts/check.sh            # Release build into ./build
+#   BUILD_DIR=out scripts/check.sh
+#   CMAKE_ARGS="-DBAYESLSH_WERROR=ON" scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split.
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR" && ctest --output-on-failure -j

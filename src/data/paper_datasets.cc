@@ -1,5 +1,6 @@
 #include "data/paper_datasets.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -56,6 +57,15 @@ uint32_t Scaled(uint32_t base, double scale) {
   return v < 64.0 ? 64u : static_cast<uint32_t>(v);
 }
 
+// Cluster/community counts must keep num * members <= total (the generator
+// precondition), so the 64-floor above would overshoot at small scales.
+uint32_t ScaledClusters(uint32_t base, double scale, uint32_t total,
+                        uint32_t members) {
+  const double v = std::round(base * scale);
+  const uint32_t n = v < 1.0 ? 1u : static_cast<uint32_t>(v);
+  return std::min(n, total / members);
+}
+
 }  // namespace
 
 Dataset MakeRawPaperDataset(PaperDataset which, double scale, uint64_t seed) {
@@ -67,8 +77,8 @@ Dataset MakeRawPaperDataset(PaperDataset which, double scale, uint64_t seed) {
       c.vocab_size = 12000;
       c.avg_doc_len = 76.0;
       c.doc_len_sigma = 0.5;
-      c.num_clusters = Scaled(220, scale);
       c.cluster_size = 4;
+      c.num_clusters = ScaledClusters(220, scale, c.num_docs, c.cluster_size);
       c.seed = seed;
       return GenerateTextCorpus(c);
     }
@@ -79,8 +89,8 @@ Dataset MakeRawPaperDataset(PaperDataset which, double scale, uint64_t seed) {
       c.vocab_size = 30000;
       c.avg_doc_len = 400.0;
       c.doc_len_sigma = 0.35;
-      c.num_clusters = Scaled(120, scale);
       c.cluster_size = 4;
+      c.num_clusters = ScaledClusters(120, scale, c.num_docs, c.cluster_size);
       c.seed = seed + 1;
       return GenerateTextCorpus(c);
     }
@@ -90,8 +100,8 @@ Dataset MakeRawPaperDataset(PaperDataset which, double scale, uint64_t seed) {
       c.vocab_size = 30000;
       c.avg_doc_len = 200.0;
       c.doc_len_sigma = 0.4;
-      c.num_clusters = Scaled(280, scale);
       c.cluster_size = 4;
+      c.num_clusters = ScaledClusters(280, scale, c.num_docs, c.cluster_size);
       c.seed = seed + 2;
       return GenerateTextCorpus(c);
     }
@@ -101,8 +111,8 @@ Dataset MakeRawPaperDataset(PaperDataset which, double scale, uint64_t seed) {
       c.num_nodes = Scaled(9000, scale);
       c.avg_degree = 24.0;
       c.degree_sigma = 0.9;
-      c.num_communities = Scaled(400, scale);
       c.community_size = 4;
+      c.num_communities = ScaledClusters(400, scale, c.num_nodes, c.community_size);
       c.seed = seed + 3;
       return GenerateGraphAdjacency(c);
     }
@@ -111,8 +121,8 @@ Dataset MakeRawPaperDataset(PaperDataset which, double scale, uint64_t seed) {
       c.num_nodes = Scaled(9000, scale);
       c.avg_degree = 76.0;
       c.degree_sigma = 0.8;
-      c.num_communities = Scaled(400, scale);
       c.community_size = 4;
+      c.num_communities = ScaledClusters(400, scale, c.num_nodes, c.community_size);
       c.seed = seed + 4;
       return GenerateGraphAdjacency(c);
     }
@@ -122,8 +132,8 @@ Dataset MakeRawPaperDataset(PaperDataset which, double scale, uint64_t seed) {
       c.num_nodes = Scaled(2400, scale);
       c.avg_degree = 500.0;
       c.degree_sigma = 0.5;
-      c.num_communities = Scaled(150, scale);
       c.community_size = 4;
+      c.num_communities = ScaledClusters(150, scale, c.num_nodes, c.community_size);
       c.seed = seed + 5;
       return GenerateGraphAdjacency(c);
     }

@@ -71,8 +71,8 @@ Dataset SmallGraphBinary(uint64_t seed, uint32_t nodes = 300) {
   GraphConfig cfg;
   cfg.num_nodes = nodes;
   cfg.avg_degree = 12;
-  cfg.num_communities = 30;
   cfg.community_size = 4;
+  cfg.num_communities = std::min(30u, nodes / cfg.community_size);
   cfg.seed = seed;
   return GenerateGraphAdjacency(cfg);
 }

@@ -85,6 +85,7 @@ TEST(TextGeneratorTest, DeterministicPerSeed) {
   TextCorpusConfig cfg;
   cfg.num_docs = 100;
   cfg.vocab_size = 500;
+  cfg.num_clusters = 20;  // Default 150 would not fit 100 docs.
   cfg.seed = 5;
   const Dataset a = GenerateTextCorpus(cfg);
   const Dataset b = GenerateTextCorpus(cfg);
@@ -225,6 +226,7 @@ TEST(GraphGeneratorTest, CommunitiesAreSimilar) {
 TEST(GraphGeneratorTest, DeterministicPerSeed) {
   GraphConfig cfg;
   cfg.num_nodes = 300;
+  cfg.num_communities = 60;  // Default 200 would not fit 300 nodes.
   cfg.seed = 16;
   const Dataset a = GenerateGraphAdjacency(cfg);
   const Dataset b = GenerateGraphAdjacency(cfg);

@@ -1,0 +1,89 @@
+// End-to-end smoke test of the public umbrella header. Everything here goes
+// through #include "bayeslsh/bayeslsh.h" only, so any breakage of the
+// published API surface (missing header, renamed symbol, changed pipeline
+// defaults) is caught by ctest even when the per-module suites still pass.
+
+#include "bayeslsh/bayeslsh.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace bayeslsh {
+namespace {
+
+Dataset SmokeCorpus() {
+  TextCorpusConfig corpus;
+  corpus.num_docs = 200;
+  corpus.vocab_size = 500;
+  corpus.num_clusters = 12;
+  corpus.cluster_size = 4;
+  corpus.seed = 7;
+  return GenerateTextCorpus(corpus);
+}
+
+TEST(PublicApiSmokeTest, QuickstartCosinePipeline) {
+  // The exact flow advertised in bayeslsh.h's header comment.
+  Dataset data = L2NormalizeRows(TfIdfTransform(SmokeCorpus()));
+
+  PipelineConfig cfg;
+  cfg.measure = Measure::kCosine;
+  cfg.generator = GeneratorKind::kAllPairs;
+  cfg.verifier = VerifierKind::kBayesLsh;
+  cfg.threshold = 0.7;
+  PipelineResult result = RunPipeline(data, cfg);
+
+  EXPECT_EQ(result.algorithm, AlgorithmName(cfg));
+  ASSERT_FALSE(result.pairs.empty());
+  for (const ScoredPair& pair : result.pairs) {
+    EXPECT_LT(pair.a, pair.b);
+    EXPECT_LT(pair.b, data.num_vectors());
+  }
+
+  // The Bayesian estimates should broadly agree with exact search: most of
+  // the reported pairs must be genuinely similar.
+  const std::vector<ScoredPair> exact =
+      InvertedIndexJoin(data, cfg.threshold, Measure::kCosine);
+  ASSERT_FALSE(exact.empty());
+  size_t hits = 0;
+  for (const ScoredPair& pair : result.pairs) {
+    hits += std::count_if(exact.begin(), exact.end(),
+                          [&](const ScoredPair& e) {
+                            return e.a == pair.a && e.b == pair.b;
+                          });
+  }
+  EXPECT_GT(hits, result.pairs.size() / 2);
+}
+
+TEST(PublicApiSmokeTest, LshJaccardPipeline) {
+  Dataset data = Binarize(SmokeCorpus());
+
+  PipelineConfig cfg;
+  cfg.measure = Measure::kJaccard;
+  cfg.generator = GeneratorKind::kLsh;
+  cfg.verifier = VerifierKind::kBayesLshLite;
+  cfg.threshold = 0.5;
+  cfg.seed = 99;
+  PipelineResult result = RunPipeline(data, cfg);
+
+  EXPECT_EQ(result.algorithm, AlgorithmName(cfg));
+  EXPECT_GE(result.candidates, result.pairs.size());
+  for (const ScoredPair& pair : result.pairs) {
+    EXPECT_LT(pair.a, pair.b);
+    EXPECT_GE(pair.sim, 0.0);
+    EXPECT_LE(pair.sim, 1.0);
+  }
+}
+
+TEST(PublicApiSmokeTest, DatasetTextRoundTrip) {
+  // vec/io.h round trip through the public header.
+  Dataset data = Binarize(SmokeCorpus());
+  std::stringstream stream;
+  WriteDataset(data, stream);
+  Dataset back = ReadDataset(stream);
+  ASSERT_EQ(back.num_vectors(), data.num_vectors());
+}
+
+}  // namespace
+}  // namespace bayeslsh
