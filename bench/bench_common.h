@@ -1,17 +1,22 @@
 // Shared plumbing for the paper-reproduction benchmark binaries: scaled
 // dataset construction, ground-truth computation, the per-measure algorithm
-// roster, and fixed-width table printing.
+// roster, fixed-width table printing, and machine-readable JSON output.
 //
 // Every bench binary is self-contained and reproducible: all randomness is
 // seeded, and the dataset scale can be adjusted via the environment
 // variable BAYESLSH_BENCH_SCALE (default 1.0; larger values grow the vector
-// counts proportionally).
+// counts proportionally). The worker-thread count comes from
+// BAYESLSH_BENCH_THREADS or a `--threads N` argument (default 1, matching
+// the paper's single-threaded measurements); `--json <path>` makes a bench
+// additionally write its per-run records as JSON (see BenchJsonWriter).
 
 #ifndef BAYESLSH_BENCH_BENCH_COMMON_H_
 #define BAYESLSH_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +37,172 @@ inline double BenchScale() {
 }
 
 inline uint64_t BenchSeed() { return 20120828; }  // VLDB'12 vintage.
+
+// Exits with a usage error: a malformed bench invocation must not burn a
+// 20-minute run with silently wrong settings.
+[[noreturn]] inline void BenchUsageError(const char* message) {
+  std::fprintf(stderr, "error: %s\n", message);
+  std::exit(1);
+}
+
+inline uint32_t ParseNonNegativeOrDie(const char* text, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v < 0 ||
+      v > static_cast<long long>(UINT32_MAX)) {
+    BenchUsageError(what);
+  }
+  return static_cast<uint32_t>(v);
+}
+
+// Worker threads for pipeline runs: `--threads N` beats
+// BAYESLSH_BENCH_THREADS beats the single-threaded default. 0 = all cores.
+inline uint32_t BenchThreads(int argc = 0, char** argv = nullptr) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) BenchUsageError("--threads needs a value");
+      return ParseNonNegativeOrDie(
+          argv[i + 1], "--threads must be a non-negative integer");
+    }
+  }
+  const char* env = std::getenv("BAYESLSH_BENCH_THREADS");
+  if (env != nullptr) {
+    return ParseNonNegativeOrDie(
+        env, "BAYESLSH_BENCH_THREADS must be a non-negative integer");
+  }
+  return 1;
+}
+
+// Value of `--json <path>`, or "" when absent.
+inline std::string BenchJsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) BenchUsageError("--json needs a path");
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+// Rejects any argument outside the shared bench flag set (--threads N,
+// --json PATH) — a typo or `--threads=4` (equals form) must not silently
+// run the full grid with default settings.
+inline void CheckBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 ||
+        std::strcmp(argv[i], "--json") == 0) {
+      ++i;  // Skip the value (presence is checked by the accessors).
+      continue;
+    }
+    std::fprintf(stderr,
+                 "error: unrecognized argument '%s' (supported: "
+                 "--threads N, --json PATH)\n",
+                 argv[i]);
+    std::exit(1);
+  }
+}
+
+// One pipeline run's record for the perf trajectory.
+struct BenchRecord {
+  std::string section;
+  std::string dataset;
+  std::string algorithm;
+  double threshold = 0.0;
+  uint32_t threads = 1;
+  double generate_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double total_seconds = 0.0;
+  uint64_t candidates = 0;
+  uint64_t raw_candidates = 0;
+  uint64_t result_pairs = 0;
+  uint64_t gen_hashes = 0;
+  uint64_t verify_hashes = 0;
+};
+
+// Collects BenchRecords and writes them as one JSON document:
+//   {"bench": ..., "scale": ..., "seed": ..., "threads": ..,
+//    "records": [{...}, ...]}
+// Inactive (null path) writers swallow Add() calls, so call sites need no
+// branching.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string bench_name, std::string path,
+                  uint32_t threads)
+      : bench_name_(std::move(bench_name)), path_(std::move(path)),
+        threads_(threads) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(BenchRecord record) {
+    if (enabled()) records_.push_back(std::move(record));
+  }
+
+  void Add(const std::string& section, const std::string& dataset,
+           double threshold, const PipelineResult& result) {
+    BenchRecord r;
+    r.section = section;
+    r.dataset = dataset;
+    r.algorithm = result.algorithm;
+    r.threshold = threshold;
+    r.threads = result.threads_used;
+    r.generate_seconds = result.generate_seconds;
+    r.verify_seconds = result.verify_seconds;
+    r.total_seconds = result.total_seconds;
+    r.candidates = result.candidates;
+    r.raw_candidates = result.raw_candidates;
+    r.result_pairs = result.pairs.size();
+    r.gen_hashes = result.gen_hashes_computed;
+    r.verify_hashes = result.verify_hashes_computed;
+    Add(std::move(r));
+  }
+
+  // Writes the document; returns false (with a message on stderr) on I/O
+  // failure. No-op for inactive writers.
+  bool Write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"scale\": %g,\n"
+                 "  \"seed\": %llu,\n  \"threads\": %u,\n  \"records\": [",
+                 bench_name_.c_str(), BenchScale(),
+                 static_cast<unsigned long long>(BenchSeed()),
+                 ResolveNumThreads(threads_));
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(
+          f,
+          "%s\n    {\"section\": \"%s\", \"dataset\": \"%s\", "
+          "\"algorithm\": \"%s\", \"threshold\": %g, \"threads\": %u, "
+          "\"generate_seconds\": %.6f, \"verify_seconds\": %.6f, "
+          "\"total_seconds\": %.6f, \"candidates\": %llu, "
+          "\"raw_candidates\": %llu, \"result_pairs\": %llu, "
+          "\"gen_hashes\": %llu, \"verify_hashes\": %llu}",
+          i == 0 ? "" : ",", r.section.c_str(), r.dataset.c_str(),
+          r.algorithm.c_str(), r.threshold, r.threads, r.generate_seconds,
+          r.verify_seconds, r.total_seconds,
+          static_cast<unsigned long long>(r.candidates),
+          static_cast<unsigned long long>(r.raw_candidates),
+          static_cast<unsigned long long>(r.result_pairs),
+          static_cast<unsigned long long>(r.gen_hashes),
+          static_cast<unsigned long long>(r.verify_hashes));
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu records to %s\n", records_.size(),
+                 path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  uint32_t threads_;
+  std::vector<BenchRecord> records_;
+};
 
 // The paper's cosine thresholds (Fig. 3a-f, j-l) and Jaccard thresholds
 // (Fig. 3g-i).
@@ -86,13 +257,15 @@ inline std::vector<AlgoSpec> PaperAlgorithms() {
 
 inline PipelineConfig MakeBenchConfig(Measure measure, const AlgoSpec& algo,
                                       double threshold,
-                                      GaussianSourceCache* gaussians) {
+                                      GaussianSourceCache* gaussians,
+                                      uint32_t num_threads = 1) {
   PipelineConfig cfg;
   cfg.measure = measure;
   cfg.generator = algo.generator;
   cfg.verifier = algo.verifier;
   cfg.threshold = threshold;
   cfg.seed = BenchSeed();
+  cfg.num_threads = num_threads;
   cfg.gaussian_cache = gaussians;
   return cfg;
 }

@@ -6,11 +6,13 @@
 #define BAYESLSH_BENCH_BENCH_TIMING_H_
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "candgen/ppjoin.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace bayeslsh::bench {
@@ -24,37 +26,59 @@ struct TimingRow {
 };
 
 // Runs the seven pipeline algorithms (plus PPJoin+ on binary measures) over
-// the threshold sweep.
+// the threshold sweep. num_threads feeds PipelineConfig (and a local pool
+// for PPJoin+); a non-null `json` writer gets one record per run, tagged
+// with `section`.
 inline std::vector<TimingRow> RunTimingGrid(const BenchDataset& ds,
                                             Measure measure,
                                             const std::vector<double>& ts,
-                                            bool include_ppjoin) {
+                                            bool include_ppjoin,
+                                            uint32_t num_threads = 1,
+                                            BenchJsonWriter* json = nullptr,
+                                            const std::string& section = "") {
   std::vector<TimingRow> rows;
   for (const AlgoSpec& algo : PaperAlgorithms()) {
     TimingRow row;
     for (double t : ts) {
       const PipelineConfig cfg =
-          MakeBenchConfig(measure, algo, t, ds.gaussians.get());
+          MakeBenchConfig(measure, algo, t, ds.gaussians.get(), num_threads);
       if (row.algorithm.empty()) row.algorithm = AlgorithmName(cfg);
       const PipelineResult res = RunPipeline(ds.data, cfg);
       row.seconds.push_back(res.total_seconds);
       row.results.push_back(res.pairs.size());
       row.candidates.push_back(res.candidates);
       row.total_seconds += res.total_seconds;
+      if (json != nullptr) json->Add(section, ds.name, t, res);
     }
     rows.push_back(std::move(row));
   }
   if (include_ppjoin) {
+    const uint32_t resolved = ResolveNumThreads(num_threads);
+    std::unique_ptr<ThreadPool> pool;
+    if (resolved > 1) pool = std::make_unique<ThreadPool>(resolved);
     TimingRow row;
     row.algorithm = "PPJoin+";
     for (double t : ts) {
       WallTimer timer;
-      const auto out = PpjoinJoin(ds.data, t, measure, true);
+      const auto out = PpjoinJoin(ds.data, t, measure, true, nullptr,
+                                  pool.get());
       const double secs = timer.Seconds();
       row.seconds.push_back(secs);
       row.results.push_back(out.size());
       row.candidates.push_back(0);
       row.total_seconds += secs;
+      if (json != nullptr) {
+        BenchRecord r;
+        r.section = section;
+        r.dataset = ds.name;
+        r.algorithm = "PPJoin+";
+        r.threshold = t;
+        r.threads = resolved;
+        r.generate_seconds = secs;  // PPJoin+ verifies inside generation.
+        r.total_seconds = secs;
+        r.result_pairs = out.size();
+        json->Add(std::move(r));
+      }
     }
     rows.push_back(std::move(row));
   }

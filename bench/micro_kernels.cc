@@ -80,6 +80,7 @@ void BM_SparseDot(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseDot);
 
+// Unaligned ranges take the masked per-word path.
 void BM_MatchingBits(benchmark::State& state) {
   std::vector<uint64_t> a(64), b(64);
   Xoshiro256StarStar rng(1);
@@ -90,11 +91,29 @@ void BM_MatchingBits(benchmark::State& state) {
   uint32_t from = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        MatchingBits(a.data(), b.data(), from % 64, from % 64 + 32));
+        MatchingBits(a.data(), b.data(), from % 64 + 1, from % 64 + 33));
     ++from;
   }
 }
 BENCHMARK(BM_MatchingBits);
+
+// Word-aligned ranges take the mask-free unrolled fast path (the common
+// case: chunk-aligned verification rounds).
+void BM_MatchingBits_Aligned(benchmark::State& state) {
+  const uint32_t words = static_cast<uint32_t>(state.range(0));
+  std::vector<uint64_t> a(words), b(words);
+  Xoshiro256StarStar rng(1);
+  for (uint32_t i = 0; i < words; ++i) {
+    a[i] = rng.Next();
+    b[i] = rng.Next();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MatchingBits(a.data(), b.data(), 0, words * 64));
+  }
+  state.SetItemsProcessed(state.iterations() * words);
+}
+BENCHMARK(BM_MatchingBits_Aligned)->Arg(1)->Arg(8)->Arg(64);
 
 // SRP hashing: implicit counter-based Gaussians vs the paper's 2-byte
 // quantized tables (ablation of §4.3's storage optimization).

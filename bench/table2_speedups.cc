@@ -25,7 +25,8 @@ bool IsBayesVariant(const std::string& name) {
 
 void RunSection(const char* section, const std::vector<PaperDataset>& which,
                 Measure measure, const std::vector<double>& thresholds,
-                bool include_ppjoin) {
+                bool include_ppjoin, uint32_t threads,
+                BenchJsonWriter* json) {
   std::printf("\n--- %s ---\n", section);
   std::printf("%-22s %-20s %10s %10s %10s %10s\n", "dataset",
               "fastest BayesLSH", "vs AP", "vs LSH", "vs LSHApprox",
@@ -33,7 +34,8 @@ void RunSection(const char* section, const std::vector<PaperDataset>& which,
   PrintRule(96);
   for (const PaperDataset ds_id : which) {
     BenchDataset ds = PrepareDataset(ds_id, measure);
-    const auto rows = RunTimingGrid(ds, measure, thresholds, include_ppjoin);
+    const auto rows = RunTimingGrid(ds, measure, thresholds, include_ppjoin,
+                                    threads, json, section);
 
     const TimingRow* best_bayes = nullptr;
     double ap = 0, lsh = 0, lsh_approx = 0, ppjoin = 0;
@@ -66,13 +68,18 @@ void RunSection(const char* section, const std::vector<PaperDataset>& which,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  CheckBenchArgs(argc, argv);
+  const uint32_t threads = BenchThreads(argc, argv);
+  BenchJsonWriter json("table2_speedups", BenchJsonPath(argc, argv), threads);
   PrintHeader("Table 2: fastest BayesLSH variant and speedups vs baselines");
+  std::printf("threads: %u\n", threads);
   RunSection("Tf-Idf, Cosine", AllPaperDatasets(), Measure::kCosine,
-             CosineThresholds(), /*ppjoin=*/false);
+             CosineThresholds(), /*include_ppjoin=*/false, threads, &json);
   RunSection("Binary, Jaccard", BinaryExperimentDatasets(), Measure::kJaccard,
-             JaccardThresholds(), /*ppjoin=*/true);
+             JaccardThresholds(), /*include_ppjoin=*/true, threads, &json);
   RunSection("Binary, Cosine", BinaryExperimentDatasets(),
-             Measure::kBinaryCosine, CosineThresholds(), /*ppjoin=*/true);
-  return 0;
+             Measure::kBinaryCosine, CosineThresholds(),
+             /*include_ppjoin=*/true, threads, &json);
+  return json.Write() ? 0 : 2;
 }

@@ -25,6 +25,7 @@
 
 // Substrates.
 #include "common/prng.h"                 // IWYU pragma: export
+#include "common/thread_pool.h"          // IWYU pragma: export
 #include "common/timer.h"                // IWYU pragma: export
 #include "stats/beta_distribution.h"     // IWYU pragma: export
 #include "stats/binomial.h"              // IWYU pragma: export

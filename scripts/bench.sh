@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Build the benchmark programs and run the table2_speedups harness with
+# machine-readable JSON output — the per-phase perf trajectory record.
+#
+#   scripts/bench.sh                          # scale 1.0, 1 thread,
+#                                             #   writes BENCH_table2.json
+#   BAYESLSH_BENCH_SCALE=2 scripts/bench.sh   # larger datasets
+#   THREADS=4 scripts/bench.sh                # 4 worker threads (0 = all)
+#   OUT=BENCH_baseline.json scripts/bench.sh  # output path
+#   BENCH=fig3_cosine_weighted scripts/bench.sh   # other bench binary
+#                                             #   (no JSON support: just runs)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH="${BENCH:-table2_speedups}"
+THREADS="${THREADS:-1}"
+OUT="${OUT:-BENCH_table2.json}"
+
+cmake -B "$BUILD_DIR" -S . -DBAYESLSH_BUILD_BENCH=ON >/dev/null
+cmake --build "$BUILD_DIR" -j --target "$BENCH"
+
+if [ "$BENCH" = "table2_speedups" ]; then
+  "$BUILD_DIR/bench/$BENCH" --threads "$THREADS" --json "$OUT"
+else
+  BAYESLSH_BENCH_THREADS="$THREADS" "$BUILD_DIR/bench/$BENCH"
+fi

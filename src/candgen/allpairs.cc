@@ -28,7 +28,7 @@ struct Reordered {
   std::vector<float> rank_maxweight;  // maxweight of each dim, by rank.
 };
 
-Reordered Reorder(const Dataset& data) {
+Reordered Reorder(const Dataset& data, ThreadPool* pool) {
   Reordered r;
   const uint32_t n = data.num_vectors();
   const uint32_t d = data.num_dims();
@@ -62,7 +62,7 @@ Reordered Reorder(const Dataset& data) {
   r.rows.resize(n);
   r.row_maxweight.resize(n);
   r.row_l1.resize(n);
-  for (uint32_t p = 0; p < n; ++p) {
+  ParallelFor(pool, 0, n, [&](uint64_t p) {
     const uint32_t id = r.orig_id[p];
     const SparseVectorView v = data.Row(id);
     auto& row = r.rows[p];
@@ -78,7 +78,7 @@ Reordered Reorder(const Dataset& data) {
     double l1 = 0.0;
     for (const Feature& f : row) l1 += std::abs(f.weight);
     r.row_l1[p] = l1;
-  }
+  });
   return r;
 }
 
@@ -106,87 +106,137 @@ struct IndexEntry {
   float weight;
 };
 
-// Core of both modes. If `out_matches` is non-null runs the exact join; if
+// Core of both modes, in two phases so the probe loop can shard over row
+// ranges. If `out_matches` is non-null runs the exact join; if
 // `out_candidates` is non-null collects candidate pairs (original ids).
+//
+// Phase 1 computes each row's unindexed-prefix split (a per-row property)
+// and builds the *full* inverted index over every row's indexed suffix, in
+// processing order — so each per-rank posting list is sorted by position.
+// Phase 2 probes each row p against the entries with pos < p (an early
+// break on the sorted lists), which is exactly the partial index the
+// classical interleaved formulation would have had at step p; candidate
+// sets, accumulators, and verification results are identical.
 void AllPairsCore(const Dataset& data, double threshold,
                   std::vector<ScoredPair>* out_matches,
                   std::vector<uint64_t>* out_candidates,
-                  AllPairsStats* stats) {
+                  AllPairsStats* stats, ThreadPool* pool) {
   assert(threshold > 0.0);
   const uint32_t n = data.num_vectors();
-  Reordered r = Reorder(data);
+  Reordered r = Reorder(data, pool);
 
-  // Partial inverted index over ranks; and per-vector unindexed prefix
-  // lengths (features [0, prefix_len) of the reordered row are unindexed).
-  std::vector<std::vector<IndexEntry>> index(data.num_dims());
+  // --- Phase 1a: per-row prefix split (independent rows). ---
   std::vector<uint32_t> prefix_len(n, 0);
   // L1 norm of the unindexed prefix of each processed vector.
   std::vector<double> prefix_l1(n, 0.0);
-
-  std::vector<double> acc(n, 0.0);
-  std::vector<uint32_t> stamp(n, UINT32_MAX);
-  std::vector<uint32_t> touched;
-
-  AllPairsStats local;
-  for (uint32_t p = 0; p < n; ++p) {
+  ParallelFor(pool, 0, n, [&](uint64_t p) {
     const std::vector<Feature>& x = r.rows[p];
     const float x_maxw = r.row_maxweight[p];
-    const double x_l1 = r.row_l1[p];
-
-    // --- Find-Matches: probe the partial index. ---
-    touched.clear();
-    for (const Feature& f : x) {
-      for (const IndexEntry& e : index[f.rank]) {
-        if (stamp[e.pos] != p) {
-          stamp[e.pos] = p;
-          acc[e.pos] = 0.0;
-          touched.push_back(e.pos);
-        }
-        acc[e.pos] += static_cast<double>(f.weight) * e.weight;
-      }
-    }
-    local.candidates += touched.size();
-
-    if (out_candidates != nullptr) {
-      for (uint32_t q : touched) {
-        const uint32_t a = r.orig_id[q], b = r.orig_id[p];
-        out_candidates->push_back(a < b ? PairKey(a, b) : PairKey(b, a));
-      }
-    }
-    if (out_matches != nullptr) {
-      for (uint32_t q : touched) {
-        // Upper bound on the unindexed-prefix contribution.
-        const double rest =
-            std::min(static_cast<double>(x_maxw) * prefix_l1[q],
-                     r.row_maxweight[q] * x_l1);
-        if (acc[q] + rest < threshold) {
-          ++local.ubound_pruned;
-          continue;
-        }
-        ++local.exact_verified;
-        const double s = acc[q] + PrefixDot(x, r.rows[q], prefix_len[q]);
-        if (s >= threshold) {
-          const uint32_t a = r.orig_id[q], b = r.orig_id[p];
-          out_matches->push_back(a < b ? ScoredPair{a, b, s}
-                                       : ScoredPair{b, a, s});
-        }
-      }
-    }
-
-    // --- Index-Construction: index the suffix of x where b >= t. ---
     double b = 0.0;
+    double l1 = 0.0;
     uint32_t k = 0;
     for (; k < x.size(); ++k) {
       b += std::min(r.rank_maxweight[x[k].rank], x_maxw) *
            static_cast<double>(std::abs(x[k].weight));
       if (b >= threshold) break;
-      prefix_l1[p] += std::abs(x[k].weight);
+      l1 += std::abs(x[k].weight);
     }
     prefix_len[p] = k;
-    for (; k < x.size(); ++k) {
+    prefix_l1[p] = l1;
+  });
+
+  // --- Phase 1b: full index over indexed suffixes, in position order. ---
+  AllPairsStats local;
+  std::vector<std::vector<IndexEntry>> index(data.num_dims());
+  for (uint32_t p = 0; p < n; ++p) {
+    const std::vector<Feature>& x = r.rows[p];
+    for (uint32_t k = prefix_len[p]; k < x.size(); ++k) {
       index[x[k].rank].push_back({p, x[k].weight});
       ++local.indexed_entries;
     }
+  }
+
+  // --- Phase 2: probe, sharded over probe rows. ---
+  const uint32_t num_shards = pool != nullptr ? pool->num_threads() : 1u;
+  struct ProbeShard {
+    std::vector<uint64_t> keys;
+    std::vector<ScoredPair> matches;
+    uint64_t candidates = 0;
+    uint64_t ubound_pruned = 0;
+    uint64_t exact_verified = 0;
+  };
+  std::vector<ProbeShard> shards(num_shards);
+  auto probe = [&](uint32_t shard, uint64_t p_begin, uint64_t p_end) {
+    ProbeShard& sh = shards[shard];
+    std::vector<double> acc(n, 0.0);
+    std::vector<uint32_t> stamp(n, UINT32_MAX);
+    std::vector<uint32_t> touched;
+    for (uint32_t p = static_cast<uint32_t>(p_begin); p < p_end; ++p) {
+      const std::vector<Feature>& x = r.rows[p];
+      const float x_maxw = r.row_maxweight[p];
+      const double x_l1 = r.row_l1[p];
+
+      // Find-Matches: probe the entries indexed before p.
+      touched.clear();
+      for (const Feature& f : x) {
+        for (const IndexEntry& e : index[f.rank]) {
+          if (e.pos >= p) break;  // Lists are sorted by position.
+          if (stamp[e.pos] != p) {
+            stamp[e.pos] = p;
+            acc[e.pos] = 0.0;
+            touched.push_back(e.pos);
+          }
+          acc[e.pos] += static_cast<double>(f.weight) * e.weight;
+        }
+      }
+      sh.candidates += touched.size();
+
+      if (out_candidates != nullptr) {
+        for (uint32_t q : touched) {
+          const uint32_t a = r.orig_id[q], b = r.orig_id[p];
+          sh.keys.push_back(a < b ? PairKey(a, b) : PairKey(b, a));
+        }
+      }
+      if (out_matches != nullptr) {
+        for (uint32_t q : touched) {
+          // Upper bound on the unindexed-prefix contribution.
+          const double rest =
+              std::min(static_cast<double>(x_maxw) * prefix_l1[q],
+                       r.row_maxweight[q] * x_l1);
+          if (acc[q] + rest < threshold) {
+            ++sh.ubound_pruned;
+            continue;
+          }
+          ++sh.exact_verified;
+          const double s = acc[q] + PrefixDot(x, r.rows[q], prefix_len[q]);
+          if (s >= threshold) {
+            const uint32_t a = r.orig_id[q], b = r.orig_id[p];
+            sh.matches.push_back(a < b ? ScoredPair{a, b, s}
+                                       : ScoredPair{b, a, s});
+          }
+        }
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->RunShards(n, probe);
+  } else {
+    probe(0, 0, n);
+  }
+
+  // Merge in shard order == processing order.
+  for (ProbeShard& sh : shards) {
+    if (out_candidates != nullptr) {
+      out_candidates->insert(out_candidates->end(), sh.keys.begin(),
+                             sh.keys.end());
+    }
+    if (out_matches != nullptr) {
+      out_matches->insert(out_matches->end(), sh.matches.begin(),
+                          sh.matches.end());
+    }
+    local.candidates += sh.candidates;
+    local.ubound_pruned += sh.ubound_pruned;
+    local.exact_verified += sh.exact_verified;
   }
   if (stats != nullptr) *stats = local;
 }
@@ -194,9 +244,9 @@ void AllPairsCore(const Dataset& data, double threshold,
 }  // namespace
 
 std::vector<ScoredPair> AllPairsJoin(const Dataset& data, double threshold,
-                                     AllPairsStats* stats) {
+                                     AllPairsStats* stats, ThreadPool* pool) {
   std::vector<ScoredPair> matches;
-  AllPairsCore(data, threshold, &matches, nullptr, stats);
+  AllPairsCore(data, threshold, &matches, nullptr, stats, pool);
   std::sort(matches.begin(), matches.end(),
             [](const ScoredPair& a, const ScoredPair& b) {
               return a.a != b.a ? a.a < b.a : a.b < b.b;
@@ -205,9 +255,9 @@ std::vector<ScoredPair> AllPairsJoin(const Dataset& data, double threshold,
 }
 
 CandidateList AllPairsCandidates(const Dataset& data, double threshold,
-                                 AllPairsStats* stats) {
+                                 AllPairsStats* stats, ThreadPool* pool) {
   std::vector<uint64_t> keys;
-  AllPairsCore(data, threshold, nullptr, &keys, stats);
+  AllPairsCore(data, threshold, nullptr, &keys, stats, pool);
   return DedupPairKeys(std::move(keys));
 }
 

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "candgen/candidates.h"
+#include "common/thread_pool.h"
 #include "sim/brute_force.h"
 #include "vec/dataset.h"
 
@@ -53,12 +54,19 @@ struct AllPairsStats {
 
 // Exact all-pairs cosine join: all pairs (i < j) with dot >= threshold.
 // Rows of `data` must be L2-normalized. threshold must be in (0, 1].
+//
+// Both modes run in two phases (build the full index bound-split first,
+// then probe every vector against entries indexed before it), which lets a
+// pool shard the probe loop over row ranges with per-worker accumulators;
+// results are identical for any thread count, including none.
 std::vector<ScoredPair> AllPairsJoin(const Dataset& data, double threshold,
-                                     AllPairsStats* stats = nullptr);
+                                     AllPairsStats* stats = nullptr,
+                                     ThreadPool* pool = nullptr);
 
 // Candidate-only mode: emits every pair admitted to the accumulator.
 CandidateList AllPairsCandidates(const Dataset& data, double threshold,
-                                 AllPairsStats* stats = nullptr);
+                                 AllPairsStats* stats = nullptr,
+                                 ThreadPool* pool = nullptr);
 
 }  // namespace bayeslsh
 

@@ -27,6 +27,19 @@ uint32_t DeriveNumBands(double collision_prob_at_threshold, uint32_t k,
 
 namespace {
 
+// Concatenates per-shard key vectors in shard order and deduplicates.
+CandidateList MergeShardKeys(std::vector<std::vector<uint64_t>>&& shard_keys) {
+  size_t total = 0;
+  for (const auto& keys : shard_keys) total += keys.size();
+  std::vector<uint64_t> all;
+  all.reserve(total);
+  for (auto& keys : shard_keys) {
+    all.insert(all.end(), keys.begin(), keys.end());
+  }
+  shard_keys.clear();
+  return DedupPairKeys(std::move(all));
+}
+
 // Groups (band_key, row) tuples and emits all intra-bucket pairs.
 // `entries` is keyed per band; sorted grouping avoids hash-map overhead.
 void EmitBucketPairs(std::vector<std::pair<uint64_t, uint32_t>>& entries,
@@ -49,7 +62,8 @@ void EmitBucketPairs(std::vector<std::pair<uint64_t, uint32_t>>& entries,
 }  // namespace
 
 CandidateList CosineLshCandidates(BitSignatureStore* store, double threshold,
-                                  const LshBandingParams& params) {
+                                  const LshBandingParams& params,
+                                  ThreadPool* pool) {
   const uint32_t k = params.hashes_per_band != 0 ? params.hashes_per_band
                                                  : kDefaultCosineBandBits;
   assert(k <= 64);
@@ -59,27 +73,54 @@ CandidateList CosineLshCandidates(BitSignatureStore* store, double threshold,
                          : DeriveNumBands(p, k, params.expected_fn_rate,
                                           params.max_bands);
   const uint32_t n = store->num_rows();
-  store->EnsureAllBits(l * k);
-
-  std::vector<uint64_t> keys;
-  std::vector<std::pair<uint64_t, uint32_t>> entries;
-  entries.reserve(n);
-  for (uint32_t band = 0; band < l; ++band) {
-    entries.clear();
-    for (uint32_t row = 0; row < n; ++row) {
-      // Empty rows have similarity 0 to everything (including each other,
-      // by this library's conventions) and are never candidates.
-      if (store->data()->RowLength(row) == 0) continue;
-      const uint64_t sig = ExtractBits(store->Words(row), band * k, k);
-      entries.emplace_back(sig, row);
-    }
-    EmitBucketPairs(entries, &keys);
+  if (pool != nullptr && pool->num_threads() > 1) {
+    store->AddBitsComputed(ParallelReduce(
+        pool, n, uint64_t{0},
+        [&](uint32_t, uint64_t b, uint64_t e) {
+          uint64_t work = 0;
+          for (uint64_t row = b; row < e; ++row) {
+            work += store->EnsureBitsUncounted(static_cast<uint32_t>(row),
+                                               l * k);
+          }
+          return work;
+        },
+        [](uint64_t x, uint64_t y) { return x + y; }));
+  } else {
+    store->EnsureAllBits(l * k);
   }
-  return DedupPairKeys(std::move(keys));
+
+  const uint32_t num_shards =
+      pool != nullptr ? pool->num_threads() : 1u;
+  std::vector<std::vector<uint64_t>> shard_keys(num_shards);
+  auto build_bands = [&](uint32_t shard, uint64_t band_begin,
+                         uint64_t band_end) {
+    std::vector<std::pair<uint64_t, uint32_t>> entries;
+    entries.reserve(n);
+    auto& keys = shard_keys[shard];
+    for (uint64_t band = band_begin; band < band_end; ++band) {
+      entries.clear();
+      for (uint32_t row = 0; row < n; ++row) {
+        // Empty rows have similarity 0 to everything (including each other,
+        // by this library's conventions) and are never candidates.
+        if (store->data()->RowLength(row) == 0) continue;
+        const uint64_t sig = ExtractBits(
+            store->Words(row), static_cast<uint32_t>(band) * k, k);
+        entries.emplace_back(sig, row);
+      }
+      EmitBucketPairs(entries, &keys);
+    }
+  };
+  if (pool != nullptr) {
+    pool->RunShards(l, build_bands);
+  } else {
+    build_bands(0, 0, l);
+  }
+  return MergeShardKeys(std::move(shard_keys));
 }
 
 CandidateList JaccardLshCandidates(IntSignatureStore* store, double threshold,
-                                   const LshBandingParams& params) {
+                                   const LshBandingParams& params,
+                                   ThreadPool* pool) {
   const uint32_t k = params.hashes_per_band != 0 ? params.hashes_per_band
                                                  : kDefaultJaccardBandInts;
   const uint32_t l = params.num_bands != 0
@@ -88,24 +129,49 @@ CandidateList JaccardLshCandidates(IntSignatureStore* store, double threshold,
                                           params.expected_fn_rate,
                                           params.max_bands);
   const uint32_t n = store->num_rows();
-  store->EnsureAllHashes(l * k);
-
-  std::vector<uint64_t> keys;
-  std::vector<std::pair<uint64_t, uint32_t>> entries;
-  entries.reserve(n);
-  for (uint32_t band = 0; band < l; ++band) {
-    entries.clear();
-    for (uint32_t row = 0; row < n; ++row) {
-      if (store->data()->RowLength(row) == 0) continue;  // See above.
-      const uint32_t* h = store->Hashes(row) + band * k;
-      // Collapse the k minhash values into one bucket key.
-      uint64_t sig = Mix64(0x5ba3d9be1e4fULL, band);
-      for (uint32_t i = 0; i < k; ++i) sig = Mix64(sig, h[i]);
-      entries.emplace_back(sig, row);
-    }
-    EmitBucketPairs(entries, &keys);
+  if (pool != nullptr && pool->num_threads() > 1) {
+    store->AddHashesComputed(ParallelReduce(
+        pool, n, uint64_t{0},
+        [&](uint32_t, uint64_t b, uint64_t e) {
+          uint64_t work = 0;
+          for (uint64_t row = b; row < e; ++row) {
+            work += store->EnsureHashesUncounted(static_cast<uint32_t>(row),
+                                                 l * k);
+          }
+          return work;
+        },
+        [](uint64_t x, uint64_t y) { return x + y; }));
+  } else {
+    store->EnsureAllHashes(l * k);
   }
-  return DedupPairKeys(std::move(keys));
+
+  const uint32_t num_shards =
+      pool != nullptr ? pool->num_threads() : 1u;
+  std::vector<std::vector<uint64_t>> shard_keys(num_shards);
+  auto build_bands = [&](uint32_t shard, uint64_t band_begin,
+                         uint64_t band_end) {
+    std::vector<std::pair<uint64_t, uint32_t>> entries;
+    entries.reserve(n);
+    auto& keys = shard_keys[shard];
+    for (uint64_t band = band_begin; band < band_end; ++band) {
+      entries.clear();
+      for (uint32_t row = 0; row < n; ++row) {
+        if (store->data()->RowLength(row) == 0) continue;  // See above.
+        const uint32_t* h = store->Hashes(row) + band * k;
+        // Collapse the k minhash values into one bucket key.
+        uint64_t sig = Mix64(0x5ba3d9be1e4fULL, band);
+        for (uint32_t i = 0; i < k; ++i) sig = Mix64(sig, h[i]);
+        entries.emplace_back(sig, row);
+      }
+      EmitBucketPairs(entries, &keys);
+    }
+  };
+  if (pool != nullptr) {
+    pool->RunShards(l, build_bands);
+  } else {
+    build_bands(0, 0, l);
+  }
+  return MergeShardKeys(std::move(shard_keys));
 }
 
 }  // namespace bayeslsh

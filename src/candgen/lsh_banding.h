@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "candgen/candidates.h"
+#include "common/thread_pool.h"
 #include "lsh/signature_store.h"
 
 namespace bayeslsh {
@@ -50,12 +51,18 @@ uint32_t DeriveNumBands(double collision_prob_at_threshold, uint32_t k,
 
 // Candidate pairs for cosine similarity: bands over SRP bit signatures.
 // Grows the store to num_bands * hashes_per_band bits for every row.
+//
+// With a pool, signature growth shards over row ranges and the bucket
+// build shards over bands (per-worker pair accumulators, concatenated and
+// deduplicated at the end) — output is identical for any thread count.
 CandidateList CosineLshCandidates(BitSignatureStore* store, double threshold,
-                                  const LshBandingParams& params);
+                                  const LshBandingParams& params,
+                                  ThreadPool* pool = nullptr);
 
 // Candidate pairs for Jaccard: bands over minwise integer signatures.
 CandidateList JaccardLshCandidates(IntSignatureStore* store, double threshold,
-                                   const LshBandingParams& params);
+                                   const LshBandingParams& params,
+                                   ThreadPool* pool = nullptr);
 
 }  // namespace bayeslsh
 

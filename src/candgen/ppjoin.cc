@@ -115,7 +115,7 @@ uint32_t MergeOverlap(const std::vector<uint32_t>& a,
 
 std::vector<ScoredPair> PpjoinJoin(const Dataset& data, double threshold,
                                    Measure measure, bool use_suffix_filter,
-                                   PpjoinStats* stats) {
+                                   PpjoinStats* stats, ThreadPool* pool) {
   assert(threshold > 0.0 && threshold <= 1.0);
   assert(measure == Measure::kJaccard || measure == Measure::kBinaryCosine);
   const uint32_t n = data.num_vectors();
@@ -139,25 +139,45 @@ std::vector<ScoredPair> PpjoinJoin(const Dataset& data, double threshold,
     return la != lb ? la < lb : a < b;
   });
   std::vector<std::vector<uint32_t>> rows(n);
-  for (uint32_t p = 0; p < n; ++p) {
+  ParallelFor(pool, 0, n, [&](uint64_t p) {
     const SparseVectorView v = data.Row(orig_id[p]);
     rows[p].resize(v.size());
     for (uint32_t k = 0; k < v.size(); ++k) rows[p][k] = rank_of[v.indices[k]];
     std::sort(rows[p].begin(), rows[p].end());
+  });
+
+  // Phase 1: full prefix index in position order (see
+  // candgen/prefix_filter_join.cc for why probing entries with pos < p
+  // reproduces the interleaved formulation exactly).
+  std::vector<std::vector<Posting>> index(d);
+  for (uint32_t p = 0; p < n; ++p) {
+    const auto& x = rows[p];
+    const auto size_x = static_cast<uint32_t>(x.size());
+    const uint32_t px = PrefixLengthOf(size_x, threshold, measure);
+    for (uint32_t k = 0; k < px && k < size_x; ++k) {
+      index[x[k]].push_back({p, size_x, k});
+    }
   }
 
-  std::vector<std::vector<Posting>> index(d);
-  std::vector<uint32_t> front(d, 0);
-
   constexpr int64_t kDead = std::numeric_limits<int64_t>::min();
-  std::vector<int64_t> acc(n, 0);
-  std::vector<uint32_t> stamp(n, UINT32_MAX);
-  std::vector<uint32_t> touched;
 
-  PpjoinStats local;
-  std::vector<ScoredPair> out;
+  // Phase 2: probe, sharded over probe rows.
+  const uint32_t num_shards = pool != nullptr ? pool->num_threads() : 1u;
+  struct ProbeShard {
+    std::vector<ScoredPair> out;
+    PpjoinStats stats;
+  };
+  std::vector<ProbeShard> shards(num_shards);
+  auto probe = [&](uint32_t shard, uint64_t p_begin, uint64_t p_end) {
+    ProbeShard& sh = shards[shard];
+    PpjoinStats& local = sh.stats;
+    std::vector<ScoredPair>& out = sh.out;
+    std::vector<int64_t> acc(n, 0);
+    std::vector<uint32_t> stamp(n, UINT32_MAX);
+    std::vector<uint32_t> touched;
+    std::vector<uint32_t> front(d, 0);
 
-  for (uint32_t p = 0; p < n; ++p) {
+    for (uint32_t p = static_cast<uint32_t>(p_begin); p < p_end; ++p) {
     const auto& x = rows[p];
     const auto size_x = static_cast<uint32_t>(x.size());
     const uint32_t px = PrefixLengthOf(size_x, threshold, measure);
@@ -169,12 +189,13 @@ std::vector<ScoredPair> PpjoinJoin(const Dataset& data, double threshold,
     touched.clear();
     for (uint32_t k = 0; k < px && k < size_x; ++k) {
       const uint32_t w = x[k];
-      auto& list = index[w];
+      const auto& list = index[w];
       uint32_t& f = front[w];
       while (f < list.size() && list[f].size < minsize) ++f;
       for (uint32_t e = f; e < list.size(); ++e) {
         const Posting& pe = list[e];
         const uint32_t q = pe.pos;
+        if (q >= p) break;  // Lists are sorted by position.
         if (stamp[q] != p) {
           stamp[q] = p;
           acc[q] = 0;
@@ -238,12 +259,23 @@ std::vector<ScoredPair> PpjoinJoin(const Dataset& data, double threshold,
         out.push_back(a < b ? ScoredPair{a, b, s} : ScoredPair{b, a, s});
       }
     }
-
-    for (uint32_t k = 0; k < px && k < size_x; ++k) {
-      index[x[k]].push_back({p, size_x, k});
     }
+  };
+  if (pool != nullptr) {
+    pool->RunShards(n, probe);
+  } else {
+    probe(0, 0, n);
   }
 
+  PpjoinStats local;
+  std::vector<ScoredPair> out;
+  for (ProbeShard& sh : shards) {
+    out.insert(out.end(), sh.out.begin(), sh.out.end());
+    local.encounters += sh.stats.encounters;
+    local.positional_pruned += sh.stats.positional_pruned;
+    local.suffix_pruned += sh.stats.suffix_pruned;
+    local.verified += sh.stats.verified;
+  }
   std::sort(out.begin(), out.end(),
             [](const ScoredPair& a, const ScoredPair& b) {
               return a.a != b.a ? a.a < b.a : a.b < b.b;

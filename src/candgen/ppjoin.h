@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "sim/brute_force.h"
 #include "sim/similarity.h"
 #include "vec/dataset.h"
@@ -41,11 +42,13 @@ struct PpjoinStats {
 
 // Exact join over index sets; `measure` must be kJaccard or kBinaryCosine,
 // threshold in (0, 1]. use_suffix_filter=false gives plain PPJoin,
-// true gives PPJoin+.
+// true gives PPJoin+. With a pool, the probe loop shards over row ranges
+// (two-phase, as in candgen/prefix_filter_join.h) with identical output.
 std::vector<ScoredPair> PpjoinJoin(const Dataset& data, double threshold,
                                    Measure measure,
                                    bool use_suffix_filter = true,
-                                   PpjoinStats* stats = nullptr);
+                                   PpjoinStats* stats = nullptr,
+                                   ThreadPool* pool = nullptr);
 
 // Lower bound on the Hamming distance between two ascending token arrays,
 // by recursive probe partitioning (Algorithm "SuffixFilter" of the PPJoin+

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "candgen/candidates.h"
+#include "common/thread_pool.h"
 #include "sim/brute_force.h"
 #include "sim/similarity.h"
 #include "vec/dataset.h"
@@ -39,14 +40,22 @@ struct PrefixJoinStats {
 
 // Exact join over the index sets of `data` (values are ignored).
 // `measure` must be kJaccard or kBinaryCosine; threshold in (0, 1].
+//
+// Two-phase like AllPairs: the full prefix index is built first, then the
+// probe loop shards over row ranges (per-worker accumulators and size-
+// filter fronts); output is identical for any thread count. The
+// `size_skipped` instrumentation counter is the exception: per-worker
+// fronts re-skip undersized entries, so it can overcount under sharding.
 std::vector<ScoredPair> PrefixFilterJoin(const Dataset& data,
                                          double threshold, Measure measure,
-                                         PrefixJoinStats* stats = nullptr);
+                                         PrefixJoinStats* stats = nullptr,
+                                         ThreadPool* pool = nullptr);
 
 // Candidate-emit mode: all pairs passing the size + prefix filters.
 CandidateList PrefixFilterCandidates(const Dataset& data, double threshold,
                                      Measure measure,
-                                     PrefixJoinStats* stats = nullptr);
+                                     PrefixJoinStats* stats = nullptr,
+                                     ThreadPool* pool = nullptr);
 
 // Conservative integer ceilings for filter arithmetic: never larger than the
 // exact mathematical ceiling, so filters only err on the safe (admit) side.

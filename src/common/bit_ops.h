@@ -26,10 +26,29 @@ inline constexpr uint32_t WordsForBits(uint32_t n_bits) {
 // stored in `a` and `b` agree. Bit i lives in word i/64 at bit offset i%64.
 // Requires from <= to and both arrays to cover at least WordsForBits(to)
 // words.
+//
+// Word-aligned ranges (from and to both multiples of 64 — the common case
+// once verification rounds are chunk-aligned) skip mask construction
+// entirely and run a 4-word unrolled popcount loop.
 inline uint32_t MatchingBits(const uint64_t* a, const uint64_t* b,
                              uint32_t from, uint32_t to) {
   assert(from <= to);
   if (from == to) return 0;
+  if (((from | to) & (kBitsPerWord - 1)) == 0) {
+    uint32_t w = from / kBitsPerWord;
+    const uint32_t end = to / kBitsPerWord;
+    uint32_t matches = 0;
+    for (; w + 4 <= end; w += 4) {
+      matches += static_cast<uint32_t>(std::popcount(~(a[w] ^ b[w])) +
+                                       std::popcount(~(a[w + 1] ^ b[w + 1])) +
+                                       std::popcount(~(a[w + 2] ^ b[w + 2])) +
+                                       std::popcount(~(a[w + 3] ^ b[w + 3])));
+    }
+    for (; w < end; ++w) {
+      matches += static_cast<uint32_t>(std::popcount(~(a[w] ^ b[w])));
+    }
+    return matches;
+  }
   uint32_t first_word = from / kBitsPerWord;
   uint32_t last_word = (to - 1) / kBitsPerWord;
   uint32_t matches = 0;

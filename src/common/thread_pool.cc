@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace bayeslsh {
+
+namespace {
+
+// Set while a pool worker (or a caller participating in RunShards) is
+// executing shard code; nested RunShards calls detect it and run inline.
+thread_local bool t_in_shard = false;
+
+}  // namespace
+
+uint32_t ResolveNumThreads(uint32_t requested) {
+  if (requested != 0) return std::min(requested, kMaxThreads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : std::min(static_cast<uint32_t>(hw), kMaxThreads);
+}
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(ResolveNumThreads(num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(uint32_t worker) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const ShardFn* job;
+    uint64_t total;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      total = job_total_;
+    }
+    const uint64_t begin = ShardBegin(total, worker, num_threads_);
+    const uint64_t end = ShardBegin(total, worker + 1, num_threads_);
+    std::exception_ptr error;
+    if (begin < end) {
+      t_in_shard = true;
+      try {
+        (*job)(worker, begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      t_in_shard = false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunShards(uint64_t total, const ShardFn& fn) {
+  if (total == 0) return;
+  if (num_threads_ <= 1 || t_in_shard) {
+    fn(0, 0, total);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_total_ = total;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The caller is shard 0.
+  const uint64_t end0 = ShardBegin(total, 1, num_threads_);
+  std::exception_ptr caller_error;
+  if (end0 > 0) {
+    t_in_shard = true;
+    try {
+      fn(0, 0, end0);
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
+    t_in_shard = false;
+  }
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    error = first_error_ ? first_error_ : caller_error;
+    first_error_ = nullptr;
+    job_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace bayeslsh

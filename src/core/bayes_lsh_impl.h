@@ -7,6 +7,12 @@
 // combinations and kernel/kernel_search.cc for the KLSH one). Keeping the
 // definitions out of core/bayes_lsh.h keeps rebuilds of the public header
 // cheap and the instantiation set explicit.
+//
+// The per-pair loops live in internal::BayesVerifyPairRange /
+// internal::LiteVerifyPairRange, generic over a `match(a, b, from, to)`
+// callable, so the sequential engines here and the sharded parallel
+// drivers in core/parallel_verify.h run literally the same verification
+// code — which is what makes the multi-threaded output bit-identical.
 
 #ifndef BAYESLSH_CORE_BAYES_LSH_IMPL_H_
 #define BAYESLSH_CORE_BAYES_LSH_IMPL_H_
@@ -28,6 +34,84 @@ inline void RecordSurvival(std::vector<uint64_t>* curve,
   }
 }
 
+// Algorithm 1's inner loop over pairs [begin, end). `stats` must arrive
+// with surviving_after_round sized rounds + 1; pairs_in is not touched.
+template <typename Model, typename Match>
+void BayesVerifyPairRange(
+    const Model& model, InferenceCache<Model>& cache, const Match& match,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs, size_t begin,
+    size_t end, std::vector<ScoredPair>* out, VerifyStats* stats) {
+  const uint32_t k = cache.hashes_per_round();
+  const uint32_t rounds = cache.max_hashes() / k;
+  for (size_t idx = begin; idx < end; ++idx) {
+    const auto& [a, b] = pairs[idx];
+    uint32_t m = 0, n = 0;
+    bool resolved = false;
+    for (uint32_t r = 0; r < rounds; ++r) {
+      m += match(a, b, n, n + k);
+      n += k;
+      stats->hashes_compared += k;
+      if (m < cache.MinMatches(n)) {
+        ++stats->pruned;
+        RecordSurvival(&stats->surviving_after_round, r + 1);
+        resolved = true;
+        break;
+      }
+      const auto er = cache.EstimateAt(m, n);
+      if (er.concentrated) {
+        ++stats->accepted;
+        out->push_back({a, b, er.estimate});
+        RecordSurvival(&stats->surviving_after_round, rounds + 1);
+        resolved = true;
+        break;
+      }
+    }
+    if (!resolved) {
+      // Hash budget exhausted: accept with the current estimate.
+      ++stats->forced_accepts;
+      ++stats->accepted;
+      out->push_back({a, b, model.Estimate(static_cast<int>(m),
+                                           static_cast<int>(n))});
+      RecordSurvival(&stats->surviving_after_round, rounds + 1);
+    }
+  }
+}
+
+// Algorithm 2's inner loop over pairs [begin, end).
+template <typename Model, typename Match, typename ExactFn>
+void LiteVerifyPairRange(
+    InferenceCache<Model>& cache, const Match& match, const ExactFn& exact_sim,
+    double threshold, const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    size_t begin, size_t end, std::vector<ScoredPair>* out,
+    VerifyStats* stats) {
+  const uint32_t k = cache.hashes_per_round();
+  const uint32_t rounds = cache.max_hashes() / k;
+  for (size_t idx = begin; idx < end; ++idx) {
+    const auto& [a, b] = pairs[idx];
+    uint32_t m = 0, n = 0;
+    bool pruned = false;
+    for (uint32_t r = 0; r < rounds; ++r) {
+      m += match(a, b, n, n + k);
+      n += k;
+      stats->hashes_compared += k;
+      if (m < cache.MinMatches(n)) {
+        ++stats->pruned;
+        RecordSurvival(&stats->surviving_after_round, r + 1);
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) continue;
+    RecordSurvival(&stats->surviving_after_round, rounds + 1);
+    ++stats->exact_computed;
+    const double s = exact_sim(a, b);
+    if (s >= threshold) {
+      ++stats->accepted;
+      out->push_back({a, b, s});
+    }
+  }
+}
+
 }  // namespace internal
 
 template <typename Model, typename Store>
@@ -37,47 +121,22 @@ std::vector<ScoredPair> BayesLshVerify(
     const BayesLshParams& params, VerifyStats* stats) {
   assert(params.hashes_per_round > 0 &&
          params.max_hashes % params.hashes_per_round == 0);
-  const uint32_t k = params.hashes_per_round;
-  const uint32_t rounds = params.max_hashes / k;
+  const uint32_t rounds = params.max_hashes / params.hashes_per_round;
 
-  InferenceCache<Model> cache(&model, k, params.max_hashes, params.epsilon,
-                              params.delta, params.gamma);
+  InferenceCache<Model> cache(&model, params.hashes_per_round,
+                              params.max_hashes, params.epsilon, params.delta,
+                              params.gamma);
   VerifyStats local;
   local.pairs_in = pairs.size();
   local.surviving_after_round.assign(rounds + 1, 0);
 
   std::vector<ScoredPair> out;
-  for (const auto& [a, b] : pairs) {
-    uint32_t m = 0, n = 0;
-    bool resolved = false;
-    for (uint32_t r = 0; r < rounds; ++r) {
-      m += store->MatchCount(a, b, n, n + k);
-      n += k;
-      local.hashes_compared += k;
-      if (m < cache.MinMatches(n)) {
-        ++local.pruned;
-        internal::RecordSurvival(&local.surviving_after_round, r + 1);
-        resolved = true;
-        break;
-      }
-      const auto er = cache.EstimateAt(m, n);
-      if (er.concentrated) {
-        ++local.accepted;
-        out.push_back({a, b, er.estimate});
-        internal::RecordSurvival(&local.surviving_after_round, rounds + 1);
-        resolved = true;
-        break;
-      }
-    }
-    if (!resolved) {
-      // Hash budget exhausted: accept with the current estimate.
-      ++local.forced_accepts;
-      ++local.accepted;
-      out.push_back({a, b, model.Estimate(static_cast<int>(m),
-                                          static_cast<int>(n))});
-      internal::RecordSurvival(&local.surviving_after_round, rounds + 1);
-    }
-  }
+  internal::BayesVerifyPairRange(
+      model, cache,
+      [store](uint32_t a, uint32_t b, uint32_t from, uint32_t to) {
+        return store->MatchCount(a, b, from, to);
+      },
+      pairs, 0, pairs.size(), &out, &local);
   local.cache = cache.stats();
   if (stats != nullptr) *stats = local;
   return out;
@@ -92,39 +151,22 @@ std::vector<ScoredPair> BayesLshLiteVerify(
     double threshold, const BayesLshParams& params, VerifyStats* stats) {
   assert(params.hashes_per_round > 0 &&
          max_prune_hashes % params.hashes_per_round == 0);
-  const uint32_t k = params.hashes_per_round;
-  const uint32_t rounds = max_prune_hashes / k;
+  const uint32_t rounds = max_prune_hashes / params.hashes_per_round;
 
-  InferenceCache<Model> cache(&model, k, max_prune_hashes, params.epsilon,
+  InferenceCache<Model> cache(&model, params.hashes_per_round,
+                              max_prune_hashes, params.epsilon,
                               /*delta=*/params.delta, /*gamma=*/params.gamma);
   VerifyStats local;
   local.pairs_in = pairs.size();
   local.surviving_after_round.assign(rounds + 1, 0);
 
   std::vector<ScoredPair> out;
-  for (const auto& [a, b] : pairs) {
-    uint32_t m = 0, n = 0;
-    bool pruned = false;
-    for (uint32_t r = 0; r < rounds; ++r) {
-      m += store->MatchCount(a, b, n, n + k);
-      n += k;
-      local.hashes_compared += k;
-      if (m < cache.MinMatches(n)) {
-        ++local.pruned;
-        internal::RecordSurvival(&local.surviving_after_round, r + 1);
-        pruned = true;
-        break;
-      }
-    }
-    if (pruned) continue;
-    internal::RecordSurvival(&local.surviving_after_round, rounds + 1);
-    ++local.exact_computed;
-    const double s = exact_sim(a, b);
-    if (s >= threshold) {
-      ++local.accepted;
-      out.push_back({a, b, s});
-    }
-  }
+  internal::LiteVerifyPairRange(
+      cache,
+      [store](uint32_t a, uint32_t b, uint32_t from, uint32_t to) {
+        return store->MatchCount(a, b, from, to);
+      },
+      exact_sim, threshold, pairs, 0, pairs.size(), &out, &local);
   local.cache = cache.stats();
   if (stats != nullptr) *stats = local;
   return out;

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "lsh/signature_store.h"
 #include "sim/brute_force.h"
 #include "sim/similarity.h"
@@ -28,25 +29,34 @@ struct ClassicalStats {
   uint64_t hashes_compared = 0;
 };
 
+// All three verifiers shard the candidate list across `pool` when one is
+// provided (null = sequential); output is identical either way — pairs are
+// verified independently and shard outputs concatenate in input order.
+
 // Exact verification of candidate pairs under `measure` (see
 // sim/similarity.h for the kCosine pre-normalization convention).
 std::vector<ScoredPair> ExactVerify(
     const Dataset& data, const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
-    double threshold, Measure measure, ClassicalStats* stats = nullptr);
+    double threshold, Measure measure, ClassicalStats* stats = nullptr,
+    ThreadPool* pool = nullptr);
 
 // MLE verification for cosine: m/n estimates the SRP collision probability
 // r, so the similarity estimate is r2c(m/n). Uses `num_hashes` bits per pair.
+// The parallel path pre-hashes every involved row to num_hashes (exactly the
+// set and depth the sequential lazy path hashes), then compares read-only.
 std::vector<ScoredPair> MleVerifyCosine(
     BitSignatureStore* store,
     const std::vector<std::pair<uint32_t, uint32_t>>& pairs, double threshold,
-    uint32_t num_hashes, ClassicalStats* stats = nullptr);
+    uint32_t num_hashes, ClassicalStats* stats = nullptr,
+    ThreadPool* pool = nullptr);
 
 // MLE verification for Jaccard: the estimate is the match fraction m/n
 // itself. Uses `num_hashes` minwise hashes per pair.
 std::vector<ScoredPair> MleVerifyJaccard(
     IntSignatureStore* store,
     const std::vector<std::pair<uint32_t, uint32_t>>& pairs, double threshold,
-    uint32_t num_hashes, ClassicalStats* stats = nullptr);
+    uint32_t num_hashes, ClassicalStats* stats = nullptr,
+    ThreadPool* pool = nullptr);
 
 }  // namespace bayeslsh
 

@@ -1,0 +1,224 @@
+// Sharded candidate verification: the parallel drivers for the BayesLSH /
+// BayesLSH-Lite engines of core/bayes_lsh.h.
+//
+// Strategy (docs/ARCHITECTURE.md, "Concurrency model"):
+//
+//   1. Prefetch: every row appearing in the candidate list is grown to the
+//      prefetch horizon (one signature chunk — enough for the first
+//      rounds, where the vast majority of candidates die), in parallel
+//      over disjoint row ranges.
+//   2. Shard: the candidate list is statically partitioned into one
+//      contiguous shard per worker. Each worker owns a private
+//      InferenceCache (memoization is per-shard) and a private overflow
+//      store for the rare pairs that outlive the horizon, and runs the
+//      same per-pair loop as the sequential engine.
+//   3. Merge: per-shard outputs are concatenated in shard order — which
+//      *is* candidate order, since shards are contiguous ranges of the
+//      input — and per-shard stats are summed. Overflow hashing work is
+//      folded into the shared store's tally.
+//
+// Results are bit-identical to the sequential engines for any thread
+// count: hash values are pure functions of (hasher, row, chunk), each
+// pair's verdict depends only on its own match counts, and the merge
+// preserves input order. The only quantities that legitimately vary with
+// the thread count are cache hit/miss counters and the hashing tally's
+// overflow component (bounded by cross-shard duplication of overflow
+// rows).
+
+#ifndef BAYESLSH_CORE_PARALLEL_VERIFY_H_
+#define BAYESLSH_CORE_PARALLEL_VERIFY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/bayes_lsh_impl.h"
+
+namespace bayeslsh {
+
+// Below this many candidates per worker, sharding costs more than it saves
+// and the sequential engine is used directly.
+inline constexpr uint64_t kMinPairsPerShard = 64;
+
+namespace internal {
+
+// Smallest chunk-aligned hash count covering one verification round.
+template <typename Store>
+uint32_t PrefetchHorizon(uint32_t hashes_per_round) {
+  const uint32_t chunk = Store::kChunkHashes;
+  return (hashes_per_round + chunk - 1) / chunk * chunk;
+}
+
+// Store-generic adapters over the bit/int method names.
+inline uint64_t EnsureUncounted(BitSignatureStore* s, uint32_t row,
+                                uint32_t n) {
+  return s->EnsureBitsUncounted(row, n);
+}
+inline uint64_t EnsureUncounted(IntSignatureStore* s, uint32_t row,
+                                uint32_t n) {
+  return s->EnsureHashesUncounted(row, n);
+}
+inline void AddComputed(BitSignatureStore* s, uint64_t n) {
+  s->AddBitsComputed(n);
+}
+inline void AddComputed(IntSignatureStore* s, uint64_t n) {
+  s->AddHashesComputed(n);
+}
+
+// Grows every row referenced by `pairs` to `horizon` hashes, sharded over
+// the distinct-row list. Returns the total hashing work done (the caller
+// folds it into the store's tally).
+template <typename Store>
+uint64_t PrefetchPairRows(
+    Store* store, const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    uint32_t horizon, ThreadPool* pool) {
+  std::vector<uint32_t> rows;
+  rows.reserve(pairs.size() * 2);
+  for (const auto& [a, b] : pairs) {
+    rows.push_back(a);
+    rows.push_back(b);
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return ParallelReduce(
+      pool, rows.size(), uint64_t{0},
+      [&](uint32_t, uint64_t b, uint64_t e) {
+        uint64_t work = 0;
+        for (uint64_t i = b; i < e; ++i) {
+          work += EnsureUncounted(store, rows[i], horizon);
+        }
+        return work;
+      },
+      [](uint64_t x, uint64_t y) { return x + y; });
+}
+
+// Sums `from` into `into` (surviving_after_round element-wise; `from` may
+// be empty for shards that received no pairs).
+inline void MergeVerifyStats(VerifyStats* into, const VerifyStats& from) {
+  into->accepted += from.accepted;
+  into->pruned += from.pruned;
+  into->forced_accepts += from.forced_accepts;
+  into->exact_computed += from.exact_computed;
+  into->hashes_compared += from.hashes_compared;
+  for (size_t r = 0; r < from.surviving_after_round.size(); ++r) {
+    if (r >= into->surviving_after_round.size()) {
+      into->surviving_after_round.resize(r + 1, 0);
+    }
+    into->surviving_after_round[r] += from.surviving_after_round[r];
+  }
+  into->cache.concentration_hits += from.cache.concentration_hits;
+  into->cache.concentration_misses += from.cache.concentration_misses;
+}
+
+// Shared prefetch/shard/merge scaffolding of the two parallel drivers
+// below. `run_range(cache, match, begin, end, &out, &stats)` runs the
+// engine-specific per-pair loop over one shard; everything else — the
+// prefetch, per-shard cache + overflow construction, and the
+// order-preserving merge — is engine-independent.
+template <typename Model, typename Store, typename RangeFn>
+std::vector<ScoredPair> ShardedVerifyDriver(
+    const Model& model, Store* store,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    uint32_t cache_budget, const BayesLshParams& params, ThreadPool* pool,
+    VerifyStats* stats, const RangeFn& run_range) {
+  assert(params.hashes_per_round > 0 &&
+         cache_budget % params.hashes_per_round == 0);
+  const uint32_t rounds = cache_budget / params.hashes_per_round;
+
+  const uint64_t prefetched = PrefetchPairRows(
+      store, pairs, PrefetchHorizon<Store>(params.hashes_per_round), pool);
+  AddComputed(store, prefetched);
+
+  const uint32_t num_shards = pool->num_threads();
+  struct Shard {
+    std::vector<ScoredPair> out;
+    VerifyStats stats;
+    uint64_t overflow_work = 0;
+  };
+  std::vector<Shard> shards(num_shards);
+  pool->RunShards(pairs.size(), [&](uint32_t s, uint64_t begin,
+                                    uint64_t end) {
+    Shard& shard = shards[s];
+    shard.stats.surviving_after_round.assign(rounds + 1, 0);
+    InferenceCache<Model> cache(&model, params.hashes_per_round,
+                                cache_budget, params.epsilon, params.delta,
+                                params.gamma);
+    typename Store::OverflowShard overflow(store);
+    run_range(
+        cache,
+        [&overflow](uint32_t a, uint32_t b, uint32_t from, uint32_t to) {
+          return overflow.MatchCount(a, b, from, to);
+        },
+        begin, end, &shard.out, &shard.stats);
+    shard.stats.cache = cache.stats();
+    shard.overflow_work = overflow.computed();
+  });
+
+  std::vector<ScoredPair> out;
+  VerifyStats merged;
+  merged.pairs_in = pairs.size();
+  merged.surviving_after_round.assign(rounds + 1, 0);
+  uint64_t overflow_total = 0;
+  for (Shard& shard : shards) {
+    out.insert(out.end(), shard.out.begin(), shard.out.end());
+    MergeVerifyStats(&merged, shard.stats);
+    overflow_total += shard.overflow_work;
+  }
+  AddComputed(store, overflow_total);
+  if (stats != nullptr) *stats = merged;
+  return out;
+}
+
+}  // namespace internal
+
+// BayesLSH (Algorithm 1), sharded across `pool`. Falls back to the
+// sequential BayesLshVerify when the pool is null/single-threaded or the
+// candidate list is too small to shard profitably. Output is identical to
+// the sequential engine (same pairs, same estimates, same order).
+template <typename Model, typename Store>
+std::vector<ScoredPair> BayesLshVerifyParallel(
+    const Model& model, Store* store,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    const BayesLshParams& params, ThreadPool* pool,
+    VerifyStats* stats = nullptr) {
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      pairs.size() < kMinPairsPerShard * pool->num_threads()) {
+    return BayesLshVerify(model, store, pairs, params, stats);
+  }
+  return internal::ShardedVerifyDriver(
+      model, store, pairs, params.max_hashes, params, pool, stats,
+      [&](InferenceCache<Model>& cache, const auto& match, uint64_t begin,
+          uint64_t end, std::vector<ScoredPair>* out, VerifyStats* st) {
+        internal::BayesVerifyPairRange(model, cache, match, pairs, begin,
+                                       end, out, st);
+      });
+}
+
+// BayesLSH-Lite (Algorithm 2), sharded across `pool`. exact_sim must be
+// safe to call concurrently (it only reads the dataset).
+template <typename Model, typename Store, typename ExactFn>
+std::vector<ScoredPair> BayesLshLiteVerifyParallel(
+    const Model& model, Store* store,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    uint32_t max_prune_hashes, const ExactFn& exact_sim, double threshold,
+    const BayesLshParams& params, ThreadPool* pool,
+    VerifyStats* stats = nullptr) {
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      pairs.size() < kMinPairsPerShard * pool->num_threads()) {
+    return BayesLshLiteVerify(model, store, pairs, max_prune_hashes,
+                              exact_sim, threshold, params, stats);
+  }
+  return internal::ShardedVerifyDriver(
+      model, store, pairs, max_prune_hashes, params, pool, stats,
+      [&](InferenceCache<Model>& cache, const auto& match, uint64_t begin,
+          uint64_t end, std::vector<ScoredPair>* out, VerifyStats* st) {
+        internal::LiteVerifyPairRange(cache, match, exact_sim, threshold,
+                                      pairs, begin, end, out, st);
+      });
+}
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_PARALLEL_VERIFY_H_

@@ -9,8 +9,10 @@
 #include "candgen/candidates.h"
 #include "candgen/prefix_filter_join.h"
 #include "common/prng.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/classical.h"
+#include "core/parallel_verify.h"
 #include "lsh/minwise_hasher.h"
 #include "lsh/srp_hasher.h"
 #include "stats/beta_distribution.h"
@@ -108,6 +110,17 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
   result.algorithm = AlgorithmName(config);
   WallTimer total_timer;
 
+  // Shared worker pool for both phases (null = sequential paper-faithful
+  // execution). Results are identical either way; see the config comment.
+  const uint32_t num_threads = ResolveNumThreads(config.num_threads);
+  result.threads_used = num_threads;
+  std::unique_ptr<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (num_threads > 1) {
+    pool_storage = std::make_unique<ThreadPool>(num_threads);
+    pool = pool_storage.get();
+  }
+
   const Measure measure = config.measure;
   const double t = config.threshold;
   const BayesLshParams bayes = ResolveBayesParams(config);
@@ -133,9 +146,10 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
       config.verifier == VerifierKind::kExact) {
     WallTimer timer;
     if (IsCosineLike(measure)) {
-      result.pairs = AllPairsJoin(*cosine_data, t);
+      result.pairs = AllPairsJoin(*cosine_data, t, nullptr, pool);
     } else {
-      result.pairs = PrefixFilterJoin(data, t, Measure::kJaccard);
+      result.pairs = PrefixFilterJoin(data, t, Measure::kJaccard, nullptr,
+                                      pool);
     }
     result.generate_seconds = timer.Seconds();
     result.total_seconds = total_timer.Seconds();
@@ -157,21 +171,24 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
 
   if (config.generator == GeneratorKind::kAllPairs) {
     if (IsCosineLike(measure)) {
-      candidates = AllPairsCandidates(*cosine_data, t);
+      candidates = AllPairsCandidates(*cosine_data, t, nullptr, pool);
     } else {
-      candidates = PrefixFilterCandidates(data, t, Measure::kJaccard);
+      candidates = PrefixFilterCandidates(data, t, Measure::kJaccard,
+                                          nullptr, pool);
     }
   } else {
     if (IsCosineLike(measure)) {
       gen_gauss = gauss_cache->Get(gen_seed);
       gen_bits = std::make_unique<BitSignatureStore>(
           cosine_data, SrpHasher(gen_gauss.get()));
-      candidates = CosineLshCandidates(gen_bits.get(), t, config.banding);
+      candidates = CosineLshCandidates(gen_bits.get(), t, config.banding,
+                                       pool);
       result.gen_hashes_computed = gen_bits->bits_computed();
     } else {
       gen_ints = std::make_unique<IntSignatureStore>(
           &data, MinwiseHasher(gen_seed));
-      candidates = JaccardLshCandidates(gen_ints.get(), t, config.banding);
+      candidates = JaccardLshCandidates(gen_ints.get(), t, config.banding,
+                                        pool);
       result.gen_hashes_computed = gen_ints->hashes_computed();
     }
   }
@@ -185,18 +202,21 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
 
   switch (config.verifier) {
     case VerifierKind::kExact: {
-      result.pairs = ExactVerify(data, candidates.pairs, t, measure);
+      result.pairs =
+          ExactVerify(data, candidates.pairs, t, measure, nullptr, pool);
       break;
     }
     case VerifierKind::kMle: {
       if (IsCosineLike(measure)) {
         verify_gauss = gauss_cache->Get(verify_seed);
         BitSignatureStore store(cosine_data, SrpHasher(verify_gauss.get()));
-        result.pairs = MleVerifyCosine(&store, candidates.pairs, t, mle_n);
+        result.pairs = MleVerifyCosine(&store, candidates.pairs, t, mle_n,
+                                       nullptr, pool);
         result.verify_hashes_computed = store.bits_computed();
       } else {
         IntSignatureStore store(&data, MinwiseHasher(verify_seed));
-        result.pairs = MleVerifyJaccard(&store, candidates.pairs, t, mle_n);
+        result.pairs = MleVerifyJaccard(&store, candidates.pairs, t, mle_n,
+                                        nullptr, pool);
         result.verify_hashes_computed = store.hashes_computed();
       }
       break;
@@ -206,16 +226,16 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
         verify_gauss = gauss_cache->Get(verify_seed);
         BitSignatureStore store(cosine_data, SrpHasher(verify_gauss.get()));
         const CosinePosterior model(t);
-        result.pairs = BayesLshVerify(model, &store, candidates.pairs, bayes,
-                                      &result.vstats);
+        result.pairs = BayesLshVerifyParallel(model, &store, candidates.pairs,
+                                              bayes, pool, &result.vstats);
         result.verify_hashes_computed = store.bits_computed();
       } else {
         IntSignatureStore store(&data, MinwiseHasher(verify_seed));
         const JaccardPosterior model(
             t, FitJaccardPrior(data, candidates, config.prior_sample_size,
                                config.seed));
-        result.pairs = BayesLshVerify(model, &store, candidates.pairs, bayes,
-                                      &result.vstats);
+        result.pairs = BayesLshVerifyParallel(model, &store, candidates.pairs,
+                                              bayes, pool, &result.vstats);
         result.verify_hashes_computed = store.hashes_computed();
       }
       break;
@@ -229,8 +249,10 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
         auto exact = [&](uint32_t a, uint32_t b) {
           return ExactSimilarity(data, a, b, measure);
         };
-        result.pairs = BayesLshLiteVerify(model, &store, candidates.pairs, h,
-                                          exact, t, bayes, &result.vstats);
+        result.pairs = BayesLshLiteVerifyParallel(model, &store,
+                                                  candidates.pairs, h, exact,
+                                                  t, bayes, pool,
+                                                  &result.vstats);
         result.verify_hashes_computed = store.bits_computed();
       } else {
         IntSignatureStore store(&data, MinwiseHasher(verify_seed));
@@ -240,8 +262,10 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
         auto exact = [&](uint32_t a, uint32_t b) {
           return ExactSimilarity(data, a, b, measure);
         };
-        result.pairs = BayesLshLiteVerify(model, &store, candidates.pairs, h,
-                                          exact, t, bayes, &result.vstats);
+        result.pairs = BayesLshLiteVerifyParallel(model, &store,
+                                                  candidates.pairs, h, exact,
+                                                  t, bayes, pool,
+                                                  &result.vstats);
         result.verify_hashes_computed = store.hashes_computed();
       }
       break;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "candgen/lsh_banding.h"
+#include "common/thread_pool.h"
 #include "core/bayes_lsh.h"
 #include "lsh/gaussian_source.h"
 #include "sim/brute_force.h"
@@ -67,6 +68,15 @@ struct PipelineConfig {
   // independent streams derived from it (see DESIGN.md §6).
   uint64_t seed = 42;
 
+  // Worker threads for candidate generation and verification. 0 = all
+  // hardware threads, 1 (the default) = the paper's single-threaded
+  // execution. Results are pair-for-pair identical for every value — see
+  // docs/ARCHITECTURE.md, "Concurrency model". The only quantities that
+  // may vary with the thread count are instrumentation: hashing-overhead
+  // tallies (bounded prefetch-horizon slack), cache hit/miss counters,
+  // and generator-side skip counters (PrefixJoinStats::size_skipped).
+  uint32_t num_threads = 1;
+
   // Optional shared Gaussian providers keyed by derived seed, letting a
   // benchmark reuse quantized tables across pipeline runs. May be null.
   GaussianSourceCache* gaussian_cache = nullptr;
@@ -85,6 +95,8 @@ struct PipelineResult {
 
   uint64_t gen_hashes_computed = 0;     // Banding signature hashes.
   uint64_t verify_hashes_computed = 0;  // Verification signature hashes.
+
+  uint32_t threads_used = 1;  // Resolved num_threads for this run.
 
   VerifyStats vstats;  // Populated by the BayesLSH verifiers.
 };

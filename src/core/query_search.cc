@@ -7,6 +7,7 @@
 
 #include "common/bit_ops.h"
 #include "common/prng.h"
+#include "common/thread_pool.h"
 #include "core/cosine_posterior.h"
 #include "core/jaccard_posterior.h"
 #include "core/pipeline.h"
@@ -20,6 +21,9 @@ namespace {
 bool CosineLike(Measure m) {
   return m == Measure::kCosine || m == Measure::kBinaryCosine;
 }
+
+// Below this many candidates per worker a query is verified sequentially.
+constexpr uint64_t kMinQueryCandidatesPerShard = 16;
 
 double ExactQuerySimilarity(const Dataset& data, uint32_t row,
                             const SparseVectorView& q, Measure measure) {
@@ -60,6 +64,13 @@ struct QuerySearcher::Impl {
   mutable std::optional<InferenceCache<CosinePosterior>> cos_cache;
   mutable std::optional<InferenceCache<JaccardPosterior>> jac_cache;
 
+  // Worker pool (num_threads > 1 only) and the per-worker inference caches
+  // the sharded verification path uses instead of the shared ones above
+  // (memoization is per-worker; persists across queries).
+  std::unique_ptr<ThreadPool> pool;
+  mutable std::vector<InferenceCache<CosinePosterior>> shard_cos_caches;
+  mutable std::vector<InferenceCache<JaccardPosterior>> shard_jac_caches;
+
   // Banding buckets: per band, key -> row ids.
   std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> buckets;
 
@@ -68,11 +79,14 @@ struct QuerySearcher::Impl {
 
   // --- verification of one candidate against the current query ---
   // Returns true with the similarity in *sim if the candidate is kept.
-  template <typename EnsureQuery, typename MatchRange>
+  // `cache` is the active measure's inference cache: the serial path
+  // passes the shared one, the sharded path the caller-worker's private
+  // one.
+  template <typename Cache, typename EnsureQuery, typename MatchRange>
   bool VerifyCandidate(uint32_t row, const SparseVectorView& q,
                        const EnsureQuery& ensure_query,
-                       const MatchRange& match_range, QueryStats* stats,
-                       double* sim) const {
+                       const MatchRange& match_range, Cache& cache,
+                       QueryStats* stats, double* sim) const {
     const uint32_t kk = bayes.hashes_per_round;
     const uint32_t budget = cfg.exact_verification ? lite_h : bayes.max_hashes;
     uint32_t m = 0, n = 0;
@@ -81,27 +95,14 @@ struct QuerySearcher::Impl {
       m += match_range(row, n, n + kk);
       n += kk;
       if (stats != nullptr) stats->hashes_compared += kk;
-      const uint32_t min_matches = CosineLike(cfg.measure)
-                                       ? cos_cache->MinMatches(n)
-                                       : jac_cache->MinMatches(n);
-      if (m < min_matches) {
+      if (m < cache.MinMatches(n)) {
         if (stats != nullptr) ++stats->pruned;
         return false;
       }
       if (!cfg.exact_verification) {
-        bool concentrated;
-        float estimate;
-        if (CosineLike(cfg.measure)) {
-          const auto er = cos_cache->EstimateAt(m, n);
-          concentrated = er.concentrated;
-          estimate = er.estimate;
-        } else {
-          const auto er = jac_cache->EstimateAt(m, n);
-          concentrated = er.concentrated;
-          estimate = er.estimate;
-        }
-        if (concentrated) {
-          *sim = estimate;
+        const auto er = cache.EstimateAt(m, n);
+        if (er.concentrated) {
+          *sim = er.estimate;
           return true;
         }
       }
@@ -155,22 +156,42 @@ QuerySearcher::QuerySearcher(const Dataset* data,
   const uint64_t gen_seed = GenerationSeed(config.seed);
   const uint64_t verify_seed = VerificationSeed(config.seed);
 
+  // Worker pool + per-worker caches for the sharded verification path.
+  const uint32_t num_threads = ResolveNumThreads(config.num_threads);
+  if (num_threads > 1) im.pool = std::make_unique<ThreadPool>(num_threads);
+  const uint32_t cache_budget =
+      config.exact_verification ? im.lite_h : im.bayes.max_hashes;
+
   // Models and caches.
   if (cosine) {
     im.cos_model.emplace(config.threshold);
     im.cos_cache.emplace(&*im.cos_model, im.bayes.hashes_per_round,
-                         config.exact_verification ? im.lite_h
-                                                   : im.bayes.max_hashes,
-                         im.bayes.epsilon, im.bayes.delta, im.bayes.gamma);
+                         cache_budget, im.bayes.epsilon, im.bayes.delta,
+                         im.bayes.gamma);
+    if (im.pool != nullptr) {
+      im.shard_cos_caches.reserve(num_threads);
+      for (uint32_t w = 0; w < num_threads; ++w) {
+        im.shard_cos_caches.emplace_back(
+            &*im.cos_model, im.bayes.hashes_per_round, cache_budget,
+            im.bayes.epsilon, im.bayes.delta, im.bayes.gamma);
+      }
+    }
     im.gen_gauss = std::make_shared<ImplicitGaussianSource>(gen_seed);
     im.verify_gauss = std::make_shared<ImplicitGaussianSource>(verify_seed);
     im.bits.emplace(data, SrpHasher(im.verify_gauss.get()));
   } else {
     im.jac_model.emplace(config.threshold);  // Uniform prior in query mode.
     im.jac_cache.emplace(&*im.jac_model, im.bayes.hashes_per_round,
-                         config.exact_verification ? im.lite_h
-                                                   : im.bayes.max_hashes,
-                         im.bayes.epsilon, im.bayes.delta, im.bayes.gamma);
+                         cache_budget, im.bayes.epsilon, im.bayes.delta,
+                         im.bayes.gamma);
+    if (im.pool != nullptr) {
+      im.shard_jac_caches.reserve(num_threads);
+      for (uint32_t w = 0; w < num_threads; ++w) {
+        im.shard_jac_caches.emplace_back(
+            &*im.jac_model, im.bayes.hashes_per_round, cache_budget,
+            im.bayes.epsilon, im.bayes.delta, im.bayes.gamma);
+      }
+    }
     im.gen_minhash.emplace(gen_seed);
     im.verify_minhash.emplace(verify_seed);
     im.ints.emplace(data, MinwiseHasher(verify_seed));
@@ -178,24 +199,41 @@ QuerySearcher::QuerySearcher(const Dataset* data,
 
   // Build the banding buckets over the collection with the generation-seed
   // hashes (a separate, throwaway store: banding hashes are not reused for
-  // verification; see DESIGN.md §6).
+  // verification; see DESIGN.md §6). Signature growth shards over row
+  // ranges and the bucket build over bands; each band's map is owned by
+  // exactly one worker, so the result is independent of the thread count.
   im.buckets.resize(im.l);
   const uint32_t n = data->num_vectors();
+  ThreadPool* pool = im.pool.get();
   if (cosine) {
     BitSignatureStore gen_store(data, SrpHasher(im.gen_gauss.get()));
-    gen_store.EnsureAllBits(im.l * im.k);
-    for (uint32_t band = 0; band < im.l; ++band) {
+    if (pool != nullptr) {
+      ParallelFor(pool, 0, n, [&](uint64_t row) {
+        gen_store.EnsureBitsUncounted(static_cast<uint32_t>(row),
+                                      im.l * im.k);
+      });
+    } else {
+      gen_store.EnsureAllBits(im.l * im.k);
+    }
+    ParallelFor(pool, 0, im.l, [&](uint64_t band) {
       for (uint32_t row = 0; row < n; ++row) {
         if (data->RowLength(row) == 0) continue;
-        const uint64_t key =
-            ExtractBits(gen_store.Words(row), band * im.k, im.k);
+        const uint64_t key = ExtractBits(
+            gen_store.Words(row), static_cast<uint32_t>(band) * im.k, im.k);
         im.buckets[band][key].push_back(row);
       }
-    }
+    });
   } else {
     IntSignatureStore gen_store(data, MinwiseHasher(gen_seed));
-    gen_store.EnsureAllHashes(im.l * im.k);
-    for (uint32_t band = 0; band < im.l; ++band) {
+    if (pool != nullptr) {
+      ParallelFor(pool, 0, n, [&](uint64_t row) {
+        gen_store.EnsureHashesUncounted(static_cast<uint32_t>(row),
+                                        im.l * im.k);
+      });
+    } else {
+      gen_store.EnsureAllHashes(im.l * im.k);
+    }
+    ParallelFor(pool, 0, im.l, [&](uint64_t band) {
       for (uint32_t row = 0; row < n; ++row) {
         if (data->RowLength(row) == 0) continue;
         const uint32_t* h = gen_store.Hashes(row) + band * im.k;
@@ -203,7 +241,7 @@ QuerySearcher::QuerySearcher(const Dataset* data,
         for (uint32_t i = 0; i < im.k; ++i) key = Mix64(key, h[i]);
         im.buckets[band][key].push_back(row);
       }
-    }
+    });
   }
 }
 
@@ -258,29 +296,99 @@ std::vector<QueryMatch> QuerySearcher::Query(const SparseVectorView& q,
 
   // 2. Verify each candidate with incremental Bayesian pruning, using
   //    verification-seed hashes (independent of the banding hashes).
+  //
+  // With a pool and enough candidates, verification shards over the
+  // candidate list: the query signature is hashed to the full budget up
+  // front (shared read-only), candidate rows are prefetched to one chunk,
+  // and each worker runs the same per-candidate loop with its private
+  // inference cache and overflow store. The final similarity sort makes
+  // the output independent of the thread count.
+  ThreadPool* pool = im.pool.get();
+  const bool sharded =
+      pool != nullptr &&
+      candidates.size() >= kMinQueryCandidatesPerShard * pool->num_threads();
+  const uint32_t budget =
+      im.cfg.exact_verification ? im.lite_h : im.bayes.max_hashes;
+  const uint32_t kk = im.bayes.hashes_per_round;
+
   if (CosineLike(im.cfg.measure)) {
     const SrpHasher vhasher(im.verify_gauss.get());
     std::vector<uint64_t> qbits;
-    auto ensure_query = [&](uint32_t n_bits) {
+    auto hash_query_to = [&](uint32_t n_bits) {
       while (qbits.size() < WordsForBits(n_bits)) {
         qbits.push_back(
             vhasher.HashChunk(q, static_cast<uint32_t>(qbits.size())));
       }
     };
-    auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
-      im.bits->EnsureBits(row, to);
-      return MatchingBits(qbits.data(), im.bits->Words(row), from, to);
-    };
-    for (uint32_t row : candidates) {
-      double sim = 0.0;
-      if (im.VerifyCandidate(row, q, ensure_query, match_range, stats,
-                             &sim)) {
-        out.push_back({row, sim});
+    if (!sharded) {
+      auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+        im.bits->EnsureBits(row, to);
+        return MatchingBits(qbits.data(), im.bits->Words(row), from, to);
+      };
+      for (uint32_t row : candidates) {
+        double sim = 0.0;
+        if (im.VerifyCandidate(row, q, hash_query_to, match_range,
+                               *im.cos_cache, stats, &sim)) {
+          out.push_back({row, sim});
+        }
       }
+    } else {
+      hash_query_to(budget);
+      const uint32_t horizon =
+          (kk + kBitsPerWord - 1) / kBitsPerWord * kBitsPerWord;
+      im.bits->AddBitsComputed(ParallelReduce(
+          pool, candidates.size(), uint64_t{0},
+          [&](uint32_t, uint64_t b, uint64_t e) {
+            uint64_t work = 0;
+            for (uint64_t i = b; i < e; ++i) {
+              work += im.bits->EnsureBitsUncounted(candidates[i], horizon);
+            }
+            return work;
+          },
+          [](uint64_t x, uint64_t y) { return x + y; }));
+      const uint32_t num_shards = pool->num_threads();
+      struct Shard {
+        std::vector<QueryMatch> out;
+        QueryStats stats;
+        std::optional<BitOverflowShard> overflow;
+      };
+      std::vector<Shard> shards(num_shards);
+      pool->RunShards(candidates.size(), [&](uint32_t s, uint64_t begin,
+                                             uint64_t end) {
+        Shard& sh = shards[s];
+        BitOverflowShard& overflow = sh.overflow.emplace(&*im.bits);
+        auto no_ensure = [](uint32_t) {};
+        auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+          return MatchingBits(qbits.data(), overflow.RowWords(row, to), from,
+                              to);
+        };
+        for (uint64_t i = begin; i < end; ++i) {
+          double sim = 0.0;
+          if (im.VerifyCandidate(candidates[i], q, no_ensure, match_range,
+                                 im.shard_cos_caches[s], &sh.stats, &sim)) {
+            sh.out.push_back({candidates[i], sim});
+          }
+        }
+      });
+      uint64_t overflow_total = 0;
+      for (Shard& sh : shards) {
+        out.insert(out.end(), sh.out.begin(), sh.out.end());
+        if (stats != nullptr) {
+          stats->pruned += sh.stats.pruned;
+          stats->hashes_compared += sh.stats.hashes_compared;
+        }
+        if (sh.overflow.has_value()) {
+          overflow_total += sh.overflow->computed();
+          // Fold beyond-horizon signatures back into the persistent store
+          // so later queries reuse them (the hashing is already counted).
+          sh.overflow->MergeInto(&*im.bits);
+        }
+      }
+      im.bits->AddBitsComputed(overflow_total);
     }
   } else {
     std::vector<uint32_t> qints;
-    auto ensure_query = [&](uint32_t n_hashes) {
+    auto hash_query_to = [&](uint32_t n_hashes) {
       while (qints.size() < n_hashes) {
         const auto chunk = static_cast<uint32_t>(qints.size()) /
                            kMinhashChunkInts;
@@ -289,19 +397,76 @@ std::vector<QueryMatch> QuerySearcher::Query(const SparseVectorView& q,
             q, chunk, qints.data() + chunk * kMinhashChunkInts);
       }
     };
-    auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
-      im.ints->EnsureHashes(row, to);
-      const uint32_t* h = im.ints->Hashes(row);
-      uint32_t m = 0;
-      for (uint32_t i = from; i < to; ++i) m += (h[i] == qints[i]);
-      return m;
-    };
-    for (uint32_t row : candidates) {
-      double sim = 0.0;
-      if (im.VerifyCandidate(row, q, ensure_query, match_range, stats,
-                             &sim)) {
-        out.push_back({row, sim});
+    if (!sharded) {
+      auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+        im.ints->EnsureHashes(row, to);
+        const uint32_t* h = im.ints->Hashes(row);
+        uint32_t m = 0;
+        for (uint32_t i = from; i < to; ++i) m += (h[i] == qints[i]);
+        return m;
+      };
+      for (uint32_t row : candidates) {
+        double sim = 0.0;
+        if (im.VerifyCandidate(row, q, hash_query_to, match_range,
+                               *im.jac_cache, stats, &sim)) {
+          out.push_back({row, sim});
+        }
       }
+    } else {
+      hash_query_to(budget);
+      const uint32_t horizon =
+          (kk + kMinhashChunkInts - 1) / kMinhashChunkInts * kMinhashChunkInts;
+      im.ints->AddHashesComputed(ParallelReduce(
+          pool, candidates.size(), uint64_t{0},
+          [&](uint32_t, uint64_t b, uint64_t e) {
+            uint64_t work = 0;
+            for (uint64_t i = b; i < e; ++i) {
+              work += im.ints->EnsureHashesUncounted(candidates[i], horizon);
+            }
+            return work;
+          },
+          [](uint64_t x, uint64_t y) { return x + y; }));
+      const uint32_t num_shards = pool->num_threads();
+      struct Shard {
+        std::vector<QueryMatch> out;
+        QueryStats stats;
+        std::optional<IntOverflowShard> overflow;
+      };
+      std::vector<Shard> shards(num_shards);
+      pool->RunShards(candidates.size(), [&](uint32_t s, uint64_t begin,
+                                             uint64_t end) {
+        Shard& sh = shards[s];
+        IntOverflowShard& overflow = sh.overflow.emplace(&*im.ints);
+        auto no_ensure = [](uint32_t) {};
+        auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+          const uint32_t* h = overflow.RowHashes(row, to);
+          uint32_t m = 0;
+          for (uint32_t i = from; i < to; ++i) m += (h[i] == qints[i]);
+          return m;
+        };
+        for (uint64_t i = begin; i < end; ++i) {
+          double sim = 0.0;
+          if (im.VerifyCandidate(candidates[i], q, no_ensure, match_range,
+                                 im.shard_jac_caches[s], &sh.stats, &sim)) {
+            sh.out.push_back({candidates[i], sim});
+          }
+        }
+      });
+      uint64_t overflow_total = 0;
+      for (Shard& sh : shards) {
+        out.insert(out.end(), sh.out.begin(), sh.out.end());
+        if (stats != nullptr) {
+          stats->pruned += sh.stats.pruned;
+          stats->hashes_compared += sh.stats.hashes_compared;
+        }
+        if (sh.overflow.has_value()) {
+          overflow_total += sh.overflow->computed();
+          // Fold beyond-horizon signatures back into the persistent store
+          // so later queries reuse them (the hashing is already counted).
+          sh.overflow->MergeInto(&*im.ints);
+        }
+      }
+      im.ints->AddHashesComputed(overflow_total);
     }
   }
 

@@ -11,8 +11,12 @@
 // standard adaptation).
 //
 // Queries do not mutate the index and may use vectors not present in the
-// collection. Like the rest of the library, single-threaded by design; one
-// searcher per thread is the intended concurrency model.
+// collection. With num_threads > 1 the searcher owns a worker pool: the
+// index build shards over bands, and each query's candidate verification
+// shards over candidates (results identical to single-threaded for any
+// thread count). Individual Query() calls must still be serialized by the
+// caller — the lazy signature store mutates across queries; one searcher
+// per caller thread is the intended external concurrency model.
 
 #ifndef BAYESLSH_CORE_QUERY_SEARCH_H_
 #define BAYESLSH_CORE_QUERY_SEARCH_H_
@@ -42,6 +46,11 @@ struct QuerySearchConfig {
   uint32_t lite_max_hashes = 0;  // 0 = measure default (128 / 64).
   LshBandingParams banding;      // Index shape; num_bands 0 = derive.
   uint64_t seed = 42;
+
+  // Worker threads for index build and per-query verification sharding
+  // (0 = all hardware threads, 1 = sequential). Does not make concurrent
+  // Query() calls safe — see the class comment.
+  uint32_t num_threads = 1;
 };
 
 // One query result.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "sim/similarity.h"
 
@@ -28,6 +30,7 @@ std::vector<ScoredPair> TopKAllPairs(const Dataset& data,
   run.bayes = config.bayes;
   run.banding = config.banding;
   run.seed = config.seed;
+  run.num_threads = config.num_threads;
   run.gaussian_cache = config.gaussian_cache;
 
   std::vector<ScoredPair> survivors;
@@ -45,11 +48,22 @@ std::vector<ScoredPair> TopKAllPairs(const Dataset& data,
 
   // Exact similarities for the survivors; the estimate-based pipeline
   // output may include pairs below the floor (δ slack) — drop those.
+  // Sharded across a pool when configured (per-survivor work is
+  // independent; the sort below canonicalizes the order).
+  const uint32_t num_threads = ResolveNumThreads(config.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1 && survivors.size() >= 2 * num_threads) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+  }
+  std::vector<ScoredPair> rescored(survivors.size());
+  ParallelFor(pool.get(), 0, survivors.size(), [&](uint64_t i) {
+    const ScoredPair& p = survivors[i];
+    rescored[i] = {p.a, p.b, ExactSimilarity(data, p.a, p.b, config.measure)};
+  });
   std::vector<ScoredPair> exact;
   exact.reserve(survivors.size());
-  for (const ScoredPair& p : survivors) {
-    const double s = ExactSimilarity(data, p.a, p.b, config.measure);
-    if (s >= config.floor_threshold) exact.push_back({p.a, p.b, s});
+  for (const ScoredPair& p : rescored) {
+    if (p.sim >= config.floor_threshold) exact.push_back(p);
   }
   std::sort(exact.begin(), exact.end(),
             [](const ScoredPair& x, const ScoredPair& y) {

@@ -50,6 +50,10 @@ struct TopKConfig {
   LshBandingParams banding;
   uint64_t seed = 42;
 
+  // Worker threads for the underlying pipeline runs and the final exact
+  // re-verification (as in PipelineConfig: 0 = hardware, 1 = sequential).
+  uint32_t num_threads = 1;
+
   // Optional shared Gaussian tables (see PipelineConfig); reused across
   // the descent iterations when provided.
   GaussianSourceCache* gaussian_cache = nullptr;

@@ -45,20 +45,30 @@ double QuantizedGaussianStore::Dequantize(uint16_t q) {
   return static_cast<double>(q) / 4096.0 - 8.0;
 }
 
+QuantizedGaussianStore::~QuantizedGaussianStore() {
+  for (auto& slab : slabs_) {
+    delete[] slab.load(std::memory_order_relaxed);
+  }
+}
+
 const uint16_t* QuantizedGaussianStore::Slab(uint32_t chunk) const {
   assert(chunk < stored_chunks_);
-  auto& slab = slabs_[chunk];
-  if (!slab) {
-    slab = std::make_unique<uint16_t[]>(static_cast<size_t>(num_dims_) *
-                                        kSrpChunkBits);
-    double g[kSrpChunkBits];
-    for (DimId d = 0; d < num_dims_; ++d) {
-      base_.FillChunk(d, chunk, g);
-      uint16_t* row = slab.get() + static_cast<size_t>(d) * kSrpChunkBits;
-      for (uint32_t j = 0; j < kSrpChunkBits; ++j) row[j] = Quantize(g[j]);
-    }
+  const uint16_t* published = slabs_[chunk].load(std::memory_order_acquire);
+  if (published != nullptr) return published;
+  std::lock_guard<std::mutex> lock(build_mu_);
+  published = slabs_[chunk].load(std::memory_order_relaxed);
+  if (published != nullptr) return published;
+  auto slab = std::make_unique<uint16_t[]>(static_cast<size_t>(num_dims_) *
+                                           kSrpChunkBits);
+  double g[kSrpChunkBits];
+  for (DimId d = 0; d < num_dims_; ++d) {
+    base_.FillChunk(d, chunk, g);
+    uint16_t* row = slab.get() + static_cast<size_t>(d) * kSrpChunkBits;
+    for (uint32_t j = 0; j < kSrpChunkBits; ++j) row[j] = Quantize(g[j]);
   }
-  return slab.get();
+  published = slab.release();
+  slabs_[chunk].store(published, std::memory_order_release);
+  return published;
 }
 
 void QuantizedGaussianStore::FillChunk(DimId dim, uint32_t chunk,
@@ -76,7 +86,7 @@ void QuantizedGaussianStore::FillChunk(DimId dim, uint32_t chunk,
 uint64_t QuantizedGaussianStore::table_bytes() const {
   uint64_t bytes = 0;
   for (const auto& slab : slabs_) {
-    if (slab) {
+    if (slab.load(std::memory_order_acquire) != nullptr) {
       bytes += static_cast<uint64_t>(num_dims_) * kSrpChunkBits *
                sizeof(uint16_t);
     }

@@ -24,8 +24,10 @@
 #ifndef BAYESLSH_LSH_GAUSSIAN_SOURCE_H_
 #define BAYESLSH_LSH_GAUSSIAN_SOURCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -70,6 +72,7 @@ class QuantizedGaussianStore : public GaussianSource {
   // stored_hashes is rounded up to a whole number of chunks.
   QuantizedGaussianStore(uint64_t seed, uint32_t num_dims,
                          uint32_t stored_hashes);
+  ~QuantizedGaussianStore() override;
 
   void FillChunk(DimId dim, uint32_t chunk, double* out) const override;
 
@@ -91,8 +94,11 @@ class QuantizedGaussianStore : public GaussianSource {
   ImplicitGaussianSource base_;
   uint32_t num_dims_;
   uint32_t stored_chunks_;
-  // Lazily built; mutable because materialization is a pure cache.
-  mutable std::vector<std::unique_ptr<uint16_t[]>> slabs_;
+  // Lazily built; mutable because materialization is a pure cache. Slabs
+  // are published through an atomic pointer (built under build_mu_, read
+  // lock-free) so concurrent hashing workers can share one store.
+  mutable std::vector<std::atomic<const uint16_t*>> slabs_;
+  mutable std::mutex build_mu_;
 };
 
 // A per-seed cache of shared Gaussian sources. Benchmarks hold one cache per

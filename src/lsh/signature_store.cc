@@ -7,17 +7,22 @@ namespace bayeslsh {
 BitSignatureStore::BitSignatureStore(const Dataset* data, SrpHasher hasher)
     : data_(data), hasher_(hasher), words_(data->num_vectors()) {}
 
-void BitSignatureStore::EnsureBits(uint32_t row, uint32_t n_bits) {
+uint64_t BitSignatureStore::EnsureBitsUncounted(uint32_t row,
+                                                uint32_t n_bits) {
   auto& w = words_[row];
   const uint32_t have = static_cast<uint32_t>(w.size());
   const uint32_t need = WordsForBits(n_bits);
-  if (have >= need) return;
+  if (have >= need) return 0;
   const SparseVectorView v = data_->Row(row);
   w.reserve(need);
   for (uint32_t c = have; c < need; ++c) {
     w.push_back(hasher_.HashChunk(v, c));
   }
-  bits_computed_ += static_cast<uint64_t>(need - have) * kBitsPerWord;
+  return static_cast<uint64_t>(need - have) * kBitsPerWord;
+}
+
+void BitSignatureStore::EnsureBits(uint32_t row, uint32_t n_bits) {
+  bits_computed_ += EnsureBitsUncounted(row, n_bits);
 }
 
 void BitSignatureStore::EnsureAllBits(uint32_t n_bits) {
@@ -32,38 +37,165 @@ uint32_t BitSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
   return MatchingBits(words_[a].data(), words_[b].data(), from, to);
 }
 
+uint32_t BitSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
+                                               uint32_t from,
+                                               uint32_t to) const {
+  assert(from <= to);
+  assert(NumBits(a) >= to && NumBits(b) >= to);
+  return MatchingBits(words_[a].data(), words_[b].data(), from, to);
+}
+
 IntSignatureStore::IntSignatureStore(const Dataset* data,
                                      MinwiseHasher hasher)
     : data_(data), hasher_(hasher), hashes_(data->num_vectors()) {}
 
-void IntSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
+uint64_t IntSignatureStore::EnsureHashesUncounted(uint32_t row,
+                                                  uint32_t n_hashes) {
   auto& h = hashes_[row];
   const uint32_t have = static_cast<uint32_t>(h.size());
   // Round up to whole chunks.
   const uint32_t need_chunks =
       (n_hashes + kMinhashChunkInts - 1) / kMinhashChunkInts;
   const uint32_t need = need_chunks * kMinhashChunkInts;
-  if (have >= need) return;
+  if (have >= need) return 0;
   assert(have % kMinhashChunkInts == 0);
   const SparseVectorView v = data_->Row(row);
   h.resize(need);
   for (uint32_t c = have / kMinhashChunkInts; c < need_chunks; ++c) {
     hasher_.HashChunk(v, c, h.data() + c * kMinhashChunkInts);
   }
-  hashes_computed_ += need - have;
+  return need - have;
+}
+
+void IntSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
+  hashes_computed_ += EnsureHashesUncounted(row, n_hashes);
 }
 
 void IntSignatureStore::EnsureAllHashes(uint32_t n_hashes) {
   for (uint32_t i = 0; i < num_rows(); ++i) EnsureHashes(i, n_hashes);
 }
 
+namespace {
+
+inline uint32_t CountIntMatches(const uint32_t* ha, const uint32_t* hb,
+                                uint32_t from, uint32_t to) {
+  uint32_t matches = 0;
+  for (uint32_t i = from; i < to; ++i) {
+    matches += (ha[i] == hb[i]) ? 1 : 0;
+  }
+  return matches;
+}
+
+}  // namespace
+
 uint32_t IntSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
                                        uint32_t to) {
   assert(from <= to);
   EnsureHashes(a, to);
   EnsureHashes(b, to);
-  const uint32_t* ha = hashes_[a].data();
-  const uint32_t* hb = hashes_[b].data();
+  return CountIntMatches(hashes_[a].data(), hashes_[b].data(), from, to);
+}
+
+uint32_t IntSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
+                                               uint32_t from,
+                                               uint32_t to) const {
+  assert(from <= to);
+  assert(NumHashes(a) >= to && NumHashes(b) >= to);
+  return CountIntMatches(hashes_[a].data(), hashes_[b].data(), from, to);
+}
+
+// --- overflow shards ---
+
+const std::vector<uint64_t>& BitOverflowShard::Row(uint32_t row,
+                                                   uint32_t n_bits) {
+  auto& w = rows_[row];
+  const uint32_t need = WordsForBits(n_bits);
+  if (w.size() >= need) return w;
+  if (w.empty()) {
+    // Seed with the shared store's prefetched words: already computed,
+    // so copying adds nothing to the hashing tally.
+    const uint32_t base_words = base_->NumBits(row) / kBitsPerWord;
+    w.assign(base_->Words(row), base_->Words(row) + base_words);
+  }
+  const uint32_t have = static_cast<uint32_t>(w.size());
+  if (have >= need) return w;
+  const SparseVectorView v = base_->data()->Row(row);
+  w.reserve(need);
+  for (uint32_t c = have; c < need; ++c) {
+    w.push_back(base_->hasher().HashChunk(v, c));
+  }
+  bits_computed_ += static_cast<uint64_t>(need - have) * kBitsPerWord;
+  return w;
+}
+
+const uint64_t* BitOverflowShard::RowWords(uint32_t row, uint32_t n_bits) {
+  if (n_bits <= base_->NumBits(row)) return base_->Words(row);
+  return Row(row, n_bits).data();
+}
+
+void BitOverflowShard::MergeInto(BitSignatureStore* store) {
+  assert(store == base_);
+  for (auto& [row, words] : rows_) {
+    store->AdoptWords(row, std::move(words));
+  }
+  rows_.clear();
+}
+
+uint32_t BitOverflowShard::MatchCount(uint32_t a, uint32_t b, uint32_t from,
+                                      uint32_t to) {
+  assert(from <= to);
+  if (to <= base_->NumBits(a) && to <= base_->NumBits(b)) {
+    return base_->MatchCountReadOnly(a, b, from, to);
+  }
+  const std::vector<uint64_t>& wa = Row(a, to);
+  const std::vector<uint64_t>& wb = Row(b, to);
+  return MatchingBits(wa.data(), wb.data(), from, to);
+}
+
+const std::vector<uint32_t>& IntOverflowShard::Row(uint32_t row,
+                                                   uint32_t n_hashes) {
+  auto& h = rows_[row];
+  const uint32_t need_chunks =
+      (n_hashes + kMinhashChunkInts - 1) / kMinhashChunkInts;
+  const uint32_t need = need_chunks * kMinhashChunkInts;
+  if (h.size() >= need) return h;
+  if (h.empty()) {
+    const uint32_t base_have = base_->NumHashes(row);
+    h.assign(base_->Hashes(row), base_->Hashes(row) + base_have);
+  }
+  const uint32_t have = static_cast<uint32_t>(h.size());
+  if (have >= need) return h;
+  assert(have % kMinhashChunkInts == 0);
+  const SparseVectorView v = base_->data()->Row(row);
+  h.resize(need);
+  for (uint32_t c = have / kMinhashChunkInts; c < need_chunks; ++c) {
+    base_->hasher().HashChunk(v, c, h.data() + c * kMinhashChunkInts);
+  }
+  hashes_computed_ += need - have;
+  return h;
+}
+
+const uint32_t* IntOverflowShard::RowHashes(uint32_t row, uint32_t n_hashes) {
+  if (n_hashes <= base_->NumHashes(row)) return base_->Hashes(row);
+  return Row(row, n_hashes).data();
+}
+
+void IntOverflowShard::MergeInto(IntSignatureStore* store) {
+  assert(store == base_);
+  for (auto& [row, hashes] : rows_) {
+    store->AdoptHashes(row, std::move(hashes));
+  }
+  rows_.clear();
+}
+
+uint32_t IntOverflowShard::MatchCount(uint32_t a, uint32_t b, uint32_t from,
+                                      uint32_t to) {
+  assert(from <= to);
+  if (to <= base_->NumHashes(a) && to <= base_->NumHashes(b)) {
+    return base_->MatchCountReadOnly(a, b, from, to);
+  }
+  const std::vector<uint32_t>& ha = Row(a, to);
+  const std::vector<uint32_t>& hb = Row(b, to);
   uint32_t matches = 0;
   for (uint32_t i = from; i < to; ++i) {
     matches += (ha[i] == hb[i]) ? 1 : 0;

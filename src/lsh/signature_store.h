@@ -7,12 +7,31 @@
 // hashing work done — which the pipeline reports as "hashing overhead",
 // mirroring the paper's discussion of amortized hashing costs.
 //
-// Not thread-safe: the paper's algorithms (and ours) are single-threaded.
+// Concurrency: the stores support a two-phase protocol for sharded
+// verification (docs/ARCHITECTURE.md, "Concurrency model"):
+//
+//   Phase A (prefetch) — workers grow disjoint row ranges via
+//     EnsureBitsUncounted / EnsureHashesUncounted (distinct rows touch
+//     distinct vectors, so no synchronization is needed), accumulate the
+//     hashing work privately, and the coordinator merges it with
+//     AddBitsComputed / AddHashesComputed.
+//
+//   Phase B (verify) — the store is frozen; workers use the read-only
+//     MatchCountReadOnly against the prefetched signatures, and route the
+//     rare pairs that outlive the prefetch horizon through a private
+//     BitOverflowShard / IntOverflowShard, which extends copies of the
+//     shared rows locally. Overflow hashing is merged into the shared
+//     tally after the join, so the "hash only as much as needed"
+//     accounting stays intact up to cross-shard duplication of overflow
+//     rows (the documented prefetch-horizon slack).
+//
+// Outside that protocol the stores are single-threaded, as in the paper.
 
 #ifndef BAYESLSH_LSH_SIGNATURE_STORE_H_
 #define BAYESLSH_LSH_SIGNATURE_STORE_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bit_ops.h"
@@ -22,9 +41,18 @@
 
 namespace bayeslsh {
 
+class BitOverflowShard;
+class IntOverflowShard;
+
 // Bit signatures (SRP / cosine). Hash i of row v is bit i%64 of word i/64.
 class BitSignatureStore {
  public:
+  // Hashes per lazily grown chunk.
+  static constexpr uint32_t kChunkHashes = static_cast<uint32_t>(kBitsPerWord);
+
+  // The per-shard overflow view of this store (see header comment).
+  using OverflowShard = BitOverflowShard;
+
   // Both referents must outlive the store.
   BitSignatureStore(const Dataset* data, SrpHasher hasher);
 
@@ -32,6 +60,15 @@ class BitSignatureStore {
 
   // Grows row's signature to at least n_bits hashes (rounded up to chunks).
   void EnsureBits(uint32_t row, uint32_t n_bits);
+
+  // EnsureBits without touching the shared bits_computed() tally; returns
+  // the bits newly computed. Safe to call concurrently for distinct rows —
+  // workers accumulate the returned work privately and merge it with
+  // AddBitsComputed() after the join.
+  uint64_t EnsureBitsUncounted(uint32_t row, uint32_t n_bits);
+
+  // Merges privately accounted hashing work into bits_computed().
+  void AddBitsComputed(uint64_t bits) { bits_computed_ += bits; }
 
   // Grows every row to at least n_bits hashes.
   void EnsureAllBits(uint32_t n_bits);
@@ -47,10 +84,25 @@ class BitSignatureStore {
   // growing both signatures as needed.
   uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
 
+  // Read-only MatchCount: requires both rows already grown to `to` bits.
+  // Safe to call concurrently while no thread is growing the store.
+  uint32_t MatchCountReadOnly(uint32_t a, uint32_t b, uint32_t from,
+                              uint32_t to) const;
+
+  // Replaces row's signature with a longer already-computed copy (an
+  // overflow shard folding its work back after a parallel join — see
+  // BitOverflowShard::MergeInto). Does NOT touch bits_computed(): the
+  // computing shard already accounted the work. No-op if the store
+  // already covers at least as many bits.
+  void AdoptWords(uint32_t row, std::vector<uint64_t>&& words) {
+    if (words.size() > words_[row].size()) words_[row] = std::move(words);
+  }
+
   // Total hash bits computed so far across all rows (instrumentation).
   uint64_t bits_computed() const { return bits_computed_; }
 
   const Dataset* data() const { return data_; }
+  const SrpHasher& hasher() const { return hasher_; }
 
  private:
   const Dataset* data_;
@@ -62,11 +114,21 @@ class BitSignatureStore {
 // Integer signatures (minwise / Jaccard).
 class IntSignatureStore {
  public:
+  static constexpr uint32_t kChunkHashes = kMinhashChunkInts;
+
+  using OverflowShard = IntOverflowShard;
+
   IntSignatureStore(const Dataset* data, MinwiseHasher hasher);
 
   uint32_t num_rows() const { return static_cast<uint32_t>(hashes_.size()); }
 
   void EnsureHashes(uint32_t row, uint32_t n_hashes);
+
+  // Two-phase protocol counterparts of EnsureBitsUncounted /
+  // AddBitsComputed (see BitSignatureStore).
+  uint64_t EnsureHashesUncounted(uint32_t row, uint32_t n_hashes);
+  void AddHashesComputed(uint64_t n) { hashes_computed_ += n; }
+
   void EnsureAllHashes(uint32_t n_hashes);
 
   uint32_t NumHashes(uint32_t row) const {
@@ -79,14 +141,86 @@ class IntSignatureStore {
   // growing both signatures as needed.
   uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
 
+  // Read-only MatchCount: requires both rows already grown to `to` hashes.
+  uint32_t MatchCountReadOnly(uint32_t a, uint32_t b, uint32_t from,
+                              uint32_t to) const;
+
+  // See BitSignatureStore::AdoptWords.
+  void AdoptHashes(uint32_t row, std::vector<uint32_t>&& hashes) {
+    if (hashes.size() > hashes_[row].size()) hashes_[row] = std::move(hashes);
+  }
+
   uint64_t hashes_computed() const { return hashes_computed_; }
 
   const Dataset* data() const { return data_; }
+  const MinwiseHasher& hasher() const { return hasher_; }
 
  private:
   const Dataset* data_;
   MinwiseHasher hasher_;
   std::vector<std::vector<uint32_t>> hashes_;
+  uint64_t hashes_computed_ = 0;
+};
+
+// --- per-shard overflow stores (phase B of the two-phase protocol) ---
+//
+// Each verification worker owns one shard. MatchCount serves ranges covered
+// by the shared store's prefetched signatures read-only; a pair that needs
+// deeper hashes copies the shared prefix of each endpoint once and extends
+// the copy locally with the same hasher (hash values are a pure function of
+// (hasher, row, chunk), so results are identical to sequential growth).
+// computed() reports only locally computed hashes — copies of prefetched
+// prefixes are never double-counted.
+
+class BitOverflowShard {
+ public:
+  explicit BitOverflowShard(const BitSignatureStore* base) : base_(base) {}
+
+  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
+
+  // Words of `row` covering at least n_bits: the shared store's array when
+  // it already does, else the shard-local extension (query-mode matching
+  // compares one store row against an external query signature).
+  const uint64_t* RowWords(uint32_t row, uint32_t n_bits);
+
+  // Folds this shard's extended rows back into `store` (which must be the
+  // base it was built over) so later phases and queries reuse the hashing
+  // work instead of recomputing it. Call after the parallel join, while
+  // no other thread touches the store; leaves the shard empty. Does not
+  // change any tally — pair computed() with AddBitsComputed() as usual.
+  void MergeInto(BitSignatureStore* store);
+
+  // Hash bits computed locally by this shard.
+  uint64_t computed() const { return bits_computed_; }
+
+ private:
+  const std::vector<uint64_t>& Row(uint32_t row, uint32_t n_bits);
+
+  const BitSignatureStore* base_;
+  std::unordered_map<uint32_t, std::vector<uint64_t>> rows_;
+  uint64_t bits_computed_ = 0;
+};
+
+class IntOverflowShard {
+ public:
+  explicit IntOverflowShard(const IntSignatureStore* base) : base_(base) {}
+
+  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
+
+  // Hashes of `row` covering at least n_hashes (see
+  // BitOverflowShard::RowWords).
+  const uint32_t* RowHashes(uint32_t row, uint32_t n_hashes);
+
+  // See BitOverflowShard::MergeInto.
+  void MergeInto(IntSignatureStore* store);
+
+  uint64_t computed() const { return hashes_computed_; }
+
+ private:
+  const std::vector<uint32_t>& Row(uint32_t row, uint32_t n_hashes);
+
+  const IntSignatureStore* base_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> rows_;
   uint64_t hashes_computed_ = 0;
 };
 

@@ -7,9 +7,26 @@
 
 namespace bayeslsh {
 
+namespace {
+
+// std::lgamma writes the global `signgam` on common libms, which is a data
+// race once verification shards run concurrently. All arguments here are
+// positive (gamma is positive), so the sign output is irrelevant — use the
+// reentrant variant where the platform provides one.
+inline double LGammaThreadSafe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(__FreeBSD__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double LogBeta(double a, double b) {
   assert(a > 0 && b > 0);
-  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  return LGammaThreadSafe(a) + LGammaThreadSafe(b) - LGammaThreadSafe(a + b);
 }
 
 namespace {
@@ -92,9 +109,9 @@ double BetaMass(double a, double b, double lo, double hi) {
 
 double LogChoose(unsigned n, unsigned k) {
   assert(k <= n);
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return LGammaThreadSafe(static_cast<double>(n) + 1.0) -
+         LGammaThreadSafe(static_cast<double>(k) + 1.0) -
+         LGammaThreadSafe(static_cast<double>(n - k) + 1.0);
 }
 
 }  // namespace bayeslsh

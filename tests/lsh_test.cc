@@ -64,6 +64,34 @@ TEST(BitOpsTest, MatchingBitsSubRangesAgainstNaive) {
   }
 }
 
+TEST(BitOpsTest, MatchingBitsWordAlignedFastPath) {
+  // Word-aligned ranges take the mask-free unrolled path; cover word counts
+  // below, at, and above the 4-word unroll, against the masked reference.
+  Xoshiro256StarStar rng(12);
+  std::vector<uint64_t> a(16), b(16);
+  for (int i = 0; i < 16; ++i) {
+    a[i] = rng.Next();
+    b[i] = rng.Next();
+  }
+  auto naive = [&](uint32_t from, uint32_t to) {
+    uint32_t m = 0;
+    for (uint32_t i = from; i < to; ++i) {
+      const uint64_t ba = (a[i / 64] >> (i % 64)) & 1;
+      const uint64_t bb = (b[i / 64] >> (i % 64)) & 1;
+      m += (ba == bb);
+    }
+    return m;
+  };
+  for (uint32_t from_word : {0u, 1u, 3u, 4u}) {
+    for (uint32_t words : {0u, 1u, 3u, 4u, 5u, 8u, 12u}) {
+      const uint32_t from = from_word * 64, to = (from_word + words) * 64;
+      if (to > 16 * 64) continue;
+      EXPECT_EQ(MatchingBits(a.data(), b.data(), from, to), naive(from, to))
+          << "from=" << from << " to=" << to;
+    }
+  }
+}
+
 TEST(BitOpsTest, ExtractBitsWithinWord) {
   const std::vector<uint64_t> w = {0xABCD1234ULL};
   EXPECT_EQ(ExtractBits(w.data(), 0, 16), 0x1234ULL);
@@ -498,6 +526,107 @@ TEST(IntSignatureStoreTest, EnsureAllTouchesEveryRow) {
   store.EnsureAllHashes(16);
   for (uint32_t i = 0; i < 3; ++i) EXPECT_EQ(store.NumHashes(i), 16u);
   EXPECT_EQ(store.hashes_computed(), 48u);
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase protocol: uncounted growth + overflow shards
+// ---------------------------------------------------------------------------
+
+Dataset TwoRowCosineData() {
+  DatasetBuilder b;
+  b.AddRow({{1, 0.6f}, {4, 0.8f}});
+  b.AddRow({{1, 0.8f}, {4, 0.6f}});
+  return std::move(b).Build();
+}
+
+TEST(TwoPhaseStoreTest, UncountedGrowthMergesIntoTally) {
+  const Dataset d = TwoRowCosineData();
+  const ImplicitGaussianSource src(3);
+  BitSignatureStore store(&d, SrpHasher(&src));
+  uint64_t work = 0;
+  work += store.EnsureBitsUncounted(0, 128);
+  work += store.EnsureBitsUncounted(1, 128);
+  EXPECT_EQ(store.bits_computed(), 0u);  // Not yet merged.
+  store.AddBitsComputed(work);
+  EXPECT_EQ(store.bits_computed(), 256u);
+  // Read-only MatchCount agrees with the mutating one on covered ranges.
+  EXPECT_EQ(store.MatchCountReadOnly(0, 1, 0, 128),
+            store.MatchCount(0, 1, 0, 128));
+}
+
+TEST(TwoPhaseStoreTest, BitOverflowShardMatchesSequential) {
+  const Dataset d = TwoRowCosineData();
+  const ImplicitGaussianSource src(9);
+  // Sequential reference: pure lazy growth.
+  BitSignatureStore seq(&d, SrpHasher(&src));
+  const uint32_t seq_m = seq.MatchCount(0, 1, 0, 512);
+
+  // Two-phase: prefetch one chunk, overflow the rest through a shard.
+  BitSignatureStore base(&d, SrpHasher(&src));
+  base.AddBitsComputed(base.EnsureBitsUncounted(0, 64) +
+                       base.EnsureBitsUncounted(1, 64));
+  BitOverflowShard shard(&base);
+  // Within the horizon: served read-only, no local hashing.
+  EXPECT_EQ(shard.MatchCount(0, 1, 0, 64), seq.MatchCountReadOnly(0, 1, 0, 64));
+  EXPECT_EQ(shard.computed(), 0u);
+  // Beyond the horizon: locally extended, same values as sequential.
+  uint32_t m = shard.MatchCount(0, 1, 0, 64);
+  m += shard.MatchCount(0, 1, 64, 512);
+  EXPECT_EQ(m, seq_m);
+  // Overflow accounting covers exactly the beyond-horizon growth of both
+  // rows: (512 - 64) * 2.
+  EXPECT_EQ(shard.computed(), 2u * (512u - 64u));
+  // Total two-phase accounting equals the sequential tally.
+  base.AddBitsComputed(shard.computed());
+  EXPECT_EQ(base.bits_computed(), seq.bits_computed());
+  // The shared store itself was never grown past the horizon.
+  EXPECT_EQ(base.NumBits(0), 64u);
+}
+
+TEST(TwoPhaseStoreTest, IntOverflowShardMatchesSequential) {
+  DatasetBuilder b;
+  b.AddSetRow({1, 2, 3, 4});
+  b.AddSetRow({2, 3, 4, 5});
+  const Dataset d = std::move(b).Build();
+  IntSignatureStore seq(&d, MinwiseHasher(21));
+  const uint32_t seq_m = seq.MatchCount(0, 1, 0, 256);
+
+  IntSignatureStore base(&d, MinwiseHasher(21));
+  base.AddHashesComputed(base.EnsureHashesUncounted(0, 16) +
+                         base.EnsureHashesUncounted(1, 16));
+  IntOverflowShard shard(&base);
+  uint32_t m = shard.MatchCount(0, 1, 0, 16);
+  EXPECT_EQ(shard.computed(), 0u);
+  m += shard.MatchCount(0, 1, 16, 256);
+  EXPECT_EQ(m, seq_m);
+  EXPECT_EQ(shard.computed(), 2u * (256u - 16u));
+  base.AddHashesComputed(shard.computed());
+  EXPECT_EQ(base.hashes_computed(), seq.hashes_computed());
+  EXPECT_EQ(base.NumHashes(0), 16u);
+}
+
+TEST(TwoPhaseStoreTest, MergeIntoFoldsOverflowBack) {
+  // After a parallel join, folding a shard's extended rows back into the
+  // shared store lets later phases serve them read-only at no extra cost.
+  const Dataset d = TwoRowCosineData();
+  const ImplicitGaussianSource src(9);
+  BitSignatureStore base(&d, SrpHasher(&src));
+  base.AddBitsComputed(base.EnsureBitsUncounted(0, 64) +
+                       base.EnsureBitsUncounted(1, 64));
+  BitOverflowShard shard(&base);
+  const uint32_t m = shard.MatchCount(0, 1, 0, 512);
+  base.AddBitsComputed(shard.computed());
+  shard.MergeInto(&base);
+  EXPECT_EQ(base.NumBits(0), 512u);
+  EXPECT_EQ(base.NumBits(1), 512u);
+  // Same values as sequential growth, now served read-only; the merge
+  // itself added nothing to the tally.
+  EXPECT_EQ(base.MatchCountReadOnly(0, 1, 0, 512), m);
+  EXPECT_EQ(base.bits_computed(), 2u * 512u);
+  // A fresh shard over the merged store never recomputes those chunks.
+  BitOverflowShard next(&base);
+  EXPECT_EQ(next.MatchCount(0, 1, 0, 512), m);
+  EXPECT_EQ(next.computed(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+// Unit tests for the parallel execution primitives: static sharding,
+// determinism of the reduce order, exception propagation, empty ranges,
+// and nested (worker-initiated) calls degrading to inline execution.
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace bayeslsh {
+namespace {
+
+TEST(ResolveNumThreadsTest, ZeroMeansHardware) {
+  EXPECT_GE(ResolveNumThreads(0), 1u);
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_EQ(ResolveNumThreads(7), 7u);
+}
+
+TEST(ResolveNumThreadsTest, AbsurdRequestsAreClamped) {
+  // A negative CLI value wrapped through an unsigned cast must not make
+  // the pool try to spawn billions of workers.
+  EXPECT_EQ(ResolveNumThreads(0xFFFFFFFFu), kMaxThreads);
+  EXPECT_EQ(ResolveNumThreads(kMaxThreads + 1), kMaxThreads);
+}
+
+TEST(ThreadPoolTest, ShardsPartitionTheRange) {
+  ThreadPool pool(4);
+  const uint64_t total = 1003;
+  std::vector<std::atomic<uint32_t>> hits(total);
+  pool.RunShards(total, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (uint64_t i = 0; i < total; ++i) {
+    EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.RunShards(0, [&](uint32_t, uint64_t, uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+  ParallelFor(&pool, 5, 5, [&](uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, FewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> sum{0};
+  ParallelFor(&pool, 0, 3, [&](uint64_t i) {
+    sum.fetch_add(i + 1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.RunShards(100,
+                     [&](uint32_t, uint64_t begin, uint64_t) {
+                       if (begin >= 25) {
+                         throw std::runtime_error("shard failure");
+                       }
+                     }),
+      std::runtime_error);
+  // The pool survives the exception and remains usable.
+  std::atomic<uint64_t> count{0};
+  pool.RunShards(100, [&](uint32_t, uint64_t begin, uint64_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, CallerShardExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.RunShards(100,
+                              [&](uint32_t shard, uint64_t, uint64_t) {
+                                if (shard == 0) {
+                                  throw std::runtime_error("caller shard");
+                                }
+                              }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> inner_total{0};
+  // A nested RunShards from inside a worker must not deadlock; it runs
+  // the whole inner range inline on that worker.
+  pool.RunShards(4, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      pool.RunShards(10, [&](uint32_t shard, uint64_t b, uint64_t e) {
+        EXPECT_EQ(shard, 0u);  // Inline execution is always shard 0.
+        inner_total.fetch_add(e - b, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 40u);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<uint32_t> hits(50, 0);
+  ParallelFor(nullptr, 10, 50, [&](uint64_t i) { ++hits[i]; });
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(hits[i], i >= 10 ? 1u : 0u);
+  }
+}
+
+TEST(ParallelReduceTest, MatchesSequentialSum) {
+  const uint64_t n = 12345;
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < n; ++i) expected += i * i;
+  for (uint32_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    const uint64_t got = ParallelReduce(
+        &pool, n, uint64_t{0},
+        [](uint32_t, uint64_t b, uint64_t e) {
+          uint64_t s = 0;
+          for (uint64_t i = b; i < e; ++i) s += i * i;
+          return s;
+        },
+        [](uint64_t x, uint64_t y) { return x + y; });
+    EXPECT_EQ(got, expected) << threads << " threads";
+  }
+  // And with no pool at all.
+  const uint64_t inline_sum = ParallelReduce(
+      nullptr, n, uint64_t{0},
+      [](uint32_t, uint64_t b, uint64_t e) {
+        uint64_t s = 0;
+        for (uint64_t i = b; i < e; ++i) s += i * i;
+        return s;
+      },
+      [](uint64_t x, uint64_t y) { return x + y; });
+  EXPECT_EQ(inline_sum, expected);
+}
+
+TEST(ParallelReduceTest, ReducesInShardOrder) {
+  // Concatenation in shard order must reproduce the sequential order.
+  ThreadPool pool(4);
+  const uint64_t n = 100;
+  const auto got = ParallelReduce(
+      &pool, n, std::vector<uint64_t>{},
+      [](uint32_t, uint64_t b, uint64_t e) {
+        std::vector<uint64_t> v(e - b);
+        std::iota(v.begin(), v.end(), b);
+        return v;
+      },
+      [](std::vector<uint64_t> acc, std::vector<uint64_t> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  ASSERT_EQ(got.size(), n);
+  for (uint64_t i = 0; i < n; ++i) EXPECT_EQ(got[i], i);
+}
+
+}  // namespace
+}  // namespace bayeslsh

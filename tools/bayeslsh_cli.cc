@@ -5,7 +5,7 @@
 //   bayeslsh allpairs --input data.txt --measure cosine --threshold 0.7
 //            [--generator allpairs|lsh] [--verifier bayeslsh|bayeslsh-lite|
 //             exact|mle] [--epsilon E] [--delta D] [--gamma G] [--seed S]
-//            [--tfidf] [--normalize] [--output pairs.txt]
+//            [--threads N] [--tfidf] [--normalize] [--output pairs.txt]
 //       Runs the full pipeline on a dataset file (see vec/io.h for the
 //       format) and writes one "a b similarity" line per result pair.
 //
@@ -50,6 +50,7 @@ int Usage() {
       "  --generator allpairs|lsh                 (default allpairs)\n"
       "  --verifier bayeslsh|bayeslsh-lite|exact|mle (default bayeslsh)\n"
       "  --epsilon E --delta D --gamma G          (default 0.03/0.05/0.03)\n"
+      "  --threads N                              (0 = all cores; default 1)\n"
       "  --tfidf --normalize                      (input transforms)\n"
       "  --seed S --output FILE\n");
   return 1;
@@ -155,6 +156,20 @@ int RunAllPairs(const Args& args) {
   cfg.bayes.delta = args.GetDouble("delta", 0.05);
   cfg.bayes.gamma = args.GetDouble("gamma", 0.03);
   cfg.seed = args.GetUint("seed", 42);
+  {
+    const std::string threads = args.Get("threads", "1");
+    char* end = nullptr;
+    const long long v = std::strtoll(threads.c_str(), &end, 10);
+    if (end == threads.c_str() || *end != '\0' || v < 0 ||
+        v > static_cast<long long>(UINT32_MAX)) {
+      std::fprintf(stderr,
+                   "error: --threads must be a non-negative integer "
+                   "(got '%s')\n",
+                   threads.c_str());
+      return 1;
+    }
+    cfg.num_threads = static_cast<uint32_t>(v);
+  }
 
   const PipelineResult result = RunPipeline(data, cfg);
 
@@ -175,11 +190,12 @@ int RunAllPairs(const Args& args) {
 
   std::fprintf(stderr,
                "%s: %u vectors, %llu candidates -> %zu pairs in %.3f s "
-               "(generate %.3f s, verify %.3f s)\n",
+               "(generate %.3f s, verify %.3f s, %u thread%s)\n",
                result.algorithm.c_str(), data.num_vectors(),
                static_cast<unsigned long long>(result.candidates),
                result.pairs.size(), result.total_seconds,
-               result.generate_seconds, result.verify_seconds);
+               result.generate_seconds, result.verify_seconds,
+               result.threads_used, result.threads_used == 1 ? "" : "s");
   return 0;
 }
 
