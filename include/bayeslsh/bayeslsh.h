@@ -18,7 +18,48 @@
 //
 // See the top-level README.md for build instructions and the module map,
 // docs/ARCHITECTURE.md for the end-to-end design, docs/CLI.md for the
-// command-line tool, and examples/ for runnable programs.
+// command-line tool, docs/FORMATS.md for every on-disk format, and
+// examples/ for runnable programs.
+//
+// ---------------------------------------------------------------------------
+// Main entry points
+// ---------------------------------------------------------------------------
+//
+/// \defgroup entrypoints Main entry points
+///
+/// **All-pairs search** — `RunPipeline(data, PipelineConfig)`
+/// (core/pipeline.h): one-shot batch join producing every pair with
+/// similarity above the threshold, combining a candidate generator
+/// (AllPairs / LSH banding) with a verifier (exact, MLE, BayesLSH,
+/// BayesLSH-Lite). \see PipelineConfig for measure, threshold, seed and
+/// `num_threads`; results are pair-for-pair identical for every thread
+/// count.
+///
+/// **Top-k all-pairs** — `TopKAllPairs(data, TopKConfig)`
+/// (core/topk_search.h): the k most similar pairs above a floor, via
+/// adaptive threshold descent over the pipeline. The
+/// `TopKAllPairs(PersistentIndex&, ...)` overload warm-starts every
+/// descent iteration from a prebuilt index.
+///
+/// **Query serving** — `QuerySearcher` (core/query_search.h): build (or
+/// load) an index over a fixed collection once, then answer per-query
+/// threshold / top-k searches. `QuerySearcher(const Dataset*, config)`
+/// builds from scratch; `QuerySearcher(const PersistentIndex*, config)`
+/// warm-starts from a built or loaded index and answers pair-for-pair
+/// identically.
+///
+/// **Persistence** — `PersistentIndex` (core/index_io.h): `Build()` the
+/// full serving state offline, `Save()/SaveFile()` it as one versioned
+/// binary file (docs/FORMATS.md), `Load()/LoadFile()` it back in a single
+/// I/O-bound pass. Loading throws `IndexError` on truncated, corrupt,
+/// version-bumped or config-mismatched files — never a crash or a
+/// partially initialized index. The `bayeslsh_cli` `index` / `query`
+/// subcommands expose the same flow on the command line.
+///
+/// **Data** — `Dataset` / `DatasetBuilder` (vec/dataset.h) hold the CSR
+/// collection; `ReadDatasetAutoFile` / `WriteDataset[Binary]File`
+/// (vec/io.h) read and write the text and binary dataset formats;
+/// vec/transforms.h provides tf-idf weighting and L2 normalization.
 
 #ifndef BAYESLSH_BAYESLSH_H_
 #define BAYESLSH_BAYESLSH_H_
@@ -61,6 +102,7 @@
 
 // Candidate generation.
 #include "candgen/allpairs.h"            // IWYU pragma: export
+#include "candgen/banding_index.h"       // IWYU pragma: export
 #include "candgen/lsh_banding.h"         // IWYU pragma: export
 #include "candgen/multiprobe.h"          // IWYU pragma: export
 #include "candgen/ppjoin.h"              // IWYU pragma: export
@@ -71,9 +113,11 @@
 #include "core/bbit_posterior.h"         // IWYU pragma: export
 #include "core/classical.h"              // IWYU pragma: export
 #include "core/cosine_posterior.h"       // IWYU pragma: export
+#include "core/index_io.h"               // IWYU pragma: export
 #include "core/jaccard_posterior.h"      // IWYU pragma: export
 #include "core/metrics.h"                // IWYU pragma: export
 #include "core/pipeline.h"               // IWYU pragma: export
+#include "core/query_search.h"           // IWYU pragma: export
 #include "core/topk_search.h"            // IWYU pragma: export
 
 // Synthetic workloads.

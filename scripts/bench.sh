@@ -7,6 +7,8 @@
 #   BAYESLSH_BENCH_SCALE=2 scripts/bench.sh   # larger datasets
 #   THREADS=4 scripts/bench.sh                # 4 worker threads (0 = all)
 #   OUT=BENCH_baseline.json scripts/bench.sh  # output path
+#   BENCH=serve_path scripts/bench.sh         # serve-path phases (JSON too,
+#                                             #   writes BENCH_serve_path.json)
 #   BENCH=fig3_cosine_weighted scripts/bench.sh   # other bench binary
 #                                             #   (no JSON support: just runs)
 set -eu
@@ -15,13 +17,22 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH="${BENCH:-table2_speedups}"
 THREADS="${THREADS:-1}"
-OUT="${OUT:-BENCH_table2.json}"
+if [ "$BENCH" = "table2_speedups" ]; then
+  OUT="${OUT:-BENCH_table2.json}"
+else
+  OUT="${OUT:-BENCH_${BENCH}.json}"
+fi
 
 cmake -B "$BUILD_DIR" -S . -DBAYESLSH_BUILD_BENCH=ON >/dev/null
 cmake --build "$BUILD_DIR" -j --target "$BENCH"
 
-if [ "$BENCH" = "table2_speedups" ]; then
-  "$BUILD_DIR/bench/$BENCH" --threads "$THREADS" --json "$OUT"
-else
-  BAYESLSH_BENCH_THREADS="$THREADS" "$BUILD_DIR/bench/$BENCH"
-fi
+# Benches built on the shared JSON writer take --json; the older
+# figure-style binaries just print their tables.
+case "$BENCH" in
+  table2_speedups|serve_path)
+    "$BUILD_DIR/bench/$BENCH" --threads "$THREADS" --json "$OUT"
+    ;;
+  *)
+    BAYESLSH_BENCH_THREADS="$THREADS" "$BUILD_DIR/bench/$BENCH"
+    ;;
+esac

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Local wrapper for the tier-1 verification: configure, build, and run every
-# test suite. Mirrors what CI runs on each push.
+# Local wrapper for the tier-1 verification: configure, build, run every
+# test suite, and check the docs' markdown links. Mirrors what CI runs on
+# each push.
 #
 #   scripts/check.sh            # Release build into ./build
 #   BUILD_DIR=out scripts/check.sh
@@ -9,6 +10,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
+
+# Docs are load-bearing (FORMATS.md specifies the on-disk contracts):
+# fail fast on dangling links/anchors before spending time on the build.
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_markdown_links.py
+else
+  echo "warning: python3 not found, skipping markdown link check" >&2
+fi
 
 # shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split.
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Markdown link-and-anchor checker for the load-bearing docs.
+
+Scans README.md and docs/*.md for inline links and images
+(``[text](target)`` / ``![alt](target)``) and verifies that
+
+  * relative file targets exist (relative to the containing file),
+  * ``#anchor`` fragments — same-file or on a linked markdown file —
+    resolve to a heading, using GitHub's slugging rules,
+  * reference-style definitions ``[label]: target`` resolve the same way.
+
+External schemes (http/https/mailto) are recorded but not fetched — this
+checker is for repo-internal integrity (a dangling doc reference already
+shipped once; see CHANGES.md, PR 1) and must work offline.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link). Run directly or via scripts/check.sh; CI runs it on every push.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline [text](target) and ![alt](target); target ends at the first
+# unescaped ')' (no nested parens in our docs). Skips ``` fenced blocks.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation,
+    spaces to hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # Inline code.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # Links.
+    text = re.sub(r"[*_]", "", text)                      # Emphasis.
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def doc_files():
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def strip_fences(lines):
+    """Yields (lineno, line) outside fenced code blocks."""
+    fenced = False
+    for i, line in enumerate(lines, start=1):
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            yield i, line
+
+
+def heading_slugs(path: Path):
+    slugs = set()
+    counts = {}
+    for _, line in strip_fences(path.read_text().splitlines()):
+        m = HEADING.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def main() -> int:
+    errors = []
+    slug_cache = {}
+
+    def slugs_for(path: Path):
+        if path not in slug_cache:
+            slug_cache[path] = heading_slugs(path)
+        return slug_cache[path]
+
+    for doc in doc_files():
+        rel_doc = doc.relative_to(REPO_ROOT)
+        for lineno, line in strip_fences(doc.read_text().splitlines()):
+            targets = INLINE_LINK.findall(line)
+            ref = REFERENCE_DEF.match(line)
+            if ref:
+                targets.append(ref.group(1))
+            for target in targets:
+                if EXTERNAL.match(target):
+                    continue
+                path_part, _, anchor = target.partition("#")
+                if path_part:
+                    dest = (doc.parent / path_part).resolve()
+                    if not dest.exists():
+                        errors.append(f"{rel_doc}:{lineno}: broken link "
+                                      f"'{target}' (no such file)")
+                        continue
+                else:
+                    dest = doc
+                if anchor:
+                    if dest.suffix != ".md" or dest.is_dir():
+                        continue  # Anchors into non-markdown: not checked.
+                    if anchor.lower() not in slugs_for(dest):
+                        errors.append(
+                            f"{rel_doc}:{lineno}: broken anchor "
+                            f"'{target}' (no heading slugs to "
+                            f"'#{anchor}' in {dest.name})")
+
+    for e in errors:
+        print(e)
+    checked = ", ".join(str(f.relative_to(REPO_ROOT)) for f in doc_files())
+    if errors:
+        print(f"\n{len(errors)} broken link(s) across: {checked}")
+        return 1
+    print(f"markdown links OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+// Reusable LSH banding bucket table over a fixed collection: the
+// candidate-generation half of the serve path (core/query_search.h,
+// core/index_io.h).
+//
+// The all-pairs pipeline consumes banding transiently — buckets are built,
+// pairs are emitted, buckets are dropped (candgen/lsh_banding.h). Query
+// serving instead probes the same buckets once per query, so this class
+// materializes them as a persistent structure: per band, a hash map from
+// the band's key to the rows in that bucket.
+//
+// Keys: for cosine-like measures a band key is k consecutive SRP bits
+// extracted from the row's bit signature; for Jaccard it is a Mix64 chain
+// over the band's k minwise hashes (seeded per band, so identical hash
+// runs in different bands do not alias). Build uses generation-seed
+// hashes; verification hashes are an independent stream (DESIGN.md §6).
+//
+// Determinism: builds shard signature growth over rows and the bucket fill
+// over bands (each band's map is owned by exactly one worker), so the
+// table is independent of the thread count; bucket row lists are in
+// ascending row order by construction. Save() writes each band's keys in
+// sorted order, making the serialized form byte-stable.
+
+#ifndef BAYESLSH_CANDGEN_BANDING_INDEX_H_
+#define BAYESLSH_CANDGEN_BANDING_INDEX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "lsh/gaussian_source.h"
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+class BandingIndex {
+ public:
+  using Buckets = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+
+  BandingIndex() = default;
+
+  uint32_t num_bands() const { return static_cast<uint32_t>(bands_.size()); }
+  uint32_t hashes_per_band() const { return hashes_per_band_; }
+
+  const Buckets& band(uint32_t b) const { return bands_[b]; }
+
+  // Rows in `band` whose key equals `key`, or nullptr when the bucket is
+  // empty — the per-query probe.
+  const std::vector<uint32_t>* Find(uint32_t band, uint64_t key) const {
+    const auto it = bands_[band].find(key);
+    return it == bands_[band].end() ? nullptr : &it->second;
+  }
+
+  // Builds the table over the collection's SRP bit signatures (cosine-like
+  // measures). `gauss` supplies the generation-seed projections.
+  static BandingIndex BuildCosine(const Dataset& data,
+                                  const GaussianSource* gauss, uint32_t k,
+                                  uint32_t l, ThreadPool* pool = nullptr);
+
+  // Builds the table over the collection's minwise signatures (Jaccard),
+  // hashing with the generation seed.
+  static BandingIndex BuildJaccard(const Dataset& data, uint64_t gen_seed,
+                                   uint32_t k, uint32_t l,
+                                   ThreadPool* pool = nullptr);
+
+  // Band key of a query signature; `words`/`ints` must cover l*k hashes.
+  static uint64_t CosineKey(const uint64_t* words, uint32_t band,
+                            uint32_t k);
+  static uint64_t JaccardKey(const uint32_t* ints, uint32_t band,
+                             uint32_t k);
+
+  // Serializes the table as the "Banding section" of docs/FORMATS.md —
+  // deterministic (keys sorted per band). Load validates structure (sorted
+  // unique keys, non-empty buckets, row ids < num_rows) and throws IoError
+  // on corruption, leaving the index unchanged.
+  void Save(std::ostream& out) const;
+  static BandingIndex Load(std::istream& in, uint32_t num_rows);
+
+ private:
+  uint32_t hashes_per_band_ = 0;
+  std::vector<Buckets> bands_;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CANDGEN_BANDING_INDEX_H_

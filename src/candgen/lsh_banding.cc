@@ -25,6 +25,24 @@ uint32_t DeriveNumBands(double collision_prob_at_threshold, uint32_t k,
   return static_cast<uint32_t>(l);
 }
 
+BandingShape ResolveBandingShape(Measure measure, double threshold,
+                                 const LshBandingParams& params) {
+  const bool cosine =
+      measure == Measure::kCosine || measure == Measure::kBinaryCosine;
+  BandingShape shape;
+  shape.hashes_per_band =
+      params.hashes_per_band != 0
+          ? params.hashes_per_band
+          : (cosine ? kDefaultCosineBandBits : kDefaultJaccardBandInts);
+  const double p = cosine ? CosineToSrpR(threshold) : threshold;
+  shape.num_bands = params.num_bands != 0
+                        ? params.num_bands
+                        : DeriveNumBands(p, shape.hashes_per_band,
+                                         params.expected_fn_rate,
+                                         params.max_bands);
+  return shape;
+}
+
 namespace {
 
 // Concatenates per-shard key vectors in shard order and deduplicates.
@@ -64,14 +82,9 @@ void EmitBucketPairs(std::vector<std::pair<uint64_t, uint32_t>>& entries,
 CandidateList CosineLshCandidates(BitSignatureStore* store, double threshold,
                                   const LshBandingParams& params,
                                   ThreadPool* pool) {
-  const uint32_t k = params.hashes_per_band != 0 ? params.hashes_per_band
-                                                 : kDefaultCosineBandBits;
+  const auto [k, l] = ResolveBandingShape(Measure::kCosine, threshold,
+                                          params);
   assert(k <= 64);
-  const double p = CosineToSrpR(threshold);
-  const uint32_t l = params.num_bands != 0
-                         ? params.num_bands
-                         : DeriveNumBands(p, k, params.expected_fn_rate,
-                                          params.max_bands);
   const uint32_t n = store->num_rows();
   if (pool != nullptr && pool->num_threads() > 1) {
     store->AddBitsComputed(ParallelReduce(
@@ -121,13 +134,8 @@ CandidateList CosineLshCandidates(BitSignatureStore* store, double threshold,
 CandidateList JaccardLshCandidates(IntSignatureStore* store, double threshold,
                                    const LshBandingParams& params,
                                    ThreadPool* pool) {
-  const uint32_t k = params.hashes_per_band != 0 ? params.hashes_per_band
-                                                 : kDefaultJaccardBandInts;
-  const uint32_t l = params.num_bands != 0
-                         ? params.num_bands
-                         : DeriveNumBands(threshold, k,
-                                          params.expected_fn_rate,
-                                          params.max_bands);
+  const auto [k, l] = ResolveBandingShape(Measure::kJaccard, threshold,
+                                          params);
   const uint32_t n = store->num_rows();
   if (pool != nullptr && pool->num_threads() > 1) {
     store->AddHashesComputed(ParallelReduce(

@@ -24,6 +24,7 @@
 #include "candgen/candidates.h"
 #include "common/thread_pool.h"
 #include "lsh/signature_store.h"
+#include "sim/similarity.h"
 
 namespace bayeslsh {
 
@@ -48,6 +49,21 @@ inline constexpr uint32_t kDefaultJaccardBandInts = 3;
 // l = ceil(log ε / log(1 - p^k)), clamped to [1, max_bands].
 uint32_t DeriveNumBands(double collision_prob_at_threshold, uint32_t k,
                         double fn_rate, uint32_t max_bands);
+
+// A fully resolved banding shape: k hashes per band × l bands.
+struct BandingShape {
+  uint32_t hashes_per_band = 0;  // k.
+  uint32_t num_bands = 0;        // l.
+};
+
+// Resolves the 0-means-default fields of `params` for the given measure
+// and threshold: k falls back to the per-measure default, l is derived
+// from the expected false-negative rate at the threshold's collision
+// probability (p = t for Jaccard, p = c2r(t) for cosine-like measures).
+// Shared by the query searcher and the persistent-index builder so both
+// sides of a save/load round trip agree on the shape.
+BandingShape ResolveBandingShape(Measure measure, double threshold,
+                                 const LshBandingParams& params);
 
 // Candidate pairs for cosine similarity: bands over SRP bit signatures.
 // Grows the store to num_bands * hashes_per_band bits for every row.

@@ -1,0 +1,302 @@
+#include "core/index_io.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/prng.h"
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "lsh/minwise_hasher.h"
+#include "lsh/srp_hasher.h"
+#include "vec/binary_io.h"
+
+namespace bayeslsh {
+
+namespace {
+
+// 8 bytes: name + format generation + an 'E' endianness canary in the same
+// trailing position as the dataset magic (vec/io.cc).
+constexpr char kIndexMagic[8] = {'B', 'L', 'S', 'H', 'I', 'X', '1', 'E'};
+
+bool CosineLike(Measure m) {
+  return m == Measure::kCosine || m == Measure::kBinaryCosine;
+}
+
+uint8_t MeasureTag(Measure m) {
+  switch (m) {
+    case Measure::kCosine:
+      return 0;
+    case Measure::kJaccard:
+      return 1;
+    case Measure::kBinaryCosine:
+      return 2;
+  }
+  return 255;
+}
+
+// Grows every row to the prefetch horizon, sharded over rows; `ensure`
+// wraps the store's EnsureBitsUncounted / EnsureHashesUncounted and
+// returns the work done for one row.
+template <typename EnsureFn>
+uint64_t PrefetchRows(uint32_t n, ThreadPool* pool, const EnsureFn& ensure) {
+  return ParallelReduce(
+      pool, n, uint64_t{0},
+      [&](uint32_t, uint64_t b, uint64_t e) {
+        uint64_t work = 0;
+        for (uint64_t row = b; row < e; ++row) {
+          work += ensure(static_cast<uint32_t>(row));
+        }
+        return work;
+      },
+      [](uint64_t x, uint64_t y) { return x + y; });
+}
+
+Measure MeasureFromTag(uint8_t tag) {
+  switch (tag) {
+    case 0:
+      return Measure::kCosine;
+    case 1:
+      return Measure::kJaccard;
+    case 2:
+      return Measure::kBinaryCosine;
+    default:
+      throw IndexError("index header: unknown measure tag " +
+                       std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+SignatureKind PersistentIndex::signature_kind() const {
+  // Derived from the config fields, not the store pointers, so the
+  // fingerprint is well-defined during Load before stores exist.
+  if (CosineLike(measure_)) return SignatureKind::kSrpBits;
+  return bbit_ != 0 ? SignatureKind::kBbitPacked
+                    : SignatureKind::kMinwiseInts;
+}
+
+uint64_t PersistentIndex::Fingerprint() const {
+  uint64_t fp = Mix64(kIndexFormatVersion, MeasureTag(measure_));
+  fp = Mix64(fp, static_cast<uint64_t>(signature_kind()), bbit_);
+  fp = Mix64(fp, seed_, std::bit_cast<uint64_t>(threshold_));
+  fp = Mix64(fp, k_, l_);
+  fp = Mix64(fp, data_.num_vectors(), data_.num_dims());
+  return Mix64(fp, data_.nnz());
+}
+
+std::unique_ptr<PersistentIndex> PersistentIndex::Build(
+    Dataset data, const IndexBuildConfig& cfg) {
+  if (cfg.threshold <= 0.0 || cfg.threshold > 1.0) {
+    throw std::invalid_argument("IndexBuildConfig: threshold must be in "
+                                "(0, 1]");
+  }
+  if (cfg.bbit != 0 &&
+      (cfg.measure != Measure::kJaccard || !IsValidBbitWidth(cfg.bbit))) {
+    throw std::invalid_argument(
+        "IndexBuildConfig: bbit requires the Jaccard measure and a "
+        "power-of-two width in [1, 32]");
+  }
+
+  std::unique_ptr<PersistentIndex> index(new PersistentIndex());
+  index->data_ = std::move(data);
+  index->measure_ = cfg.measure;
+  index->threshold_ = cfg.threshold;
+  index->seed_ = cfg.seed;
+  index->bbit_ = cfg.bbit;
+  const BandingShape shape =
+      ResolveBandingShape(cfg.measure, cfg.threshold, cfg.banding);
+  // The load path rejects k outside [1, 64] (a cosine band key is one
+  // ExtractBits call), so refuse to build what could never be loaded.
+  if (shape.hashes_per_band == 0 || shape.hashes_per_band > 64 ||
+      shape.num_bands == 0) {
+    throw std::invalid_argument(
+        "IndexBuildConfig: banding shape must have 1..64 hashes per band "
+        "and at least one band");
+  }
+  index->k_ = shape.hashes_per_band;
+  index->l_ = shape.num_bands;
+
+  const uint32_t num_threads = ResolveNumThreads(cfg.num_threads);
+  std::unique_ptr<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (num_threads > 1) {
+    pool_storage = std::make_unique<ThreadPool>(num_threads);
+    pool = pool_storage.get();
+  }
+
+  const uint64_t gen_seed = GenerationSeed(cfg.seed);
+  const uint64_t verify_seed = VerificationSeed(cfg.seed);
+  const Dataset& d = index->data_;
+  const bool cosine = CosineLike(cfg.measure);
+  const uint32_t prefetch =
+      cfg.prefetch_hashes != 0 ? cfg.prefetch_hashes : (cosine ? 32u : 16u);
+
+  if (cosine) {
+    const ImplicitGaussianSource gen_gauss(gen_seed);
+    index->banding_ = BandingIndex::BuildCosine(d, &gen_gauss, index->k_,
+                                                index->l_, pool);
+    index->verify_gauss_ =
+        std::make_shared<ImplicitGaussianSource>(verify_seed);
+    index->bits_ = std::make_unique<BitSignatureStore>(
+        &d, SrpHasher(index->verify_gauss_.get()));
+    BitSignatureStore* store = index->bits_.get();
+    store->AddBitsComputed(
+        PrefetchRows(d.num_vectors(), pool, [&](uint32_t row) {
+          return store->EnsureBitsUncounted(row, prefetch);
+        }));
+  } else {
+    index->banding_ =
+        BandingIndex::BuildJaccard(d, gen_seed, index->k_, index->l_, pool);
+    if (cfg.bbit == 0) {
+      index->ints_ = std::make_unique<IntSignatureStore>(
+          &d, MinwiseHasher(verify_seed));
+      IntSignatureStore* store = index->ints_.get();
+      store->AddHashesComputed(
+          PrefetchRows(d.num_vectors(), pool, [&](uint32_t row) {
+            return store->EnsureHashesUncounted(row, prefetch);
+          }));
+    } else {
+      index->bbits_ = std::make_unique<BbitSignatureStore>(
+          &d, MinwiseHasher(verify_seed), cfg.bbit);
+      BbitSignatureStore* store = index->bbits_.get();
+      store->AddHashesComputed(
+          PrefetchRows(d.num_vectors(), pool, [&](uint32_t row) {
+            return store->EnsureHashesUncounted(row, prefetch);
+          }));
+    }
+  }
+  return index;
+}
+
+void PersistentIndex::Save(std::ostream& out) const {
+  out.write(kIndexMagic, sizeof(kIndexMagic));
+  WritePod(out, kIndexFormatVersion);
+  WritePod(out, MeasureTag(measure_));
+  WritePod(out, static_cast<uint8_t>(signature_kind()));
+  WritePod(out, static_cast<uint8_t>(bbit_));
+  WritePod(out, static_cast<uint8_t>(0));  // Reserved.
+  WritePod(out, seed_);
+  WritePod(out, threshold_);
+  WritePod(out, k_);
+  WritePod(out, l_);
+  const uint64_t fp = Fingerprint();
+  WritePod(out, fp);
+  WriteDatasetBinary(data_, out);
+  banding_.Save(out);
+  if (bits_ != nullptr) {
+    bits_->Save(out);
+  } else if (ints_ != nullptr) {
+    ints_->Save(out);
+  } else {
+    bbits_->Save(out);
+  }
+  WritePod(out, fp);  // End marker: catches truncated tails.
+  if (!out) throw IndexError("index save: stream write failed");
+}
+
+void PersistentIndex::SaveFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw IndexError("index save: cannot open " + path);
+  Save(f);
+}
+
+std::unique_ptr<PersistentIndex> PersistentIndex::Load(std::istream& in) {
+  try {
+    char magic[sizeof(kIndexMagic)];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kIndexMagic, sizeof(magic)) != 0) {
+      throw IndexError("index load: bad magic (not a bayeslsh index, or "
+                       "written on an incompatible platform)");
+    }
+    const auto version = ReadPod<uint32_t>(in, "index header: version");
+    if (version != kIndexFormatVersion) {
+      throw IndexError("index load: unsupported format version " +
+                       std::to_string(version) + " (this build reads " +
+                       std::to_string(kIndexFormatVersion) + ")");
+    }
+    std::unique_ptr<PersistentIndex> index(new PersistentIndex());
+    index->measure_ =
+        MeasureFromTag(ReadPod<uint8_t>(in, "index header: measure"));
+    const auto sig_kind = ReadPod<uint8_t>(in, "index header: kind");
+    index->bbit_ = ReadPod<uint8_t>(in, "index header: bbit");
+    (void)ReadPod<uint8_t>(in, "index header: reserved");
+    index->seed_ = ReadPod<uint64_t>(in, "index header: seed");
+    index->threshold_ = ReadPod<double>(in, "index header: threshold");
+    index->k_ = ReadPod<uint32_t>(in, "index header: hashes_per_band");
+    index->l_ = ReadPod<uint32_t>(in, "index header: num_bands");
+    const auto stored_fp =
+        ReadPod<uint64_t>(in, "index header: fingerprint");
+
+    // Signature kind must cohere with the measure before any store is
+    // constructed.
+    const bool cosine = CosineLike(index->measure_);
+    const auto kind = static_cast<SignatureKind>(sig_kind);
+    if (cosine ? kind != SignatureKind::kSrpBits
+               : (kind != SignatureKind::kMinwiseInts &&
+                  kind != SignatureKind::kBbitPacked)) {
+      throw IndexError("index header: signature kind does not match the "
+                       "measure");
+    }
+    if ((kind == SignatureKind::kBbitPacked) !=
+        (index->bbit_ != 0 && IsValidBbitWidth(index->bbit_))) {
+      throw IndexError("index header: inconsistent b-bit width");
+    }
+
+    index->data_ = ReadDatasetBinary(in);
+    if (index->Fingerprint() != stored_fp) {
+      throw IndexError("index load: config fingerprint mismatch (file "
+                       "corrupt, or header and contents disagree)");
+    }
+    index->banding_ = BandingIndex::Load(in, index->data_.num_vectors());
+    if (index->banding_.num_bands() != index->l_ ||
+        index->banding_.hashes_per_band() != index->k_) {
+      throw IndexError("index load: banding section shape disagrees with "
+                       "the header");
+    }
+
+    const Dataset& d = index->data_;
+    const uint64_t verify_seed = VerificationSeed(index->seed_);
+    if (cosine) {
+      index->verify_gauss_ =
+          std::make_shared<ImplicitGaussianSource>(verify_seed);
+      index->bits_ = std::make_unique<BitSignatureStore>(
+          &d, SrpHasher(index->verify_gauss_.get()));
+      index->bits_->Load(in);
+    } else if (kind == SignatureKind::kMinwiseInts) {
+      index->ints_ = std::make_unique<IntSignatureStore>(
+          &d, MinwiseHasher(verify_seed));
+      index->ints_->Load(in);
+    } else {
+      index->bbits_ = std::make_unique<BbitSignatureStore>(
+          &d, MinwiseHasher(verify_seed), index->bbit_);
+      index->bbits_->Load(in);
+    }
+
+    const auto end_marker = ReadPod<uint64_t>(in, "index end marker");
+    if (end_marker != stored_fp) {
+      throw IndexError("index load: end marker mismatch (truncated or "
+                       "corrupt tail)");
+    }
+    if (in.peek() != std::istream::traits_type::eof()) {
+      throw IndexError("index load: trailing bytes after the end marker");
+    }
+    return index;
+  } catch (const IndexError&) {
+    throw;
+  } catch (const IoError& e) {
+    // Section readers (dataset, banding, signatures) throw plain IoError;
+    // surface everything under the one index-load error type.
+    throw IndexError(std::string("index load: ") + e.what());
+  }
+}
+
+std::unique_ptr<PersistentIndex> PersistentIndex::LoadFile(
+    const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IndexError("index load: cannot open " + path);
+  return Load(f);
+}
+
+}  // namespace bayeslsh

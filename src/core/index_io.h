@@ -1,0 +1,155 @@
+// Persistent index: build once, serve many queries.
+//
+// Every serving session previously re-paid the full index-construction
+// bill — hashing each collection row l*k times for the banding buckets and
+// re-growing verification signatures from zero. PersistentIndex splits
+// that cost out of the serve path: an offline Build() materializes the
+// complete serving state (collection + banding buckets + prefetched
+// verification signatures), Save() writes it as one versioned binary file
+// (docs/FORMATS.md, "Index file"), and Load() adopts it back in a single
+// I/O-bound pass. A QuerySearcher constructed from a loaded index answers
+// queries pair-for-pair identically to one built from scratch — signatures
+// are pure functions of (seed, row), so persistence changes where hashing
+// happens, never what is returned.
+//
+// File integrity: the header carries magic bytes, a format version, an
+// endianness canary, and a config fingerprint (a Mix64 chain over the
+// build configuration and collection shape). Truncated, corrupt,
+// version-bumped or mis-configured files fail loading with IndexError and
+// leave no partially initialized object behind; the CLI maps that to exit
+// code 2.
+//
+// Ownership: the index owns its dataset and is handled through
+// std::unique_ptr (internal stores point at the owned dataset, so the
+// object is non-movable). Searchers constructed from an index require it
+// to outlive them and copy its signature rows, so many searchers can
+// serve from one loaded index independently.
+
+#ifndef BAYESLSH_CORE_INDEX_IO_H_
+#define BAYESLSH_CORE_INDEX_IO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "candgen/banding_index.h"
+#include "candgen/lsh_banding.h"
+#include "lsh/bbit_minwise.h"
+#include "lsh/gaussian_source.h"
+#include "lsh/signature_store.h"
+#include "sim/similarity.h"
+#include "vec/dataset.h"
+#include "vec/io.h"
+
+namespace bayeslsh {
+
+// Raised on malformed, truncated, version- or config-mismatched index
+// files, and on attempts to pair an index with an incompatible config.
+class IndexError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+// On-disk format version written to and accepted from index files.
+inline constexpr uint32_t kIndexFormatVersion = 1;
+
+struct IndexBuildConfig {
+  Measure measure = Measure::kCosine;
+
+  // Similarity threshold the banding shape is derived for. Serving at a
+  // higher threshold is always safe; serving below the build threshold
+  // raises the banding false-negative rate beyond the configured ε.
+  double threshold = 0.7;
+
+  // Banding shape; 0 fields are resolved exactly as by QuerySearcher
+  // (ResolveBandingShape), so a fresh searcher and an index built from the
+  // same config agree.
+  LshBandingParams banding;
+
+  // Master seed; generation/verification hash streams are derived from it
+  // exactly as in the pipeline (core/pipeline.h).
+  uint64_t seed = 42;
+
+  // Jaccard only: store verification signatures as b-bit minwise
+  // (lsh/bbit_minwise.h) with this width; 0 keeps full 32-bit hashes.
+  uint32_t bbit = 0;
+
+  // Verification hashes prefetched per row at build time, rounded up to
+  // whole chunks; 0 selects one verification round (32 cosine bits / 16
+  // Jaccard ints — the horizon the sharded query path prefetches anyway).
+  // More prefetch makes the serve path cheaper at the price of a bigger
+  // index file; it never changes query results.
+  uint32_t prefetch_hashes = 0;
+
+  // Worker threads for the build (0 = all hardware threads).
+  uint32_t num_threads = 1;
+};
+
+class PersistentIndex {
+ public:
+  PersistentIndex(const PersistentIndex&) = delete;
+  PersistentIndex& operator=(const PersistentIndex&) = delete;
+
+  // Builds the full serving state over `data` (which must already follow
+  // the measure conventions of sim/similarity.h — the index stores the
+  // rows as given). Throws std::invalid_argument on invalid config
+  // (e.g. bbit with a cosine measure).
+  static std::unique_ptr<PersistentIndex> Build(Dataset data,
+                                               const IndexBuildConfig& cfg);
+
+  // Deserializes an index. Throws IndexError on any malformed input:
+  // wrong magic, unsupported version, corrupt fingerprint, truncated or
+  // structurally invalid sections.
+  static std::unique_ptr<PersistentIndex> Load(std::istream& in);
+  static std::unique_ptr<PersistentIndex> LoadFile(const std::string& path);
+
+  // Serializes the index (deterministic: equal indexes produce equal
+  // bytes). Throws IndexError on write failure.
+  void Save(std::ostream& out) const;
+  void SaveFile(const std::string& path) const;
+
+  const Dataset& data() const { return data_; }
+  Measure measure() const { return measure_; }
+  double build_threshold() const { return threshold_; }
+  uint64_t seed() const { return seed_; }
+  uint32_t hashes_per_band() const { return k_; }
+  uint32_t num_bands() const { return l_; }
+  uint32_t bbit() const { return bbit_; }
+  SignatureKind signature_kind() const;
+  const BandingIndex& banding() const { return banding_; }
+
+  // The verification signature store matching signature_kind(); the other
+  // two accessors return nullptr.
+  const BitSignatureStore* bit_store() const { return bits_.get(); }
+  const IntSignatureStore* int_store() const { return ints_.get(); }
+  const BbitSignatureStore* bbit_store() const { return bbits_.get(); }
+
+  // Mix64 chain over (format version, measure, signature kind, bbit, seed,
+  // threshold bits, banding shape, collection shape) — the value stored in
+  // and checked against the file header.
+  uint64_t Fingerprint() const;
+
+ private:
+  PersistentIndex() = default;
+
+  Dataset data_;
+  Measure measure_ = Measure::kCosine;
+  double threshold_ = 0.0;
+  uint64_t seed_ = 0;
+  uint32_t k_ = 0;
+  uint32_t l_ = 0;
+  uint32_t bbit_ = 0;
+  BandingIndex banding_;
+
+  // Exactly one store is non-null; for cosine-like measures the Gaussian
+  // source backing its hasher is owned here.
+  std::shared_ptr<const GaussianSource> verify_gauss_;
+  std::unique_ptr<BitSignatureStore> bits_;
+  std::unique_ptr<IntSignatureStore> ints_;
+  std::unique_ptr<BbitSignatureStore> bbits_;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_INDEX_IO_H_

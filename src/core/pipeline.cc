@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/classical.h"
+#include "core/index_io.h"
 #include "core/parallel_verify.h"
 #include "lsh/minwise_hasher.h"
 #include "lsh/srp_hasher.h"
@@ -81,6 +82,33 @@ BetaDistribution FitJaccardPrior(const Dataset& data,
   if (strength <= kMaxPriorStrength) return fit;
   const double scale = kMaxPriorStrength / strength;
   return BetaDistribution(fit.alpha() * scale, fit.beta() * scale);
+}
+
+// Checks warm-start compatibility once per run and returns the index when
+// adoption is applicable for this measure (see the warm_index field docs).
+const PersistentIndex* ResolveWarmIndex(const PipelineConfig& config,
+                                        const Dataset& data) {
+  const PersistentIndex* warm = config.warm_index;
+  if (warm == nullptr) return nullptr;
+  if (warm->measure() != config.measure) {
+    throw std::invalid_argument(
+        "PipelineConfig: warm_index measure does not match the run");
+  }
+  if (warm->seed() != config.seed) {
+    throw std::invalid_argument(
+        "PipelineConfig: warm_index seed does not match the run (adopted "
+        "signatures would disagree with freshly hashed ones)");
+  }
+  if (warm->data().num_vectors() != data.num_vectors() ||
+      warm->data().num_dims() != data.num_dims() ||
+      warm->data().nnz() != data.nnz()) {
+    throw std::invalid_argument(
+        "PipelineConfig: warm_index covers a different collection (vector "
+        "count, dimensionality or non-zero count differs)");
+  }
+  // Binary cosine hashes the normalized view; indexes hash raw rows.
+  if (config.measure == Measure::kBinaryCosine) return nullptr;
+  return warm;
 }
 
 }  // namespace
@@ -200,6 +228,27 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
   const uint64_t verify_seed = VerificationSeed(config.seed);
   WallTimer verify_timer;
 
+  // Warm start (see PipelineConfig::warm_index): adopt prefetched
+  // verification signatures after the store is constructed. CopyRowsFrom
+  // never touches the tally, so verify_hashes_computed keeps reporting
+  // only the hashing this run actually performed.
+  const PersistentIndex* warm = ResolveWarmIndex(config, data);
+  auto warm_bits = [&](BitSignatureStore* s) {
+    // Indexes hash with the exact implicit Gaussian source; a run whose
+    // cache supplies quantized tables draws slightly different bits, so
+    // adoption must cold-start there to keep warm == cold results.
+    if (warm != nullptr && warm->bit_store() != nullptr &&
+        dynamic_cast<const ImplicitGaussianSource*>(verify_gauss.get()) !=
+            nullptr) {
+      s->CopyRowsFrom(*warm->bit_store());
+    }
+  };
+  auto warm_ints = [&](IntSignatureStore* s) {
+    if (warm != nullptr && warm->int_store() != nullptr) {
+      s->CopyRowsFrom(*warm->int_store());
+    }
+  };
+
   switch (config.verifier) {
     case VerifierKind::kExact: {
       result.pairs =
@@ -210,11 +259,13 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
       if (IsCosineLike(measure)) {
         verify_gauss = gauss_cache->Get(verify_seed);
         BitSignatureStore store(cosine_data, SrpHasher(verify_gauss.get()));
+        warm_bits(&store);
         result.pairs = MleVerifyCosine(&store, candidates.pairs, t, mle_n,
                                        nullptr, pool);
         result.verify_hashes_computed = store.bits_computed();
       } else {
         IntSignatureStore store(&data, MinwiseHasher(verify_seed));
+        warm_ints(&store);
         result.pairs = MleVerifyJaccard(&store, candidates.pairs, t, mle_n,
                                         nullptr, pool);
         result.verify_hashes_computed = store.hashes_computed();
@@ -225,12 +276,14 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
       if (IsCosineLike(measure)) {
         verify_gauss = gauss_cache->Get(verify_seed);
         BitSignatureStore store(cosine_data, SrpHasher(verify_gauss.get()));
+        warm_bits(&store);
         const CosinePosterior model(t);
         result.pairs = BayesLshVerifyParallel(model, &store, candidates.pairs,
                                               bayes, pool, &result.vstats);
         result.verify_hashes_computed = store.bits_computed();
       } else {
         IntSignatureStore store(&data, MinwiseHasher(verify_seed));
+        warm_ints(&store);
         const JaccardPosterior model(
             t, FitJaccardPrior(data, candidates, config.prior_sample_size,
                                config.seed));
@@ -245,6 +298,7 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
       if (IsCosineLike(measure)) {
         verify_gauss = gauss_cache->Get(verify_seed);
         BitSignatureStore store(cosine_data, SrpHasher(verify_gauss.get()));
+        warm_bits(&store);
         const CosinePosterior model(t);
         auto exact = [&](uint32_t a, uint32_t b) {
           return ExactSimilarity(data, a, b, measure);
@@ -256,6 +310,7 @@ PipelineResult RunPipeline(const Dataset& data, const PipelineConfig& config) {
         result.verify_hashes_computed = store.bits_computed();
       } else {
         IntSignatureStore store(&data, MinwiseHasher(verify_seed));
+        warm_ints(&store);
         const JaccardPosterior model(
             t, FitJaccardPrior(data, candidates, config.prior_sample_size,
                                config.seed));

@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <cassert>
 #include <optional>
-#include <unordered_map>
+#include <string>
 
+#include "candgen/banding_index.h"
 #include "common/bit_ops.h"
 #include "common/prng.h"
 #include "common/thread_pool.h"
+#include "core/bbit_posterior.h"
 #include "core/cosine_posterior.h"
+#include "core/index_io.h"
 #include "core/jaccard_posterior.h"
 #include "core/pipeline.h"
+#include "lsh/bbit_minwise.h"
 #include "lsh/minwise_hasher.h"
 #include "lsh/srp_hasher.h"
 
@@ -52,17 +56,21 @@ struct QuerySearcher::Impl {
   std::shared_ptr<const GaussianSource> gen_gauss;
   std::optional<MinwiseHasher> gen_minhash;
 
-  // Verification (verification-seed) hashers + collection stores.
+  // Verification (verification-seed) hashers + collection stores (exactly
+  // one store engaged, per measure/bbit).
   std::shared_ptr<const GaussianSource> verify_gauss;
   std::optional<MinwiseHasher> verify_minhash;
   mutable std::optional<BitSignatureStore> bits;
   mutable std::optional<IntSignatureStore> ints;
+  mutable std::optional<BbitSignatureStore> bbits;
 
   // Posterior models + caches (threshold-bound, hence per-searcher).
   std::optional<CosinePosterior> cos_model;
   std::optional<JaccardPosterior> jac_model;
+  std::optional<BbitMinwisePosterior> bbit_model;
   mutable std::optional<InferenceCache<CosinePosterior>> cos_cache;
   mutable std::optional<InferenceCache<JaccardPosterior>> jac_cache;
+  mutable std::optional<InferenceCache<BbitMinwisePosterior>> bbit_cache;
 
   // Worker pool (num_threads > 1 only) and the per-worker inference caches
   // the sharded verification path uses instead of the shared ones above
@@ -71,11 +79,18 @@ struct QuerySearcher::Impl {
   mutable std::vector<InferenceCache<CosinePosterior>> shard_cos_caches;
   mutable std::vector<InferenceCache<JaccardPosterior>> shard_jac_caches;
 
-  // Banding buckets: per band, key -> row ids.
-  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> buckets;
+  // Banding buckets: owned for a fresh build, borrowed from the persistent
+  // index for a warm start (the index outlives the searcher).
+  BandingIndex banding_storage;
+  const BandingIndex* banding = nullptr;
 
   // Resolved BayesLSH params.
   BayesLshParams bayes;
+
+  // Resolves parameters, models, caches, hashers, empty stores and the
+  // worker pool — everything except the banding buckets, which the two
+  // constructors provide differently.
+  void Init(const Dataset* d, const QuerySearchConfig& config);
 
   // --- verification of one candidate against the current query ---
   // Returns true with the similarity in *sim if the candidate is kept.
@@ -116,133 +131,162 @@ struct QuerySearcher::Impl {
       return false;
     }
     // Estimation mode, budget exhausted: forced accept (cf. Algorithm 1).
-    *sim = CosineLike(cfg.measure)
-               ? cos_model->Estimate(static_cast<int>(m), static_cast<int>(n))
-               : jac_model->Estimate(static_cast<int>(m), static_cast<int>(n));
+    const int mi = static_cast<int>(m), ni = static_cast<int>(n);
+    if (CosineLike(cfg.measure)) {
+      *sim = cos_model->Estimate(mi, ni);
+    } else if (bbit_model.has_value()) {
+      *sim = bbit_model->Estimate(mi, ni);
+    } else {
+      *sim = jac_model->Estimate(mi, ni);
+    }
     return true;
   }
 };
 
-QuerySearcher::QuerySearcher(const Dataset* data,
-                             const QuerySearchConfig& config)
-    : impl_(std::make_unique<Impl>()) {
-  assert(data != nullptr);
-  Impl& im = *impl_;
-  im.data = data;
-  im.cfg = config;
+void QuerySearcher::Impl::Init(const Dataset* d,
+                               const QuerySearchConfig& config) {
+  assert(d != nullptr);
+  data = d;
+  cfg = config;
 
   const bool cosine = CosineLike(config.measure);
-  im.bayes = config.bayes;
-  if (im.bayes.hashes_per_round == 0) im.bayes.hashes_per_round = cosine ? 32 : 16;
-  if (im.bayes.max_hashes == 0) im.bayes.max_hashes = cosine ? 4096 : 512;
-  im.bayes.max_hashes -= im.bayes.max_hashes % im.bayes.hashes_per_round;
-  im.lite_h = config.lite_max_hashes != 0 ? config.lite_max_hashes
-                                          : (cosine ? 128u : 64u);
-  im.lite_h -= im.lite_h % im.bayes.hashes_per_round;
-  if (im.lite_h == 0) im.lite_h = im.bayes.hashes_per_round;
+  if (config.bbit != 0 &&
+      (cosine || !IsValidBbitWidth(config.bbit))) {
+    throw std::invalid_argument(
+        "QuerySearchConfig: bbit requires the Jaccard measure and a "
+        "power-of-two width in [1, 32]");
+  }
+  bayes = config.bayes;
+  if (bayes.hashes_per_round == 0) bayes.hashes_per_round = cosine ? 32 : 16;
+  if (bayes.max_hashes == 0) bayes.max_hashes = cosine ? 4096 : 512;
+  bayes.max_hashes -= bayes.max_hashes % bayes.hashes_per_round;
+  lite_h = config.lite_max_hashes != 0 ? config.lite_max_hashes
+                                       : (cosine ? 128u : 64u);
+  lite_h -= lite_h % bayes.hashes_per_round;
+  if (lite_h == 0) lite_h = bayes.hashes_per_round;
 
-  // Banding shape.
-  im.k = config.banding.hashes_per_band != 0
-             ? config.banding.hashes_per_band
-             : (cosine ? kDefaultCosineBandBits : kDefaultJaccardBandInts);
-  const double p = cosine ? CosineToSrpR(config.threshold) : config.threshold;
-  im.l = config.banding.num_bands != 0
-             ? config.banding.num_bands
-             : DeriveNumBands(p, im.k, config.banding.expected_fn_rate,
-                              config.banding.max_bands);
-  num_bands_ = im.l;
-  hashes_per_band_ = im.k;
+  // Banding shape (the warm-start constructor overrides it with the
+  // index's recorded shape).
+  const BandingShape shape =
+      ResolveBandingShape(config.measure, config.threshold, config.banding);
+  k = shape.hashes_per_band;
+  l = shape.num_bands;
 
   const uint64_t gen_seed = GenerationSeed(config.seed);
   const uint64_t verify_seed = VerificationSeed(config.seed);
 
   // Worker pool + per-worker caches for the sharded verification path.
+  // b-bit stores have no overflow-shard protocol, so b-bit verification
+  // stays sequential per query and needs no per-worker caches.
   const uint32_t num_threads = ResolveNumThreads(config.num_threads);
-  if (num_threads > 1) im.pool = std::make_unique<ThreadPool>(num_threads);
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
   const uint32_t cache_budget =
-      config.exact_verification ? im.lite_h : im.bayes.max_hashes;
+      config.exact_verification ? lite_h : bayes.max_hashes;
 
   // Models and caches.
   if (cosine) {
-    im.cos_model.emplace(config.threshold);
-    im.cos_cache.emplace(&*im.cos_model, im.bayes.hashes_per_round,
-                         cache_budget, im.bayes.epsilon, im.bayes.delta,
-                         im.bayes.gamma);
-    if (im.pool != nullptr) {
-      im.shard_cos_caches.reserve(num_threads);
+    cos_model.emplace(config.threshold);
+    cos_cache.emplace(&*cos_model, bayes.hashes_per_round, cache_budget,
+                      bayes.epsilon, bayes.delta, bayes.gamma);
+    if (pool != nullptr) {
+      shard_cos_caches.reserve(num_threads);
       for (uint32_t w = 0; w < num_threads; ++w) {
-        im.shard_cos_caches.emplace_back(
-            &*im.cos_model, im.bayes.hashes_per_round, cache_budget,
-            im.bayes.epsilon, im.bayes.delta, im.bayes.gamma);
+        shard_cos_caches.emplace_back(&*cos_model, bayes.hashes_per_round,
+                                      cache_budget, bayes.epsilon,
+                                      bayes.delta, bayes.gamma);
       }
     }
-    im.gen_gauss = std::make_shared<ImplicitGaussianSource>(gen_seed);
-    im.verify_gauss = std::make_shared<ImplicitGaussianSource>(verify_seed);
-    im.bits.emplace(data, SrpHasher(im.verify_gauss.get()));
+    gen_gauss = std::make_shared<ImplicitGaussianSource>(gen_seed);
+    verify_gauss = std::make_shared<ImplicitGaussianSource>(verify_seed);
+    bits.emplace(d, SrpHasher(verify_gauss.get()));
+  } else if (config.bbit != 0) {
+    bbit_model.emplace(config.threshold, config.bbit);
+    bbit_cache.emplace(&*bbit_model, bayes.hashes_per_round, cache_budget,
+                       bayes.epsilon, bayes.delta, bayes.gamma);
+    gen_minhash.emplace(gen_seed);
+    verify_minhash.emplace(verify_seed);
+    bbits.emplace(d, MinwiseHasher(verify_seed), config.bbit);
   } else {
-    im.jac_model.emplace(config.threshold);  // Uniform prior in query mode.
-    im.jac_cache.emplace(&*im.jac_model, im.bayes.hashes_per_round,
-                         cache_budget, im.bayes.epsilon, im.bayes.delta,
-                         im.bayes.gamma);
-    if (im.pool != nullptr) {
-      im.shard_jac_caches.reserve(num_threads);
+    jac_model.emplace(config.threshold);  // Uniform prior in query mode.
+    jac_cache.emplace(&*jac_model, bayes.hashes_per_round, cache_budget,
+                      bayes.epsilon, bayes.delta, bayes.gamma);
+    if (pool != nullptr) {
+      shard_jac_caches.reserve(num_threads);
       for (uint32_t w = 0; w < num_threads; ++w) {
-        im.shard_jac_caches.emplace_back(
-            &*im.jac_model, im.bayes.hashes_per_round, cache_budget,
-            im.bayes.epsilon, im.bayes.delta, im.bayes.gamma);
+        shard_jac_caches.emplace_back(&*jac_model, bayes.hashes_per_round,
+                                      cache_budget, bayes.epsilon,
+                                      bayes.delta, bayes.gamma);
       }
     }
-    im.gen_minhash.emplace(gen_seed);
-    im.verify_minhash.emplace(verify_seed);
-    im.ints.emplace(data, MinwiseHasher(verify_seed));
+    gen_minhash.emplace(gen_seed);
+    verify_minhash.emplace(verify_seed);
+    ints.emplace(d, MinwiseHasher(verify_seed));
   }
+}
+
+QuerySearcher::QuerySearcher(const Dataset* data,
+                             const QuerySearchConfig& config)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.Init(data, config);
 
   // Build the banding buckets over the collection with the generation-seed
   // hashes (a separate, throwaway store: banding hashes are not reused for
-  // verification; see DESIGN.md §6). Signature growth shards over row
-  // ranges and the bucket build over bands; each band's map is owned by
-  // exactly one worker, so the result is independent of the thread count.
-  im.buckets.resize(im.l);
-  const uint32_t n = data->num_vectors();
-  ThreadPool* pool = im.pool.get();
-  if (cosine) {
-    BitSignatureStore gen_store(data, SrpHasher(im.gen_gauss.get()));
-    if (pool != nullptr) {
-      ParallelFor(pool, 0, n, [&](uint64_t row) {
-        gen_store.EnsureBitsUncounted(static_cast<uint32_t>(row),
-                                      im.l * im.k);
-      });
-    } else {
-      gen_store.EnsureAllBits(im.l * im.k);
-    }
-    ParallelFor(pool, 0, im.l, [&](uint64_t band) {
-      for (uint32_t row = 0; row < n; ++row) {
-        if (data->RowLength(row) == 0) continue;
-        const uint64_t key = ExtractBits(
-            gen_store.Words(row), static_cast<uint32_t>(band) * im.k, im.k);
-        im.buckets[band][key].push_back(row);
-      }
-    });
+  // verification; see DESIGN.md §6). Deterministic for any thread count —
+  // see candgen/banding_index.h.
+  if (CosineLike(config.measure)) {
+    im.banding_storage = BandingIndex::BuildCosine(
+        *data, im.gen_gauss.get(), im.k, im.l, im.pool.get());
   } else {
-    IntSignatureStore gen_store(data, MinwiseHasher(gen_seed));
-    if (pool != nullptr) {
-      ParallelFor(pool, 0, n, [&](uint64_t row) {
-        gen_store.EnsureHashesUncounted(static_cast<uint32_t>(row),
-                                        im.l * im.k);
-      });
-    } else {
-      gen_store.EnsureAllHashes(im.l * im.k);
-    }
-    ParallelFor(pool, 0, im.l, [&](uint64_t band) {
-      for (uint32_t row = 0; row < n; ++row) {
-        if (data->RowLength(row) == 0) continue;
-        const uint32_t* h = gen_store.Hashes(row) + band * im.k;
-        uint64_t key = Mix64(0x5ba3d9be1e4fULL, band);
-        for (uint32_t i = 0; i < im.k; ++i) key = Mix64(key, h[i]);
-        im.buckets[band][key].push_back(row);
-      }
-    });
+    im.banding_storage = BandingIndex::BuildJaccard(
+        *data, GenerationSeed(config.seed), im.k, im.l, im.pool.get());
   }
+  im.banding = &im.banding_storage;
+  num_bands_ = im.l;
+  hashes_per_band_ = im.k;
+}
+
+QuerySearcher::QuerySearcher(const PersistentIndex* index,
+                             const QuerySearchConfig& config)
+    : impl_(std::make_unique<Impl>()) {
+  assert(index != nullptr);
+  if (config.measure != index->measure()) {
+    throw IndexError("QuerySearcher: config measure does not match the "
+                     "index");
+  }
+  if (config.seed != index->seed()) {
+    throw IndexError("QuerySearcher: config seed does not match the index "
+                     "(loaded signatures would disagree with query hashes)");
+  }
+  if (config.bbit != index->bbit()) {
+    throw IndexError("QuerySearcher: config bbit width does not match the "
+                     "index");
+  }
+  if ((config.banding.hashes_per_band != 0 &&
+       config.banding.hashes_per_band != index->hashes_per_band()) ||
+      (config.banding.num_bands != 0 &&
+       config.banding.num_bands != index->num_bands())) {
+    throw IndexError("QuerySearcher: explicit banding shape does not match "
+                     "the index");
+  }
+
+  Impl& im = *impl_;
+  im.Init(&index->data(), config);
+  // Serve from the index's recorded shape and buckets; adopt its
+  // prefetched verification signatures (copies — many searchers can share
+  // one loaded index).
+  im.k = index->hashes_per_band();
+  im.l = index->num_bands();
+  im.banding = &index->banding();
+  if (im.bits.has_value() && index->bit_store() != nullptr) {
+    im.bits->CopyRowsFrom(*index->bit_store());
+  } else if (im.ints.has_value() && index->int_store() != nullptr) {
+    im.ints->CopyRowsFrom(*index->int_store());
+  } else if (im.bbits.has_value() && index->bbit_store() != nullptr) {
+    im.bbits->CopyRowsFrom(*index->bbit_store());
+  }
+  num_bands_ = im.l;
+  hashes_per_band_ = im.k;
 }
 
 QuerySearcher::~QuerySearcher() = default;
@@ -262,11 +306,10 @@ std::vector<QueryMatch> QuerySearcher::Query(const SparseVectorView& q,
       qwords[c] = hasher.HashChunk(q, c);
     }
     for (uint32_t band = 0; band < im.l; ++band) {
-      const uint64_t key = ExtractBits(qwords.data(), band * im.k, im.k);
-      const auto it = im.buckets[band].find(key);
-      if (it == im.buckets[band].end()) continue;
-      candidates.insert(candidates.end(), it->second.begin(),
-                        it->second.end());
+      const auto* bucket = im.banding->Find(
+          band, BandingIndex::CosineKey(qwords.data(), band, im.k));
+      if (bucket == nullptr) continue;
+      candidates.insert(candidates.end(), bucket->begin(), bucket->end());
     }
   } else {
     const uint32_t chunks =
@@ -276,14 +319,10 @@ std::vector<QueryMatch> QuerySearcher::Query(const SparseVectorView& q,
       im.gen_minhash->HashChunk(q, c, qints.data() + c * kMinhashChunkInts);
     }
     for (uint32_t band = 0; band < im.l; ++band) {
-      uint64_t key = Mix64(0x5ba3d9be1e4fULL, band);
-      for (uint32_t i = 0; i < im.k; ++i) {
-        key = Mix64(key, qints[band * im.k + i]);
-      }
-      const auto it = im.buckets[band].find(key);
-      if (it == im.buckets[band].end()) continue;
-      candidates.insert(candidates.end(), it->second.begin(),
-                        it->second.end());
+      const auto* bucket = im.banding->Find(
+          band, BandingIndex::JaccardKey(qints.data(), band, im.k));
+      if (bucket == nullptr) continue;
+      candidates.insert(candidates.end(), bucket->begin(), bucket->end());
     }
   }
   std::sort(candidates.begin(), candidates.end());
@@ -302,10 +341,12 @@ std::vector<QueryMatch> QuerySearcher::Query(const SparseVectorView& q,
   // front (shared read-only), candidate rows are prefetched to one chunk,
   // and each worker runs the same per-candidate loop with its private
   // inference cache and overflow store. The final similarity sort makes
-  // the output independent of the thread count.
+  // the output independent of the thread count. b-bit verification always
+  // runs the serial loop (no overflow-shard protocol) — still identical
+  // for every thread count.
   ThreadPool* pool = im.pool.get();
   const bool sharded =
-      pool != nullptr &&
+      pool != nullptr && !im.bbits.has_value() &&
       candidates.size() >= kMinQueryCandidatesPerShard * pool->num_threads();
   const uint32_t budget =
       im.cfg.exact_verification ? im.lite_h : im.bayes.max_hashes;
@@ -385,6 +426,40 @@ std::vector<QueryMatch> QuerySearcher::Query(const SparseVectorView& q,
         }
       }
       im.bits->AddBitsComputed(overflow_total);
+    }
+  } else if (im.bbits.has_value()) {
+    // b-bit minwise verification: hash the query with the full-width
+    // minwise hasher, pack the low b bits into the store's group layout,
+    // and compare word-parallel against the lazily grown collection rows.
+    const uint32_t b = im.bbits->bits_per_hash();
+    const uint32_t values_per_word = 64 / b;
+    std::vector<uint32_t> qints;
+    std::vector<uint64_t> qwords;
+    auto hash_query_to = [&](uint32_t n_hashes) {
+      const uint32_t have = static_cast<uint32_t>(qints.size());
+      if (n_hashes <= have) return;
+      const uint32_t want = (n_hashes + kMinhashChunkInts - 1) /
+                            kMinhashChunkInts * kMinhashChunkInts;
+      qints.resize(want);
+      for (uint32_t c = have / kMinhashChunkInts;
+           c < want / kMinhashChunkInts; ++c) {
+        im.verify_minhash->HashChunk(q, c,
+                                     qints.data() + c * kMinhashChunkInts);
+      }
+      qwords.resize((want + values_per_word - 1) / values_per_word, 0);
+      PackBbitValues(qints.data() + have, have, want, b, qwords.data());
+    };
+    auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+      im.bbits->EnsureHashes(row, to);
+      return MatchingBbitGroups(im.bbits->Words(row), qwords.data(), from,
+                                to, b);
+    };
+    for (uint32_t row : candidates) {
+      double sim = 0.0;
+      if (im.VerifyCandidate(row, q, hash_query_to, match_range,
+                             *im.bbit_cache, stats, &sim)) {
+        out.push_back({row, sim});
+      }
     }
   } else {
     std::vector<uint32_t> qints;

@@ -34,6 +34,8 @@
 
 namespace bayeslsh {
 
+class PersistentIndex;  // core/index_io.h
+
 struct QuerySearchConfig {
   Measure measure = Measure::kCosine;
   double threshold = 0.7;
@@ -46,6 +48,14 @@ struct QuerySearchConfig {
   uint32_t lite_max_hashes = 0;  // 0 = measure default (128 / 64).
   LshBandingParams banding;      // Index shape; num_bands 0 = derive.
   uint64_t seed = 42;
+
+  // Jaccard only: verify with b-bit minwise signatures of this width
+  // (lsh/bbit_minwise.h) instead of full 32-bit hashes — 8x smaller
+  // signature storage at b = 4. Candidate generation is unchanged. 0 keeps
+  // full-width hashes. With b-bit signatures per-query verification runs
+  // sequentially (the index build still shards); results remain identical
+  // for every thread count.
+  uint32_t bbit = 0;
 
   // Worker threads for index build and per-query verification sharding
   // (0 = all hardware threads, 1 = sequential). Does not make concurrent
@@ -75,6 +85,19 @@ struct QueryStats {
 class QuerySearcher {
  public:
   QuerySearcher(const Dataset* data, const QuerySearchConfig& config);
+
+  // Warm start: serves from a persistent index (core/index_io.h) instead
+  // of building banding buckets and hashing signatures from scratch — the
+  // collection is the index's dataset. The index must outlive the
+  // searcher. config must agree with the index on measure, seed, bbit and
+  // (when set explicitly) banding shape — IndexError otherwise; the
+  // threshold may differ, but thresholds below the index's build threshold
+  // raise the banding false-negative rate beyond the configured ε. Query
+  // results are pair-for-pair identical to a fresh build with the same
+  // config (signatures are pure functions of (seed, row)).
+  QuerySearcher(const PersistentIndex* index,
+                const QuerySearchConfig& config);
+
   ~QuerySearcher();
 
   QuerySearcher(const QuerySearcher&) = delete;

@@ -57,6 +57,13 @@ struct TopKConfig {
   // Optional shared Gaussian tables (see PipelineConfig); reused across
   // the descent iterations when provided.
   GaussianSourceCache* gaussian_cache = nullptr;
+
+  // Optional warm start from a persistent index (core/index_io.h): every
+  // descent iteration adopts the index's prefetched verification
+  // signatures (see PipelineConfig::warm_index for the compatibility
+  // rules). Results are identical with or without. The
+  // TopKAllPairs(PersistentIndex&, ...) overload sets this automatically.
+  const PersistentIndex* warm_index = nullptr;
 };
 
 struct TopKStats {
@@ -71,6 +78,14 @@ struct TopKStats {
 // pairs when fewer exist above the floor (or when the randomized
 // generator misses some — same guarantees as threshold search).
 std::vector<ScoredPair> TopKAllPairs(const Dataset& data,
+                                     const TopKConfig& config,
+                                     TopKStats* stats = nullptr);
+
+// Warm-start variant: runs the descent over the index's own collection,
+// adopting its verification signatures in every iteration. config.measure
+// and config.seed must match the index (std::invalid_argument otherwise,
+// from the underlying pipeline runs).
+std::vector<ScoredPair> TopKAllPairs(const PersistentIndex& index,
                                      const TopKConfig& config,
                                      TopKStats* stats = nullptr);
 

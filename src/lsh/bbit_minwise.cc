@@ -2,10 +2,27 @@
 
 #include <utility>
 
+#include "lsh/signature_serialization.h"
+
 namespace bayeslsh {
 
 static_assert(BbitSignatureStore::kChunkHashes % kMinhashChunkInts == 0,
               "b-bit growth quantum must be whole minwise chunks");
+
+void PackBbitValues(const uint32_t* hashes, uint32_t from, uint32_t n,
+                    uint32_t bits_per_hash, uint64_t* words) {
+  assert(IsValidBbitWidth(bits_per_hash));
+  assert(from % kMinhashChunkInts == 0);
+  const uint32_t values_per_word = 64 / bits_per_hash;
+  const uint64_t value_mask = (bits_per_hash == 32)
+                                  ? 0xffffffffULL
+                                  : (1ULL << bits_per_hash) - 1;
+  for (uint32_t j = from; j < n; ++j) {
+    const uint64_t value = hashes[j - from] & value_mask;
+    words[j / values_per_word] |=
+        value << ((j % values_per_word) * bits_per_hash);
+  }
+}
 
 BbitSignatureStore::BbitSignatureStore(const Dataset* data,
                                        MinwiseHasher hasher,
@@ -18,30 +35,27 @@ BbitSignatureStore::BbitSignatureStore(const Dataset* data,
   assert(IsValidBbitWidth(bits_per_hash));
 }
 
-void BbitSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
+uint64_t BbitSignatureStore::EnsureHashesUncounted(uint32_t row,
+                                                   uint32_t n_hashes) {
   const uint32_t have = NumHashes(row);
-  if (n_hashes <= have) return;
+  if (n_hashes <= have) return 0;
   const uint32_t want =
       (n_hashes + kChunkHashes - 1) / kChunkHashes * kChunkHashes;
   auto& w = words_[row];
   w.resize(want / values_per_word_, 0);
 
   const SparseVectorView v = data_->Row(row);
-  const uint64_t value_mask = (bits_per_hash_ == 32)
-                                  ? 0xffffffffULL
-                                  : (1ULL << bits_per_hash_) - 1;
   uint32_t scratch[kMinhashChunkInts];
   for (uint32_t j = have; j < want; j += kMinhashChunkInts) {
     hasher_.HashChunk(v, j / kMinhashChunkInts, scratch);
-    for (uint32_t i = 0; i < kMinhashChunkInts; ++i) {
-      const uint32_t hash_index = j + i;
-      const uint64_t value = scratch[i] & value_mask;
-      const uint32_t word = hash_index / values_per_word_;
-      const uint32_t group = hash_index % values_per_word_;
-      w[word] |= value << (group * bits_per_hash_);
-    }
+    PackBbitValues(scratch, j, j + kMinhashChunkInts, bits_per_hash_,
+                   w.data());
   }
-  hashes_computed_ += want - have;
+  return want - have;
+}
+
+void BbitSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
+  hashes_computed_ += EnsureHashesUncounted(row, n_hashes);
 }
 
 void BbitSignatureStore::EnsureAllHashes(uint32_t n_hashes) {
@@ -73,6 +87,26 @@ uint64_t BbitSignatureStore::signature_bytes() const {
   uint64_t words = 0;
   for (const auto& w : words_) words += w.size();
   return words * sizeof(uint64_t);
+}
+
+void BbitSignatureStore::Save(std::ostream& out) const {
+  internal::SaveSignatureRows(out, SignatureKind::kBbitPacked,
+                              static_cast<uint8_t>(bits_per_hash_), words_,
+                              hashes_computed_);
+}
+
+void BbitSignatureStore::Load(std::istream& in) {
+  // One growth chunk is kChunkHashes values = bits_per_hash_ words.
+  internal::LoadSignatureRows(in, SignatureKind::kBbitPacked,
+                              static_cast<uint8_t>(bits_per_hash_),
+                              num_rows(), /*length_multiple=*/bits_per_hash_,
+                              "b-bit packed", &words_, &hashes_computed_);
+}
+
+void BbitSignatureStore::CopyRowsFrom(const BbitSignatureStore& other) {
+  assert(other.num_rows() == num_rows() &&
+         other.bits_per_hash() == bits_per_hash());
+  internal::CopyLongerRows(other.words_, &words_);
 }
 
 }  // namespace bayeslsh

@@ -28,6 +28,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "lsh/minwise_hasher.h"
@@ -49,6 +50,16 @@ inline constexpr uint64_t BbitGroupLsbMask(uint32_t b) {
   for (uint32_t g = 0; g < 64 / b; ++g) mask |= 1ULL << (g * b);
   return mask;
 }
+
+// Packs the low b bits of full-width minwise hashes into the packed layout
+// described above: hashes[i - from] becomes group i for i in [from, n),
+// ORed into `words` (which must be sized for n values and zero where the
+// new groups land). `from` must be a multiple of kMinhashChunkInts. Used
+// both by the store's own growth and to pack externally hashed query
+// signatures so MatchingBbitGroups can compare a query against stored
+// rows.
+void PackBbitValues(const uint32_t* hashes, uint32_t from, uint32_t n,
+                    uint32_t bits_per_hash, uint64_t* words);
 
 // Number of b-bit groups in [from, to) that agree between the packed
 // sequences `a` and `b`. Group j of a sequence occupies bits
@@ -103,8 +114,19 @@ class BbitSignatureStore {
   // Grows row's signature to at least n hashes (rounded up to chunks).
   void EnsureHashes(uint32_t row, uint32_t n_hashes);
 
+  // EnsureHashes without touching the shared hashes_computed() tally;
+  // returns the underlying minwise hashes newly computed. Safe to call
+  // concurrently for distinct rows (the two-phase prefetch protocol of
+  // lsh/signature_store.h); merge the returned work with
+  // AddHashesComputed() after the join.
+  uint64_t EnsureHashesUncounted(uint32_t row, uint32_t n_hashes);
+  void AddHashesComputed(uint64_t n) { hashes_computed_ += n; }
+
   // Grows every row to at least n hashes.
   void EnsureAllHashes(uint32_t n_hashes);
+
+  // Packed words of a row (group layout as for MatchingBbitGroups).
+  const uint64_t* Words(uint32_t row) const { return words_[row].data(); }
 
   // Hashes currently materialized for a row.
   uint32_t NumHashes(uint32_t row) const {
@@ -124,6 +146,13 @@ class BbitSignatureStore {
 
   // Bytes of signature storage currently held across all rows.
   uint64_t signature_bytes() const;
+
+  // Serialization + warm start; see the BitSignatureStore counterparts in
+  // lsh/signature_store.h. The section kind is SignatureKind::kBbitPacked
+  // and records bits_per_hash, so a loader with a different width fails.
+  void Save(std::ostream& out) const;
+  void Load(std::istream& in);
+  void CopyRowsFrom(const BbitSignatureStore& other);
 
   const Dataset* data() const { return data_; }
 

@@ -1,0 +1,125 @@
+// Internal helpers shared by the three signature stores' Save()/Load()
+// implementations (signature_store.cc, bbit_minwise.cc). The byte layout is
+// the "Signature section" of docs/FORMATS.md:
+//
+//   u8   kind              SignatureKind tag
+//   u8   bits_per_hash     b for kBbitPacked, 0 otherwise
+//   u16  reserved          0
+//   u32  num_rows
+//   u64  computed          the store's hashing-work tally
+//   u32  lengths[num_rows] elements per row (words or ints)
+//   u64  total_elems       sum of lengths (cross-check)
+//   T    blob[total_elems] row data, concatenated in row order
+//
+// Loads are all-or-nothing: rows are decoded into a scratch vector and only
+// swapped into the store once the whole section validated, so a throw
+// leaves the store untouched.
+
+#ifndef BAYESLSH_LSH_SIGNATURE_SERIALIZATION_H_
+#define BAYESLSH_LSH_SIGNATURE_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lsh/signature_store.h"
+#include "vec/binary_io.h"
+
+namespace bayeslsh::internal {
+
+template <typename T>
+void SaveSignatureRows(std::ostream& out, SignatureKind kind,
+                       uint8_t bits_per_hash,
+                       const std::vector<std::vector<T>>& rows,
+                       uint64_t computed) {
+  WritePod(out, static_cast<uint8_t>(kind));
+  WritePod(out, bits_per_hash);
+  WritePod(out, static_cast<uint16_t>(0));
+  WritePod(out, static_cast<uint32_t>(rows.size()));
+  WritePod(out, computed);
+  std::vector<uint32_t> lengths;
+  lengths.reserve(rows.size());
+  uint64_t total = 0;
+  for (const auto& row : rows) {
+    lengths.push_back(static_cast<uint32_t>(row.size()));
+    total += row.size();
+  }
+  WritePodVec(out, lengths);
+  WritePod(out, total);
+  for (const auto& row : rows) WritePodVec(out, row);
+  if (!out) throw IoError("signature section: stream write failed");
+}
+
+// Decodes one section into (rows, computed). `expected_rows` is the
+// dataset's row count; `expected_bits` is the b-bit width (0 for the
+// full-width stores); every row length must be a multiple of
+// `length_multiple` (the store's growth quantum in elements, so loaded
+// rows satisfy the chunk-alignment invariant EnsureBits/EnsureHashes
+// rely on). `what` names the store kind in error messages.
+template <typename T>
+void LoadSignatureRows(std::istream& in, SignatureKind expected_kind,
+                       uint8_t expected_bits, uint32_t expected_rows,
+                       uint32_t length_multiple, const char* what,
+                       std::vector<std::vector<T>>* rows_out,
+                       uint64_t* computed_out) {
+  const std::string ctx = std::string("signature section (") + what + "): ";
+  const auto kind = ReadPod<uint8_t>(in, (ctx + "kind").c_str());
+  if (kind != static_cast<uint8_t>(expected_kind)) {
+    throw IoError(ctx + "wrong signature kind " + std::to_string(kind) +
+                  " (expected " +
+                  std::to_string(static_cast<int>(expected_kind)) + ")");
+  }
+  const auto bits = ReadPod<uint8_t>(in, (ctx + "bits_per_hash").c_str());
+  if (bits != expected_bits) {
+    throw IoError(ctx + "bits_per_hash " + std::to_string(bits) +
+                  " does not match the store's " +
+                  std::to_string(expected_bits));
+  }
+  (void)ReadPod<uint16_t>(in, (ctx + "reserved").c_str());
+  const auto num_rows = ReadPod<uint32_t>(in, (ctx + "num_rows").c_str());
+  if (num_rows != expected_rows) {
+    throw IoError(ctx + "row count " + std::to_string(num_rows) +
+                  " does not match the dataset's " +
+                  std::to_string(expected_rows));
+  }
+  const auto computed = ReadPod<uint64_t>(in, (ctx + "computed").c_str());
+  std::vector<uint32_t> lengths;
+  ReadPodVec(in, &lengths, num_rows, (ctx + "lengths").c_str());
+  uint64_t total = 0;
+  for (const uint32_t len : lengths) {
+    if (len % length_multiple != 0) {
+      throw IoError(ctx + "row length " + std::to_string(len) +
+                    " is not a multiple of the growth chunk " +
+                    std::to_string(length_multiple));
+    }
+    total += len;
+  }
+  const auto stored_total = ReadPod<uint64_t>(in, (ctx + "total").c_str());
+  if (stored_total != total) {
+    throw IoError(ctx + "length table is inconsistent with the row total");
+  }
+  std::vector<T> blob;
+  ReadPodVec(in, &blob, total, (ctx + "row data").c_str());
+  std::vector<std::vector<T>> rows(num_rows);
+  const T* p = blob.data();
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    rows[r].assign(p, p + lengths[r]);
+    p += lengths[r];
+  }
+  rows_out->swap(rows);
+  *computed_out = computed;
+}
+
+// Shared by the warm-start CopyRowsFrom() implementations: adopts copies of
+// every row of `src` longer than the local one.
+template <typename T>
+void CopyLongerRows(const std::vector<std::vector<T>>& src,
+                    std::vector<std::vector<T>>* dst) {
+  for (size_t r = 0; r < src.size(); ++r) {
+    if (src[r].size() > (*dst)[r].size()) (*dst)[r] = src[r];
+  }
+}
+
+}  // namespace bayeslsh::internal
+
+#endif  // BAYESLSH_LSH_SIGNATURE_SERIALIZATION_H_

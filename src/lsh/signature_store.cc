@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "lsh/signature_serialization.h"
+
 namespace bayeslsh {
 
 BitSignatureStore::BitSignatureStore(const Dataset* data, SrpHasher hasher)
@@ -43,6 +45,22 @@ uint32_t BitSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
   assert(from <= to);
   assert(NumBits(a) >= to && NumBits(b) >= to);
   return MatchingBits(words_[a].data(), words_[b].data(), from, to);
+}
+
+void BitSignatureStore::Save(std::ostream& out) const {
+  internal::SaveSignatureRows(out, SignatureKind::kSrpBits, 0, words_,
+                              bits_computed_);
+}
+
+void BitSignatureStore::Load(std::istream& in) {
+  internal::LoadSignatureRows(in, SignatureKind::kSrpBits, 0, num_rows(),
+                              /*length_multiple=*/1, "SRP bits", &words_,
+                              &bits_computed_);
+}
+
+void BitSignatureStore::CopyRowsFrom(const BitSignatureStore& other) {
+  assert(other.num_rows() == num_rows());
+  internal::CopyLongerRows(other.words_, &words_);
 }
 
 IntSignatureStore::IntSignatureStore(const Dataset* data,
@@ -102,6 +120,22 @@ uint32_t IntSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
   assert(from <= to);
   assert(NumHashes(a) >= to && NumHashes(b) >= to);
   return CountIntMatches(hashes_[a].data(), hashes_[b].data(), from, to);
+}
+
+void IntSignatureStore::Save(std::ostream& out) const {
+  internal::SaveSignatureRows(out, SignatureKind::kMinwiseInts, 0, hashes_,
+                              hashes_computed_);
+}
+
+void IntSignatureStore::Load(std::istream& in) {
+  internal::LoadSignatureRows(in, SignatureKind::kMinwiseInts, 0, num_rows(),
+                              kMinhashChunkInts, "minwise ints", &hashes_,
+                              &hashes_computed_);
+}
+
+void IntSignatureStore::CopyRowsFrom(const IntSignatureStore& other) {
+  assert(other.num_rows() == num_rows());
+  internal::CopyLongerRows(other.hashes_, &hashes_);
 }
 
 // --- overflow shards ---

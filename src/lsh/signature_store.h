@@ -31,6 +31,7 @@
 #define BAYESLSH_LSH_SIGNATURE_STORE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +44,16 @@ namespace bayeslsh {
 
 class BitOverflowShard;
 class IntOverflowShard;
+
+// Signature-kind tags used by the serialized store sections (docs/FORMATS.md
+// §"Signature section"). The tag is the first byte of a section, so a loader
+// pointed at the wrong store kind fails immediately instead of
+// reinterpreting bits.
+enum class SignatureKind : uint8_t {
+  kSrpBits = 0,      // BitSignatureStore: packed SRP bits, u64 words.
+  kMinwiseInts = 1,  // IntSignatureStore: full-width minwise hashes, u32.
+  kBbitPacked = 2,   // BbitSignatureStore: b-bit packed minwise, u64 words.
+};
 
 // Bit signatures (SRP / cosine). Hash i of row v is bit i%64 of word i/64.
 class BitSignatureStore {
@@ -101,6 +112,25 @@ class BitSignatureStore {
   // Total hash bits computed so far across all rows (instrumentation).
   uint64_t bits_computed() const { return bits_computed_; }
 
+  // Serializes every grown row plus the bits_computed() tally as one
+  // SignatureKind::kSrpBits section (docs/FORMATS.md). Deterministic: the
+  // bytes depend only on the rows and the tally.
+  void Save(std::ostream& out) const;
+
+  // Replaces this store's rows and tally with a previously saved section.
+  // The store must cover a dataset with the same row count (signatures are
+  // a pure function of (hasher, row), so the caller is responsible for
+  // pairing the section with the dataset and hasher seed it was grown
+  // under — the persistent index header enforces this). Throws IoError on
+  // a malformed or truncated section; the store is unchanged on throw.
+  void Load(std::istream& in);
+
+  // Adopts copies of every row of `other` that is longer than the local
+  // one (warm start from a persistent index). Does not touch the tally:
+  // the adopted hashes were accounted when `other` computed them. Both
+  // stores must cover datasets with the same row count.
+  void CopyRowsFrom(const BitSignatureStore& other);
+
   const Dataset* data() const { return data_; }
   const SrpHasher& hasher() const { return hasher_; }
 
@@ -151,6 +181,12 @@ class IntSignatureStore {
   }
 
   uint64_t hashes_computed() const { return hashes_computed_; }
+
+  // Serialization + warm start; see the BitSignatureStore counterparts.
+  // The section kind is SignatureKind::kMinwiseInts.
+  void Save(std::ostream& out) const;
+  void Load(std::istream& in);
+  void CopyRowsFrom(const IntSignatureStore& other);
 
   const Dataset* data() const { return data_; }
   const MinwiseHasher& hasher() const { return hasher_; }

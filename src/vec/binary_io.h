@@ -1,0 +1,80 @@
+// Low-level primitives for the project's binary on-disk formats (the
+// binary dataset format in vec/io.cc and the persistent index sections in
+// lsh/, candgen/ and core/index_io.cc — see docs/FORMATS.md for the byte
+// layouts).
+//
+// All formats are host-endian with an endianness canary in their magic
+// bytes; every reader throws IoError on a short read, and bulk reads are
+// bounded by the bytes actually remaining in the stream before any
+// allocation, so a corrupt length field cannot trigger a huge allocation.
+
+#ifndef BAYESLSH_VEC_BINARY_IO_H_
+#define BAYESLSH_VEC_BINARY_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "vec/io.h"
+
+namespace bayeslsh {
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void WritePodVec(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+T ReadPod(std::istream& in, const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw IoError(std::string("truncated ") + what);
+  return value;
+}
+
+// Bytes left before EOF, or SIZE_MAX when the stream is not seekable.
+// Used to reject corrupt length fields before allocating.
+inline size_t RemainingBytes(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) {
+    return std::numeric_limits<size_t>::max();
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1) || end < here) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return static_cast<size_t>(end - here);
+}
+
+template <typename T>
+void ReadPodVec(std::istream& in, std::vector<T>* v, uint64_t count,
+                const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (count > RemainingBytes(in) / sizeof(T)) {
+    throw IoError(std::string("truncated ") + what +
+                  " (count exceeds remaining bytes)");
+  }
+  v->resize(count);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw IoError(std::string("truncated ") + what);
+}
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_VEC_BINARY_IO_H_

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "vec/binary_io.h"
+
 namespace bayeslsh {
 
 namespace {
@@ -21,17 +23,13 @@ constexpr char kBinaryMagic[8] = {'B', 'L', 'S', 'H', 'D', 'S', '1', 'E'};
 
 template <typename T>
 void WriteRaw(std::ostream& out, const std::vector<T>& v) {
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
+  WritePodVec(out, v);
 }
 
 template <typename T>
 void ReadRaw(std::istream& in, std::vector<T>* v, size_t count,
              const char* what) {
-  v->resize(count);
-  in.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(count * sizeof(T)));
-  if (!in) throw IoError(std::string("ReadDatasetBinary: truncated ") + what);
+  ReadPodVec(in, v, count, (std::string("ReadDatasetBinary: ") + what).c_str());
 }
 
 }  // namespace

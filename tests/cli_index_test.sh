@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# End-to-end CLI contract test for the index/query subcommands, registered
+# with ctest (tests/CMakeLists.txt): exit code 0 on the happy path, 1 on
+# usage errors, and 2 with a one-line diagnostic — never a crash — on
+# corrupt, truncated, version-bumped or wrong-magic index files.
+#
+# Usage: cli_index_test.sh /path/to/bayeslsh_cli
+set -u
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fails=0
+check_rc() { # description expected_rc actual_rc
+  if [ "$3" -ne "$2" ]; then
+    echo "FAIL: $1 (expected exit $2, got $3)" >&2
+    fails=$((fails + 1))
+  fi
+}
+check_one_error_line() { # description stderr_file
+  lines=$(wc -l < "$2")
+  if [ "$lines" -ne 1 ] || ! grep -q '^error:' "$2"; then
+    echo "FAIL: $1 (expected one 'error:' line, got $lines line(s)):" >&2
+    cat "$2" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+"$CLI" generate --kind text --vectors 200 --output corpus.txt --seed 5 \
+  2>/dev/null
+check_rc "generate" 0 $?
+
+"$CLI" index --input corpus.txt --output corpus.idx --measure cosine \
+  --threshold 0.6 --tfidf --normalize 2>/dev/null
+check_rc "index build" 0 $?
+
+"$CLI" query --index corpus.idx --query-file corpus.txt --normalize \
+  --top-k 5 --output matches.txt 2>/dev/null
+check_rc "query against valid index" 0 $?
+[ -s matches.txt ] || { echo "FAIL: query produced no output" >&2; fails=$((fails + 1)); }
+
+# Usage errors: exit 1.
+"$CLI" index --input corpus.txt 2>/dev/null
+check_rc "index without --output" 1 $?
+"$CLI" query --index corpus.idx 2>/dev/null
+check_rc "query without --query-file" 1 $?
+
+# Wrong magic: a dataset file is not an index.
+"$CLI" query --index corpus.txt --query-file corpus.txt 2>err.txt
+check_rc "dataset file as index" 2 $?
+check_one_error_line "dataset file as index" err.txt
+
+# Truncations at several depths: header, dataset section, tail.
+size=$(wc -c < corpus.idx)
+for len in 4 20 200 $((size / 2)) $((size - 3)); do
+  head -c "$len" corpus.idx > trunc.idx
+  "$CLI" query --index trunc.idx --query-file corpus.txt 2>err.txt
+  check_rc "truncated index ($len bytes)" 2 $?
+  check_one_error_line "truncated index ($len bytes)" err.txt
+done
+
+# Version bump: byte 8 is the little-endian format-version LSB.
+cp corpus.idx bumped.idx
+printf '\x63' | dd of=bumped.idx bs=1 seek=8 count=1 conv=notrunc 2>/dev/null
+"$CLI" query --index bumped.idx --query-file corpus.txt 2>err.txt
+check_rc "version-bumped index" 2 $?
+check_one_error_line "version-bumped index" err.txt
+grep -q 'version' err.txt || { echo "FAIL: version bump not diagnosed as such" >&2; fails=$((fails + 1)); }
+
+# Header corruption: flip a seed byte; the config fingerprint must catch it.
+cp corpus.idx corrupt.idx
+printf '\xff' | dd of=corrupt.idx bs=1 seek=16 count=1 conv=notrunc 2>/dev/null
+"$CLI" query --index corrupt.idx --query-file corpus.txt 2>err.txt
+check_rc "header-corrupted index" 2 $?
+check_one_error_line "header-corrupted index" err.txt
+
+# Pure garbage.
+head -c 4096 /dev/urandom > garbage.idx
+"$CLI" query --index garbage.idx --query-file corpus.txt 2>err.txt
+check_rc "garbage index" 2 $?
+check_one_error_line "garbage index" err.txt
+
+# Missing file.
+"$CLI" query --index /nonexistent/nope.idx --query-file corpus.txt 2>err.txt
+check_rc "missing index file" 2 $?
+check_one_error_line "missing index file" err.txt
+
+# Query file over a different vocabulary (dimensionality mismatch).
+"$CLI" generate --kind graph --vectors 50 --output other.txt --seed 9 \
+  2>/dev/null
+"$CLI" query --index corpus.idx --query-file other.txt 2>err.txt
+check_rc "query file dimensionality mismatch" 2 $?
+check_one_error_line "query file dimensionality mismatch" err.txt
+
+# A banding shape the load path could never accept is refused at build
+# time (usage error, not a broken index file).
+"$CLI" index --input corpus.txt --output never.idx --band-hashes 65 \
+  2>err.txt
+check_rc "unloadable banding shape refused at build" 1 $?
+[ ! -e never.idx ] || { echo "FAIL: unloadable index was written" >&2; fails=$((fails + 1)); }
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails CLI contract check(s) failed" >&2
+  exit 1
+fi
+echo "all CLI index/query contract checks passed"

@@ -1,0 +1,505 @@
+// Tests for the persistent index subsystem (core/index_io.h and the
+// Save/Load APIs it orchestrates): store/table round trips, loaded-vs-fresh
+// query determinism for every hasher kind and thread count, pipeline and
+// top-k warm starts, and rejection of corrupt, truncated, version-bumped
+// and config-mismatched index files.
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "candgen/banding_index.h"
+#include "core/index_io.h"
+#include "core/pipeline.h"
+#include "core/query_search.h"
+#include "core/topk_search.h"
+#include "data/graph_generator.h"
+#include "data/text_generator.h"
+#include "lsh/bbit_minwise.h"
+#include "lsh/gaussian_source.h"
+#include "lsh/signature_store.h"
+#include "vec/transforms.h"
+
+namespace bayeslsh {
+namespace {
+
+Dataset TextWeighted(uint64_t seed, uint32_t docs = 400) {
+  TextCorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.vocab_size = 3000;
+  cfg.avg_doc_len = 50;
+  cfg.num_clusters = docs / 10;
+  cfg.cluster_size = 4;
+  cfg.seed = seed;
+  return L2NormalizeRows(TfIdfTransform(GenerateTextCorpus(cfg)));
+}
+
+Dataset GraphBinary(uint64_t seed, uint32_t nodes = 400) {
+  GraphConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.avg_degree = 16;
+  cfg.num_communities = nodes / 10;
+  cfg.community_size = 4;
+  cfg.seed = seed;
+  return GenerateGraphAdjacency(cfg);
+}
+
+// --- store-level round trips ---
+
+TEST(SignatureStoreSerialization, BitStoreRoundTrip) {
+  const Dataset data = TextWeighted(11, 100);
+  const ImplicitGaussianSource gauss(123);
+  BitSignatureStore store(&data, SrpHasher(&gauss));
+  for (uint32_t r = 0; r < 50; ++r) store.EnsureBits(r, 64 + (r % 3) * 64);
+
+  std::stringstream ss;
+  store.Save(ss);
+  BitSignatureStore loaded(&data, SrpHasher(&gauss));
+  loaded.Load(ss);
+
+  EXPECT_EQ(loaded.bits_computed(), store.bits_computed());
+  for (uint32_t r = 0; r < data.num_vectors(); ++r) {
+    ASSERT_EQ(loaded.NumBits(r), store.NumBits(r));
+    for (uint32_t w = 0; w < store.NumBits(r) / 64; ++w) {
+      ASSERT_EQ(loaded.Words(r)[w], store.Words(r)[w]);
+    }
+  }
+  // The loaded store keeps growing correctly past the loaded prefix.
+  EXPECT_EQ(loaded.MatchCount(0, 1, 0, 512), store.MatchCount(0, 1, 0, 512));
+}
+
+TEST(SignatureStoreSerialization, IntStoreRoundTrip) {
+  const Dataset data = GraphBinary(12, 100);
+  IntSignatureStore store(&data, MinwiseHasher(77));
+  for (uint32_t r = 0; r < 60; ++r) store.EnsureHashes(r, 16 + (r % 4) * 16);
+
+  std::stringstream ss;
+  store.Save(ss);
+  IntSignatureStore loaded(&data, MinwiseHasher(77));
+  loaded.Load(ss);
+
+  EXPECT_EQ(loaded.hashes_computed(), store.hashes_computed());
+  for (uint32_t r = 0; r < data.num_vectors(); ++r) {
+    ASSERT_EQ(loaded.NumHashes(r), store.NumHashes(r));
+    for (uint32_t i = 0; i < store.NumHashes(r); ++i) {
+      ASSERT_EQ(loaded.Hashes(r)[i], store.Hashes(r)[i]);
+    }
+  }
+  EXPECT_EQ(loaded.MatchCount(2, 3, 0, 128), store.MatchCount(2, 3, 0, 128));
+}
+
+TEST(SignatureStoreSerialization, BbitStoreRoundTrip) {
+  const Dataset data = GraphBinary(13, 100);
+  BbitSignatureStore store(&data, MinwiseHasher(88), 2);
+  for (uint32_t r = 0; r < 60; ++r) store.EnsureHashes(r, 64);
+
+  std::stringstream ss;
+  store.Save(ss);
+  BbitSignatureStore loaded(&data, MinwiseHasher(88), 2);
+  loaded.Load(ss);
+
+  EXPECT_EQ(loaded.hashes_computed(), store.hashes_computed());
+  for (uint32_t r = 0; r < 60; ++r) {
+    ASSERT_EQ(loaded.NumHashes(r), store.NumHashes(r));
+    for (uint32_t j = 0; j < store.NumHashes(r); ++j) {
+      ASSERT_EQ(loaded.HashValue(r, j), store.HashValue(r, j));
+    }
+  }
+  EXPECT_EQ(loaded.MatchCount(0, 1, 0, 128), store.MatchCount(0, 1, 0, 128));
+}
+
+TEST(SignatureStoreSerialization, WrongKindRejected) {
+  const Dataset data = GraphBinary(14, 20);
+  IntSignatureStore ints(&data, MinwiseHasher(1));
+  ints.EnsureAllHashes(16);
+  std::stringstream ss;
+  ints.Save(ss);
+  const ImplicitGaussianSource gauss(1);
+  BitSignatureStore bits(&data, SrpHasher(&gauss));
+  EXPECT_THROW(bits.Load(ss), IoError);
+}
+
+TEST(SignatureStoreSerialization, RowCountMismatchRejected) {
+  const Dataset data = GraphBinary(15, 20);
+  const Dataset other = GraphBinary(15, 30);
+  IntSignatureStore store(&data, MinwiseHasher(1));
+  store.EnsureAllHashes(16);
+  std::stringstream ss;
+  store.Save(ss);
+  IntSignatureStore target(&other, MinwiseHasher(1));
+  EXPECT_THROW(target.Load(ss), IoError);
+}
+
+TEST(GaussianTableSerialization, SlabRoundTrip) {
+  QuantizedGaussianStore store(99, 50, 256);
+  double chunk[kSrpChunkBits];
+  store.FillChunk(7, 1, chunk);  // Materializes slab 1.
+  store.FillChunk(9, 3, chunk);  // Materializes slab 3.
+
+  std::stringstream ss;
+  store.SaveTables(ss);
+  QuantizedGaussianStore loaded(99, 50, 256);
+  loaded.LoadTables(ss);
+  EXPECT_EQ(loaded.table_bytes(), store.table_bytes());
+  double a[kSrpChunkBits], b[kSrpChunkBits];
+  for (uint32_t dim = 0; dim < 50; ++dim) {
+    for (uint32_t c : {1u, 3u}) {
+      store.FillChunk(dim, c, a);
+      loaded.FillChunk(dim, c, b);
+      for (uint32_t j = 0; j < kSrpChunkBits; ++j) ASSERT_EQ(a[j], b[j]);
+    }
+  }
+}
+
+TEST(GaussianTableSerialization, ConfigMismatchRejected) {
+  QuantizedGaussianStore store(99, 50, 256);
+  double chunk[kSrpChunkBits];
+  store.FillChunk(0, 0, chunk);
+  std::stringstream ss;
+  store.SaveTables(ss);
+  QuantizedGaussianStore other_seed(100, 50, 256);
+  EXPECT_THROW(other_seed.LoadTables(ss), IoError);
+}
+
+// --- loaded-vs-fresh query determinism, all hasher kinds x threads ---
+
+struct IndexCase {
+  const char* name;
+  Measure measure;
+  uint32_t bbit;
+  double threshold;
+};
+
+class IndexRoundTrip
+    : public ::testing::TestWithParam<std::tuple<IndexCase, uint32_t>> {};
+
+TEST_P(IndexRoundTrip, LoadedIndexQueriesIdenticalToFresh) {
+  const auto& [c, threads] = GetParam();
+  const bool cosine = c.measure != Measure::kJaccard;
+  const Dataset data = cosine ? TextWeighted(21) : GraphBinary(21);
+  const Dataset queries = cosine ? TextWeighted(22, 40) : GraphBinary(22, 40);
+
+  QuerySearchConfig qcfg;
+  qcfg.measure = c.measure;
+  qcfg.threshold = c.threshold;
+  qcfg.bbit = c.bbit;
+  qcfg.seed = 42;
+  qcfg.num_threads = threads;
+
+  IndexBuildConfig icfg;
+  icfg.measure = c.measure;
+  icfg.threshold = c.threshold;
+  icfg.bbit = c.bbit;
+  icfg.seed = 42;
+  icfg.num_threads = threads;
+
+  const QuerySearcher fresh(&data, qcfg);
+
+  // Built in memory, and round-tripped through the binary format.
+  const auto built = PersistentIndex::Build(data, icfg);
+  std::stringstream file;
+  built->Save(file);
+  const auto loaded = PersistentIndex::Load(file);
+  EXPECT_EQ(loaded->Fingerprint(), built->Fingerprint());
+
+  const QuerySearcher warm(built.get(), qcfg);
+  const QuerySearcher warm_loaded(loaded.get(), qcfg);
+
+  EXPECT_EQ(warm_loaded.num_bands(), fresh.num_bands());
+  EXPECT_EQ(warm_loaded.hashes_per_band(), fresh.hashes_per_band());
+
+  // Out-of-collection queries...
+  for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
+    const SparseVectorView q = queries.Row(qid);
+    const auto expect = fresh.Query(q);
+    EXPECT_EQ(warm.Query(q), expect) << c.name << " qid=" << qid;
+    EXPECT_EQ(warm_loaded.Query(q), expect) << c.name << " qid=" << qid;
+  }
+  // ...and collection rows, which match at least themselves — so the
+  // equality checks are not vacuous.
+  uint64_t total_matches = 0;
+  for (uint32_t qid = 0; qid < 20; ++qid) {
+    const SparseVectorView q = data.Row(qid);
+    const auto expect = fresh.Query(q);
+    EXPECT_EQ(warm.Query(q), expect) << c.name << " row qid=" << qid;
+    EXPECT_EQ(warm_loaded.Query(q), expect) << c.name << " row qid=" << qid;
+    total_matches += expect.size();
+  }
+  EXPECT_GT(total_matches, 0u);
+}
+
+// Serialization is deterministic: saving the same index twice (and saving
+// a loaded copy) produces identical bytes.
+TEST_P(IndexRoundTrip, SerializationIsByteStable) {
+  const auto& [c, threads] = GetParam();
+  const bool cosine = c.measure != Measure::kJaccard;
+  const Dataset data = cosine ? TextWeighted(31, 120) : GraphBinary(31, 120);
+  IndexBuildConfig icfg;
+  icfg.measure = c.measure;
+  icfg.threshold = c.threshold;
+  icfg.bbit = c.bbit;
+  icfg.seed = 7;
+  icfg.num_threads = threads;
+  const auto index = PersistentIndex::Build(data, icfg);
+  std::stringstream a, b;
+  index->Save(a);
+  index->Save(b);
+  EXPECT_EQ(a.str(), b.str());
+  std::stringstream a2(a.str());
+  const auto reloaded = PersistentIndex::Load(a2);
+  std::stringstream c2;
+  reloaded->Save(c2);
+  EXPECT_EQ(c2.str(), a.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, IndexRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(
+            IndexCase{"srp_cosine", Measure::kCosine, 0, 0.6},
+            IndexCase{"minwise_jaccard", Measure::kJaccard, 0, 0.4},
+            IndexCase{"bbit_jaccard", Measure::kJaccard, 2, 0.4},
+            IndexCase{"srp_binary_cosine", Measure::kBinaryCosine, 0, 0.6}),
+        ::testing::Values(1u, 8u)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(IndexBuild, UnloadableBandingShapeRejected) {
+  const Dataset data = TextWeighted(35, 50);
+  IndexBuildConfig icfg;
+  icfg.measure = Measure::kCosine;
+  icfg.threshold = 0.6;
+  icfg.banding.hashes_per_band = 65;  // The load path caps k at 64.
+  EXPECT_THROW(PersistentIndex::Build(data, icfg), std::invalid_argument);
+}
+
+// --- pipeline / top-k warm start ---
+
+TEST(PipelineWarmStart, WarmRunsIdenticalAndHashLess) {
+  const Dataset data = TextWeighted(41);
+  IndexBuildConfig icfg;
+  icfg.measure = Measure::kCosine;
+  icfg.threshold = 0.6;
+  icfg.seed = 42;
+  icfg.prefetch_hashes = 128;
+  const auto index = PersistentIndex::Build(data, icfg);
+
+  PipelineConfig cfg;
+  cfg.measure = Measure::kCosine;
+  cfg.generator = GeneratorKind::kLsh;
+  cfg.verifier = VerifierKind::kBayesLsh;
+  cfg.threshold = 0.6;
+  cfg.seed = 42;
+  const PipelineResult cold = RunPipeline(data, cfg);
+  cfg.warm_index = index.get();
+  const PipelineResult warm = RunPipeline(data, cfg);
+
+  EXPECT_EQ(warm.pairs.size(), cold.pairs.size());
+  for (size_t i = 0; i < cold.pairs.size(); ++i) {
+    EXPECT_EQ(warm.pairs[i].a, cold.pairs[i].a);
+    EXPECT_EQ(warm.pairs[i].b, cold.pairs[i].b);
+    EXPECT_DOUBLE_EQ(warm.pairs[i].sim, cold.pairs[i].sim);
+  }
+  EXPECT_LT(warm.verify_hashes_computed, cold.verify_hashes_computed);
+}
+
+TEST(PipelineWarmStart, JaccardWarmRunsIdentical) {
+  const Dataset data = GraphBinary(42);
+  IndexBuildConfig icfg;
+  icfg.measure = Measure::kJaccard;
+  icfg.threshold = 0.4;
+  icfg.seed = 42;
+  icfg.prefetch_hashes = 64;
+  const auto index = PersistentIndex::Build(data, icfg);
+
+  PipelineConfig cfg;
+  cfg.measure = Measure::kJaccard;
+  cfg.generator = GeneratorKind::kLsh;
+  cfg.verifier = VerifierKind::kBayesLshLite;
+  cfg.threshold = 0.4;
+  cfg.seed = 42;
+  const PipelineResult cold = RunPipeline(data, cfg);
+  cfg.warm_index = index.get();
+  const PipelineResult warm = RunPipeline(data, cfg);
+  ASSERT_EQ(warm.pairs.size(), cold.pairs.size());
+  for (size_t i = 0; i < cold.pairs.size(); ++i) {
+    EXPECT_EQ(warm.pairs[i].a, cold.pairs[i].a);
+    EXPECT_EQ(warm.pairs[i].b, cold.pairs[i].b);
+    EXPECT_DOUBLE_EQ(warm.pairs[i].sim, cold.pairs[i].sim);
+  }
+  EXPECT_LE(warm.verify_hashes_computed, cold.verify_hashes_computed);
+}
+
+// A run whose Gaussian cache supplies quantized tables hashes slightly
+// different bits than the index's exact implicit source; adoption must
+// cold-start there so warm == cold still holds.
+TEST(PipelineWarmStart, QuantizedCacheRunsStayIdentical) {
+  const Dataset data = TextWeighted(45, 200);
+  IndexBuildConfig icfg;
+  icfg.measure = Measure::kCosine;
+  icfg.threshold = 0.6;
+  icfg.seed = 42;
+  const auto index = PersistentIndex::Build(data, icfg);
+
+  GaussianSourceCache quantized(data.num_dims(), 2048);
+  PipelineConfig cfg;
+  cfg.measure = Measure::kCosine;
+  cfg.generator = GeneratorKind::kLsh;
+  cfg.verifier = VerifierKind::kBayesLsh;
+  cfg.threshold = 0.6;
+  cfg.seed = 42;
+  cfg.gaussian_cache = &quantized;
+  const PipelineResult cold = RunPipeline(data, cfg);
+  cfg.warm_index = index.get();
+  const PipelineResult warm = RunPipeline(data, cfg);
+  ASSERT_EQ(warm.pairs.size(), cold.pairs.size());
+  for (size_t i = 0; i < cold.pairs.size(); ++i) {
+    EXPECT_EQ(warm.pairs[i].a, cold.pairs[i].a);
+    EXPECT_EQ(warm.pairs[i].b, cold.pairs[i].b);
+    EXPECT_DOUBLE_EQ(warm.pairs[i].sim, cold.pairs[i].sim);
+  }
+}
+
+TEST(PipelineWarmStart, MismatchedIndexRejected) {
+  const Dataset data = TextWeighted(43, 120);
+  IndexBuildConfig icfg;
+  icfg.measure = Measure::kCosine;
+  icfg.threshold = 0.6;
+  icfg.seed = 1;
+  const auto index = PersistentIndex::Build(data, icfg);
+
+  PipelineConfig cfg;
+  cfg.measure = Measure::kCosine;
+  cfg.generator = GeneratorKind::kLsh;
+  cfg.threshold = 0.6;
+  cfg.seed = 2;  // Different master seed: adopted signatures would lie.
+  cfg.warm_index = index.get();
+  EXPECT_THROW(RunPipeline(data, cfg), std::invalid_argument);
+
+  cfg.seed = 1;
+  cfg.measure = Measure::kJaccard;
+  EXPECT_THROW(RunPipeline(GraphBinary(43, 120), cfg),
+               std::invalid_argument);
+}
+
+TEST(TopKWarmStart, WarmTopKIdenticalToCold) {
+  const Dataset data = TextWeighted(44);
+  IndexBuildConfig icfg;
+  icfg.measure = Measure::kCosine;
+  icfg.threshold = 0.5;
+  icfg.seed = 42;
+  icfg.prefetch_hashes = 128;
+  const auto index = PersistentIndex::Build(data, icfg);
+
+  TopKConfig cfg;
+  cfg.measure = Measure::kCosine;
+  cfg.generator = GeneratorKind::kLsh;
+  cfg.k = 25;
+  cfg.seed = 42;
+  const auto cold = TopKAllPairs(data, cfg);
+  const auto warm = TopKAllPairs(*index, cfg);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(warm[i].a, cold[i].a);
+    EXPECT_EQ(warm[i].b, cold[i].b);
+    EXPECT_DOUBLE_EQ(warm[i].sim, cold[i].sim);
+  }
+}
+
+// --- corrupt / mismatched index files ---
+
+class IndexCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const Dataset data = GraphBinary(51, 120);
+    IndexBuildConfig icfg;
+    icfg.measure = Measure::kJaccard;
+    icfg.threshold = 0.4;
+    icfg.seed = 42;
+    index_ = PersistentIndex::Build(data, icfg);
+    std::stringstream ss;
+    index_->Save(ss);
+    bytes_ = ss.str();
+  }
+
+  static void ExpectRejected(std::string bytes) {
+    std::stringstream ss(std::move(bytes));
+    EXPECT_THROW(PersistentIndex::Load(ss), IndexError);
+  }
+
+  std::unique_ptr<PersistentIndex> index_;
+  std::string bytes_;
+};
+
+TEST_F(IndexCorruption, IntactFileLoads) {
+  std::stringstream ss(bytes_);
+  EXPECT_NE(PersistentIndex::Load(ss), nullptr);
+}
+
+TEST_F(IndexCorruption, WrongMagicRejected) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  ExpectRejected(bad);
+  ExpectRejected("not an index at all");
+  ExpectRejected("");
+}
+
+TEST_F(IndexCorruption, VersionBumpRejected) {
+  std::string bad = bytes_;
+  bad[8] = static_cast<char>(kIndexFormatVersion + 1);  // u32 version LSB.
+  ExpectRejected(bad);
+}
+
+TEST_F(IndexCorruption, TruncationsRejectedEverywhere) {
+  // Cutting the file anywhere — header, dataset, banding, signatures or
+  // the end marker — must throw, never crash or return a partial index.
+  for (size_t len : {size_t{4}, size_t{11}, size_t{40}, bytes_.size() / 4,
+                     bytes_.size() / 2, bytes_.size() - 9,
+                     bytes_.size() - 1}) {
+    ExpectRejected(bytes_.substr(0, len));
+  }
+}
+
+TEST_F(IndexCorruption, TrailingGarbageRejected) {
+  ExpectRejected(bytes_ + "extra");
+}
+
+TEST_F(IndexCorruption, HeaderCorruptionCaughtByFingerprint) {
+  std::string bad = bytes_;
+  bad[16] ^= 0x01;  // Flip a bit in the seed field.
+  ExpectRejected(bad);
+}
+
+TEST_F(IndexCorruption, SearcherConfigMismatchRejected) {
+  QuerySearchConfig cfg;
+  cfg.measure = Measure::kJaccard;
+  cfg.threshold = 0.4;
+  cfg.seed = 43;  // Index was built with seed 42.
+  EXPECT_THROW(QuerySearcher(index_.get(), cfg), IndexError);
+
+  cfg.seed = 42;
+  cfg.measure = Measure::kCosine;
+  EXPECT_THROW(QuerySearcher(index_.get(), cfg), IndexError);
+
+  cfg.measure = Measure::kJaccard;
+  cfg.bbit = 2;  // Index stores full-width minwise signatures.
+  EXPECT_THROW(QuerySearcher(index_.get(), cfg), IndexError);
+
+  cfg.bbit = 0;
+  cfg.banding.num_bands = index_->num_bands() + 1;
+  EXPECT_THROW(QuerySearcher(index_.get(), cfg), IndexError);
+
+  // A compatible config (different threshold is allowed) constructs fine.
+  cfg.banding.num_bands = 0;
+  cfg.threshold = 0.5;
+  EXPECT_NO_THROW(QuerySearcher(index_.get(), cfg));
+}
+
+}  // namespace
+}  // namespace bayeslsh

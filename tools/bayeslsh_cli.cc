@@ -9,6 +9,17 @@
 //       Runs the full pipeline on a dataset file (see vec/io.h for the
 //       format) and writes one "a b similarity" line per result pair.
 //
+//   bayeslsh index --input corpus --output corpus.idx [options]
+//       Builds the persistent serving index (banding buckets + prefetched
+//       verification signatures) and writes it as one binary file
+//       (docs/FORMATS.md).
+//
+//   bayeslsh query --index corpus.idx --query-file q.txt [options]
+//       Loads a persistent index and runs every row of the query file
+//       against it, writing one "query_id match_id similarity" line per
+//       match. Repeated invocations amortize index construction: only the
+//       load (I/O-bound) is paid per process.
+//
 //   bayeslsh generate --kind text|graph --vectors N --output data.txt
 //            [--seed S]
 //       Writes a synthetic corpus in the library's dataset format, so the
@@ -17,14 +28,17 @@
 //   bayeslsh stats --input data.txt
 //       Prints Table-1-style statistics for a dataset file.
 //
-// Exit codes: 0 success, 1 bad usage, 2 I/O or data error.
+// Exit codes: 0 success, 1 bad usage, 2 I/O or data error (including
+// corrupt, truncated or version-mismatched index files).
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bayeslsh/bayeslsh.h"
@@ -38,6 +52,8 @@ int Usage() {
       stderr,
       "usage:\n"
       "  bayeslsh allpairs --input FILE --threshold T [options]\n"
+      "  bayeslsh index    --input FILE --output FILE.idx [options]\n"
+      "  bayeslsh query    --index FILE.idx --query-file FILE [options]\n"
       "  bayeslsh generate --kind text|graph --vectors N --output FILE\n"
       "           [--binary]\n"
       "  bayeslsh stats --input FILE\n"
@@ -52,7 +68,22 @@ int Usage() {
       "  --epsilon E --delta D --gamma G          (default 0.03/0.05/0.03)\n"
       "  --threads N                              (0 = all cores; default 1)\n"
       "  --tfidf --normalize                      (input transforms)\n"
-      "  --seed S --output FILE\n");
+      "  --seed S --output FILE\n"
+      "\n"
+      "index options:\n"
+      "  --measure cosine|jaccard|binary-cosine   (default cosine)\n"
+      "  --threshold T                            (default 0.7)\n"
+      "  --bands L --band-hashes K                (0 = derive; default 0)\n"
+      "  --bbit B                                 (Jaccard: b-bit signatures)\n"
+      "  --prefetch H                             (verification hashes/row)\n"
+      "  --threads N --seed S --tfidf --normalize\n"
+      "\n"
+      "query options:\n"
+      "  --threshold T      (default: the index's build threshold)\n"
+      "  --top-k K          (keep only the K best matches per query)\n"
+      "  --exact            (exact verification of unpruned candidates)\n"
+      "  --normalize        (L2-normalize query rows; cosine indexes)\n"
+      "  --threads N --output FILE\n");
   return 1;
 }
 
@@ -95,6 +126,41 @@ struct Args {
   }
 };
 
+// Parses --measure into *out; returns false (after printing an error) on an
+// unknown name.
+bool ParseMeasure(const Args& args, Measure* out) {
+  const std::string measure = args.Get("measure", "cosine");
+  if (measure == "cosine") {
+    *out = Measure::kCosine;
+  } else if (measure == "jaccard") {
+    *out = Measure::kJaccard;
+  } else if (measure == "binary-cosine") {
+    *out = Measure::kBinaryCosine;
+  } else {
+    std::fprintf(stderr, "error: unknown measure '%s'\n", measure.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Parses --threads into *out; returns false (after printing an error) on a
+// malformed value.
+bool ParseThreads(const Args& args, uint32_t* out) {
+  const std::string threads = args.Get("threads", "1");
+  char* end = nullptr;
+  const long long v = std::strtoll(threads.c_str(), &end, 10);
+  if (end == threads.c_str() || *end != '\0' || v < 0 ||
+      v > static_cast<long long>(UINT32_MAX)) {
+    std::fprintf(stderr,
+                 "error: --threads must be a non-negative integer "
+                 "(got '%s')\n",
+                 threads.c_str());
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
 int RunAllPairs(const Args& args) {
   if (!args.Has("input") || !args.Has("threshold")) return Usage();
 
@@ -108,17 +174,7 @@ int RunAllPairs(const Args& args) {
   if (args.Has("tfidf")) data = TfIdfTransform(data);
 
   PipelineConfig cfg;
-  const std::string measure = args.Get("measure", "cosine");
-  if (measure == "cosine") {
-    cfg.measure = Measure::kCosine;
-  } else if (measure == "jaccard") {
-    cfg.measure = Measure::kJaccard;
-  } else if (measure == "binary-cosine") {
-    cfg.measure = Measure::kBinaryCosine;
-  } else {
-    std::fprintf(stderr, "error: unknown measure '%s'\n", measure.c_str());
-    return 1;
-  }
+  if (!ParseMeasure(args, &cfg.measure)) return 1;
   // Cosine expects unit rows; normalize by default for cosine (opt-out by
   // passing pre-normalized data without --normalize is fine too).
   if (cfg.measure == Measure::kCosine &&
@@ -156,20 +212,7 @@ int RunAllPairs(const Args& args) {
   cfg.bayes.delta = args.GetDouble("delta", 0.05);
   cfg.bayes.gamma = args.GetDouble("gamma", 0.03);
   cfg.seed = args.GetUint("seed", 42);
-  {
-    const std::string threads = args.Get("threads", "1");
-    char* end = nullptr;
-    const long long v = std::strtoll(threads.c_str(), &end, 10);
-    if (end == threads.c_str() || *end != '\0' || v < 0 ||
-        v > static_cast<long long>(UINT32_MAX)) {
-      std::fprintf(stderr,
-                   "error: --threads must be a non-negative integer "
-                   "(got '%s')\n",
-                   threads.c_str());
-      return 1;
-    }
-    cfg.num_threads = static_cast<uint32_t>(v);
-  }
+  if (!ParseThreads(args, &cfg.num_threads)) return 1;
 
   const PipelineResult result = RunPipeline(data, cfg);
 
@@ -196,6 +239,133 @@ int RunAllPairs(const Args& args) {
                result.pairs.size(), result.total_seconds,
                result.generate_seconds, result.verify_seconds,
                result.threads_used, result.threads_used == 1 ? "" : "s");
+  return 0;
+}
+
+int RunIndex(const Args& args) {
+  if (!args.Has("input") || !args.Has("output")) return Usage();
+
+  Dataset data;
+  try {
+    data = ReadDatasetAutoFile(args.Get("input", ""));
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (args.Has("tfidf")) data = TfIdfTransform(data);
+
+  IndexBuildConfig cfg;
+  if (!ParseMeasure(args, &cfg.measure)) return 1;
+  if (cfg.measure == Measure::kCosine &&
+      (args.Has("normalize") || args.Has("tfidf"))) {
+    data = L2NormalizeRows(data);
+  }
+  cfg.threshold = args.GetDouble("threshold", 0.7);
+  cfg.banding.num_bands = static_cast<uint32_t>(args.GetUint("bands", 0));
+  cfg.banding.hashes_per_band =
+      static_cast<uint32_t>(args.GetUint("band-hashes", 0));
+  cfg.bbit = static_cast<uint32_t>(args.GetUint("bbit", 0));
+  cfg.prefetch_hashes = static_cast<uint32_t>(args.GetUint("prefetch", 0));
+  cfg.seed = args.GetUint("seed", 42);
+  if (!ParseThreads(args, &cfg.num_threads)) return 1;
+
+  try {
+    WallTimer build_timer;
+    const std::unique_ptr<PersistentIndex> index =
+        PersistentIndex::Build(std::move(data), cfg);
+    const double build_s = build_timer.Seconds();
+    WallTimer save_timer;
+    index->SaveFile(args.Get("output", ""));
+    std::fprintf(stderr,
+                 "indexed %u vectors: %u bands x %u hashes, built in "
+                 "%.3f s, saved to %s in %.3f s\n",
+                 index->data().num_vectors(), index->num_bands(),
+                 index->hashes_per_band(), build_s,
+                 args.Get("output", "").c_str(), save_timer.Seconds());
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  if (!args.Has("index") || !args.Has("query-file")) return Usage();
+
+  std::unique_ptr<PersistentIndex> index;
+  Dataset queries;
+  WallTimer load_timer;
+  try {
+    index = PersistentIndex::LoadFile(args.Get("index", ""));
+    queries = ReadDatasetAutoFile(args.Get("query-file", ""));
+  } catch (const std::exception& e) {  // IoError/IndexError, bad_alloc.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const double load_s = load_timer.Seconds();
+  // A dimensionality mismatch means the query file was vectorized over a
+  // different vocabulary — similarities against it would be meaningless,
+  // so fail closed rather than emit garbage.
+  if (queries.num_dims() != index->data().num_dims()) {
+    std::fprintf(stderr,
+                 "error: query file dimensionality %u does not match the "
+                 "index's %u (different vocabulary?)\n",
+                 queries.num_dims(), index->data().num_dims());
+    return 2;
+  }
+  if (args.Has("normalize") && index->measure() == Measure::kCosine) {
+    queries = L2NormalizeRows(queries);
+  }
+
+  QuerySearchConfig cfg;
+  cfg.measure = index->measure();
+  cfg.threshold = args.GetDouble("threshold", index->build_threshold());
+  cfg.exact_verification = args.Has("exact");
+  cfg.seed = index->seed();
+  cfg.bbit = index->bbit();
+  if (!ParseThreads(args, &cfg.num_threads)) return 1;
+  const auto top_k = static_cast<uint32_t>(args.GetUint("top-k", 0));
+
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (args.Has("output")) {
+    file.open(args.Get("output", ""));
+    if (!file) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   args.Get("output", "").c_str());
+      return 2;
+    }
+    out = &file;
+  }
+
+  try {
+    WallTimer query_timer;
+    const QuerySearcher searcher(index.get(), cfg);
+    uint64_t total_matches = 0;
+    for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
+      const SparseVectorView q = queries.Row(qid);
+      const std::vector<QueryMatch> matches =
+          top_k != 0 ? searcher.QueryTopK(q, top_k) : searcher.Query(q);
+      for (const QueryMatch& m : matches) {
+        (*out) << qid << ' ' << m.id << ' ' << m.sim << '\n';
+      }
+      total_matches += matches.size();
+    }
+    std::fprintf(stderr,
+                 "%u quer%s against %u indexed vectors -> %llu matches "
+                 "(index loaded in %.3f s, served in %.3f s)\n",
+                 queries.num_vectors(),
+                 queries.num_vectors() == 1 ? "y" : "ies",
+                 index->data().num_vectors(),
+                 static_cast<unsigned long long>(total_matches), load_s,
+                 query_timer.Seconds());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   return 0;
 }
 
@@ -268,6 +438,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args = Args::Parse(argc, argv, 2);
   if (cmd == "allpairs") return RunAllPairs(args);
+  if (cmd == "index") return RunIndex(args);
+  if (cmd == "query") return RunQuery(args);
   if (cmd == "generate") return RunGenerate(args);
   if (cmd == "stats") return RunStats(args);
   return Usage();
