@@ -102,7 +102,9 @@ inline void CheckBenchArgs(int argc, char** argv) {
   }
 }
 
-// One pipeline run's record for the perf trajectory.
+// One pipeline run's record for the perf trajectory. The serving phases
+// (bench/concurrent_serve.cc) additionally fill `queries` and `qps`
+// (queries served / verify_seconds); pipeline phases leave them 0.
 struct BenchRecord {
   std::string section;
   std::string dataset;
@@ -117,6 +119,8 @@ struct BenchRecord {
   uint64_t result_pairs = 0;
   uint64_t gen_hashes = 0;
   uint64_t verify_hashes = 0;
+  uint64_t queries = 0;
+  double qps = 0.0;
 };
 
 // Collects BenchRecords and writes them as one JSON document:
@@ -180,7 +184,8 @@ class BenchJsonWriter {
           "\"generate_seconds\": %.6f, \"verify_seconds\": %.6f, "
           "\"total_seconds\": %.6f, \"candidates\": %llu, "
           "\"raw_candidates\": %llu, \"result_pairs\": %llu, "
-          "\"gen_hashes\": %llu, \"verify_hashes\": %llu}",
+          "\"gen_hashes\": %llu, \"verify_hashes\": %llu, "
+          "\"queries\": %llu, \"qps\": %.1f}",
           i == 0 ? "" : ",", r.section.c_str(), r.dataset.c_str(),
           r.algorithm.c_str(), r.threshold, r.threads, r.generate_seconds,
           r.verify_seconds, r.total_seconds,
@@ -188,7 +193,8 @@ class BenchJsonWriter {
           static_cast<unsigned long long>(r.raw_candidates),
           static_cast<unsigned long long>(r.result_pairs),
           static_cast<unsigned long long>(r.gen_hashes),
-          static_cast<unsigned long long>(r.verify_hashes));
+          static_cast<unsigned long long>(r.verify_hashes),
+          static_cast<unsigned long long>(r.queries), r.qps);
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);

@@ -1,0 +1,203 @@
+// Concurrent-serve benchmark: queries/sec vs. worker threads for the
+// batched serving engine (QuerySearcher::QueryBatch) over a frozen
+// persistent index — the serve-side throughput record the freeze/serve
+// subsystem exists for.
+//
+// For each measure (cosine on Rcv1-like data, Jaccard full-width and
+// Jaccard b-bit on WikiLinks-like data) the bench builds one fully
+// prefetched index (IndexBuildConfig::prefetch_hashes = kPrefetchFull),
+// then records one JSON record per phase:
+//
+//   serial_loop     1-thread Query() loop on a frozen searcher — the
+//                   pre-batch baseline every other phase is checked
+//                   against match-for-match
+//   frozen_batch    Freeze() + QueryBatch at each thread count in
+//                   {1, 2, 8} ∪ {--threads} (generate_seconds = searcher
+//                   construction + freeze, verify_seconds = batch serve,
+//                   qps = queries / verify_seconds)
+//   cold_batch      QueryBatch on an unfrozen searcher at the largest
+//                   thread count — what the growth mutex costs when you
+//                   skip the freeze
+//
+// Usage: concurrent_serve [--threads N] [--json PATH]. Thread counts
+// above the machine's core count still measure correctness and overhead;
+// the throughput curve is only meaningful on CI-class multicore hardware.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/index_io.h"
+#include "core/query_search.h"
+
+namespace bayeslsh::bench {
+namespace {
+
+constexpr uint32_t kQueryBatch = 200;
+
+std::vector<SparseVectorView> MakeQueryViews(const Dataset& data) {
+  std::vector<SparseVectorView> views;
+  const uint32_t n = std::min(kQueryBatch, data.num_vectors());
+  views.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t row =
+        (i * (data.num_vectors() / kQueryBatch + 1)) % data.num_vectors();
+    views.push_back(data.Row(row));
+  }
+  return views;
+}
+
+uint64_t CountMatches(const std::vector<std::vector<QueryMatch>>& results) {
+  uint64_t total = 0;
+  for (const auto& r : results) total += r.size();
+  return total;
+}
+
+void RunMeasure(const std::string& section, Measure measure,
+                PaperDataset which, double threshold, uint32_t bbit,
+                uint32_t threads_arg, BenchJsonWriter* json) {
+  const BenchDataset prepared = PrepareDataset(
+      which, measure == Measure::kCosine ? Measure::kCosine
+                                         : Measure::kJaccard);
+  const Dataset& data = prepared.data;
+  const std::vector<SparseVectorView> queries = MakeQueryViews(data);
+
+  IndexBuildConfig icfg;
+  icfg.measure = measure;
+  icfg.threshold = threshold;
+  icfg.bbit = bbit;
+  icfg.seed = BenchSeed();
+  icfg.prefetch_hashes = kPrefetchFull;
+  icfg.num_threads = threads_arg;
+  const auto index = PersistentIndex::Build(data, icfg);
+
+  auto record = [&](const std::string& phase, uint32_t threads,
+                    double construct_s, double serve_s, uint64_t candidates,
+                    uint64_t matches) {
+    BenchRecord r;
+    r.section = section;
+    r.dataset = PaperDatasetName(which);
+    r.algorithm = phase;
+    r.threshold = threshold;
+    r.threads = ResolveNumThreads(threads);
+    r.generate_seconds = construct_s;
+    r.verify_seconds = serve_s;
+    r.total_seconds = construct_s + serve_s;
+    r.candidates = candidates;
+    r.result_pairs = matches;
+    r.queries = queries.size();
+    r.qps = serve_s > 0.0 ? queries.size() / serve_s : 0.0;
+    if (json != nullptr) json->Add(r);
+    std::printf("  %-13s %2u thread%s  %8.3f s ready  %8.3f s serve  "
+                "%9.1f q/s  (%llu matches)\n",
+                phase.c_str(), r.threads, r.threads == 1 ? " " : "s",
+                construct_s, serve_s, r.qps,
+                static_cast<unsigned long long>(matches));
+  };
+
+  PrintHeader("Concurrent serve — " + PaperDatasetName(which) + " (" +
+              section + ", t = " + Secs(threshold) + ")");
+
+  // Baseline: serial Query() loop on a frozen 1-thread searcher.
+  QuerySearchConfig qcfg;
+  qcfg.measure = measure;
+  qcfg.threshold = threshold;
+  qcfg.bbit = bbit;
+  qcfg.seed = BenchSeed();
+  qcfg.num_threads = 1;
+
+  uint64_t baseline_matches = 0;
+  {
+    WallTimer ready_timer;
+    QuerySearcher searcher(index.get(), qcfg);
+    searcher.Freeze();
+    const double ready_s = ready_timer.Seconds();
+    WallTimer serve_timer;
+    uint64_t candidates = 0;
+    for (const SparseVectorView& q : queries) {
+      QueryStats stats;
+      baseline_matches += searcher.Query(q, &stats).size();
+      candidates += stats.candidates;
+    }
+    record("serial_loop", 1, ready_s, serve_timer.Seconds(), candidates,
+           baseline_matches);
+  }
+
+  std::vector<uint32_t> thread_counts{1, 2, 8};
+  if (threads_arg != 0 &&
+      std::find(thread_counts.begin(), thread_counts.end(), threads_arg) ==
+          thread_counts.end()) {
+    thread_counts.push_back(threads_arg);
+  }
+  std::sort(thread_counts.begin(), thread_counts.end());
+
+  for (uint32_t threads : thread_counts) {
+    qcfg.num_threads = threads;
+    WallTimer ready_timer;
+    QuerySearcher searcher(index.get(), qcfg);
+    searcher.Freeze();
+    const double ready_s = ready_timer.Seconds();
+    WallTimer serve_timer;
+    QueryStats stats;
+    const auto results = searcher.QueryBatch(queries, &stats);
+    const double serve_s = serve_timer.Seconds();
+    const uint64_t matches = CountMatches(results);
+    record("frozen_batch", threads, ready_s, serve_s, stats.candidates,
+           matches);
+    if (matches != baseline_matches) {
+      std::fprintf(stderr,
+                   "error: frozen_batch@%u disagrees with the serial loop "
+                   "(%llu vs %llu matches) — determinism violation\n",
+                   threads, static_cast<unsigned long long>(matches),
+                   static_cast<unsigned long long>(baseline_matches));
+      std::exit(1);
+    }
+  }
+
+  // The cost of skipping Freeze(): growth-mutex traffic on every match
+  // round, at the largest thread count.
+  {
+    const uint32_t threads = thread_counts.back();
+    qcfg.num_threads = threads;
+    WallTimer ready_timer;
+    QuerySearcher searcher(index.get(), qcfg);
+    const double ready_s = ready_timer.Seconds();
+    WallTimer serve_timer;
+    QueryStats stats;
+    const auto results = searcher.QueryBatch(queries, &stats);
+    const uint64_t matches = CountMatches(results);
+    record("cold_batch", threads, ready_s, serve_timer.Seconds(),
+           stats.candidates, matches);
+    if (matches != baseline_matches) {
+      std::fprintf(stderr,
+                   "error: cold_batch@%u disagrees with the serial loop "
+                   "(%llu vs %llu matches) — determinism violation\n",
+                   threads, static_cast<unsigned long long>(matches),
+                   static_cast<unsigned long long>(baseline_matches));
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bayeslsh::bench
+
+int main(int argc, char** argv) {
+  using namespace bayeslsh;
+  using namespace bayeslsh::bench;
+  CheckBenchArgs(argc, argv);
+  const uint32_t threads = BenchThreads(argc, argv);
+  BenchJsonWriter json("concurrent_serve", BenchJsonPath(argc, argv),
+                       threads);
+
+  RunMeasure("concurrent_serve/cosine", Measure::kCosine,
+             PaperDataset::kRcv1, 0.7, 0, threads, &json);
+  RunMeasure("concurrent_serve/jaccard", Measure::kJaccard,
+             PaperDataset::kWikiLinks, 0.5, 0, threads, &json);
+  RunMeasure("concurrent_serve/jaccard_bbit", Measure::kJaccard,
+             PaperDataset::kWikiLinks, 0.5, 4, threads, &json);
+
+  return json.Write() ? 0 : 1;
+}

@@ -46,7 +46,11 @@
 /// threshold / top-k searches. `QuerySearcher(const Dataset*, config)`
 /// builds from scratch; `QuerySearcher(const PersistentIndex*, config)`
 /// warm-starts from a built or loaded index and answers pair-for-pair
-/// identically.
+/// identically. For concurrent traffic, `Freeze()` pins the signature
+/// store to an immutable lock-free serving form and `QueryBatch()`
+/// shards a whole batch of queries across the worker pool — results
+/// identical to a serial `Query()` loop at any thread count, safe from
+/// any number of caller threads.
 ///
 /// **Persistence** — `PersistentIndex` (core/index_io.h): `Build()` the
 /// full serving state offline, `Save()/SaveFile()` it as one versioned

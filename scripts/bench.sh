@@ -9,6 +9,8 @@
 #   OUT=BENCH_baseline.json scripts/bench.sh  # output path
 #   BENCH=serve_path scripts/bench.sh         # serve-path phases (JSON too,
 #                                             #   writes BENCH_serve_path.json)
+#   BENCH=concurrent_serve scripts/bench.sh   # queries/sec vs threads for
+#                                             #   frozen batch serving (JSON)
 #   BENCH=fig3_cosine_weighted scripts/bench.sh   # other bench binary
 #                                             #   (no JSON support: just runs)
 set -eu
@@ -29,7 +31,7 @@ cmake --build "$BUILD_DIR" -j --target "$BENCH"
 # Benches built on the shared JSON writer take --json; the older
 # figure-style binaries just print their tables.
 case "$BENCH" in
-  table2_speedups|serve_path)
+  table2_speedups|serve_path|concurrent_serve)
     "$BUILD_DIR/bench/$BENCH" --threads "$THREADS" --json "$OUT"
     ;;
   *)

@@ -107,6 +107,13 @@ void ParallelFor(ThreadPool* pool, uint64_t begin, uint64_t end, Fn&& fn) {
                   });
 }
 
+// Sums fn(i) over [0, n), sharded across the pool — the "grow every row,
+// merge the hashing tally once" pattern shared by the index-build
+// prefetch (core/index_io.cc) and QuerySearcher::Freeze. fn must be safe
+// to call concurrently for distinct i.
+template <typename Fn>
+uint64_t ParallelWorkSum(ThreadPool* pool, uint64_t n, Fn&& fn);
+
 // Maps each shard of [0, n) through map(shard, begin, end) -> T and folds
 // the per-shard values with reduce(acc, value) in shard order — so the
 // result is deterministic whenever reduce is (as integer sums are).
@@ -125,6 +132,18 @@ T ParallelReduce(ThreadPool* pool, uint64_t n, T identity, MapFn&& map,
   T acc = std::move(identity);
   for (T& part : parts) acc = reduce(std::move(acc), std::move(part));
   return acc;
+}
+
+template <typename Fn>
+uint64_t ParallelWorkSum(ThreadPool* pool, uint64_t n, Fn&& fn) {
+  return ParallelReduce(
+      pool, n, uint64_t{0},
+      [&fn](uint32_t, uint64_t b, uint64_t e) {
+        uint64_t work = 0;
+        for (uint64_t i = b; i < e; ++i) work += fn(i);
+        return work;
+      },
+      [](uint64_t x, uint64_t y) { return x + y; });
 }
 
 }  // namespace bayeslsh

@@ -41,16 +41,9 @@ uint8_t MeasureTag(Measure m) {
 // returns the work done for one row.
 template <typename EnsureFn>
 uint64_t PrefetchRows(uint32_t n, ThreadPool* pool, const EnsureFn& ensure) {
-  return ParallelReduce(
-      pool, n, uint64_t{0},
-      [&](uint32_t, uint64_t b, uint64_t e) {
-        uint64_t work = 0;
-        for (uint64_t row = b; row < e; ++row) {
-          work += ensure(static_cast<uint32_t>(row));
-        }
-        return work;
-      },
-      [](uint64_t x, uint64_t y) { return x + y; });
+  return ParallelWorkSum(pool, n, [&](uint64_t row) {
+    return ensure(static_cast<uint32_t>(row));
+  });
 }
 
 Measure MeasureFromTag(uint8_t tag) {
@@ -130,8 +123,13 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Build(
   const uint64_t verify_seed = VerificationSeed(cfg.seed);
   const Dataset& d = index->data_;
   const bool cosine = CosineLike(cfg.measure);
+  // kPrefetchFull is the default per-candidate serving budget
+  // (BayesLshParams::max_hashes), so a warm searcher at default budgets
+  // freezes with zero top-up hashing.
   const uint32_t prefetch =
-      cfg.prefetch_hashes != 0 ? cfg.prefetch_hashes : (cosine ? 32u : 16u);
+      cfg.prefetch_hashes == kPrefetchFull ? BayesLshParams{}.max_hashes
+      : cfg.prefetch_hashes != 0           ? cfg.prefetch_hashes
+                                           : (cosine ? 32u : 16u);
 
   if (cosine) {
     const ImplicitGaussianSource gen_gauss(gen_seed);

@@ -54,6 +54,15 @@ class IndexError : public IoError {
 // On-disk format version written to and accepted from index files.
 inline constexpr uint32_t kIndexFormatVersion = 1;
 
+// IndexBuildConfig::prefetch_hashes sentinel: prefetch every row to the
+// default per-candidate serving budget (BayesLshParams::max_hashes, 4096
+// hashes). An index built this way holds the fully hashed, frozen-form
+// signatures: QuerySearcher::Freeze() on a searcher warm-started from it
+// (at default budgets) is a pure state flip with zero additional hashing.
+// The file format is unchanged — only how much of each row is
+// materialized.
+inline constexpr uint32_t kPrefetchFull = 0xffffffffu;
+
 struct IndexBuildConfig {
   Measure measure = Measure::kCosine;
 
@@ -77,9 +86,11 @@ struct IndexBuildConfig {
 
   // Verification hashes prefetched per row at build time, rounded up to
   // whole chunks; 0 selects one verification round (32 cosine bits / 16
-  // Jaccard ints — the horizon the sharded query path prefetches anyway).
-  // More prefetch makes the serve path cheaper at the price of a bigger
-  // index file; it never changes query results.
+  // Jaccard ints — the horizon the sharded query path prefetches anyway),
+  // kPrefetchFull the full default serving budget (the fully hashed form
+  // a frozen searcher serves from). More prefetch makes the serve path
+  // cheaper at the price of a bigger index file; it never changes query
+  // results.
   uint32_t prefetch_hashes = 0;
 
   // Worker threads for the build (0 = all hardware threads).

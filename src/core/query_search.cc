@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -12,6 +14,7 @@
 #include "core/bbit_posterior.h"
 #include "core/cosine_posterior.h"
 #include "core/index_io.h"
+#include "core/inference_cache.h"
 #include "core/jaccard_posterior.h"
 #include "core/pipeline.h"
 #include "lsh/bbit_minwise.h"
@@ -43,6 +46,104 @@ double ExactQuerySimilarity(const Dataset& data, uint32_t row,
   return 0.0;
 }
 
+// A mutex-guarded pool of inference caches. Every serving path leases the
+// caches it needs for one call (one for a serial query, one per worker for
+// a sharded query or a batch) and returns them afterwards, so concurrent
+// Query()/QueryBatch() callers never share a cache — the memoized state
+// still persists across calls through reuse of returned caches. Leasing
+// costs two uncontended lock acquisitions per call, never one per
+// estimate.
+template <typename Model>
+class CachePool {
+ public:
+  void Configure(const Model* model, uint32_t hashes_per_round,
+                 uint32_t max_hashes, double epsilon, double delta,
+                 double gamma) {
+    model_ = model;
+    k_ = hashes_per_round;
+    budget_ = max_hashes;
+    epsilon_ = epsilon;
+    delta_ = delta;
+    gamma_ = gamma;
+  }
+
+  std::vector<InferenceCache<Model>*> Acquire(uint32_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<InferenceCache<Model>*> out;
+    out.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!free_.empty()) {
+        out.push_back(free_.back());
+        free_.pop_back();
+      } else {
+        owned_.push_back(std::make_unique<InferenceCache<Model>>(
+            model_, k_, budget_, epsilon_, delta_, gamma_));
+        out.push_back(owned_.back().get());
+      }
+    }
+    return out;
+  }
+
+  void Release(const std::vector<InferenceCache<Model>*>& caches) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.insert(free_.end(), caches.begin(), caches.end());
+  }
+
+ private:
+  const Model* model_ = nullptr;
+  uint32_t k_ = 0;
+  uint32_t budget_ = 0;
+  double epsilon_ = 0.0;
+  double delta_ = 0.0;
+  double gamma_ = 0.0;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<InferenceCache<Model>>> owned_;
+  std::vector<InferenceCache<Model>*> free_;
+};
+
+// RAII lease of n caches from a CachePool.
+template <typename Model>
+class CacheLease {
+ public:
+  CacheLease(CachePool<Model>* pool, uint32_t n)
+      : pool_(pool), caches_(pool->Acquire(n)) {}
+  ~CacheLease() { pool_->Release(caches_); }
+
+  CacheLease(const CacheLease&) = delete;
+  CacheLease& operator=(const CacheLease&) = delete;
+
+  InferenceCache<Model>& operator[](uint32_t i) const { return *caches_[i]; }
+
+ private:
+  CachePool<Model>* pool_;
+  std::vector<InferenceCache<Model>*> caches_;
+};
+
+void SortMatches(std::vector<QueryMatch>* out) {
+  std::sort(out->begin(), out->end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.sim != b.sim ? a.sim > b.sim : a.id < b.id;
+            });
+}
+
+void MergeStats(const QueryStats& from, QueryStats* into) {
+  if (into == nullptr) return;
+  into->candidates += from.candidates;
+  into->pruned += from.pruned;
+  into->hashes_compared += from.hashes_compared;
+}
+
+// Grows every row to `ensure`'s target, sharded over rows; returns the
+// total hashing work for one AddBitsComputed/AddHashesComputed merge.
+template <typename EnsureFn>
+uint64_t PrefetchAllRows(uint32_t num_rows, ThreadPool* pool,
+                         const EnsureFn& ensure) {
+  return ParallelWorkSum(pool, num_rows, [&](uint64_t row) {
+    return ensure(static_cast<uint32_t>(row));
+  });
+}
+
 }  // namespace
 
 struct QuerySearcher::Impl {
@@ -57,27 +158,31 @@ struct QuerySearcher::Impl {
   std::optional<MinwiseHasher> gen_minhash;
 
   // Verification (verification-seed) hashers + collection stores (exactly
-  // one store engaged, per measure/bbit).
+  // one store engaged, per measure/bbit). The stores are the explicitly
+  // `mutable`, internally synchronized serving state behind Query() const:
+  // all growth reachable from a const searcher goes through the store's
+  // mutex-guarded MatchAgainstQuery / GrowthLock extension points (or is
+  // absent entirely once frozen) — see lsh/signature_store.h.
   std::shared_ptr<const GaussianSource> verify_gauss;
   std::optional<MinwiseHasher> verify_minhash;
   mutable std::optional<BitSignatureStore> bits;
   mutable std::optional<IntSignatureStore> ints;
   mutable std::optional<BbitSignatureStore> bbits;
 
-  // Posterior models + caches (threshold-bound, hence per-searcher).
+  // Posterior models (threshold-bound, hence per-searcher) and the pools
+  // their per-call inference caches are leased from.
   std::optional<CosinePosterior> cos_model;
   std::optional<JaccardPosterior> jac_model;
   std::optional<BbitMinwisePosterior> bbit_model;
-  mutable std::optional<InferenceCache<CosinePosterior>> cos_cache;
-  mutable std::optional<InferenceCache<JaccardPosterior>> jac_cache;
-  mutable std::optional<InferenceCache<BbitMinwisePosterior>> bbit_cache;
+  mutable CachePool<CosinePosterior> cos_pool;
+  mutable CachePool<JaccardPosterior> jac_pool;
+  mutable CachePool<BbitMinwisePosterior> bbit_pool;
 
-  // Worker pool (num_threads > 1 only) and the per-worker inference caches
-  // the sharded verification path uses instead of the shared ones above
-  // (memoization is per-worker; persists across queries).
+  // Worker pool (num_threads > 1 only). pool_mu_ grants exclusive use of
+  // it: QueryBatch holds it for the batch, a single Query() try-locks it
+  // for within-query sharding and verifies sequentially when it is busy.
   std::unique_ptr<ThreadPool> pool;
-  mutable std::vector<InferenceCache<CosinePosterior>> shard_cos_caches;
-  mutable std::vector<InferenceCache<JaccardPosterior>> shard_jac_caches;
+  mutable std::mutex pool_mu_;
 
   // Banding buckets: owned for a fresh build, borrowed from the persistent
   // index for a warm start (the index outlives the searcher).
@@ -87,23 +192,29 @@ struct QuerySearcher::Impl {
   // Resolved BayesLSH params.
   BayesLshParams bayes;
 
-  // Resolves parameters, models, caches, hashers, empty stores and the
-  // worker pool — everything except the banding buckets, which the two
+  // Per-candidate hash budget of the serving paths.
+  uint32_t ServeBudget() const {
+    return cfg.exact_verification ? lite_h : bayes.max_hashes;
+  }
+
+  // Resolves parameters, models, cache pools, hashers, empty stores and
+  // the worker pool — everything except the banding buckets, which the two
   // constructors provide differently.
   void Init(const Dataset* d, const QuerySearchConfig& config);
 
+  // Candidate ids from the buckets the query falls into (sorted, unique).
+  std::vector<uint32_t> CollectCandidates(const SparseVectorView& q) const;
+
   // --- verification of one candidate against the current query ---
   // Returns true with the similarity in *sim if the candidate is kept.
-  // `cache` is the active measure's inference cache: the serial path
-  // passes the shared one, the sharded path the caller-worker's private
-  // one.
+  // `cache` is the caller's leased inference cache for the active measure.
   template <typename Cache, typename EnsureQuery, typename MatchRange>
   bool VerifyCandidate(uint32_t row, const SparseVectorView& q,
                        const EnsureQuery& ensure_query,
                        const MatchRange& match_range, Cache& cache,
                        QueryStats* stats, double* sim) const {
     const uint32_t kk = bayes.hashes_per_round;
-    const uint32_t budget = cfg.exact_verification ? lite_h : bayes.max_hashes;
+    const uint32_t budget = ServeBudget();
     uint32_t m = 0, n = 0;
     while (n < budget) {
       ensure_query(n + kk);
@@ -141,6 +252,249 @@ struct QuerySearcher::Impl {
     }
     return true;
   }
+
+  // --- serial verification paths (one per store kind) ---
+  // Used by the serial Query() fallback and by QueryBatch workers. Safe
+  // for concurrent callers: every row access goes through the store's
+  // MatchAgainstQuery (lock-free once frozen).
+  void VerifyCosineSerial(const SparseVectorView& q,
+                          std::span<const uint32_t> candidates,
+                          InferenceCache<CosinePosterior>& cache,
+                          QueryStats* stats,
+                          std::vector<QueryMatch>* out) const {
+    const SrpHasher vhasher(verify_gauss.get());
+    std::vector<uint64_t> qbits;
+    auto hash_query_to = [&](uint32_t n_bits) {
+      while (qbits.size() < WordsForBits(n_bits)) {
+        qbits.push_back(
+            vhasher.HashChunk(q, static_cast<uint32_t>(qbits.size())));
+      }
+    };
+    auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+      return bits->MatchAgainstQuery(row, qbits.data(), from, to);
+    };
+    for (uint32_t row : candidates) {
+      double sim = 0.0;
+      if (VerifyCandidate(row, q, hash_query_to, match_range, cache, stats,
+                          &sim)) {
+        out->push_back({row, sim});
+      }
+    }
+  }
+
+  void VerifyJaccardSerial(const SparseVectorView& q,
+                           std::span<const uint32_t> candidates,
+                           InferenceCache<JaccardPosterior>& cache,
+                           QueryStats* stats,
+                           std::vector<QueryMatch>* out) const {
+    std::vector<uint32_t> qints;
+    auto hash_query_to = [&](uint32_t n_hashes) {
+      while (qints.size() < n_hashes) {
+        const auto chunk =
+            static_cast<uint32_t>(qints.size()) / kMinhashChunkInts;
+        qints.resize(qints.size() + kMinhashChunkInts);
+        verify_minhash->HashChunk(q, chunk,
+                                  qints.data() + chunk * kMinhashChunkInts);
+      }
+    };
+    auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+      return ints->MatchAgainstQuery(row, qints.data(), from, to);
+    };
+    for (uint32_t row : candidates) {
+      double sim = 0.0;
+      if (VerifyCandidate(row, q, hash_query_to, match_range, cache, stats,
+                          &sim)) {
+        out->push_back({row, sim});
+      }
+    }
+  }
+
+  // b-bit minwise verification: hash the query with the full-width minwise
+  // hasher, pack the low b bits into the store's group layout, and compare
+  // word-parallel against the collection rows.
+  void VerifyBbitSerial(const SparseVectorView& q,
+                        std::span<const uint32_t> candidates,
+                        InferenceCache<BbitMinwisePosterior>& cache,
+                        QueryStats* stats,
+                        std::vector<QueryMatch>* out) const {
+    const uint32_t b = bbits->bits_per_hash();
+    const uint32_t values_per_word = 64 / b;
+    std::vector<uint32_t> qints;
+    std::vector<uint64_t> qwords;
+    auto hash_query_to = [&](uint32_t n_hashes) {
+      const uint32_t have = static_cast<uint32_t>(qints.size());
+      if (n_hashes <= have) return;
+      const uint32_t want = (n_hashes + kMinhashChunkInts - 1) /
+                            kMinhashChunkInts * kMinhashChunkInts;
+      qints.resize(want);
+      for (uint32_t c = have / kMinhashChunkInts; c < want / kMinhashChunkInts;
+           ++c) {
+        verify_minhash->HashChunk(q, c,
+                                  qints.data() + c * kMinhashChunkInts);
+      }
+      qwords.resize((want + values_per_word - 1) / values_per_word, 0);
+      PackBbitValues(qints.data() + have, have, want, b, qwords.data());
+    };
+    auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+      return bbits->MatchAgainstQuery(row, qwords.data(), from, to);
+    };
+    for (uint32_t row : candidates) {
+      double sim = 0.0;
+      if (VerifyCandidate(row, q, hash_query_to, match_range, cache, stats,
+                          &sim)) {
+        out->push_back({row, sim});
+      }
+    }
+  }
+
+  // --- within-query sharded paths (caller must hold pool_mu_) ---
+  // The query signature is hashed to the full budget up front (shared
+  // read-only), candidate rows are prefetched to one chunk, and each
+  // worker runs the same per-candidate loop with its leased inference
+  // cache and a private overflow store. The caller's final similarity
+  // sort makes the output independent of the thread count. On a frozen
+  // store the whole path is read-only: the growth lock is a no-op, the
+  // prefetch is skipped, and overflow shards never materialize rows.
+  void VerifyCosineSharded(const SparseVectorView& q,
+                           std::span<const uint32_t> candidates,
+                           const CacheLease<CosinePosterior>& caches,
+                           QueryStats* stats,
+                           std::vector<QueryMatch>* out) const {
+    ThreadPool* p = pool.get();
+    const uint32_t kk = bayes.hashes_per_round;
+    const SrpHasher vhasher(verify_gauss.get());
+    std::vector<uint64_t> qbits(WordsForBits(ServeBudget()));
+    for (uint32_t c = 0; c < qbits.size(); ++c) {
+      qbits[c] = vhasher.HashChunk(q, c);
+    }
+
+    auto growth_lock = bits->GrowthLock();
+    if (!bits->frozen()) {
+      const uint32_t horizon =
+          (kk + kBitsPerWord - 1) / kBitsPerWord * kBitsPerWord;
+      bits->AddBitsComputed(ParallelReduce(
+          p, candidates.size(), uint64_t{0},
+          [&](uint32_t, uint64_t b, uint64_t e) {
+            uint64_t work = 0;
+            for (uint64_t i = b; i < e; ++i) {
+              work += bits->EnsureBitsUncounted(candidates[i], horizon);
+            }
+            return work;
+          },
+          [](uint64_t x, uint64_t y) { return x + y; }));
+    }
+
+    struct Shard {
+      std::vector<QueryMatch> out;
+      QueryStats stats;
+      std::optional<BitOverflowShard> overflow;
+    };
+    std::vector<Shard> shards(p->num_threads());
+    p->RunShards(candidates.size(), [&](uint32_t s, uint64_t begin,
+                                        uint64_t end) {
+      Shard& sh = shards[s];
+      BitOverflowShard& overflow = sh.overflow.emplace(&*bits);
+      auto no_ensure = [](uint32_t) {};
+      auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+        return MatchingBits(qbits.data(), overflow.RowWords(row, to), from,
+                            to);
+      };
+      for (uint64_t i = begin; i < end; ++i) {
+        double sim = 0.0;
+        if (VerifyCandidate(candidates[i], q, no_ensure, match_range,
+                            caches[s], &sh.stats, &sim)) {
+          sh.out.push_back({candidates[i], sim});
+        }
+      }
+    });
+    uint64_t overflow_total = 0;
+    for (Shard& sh : shards) {
+      out->insert(out->end(), sh.out.begin(), sh.out.end());
+      if (stats != nullptr) {
+        stats->pruned += sh.stats.pruned;
+        stats->hashes_compared += sh.stats.hashes_compared;
+      }
+      if (sh.overflow.has_value()) {
+        overflow_total += sh.overflow->computed();
+        // Fold beyond-horizon signatures back into the persistent store
+        // so later queries reuse them (the hashing is already counted).
+        sh.overflow->MergeInto(&*bits);
+      }
+    }
+    bits->AddBitsComputed(overflow_total);
+  }
+
+  void VerifyJaccardSharded(const SparseVectorView& q,
+                            std::span<const uint32_t> candidates,
+                            const CacheLease<JaccardPosterior>& caches,
+                            QueryStats* stats,
+                            std::vector<QueryMatch>* out) const {
+    ThreadPool* p = pool.get();
+    const uint32_t kk = bayes.hashes_per_round;
+    const uint32_t chunks =
+        (ServeBudget() + kMinhashChunkInts - 1) / kMinhashChunkInts;
+    std::vector<uint32_t> qints(chunks * kMinhashChunkInts);
+    for (uint32_t c = 0; c < chunks; ++c) {
+      verify_minhash->HashChunk(q, c, qints.data() + c * kMinhashChunkInts);
+    }
+
+    auto growth_lock = ints->GrowthLock();
+    if (!ints->frozen()) {
+      const uint32_t horizon =
+          (kk + kMinhashChunkInts - 1) / kMinhashChunkInts * kMinhashChunkInts;
+      ints->AddHashesComputed(ParallelReduce(
+          p, candidates.size(), uint64_t{0},
+          [&](uint32_t, uint64_t b, uint64_t e) {
+            uint64_t work = 0;
+            for (uint64_t i = b; i < e; ++i) {
+              work += ints->EnsureHashesUncounted(candidates[i], horizon);
+            }
+            return work;
+          },
+          [](uint64_t x, uint64_t y) { return x + y; }));
+    }
+
+    struct Shard {
+      std::vector<QueryMatch> out;
+      QueryStats stats;
+      std::optional<IntOverflowShard> overflow;
+    };
+    std::vector<Shard> shards(p->num_threads());
+    p->RunShards(candidates.size(), [&](uint32_t s, uint64_t begin,
+                                        uint64_t end) {
+      Shard& sh = shards[s];
+      IntOverflowShard& overflow = sh.overflow.emplace(&*ints);
+      auto no_ensure = [](uint32_t) {};
+      auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
+        const uint32_t* h = overflow.RowHashes(row, to);
+        uint32_t m = 0;
+        for (uint32_t i = from; i < to; ++i) m += (h[i] == qints[i]);
+        return m;
+      };
+      for (uint64_t i = begin; i < end; ++i) {
+        double sim = 0.0;
+        if (VerifyCandidate(candidates[i], q, no_ensure, match_range,
+                            caches[s], &sh.stats, &sim)) {
+          sh.out.push_back({candidates[i], sim});
+        }
+      }
+    });
+    uint64_t overflow_total = 0;
+    for (Shard& sh : shards) {
+      out->insert(out->end(), sh.out.begin(), sh.out.end());
+      if (stats != nullptr) {
+        stats->pruned += sh.stats.pruned;
+        stats->hashes_compared += sh.stats.hashes_compared;
+      }
+      if (sh.overflow.has_value()) {
+        overflow_total += sh.overflow->computed();
+        // Fold beyond-horizon signatures back into the persistent store
+        // so later queries reuse them (the hashing is already counted).
+        sh.overflow->MergeInto(&*ints);
+      }
+    }
+    ints->AddHashesComputed(overflow_total);
+  }
 };
 
 void QuerySearcher::Impl::Init(const Dataset* d,
@@ -175,53 +529,68 @@ void QuerySearcher::Impl::Init(const Dataset* d,
   const uint64_t gen_seed = GenerationSeed(config.seed);
   const uint64_t verify_seed = VerificationSeed(config.seed);
 
-  // Worker pool + per-worker caches for the sharded verification path.
-  // b-bit stores have no overflow-shard protocol, so b-bit verification
-  // stays sequential per query and needs no per-worker caches.
   const uint32_t num_threads = ResolveNumThreads(config.num_threads);
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
-  const uint32_t cache_budget =
-      config.exact_verification ? lite_h : bayes.max_hashes;
+  const uint32_t cache_budget = ServeBudget();
 
-  // Models and caches.
+  // Models and cache pools.
   if (cosine) {
     cos_model.emplace(config.threshold);
-    cos_cache.emplace(&*cos_model, bayes.hashes_per_round, cache_budget,
-                      bayes.epsilon, bayes.delta, bayes.gamma);
-    if (pool != nullptr) {
-      shard_cos_caches.reserve(num_threads);
-      for (uint32_t w = 0; w < num_threads; ++w) {
-        shard_cos_caches.emplace_back(&*cos_model, bayes.hashes_per_round,
-                                      cache_budget, bayes.epsilon,
-                                      bayes.delta, bayes.gamma);
-      }
-    }
+    cos_pool.Configure(&*cos_model, bayes.hashes_per_round, cache_budget,
+                       bayes.epsilon, bayes.delta, bayes.gamma);
     gen_gauss = std::make_shared<ImplicitGaussianSource>(gen_seed);
     verify_gauss = std::make_shared<ImplicitGaussianSource>(verify_seed);
     bits.emplace(d, SrpHasher(verify_gauss.get()));
   } else if (config.bbit != 0) {
     bbit_model.emplace(config.threshold, config.bbit);
-    bbit_cache.emplace(&*bbit_model, bayes.hashes_per_round, cache_budget,
-                       bayes.epsilon, bayes.delta, bayes.gamma);
+    bbit_pool.Configure(&*bbit_model, bayes.hashes_per_round, cache_budget,
+                        bayes.epsilon, bayes.delta, bayes.gamma);
     gen_minhash.emplace(gen_seed);
     verify_minhash.emplace(verify_seed);
     bbits.emplace(d, MinwiseHasher(verify_seed), config.bbit);
   } else {
     jac_model.emplace(config.threshold);  // Uniform prior in query mode.
-    jac_cache.emplace(&*jac_model, bayes.hashes_per_round, cache_budget,
-                      bayes.epsilon, bayes.delta, bayes.gamma);
-    if (pool != nullptr) {
-      shard_jac_caches.reserve(num_threads);
-      for (uint32_t w = 0; w < num_threads; ++w) {
-        shard_jac_caches.emplace_back(&*jac_model, bayes.hashes_per_round,
-                                      cache_budget, bayes.epsilon,
-                                      bayes.delta, bayes.gamma);
-      }
-    }
+    jac_pool.Configure(&*jac_model, bayes.hashes_per_round, cache_budget,
+                       bayes.epsilon, bayes.delta, bayes.gamma);
     gen_minhash.emplace(gen_seed);
     verify_minhash.emplace(verify_seed);
     ints.emplace(d, MinwiseHasher(verify_seed));
   }
+}
+
+std::vector<uint32_t> QuerySearcher::Impl::CollectCandidates(
+    const SparseVectorView& q) const {
+  std::vector<uint32_t> candidates;
+  if (CosineLike(cfg.measure)) {
+    const SrpHasher hasher(gen_gauss.get());
+    std::vector<uint64_t> qwords(WordsForBits(l * k));
+    for (uint32_t c = 0; c < qwords.size(); ++c) {
+      qwords[c] = hasher.HashChunk(q, c);
+    }
+    for (uint32_t band = 0; band < l; ++band) {
+      const auto* bucket =
+          banding->Find(band, BandingIndex::CosineKey(qwords.data(), band, k));
+      if (bucket == nullptr) continue;
+      candidates.insert(candidates.end(), bucket->begin(), bucket->end());
+    }
+  } else {
+    const uint32_t chunks =
+        (l * k + kMinhashChunkInts - 1) / kMinhashChunkInts;
+    std::vector<uint32_t> qints(chunks * kMinhashChunkInts);
+    for (uint32_t c = 0; c < chunks; ++c) {
+      gen_minhash->HashChunk(q, c, qints.data() + c * kMinhashChunkInts);
+    }
+    for (uint32_t band = 0; band < l; ++band) {
+      const auto* bucket = banding->Find(
+          band, BandingIndex::JaccardKey(qints.data(), band, k));
+      if (bucket == nullptr) continue;
+      candidates.insert(candidates.end(), bucket->begin(), bucket->end());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
 }
 
 QuerySearcher::QuerySearcher(const Dataset* data,
@@ -291,265 +660,171 @@ QuerySearcher::QuerySearcher(const PersistentIndex* index,
 
 QuerySearcher::~QuerySearcher() = default;
 
+void QuerySearcher::Freeze() {
+  Impl& im = *impl_;
+  ThreadPool* pool = im.pool.get();
+  const uint32_t budget = im.ServeBudget();
+  if (im.bits.has_value()) {
+    if (im.bits->frozen()) return;
+    im.bits->AddBitsComputed(
+        PrefetchAllRows(im.bits->num_rows(), pool, [&](uint32_t row) {
+          return im.bits->EnsureBitsUncounted(row, budget);
+        }));
+    im.bits->Freeze();
+  } else if (im.ints.has_value()) {
+    if (im.ints->frozen()) return;
+    im.ints->AddHashesComputed(
+        PrefetchAllRows(im.ints->num_rows(), pool, [&](uint32_t row) {
+          return im.ints->EnsureHashesUncounted(row, budget);
+        }));
+    im.ints->Freeze();
+  } else {
+    if (im.bbits->frozen()) return;
+    im.bbits->AddHashesComputed(
+        PrefetchAllRows(im.bbits->num_rows(), pool, [&](uint32_t row) {
+          return im.bbits->EnsureHashesUncounted(row, budget);
+        }));
+    im.bbits->Freeze();
+  }
+}
+
+bool QuerySearcher::frozen() const {
+  const Impl& im = *impl_;
+  if (im.bits.has_value()) return im.bits->frozen();
+  if (im.ints.has_value()) return im.ints->frozen();
+  return im.bbits->frozen();
+}
+
+uint64_t QuerySearcher::bits_computed() const {
+  const Impl& im = *impl_;
+  return im.bits.has_value() ? im.bits->bits_computed() : 0;
+}
+
+uint64_t QuerySearcher::hashes_computed() const {
+  const Impl& im = *impl_;
+  if (im.ints.has_value()) return im.ints->hashes_computed();
+  if (im.bbits.has_value()) return im.bbits->hashes_computed();
+  return 0;
+}
+
 std::vector<QueryMatch> QuerySearcher::Query(const SparseVectorView& q,
                                              QueryStats* stats) const {
   Impl& im = *impl_;
+  if (stats != nullptr) *stats = QueryStats{};
   std::vector<QueryMatch> out;
   if (q.empty()) return out;
 
   // 1. Collect candidates from the buckets the query falls into.
-  std::vector<uint32_t> candidates;
-  if (CosineLike(im.cfg.measure)) {
-    const SrpHasher hasher(im.gen_gauss.get());
-    std::vector<uint64_t> qwords(WordsForBits(im.l * im.k));
-    for (uint32_t c = 0; c < qwords.size(); ++c) {
-      qwords[c] = hasher.HashChunk(q, c);
-    }
-    for (uint32_t band = 0; band < im.l; ++band) {
-      const auto* bucket = im.banding->Find(
-          band, BandingIndex::CosineKey(qwords.data(), band, im.k));
-      if (bucket == nullptr) continue;
-      candidates.insert(candidates.end(), bucket->begin(), bucket->end());
-    }
-  } else {
-    const uint32_t chunks =
-        (im.l * im.k + kMinhashChunkInts - 1) / kMinhashChunkInts;
-    std::vector<uint32_t> qints(chunks * kMinhashChunkInts);
-    for (uint32_t c = 0; c < chunks; ++c) {
-      im.gen_minhash->HashChunk(q, c, qints.data() + c * kMinhashChunkInts);
-    }
-    for (uint32_t band = 0; band < im.l; ++band) {
-      const auto* bucket = im.banding->Find(
-          band, BandingIndex::JaccardKey(qints.data(), band, im.k));
-      if (bucket == nullptr) continue;
-      candidates.insert(candidates.end(), bucket->begin(), bucket->end());
-    }
-  }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
-  if (stats != nullptr) {
-    *stats = QueryStats{};
-    stats->candidates = candidates.size();
-  }
+  const std::vector<uint32_t> candidates = im.CollectCandidates(q);
+  if (stats != nullptr) stats->candidates = candidates.size();
 
   // 2. Verify each candidate with incremental Bayesian pruning, using
   //    verification-seed hashes (independent of the banding hashes).
   //
-  // With a pool and enough candidates, verification shards over the
-  // candidate list: the query signature is hashed to the full budget up
-  // front (shared read-only), candidate rows are prefetched to one chunk,
-  // and each worker runs the same per-candidate loop with its private
-  // inference cache and overflow store. The final similarity sort makes
-  // the output independent of the thread count. b-bit verification always
-  // runs the serial loop (no overflow-shard protocol) — still identical
-  // for every thread count.
+  // With a pool, enough candidates, and no batch in flight, verification
+  // shards over the candidate list. b-bit verification always runs the
+  // serial loop (no overflow-shard protocol). Every path produces
+  // identical results, so a busy pool degrades to sequential instead of
+  // blocking.
   ThreadPool* pool = im.pool.get();
-  const bool sharded =
+  const bool want_sharded =
       pool != nullptr && !im.bbits.has_value() &&
       candidates.size() >= kMinQueryCandidatesPerShard * pool->num_threads();
-  const uint32_t budget =
-      im.cfg.exact_verification ? im.lite_h : im.bayes.max_hashes;
-  const uint32_t kk = im.bayes.hashes_per_round;
-
-  if (CosineLike(im.cfg.measure)) {
-    const SrpHasher vhasher(im.verify_gauss.get());
-    std::vector<uint64_t> qbits;
-    auto hash_query_to = [&](uint32_t n_bits) {
-      while (qbits.size() < WordsForBits(n_bits)) {
-        qbits.push_back(
-            vhasher.HashChunk(q, static_cast<uint32_t>(qbits.size())));
-      }
-    };
-    if (!sharded) {
-      auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
-        im.bits->EnsureBits(row, to);
-        return MatchingBits(qbits.data(), im.bits->Words(row), from, to);
-      };
-      for (uint32_t row : candidates) {
-        double sim = 0.0;
-        if (im.VerifyCandidate(row, q, hash_query_to, match_range,
-                               *im.cos_cache, stats, &sim)) {
-          out.push_back({row, sim});
-        }
-      }
+  std::unique_lock<std::mutex> pool_lock(im.pool_mu_, std::defer_lock);
+  if (want_sharded && pool_lock.try_lock()) {
+    if (CosineLike(im.cfg.measure)) {
+      const CacheLease<CosinePosterior> caches(&im.cos_pool,
+                                               pool->num_threads());
+      im.VerifyCosineSharded(q, candidates, caches, stats, &out);
     } else {
-      hash_query_to(budget);
-      const uint32_t horizon =
-          (kk + kBitsPerWord - 1) / kBitsPerWord * kBitsPerWord;
-      im.bits->AddBitsComputed(ParallelReduce(
-          pool, candidates.size(), uint64_t{0},
-          [&](uint32_t, uint64_t b, uint64_t e) {
-            uint64_t work = 0;
-            for (uint64_t i = b; i < e; ++i) {
-              work += im.bits->EnsureBitsUncounted(candidates[i], horizon);
-            }
-            return work;
-          },
-          [](uint64_t x, uint64_t y) { return x + y; }));
-      const uint32_t num_shards = pool->num_threads();
-      struct Shard {
-        std::vector<QueryMatch> out;
-        QueryStats stats;
-        std::optional<BitOverflowShard> overflow;
-      };
-      std::vector<Shard> shards(num_shards);
-      pool->RunShards(candidates.size(), [&](uint32_t s, uint64_t begin,
-                                             uint64_t end) {
-        Shard& sh = shards[s];
-        BitOverflowShard& overflow = sh.overflow.emplace(&*im.bits);
-        auto no_ensure = [](uint32_t) {};
-        auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
-          return MatchingBits(qbits.data(), overflow.RowWords(row, to), from,
-                              to);
-        };
-        for (uint64_t i = begin; i < end; ++i) {
-          double sim = 0.0;
-          if (im.VerifyCandidate(candidates[i], q, no_ensure, match_range,
-                                 im.shard_cos_caches[s], &sh.stats, &sim)) {
-            sh.out.push_back({candidates[i], sim});
-          }
-        }
-      });
-      uint64_t overflow_total = 0;
-      for (Shard& sh : shards) {
-        out.insert(out.end(), sh.out.begin(), sh.out.end());
-        if (stats != nullptr) {
-          stats->pruned += sh.stats.pruned;
-          stats->hashes_compared += sh.stats.hashes_compared;
-        }
-        if (sh.overflow.has_value()) {
-          overflow_total += sh.overflow->computed();
-          // Fold beyond-horizon signatures back into the persistent store
-          // so later queries reuse them (the hashing is already counted).
-          sh.overflow->MergeInto(&*im.bits);
-        }
-      }
-      im.bits->AddBitsComputed(overflow_total);
+      const CacheLease<JaccardPosterior> caches(&im.jac_pool,
+                                                pool->num_threads());
+      im.VerifyJaccardSharded(q, candidates, caches, stats, &out);
     }
+  } else if (CosineLike(im.cfg.measure)) {
+    const CacheLease<CosinePosterior> cache(&im.cos_pool, 1);
+    im.VerifyCosineSerial(q, candidates, cache[0], stats, &out);
   } else if (im.bbits.has_value()) {
-    // b-bit minwise verification: hash the query with the full-width
-    // minwise hasher, pack the low b bits into the store's group layout,
-    // and compare word-parallel against the lazily grown collection rows.
-    const uint32_t b = im.bbits->bits_per_hash();
-    const uint32_t values_per_word = 64 / b;
-    std::vector<uint32_t> qints;
-    std::vector<uint64_t> qwords;
-    auto hash_query_to = [&](uint32_t n_hashes) {
-      const uint32_t have = static_cast<uint32_t>(qints.size());
-      if (n_hashes <= have) return;
-      const uint32_t want = (n_hashes + kMinhashChunkInts - 1) /
-                            kMinhashChunkInts * kMinhashChunkInts;
-      qints.resize(want);
-      for (uint32_t c = have / kMinhashChunkInts;
-           c < want / kMinhashChunkInts; ++c) {
-        im.verify_minhash->HashChunk(q, c,
-                                     qints.data() + c * kMinhashChunkInts);
-      }
-      qwords.resize((want + values_per_word - 1) / values_per_word, 0);
-      PackBbitValues(qints.data() + have, have, want, b, qwords.data());
-    };
-    auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
-      im.bbits->EnsureHashes(row, to);
-      return MatchingBbitGroups(im.bbits->Words(row), qwords.data(), from,
-                                to, b);
-    };
-    for (uint32_t row : candidates) {
-      double sim = 0.0;
-      if (im.VerifyCandidate(row, q, hash_query_to, match_range,
-                             *im.bbit_cache, stats, &sim)) {
-        out.push_back({row, sim});
-      }
-    }
+    const CacheLease<BbitMinwisePosterior> cache(&im.bbit_pool, 1);
+    im.VerifyBbitSerial(q, candidates, cache[0], stats, &out);
   } else {
-    std::vector<uint32_t> qints;
-    auto hash_query_to = [&](uint32_t n_hashes) {
-      while (qints.size() < n_hashes) {
-        const auto chunk = static_cast<uint32_t>(qints.size()) /
-                           kMinhashChunkInts;
-        qints.resize(qints.size() + kMinhashChunkInts);
-        im.verify_minhash->HashChunk(
-            q, chunk, qints.data() + chunk * kMinhashChunkInts);
-      }
-    };
-    if (!sharded) {
-      auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
-        im.ints->EnsureHashes(row, to);
-        const uint32_t* h = im.ints->Hashes(row);
-        uint32_t m = 0;
-        for (uint32_t i = from; i < to; ++i) m += (h[i] == qints[i]);
-        return m;
-      };
-      for (uint32_t row : candidates) {
-        double sim = 0.0;
-        if (im.VerifyCandidate(row, q, hash_query_to, match_range,
-                               *im.jac_cache, stats, &sim)) {
-          out.push_back({row, sim});
-        }
-      }
-    } else {
-      hash_query_to(budget);
-      const uint32_t horizon =
-          (kk + kMinhashChunkInts - 1) / kMinhashChunkInts * kMinhashChunkInts;
-      im.ints->AddHashesComputed(ParallelReduce(
-          pool, candidates.size(), uint64_t{0},
-          [&](uint32_t, uint64_t b, uint64_t e) {
-            uint64_t work = 0;
-            for (uint64_t i = b; i < e; ++i) {
-              work += im.ints->EnsureHashesUncounted(candidates[i], horizon);
-            }
-            return work;
-          },
-          [](uint64_t x, uint64_t y) { return x + y; }));
-      const uint32_t num_shards = pool->num_threads();
-      struct Shard {
-        std::vector<QueryMatch> out;
-        QueryStats stats;
-        std::optional<IntOverflowShard> overflow;
-      };
-      std::vector<Shard> shards(num_shards);
-      pool->RunShards(candidates.size(), [&](uint32_t s, uint64_t begin,
-                                             uint64_t end) {
-        Shard& sh = shards[s];
-        IntOverflowShard& overflow = sh.overflow.emplace(&*im.ints);
-        auto no_ensure = [](uint32_t) {};
-        auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
-          const uint32_t* h = overflow.RowHashes(row, to);
-          uint32_t m = 0;
-          for (uint32_t i = from; i < to; ++i) m += (h[i] == qints[i]);
-          return m;
-        };
-        for (uint64_t i = begin; i < end; ++i) {
-          double sim = 0.0;
-          if (im.VerifyCandidate(candidates[i], q, no_ensure, match_range,
-                                 im.shard_jac_caches[s], &sh.stats, &sim)) {
-            sh.out.push_back({candidates[i], sim});
-          }
-        }
-      });
-      uint64_t overflow_total = 0;
-      for (Shard& sh : shards) {
-        out.insert(out.end(), sh.out.begin(), sh.out.end());
-        if (stats != nullptr) {
-          stats->pruned += sh.stats.pruned;
-          stats->hashes_compared += sh.stats.hashes_compared;
-        }
-        if (sh.overflow.has_value()) {
-          overflow_total += sh.overflow->computed();
-          // Fold beyond-horizon signatures back into the persistent store
-          // so later queries reuse them (the hashing is already counted).
-          sh.overflow->MergeInto(&*im.ints);
-        }
-      }
-      im.ints->AddHashesComputed(overflow_total);
-    }
+    const CacheLease<JaccardPosterior> cache(&im.jac_pool, 1);
+    im.VerifyJaccardSerial(q, candidates, cache[0], stats, &out);
   }
 
-  std::sort(out.begin(), out.end(), [](const QueryMatch& a,
-                                       const QueryMatch& b) {
-    return a.sim != b.sim ? a.sim > b.sim : a.id < b.id;
-  });
+  SortMatches(&out);
   return out;
+}
+
+std::vector<std::vector<QueryMatch>> QuerySearcher::QueryBatch(
+    std::span<const SparseVectorView> queries, QueryStats* stats,
+    uint32_t top_k) const {
+  Impl& im = *impl_;
+  if (stats != nullptr) *stats = QueryStats{};
+  std::vector<std::vector<QueryMatch>> results(queries.size());
+  if (queries.empty()) return results;
+
+  ThreadPool* pool = im.pool.get();
+  const uint32_t workers = pool != nullptr ? pool->num_threads() : 1;
+  std::vector<QueryStats> worker_stats(workers);
+
+  // Runs serve_one(worker, i) for every query index i: sharded over
+  // queries with exclusive use of the pool, or inline without one.
+  // Workers write only their own slots of `results`/`worker_stats`, so
+  // the merged output is deterministic for any thread count.
+  auto run = [&](const auto& serve_one) {
+    if (pool == nullptr) {
+      for (uint64_t i = 0; i < queries.size(); ++i) serve_one(0u, i);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(im.pool_mu_);
+    pool->RunShards(queries.size(), [&](uint32_t s, uint64_t b, uint64_t e) {
+      for (uint64_t i = b; i < e; ++i) serve_one(s, i);
+    });
+  };
+
+  auto finish_query = [&](uint32_t w, uint64_t i, const QueryStats& qs) {
+    SortMatches(&results[i]);
+    if (top_k != 0 && results[i].size() > top_k) results[i].resize(top_k);
+    MergeStats(qs, &worker_stats[w]);
+  };
+
+  if (CosineLike(im.cfg.measure)) {
+    const CacheLease<CosinePosterior> caches(&im.cos_pool, workers);
+    run([&](uint32_t w, uint64_t i) {
+      if (queries[i].empty()) return;
+      QueryStats qs;
+      const std::vector<uint32_t> cand = im.CollectCandidates(queries[i]);
+      qs.candidates = cand.size();
+      im.VerifyCosineSerial(queries[i], cand, caches[w], &qs, &results[i]);
+      finish_query(w, i, qs);
+    });
+  } else if (im.bbits.has_value()) {
+    const CacheLease<BbitMinwisePosterior> caches(&im.bbit_pool, workers);
+    run([&](uint32_t w, uint64_t i) {
+      if (queries[i].empty()) return;
+      QueryStats qs;
+      const std::vector<uint32_t> cand = im.CollectCandidates(queries[i]);
+      qs.candidates = cand.size();
+      im.VerifyBbitSerial(queries[i], cand, caches[w], &qs, &results[i]);
+      finish_query(w, i, qs);
+    });
+  } else {
+    const CacheLease<JaccardPosterior> caches(&im.jac_pool, workers);
+    run([&](uint32_t w, uint64_t i) {
+      if (queries[i].empty()) return;
+      QueryStats qs;
+      const std::vector<uint32_t> cand = im.CollectCandidates(queries[i]);
+      qs.candidates = cand.size();
+      im.VerifyJaccardSerial(queries[i], cand, caches[w], &qs, &results[i]);
+      finish_query(w, i, qs);
+    });
+  }
+
+  if (stats != nullptr) {
+    for (const QueryStats& ws : worker_stats) MergeStats(ws, stats);
+  }
+  return results;
 }
 
 std::vector<QueryMatch> QuerySearcher::QueryTopK(const SparseVectorView& q,

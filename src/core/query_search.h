@@ -12,17 +12,27 @@
 //
 // Queries do not mutate the index and may use vectors not present in the
 // collection. With num_threads > 1 the searcher owns a worker pool: the
-// index build shards over bands, and each query's candidate verification
-// shards over candidates (results identical to single-threaded for any
-// thread count). Individual Query() calls must still be serialized by the
-// caller — the lazy signature store mutates across queries; one searcher
-// per caller thread is the intended external concurrency model.
+// index build shards over bands, QueryBatch() shards over queries, and a
+// single large Query() shards its candidate verification over candidates
+// (results identical to single-threaded for any thread count).
+//
+// Concurrency model (docs/ARCHITECTURE.md, "Freeze & serve"):
+// Query()/QueryTopK()/QueryBatch() are safe to call concurrently from any
+// number of threads, on one shared searcher. On a *frozen* searcher (see
+// Freeze()) the signature store is immutable and concurrent queries read
+// it lock-free — the intended serving mode. On an unfrozen searcher the
+// lazy signature growth is serialized by a mutex inside the store, so
+// concurrent queries are still correct but contend on growth; freeze
+// before sharing a searcher across serving threads. Freeze() itself and
+// the constructors are not concurrent-safe: complete them before handing
+// the searcher to other threads.
 
 #ifndef BAYESLSH_CORE_QUERY_SEARCH_H_
 #define BAYESLSH_CORE_QUERY_SEARCH_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "candgen/lsh_banding.h"
@@ -52,14 +62,15 @@ struct QuerySearchConfig {
   // Jaccard only: verify with b-bit minwise signatures of this width
   // (lsh/bbit_minwise.h) instead of full 32-bit hashes — 8x smaller
   // signature storage at b = 4. Candidate generation is unchanged. 0 keeps
-  // full-width hashes. With b-bit signatures per-query verification runs
-  // sequentially (the index build still shards); results remain identical
-  // for every thread count.
+  // full-width hashes. With b-bit signatures a single query's verification
+  // runs sequentially (the index build still shards, and QueryBatch still
+  // shards over queries); results remain identical for every thread count.
   uint32_t bbit = 0;
 
-  // Worker threads for index build and per-query verification sharding
-  // (0 = all hardware threads, 1 = sequential). Does not make concurrent
-  // Query() calls safe — see the class comment.
+  // Worker threads for the index build, QueryBatch() query sharding, and
+  // within-query verification sharding (0 = all hardware threads, 1 =
+  // sequential). Concurrent calls are safe at any setting — see the class
+  // comment.
   uint32_t num_threads = 1;
 };
 
@@ -104,13 +115,51 @@ class QuerySearcher {
   QuerySearcher& operator=(const QuerySearcher&) = delete;
 
   // All collection rows x with s(x, q) >= threshold (subject to the
-  // BayesLSH guarantees), sorted by decreasing similarity.
+  // BayesLSH guarantees), sorted by decreasing similarity. Safe to call
+  // concurrently (see the class comment); on a frozen searcher the call
+  // performs zero signature-store mutations.
   std::vector<QueryMatch> Query(const SparseVectorView& q,
                                 QueryStats* stats = nullptr) const;
 
   // The k most similar rows among those reaching the threshold; ties by id.
   std::vector<QueryMatch> QueryTopK(const SparseVectorView& q, uint32_t k,
                                     QueryStats* stats = nullptr) const;
+
+  // Batched multi-client serving: answers queries[i] into slot i of the
+  // result, sharding over *queries* (one pool shard, inference cache and
+  // stats accumulator per worker, merged in query order). Each query runs
+  // the same per-candidate loop as Query(), so results are pair-for-pair
+  // identical to a serial Query() loop, for any thread count. top_k != 0
+  // truncates each query's matches as QueryTopK would. *stats, when
+  // given, receives the per-query stats summed in query order — exactly
+  // the totals a serial Query() loop would accumulate. Empty queries get
+  // empty results. Concurrent QueryBatch calls serialize on the worker
+  // pool; Query() calls arriving while a batch is in flight verify
+  // sequentially instead of waiting for the pool.
+  std::vector<std::vector<QueryMatch>> QueryBatch(
+      std::span<const SparseVectorView> queries,
+      QueryStats* stats = nullptr, uint32_t top_k = 0) const;
+
+  // Eagerly grows every collection row's verification signature to the
+  // full per-candidate hash budget (bayes.max_hashes, or lite_max_hashes
+  // under exact_verification) and freezes the signature store — the
+  // cold → prefetched → frozen endpoint of the serving state machine.
+  // After this, queries perform zero signature-store mutations
+  // (bits_computed()/hashes_computed() stay constant) and read the store
+  // lock-free. Warm construction from a fully prefetched PersistentIndex
+  // (IndexBuildConfig::prefetch_hashes = kPrefetchFull) makes this a
+  // no-op top-up. Idempotent, one-way, NOT concurrent-safe: freeze before
+  // sharing the searcher across threads.
+  void Freeze();
+  bool frozen() const;
+
+  // Hashing-work tallies of the engaged verification signature store:
+  // bits for cosine-like measures, minwise hashes for Jaccard (full-width
+  // or b-bit); the non-engaged tally reads 0. Instrumentation, and the
+  // frozen-serving invariant checked by tests: a frozen searcher's
+  // tallies never change.
+  uint64_t bits_computed() const;
+  uint64_t hashes_computed() const;
 
   uint32_t num_bands() const { return num_bands_; }
   uint32_t hashes_per_band() const { return hashes_per_band_; }

@@ -39,6 +39,7 @@ uint64_t BbitSignatureStore::EnsureHashesUncounted(uint32_t row,
                                                    uint32_t n_hashes) {
   const uint32_t have = NumHashes(row);
   if (n_hashes <= have) return 0;
+  assert(!frozen());  // A frozen store must already cover every request.
   const uint32_t want =
       (n_hashes + kChunkHashes - 1) / kChunkHashes * kChunkHashes;
   auto& w = words_[row];
@@ -55,7 +56,7 @@ uint64_t BbitSignatureStore::EnsureHashesUncounted(uint32_t row,
 }
 
 void BbitSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
-  hashes_computed_ += EnsureHashesUncounted(row, n_hashes);
+  AddHashesComputed(EnsureHashesUncounted(row, n_hashes));
 }
 
 void BbitSignatureStore::EnsureAllHashes(uint32_t n_hashes) {
@@ -77,9 +78,29 @@ uint32_t BbitSignatureStore::HashValue(uint32_t row, uint32_t j) const {
 
 uint32_t BbitSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
                                         uint32_t to) {
+  if (frozen()) {
+    assert(NumHashes(a) >= to && NumHashes(b) >= to);
+    return MatchingBbitGroups(words_[a].data(), words_[b].data(), from, to,
+                              bits_per_hash_);
+  }
   EnsureHashes(a, to);
   EnsureHashes(b, to);
   return MatchingBbitGroups(words_[a].data(), words_[b].data(), from, to,
+                            bits_per_hash_);
+}
+
+uint32_t BbitSignatureStore::MatchAgainstQuery(uint32_t row,
+                                               const uint64_t* query_words,
+                                               uint32_t from, uint32_t to) {
+  assert(from <= to);
+  if (frozen()) {
+    assert(NumHashes(row) >= to);
+    return MatchingBbitGroups(words_[row].data(), query_words, from, to,
+                              bits_per_hash_);
+  }
+  std::lock_guard<std::mutex> lock(growth_mu_);
+  AddHashesComputed(EnsureHashesUncounted(row, to));
+  return MatchingBbitGroups(words_[row].data(), query_words, from, to,
                             bits_per_hash_);
 }
 
@@ -92,20 +113,23 @@ uint64_t BbitSignatureStore::signature_bytes() const {
 void BbitSignatureStore::Save(std::ostream& out) const {
   internal::SaveSignatureRows(out, SignatureKind::kBbitPacked,
                               static_cast<uint8_t>(bits_per_hash_), words_,
-                              hashes_computed_);
+                              hashes_computed());
 }
 
 void BbitSignatureStore::Load(std::istream& in) {
+  assert(!frozen());
   // One growth chunk is kChunkHashes values = bits_per_hash_ words.
+  uint64_t computed = 0;
   internal::LoadSignatureRows(in, SignatureKind::kBbitPacked,
                               static_cast<uint8_t>(bits_per_hash_),
                               num_rows(), /*length_multiple=*/bits_per_hash_,
-                              "b-bit packed", &words_, &hashes_computed_);
+                              "b-bit packed", &words_, &computed);
+  hashes_computed_.store(computed, std::memory_order_relaxed);
 }
 
 void BbitSignatureStore::CopyRowsFrom(const BbitSignatureStore& other) {
   assert(other.num_rows() == num_rows() &&
-         other.bits_per_hash() == bits_per_hash());
+         other.bits_per_hash() == bits_per_hash() && !frozen());
   internal::CopyLongerRows(other.words_, &words_);
 }
 

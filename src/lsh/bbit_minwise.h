@@ -25,10 +25,12 @@
 #ifndef BAYESLSH_LSH_BBIT_MINWISE_H_
 #define BAYESLSH_LSH_BBIT_MINWISE_H_
 
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <vector>
 
 #include "lsh/minwise_hasher.h"
@@ -118,9 +120,24 @@ class BbitSignatureStore {
   // returns the underlying minwise hashes newly computed. Safe to call
   // concurrently for distinct rows (the two-phase prefetch protocol of
   // lsh/signature_store.h); merge the returned work with
-  // AddHashesComputed() after the join.
+  // AddHashesComputed() after the join (zero merges are dropped and the
+  // tally is a relaxed atomic, as for the full-width stores).
   uint64_t EnsureHashesUncounted(uint32_t row, uint32_t n_hashes);
-  void AddHashesComputed(uint64_t n) { hashes_computed_ += n; }
+  void AddHashesComputed(uint64_t n) {
+    if (n != 0) hashes_computed_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Frozen-state serving; see the BitSignatureStore counterparts in
+  // lsh/signature_store.h. The query signature is in the same packed
+  // group layout as the stored rows (PackBbitValues output).
+  void Freeze() { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+  uint32_t MatchAgainstQuery(uint32_t row, const uint64_t* query_words,
+                             uint32_t from, uint32_t to);
+  std::unique_lock<std::mutex> GrowthLock() {
+    if (frozen()) return {};
+    return std::unique_lock<std::mutex>(growth_mu_);
+  }
 
   // Grows every row to at least n hashes.
   void EnsureAllHashes(uint32_t n_hashes);
@@ -137,12 +154,16 @@ class BbitSignatureStore {
   uint32_t HashValue(uint32_t row, uint32_t j) const;
 
   // Number of hash positions in [from, to) where rows a and b agree,
-  // growing both signatures as needed.
+  // growing both signatures as needed. On a frozen store this takes the
+  // lock-free read-only fast path (both rows must already cover `to`).
   uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
 
-  // Total underlying minwise hashes computed so far (instrumentation; the
-  // b-bit truncation does not reduce hashing work, only storage).
-  uint64_t hashes_computed() const { return hashes_computed_; }
+  // Total underlying minwise hashes computed so far (instrumentation,
+  // safe to read from any thread; the b-bit truncation does not reduce
+  // hashing work, only storage).
+  uint64_t hashes_computed() const {
+    return hashes_computed_.load(std::memory_order_relaxed);
+  }
 
   // Bytes of signature storage currently held across all rows.
   uint64_t signature_bytes() const;
@@ -162,7 +183,9 @@ class BbitSignatureStore {
   uint32_t bits_per_hash_;
   uint32_t values_per_word_;
   std::vector<std::vector<uint64_t>> words_;
-  uint64_t hashes_computed_ = 0;
+  std::atomic<uint64_t> hashes_computed_{0};
+  std::atomic<bool> frozen_{false};
+  std::mutex growth_mu_;  // Serving-path growth (see MatchAgainstQuery).
 };
 
 }  // namespace bayeslsh

@@ -15,6 +15,7 @@ uint64_t BitSignatureStore::EnsureBitsUncounted(uint32_t row,
   const uint32_t have = static_cast<uint32_t>(w.size());
   const uint32_t need = WordsForBits(n_bits);
   if (have >= need) return 0;
+  assert(!frozen());  // A frozen store must already cover every request.
   const SparseVectorView v = data_->Row(row);
   w.reserve(need);
   for (uint32_t c = have; c < need; ++c) {
@@ -24,7 +25,7 @@ uint64_t BitSignatureStore::EnsureBitsUncounted(uint32_t row,
 }
 
 void BitSignatureStore::EnsureBits(uint32_t row, uint32_t n_bits) {
-  bits_computed_ += EnsureBitsUncounted(row, n_bits);
+  AddBitsComputed(EnsureBitsUncounted(row, n_bits));
 }
 
 void BitSignatureStore::EnsureAllBits(uint32_t n_bits) {
@@ -34,9 +35,23 @@ void BitSignatureStore::EnsureAllBits(uint32_t n_bits) {
 uint32_t BitSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
                                        uint32_t to) {
   assert(from <= to);
+  if (frozen()) return MatchCountReadOnly(a, b, from, to);
   EnsureBits(a, to);
   EnsureBits(b, to);
   return MatchingBits(words_[a].data(), words_[b].data(), from, to);
+}
+
+uint32_t BitSignatureStore::MatchAgainstQuery(uint32_t row,
+                                              const uint64_t* query_words,
+                                              uint32_t from, uint32_t to) {
+  assert(from <= to);
+  if (frozen()) {
+    assert(NumBits(row) >= to);
+    return MatchingBits(query_words, words_[row].data(), from, to);
+  }
+  std::lock_guard<std::mutex> lock(growth_mu_);
+  AddBitsComputed(EnsureBitsUncounted(row, to));
+  return MatchingBits(query_words, words_[row].data(), from, to);
 }
 
 uint32_t BitSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
@@ -49,17 +64,20 @@ uint32_t BitSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
 
 void BitSignatureStore::Save(std::ostream& out) const {
   internal::SaveSignatureRows(out, SignatureKind::kSrpBits, 0, words_,
-                              bits_computed_);
+                              bits_computed());
 }
 
 void BitSignatureStore::Load(std::istream& in) {
+  assert(!frozen());
+  uint64_t computed = 0;
   internal::LoadSignatureRows(in, SignatureKind::kSrpBits, 0, num_rows(),
                               /*length_multiple=*/1, "SRP bits", &words_,
-                              &bits_computed_);
+                              &computed);
+  bits_computed_.store(computed, std::memory_order_relaxed);
 }
 
 void BitSignatureStore::CopyRowsFrom(const BitSignatureStore& other) {
-  assert(other.num_rows() == num_rows());
+  assert(other.num_rows() == num_rows() && !frozen());
   internal::CopyLongerRows(other.words_, &words_);
 }
 
@@ -76,6 +94,7 @@ uint64_t IntSignatureStore::EnsureHashesUncounted(uint32_t row,
       (n_hashes + kMinhashChunkInts - 1) / kMinhashChunkInts;
   const uint32_t need = need_chunks * kMinhashChunkInts;
   if (have >= need) return 0;
+  assert(!frozen());  // A frozen store must already cover every request.
   assert(have % kMinhashChunkInts == 0);
   const SparseVectorView v = data_->Row(row);
   h.resize(need);
@@ -86,7 +105,7 @@ uint64_t IntSignatureStore::EnsureHashesUncounted(uint32_t row,
 }
 
 void IntSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
-  hashes_computed_ += EnsureHashesUncounted(row, n_hashes);
+  AddHashesComputed(EnsureHashesUncounted(row, n_hashes));
 }
 
 void IntSignatureStore::EnsureAllHashes(uint32_t n_hashes) {
@@ -109,9 +128,23 @@ inline uint32_t CountIntMatches(const uint32_t* ha, const uint32_t* hb,
 uint32_t IntSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
                                        uint32_t to) {
   assert(from <= to);
+  if (frozen()) return MatchCountReadOnly(a, b, from, to);
   EnsureHashes(a, to);
   EnsureHashes(b, to);
   return CountIntMatches(hashes_[a].data(), hashes_[b].data(), from, to);
+}
+
+uint32_t IntSignatureStore::MatchAgainstQuery(uint32_t row,
+                                              const uint32_t* query_hashes,
+                                              uint32_t from, uint32_t to) {
+  assert(from <= to);
+  if (frozen()) {
+    assert(NumHashes(row) >= to);
+    return CountIntMatches(hashes_[row].data(), query_hashes, from, to);
+  }
+  std::lock_guard<std::mutex> lock(growth_mu_);
+  AddHashesComputed(EnsureHashesUncounted(row, to));
+  return CountIntMatches(hashes_[row].data(), query_hashes, from, to);
 }
 
 uint32_t IntSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
@@ -124,17 +157,20 @@ uint32_t IntSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
 
 void IntSignatureStore::Save(std::ostream& out) const {
   internal::SaveSignatureRows(out, SignatureKind::kMinwiseInts, 0, hashes_,
-                              hashes_computed_);
+                              hashes_computed());
 }
 
 void IntSignatureStore::Load(std::istream& in) {
+  assert(!frozen());
+  uint64_t computed = 0;
   internal::LoadSignatureRows(in, SignatureKind::kMinwiseInts, 0, num_rows(),
                               kMinhashChunkInts, "minwise ints", &hashes_,
-                              &hashes_computed_);
+                              &computed);
+  hashes_computed_.store(computed, std::memory_order_relaxed);
 }
 
 void IntSignatureStore::CopyRowsFrom(const IntSignatureStore& other) {
-  assert(other.num_rows() == num_rows());
+  assert(other.num_rows() == num_rows() && !frozen());
   internal::CopyLongerRows(other.hashes_, &hashes_);
 }
 

@@ -7,16 +7,26 @@
 // hashing work done — which the pipeline reports as "hashing overhead",
 // mirroring the paper's discussion of amortized hashing costs.
 //
-// Concurrency: the stores support a two-phase protocol for sharded
-// verification (docs/ARCHITECTURE.md, "Concurrency model"):
+// Concurrency: a store moves through three states (docs/ARCHITECTURE.md,
+// "Concurrency model"):
+//
+// 1. Cold / lazy (the paper's model). Growth happens on demand. The
+//    serving-path entry point MatchAgainstQuery serializes growth and the
+//    row read behind an internal mutex, so concurrent query threads are
+//    safe; the bulk-growth APIs (EnsureBits / EnsureAllBits / MatchCount)
+//    remain single-threaded unless the caller coordinates.
+//
+// 2. Two-phase sharded verification:
 //
 //   Phase A (prefetch) — workers grow disjoint row ranges via
 //     EnsureBitsUncounted / EnsureHashesUncounted (distinct rows touch
 //     distinct vectors, so no synchronization is needed), accumulate the
 //     hashing work privately, and the coordinator merges it with
-//     AddBitsComputed / AddHashesComputed.
+//     AddBitsComputed / AddHashesComputed. A coordinator that shares the
+//     store with concurrent serving threads must hold GrowthLock() across
+//     both phases.
 //
-//   Phase B (verify) — the store is frozen; workers use the read-only
+//   Phase B (verify) — growth pauses; workers use the read-only
 //     MatchCountReadOnly against the prefetched signatures, and route the
 //     rare pairs that outlive the prefetch horizon through a private
 //     BitOverflowShard / IntOverflowShard, which extends copies of the
@@ -25,13 +35,22 @@
 //     accounting stays intact up to cross-shard duplication of overflow
 //     rows (the documented prefetch-horizon slack).
 //
-// Outside that protocol the stores are single-threaded, as in the paper.
+// 3. Frozen (immutable-once-published serving). After every row is grown
+//    to the largest depth any future lookup can request, Freeze() makes
+//    the store permanently immutable: every MatchCount path takes a
+//    lock-free read-only fast path, zero-work tally merges are dropped,
+//    and any call that would actually mutate the store is a programming
+//    error (asserted). Frozen stores can serve any number of concurrent
+//    readers with no synchronization at all.
 
 #ifndef BAYESLSH_LSH_SIGNATURE_STORE_H_
 #define BAYESLSH_LSH_SIGNATURE_STORE_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -78,8 +97,48 @@ class BitSignatureStore {
   // AddBitsComputed() after the join.
   uint64_t EnsureBitsUncounted(uint32_t row, uint32_t n_bits);
 
-  // Merges privately accounted hashing work into bits_computed().
-  void AddBitsComputed(uint64_t bits) { bits_computed_ += bits; }
+  // Merges privately accounted hashing work into bits_computed(). A zero
+  // merge is dropped without touching memory, so protocol code may call
+  // this unconditionally even while a frozen store serves concurrent
+  // readers. The tally is a relaxed atomic: bits_computed() may be polled
+  // from any thread while an unfrozen store grows concurrently.
+  void AddBitsComputed(uint64_t bits) {
+    if (bits != 0) bits_computed_.fetch_add(bits, std::memory_order_relaxed);
+  }
+
+  // --- frozen-state serving ---
+
+  // Makes the store permanently immutable. The caller must first have
+  // grown every row to the largest depth any future lookup can request
+  // (QuerySearcher::Freeze does this); a growth call that still needs work
+  // after Freeze() is a programming error. Publishing the frozen store to
+  // other threads must happen-after this call (any synchronizing handoff
+  // does).
+  void Freeze() { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  // Serving-path match of one stored row against an external query
+  // signature (packed bit words, hash i at bit i) over positions
+  // [from, to).
+  //
+  // This is the one extension point behind `QuerySearcher::Query() const`:
+  // on a frozen store it is lock-free and purely read-only (the row must
+  // already cover `to` bits); on an unfrozen store the lazy row growth and
+  // the row read are serialized by the internal growth mutex, so
+  // concurrent callers are safe and the only observable mutation is the
+  // bits_computed() tally. No unsynchronized const-cast-style mutation is
+  // reachable from a const searcher.
+  uint32_t MatchAgainstQuery(uint32_t row, const uint64_t* query_words,
+                             uint32_t from, uint32_t to);
+
+  // Exclusive hold of the growth mutex, for a multi-step growth protocol
+  // (e.g. the within-query sharded path: prefetch, overflow, merge) that
+  // must exclude concurrent MatchAgainstQuery callers. Returns an empty
+  // (lock-free) lock when frozen — a frozen store needs no exclusion.
+  std::unique_lock<std::mutex> GrowthLock() {
+    if (frozen()) return {};
+    return std::unique_lock<std::mutex>(growth_mu_);
+  }
 
   // Grows every row to at least n_bits hashes.
   void EnsureAllBits(uint32_t n_bits);
@@ -92,7 +151,8 @@ class BitSignatureStore {
   const uint64_t* Words(uint32_t row) const { return words_[row].data(); }
 
   // Number of hash positions in [from, to) where rows a and b agree,
-  // growing both signatures as needed.
+  // growing both signatures as needed. On a frozen store this takes the
+  // lock-free read-only fast path (both rows must already cover `to`).
   uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
 
   // Read-only MatchCount: requires both rows already grown to `to` bits.
@@ -104,13 +164,20 @@ class BitSignatureStore {
   // overflow shard folding its work back after a parallel join — see
   // BitOverflowShard::MergeInto). Does NOT touch bits_computed(): the
   // computing shard already accounted the work. No-op if the store
-  // already covers at least as many bits.
+  // already covers at least as many bits. Never adopts into a frozen
+  // store.
   void AdoptWords(uint32_t row, std::vector<uint64_t>&& words) {
-    if (words.size() > words_[row].size()) words_[row] = std::move(words);
+    if (words.size() > words_[row].size()) {
+      assert(!frozen());
+      words_[row] = std::move(words);
+    }
   }
 
-  // Total hash bits computed so far across all rows (instrumentation).
-  uint64_t bits_computed() const { return bits_computed_; }
+  // Total hash bits computed so far across all rows (instrumentation;
+  // safe to read from any thread).
+  uint64_t bits_computed() const {
+    return bits_computed_.load(std::memory_order_relaxed);
+  }
 
   // Serializes every grown row plus the bits_computed() tally as one
   // SignatureKind::kSrpBits section (docs/FORMATS.md). Deterministic: the
@@ -138,7 +205,9 @@ class BitSignatureStore {
   const Dataset* data_;
   SrpHasher hasher_;
   std::vector<std::vector<uint64_t>> words_;
-  uint64_t bits_computed_ = 0;
+  std::atomic<uint64_t> bits_computed_{0};
+  std::atomic<bool> frozen_{false};
+  std::mutex growth_mu_;  // Serving-path growth (see MatchAgainstQuery).
 };
 
 // Integer signatures (minwise / Jaccard).
@@ -155,9 +224,24 @@ class IntSignatureStore {
   void EnsureHashes(uint32_t row, uint32_t n_hashes);
 
   // Two-phase protocol counterparts of EnsureBitsUncounted /
-  // AddBitsComputed (see BitSignatureStore).
+  // AddBitsComputed (see BitSignatureStore; zero merges are dropped, the
+  // tally is a relaxed atomic readable from any thread).
   uint64_t EnsureHashesUncounted(uint32_t row, uint32_t n_hashes);
-  void AddHashesComputed(uint64_t n) { hashes_computed_ += n; }
+  void AddHashesComputed(uint64_t n) {
+    if (n != 0) hashes_computed_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Frozen-state serving; see the BitSignatureStore counterparts. The
+  // query signature is a plain array of full-width minwise hashes, hash i
+  // at index i.
+  void Freeze() { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+  uint32_t MatchAgainstQuery(uint32_t row, const uint32_t* query_hashes,
+                             uint32_t from, uint32_t to);
+  std::unique_lock<std::mutex> GrowthLock() {
+    if (frozen()) return {};
+    return std::unique_lock<std::mutex>(growth_mu_);
+  }
 
   void EnsureAllHashes(uint32_t n_hashes);
 
@@ -177,10 +261,15 @@ class IntSignatureStore {
 
   // See BitSignatureStore::AdoptWords.
   void AdoptHashes(uint32_t row, std::vector<uint32_t>&& hashes) {
-    if (hashes.size() > hashes_[row].size()) hashes_[row] = std::move(hashes);
+    if (hashes.size() > hashes_[row].size()) {
+      assert(!frozen());
+      hashes_[row] = std::move(hashes);
+    }
   }
 
-  uint64_t hashes_computed() const { return hashes_computed_; }
+  uint64_t hashes_computed() const {
+    return hashes_computed_.load(std::memory_order_relaxed);
+  }
 
   // Serialization + warm start; see the BitSignatureStore counterparts.
   // The section kind is SignatureKind::kMinwiseInts.
@@ -195,7 +284,9 @@ class IntSignatureStore {
   const Dataset* data_;
   MinwiseHasher hasher_;
   std::vector<std::vector<uint32_t>> hashes_;
-  uint64_t hashes_computed_ = 0;
+  std::atomic<uint64_t> hashes_computed_{0};
+  std::atomic<bool> frozen_{false};
+  std::mutex growth_mu_;  // Serving-path growth (see MatchAgainstQuery).
 };
 
 // --- per-shard overflow stores (phase B of the two-phase protocol) ---

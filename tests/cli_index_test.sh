@@ -41,6 +41,15 @@ check_rc "index build" 0 $?
 check_rc "query against valid index" 0 $?
 [ -s matches.txt ] || { echo "FAIL: query produced no output" >&2; fails=$((fails + 1)); }
 
+# Batched concurrent serving must be byte-identical to the serial loop,
+# frozen or not, and --qps-report must emit a machine-readable line.
+"$CLI" query --index corpus.idx --query-file corpus.txt --normalize \
+  --top-k 5 --batch --freeze --threads 2 --qps-report \
+  --output batch.txt 2>batch_err.txt
+check_rc "batched frozen query" 0 $?
+cmp -s matches.txt batch.txt || { echo "FAIL: --batch output differs from serial loop" >&2; fails=$((fails + 1)); }
+grep -q '"qps"' batch_err.txt || { echo "FAIL: --qps-report emitted no qps line" >&2; fails=$((fails + 1)); }
+
 # Usage errors: exit 1.
 "$CLI" index --input corpus.txt 2>/dev/null
 check_rc "index without --output" 1 $?
@@ -93,6 +102,21 @@ check_one_error_line "missing index file" err.txt
 "$CLI" query --index corpus.idx --query-file other.txt 2>err.txt
 check_rc "query file dimensionality mismatch" 2 $?
 check_one_error_line "query file dimensionality mismatch" err.txt
+
+# An empty query workload is a data error, not a silent no-op: exit 2
+# with one diagnostic, like the corrupt-index cases.
+printf '%%BayesLSH sparse 1.0\n0 100\n' > empty_queries.txt
+"$CLI" query --index corpus.idx --query-file empty_queries.txt 2>err.txt
+check_rc "empty query file" 2 $?
+check_one_error_line "empty query file" err.txt
+
+# So is a query vector with zero nonzero entries (row 1 here).
+dims=$(sed -n 2p corpus.txt | cut -d' ' -f2)
+printf '%%BayesLSH sparse 1.0\n2 %s\n0:1.0\n\n' "$dims" > zero_row.txt
+"$CLI" query --index corpus.idx --query-file zero_row.txt 2>err.txt
+check_rc "zero-nonzero query row" 2 $?
+check_one_error_line "zero-nonzero query row" err.txt
+grep -q 'row 1' err.txt || { echo "FAIL: zero-nonzero row not identified by index" >&2; fails=$((fails + 1)); }
 
 # A banding shape the load path could never accept is refused at build
 # time (usage error, not a broken index file).

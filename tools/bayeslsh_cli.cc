@@ -18,7 +18,12 @@
 //       Loads a persistent index and runs every row of the query file
 //       against it, writing one "query_id match_id similarity" line per
 //       match. Repeated invocations amortize index construction: only the
-//       load (I/O-bound) is paid per process.
+//       load (I/O-bound) is paid per process. --batch serves the whole
+//       file through the concurrent QueryBatch engine (sharding over
+//       queries with --threads workers), --freeze pins the signature
+//       store to the immutable serving form first, and --qps-report
+//       prints a machine-readable throughput line to stderr. Results are
+//       identical with and without --batch/--freeze.
 //
 //   bayeslsh generate --kind text|graph --vectors N --output data.txt
 //            [--seed S]
@@ -75,7 +80,8 @@ int Usage() {
       "  --threshold T                            (default 0.7)\n"
       "  --bands L --band-hashes K                (0 = derive; default 0)\n"
       "  --bbit B                                 (Jaccard: b-bit signatures)\n"
-      "  --prefetch H                             (verification hashes/row)\n"
+      "  --prefetch H|full  (verification hashes/row; full = the whole\n"
+      "                      serving budget, the frozen-serving form)\n"
       "  --threads N --seed S --tfidf --normalize\n"
       "\n"
       "query options:\n"
@@ -83,6 +89,11 @@ int Usage() {
       "  --top-k K          (keep only the K best matches per query)\n"
       "  --exact            (exact verification of unpruned candidates)\n"
       "  --normalize        (L2-normalize query rows; cosine indexes)\n"
+      "  --batch            (serve all queries through QueryBatch,\n"
+      "                      sharded over queries across --threads)\n"
+      "  --freeze           (eager-hash to the full budget and freeze the\n"
+      "                      store before serving: lock-free reads)\n"
+      "  --qps-report       (print a JSON throughput line to stderr)\n"
       "  --threads N --output FILE\n");
   return 1;
 }
@@ -265,7 +276,11 @@ int RunIndex(const Args& args) {
   cfg.banding.hashes_per_band =
       static_cast<uint32_t>(args.GetUint("band-hashes", 0));
   cfg.bbit = static_cast<uint32_t>(args.GetUint("bbit", 0));
-  cfg.prefetch_hashes = static_cast<uint32_t>(args.GetUint("prefetch", 0));
+  if (args.Get("prefetch", "") == "full") {
+    cfg.prefetch_hashes = kPrefetchFull;
+  } else {
+    cfg.prefetch_hashes = static_cast<uint32_t>(args.GetUint("prefetch", 0));
+  }
   cfg.seed = args.GetUint("seed", 42);
   if (!ParseThreads(args, &cfg.num_threads)) return 1;
 
@@ -306,6 +321,16 @@ int RunQuery(const Args& args) {
     return 2;
   }
   const double load_s = load_timer.Seconds();
+  // Serving contract: an empty query workload or a query vector with no
+  // nonzero entries is a data error, not a silent no-op — fail closed with
+  // the same exit code 2 + one-line diagnostic as a corrupt index. The
+  // emptiness check precedes the dimensionality check: an empty file's
+  // declared dimensionality is arbitrary.
+  if (queries.num_vectors() == 0) {
+    std::fprintf(stderr, "error: query file '%s' contains no query "
+                 "vectors\n", args.Get("query-file", "").c_str());
+    return 2;
+  }
   // A dimensionality mismatch means the query file was vectorized over a
   // different vocabulary — similarities against it would be meaningless,
   // so fail closed rather than emit garbage.
@@ -315,6 +340,13 @@ int RunQuery(const Args& args) {
                  "index's %u (different vocabulary?)\n",
                  queries.num_dims(), index->data().num_dims());
     return 2;
+  }
+  for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
+    if (queries.Row(qid).empty()) {
+      std::fprintf(stderr, "error: query row %u has no nonzero entries "
+                   "(similarity to it is undefined)\n", qid);
+      return 2;
+    }
   }
   if (args.Has("normalize") && index->measure() == Measure::kCosine) {
     queries = L2NormalizeRows(queries);
@@ -342,26 +374,64 @@ int RunQuery(const Args& args) {
   }
 
   try {
+    WallTimer construct_timer;
+    QuerySearcher searcher(index.get(), cfg);
+    if (args.Has("freeze")) searcher.Freeze();
+    const double construct_s = construct_timer.Seconds();
+
     WallTimer query_timer;
-    const QuerySearcher searcher(index.get(), cfg);
     uint64_t total_matches = 0;
-    for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
-      const SparseVectorView q = queries.Row(qid);
-      const std::vector<QueryMatch> matches =
-          top_k != 0 ? searcher.QueryTopK(q, top_k) : searcher.Query(q);
-      for (const QueryMatch& m : matches) {
-        (*out) << qid << ' ' << m.id << ' ' << m.sim << '\n';
+    if (args.Has("batch")) {
+      std::vector<SparseVectorView> qviews;
+      qviews.reserve(queries.num_vectors());
+      for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
+        qviews.push_back(queries.Row(qid));
       }
-      total_matches += matches.size();
+      const std::vector<std::vector<QueryMatch>> batched =
+          searcher.QueryBatch(qviews, nullptr, top_k);
+      for (uint32_t qid = 0; qid < batched.size(); ++qid) {
+        for (const QueryMatch& m : batched[qid]) {
+          (*out) << qid << ' ' << m.id << ' ' << m.sim << '\n';
+        }
+        total_matches += batched[qid].size();
+      }
+    } else {
+      for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
+        const SparseVectorView q = queries.Row(qid);
+        const std::vector<QueryMatch> matches =
+            top_k != 0 ? searcher.QueryTopK(q, top_k) : searcher.Query(q);
+        for (const QueryMatch& m : matches) {
+          (*out) << qid << ' ' << m.id << ' ' << m.sim << '\n';
+        }
+        total_matches += matches.size();
+      }
     }
+    const double serve_s = query_timer.Seconds();
+
     std::fprintf(stderr,
                  "%u quer%s against %u indexed vectors -> %llu matches "
-                 "(index loaded in %.3f s, served in %.3f s)\n",
+                 "(index loaded in %.3f s, searcher ready in %.3f s, "
+                 "served in %.3f s)\n",
                  queries.num_vectors(),
                  queries.num_vectors() == 1 ? "y" : "ies",
                  index->data().num_vectors(),
                  static_cast<unsigned long long>(total_matches), load_s,
-                 query_timer.Seconds());
+                 construct_s, serve_s);
+    if (args.Has("qps-report")) {
+      std::fprintf(
+          stderr,
+          "{\"queries\": %u, \"matches\": %llu, \"threads\": %u, "
+          "\"batch\": %s, \"frozen\": %s, \"load_seconds\": %.6f, "
+          "\"construct_seconds\": %.6f, \"serve_seconds\": %.6f, "
+          "\"qps\": %.1f}\n",
+          queries.num_vectors(),
+          static_cast<unsigned long long>(total_matches),
+          ResolveNumThreads(cfg.num_threads),
+          args.Has("batch") ? "true" : "false",
+          searcher.frozen() ? "true" : "false", load_s, construct_s,
+          serve_s,
+          serve_s > 0.0 ? queries.num_vectors() / serve_s : 0.0);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
