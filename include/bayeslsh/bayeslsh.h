@@ -60,6 +60,16 @@
 /// partially initialized index. The `bayeslsh_cli` `index` / `query`
 /// subcommands expose the same flow on the command line.
 ///
+/// **Dynamic updates** — `DynamicIndex` (core/dynamic_index.h): LSM-style
+/// layering of a mutable delta segment over the frozen base, so the
+/// corpus can change while serving. `Add()`/`Remove()` mutate the delta
+/// (tombstones for removals), queries merge {base, delta} minus
+/// tombstones — pair-for-pair identical to a from-scratch rebuild of the
+/// live corpus — and `Compact()` folds everything into a new frozen base,
+/// preserving logical ids. `Save()/Load()` persist the whole state as a
+/// versioned segment manifest; the CLI `add` / `remove` / `compact`
+/// subcommands (and `query` on a manifest) expose the same flow.
+///
 /// **Data** — `Dataset` / `DatasetBuilder` (vec/dataset.h) hold the CSR
 /// collection; `ReadDatasetAutoFile` / `WriteDataset[Binary]File`
 /// (vec/io.h) read and write the text and binary dataset formats;
@@ -117,6 +127,7 @@
 #include "core/bbit_posterior.h"         // IWYU pragma: export
 #include "core/classical.h"              // IWYU pragma: export
 #include "core/cosine_posterior.h"       // IWYU pragma: export
+#include "core/dynamic_index.h"          // IWYU pragma: export
 #include "core/index_io.h"               // IWYU pragma: export
 #include "core/jaccard_posterior.h"      // IWYU pragma: export
 #include "core/metrics.h"                // IWYU pragma: export

@@ -13,10 +13,33 @@
 #                                             #   frozen batch serving (JSON)
 #   BENCH=fig3_cosine_weighted scripts/bench.sh   # other bench binary
 #                                             #   (no JSON support: just runs)
+#   scripts/bench.sh --smoke                  # CI mode: serve_path +
+#                                             #   concurrent_serve at reduced
+#                                             #   scale, one JSON each
+#                                             #   (BENCH_smoke_*.json) — the
+#                                             #   per-PR perf-trajectory
+#                                             #   record uploaded as a CI
+#                                             #   artifact
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
+
+# Smoke mode: a fixed small scale so every PR accrues a comparable record
+# in minutes, not the 20+ of a full run. Re-invokes this script once per
+# serve-path bench.
+if [ "${1:-}" = "--smoke" ]; then
+  BAYESLSH_BENCH_SCALE="${BAYESLSH_BENCH_SCALE:-0.05}"
+  export BAYESLSH_BENCH_SCALE
+  for bench in serve_path concurrent_serve; do
+    BENCH="$bench" OUT="BENCH_smoke_${bench}.json" \
+      THREADS="${THREADS:-2}" "$0"
+  done
+  echo "smoke bench records written: BENCH_smoke_serve_path.json," \
+       "BENCH_smoke_concurrent_serve.json (scale $BAYESLSH_BENCH_SCALE)"
+  exit 0
+fi
+
 BENCH="${BENCH:-table2_speedups}"
 THREADS="${THREADS:-1}"
 if [ "$BENCH" = "table2_speedups" ]; then

@@ -1,6 +1,7 @@
 #include "candgen/banding_index.h"
 
 #include <algorithm>
+#include <cassert>
 #include <string>
 
 #include "common/bit_ops.h"
@@ -85,6 +86,39 @@ BandingIndex BandingIndex::BuildJaccard(const Dataset& data,
     }
   });
   return index;
+}
+
+void BandingIndex::InsertCosine(const SparseVectorView& v, uint32_t row,
+                                const GaussianSource* gauss) {
+  assert(!bands_.empty() && hashes_per_band_ != 0);
+  if (v.empty()) return;
+  const uint32_t l = num_bands();
+  const uint32_t k = hashes_per_band_;
+  const SrpHasher hasher(gauss);
+  std::vector<uint64_t> words(WordsForBits(l * k));
+  for (uint32_t c = 0; c < words.size(); ++c) {
+    words[c] = hasher.HashChunk(v, c);
+  }
+  for (uint32_t band = 0; band < l; ++band) {
+    bands_[band][CosineKey(words.data(), band, k)].push_back(row);
+  }
+}
+
+void BandingIndex::InsertJaccard(const SparseVectorView& v, uint32_t row,
+                                 uint64_t gen_seed) {
+  assert(!bands_.empty() && hashes_per_band_ != 0);
+  if (v.empty()) return;
+  const uint32_t l = num_bands();
+  const uint32_t k = hashes_per_band_;
+  const MinwiseHasher hasher(gen_seed);
+  const uint32_t chunks = (l * k + kMinhashChunkInts - 1) / kMinhashChunkInts;
+  std::vector<uint32_t> ints(chunks * kMinhashChunkInts);
+  for (uint32_t c = 0; c < chunks; ++c) {
+    hasher.HashChunk(v, c, ints.data() + c * kMinhashChunkInts);
+  }
+  for (uint32_t band = 0; band < l; ++band) {
+    bands_[band][JaccardKey(ints.data(), band, k)].push_back(row);
+  }
 }
 
 void BandingIndex::Save(std::ostream& out) const {

@@ -64,6 +64,19 @@ class BandingIndex {
                                    uint32_t k, uint32_t l,
                                    ThreadPool* pool = nullptr);
 
+  // Incremental insert of one row appended to the collection after the
+  // batch build — the LSM delta growth path (core/dynamic_index.h). The
+  // row's generation signature is hashed l*k deep and the row id appended
+  // to its bucket in every band. Inserting rows in ascending id order
+  // reproduces the batch Build table exactly; empty rows are skipped, as
+  // the batch build skips them. The table must already be built (it
+  // carries the banding shape); not concurrent-safe with Find — callers
+  // serialize inserts against probes.
+  void InsertCosine(const SparseVectorView& v, uint32_t row,
+                    const GaussianSource* gauss);
+  void InsertJaccard(const SparseVectorView& v, uint32_t row,
+                     uint64_t gen_seed);
+
   // Band key of a query signature; `words`/`ints` must cover l*k hashes.
   static uint64_t CosineKey(const uint64_t* words, uint32_t band,
                             uint32_t k);

@@ -1,0 +1,529 @@
+#include "core/dynamic_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "common/prng.h"
+#include "vec/binary_io.h"
+#include "vec/io.h"
+
+namespace bayeslsh {
+
+namespace {
+
+// 8 bytes: name + "DX" (dynamic index) + format generation + the trailing
+// 'E' endianness canary shared by every binary format (docs/FORMATS.md).
+constexpr char kManifestMagic[8] = {'B', 'L', 'S', 'H', 'D', 'X', '1', 'E'};
+
+// The merged-result ordering: decreasing similarity, ties by ascending
+// logical id — exactly the QuerySearcher result order, so a merged answer
+// is byte-for-byte what a rebuilt single-segment searcher returns.
+void SortMerged(std::vector<QueryMatch>* out) {
+  std::sort(out->begin(), out->end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.sim != b.sim ? a.sim > b.sim : a.id < b.id;
+            });
+}
+
+std::vector<std::pair<DimId, float>> RowEntries(const SparseVectorView& v) {
+  std::vector<std::pair<DimId, float>> entries;
+  entries.reserve(v.size());
+  for (uint32_t i = 0; i < v.size(); ++i) {
+    entries.emplace_back(v.indices[i], v.values[i]);
+  }
+  return entries;
+}
+
+// True iff `id` occurs in the sorted vector.
+bool IdInSorted(const std::vector<uint32_t>& ids, uint32_t id) {
+  return std::binary_search(ids.begin(), ids.end(), id);
+}
+
+}  // namespace
+
+struct DynamicIndex::Impl {
+  DynamicIndexConfig cfg;
+  QuerySearchConfig serve_cfg;  // Resolved against the base at construction.
+
+  // Invariants of the index's whole lifetime (compaction preserves all
+  // of them), cached so the lock-free accessors never dereference `base`
+  // while a concurrent Compact() is replacing it.
+  Measure measure = Measure::kCosine;
+  uint32_t num_dims = 0;
+  uint64_t seed = 0;
+
+  // Frozen base segment: the persistent index plus a warm searcher over
+  // it. base_ids maps physical base row -> logical id (strictly
+  // ascending).
+  std::unique_ptr<PersistentIndex> base;
+  std::vector<uint32_t> base_ids;
+  std::unique_ptr<QuerySearcher> base_searcher;
+
+  // Mutable delta segment: an append-only dataset, the searcher that
+  // grows with it (SyncAppendedRows), and the physical-row -> logical-id
+  // map (strictly ascending, every id greater than every base id).
+  Dataset delta_data;
+  std::vector<uint32_t> delta_ids;
+  std::unique_ptr<QuerySearcher> delta_searcher;
+
+  // Logical ids removed but not yet compacted away.
+  std::unordered_set<uint32_t> tombstones;
+
+  // Next logical id Add() will assign; ids are never reused.
+  uint32_t next_id = 0;
+
+  // Queries shared, mutations exclusive (see the header comment).
+  mutable std::shared_mutex mu;
+
+  // (Re)creates the empty delta and both segment searchers — after
+  // construction and after every compaction.
+  void ResetDeltaAndServing() {
+    delta_searcher.reset();
+    base_searcher.reset();
+    delta_data = Dataset(base->data().num_dims(), {0}, {}, {});
+    base_searcher = std::make_unique<QuerySearcher>(base.get(), serve_cfg);
+    // The delta serves single-threaded: results are thread-count
+    // invariant by the engine's determinism guarantee, the segment is
+    // small by invariant, and a second worker pool per index (torn down
+    // and rebuilt inside every Compact) would be pure overhead.
+    QuerySearchConfig delta_cfg = serve_cfg;
+    delta_cfg.num_threads = 1;
+    delta_searcher =
+        std::make_unique<QuerySearcher>(&delta_data, delta_cfg);
+  }
+
+  bool LiveLocked(uint32_t id) const {
+    if (tombstones.count(id) != 0) return false;
+    return IdInSorted(base_ids, id) || IdInSorted(delta_ids, id);
+  }
+
+  // Maps one segment's matches to logical ids, dropping tombstones.
+  void AppendLive(const std::vector<QueryMatch>& matches,
+                  const std::vector<uint32_t>& ids,
+                  std::vector<QueryMatch>* out) const {
+    for (const QueryMatch& m : matches) {
+      const uint32_t id = ids[m.id];
+      if (tombstones.count(id) == 0) out->push_back({id, m.sim});
+    }
+  }
+
+  std::vector<QueryMatch> MergeSegments(
+      const std::vector<QueryMatch>& base_matches,
+      const std::vector<QueryMatch>& delta_matches) const {
+    std::vector<QueryMatch> out;
+    out.reserve(base_matches.size() + delta_matches.size());
+    AppendLive(base_matches, base_ids, &out);
+    AppendLive(delta_matches, delta_ids, &out);
+    SortMerged(&out);
+    return out;
+  }
+
+  // The manifest integrity fingerprint: a Mix64 chain over the header
+  // counts, every id in every map, the embedded base's own fingerprint,
+  // and the delta rows' full CSR content — the end marker checked on
+  // load. The delta content matters: the base protects itself with its
+  // own fingerprint, and without this fold the delta dataset's values
+  // would be the one section a flipped byte could corrupt silently (the
+  // CSR structure checks validate shape, not weights).
+  uint64_t ManifestFingerprint(
+      const std::vector<uint32_t>& sorted_tombstones) const {
+    uint64_t fp = Mix64(kManifestFormatVersion, next_id);
+    fp = Mix64(fp, base_ids.size(), delta_ids.size());
+    fp = Mix64(fp, sorted_tombstones.size(), base->Fingerprint());
+    for (const uint32_t id : base_ids) fp = Mix64(fp, id);
+    for (const uint32_t id : delta_ids) fp = Mix64(fp, id);
+    for (const uint32_t id : sorted_tombstones) fp = Mix64(fp, id);
+    fp = Mix64(fp, delta_data.num_dims(), delta_data.nnz());
+    for (const uint64_t p : delta_data.indptr()) fp = Mix64(fp, p);
+    for (const DimId d : delta_data.indices()) fp = Mix64(fp, d);
+    for (const float v : delta_data.values()) {
+      fp = Mix64(fp, std::bit_cast<uint32_t>(v));
+    }
+    return fp;
+  }
+};
+
+DynamicIndex::DynamicIndex(std::unique_ptr<PersistentIndex> base,
+                           const DynamicIndexConfig& cfg)
+    : impl_(std::make_unique<Impl>()) {
+  if (base == nullptr) {
+    throw std::invalid_argument("DynamicIndex: null base index");
+  }
+  Impl& im = *impl_;
+  im.cfg = cfg;
+  im.base = std::move(base);
+  im.measure = im.base->measure();
+  im.num_dims = im.base->data().num_dims();
+  im.seed = im.base->seed();
+  im.serve_cfg.measure = im.base->measure();
+  im.serve_cfg.threshold =
+      cfg.threshold != 0.0 ? cfg.threshold : im.base->build_threshold();
+  im.serve_cfg.exact_verification = cfg.exact_verification;
+  im.serve_cfg.seed = im.base->seed();
+  im.serve_cfg.bbit = im.base->bbit();
+  // Pin the delta's banding shape to the base's so every segment (and
+  // every future compaction) generates candidates identically.
+  im.serve_cfg.banding.hashes_per_band = im.base->hashes_per_band();
+  im.serve_cfg.banding.num_bands = im.base->num_bands();
+  im.serve_cfg.num_threads = cfg.num_threads;
+
+  const uint32_t n = im.base->data().num_vectors();
+  im.base_ids.resize(n);
+  for (uint32_t i = 0; i < n; ++i) im.base_ids[i] = i;
+  im.next_id = n;
+  im.ResetDeltaAndServing();
+}
+
+DynamicIndex::~DynamicIndex() = default;
+
+uint32_t DynamicIndex::Add(const SparseVectorView& v) {
+  Impl& im = *impl_;
+  std::unique_lock<std::shared_mutex> lock(im.mu);
+  if (im.next_id == std::numeric_limits<uint32_t>::max()) {
+    throw std::length_error("DynamicIndex: logical id space exhausted");
+  }
+  // AppendRow validates dimensions before mutating, so a bad vector
+  // leaves the index unchanged.
+  im.delta_data.AppendRow(RowEntries(v));
+  im.delta_searcher->SyncAppendedRows();
+  const uint32_t id = im.next_id++;
+  im.delta_ids.push_back(id);
+  return id;
+}
+
+bool DynamicIndex::Remove(uint32_t id) {
+  Impl& im = *impl_;
+  std::unique_lock<std::shared_mutex> lock(im.mu);
+  if (!im.LiveLocked(id)) return false;
+  im.tombstones.insert(id);
+  return true;
+}
+
+bool DynamicIndex::Contains(uint32_t id) const {
+  const Impl& im = *impl_;
+  std::shared_lock<std::shared_mutex> lock(im.mu);
+  return im.LiveLocked(id);
+}
+
+std::vector<QueryMatch> DynamicIndex::Query(const SparseVectorView& q,
+                                            QueryStats* stats) const {
+  const Impl& im = *impl_;
+  std::shared_lock<std::shared_mutex> lock(im.mu);
+  QueryStats base_stats, delta_stats;
+  const std::vector<QueryMatch> base_matches =
+      im.base_searcher->Query(q, stats != nullptr ? &base_stats : nullptr);
+  const std::vector<QueryMatch> delta_matches =
+      im.delta_searcher->Query(q, stats != nullptr ? &delta_stats : nullptr);
+  if (stats != nullptr) {
+    *stats = base_stats;
+    stats->MergeFrom(delta_stats);  // Segment stats sum, threads_used maxes.
+  }
+  return im.MergeSegments(base_matches, delta_matches);
+}
+
+std::vector<QueryMatch> DynamicIndex::QueryTopK(const SparseVectorView& q,
+                                                uint32_t k,
+                                                QueryStats* stats) const {
+  // Merge before truncation: a tombstoned row must not displace a live
+  // one from the top k.
+  std::vector<QueryMatch> all = Query(q, stats);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<std::vector<QueryMatch>> DynamicIndex::QueryBatch(
+    std::span<const SparseVectorView> queries, QueryStats* stats,
+    uint32_t top_k) const {
+  const Impl& im = *impl_;
+  std::shared_lock<std::shared_mutex> lock(im.mu);
+  QueryStats base_stats, delta_stats;
+  const auto base_results = im.base_searcher->QueryBatch(
+      queries, stats != nullptr ? &base_stats : nullptr, /*top_k=*/0);
+  const auto delta_results = im.delta_searcher->QueryBatch(
+      queries, stats != nullptr ? &delta_stats : nullptr, /*top_k=*/0);
+  if (stats != nullptr) {
+    *stats = base_stats;
+    stats->MergeFrom(delta_stats);  // Segment stats sum, threads_used maxes.
+  }
+  std::vector<std::vector<QueryMatch>> results(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results[i] = im.MergeSegments(base_results[i], delta_results[i]);
+    if (top_k != 0 && results[i].size() > top_k) results[i].resize(top_k);
+  }
+  return results;
+}
+
+void DynamicIndex::Compact() {
+  Impl& im = *impl_;
+  std::unique_lock<std::shared_mutex> lock(im.mu);
+  // Nothing to fold in: keep the base untouched, so double-compaction is
+  // an exact no-op (idempotence, asserted by tests).
+  if (im.delta_ids.empty() && im.tombstones.empty()) return;
+
+  DatasetBuilder builder(im.base->data().num_dims());
+  std::vector<uint32_t> ids;
+  ids.reserve(im.base_ids.size() + im.delta_ids.size());
+  const auto append_live = [&](const Dataset& d,
+                               const std::vector<uint32_t>& idmap) {
+    for (uint32_t r = 0; r < d.num_vectors(); ++r) {
+      const uint32_t id = idmap[r];
+      if (im.tombstones.count(id) != 0) continue;
+      builder.AddRow(RowEntries(d.Row(r)));
+      ids.push_back(id);
+    }
+  };
+  // Base then delta visits the live rows in ascending logical-id order
+  // (base ids are ascending and every delta id exceeds them), so the new
+  // base's physical order is the logical order — what a from-scratch
+  // build over the live corpus would index.
+  append_live(im.base->data(), im.base_ids);
+  append_live(im.delta_data, im.delta_ids);
+
+  IndexBuildConfig build_cfg;
+  build_cfg.measure = im.base->measure();
+  build_cfg.threshold = im.base->build_threshold();
+  build_cfg.banding.hashes_per_band = im.base->hashes_per_band();
+  build_cfg.banding.num_bands = im.base->num_bands();
+  build_cfg.seed = im.base->seed();
+  build_cfg.bbit = im.base->bbit();
+  build_cfg.num_threads = im.cfg.num_threads;
+  std::unique_ptr<PersistentIndex> new_base =
+      PersistentIndex::Build(std::move(builder).Build(), build_cfg);
+
+  im.base_searcher.reset();
+  im.delta_searcher.reset();
+  im.base = std::move(new_base);
+  im.base_ids = std::move(ids);
+  im.delta_ids.clear();
+  im.tombstones.clear();
+  im.ResetDeltaAndServing();
+}
+
+void DynamicIndex::Save(std::ostream& out) const {
+  const Impl& im = *impl_;
+  std::shared_lock<std::shared_mutex> lock(im.mu);
+  std::vector<uint32_t> tombs(im.tombstones.begin(), im.tombstones.end());
+  std::sort(tombs.begin(), tombs.end());
+
+  out.write(kManifestMagic, sizeof(kManifestMagic));
+  WritePod(out, kManifestFormatVersion);
+  WritePod(out, uint32_t{0});  // Reserved; must be zero in version 1.
+  WritePod(out, static_cast<uint64_t>(im.next_id));
+  WritePod(out, static_cast<uint64_t>(im.base_ids.size()));
+  WritePod(out, static_cast<uint64_t>(im.delta_ids.size()));
+  WritePod(out, static_cast<uint64_t>(tombs.size()));
+  WritePodVec(out, im.base_ids);
+  im.base->Save(out);  // Embedded index file, magic and all.
+  WritePodVec(out, im.delta_ids);
+  WriteDatasetBinary(im.delta_data, out);
+  WritePodVec(out, tombs);
+  WritePod(out, im.ManifestFingerprint(tombs));  // End marker.
+  if (!out) throw IndexError("manifest save: stream write failed");
+}
+
+void DynamicIndex::SaveFile(const std::string& path) const {
+  // Write-then-rename: the CLI's default is an in-place update of the
+  // only copy, so a crash or full disk mid-write must leave the original
+  // manifest intact, never a truncated one. The flush+close must be
+  // checked BEFORE the rename — a failed final buffered flush would
+  // otherwise still promote a truncated tmp over the original.
+  const std::string tmp = path + ".tmp";
+  std::ofstream f(tmp, std::ios::binary);
+  if (!f) throw IndexError("manifest save: cannot open " + tmp);
+  try {
+    Save(f);
+  } catch (...) {
+    f.close();
+    std::remove(tmp.c_str());
+    throw;
+  }
+  f.close();
+  if (f.fail() || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IndexError("manifest save: cannot finish writing " + tmp +
+                     " and replace " + path);
+  }
+}
+
+std::unique_ptr<DynamicIndex> DynamicIndex::Load(
+    std::istream& in, const DynamicIndexConfig& cfg) {
+  try {
+    char magic[sizeof(kManifestMagic)];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kManifestMagic, sizeof(magic)) != 0) {
+      throw IndexError(
+          "manifest load: bad magic (not a bayeslsh dynamic-index "
+          "manifest, or written on an incompatible platform)");
+    }
+    const auto version = ReadPod<uint32_t>(in, "manifest header: version");
+    if (version != kManifestFormatVersion) {
+      throw IndexError("manifest load: unsupported format version " +
+                       std::to_string(version) + " (this build reads " +
+                       std::to_string(kManifestFormatVersion) + ")");
+    }
+    const auto reserved = ReadPod<uint32_t>(in, "manifest header: reserved");
+    if (reserved != 0) {
+      throw IndexError(
+          "manifest header: reserved field must be zero in format "
+          "version 1 (got " + std::to_string(reserved) + ")");
+    }
+    const auto next_id = ReadPod<uint64_t>(in, "manifest header: next id");
+    const auto nb = ReadPod<uint64_t>(in, "manifest header: base rows");
+    const auto nd = ReadPod<uint64_t>(in, "manifest header: delta rows");
+    const auto nt = ReadPod<uint64_t>(in, "manifest header: tombstones");
+    if (next_id >= std::numeric_limits<uint32_t>::max() ||
+        nb > next_id || nd > next_id || nb + nd > next_id ||
+        nt > nb + nd) {
+      throw IndexError("manifest header: implausible id counts");
+    }
+
+    std::vector<uint32_t> base_ids;
+    ReadPodVec(in, &base_ids, nb, "manifest: base id map");
+    for (uint64_t i = 0; i < nb; ++i) {
+      if (base_ids[i] >= next_id ||
+          (i > 0 && base_ids[i] <= base_ids[i - 1])) {
+        throw IndexError("manifest: base id map not strictly ascending "
+                         "below the next id");
+      }
+    }
+
+    std::unique_ptr<PersistentIndex> base =
+        PersistentIndex::Load(in, /*expect_eof=*/false);
+    if (base->data().num_vectors() != nb) {
+      throw IndexError("manifest: embedded base row count disagrees with "
+                       "the header");
+    }
+
+    std::vector<uint32_t> delta_ids;
+    ReadPodVec(in, &delta_ids, nd, "manifest: delta id map");
+    for (uint64_t i = 0; i < nd; ++i) {
+      if (delta_ids[i] >= next_id ||
+          (i > 0 && delta_ids[i] <= delta_ids[i - 1]) ||
+          (i == 0 && !base_ids.empty() && delta_ids[0] <= base_ids.back())) {
+        throw IndexError("manifest: delta id map must ascend strictly "
+                         "above every base id");
+      }
+    }
+
+    const Dataset delta = ReadDatasetBinary(in);
+    if (delta.num_vectors() != nd) {
+      throw IndexError("manifest: delta row count disagrees with the "
+                       "header");
+    }
+    if (delta.num_dims() != base->data().num_dims()) {
+      throw IndexError("manifest: delta dimensionality disagrees with the "
+                       "base");
+    }
+
+    std::vector<uint32_t> tombs;
+    ReadPodVec(in, &tombs, nt, "manifest: tombstone list");
+    for (uint64_t i = 0; i < nt; ++i) {
+      if ((i > 0 && tombs[i] <= tombs[i - 1]) ||
+          (!IdInSorted(base_ids, tombs[i]) &&
+           !IdInSorted(delta_ids, tombs[i]))) {
+        throw IndexError("manifest: tombstone list must name known ids in "
+                         "strictly ascending order");
+      }
+    }
+
+    std::unique_ptr<DynamicIndex> index(
+        new DynamicIndex(std::move(base), cfg));
+    Impl& im = *index->impl_;
+    im.base_ids = std::move(base_ids);
+    im.next_id = static_cast<uint32_t>(next_id);
+    // Rebuild the delta's serving state: signatures and banding keys are
+    // pure functions of (seed, row content), so re-inserting the rows
+    // reproduces the saved segment exactly. The delta is small by
+    // invariant (compaction folds it away), so this is cheap relative to
+    // the base load.
+    for (uint32_t r = 0; r < delta.num_vectors(); ++r) {
+      im.delta_data.AppendRow(RowEntries(delta.Row(r)));
+    }
+    im.delta_searcher->SyncAppendedRows();
+    im.delta_ids = std::move(delta_ids);
+    im.tombstones.insert(tombs.begin(), tombs.end());
+
+    const auto end_marker = ReadPod<uint64_t>(in, "manifest end marker");
+    if (end_marker != im.ManifestFingerprint(tombs)) {
+      throw IndexError("manifest load: end marker mismatch (truncated or "
+                       "corrupt tail)");
+    }
+    if (in.peek() != std::istream::traits_type::eof()) {
+      throw IndexError("manifest load: trailing bytes after the end "
+                       "marker");
+    }
+    return index;
+  } catch (const IndexError&) {
+    throw;
+  } catch (const IoError& e) {
+    // Embedded section readers throw plain IoError; surface everything
+    // under the one manifest-load error type.
+    throw IndexError(std::string("manifest load: ") + e.what());
+  }
+}
+
+std::unique_ptr<DynamicIndex> DynamicIndex::LoadFile(
+    const std::string& path, const DynamicIndexConfig& cfg) {
+  try {
+    RequireReadableDataFile(path);
+  } catch (const IoError& e) {
+    throw IndexError(std::string("manifest load: ") + e.what());
+  }
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IndexError("manifest load: cannot open " + path);
+  return Load(f, cfg);
+}
+
+bool DynamicIndex::SniffFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  char magic[sizeof(kManifestMagic)] = {};
+  f.read(magic, sizeof(magic));
+  return f && std::memcmp(magic, kManifestMagic, sizeof(magic)) == 0;
+}
+
+// The shape accessors read the cached lifetime invariants, never the
+// (Compact-replaceable) base pointer — genuinely safe from any thread
+// without a lock.
+Measure DynamicIndex::measure() const { return impl_->measure; }
+
+uint32_t DynamicIndex::num_dims() const { return impl_->num_dims; }
+
+double DynamicIndex::serve_threshold() const {
+  return impl_->serve_cfg.threshold;
+}
+
+uint64_t DynamicIndex::seed() const { return impl_->seed; }
+
+uint32_t DynamicIndex::num_base_rows() const {
+  const Impl& im = *impl_;
+  std::shared_lock<std::shared_mutex> lock(im.mu);
+  return static_cast<uint32_t>(im.base_ids.size());
+}
+
+uint32_t DynamicIndex::num_delta_rows() const {
+  const Impl& im = *impl_;
+  std::shared_lock<std::shared_mutex> lock(im.mu);
+  return static_cast<uint32_t>(im.delta_ids.size());
+}
+
+uint32_t DynamicIndex::num_tombstones() const {
+  const Impl& im = *impl_;
+  std::shared_lock<std::shared_mutex> lock(im.mu);
+  return static_cast<uint32_t>(im.tombstones.size());
+}
+
+uint32_t DynamicIndex::num_live() const {
+  const Impl& im = *impl_;
+  std::shared_lock<std::shared_mutex> lock(im.mu);
+  return static_cast<uint32_t>(im.base_ids.size() + im.delta_ids.size() -
+                               im.tombstones.size());
+}
+
+}  // namespace bayeslsh

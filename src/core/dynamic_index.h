@@ -1,0 +1,197 @@
+// Dynamic index: LSM-style layering of a small mutable delta segment over
+// the frozen PersistentIndex base, so the corpus can change while serving
+// without a full rebuild per insert.
+//
+// The paper's pipeline is a build-once system: PersistentIndex freezes the
+// whole serving state at construction, and before this subsystem any
+// Add/Remove forced a complete rebuild and re-freeze. DynamicIndex applies
+// the standard log-structured answer (an immutable base plus a mutable
+// in-memory delta, merged at read time and compacted in the background —
+// the memtable/SSTable split of LSM stores):
+//
+//   Add(v)     appends the vector to the delta segment: the delta's
+//              Dataset grows a row, its signature stores grow an empty
+//              lazily hashed row, and its banding buckets take an
+//              incremental insert — O(l*k) hashing, never a rebuild.
+//   Remove(id) records a tombstone; the row stays physically present in
+//              its segment until the next compaction and is subtracted
+//              from every query result.
+//   Query()    fans out over {frozen base, delta}, maps each segment's
+//              physical rows to stable logical ids, drops tombstoned
+//              ids, and merges the per-segment result lists into one
+//              similarity-ordered answer.
+//   Compact()  folds the live rows of both segments into a new frozen
+//              base (PersistentIndex::Build over the merged corpus),
+//              clears the delta and the tombstone set, and preserves
+//              every logical id.
+//
+// Ids: Add assigns monotonically increasing logical ids that survive
+// compaction (an id is never reused, even after Remove). QueryMatch::id
+// holds logical ids, so callers can hold them across any interleaving of
+// Add/Remove/Compact.
+//
+// Determinism: signatures and banding keys are pure functions of
+// (seed, row content), so a row hashes identically whether it lives in
+// the base, the delta, or a rebuilt corpus; per-candidate BayesLSH
+// verification depends only on (query, candidate) — never on other
+// candidates. Query results after ANY interleaving of Add/Remove/Compact
+// are therefore pair-for-pair identical to a from-scratch rebuild over
+// the same logical corpus, for every signature kind and thread count
+// (asserted by tests/dynamic_index_test.cc). The one read-side cost of
+// deferral: tombstoned rows remain candidates until compaction (they are
+// verified, then subtracted), so QueryStats may count more candidates
+// than a rebuild would — the classic LSM read amplification, reclaimed by
+// Compact().
+//
+// Concurrency: queries and Save (both read-only) take a shared lock and
+// may run concurrently from any number of threads (the segment searchers
+// are internally synchronized); Add/Remove/Compact take an exclusive
+// lock and may be called from any thread, serialized against each other,
+// against queries, and against Save.
+//
+// Persistence: Save/Load use the versioned segment manifest format
+// (magic BLSHDX1E — docs/FORMATS.md, "Dynamic index manifest"): logical
+// id maps, the embedded frozen base index, the delta rows, and the
+// tombstone list, with a fingerprint end marker. Loading rebuilds the
+// delta's (small, by invariant) serving state; malformed manifests throw
+// IndexError and the CLI maps them to exit code 2.
+
+#ifndef BAYESLSH_CORE_DYNAMIC_INDEX_H_
+#define BAYESLSH_CORE_DYNAMIC_INDEX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <shared_mutex>
+
+#include "core/index_io.h"
+#include "core/query_search.h"
+#include "sim/similarity.h"
+#include "vec/dataset.h"
+
+namespace bayeslsh {
+
+// On-disk manifest version written to and accepted from manifest files.
+inline constexpr uint32_t kManifestFormatVersion = 1;
+
+struct DynamicIndexConfig {
+  // Serving threshold; 0 serves at the base index's build threshold.
+  // Thresholds below the build threshold raise the banding false-negative
+  // rate beyond the configured ε, exactly as for QuerySearcher.
+  double threshold = 0.0;
+
+  // Exact verification of unpruned candidates (the Lite behaviour).
+  bool exact_verification = false;
+
+  // Worker threads for segment queries, QueryBatch sharding and
+  // compaction builds (0 = all hardware threads, 1 = sequential).
+  uint32_t num_threads = 1;
+};
+
+// A serveable, updatable index: frozen base + mutable delta + tombstones.
+// Measure, seed, b-bit width and banding shape are taken from the base
+// index and apply to every future delta row and compaction.
+class DynamicIndex {
+ public:
+  // Takes ownership of the frozen base. Logical ids 0..n-1 map to the
+  // base's rows. Throws std::invalid_argument on a null base.
+  DynamicIndex(std::unique_ptr<PersistentIndex> base,
+               const DynamicIndexConfig& cfg);
+
+  ~DynamicIndex();
+  DynamicIndex(const DynamicIndex&) = delete;
+  DynamicIndex& operator=(const DynamicIndex&) = delete;
+
+  // Appends one vector to the delta segment and returns its logical id.
+  // The vector must follow the measure conventions of sim/similarity.h
+  // (kCosine: L2-normalized; kJaccard/kBinaryCosine: binary) and its
+  // dimensions must be < num_dims() — std::invalid_argument otherwise.
+  // Empty vectors are accepted (they can never match a query), matching
+  // the batch build's handling of empty corpus rows.
+  uint32_t Add(const SparseVectorView& v);
+
+  // Tombstones a logical id. Returns false (and changes nothing) when the
+  // id was never assigned or is already removed — so callers can fail
+  // closed on typo'd ids. The row is physically reclaimed at the next
+  // Compact().
+  bool Remove(uint32_t id);
+
+  // True iff `id` is assigned and not tombstoned.
+  bool Contains(uint32_t id) const;
+
+  // Merge-on-query serving: all live rows x with s(x, q) >= threshold,
+  // sorted by decreasing similarity (ties by ascending logical id) —
+  // pair-for-pair what a from-scratch rebuild over the live corpus would
+  // return. stats, when given, receives the summed segment stats (see the
+  // header comment on read amplification; threads_used is the max over
+  // segments). Safe to call concurrently from any number of threads.
+  std::vector<QueryMatch> Query(const SparseVectorView& q,
+                                QueryStats* stats = nullptr) const;
+
+  // The k best live matches; merged across segments BEFORE truncation, so
+  // a tombstoned base row can never displace a live delta row from the
+  // top k.
+  std::vector<QueryMatch> QueryTopK(const SparseVectorView& q, uint32_t k,
+                                    QueryStats* stats = nullptr) const;
+
+  // Batched serving: slot i answers queries[i], each merged across
+  // segments exactly as Query() does; top_k != 0 truncates per query
+  // after the merge. Results are identical to a serial Query() loop for
+  // any thread count.
+  std::vector<std::vector<QueryMatch>> QueryBatch(
+      std::span<const SparseVectorView> queries,
+      QueryStats* stats = nullptr, uint32_t top_k = 0) const;
+
+  // Folds the delta and the tombstones into a new frozen base over the
+  // live rows (in logical-id order), preserving every logical id, and
+  // resets the delta to empty. Queries before and after return identical
+  // results (asserted); a Compact with an empty delta and no tombstones
+  // is a no-op, so double-compaction is idempotent. This is the
+  // expensive, amortized half of the LSM bargain — run it off the
+  // serving path.
+  void Compact();
+
+  // Serializes the manifest (docs/FORMATS.md, "Dynamic index manifest").
+  // Deterministic for a given state. Throws IndexError on write failure.
+  void Save(std::ostream& out) const;
+  void SaveFile(const std::string& path) const;
+
+  // Deserializes a manifest. Throws IndexError on any malformed input —
+  // bad magic or version, nonzero reserved field, id maps out of order,
+  // tombstones naming unknown ids, embedded section corruption, or a
+  // fingerprint/end-marker mismatch. LoadFile fails closed on paths that
+  // are not readable non-empty regular files.
+  static std::unique_ptr<DynamicIndex> Load(std::istream& in,
+                                            const DynamicIndexConfig& cfg);
+  static std::unique_ptr<DynamicIndex> LoadFile(
+      const std::string& path, const DynamicIndexConfig& cfg);
+
+  // True iff the file starts with the dynamic-manifest magic — the cheap
+  // dispatch test the CLI uses to serve either index kind behind one
+  // --index flag. False on unreadable or short files (the loaders then
+  // produce the real diagnostic).
+  static bool SniffFile(const std::string& path);
+
+  // Shape and config accessors (safe from any thread).
+  Measure measure() const;
+  uint32_t num_dims() const;
+  double serve_threshold() const;
+  uint64_t seed() const;
+  uint32_t num_base_rows() const;   // Physical rows in the frozen base.
+  uint32_t num_delta_rows() const;  // Physical rows in the delta.
+  uint32_t num_tombstones() const;
+  uint32_t num_live() const;        // base + delta - tombstones.
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_DYNAMIC_INDEX_H_

@@ -200,7 +200,8 @@ void PersistentIndex::SaveFile(const std::string& path) const {
   Save(f);
 }
 
-std::unique_ptr<PersistentIndex> PersistentIndex::Load(std::istream& in) {
+std::unique_ptr<PersistentIndex> PersistentIndex::Load(std::istream& in,
+                                                       bool expect_eof) {
   try {
     char magic[sizeof(kIndexMagic)];
     in.read(magic, sizeof(magic));
@@ -219,7 +220,16 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Load(std::istream& in) {
         MeasureFromTag(ReadPod<uint8_t>(in, "index header: measure"));
     const auto sig_kind = ReadPod<uint8_t>(in, "index header: kind");
     index->bbit_ = ReadPod<uint8_t>(in, "index header: bbit");
-    (void)ReadPod<uint8_t>(in, "index header: reserved");
+    // v1 policy: the reserved byte must be zero. It is outside the
+    // fingerprint chain, so without this check a flipped reserved byte
+    // would load silently — and a future format that assigns it meaning
+    // could not trust old writers to have zeroed it.
+    const auto reserved = ReadPod<uint8_t>(in, "index header: reserved");
+    if (reserved != 0) {
+      throw IndexError(
+          "index header: reserved byte must be zero in format version 1 "
+          "(got " + std::to_string(reserved) + ")");
+    }
     index->seed_ = ReadPod<uint64_t>(in, "index header: seed");
     index->threshold_ = ReadPod<double>(in, "index header: threshold");
     index->k_ = ReadPod<uint32_t>(in, "index header: hashes_per_band");
@@ -277,7 +287,7 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Load(std::istream& in) {
       throw IndexError("index load: end marker mismatch (truncated or "
                        "corrupt tail)");
     }
-    if (in.peek() != std::istream::traits_type::eof()) {
+    if (expect_eof && in.peek() != std::istream::traits_type::eof()) {
       throw IndexError("index load: trailing bytes after the end marker");
     }
     return index;
@@ -292,6 +302,11 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Load(std::istream& in) {
 
 std::unique_ptr<PersistentIndex> PersistentIndex::LoadFile(
     const std::string& path) {
+  try {
+    RequireReadableDataFile(path);
+  } catch (const IoError& e) {
+    throw IndexError(std::string("index load: ") + e.what());
+  }
   std::ifstream f(path, std::ios::binary);
   if (!f) throw IndexError("index load: cannot open " + path);
   return Load(f);

@@ -110,9 +110,16 @@ class PersistentIndex {
                                                const IndexBuildConfig& cfg);
 
   // Deserializes an index. Throws IndexError on any malformed input:
-  // wrong magic, unsupported version, corrupt fingerprint, truncated or
-  // structurally invalid sections.
-  static std::unique_ptr<PersistentIndex> Load(std::istream& in);
+  // wrong magic, unsupported version, nonzero reserved header byte,
+  // corrupt fingerprint, truncated or structurally invalid sections.
+  // expect_eof = false skips the trailing-bytes check so an index can be
+  // embedded as a section of an enclosing stream (the dynamic-index
+  // manifest, core/dynamic_index.h — the enclosing reader owns the
+  // end-of-file framing); standalone loads keep the default strict
+  // framing. LoadFile additionally fails closed on paths that are not
+  // readable non-empty regular files (directories, zero-byte files).
+  static std::unique_ptr<PersistentIndex> Load(std::istream& in,
+                                               bool expect_eof = true);
   static std::unique_ptr<PersistentIndex> LoadFile(const std::string& path);
 
   // Serializes the index (deterministic: equal indexes produce equal

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "candgen/banding_index.h"
@@ -128,10 +129,7 @@ void SortMatches(std::vector<QueryMatch>* out) {
 }
 
 void MergeStats(const QueryStats& from, QueryStats* into) {
-  if (into == nullptr) return;
-  into->candidates += from.candidates;
-  into->pruned += from.pruned;
-  into->hashes_compared += from.hashes_compared;
+  if (into != nullptr) into->MergeFrom(from);
 }
 
 // Grows every row to `ensure`'s target, sharded over rows; returns the
@@ -688,6 +686,39 @@ void QuerySearcher::Freeze() {
   }
 }
 
+void QuerySearcher::SyncAppendedRows() {
+  Impl& im = *impl_;
+  if (im.banding != &im.banding_storage) {
+    throw std::logic_error(
+        "QuerySearcher: cannot grow a searcher serving a borrowed "
+        "(persistent-index) banding table");
+  }
+  if (frozen()) {
+    throw std::logic_error("QuerySearcher: cannot grow a frozen searcher");
+  }
+  const uint32_t n_data = im.data->num_vectors();
+  const uint32_t n_store = im.bits.has_value()   ? im.bits->num_rows()
+                           : im.ints.has_value() ? im.ints->num_rows()
+                                                 : im.bbits->num_rows();
+  assert(n_store <= n_data);
+  const uint64_t gen_seed = GenerationSeed(im.cfg.seed);
+  for (uint32_t row = n_store; row < n_data; ++row) {
+    if (im.bits.has_value()) {
+      im.bits->AppendRow();
+    } else if (im.ints.has_value()) {
+      im.ints->AppendRow();
+    } else {
+      im.bbits->AppendRow();
+    }
+    if (CosineLike(im.cfg.measure)) {
+      im.banding_storage.InsertCosine(im.data->Row(row), row,
+                                      im.gen_gauss.get());
+    } else {
+      im.banding_storage.InsertJaccard(im.data->Row(row), row, gen_seed);
+    }
+  }
+}
+
 bool QuerySearcher::frozen() const {
   const Impl& im = *impl_;
   if (im.bits.has_value()) return im.bits->frozen();
@@ -710,7 +741,10 @@ uint64_t QuerySearcher::hashes_computed() const {
 std::vector<QueryMatch> QuerySearcher::Query(const SparseVectorView& q,
                                              QueryStats* stats) const {
   Impl& im = *impl_;
-  if (stats != nullptr) *stats = QueryStats{};
+  // threads_used starts at the serial answer; only the sharded branch
+  // below overwrites it — so a busy-pool try-lock fallback reports the
+  // truth, not the configured thread count.
+  if (stats != nullptr) *stats = QueryStats{.threads_used = 1};
   std::vector<QueryMatch> out;
   if (q.empty()) return out;
 
@@ -732,6 +766,7 @@ std::vector<QueryMatch> QuerySearcher::Query(const SparseVectorView& q,
       candidates.size() >= kMinQueryCandidatesPerShard * pool->num_threads();
   std::unique_lock<std::mutex> pool_lock(im.pool_mu_, std::defer_lock);
   if (want_sharded && pool_lock.try_lock()) {
+    if (stats != nullptr) stats->threads_used = pool->num_threads();
     if (CosineLike(im.cfg.measure)) {
       const CacheLease<CosinePosterior> caches(&im.cos_pool,
                                                pool->num_threads());
@@ -760,12 +795,16 @@ std::vector<std::vector<QueryMatch>> QuerySearcher::QueryBatch(
     std::span<const SparseVectorView> queries, QueryStats* stats,
     uint32_t top_k) const {
   Impl& im = *impl_;
-  if (stats != nullptr) *stats = QueryStats{};
+  if (stats != nullptr) *stats = QueryStats{.threads_used = 1};
   std::vector<std::vector<QueryMatch>> results(queries.size());
   if (queries.empty()) return results;
 
   ThreadPool* pool = im.pool.get();
   const uint32_t workers = pool != nullptr ? pool->num_threads() : 1;
+  // A batch waits for exclusive use of the pool rather than degrading, so
+  // (unlike Query's try-lock fallback) the worker count is the thread
+  // count actually used.
+  if (stats != nullptr) stats->threads_used = workers;
   std::vector<QueryStats> worker_stats(workers);
 
   // Runs serve_one(worker, i) for every query index i: sharded over

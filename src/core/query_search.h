@@ -30,6 +30,7 @@
 #ifndef BAYESLSH_CORE_QUERY_SEARCH_H_
 #define BAYESLSH_CORE_QUERY_SEARCH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -86,6 +87,25 @@ struct QueryStats {
   uint64_t candidates = 0;
   uint64_t pruned = 0;
   uint64_t hashes_compared = 0;
+
+  // Worker threads the call *actually* used — not the configured count.
+  // 1 whenever verification ran serially: a single-thread searcher, a
+  // candidate list too small to shard, b-bit verification, or a Query()
+  // that found the worker pool busy (the try-lock fallback) all report 1
+  // even when num_threads asked for more. Merging two stats takes the
+  // max, so an aggregate answers "what was the widest parallelism any
+  // part of this serve reached".
+  uint32_t threads_used = 0;
+
+  // Folds another accumulator into this one: counters add, threads_used
+  // takes the max — the one merge rule, shared by QuerySearcher's batch
+  // aggregation and DynamicIndex's segment aggregation.
+  void MergeFrom(const QueryStats& other) {
+    candidates += other.candidates;
+    pruned += other.pruned;
+    hashes_compared += other.hashes_compared;
+    threads_used = std::max(threads_used, other.threads_used);
+  }
 };
 
 // Threshold / top-k search over a fixed collection.
@@ -152,6 +172,20 @@ class QuerySearcher {
   // sharing the searcher across threads.
   void Freeze();
   bool frozen() const;
+
+  // Extends the serving state over rows appended (Dataset::AppendRow) to
+  // the collection since construction or the previous sync — the LSM
+  // delta growth path (core/dynamic_index.h): each new row gets an empty
+  // lazily grown signature-store row and is inserted into the banding
+  // buckets with generation-seed hashes, leaving the searcher in exactly
+  // the state a fresh build over the grown collection would produce
+  // (query results are pair-for-pair identical — asserted by
+  // tests/dynamic_index_test.cc). Only legal on a searcher that owns its
+  // banding table (built from a Dataset, not warm-started from a
+  // PersistentIndex) and is not frozen — std::logic_error otherwise. NOT
+  // concurrent-safe: callers serialize against queries, as DynamicIndex
+  // does.
+  void SyncAppendedRows();
 
   // Hashing-work tallies of the engaged verification signature store:
   // bits for cosine-like measures, minwise hashes for Jaccard (full-width

@@ -139,6 +139,13 @@ class BbitSignatureStore {
     return std::unique_lock<std::mutex>(growth_mu_);
   }
 
+  // See BitSignatureStore::AppendRow (lsh/signature_store.h).
+  void AppendRow() {
+    assert(!frozen());
+    std::lock_guard<std::mutex> lock(growth_mu_);
+    words_.emplace_back();
+  }
+
   // Grows every row to at least n hashes.
   void EnsureAllHashes(uint32_t n_hashes);
 

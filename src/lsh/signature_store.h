@@ -140,6 +140,18 @@ class BitSignatureStore {
     return std::unique_lock<std::mutex>(growth_mu_);
   }
 
+  // Extends the store by one (empty, lazily grown) signature row for a
+  // row just appended to the collection — the LSM delta growth path
+  // (core/dynamic_index.h). Serialized against serving-path growth by the
+  // growth mutex; never legal on a frozen store (asserted). Callers must
+  // still exclude concurrent readers of num_rows()/Words() while
+  // appending, exactly as for any other structural growth.
+  void AppendRow() {
+    assert(!frozen());
+    std::lock_guard<std::mutex> lock(growth_mu_);
+    words_.emplace_back();
+  }
+
   // Grows every row to at least n_bits hashes.
   void EnsureAllBits(uint32_t n_bits);
 
@@ -241,6 +253,13 @@ class IntSignatureStore {
   std::unique_lock<std::mutex> GrowthLock() {
     if (frozen()) return {};
     return std::unique_lock<std::mutex>(growth_mu_);
+  }
+
+  // See BitSignatureStore::AppendRow.
+  void AppendRow() {
+    assert(!frozen());
+    std::lock_guard<std::mutex> lock(growth_mu_);
+    hashes_.emplace_back();
   }
 
   void EnsureAllHashes(uint32_t n_hashes);

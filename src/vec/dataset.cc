@@ -3,8 +3,38 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace bayeslsh {
+
+namespace {
+
+// Sorts entries by dimension, merges duplicates by summing, drops zeros —
+// the row normalization shared by DatasetBuilder::AddRow and
+// Dataset::AppendRow. The zero test is on the float that will actually be
+// stored, not the double accumulator: a sum that rounds to 0.0f must be
+// dropped now, or re-normalizing the stored row later (the manifest load
+// replay) would drop it then and disagree with the original.
+void NormalizeRowEntries(std::vector<std::pair<DimId, float>>* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t out = 0;
+  for (size_t i = 0; i < entries->size();) {
+    const DimId d = (*entries)[i].first;
+    double w = 0.0;
+    while (i < entries->size() && (*entries)[i].first == d) {
+      w += (*entries)[i].second;
+      ++i;
+    }
+    if (static_cast<float>(w) != 0.0f) {
+      (*entries)[out++] = {d, static_cast<float>(w)};
+    }
+  }
+  entries->resize(out);
+}
+
+}  // namespace
 
 Dataset::Dataset(uint32_t num_dims, std::vector<uint64_t> indptr,
                  std::vector<DimId> indices, std::vector<float> values)
@@ -16,6 +46,27 @@ Dataset::Dataset(uint32_t num_dims, std::vector<uint64_t> indptr,
   assert(indptr_.front() == 0);
   assert(indptr_.back() == indices_.size());
   assert(indices_.size() == values_.size());
+}
+
+uint32_t Dataset::AppendRow(std::vector<std::pair<DimId, float>> entries) {
+  // Every constructor establishes the leading indptr sentinel; only a
+  // moved-from Dataset lacks it, and appending to one is a caller error.
+  assert(!indptr_.empty() && indptr_.front() == 0);
+  NormalizeRowEntries(&entries);
+  for (const auto& [d, w] : entries) {
+    if (d >= num_dims_) {
+      throw std::invalid_argument(
+          "Dataset::AppendRow: dimension " + std::to_string(d) +
+          " out of range (collection has " + std::to_string(num_dims_) +
+          " dimensions)");
+    }
+  }
+  for (const auto& [d, w] : entries) {
+    indices_.push_back(d);
+    values_.push_back(w);
+  }
+  indptr_.push_back(indices_.size());
+  return static_cast<uint32_t>(indptr_.size() - 2);
 }
 
 DatasetStats Dataset::Stats() const {
@@ -52,22 +103,7 @@ std::vector<float> Dataset::DimMaxWeights() const {
 }
 
 void DatasetBuilder::AddRow(std::vector<std::pair<DimId, float>> entries) {
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  size_t out = 0;
-  // Merge duplicates, drop zeros.
-  for (size_t i = 0; i < entries.size();) {
-    const DimId d = entries[i].first;
-    double w = 0.0;
-    while (i < entries.size() && entries[i].first == d) {
-      w += entries[i].second;
-      ++i;
-    }
-    if (w != 0.0) {
-      entries[out++] = {d, static_cast<float>(w)};
-    }
-  }
-  entries.resize(out);
+  NormalizeRowEntries(&entries);
   for (const auto& [d, w] : entries) {
     if (d >= num_dims_) num_dims_ = d + 1;
     indices_.push_back(d);

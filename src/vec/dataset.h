@@ -2,7 +2,9 @@
 // all-pairs similarity search runs.
 //
 // Rows are built through DatasetBuilder (which sorts and merges duplicate
-// feature ids), after which a Dataset is immutable. Transformations such as
+// feature ids), after which a Dataset is append-only: existing rows never
+// change, and new rows may be added at the tail with AppendRow (the
+// dynamic-index delta segment grows this way). Transformations such as
 // tf-idf weighting and L2 normalization produce new Datasets
 // (see vec/transforms.h).
 
@@ -29,12 +31,25 @@ struct DatasetStats {
   double length_stddev = 0;  // Std-dev of vector lengths.
 };
 
-// Immutable CSR sparse matrix; row i is object i.
+// Append-only CSR sparse matrix; row i is object i. Existing rows are
+// never modified (the immutability every signature store and banding
+// build relies on); AppendRow grows the collection at the tail — the
+// delta-segment growth path of core/dynamic_index.h.
 class Dataset {
  public:
   Dataset() = default;
   Dataset(uint32_t num_dims, std::vector<uint64_t> indptr,
           std::vector<DimId> indices, std::vector<float> values);
+
+  // Appends one row (entries in any order; duplicate dimension ids are
+  // merged by summing, zero weights dropped — the DatasetBuilder
+  // normalization) and returns its row id. Existing rows are untouched,
+  // but the backing arrays may reallocate: SparseVectorView objects
+  // obtained from Row() before the append are invalidated — re-fetch
+  // views after appending (every store in this codebase fetches views
+  // transiently). Throws std::invalid_argument if an entry's dimension
+  // is >= num_dims().
+  uint32_t AppendRow(std::vector<std::pair<DimId, float>> entries);
 
   uint32_t num_vectors() const {
     return indptr_.empty() ? 0 : static_cast<uint32_t>(indptr_.size() - 1);

@@ -3,10 +3,12 @@
 #include <charconv>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "vec/binary_io.h"
@@ -33,6 +35,32 @@ void ReadRaw(std::istream& in, std::vector<T>* v, size_t count,
 }
 
 }  // namespace
+
+void RequireReadableDataFile(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status st = fs::status(path, ec);
+  if (ec || st.type() == fs::file_type::not_found) {
+    throw IoError("cannot open " + path + ": no such file");
+  }
+  if (st.type() == fs::file_type::directory) {
+    throw IoError("cannot read " + path + ": is a directory, not a file");
+  }
+  // Only regular files have a meaningful size; pipes, FIFOs and devices
+  // (/dev/stdin, process substitution) pass through so stream-based
+  // workflows keep working.
+  if (st.type() == fs::file_type::regular) {
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (!ec && size == 0) {
+      throw IoError("cannot read " + path + ": file is empty");
+    }
+  }
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) {
+    throw IoError("cannot open " + path + ": permission denied or "
+                  "unreadable");
+  }
+}
 
 void WriteDataset(const Dataset& d, std::ostream& out) {
   out << kMagic << "\n";
@@ -187,6 +215,7 @@ Dataset ReadDatasetBinaryFile(const std::string& path) {
 }
 
 Dataset ReadDatasetAutoFile(const std::string& path) {
+  RequireReadableDataFile(path);
   std::ifstream f(path, std::ios::binary);
   if (!f) throw IoError("ReadDatasetAutoFile: cannot open " + path);
   char first = 0;

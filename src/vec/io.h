@@ -27,6 +27,15 @@ class IoError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Throws IoError unless `path` is plausibly readable data — the
+// fail-closed precheck shared by every file-opening loader, so a
+// directory, an unreadable file or a zero-byte regular file handed to
+// --index/--input produces one precise diagnostic (CLI exit code 2)
+// instead of an obscure downstream stream error. Non-regular readable
+// files (pipes, /dev/stdin, process substitution) pass through: only the
+// downstream parser can judge a stream.
+void RequireReadableDataFile(const std::string& path);
+
 void WriteDataset(const Dataset& d, std::ostream& out);
 void WriteDatasetFile(const Dataset& d, const std::string& path);
 

@@ -125,6 +125,114 @@ grep -q 'row 1' err.txt || { echo "FAIL: zero-nonzero row not identified by inde
 check_rc "unloadable banding shape refused at build" 1 $?
 [ ! -e never.idx ] || { echo "FAIL: unloadable index was written" >&2; fails=$((fails + 1)); }
 
+# --- pathological index paths must fail closed (exit 2, one line) ---
+
+mkdir -p somedir
+"$CLI" query --index somedir --query-file corpus.txt 2>err.txt
+check_rc "directory as index" 2 $?
+check_one_error_line "directory as index" err.txt
+
+: > zerobyte.idx
+"$CLI" query --index zerobyte.idx --query-file corpus.txt 2>err.txt
+check_rc "zero-byte index" 2 $?
+check_one_error_line "zero-byte index" err.txt
+
+"$CLI" index --input somedir --output x.idx 2>err.txt
+check_rc "directory as index input" 2 $?
+check_one_error_line "directory as index input" err.txt
+
+"$CLI" query --index corpus.idx --query-file zerobyte.idx 2>err.txt
+check_rc "zero-byte query file" 2 $?
+check_one_error_line "zero-byte query file" err.txt
+
+# An unreadable file (root can read anything, so skip when effectively
+# root, e.g. in CI containers).
+if [ "$(id -u)" != 0 ]; then
+  cp corpus.idx locked.idx
+  chmod 000 locked.idx
+  "$CLI" query --index locked.idx --query-file corpus.txt 2>err.txt
+  check_rc "unreadable index" 2 $?
+  check_one_error_line "unreadable index" err.txt
+  chmod 600 locked.idx
+fi
+
+# --- dynamic index lifecycle: add / remove / compact / query ---
+
+"$CLI" add --index corpus.idx --input corpus.txt --normalize \
+  --output corpus.dyn 2>add_err.txt
+check_rc "add (plain index upgraded to manifest)" 0 $?
+grep -q 'ids 200\.\.399' add_err.txt || { echo "FAIL: add did not report the assigned id range" >&2; fails=$((fails + 1)); }
+
+"$CLI" query --index corpus.dyn --query-file corpus.txt --normalize \
+  --top-k 5 --output dyn_matches.txt --qps-report 2>dyn_err.txt
+check_rc "query against dynamic manifest" 0 $?
+[ -s dyn_matches.txt ] || { echo "FAIL: dynamic query produced no output" >&2; fails=$((fails + 1)); }
+grep -q '"dynamic": true' dyn_err.txt || { echo "FAIL: qps report did not mark the index dynamic" >&2; fails=$((fails + 1)); }
+grep -q '"threads_used"' dyn_err.txt || { echo "FAIL: qps report lacks threads_used" >&2; fails=$((fails + 1)); }
+
+# Batch serving over a manifest is byte-identical to the serial loop.
+"$CLI" query --index corpus.dyn --query-file corpus.txt --normalize \
+  --top-k 5 --batch --threads 2 --output dyn_batch.txt 2>/dev/null
+check_rc "batched dynamic query" 0 $?
+cmp -s dyn_matches.txt dyn_batch.txt || { echo "FAIL: dynamic --batch output differs from serial loop" >&2; fails=$((fails + 1)); }
+
+# --freeze is a plain-index knob; on a manifest it is a usage error.
+"$CLI" query --index corpus.dyn --query-file corpus.txt --freeze 2>err.txt
+check_rc "freeze on dynamic manifest" 1 $?
+
+"$CLI" remove --index corpus.dyn --ids 0,399 2>/dev/null
+check_rc "remove live ids" 0 $?
+# A negative id must be a usage error, not a strtoull wraparound into
+# some unrelated live id; duplicates collapse to one removal.
+"$CLI" remove --index corpus.dyn --ids -3 2>err.txt
+check_rc "negative id rejected" 1 $?
+"$CLI" remove --index corpus.dyn --ids 7,7 2>rm_dup.txt
+check_rc "duplicate ids deduped" 0 $?
+grep -q 'removed 1 vector' rm_dup.txt || { echo "FAIL: duplicate ids were double-counted" >&2; fails=$((fails + 1)); }
+"$CLI" remove --index corpus.dyn --ids 0 2>err.txt
+check_rc "remove of a dead id fails closed" 2 $?
+check_one_error_line "remove of a dead id fails closed" err.txt
+"$CLI" remove --index corpus.dyn --ids 1,99999 2>err.txt
+check_rc "remove with one unknown id is all-or-nothing" 2 $?
+"$CLI" query --index corpus.dyn --query-file corpus.txt --normalize \
+  --top-k 5 --output dyn_after_rm.txt 2>/dev/null
+check_rc "query after remove" 0 $?
+grep -qE '^1 1 ' dyn_after_rm.txt || { echo "FAIL: id 1 should still be served after the rejected batch" >&2; fails=$((fails + 1)); }
+
+# Compaction preserves results exactly.
+"$CLI" compact --index corpus.dyn 2>/dev/null
+check_rc "compact" 0 $?
+"$CLI" query --index corpus.dyn --query-file corpus.txt --normalize \
+  --top-k 5 --output dyn_compacted.txt 2>/dev/null
+check_rc "query after compact" 0 $?
+cmp -s dyn_after_rm.txt dyn_compacted.txt || { echo "FAIL: compaction changed query results" >&2; fails=$((fails + 1)); }
+
+# A plain index is already compact: report and succeed without writing.
+"$CLI" compact --index corpus.idx 2>err.txt
+check_rc "compact on plain index" 0 $?
+
+# Adding an empty workload is a data error, like querying with one.
+"$CLI" add --index corpus.idx --input empty_queries.txt --output x.dyn \
+  2>err.txt
+check_rc "add with empty input" 2 $?
+check_one_error_line "add with empty input" err.txt
+[ ! -e x.dyn ] || { echo "FAIL: empty add wrote a manifest" >&2; fails=$((fails + 1)); }
+
+# Corrupt manifests fail closed like corrupt indexes.
+size=$(wc -c < corpus.dyn)
+for len in 4 30 $((size / 2)) $((size - 3)); do
+  head -c "$len" corpus.dyn > trunc.dyn
+  "$CLI" query --index trunc.dyn --query-file corpus.txt 2>err.txt
+  check_rc "truncated manifest ($len bytes)" 2 $?
+  check_one_error_line "truncated manifest ($len bytes)" err.txt
+done
+cp corpus.dyn bumped.dyn
+printf '\x63' | dd of=bumped.dyn bs=1 seek=8 count=1 conv=notrunc 2>/dev/null
+"$CLI" query --index bumped.dyn --query-file corpus.txt 2>err.txt
+check_rc "version-bumped manifest" 2 $?
+check_one_error_line "version-bumped manifest" err.txt
+grep -q 'version' err.txt || { echo "FAIL: manifest version bump not diagnosed as such" >&2; fails=$((fails + 1)); }
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI contract check(s) failed" >&2
   exit 1

@@ -320,6 +320,103 @@ TEST(ConcurrentServeTest, BatchTopKTruncatesLikeQueryTopK) {
   }
 }
 
+// --- honest threads_used reporting ---
+// QueryStats::threads_used must report the thread count actually used,
+// never the configured one: a 1-thread searcher, a candidate list too
+// small to shard, b-bit verification, and a busy worker pool all serve
+// serially and must say so.
+
+TEST(ConcurrentServeTest, ThreadsUsedReportsSerialPathsAsOne) {
+  const Dataset data = TextWeighted(21, 400);
+  const std::vector<SparseVectorView> queries = QueryViews(data, 8);
+
+  QuerySearchConfig cfg;
+  cfg.measure = Measure::kCosine;
+  cfg.threshold = 0.3;  // Permissive: large candidate lists.
+  cfg.num_threads = 1;
+  const QuerySearcher serial(&data, cfg);
+  QueryStats qs;
+  serial.Query(queries[0], &qs);
+  EXPECT_EQ(qs.threads_used, 1u);
+  serial.QueryBatch(queries, &qs);
+  EXPECT_EQ(qs.threads_used, 1u);
+
+  // A 4-thread searcher shards a query only when the candidate list
+  // reaches 16 per worker; pin both sides of that cliff.
+  cfg.num_threads = 4;
+  const QuerySearcher sharded(&data, cfg);
+  bool saw_sharded = false;
+  for (const SparseVectorView& q : queries) {
+    QueryStats stats;
+    sharded.Query(q, &stats);
+    if (stats.candidates >= 16 * 4) {
+      EXPECT_EQ(stats.threads_used, 4u)
+          << stats.candidates << " candidates should shard";
+      saw_sharded = true;
+    } else {
+      EXPECT_EQ(stats.threads_used, 1u)
+          << stats.candidates << " candidates must serve serially";
+    }
+  }
+  ASSERT_TRUE(saw_sharded) << "corpus produced no shardable query; the "
+                              "4-thread assertion was vacuous";
+  QueryStats batch_stats;
+  sharded.QueryBatch(queries, &batch_stats);
+  EXPECT_EQ(batch_stats.threads_used, 4u);
+
+  // b-bit verification is always serial per query (no overflow-shard
+  // protocol), even with a pool — but QueryBatch still shards over
+  // queries.
+  const Dataset graph = GraphBinary(22, 400);
+  QuerySearchConfig bcfg;
+  bcfg.measure = Measure::kJaccard;
+  bcfg.threshold = 0.3;
+  bcfg.bbit = 4;
+  bcfg.num_threads = 4;
+  const QuerySearcher bbit(&graph, bcfg);
+  const std::vector<SparseVectorView> gqueries = QueryViews(graph, 8);
+  QueryStats bstats;
+  bbit.Query(gqueries[0], &bstats);
+  EXPECT_EQ(bstats.threads_used, 1u);
+  bbit.QueryBatch(gqueries, &bstats);
+  EXPECT_EQ(bstats.threads_used, 4u);
+}
+
+// While a batch holds the worker pool, concurrent Query() calls take the
+// try-lock serial fallback — and must report 1 thread, not the
+// configured 4. The batch itself always reports its worker count.
+TEST(ConcurrentServeTest, ThreadsUsedHonestUnderContention) {
+  const Dataset data = TextWeighted(23, 400);
+  QuerySearchConfig cfg;
+  cfg.measure = Measure::kCosine;
+  cfg.threshold = 0.3;
+  cfg.num_threads = 4;
+  QuerySearcher searcher(&data, cfg);
+  searcher.Freeze();
+  const std::vector<SparseVectorView> queries = QueryViews(data, 32);
+
+  std::thread batcher([&] {
+    for (int round = 0; round < 4; ++round) {
+      QueryStats bs;
+      searcher.QueryBatch(queries, &bs);
+      ASSERT_EQ(bs.threads_used, 4u);
+    }
+  });
+  // Whether a concurrent Query() wins the pool or falls back is timing-
+  // dependent; the invariant is that it reports whichever path it took.
+  uint32_t observed_serial = 0, observed_sharded = 0;
+  for (int i = 0; i < 24; ++i) {
+    QueryStats qs;
+    const auto result = searcher.Query(queries[i % queries.size()], &qs);
+    ASSERT_TRUE(qs.threads_used == 1u || qs.threads_used == 4u)
+        << "threads_used=" << qs.threads_used;
+    (qs.threads_used == 1u ? observed_serial : observed_sharded) += 1;
+    ASSERT_EQ(result, searcher.Query(queries[i % queries.size()]));
+  }
+  batcher.join();
+  EXPECT_EQ(observed_serial + observed_sharded, 24u);
+}
+
 TEST(ConcurrentServeTest, FreezeIsIdempotent) {
   const Dataset data = GraphBinary(18, 300);
   QuerySearchConfig cfg;

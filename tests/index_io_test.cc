@@ -476,6 +476,19 @@ TEST_F(IndexCorruption, HeaderCorruptionCaughtByFingerprint) {
   ExpectRejected(bad);
 }
 
+// The v1 policy for the reserved header byte (offset 15) is "must be
+// zero": it sits outside the fingerprint chain, so without an explicit
+// check a flipped reserved byte would load silently — and a future format
+// that assigns it meaning could not trust old writers to have zeroed it.
+TEST_F(IndexCorruption, NonzeroReservedByteRejected) {
+  ASSERT_EQ(bytes_[15], 0);  // The writer must emit a zeroed byte.
+  for (const uint8_t value : {uint8_t{1}, uint8_t{0x80}, uint8_t{0xff}}) {
+    std::string bad = bytes_;
+    bad[15] = static_cast<char>(value);
+    ExpectRejected(bad);
+  }
+}
+
 TEST_F(IndexCorruption, SearcherConfigMismatchRejected) {
   QuerySearchConfig cfg;
   cfg.measure = Measure::kJaccard;

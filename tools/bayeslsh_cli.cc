@@ -15,15 +15,33 @@
 //       (docs/FORMATS.md).
 //
 //   bayeslsh query --index corpus.idx --query-file q.txt [options]
-//       Loads a persistent index and runs every row of the query file
-//       against it, writing one "query_id match_id similarity" line per
-//       match. Repeated invocations amortize index construction: only the
-//       load (I/O-bound) is paid per process. --batch serves the whole
-//       file through the concurrent QueryBatch engine (sharding over
-//       queries with --threads workers), --freeze pins the signature
+//       Loads a persistent index (or a dynamic-index manifest — detected
+//       by magic) and runs every row of the query file against it,
+//       writing one "query_id match_id similarity" line per match.
+//       Repeated invocations amortize index construction: only the load
+//       (I/O-bound) is paid per process. --batch serves the whole file
+//       through the concurrent QueryBatch engine (sharding over queries
+//       with --threads workers), --freeze pins a plain index's signature
 //       store to the immutable serving form first, and --qps-report
-//       prints a machine-readable throughput line to stderr. Results are
+//       prints a machine-readable throughput line to stderr (reporting
+//       the thread count actually used — a contended or unshardable
+//       serve reports fewer threads than requested). Results are
 //       identical with and without --batch/--freeze.
+//
+//   bayeslsh add --index corpus.idx --input more.txt [--output FILE]
+//       Appends the input rows to the index's delta segment and writes
+//       the result as a dynamic-index manifest (a plain index is
+//       upgraded to a manifest in place). No rebuild: per row, the cost
+//       is one banding insert plus lazy signature growth.
+//
+//   bayeslsh remove --index corpus.dyn --ids 3,17,42 [--output FILE]
+//       Tombstones the given logical ids. All-or-nothing: an id that is
+//       not live fails the whole command (exit 2) without writing.
+//
+//   bayeslsh compact --index corpus.dyn [--output FILE]
+//       Folds the delta segment and the tombstones into a new frozen
+//       base, preserving logical ids — the background half of the LSM
+//       bargain.
 //
 //   bayeslsh generate --kind text|graph --vectors N --output data.txt
 //            [--seed S]
@@ -36,6 +54,7 @@
 // Exit codes: 0 success, 1 bad usage, 2 I/O or data error (including
 // corrupt, truncated or version-mismatched index files).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -59,6 +78,9 @@ int Usage() {
       "  bayeslsh allpairs --input FILE --threshold T [options]\n"
       "  bayeslsh index    --input FILE --output FILE.idx [options]\n"
       "  bayeslsh query    --index FILE.idx --query-file FILE [options]\n"
+      "  bayeslsh add      --index FILE.idx --input FILE [--output FILE]\n"
+      "  bayeslsh remove   --index FILE.idx --ids ID[,ID...] [--output FILE]\n"
+      "  bayeslsh compact  --index FILE.idx [--threads N] [--output FILE]\n"
       "  bayeslsh generate --kind text|graph --vectors N --output FILE\n"
       "           [--binary]\n"
       "  bayeslsh stats --input FILE\n"
@@ -92,9 +114,15 @@ int Usage() {
       "  --batch            (serve all queries through QueryBatch,\n"
       "                      sharded over queries across --threads)\n"
       "  --freeze           (eager-hash to the full budget and freeze the\n"
-      "                      store before serving: lock-free reads)\n"
-      "  --qps-report       (print a JSON throughput line to stderr)\n"
-      "  --threads N --output FILE\n");
+      "                      store before serving: lock-free reads;\n"
+      "                      plain indexes only)\n"
+      "  --qps-report       (print a JSON throughput line to stderr,\n"
+      "                      reporting the threads actually used)\n"
+      "  --threads N --output FILE\n"
+      "\n"
+      "add/remove/compact operate on a dynamic-index manifest (add\n"
+      "upgrades a plain index to one); query serves either kind.\n"
+      "add options: --normalize (cosine), --threads N, --output FILE\n");
   return 1;
 }
 
@@ -307,20 +335,94 @@ int RunIndex(const Args& args) {
   return 0;
 }
 
+// Serves every row of `queries` through `searcher` — a QuerySearcher or a
+// DynamicIndex, which share the Query/QueryTopK/QueryBatch surface —
+// writing one "qid id sim" line per match. Tracks the widest thread count
+// any query actually used, for the honest --qps-report.
+template <typename Searcher>
+void ServeQueries(const Searcher& searcher, const Dataset& queries,
+                  bool batch, uint32_t top_k, std::ostream& out,
+                  uint64_t* total_matches, uint32_t* threads_used) {
+  QueryStats stats;
+  if (batch) {
+    std::vector<SparseVectorView> qviews;
+    qviews.reserve(queries.num_vectors());
+    for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
+      qviews.push_back(queries.Row(qid));
+    }
+    const std::vector<std::vector<QueryMatch>> batched =
+        searcher.QueryBatch(qviews, &stats, top_k);
+    *threads_used = std::max(*threads_used, stats.threads_used);
+    for (uint32_t qid = 0; qid < batched.size(); ++qid) {
+      for (const QueryMatch& m : batched[qid]) {
+        out << qid << ' ' << m.id << ' ' << m.sim << '\n';
+      }
+      *total_matches += batched[qid].size();
+    }
+  } else {
+    for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
+      const SparseVectorView q = queries.Row(qid);
+      const std::vector<QueryMatch> matches =
+          top_k != 0 ? searcher.QueryTopK(q, top_k, &stats)
+                     : searcher.Query(q, &stats);
+      *threads_used = std::max(*threads_used, stats.threads_used);
+      for (const QueryMatch& m : matches) {
+        out << qid << ' ' << m.id << ' ' << m.sim << '\n';
+      }
+      *total_matches += matches.size();
+    }
+  }
+}
+
 int RunQuery(const Args& args) {
   if (!args.Has("index") || !args.Has("query-file")) return Usage();
 
+  uint32_t num_threads = 1;
+  if (!ParseThreads(args, &num_threads)) return 1;
+  // Valid serving thresholds are (0, 1]; rejecting an explicit 0 up
+  // front keeps plain and dynamic indexes consistent (0 is the dynamic
+  // config's "use the build threshold" sentinel, never a user value).
+  if (args.Has("threshold")) {
+    const double t = args.GetDouble("threshold", 0.0);
+    if (t <= 0.0 || t > 1.0) {
+      std::fprintf(stderr, "error: --threshold must be in (0, 1] "
+                   "(got %g)\n", t);
+      return 1;
+    }
+  }
+  const bool dynamic = DynamicIndex::SniffFile(args.Get("index", ""));
+  if (dynamic && args.Has("freeze")) {
+    std::fprintf(stderr,
+                 "error: --freeze applies to plain indexes only (a "
+                 "dynamic index keeps its delta segment growable)\n");
+    return 1;
+  }
+
   std::unique_ptr<PersistentIndex> index;
+  std::unique_ptr<DynamicIndex> dyn;
   Dataset queries;
   WallTimer load_timer;
   try {
-    index = PersistentIndex::LoadFile(args.Get("index", ""));
+    if (dynamic) {
+      DynamicIndexConfig dcfg;
+      dcfg.threshold = args.GetDouble("threshold", 0.0);
+      dcfg.exact_verification = args.Has("exact");
+      dcfg.num_threads = num_threads;
+      dyn = DynamicIndex::LoadFile(args.Get("index", ""), dcfg);
+    } else {
+      index = PersistentIndex::LoadFile(args.Get("index", ""));
+    }
     queries = ReadDatasetAutoFile(args.Get("query-file", ""));
   } catch (const std::exception& e) {  // IoError/IndexError, bad_alloc.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
   const double load_s = load_timer.Seconds();
+  const Measure measure = dynamic ? dyn->measure() : index->measure();
+  const uint32_t index_dims =
+      dynamic ? dyn->num_dims() : index->data().num_dims();
+  const uint32_t indexed_vectors =
+      dynamic ? dyn->num_live() : index->data().num_vectors();
   // Serving contract: an empty query workload or a query vector with no
   // nonzero entries is a data error, not a silent no-op — fail closed with
   // the same exit code 2 + one-line diagnostic as a corrupt index. The
@@ -334,11 +436,11 @@ int RunQuery(const Args& args) {
   // A dimensionality mismatch means the query file was vectorized over a
   // different vocabulary — similarities against it would be meaningless,
   // so fail closed rather than emit garbage.
-  if (queries.num_dims() != index->data().num_dims()) {
+  if (queries.num_dims() != index_dims) {
     std::fprintf(stderr,
                  "error: query file dimensionality %u does not match the "
                  "index's %u (different vocabulary?)\n",
-                 queries.num_dims(), index->data().num_dims());
+                 queries.num_dims(), index_dims);
     return 2;
   }
   for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
@@ -348,17 +450,9 @@ int RunQuery(const Args& args) {
       return 2;
     }
   }
-  if (args.Has("normalize") && index->measure() == Measure::kCosine) {
+  if (args.Has("normalize") && measure == Measure::kCosine) {
     queries = L2NormalizeRows(queries);
   }
-
-  QuerySearchConfig cfg;
-  cfg.measure = index->measure();
-  cfg.threshold = args.GetDouble("threshold", index->build_threshold());
-  cfg.exact_verification = args.Has("exact");
-  cfg.seed = index->seed();
-  cfg.bbit = index->bbit();
-  if (!ParseThreads(args, &cfg.num_threads)) return 1;
   const auto top_k = static_cast<uint32_t>(args.GetUint("top-k", 0));
 
   std::ostream* out = &std::cout;
@@ -375,63 +469,217 @@ int RunQuery(const Args& args) {
 
   try {
     WallTimer construct_timer;
-    QuerySearcher searcher(index.get(), cfg);
-    if (args.Has("freeze")) searcher.Freeze();
+    std::unique_ptr<QuerySearcher> searcher;
+    if (!dynamic) {
+      QuerySearchConfig cfg;
+      cfg.measure = measure;
+      cfg.threshold = args.GetDouble("threshold", index->build_threshold());
+      cfg.exact_verification = args.Has("exact");
+      cfg.seed = index->seed();
+      cfg.bbit = index->bbit();
+      cfg.num_threads = num_threads;
+      searcher = std::make_unique<QuerySearcher>(index.get(), cfg);
+      if (args.Has("freeze")) searcher->Freeze();
+    }
     const double construct_s = construct_timer.Seconds();
 
     WallTimer query_timer;
     uint64_t total_matches = 0;
-    if (args.Has("batch")) {
-      std::vector<SparseVectorView> qviews;
-      qviews.reserve(queries.num_vectors());
-      for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
-        qviews.push_back(queries.Row(qid));
-      }
-      const std::vector<std::vector<QueryMatch>> batched =
-          searcher.QueryBatch(qviews, nullptr, top_k);
-      for (uint32_t qid = 0; qid < batched.size(); ++qid) {
-        for (const QueryMatch& m : batched[qid]) {
-          (*out) << qid << ' ' << m.id << ' ' << m.sim << '\n';
-        }
-        total_matches += batched[qid].size();
-      }
+    uint32_t threads_used = 1;
+    if (dynamic) {
+      ServeQueries(*dyn, queries, args.Has("batch"), top_k, *out,
+                   &total_matches, &threads_used);
     } else {
-      for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
-        const SparseVectorView q = queries.Row(qid);
-        const std::vector<QueryMatch> matches =
-            top_k != 0 ? searcher.QueryTopK(q, top_k) : searcher.Query(q);
-        for (const QueryMatch& m : matches) {
-          (*out) << qid << ' ' << m.id << ' ' << m.sim << '\n';
-        }
-        total_matches += matches.size();
-      }
+      ServeQueries(*searcher, queries, args.Has("batch"), top_k, *out,
+                   &total_matches, &threads_used);
     }
     const double serve_s = query_timer.Seconds();
 
     std::fprintf(stderr,
-                 "%u quer%s against %u indexed vectors -> %llu matches "
+                 "%u quer%s against %u %s vectors -> %llu matches "
                  "(index loaded in %.3f s, searcher ready in %.3f s, "
                  "served in %.3f s)\n",
                  queries.num_vectors(),
-                 queries.num_vectors() == 1 ? "y" : "ies",
-                 index->data().num_vectors(),
+                 queries.num_vectors() == 1 ? "y" : "ies", indexed_vectors,
+                 dynamic ? "live" : "indexed",
                  static_cast<unsigned long long>(total_matches), load_s,
                  construct_s, serve_s);
     if (args.Has("qps-report")) {
+      // "threads" is the resolved request; "threads_used" is the widest
+      // parallelism any query actually reached — a contended pool, an
+      // unshardable candidate list or b-bit verification all report
+      // fewer threads than requested.
       std::fprintf(
           stderr,
           "{\"queries\": %u, \"matches\": %llu, \"threads\": %u, "
-          "\"batch\": %s, \"frozen\": %s, \"load_seconds\": %.6f, "
+          "\"threads_used\": %u, \"batch\": %s, \"frozen\": %s, "
+          "\"dynamic\": %s, \"load_seconds\": %.6f, "
           "\"construct_seconds\": %.6f, \"serve_seconds\": %.6f, "
           "\"qps\": %.1f}\n",
           queries.num_vectors(),
           static_cast<unsigned long long>(total_matches),
-          ResolveNumThreads(cfg.num_threads),
+          ResolveNumThreads(num_threads), threads_used,
           args.Has("batch") ? "true" : "false",
-          searcher.frozen() ? "true" : "false", load_s, construct_s,
-          serve_s,
+          !dynamic && searcher->frozen() ? "true" : "false",
+          dynamic ? "true" : "false", load_s, construct_s, serve_s,
           serve_s > 0.0 ? queries.num_vectors() / serve_s : 0.0);
     }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
+// Opens --index as a DynamicIndex: manifests load directly, a plain
+// persistent index is wrapped (the in-place upgrade path of `add`).
+std::unique_ptr<DynamicIndex> OpenDynamic(const std::string& path,
+                                          const DynamicIndexConfig& cfg) {
+  if (DynamicIndex::SniffFile(path)) {
+    return DynamicIndex::LoadFile(path, cfg);
+  }
+  return std::make_unique<DynamicIndex>(PersistentIndex::LoadFile(path),
+                                        cfg);
+}
+
+int RunAdd(const Args& args) {
+  if (!args.Has("index") || !args.Has("input")) return Usage();
+  DynamicIndexConfig cfg;
+  if (!ParseThreads(args, &cfg.num_threads)) return 1;
+  const std::string index_path = args.Get("index", "");
+  const std::string out_path = args.Get("output", index_path);
+  try {
+    const std::unique_ptr<DynamicIndex> dyn = OpenDynamic(index_path, cfg);
+    Dataset rows = ReadDatasetAutoFile(args.Get("input", ""));
+    // An empty workload is a data error, not a silent no-op — the same
+    // fail-closed contract as `query` on an empty query file.
+    if (rows.num_vectors() == 0) {
+      std::fprintf(stderr, "error: input file '%s' contains no vectors "
+                   "to add\n", args.Get("input", "").c_str());
+      return 2;
+    }
+    if (rows.num_dims() != dyn->num_dims()) {
+      std::fprintf(stderr,
+                   "error: input dimensionality %u does not match the "
+                   "index's %u (different vocabulary?)\n",
+                   rows.num_dims(), dyn->num_dims());
+      return 2;
+    }
+    if (args.Has("normalize") && dyn->measure() == Measure::kCosine) {
+      rows = L2NormalizeRows(rows);
+    }
+    uint32_t first_id = 0, last_id = 0;
+    for (uint32_t r = 0; r < rows.num_vectors(); ++r) {
+      last_id = dyn->Add(rows.Row(r));
+      if (r == 0) first_id = last_id;
+    }
+    dyn->SaveFile(out_path);
+    std::fprintf(stderr,
+                 "added %u vector%s as ids %u..%u; delta now %u rows over "
+                 "%u base rows (%u tombstones) -> %s\n",
+                 rows.num_vectors(), rows.num_vectors() == 1 ? "" : "s",
+                 first_id, last_id, dyn->num_delta_rows(),
+                 dyn->num_base_rows(), dyn->num_tombstones(),
+                 out_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
+int RunRemove(const Args& args) {
+  if (!args.Has("index") || !args.Has("ids")) return Usage();
+  // Parse the comma-separated id list up front: a malformed list is a
+  // usage error, before any file is touched. Tokens must be pure digit
+  // runs — strtoull alone would silently wrap a negative token into a
+  // valid-looking id.
+  std::vector<uint32_t> ids;
+  {
+    const std::string list = args.Get("ids", "");
+    size_t pos = 0;
+    while (pos <= list.size()) {
+      const size_t comma = std::min(list.find(',', pos), list.size());
+      const std::string tok = list.substr(pos, comma - pos);
+      const bool digits =
+          !tok.empty() &&
+          tok.find_first_not_of("0123456789") == std::string::npos;
+      char* end = nullptr;
+      const unsigned long long v =
+          digits ? std::strtoull(tok.c_str(), &end, 10) : 0;
+      if (!digits || *end != '\0' || v > UINT32_MAX) {
+        std::fprintf(stderr,
+                     "error: --ids must be a comma-separated list of "
+                     "non-negative integers (got '%s')\n", list.c_str());
+        return 1;
+      }
+      ids.push_back(static_cast<uint32_t>(v));
+      pos = comma + 1;
+    }
+    // Dedup: "--ids 5,5" means remove id 5 once; without this the second
+    // Remove(5) would silently fail after pre-validation passed.
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+  DynamicIndexConfig cfg;
+  if (!ParseThreads(args, &cfg.num_threads)) return 1;
+  const std::string index_path = args.Get("index", "");
+  const std::string out_path = args.Get("output", index_path);
+  try {
+    const std::unique_ptr<DynamicIndex> dyn = OpenDynamic(index_path, cfg);
+    // All-or-nothing: validate every id before the first removal, so a
+    // typo'd id cannot leave a half-applied batch behind.
+    for (const uint32_t id : ids) {
+      if (!dyn->Contains(id)) {
+        std::fprintf(stderr,
+                     "error: id %u is not a live vector in this index "
+                     "(never assigned, or already removed)\n", id);
+        return 2;
+      }
+    }
+    for (const uint32_t id : ids) dyn->Remove(id);
+    dyn->SaveFile(out_path);
+    std::fprintf(stderr,
+                 "removed %zu vector%s; %u live rows remain "
+                 "(%u tombstones pending compaction) -> %s\n",
+                 ids.size(), ids.size() == 1 ? "" : "s", dyn->num_live(),
+                 dyn->num_tombstones(), out_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
+int RunCompact(const Args& args) {
+  if (!args.Has("index")) return Usage();
+  DynamicIndexConfig cfg;
+  if (!ParseThreads(args, &cfg.num_threads)) return 1;
+  const std::string index_path = args.Get("index", "");
+  const std::string out_path = args.Get("output", index_path);
+  try {
+    if (!DynamicIndex::SniffFile(index_path)) {
+      // Validate it really is a loadable plain index before declaring
+      // victory — a garbage path must still fail closed.
+      (void)PersistentIndex::LoadFile(index_path);
+      std::fprintf(stderr,
+                   "%s is a plain index (a single frozen segment): "
+                   "already compact\n", index_path.c_str());
+      return 0;
+    }
+    const std::unique_ptr<DynamicIndex> dyn =
+        DynamicIndex::LoadFile(index_path, cfg);
+    const uint32_t delta = dyn->num_delta_rows();
+    const uint32_t tombs = dyn->num_tombstones();
+    WallTimer timer;
+    dyn->Compact();
+    dyn->SaveFile(out_path);
+    std::fprintf(stderr,
+                 "compacted %u delta row%s and %u tombstone%s into a "
+                 "frozen base of %u rows in %.3f s -> %s\n",
+                 delta, delta == 1 ? "" : "s", tombs,
+                 tombs == 1 ? "" : "s", dyn->num_base_rows(),
+                 timer.Seconds(), out_path.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
@@ -510,6 +758,9 @@ int main(int argc, char** argv) {
   if (cmd == "allpairs") return RunAllPairs(args);
   if (cmd == "index") return RunIndex(args);
   if (cmd == "query") return RunQuery(args);
+  if (cmd == "add") return RunAdd(args);
+  if (cmd == "remove") return RunRemove(args);
+  if (cmd == "compact") return RunCompact(args);
   if (cmd == "generate") return RunGenerate(args);
   if (cmd == "stats") return RunStats(args);
   return Usage();
