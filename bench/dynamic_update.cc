@@ -1,0 +1,182 @@
+// Dynamic-update benchmark: the write path and the serve-while-compact
+// story of the durable LSM subsystem (core/dynamic_index.h, core/wal.h),
+// one JSON record per phase:
+//
+//   delta_add       Add() throughput into the delta segment, no log
+//                   (generate_seconds = add wall time, result_pairs = rows)
+//   wal_add         the same adds through an attached write-ahead log —
+//                   append + flush per mutation (candidates = final log
+//                   bytes); the delta between the two phases is the
+//                   durability bill
+//   serve_during_compact   queries answered while an off-thread Compact()
+//                   folds delta + tombstones into a new base (queries/qps
+//                   over the compaction window)
+//   post_compact_serve     the same battery once compaction has landed —
+//                   the single-segment steady state
+//
+// The mutation split is 80% base / 20% delta over the Rcv1-like weighted
+// corpus. Usage: dynamic_update [--threads N] [--json PATH].
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/dynamic_index.h"
+#include "core/index_io.h"
+
+namespace bayeslsh::bench {
+namespace {
+
+constexpr uint32_t kQueryBatch = 100;
+constexpr double kThreshold = 0.7;
+
+Dataset SliceRows(const Dataset& src, uint32_t begin, uint32_t end) {
+  DatasetBuilder b(src.num_dims());
+  for (uint32_t r = begin; r < end; ++r) {
+    const SparseVectorView v = src.Row(r);
+    std::vector<std::pair<DimId, float>> entries;
+    for (uint32_t k = 0; k < v.size(); ++k) {
+      entries.emplace_back(v.indices[k], v.values[k]);
+    }
+    b.AddRow(std::move(entries));
+  }
+  return std::move(b).Build();
+}
+
+std::unique_ptr<DynamicIndex> BuildDynamic(const Dataset& data,
+                                           uint32_t base_rows,
+                                           uint32_t threads) {
+  IndexBuildConfig icfg;
+  icfg.measure = Measure::kCosine;
+  icfg.threshold = kThreshold;
+  icfg.seed = BenchSeed();
+  icfg.num_threads = threads;
+  DynamicIndexConfig dcfg;
+  dcfg.threshold = kThreshold;
+  dcfg.num_threads = threads;
+  return std::make_unique<DynamicIndex>(
+      PersistentIndex::Build(SliceRows(data, 0, base_rows), icfg), dcfg);
+}
+
+}  // namespace
+}  // namespace bayeslsh::bench
+
+int main(int argc, char** argv) {
+  using namespace bayeslsh;
+  using namespace bayeslsh::bench;
+  CheckBenchArgs(argc, argv);
+  const uint32_t threads = BenchThreads(argc, argv);
+  BenchJsonWriter json("dynamic_update", BenchJsonPath(argc, argv),
+                       threads);
+
+  const BenchDataset prepared =
+      PrepareDataset(PaperDataset::kRcv1, Measure::kCosine);
+  const Dataset& data = prepared.data;
+  const uint32_t base_rows = data.num_vectors() * 4 / 5;
+
+  auto record = [&](const std::string& phase, double gen_s, double ver_s,
+                    uint64_t candidates, uint64_t rows, uint64_t queries,
+                    double qps) {
+    BenchRecord r;
+    r.section = "dynamic/cosine";
+    r.dataset = prepared.name;
+    r.algorithm = phase;
+    r.threshold = kThreshold;
+    r.threads = ResolveNumThreads(threads);
+    r.generate_seconds = gen_s;
+    r.verify_seconds = ver_s;
+    r.total_seconds = gen_s + ver_s;
+    r.candidates = candidates;
+    r.result_pairs = rows;
+    r.queries = queries;
+    r.qps = qps;
+    json.Add(r);
+    std::printf("  %-22s %8.3f s mutate  %8.3f s serve  "
+                "(%llu rows, %llu queries, %.0f qps)\n",
+                phase.c_str(), gen_s, ver_s,
+                static_cast<unsigned long long>(rows),
+                static_cast<unsigned long long>(queries), qps);
+  };
+
+  PrintHeader("Dynamic updates — " + prepared.name +
+              " (dynamic/cosine, t = " + Secs(kThreshold) + ")");
+
+  // Phase 1: delta adds, no durability.
+  {
+    auto dyn = BuildDynamic(data, base_rows, threads);
+    WallTimer add_timer;
+    for (uint32_t r = base_rows; r < data.num_vectors(); ++r) {
+      dyn->Add(data.Row(r));
+    }
+    record("delta_add", add_timer.Seconds(), 0.0, 0,
+           data.num_vectors() - base_rows, 0, 0.0);
+  }
+
+  // Phase 2: the same adds through the write-ahead log.
+  const auto wal_path = std::filesystem::temp_directory_path() /
+                        "bayeslsh_bench_dynamic_update.wal";
+  std::filesystem::remove(wal_path);
+  auto dyn = BuildDynamic(data, base_rows, threads);
+  dyn->AttachWal(wal_path.string());
+  {
+    WallTimer add_timer;
+    for (uint32_t r = base_rows; r < data.num_vectors(); ++r) {
+      dyn->Add(data.Row(r));
+    }
+    const double secs = add_timer.Seconds();
+    record("wal_add", secs, 0.0,
+           static_cast<uint64_t>(std::filesystem::file_size(wal_path)),
+           data.num_vectors() - base_rows, 0, 0.0);
+  }
+
+  // Phase 3: serve while an off-thread compaction folds the segments
+  // (a few tombstones make it a real fold, not a delta-only append).
+  for (uint32_t id = 0; id < base_rows; id += base_rows / 8 + 1) {
+    dyn->Remove(id);
+  }
+  {
+    std::atomic<bool> done{false};
+    std::thread compactor([&] {
+      dyn->Compact();
+      done.store(true, std::memory_order_release);
+    });
+    uint64_t queries = 0, matches = 0;
+    WallTimer serve_timer;
+    do {
+      for (uint32_t i = 0; i < kQueryBatch; ++i) {
+        const uint32_t row =
+            (i * (data.num_vectors() / kQueryBatch + 1)) %
+            data.num_vectors();
+        matches += dyn->Query(data.Row(row)).size();
+        ++queries;
+      }
+    } while (!done.load(std::memory_order_acquire) && queries < 200000);
+    const double secs = serve_timer.Seconds();
+    compactor.join();
+    record("serve_during_compact", 0.0, secs, matches, 0, queries,
+           secs > 0.0 ? static_cast<double>(queries) / secs : 0.0);
+  }
+
+  // Phase 4: the steady state after compaction landed.
+  {
+    uint64_t matches = 0;
+    WallTimer serve_timer;
+    for (uint32_t i = 0; i < kQueryBatch; ++i) {
+      const uint32_t row =
+          (i * (data.num_vectors() / kQueryBatch + 1)) % data.num_vectors();
+      matches += dyn->Query(data.Row(row)).size();
+    }
+    const double secs = serve_timer.Seconds();
+    record("post_compact_serve", 0.0, secs, matches, 0, kQueryBatch,
+           secs > 0.0 ? kQueryBatch / secs : 0.0);
+  }
+  std::filesystem::remove(wal_path);
+
+  return json.Write() ? 0 : 1;
+}

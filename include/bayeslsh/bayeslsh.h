@@ -134,6 +134,7 @@
 #include "core/pipeline.h"               // IWYU pragma: export
 #include "core/query_search.h"           // IWYU pragma: export
 #include "core/topk_search.h"            // IWYU pragma: export
+#include "core/wal.h"                    // IWYU pragma: export
 
 // Synthetic workloads.
 #include "data/graph_generator.h"        // IWYU pragma: export

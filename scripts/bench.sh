@@ -11,10 +11,14 @@
 #                                             #   writes BENCH_serve_path.json)
 #   BENCH=concurrent_serve scripts/bench.sh   # queries/sec vs threads for
 #                                             #   frozen batch serving (JSON)
+#   BENCH=dynamic_update scripts/bench.sh     # WAL write path + serving
+#                                             #   across off-thread
+#                                             #   compaction (JSON)
 #   BENCH=fig3_cosine_weighted scripts/bench.sh   # other bench binary
 #                                             #   (no JSON support: just runs)
-#   scripts/bench.sh --smoke                  # CI mode: serve_path +
-#                                             #   concurrent_serve at reduced
+#   scripts/bench.sh --smoke                  # CI mode: serve_path,
+#                                             #   concurrent_serve and
+#                                             #   dynamic_update at reduced
 #                                             #   scale, one JSON each
 #                                             #   (BENCH_smoke_*.json) — the
 #                                             #   per-PR perf-trajectory
@@ -31,12 +35,13 @@ BUILD_DIR="${BUILD_DIR:-build}"
 if [ "${1:-}" = "--smoke" ]; then
   BAYESLSH_BENCH_SCALE="${BAYESLSH_BENCH_SCALE:-0.05}"
   export BAYESLSH_BENCH_SCALE
-  for bench in serve_path concurrent_serve; do
+  for bench in serve_path concurrent_serve dynamic_update; do
     BENCH="$bench" OUT="BENCH_smoke_${bench}.json" \
       THREADS="${THREADS:-2}" "$0"
   done
   echo "smoke bench records written: BENCH_smoke_serve_path.json," \
-       "BENCH_smoke_concurrent_serve.json (scale $BAYESLSH_BENCH_SCALE)"
+       "BENCH_smoke_concurrent_serve.json, BENCH_smoke_dynamic_update.json" \
+       "(scale $BAYESLSH_BENCH_SCALE)"
   exit 0
 fi
 
@@ -54,7 +59,7 @@ cmake --build "$BUILD_DIR" -j --target "$BENCH"
 # Benches built on the shared JSON writer take --json; the older
 # figure-style binaries just print their tables.
 case "$BENCH" in
-  table2_speedups|serve_path|concurrent_serve)
+  table2_speedups|serve_path|concurrent_serve|dynamic_update)
     "$BUILD_DIR/bench/$BENCH" --threads "$THREADS" --json "$OUT"
     ;;
   *)

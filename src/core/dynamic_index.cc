@@ -5,12 +5,16 @@
 #include <cassert>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/prng.h"
+#include "core/wal.h"
 #include "vec/binary_io.h"
 #include "vec/io.h"
 
@@ -21,6 +25,10 @@ namespace {
 // 8 bytes: name + "DX" (dynamic index) + format generation + the trailing
 // 'E' endianness canary shared by every binary format (docs/FORMATS.md).
 constexpr char kManifestMagic[8] = {'B', 'L', 'S', 'H', 'D', 'X', '1', 'E'};
+
+// WAL record op tags (docs/FORMATS.md, "Write-ahead log").
+constexpr uint8_t kWalOpAdd = 1;
+constexpr uint8_t kWalOpRemove = 2;
 
 // The merged-result ordering: decreasing similarity, ties by ascending
 // logical id — exactly the QuerySearcher result order, so a merged answer
@@ -46,6 +54,32 @@ bool IdInSorted(const std::vector<uint32_t>& ids, uint32_t id) {
   return std::binary_search(ids.begin(), ids.end(), id);
 }
 
+// WAL add record: op, logical id, nnz, then the raw (indices, values)
+// arrays — the vector exactly as the caller passed it (replay re-applies
+// AppendRow, whose duplicate-merge/zero-drop normalization is
+// deterministic, so logging pre-normalized entries is equivalent).
+std::vector<uint8_t> EncodeWalAdd(uint32_t id, const SparseVectorView& v) {
+  const uint32_t nnz = static_cast<uint32_t>(v.size());
+  std::vector<uint8_t> rec(9 + static_cast<size_t>(nnz) * 8);
+  rec[0] = kWalOpAdd;
+  std::memcpy(rec.data() + 1, &id, 4);
+  std::memcpy(rec.data() + 5, &nnz, 4);
+  if (nnz > 0) {
+    std::memcpy(rec.data() + 9, v.indices.data(),
+                static_cast<size_t>(nnz) * 4);
+    std::memcpy(rec.data() + 9 + static_cast<size_t>(nnz) * 4,
+                v.values.data(), static_cast<size_t>(nnz) * 4);
+  }
+  return rec;
+}
+
+std::vector<uint8_t> EncodeWalRemove(uint32_t id) {
+  std::vector<uint8_t> rec(5);
+  rec[0] = kWalOpRemove;
+  std::memcpy(rec.data() + 1, &id, 4);
+  return rec;
+}
+
 }  // namespace
 
 struct DynamicIndex::Impl {
@@ -54,7 +88,7 @@ struct DynamicIndex::Impl {
 
   // Invariants of the index's whole lifetime (compaction preserves all
   // of them), cached so the lock-free accessors never dereference `base`
-  // while a concurrent Compact() is replacing it.
+  // while a concurrent compaction is replacing it.
   Measure measure = Measure::kCosine;
   uint32_t num_dims = 0;
   uint64_t seed = 0;
@@ -82,21 +116,55 @@ struct DynamicIndex::Impl {
   // Queries shared, mutations exclusive (see the header comment).
   mutable std::shared_mutex mu;
 
+  // Durability: attached write-ahead log, or null. Mutated only under an
+  // exclusive hold of `mu` (appends) — except Reset in SaveFile, which
+  // also holds `mu` exclusively when a WAL is attached.
+  std::unique_ptr<WalWriter> wal;
+
+  // Compaction serialization: at most one rebuild at a time, so the base
+  // pointer a snapshot captured stays valid until that rebuild's own
+  // swap. Never acquired while holding `mu`.
+  std::mutex compact_mu;
+
+  // Background worker management (auto-triggered compactions). worker_mu
+  // guards the thread handle, the scheduled flag and the saved error;
+  // never acquired while holding `mu` or `compact_mu`.
+  std::mutex worker_mu;
+  std::thread worker;
+  bool compact_scheduled = false;
+  std::exception_ptr compact_error;
+
+  ~Impl() {
+    // The public destructor already waited; this is the backstop for a
+    // constructor failure path.
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lk(worker_mu);
+      t = std::move(worker);
+    }
+    if (t.joinable()) t.join();
+  }
+
+  // The delta serves single-threaded: results are thread-count invariant
+  // by the engine's determinism guarantee, the segment is small by
+  // invariant, and a second worker pool per index (torn down and rebuilt
+  // at every compaction) would be pure overhead.
+  std::unique_ptr<QuerySearcher> MakeDeltaSearcher() {
+    QuerySearchConfig delta_cfg = serve_cfg;
+    delta_cfg.num_threads = 1;
+    auto searcher = std::make_unique<QuerySearcher>(&delta_data, delta_cfg);
+    searcher->SyncAppendedRows();
+    return searcher;
+  }
+
   // (Re)creates the empty delta and both segment searchers — after
-  // construction and after every compaction.
+  // construction and after load.
   void ResetDeltaAndServing() {
     delta_searcher.reset();
     base_searcher.reset();
     delta_data = Dataset(base->data().num_dims(), {0}, {}, {});
     base_searcher = std::make_unique<QuerySearcher>(base.get(), serve_cfg);
-    // The delta serves single-threaded: results are thread-count
-    // invariant by the engine's determinism guarantee, the segment is
-    // small by invariant, and a second worker pool per index (torn down
-    // and rebuilt inside every Compact) would be pure overhead.
-    QuerySearchConfig delta_cfg = serve_cfg;
-    delta_cfg.num_threads = 1;
-    delta_searcher =
-        std::make_unique<QuerySearcher>(&delta_data, delta_cfg);
+    delta_searcher = MakeDeltaSearcher();
   }
 
   bool LiveLocked(uint32_t id) const {
@@ -104,23 +172,241 @@ struct DynamicIndex::Impl {
     return IdInSorted(base_ids, id) || IdInSorted(delta_ids, id);
   }
 
+  // The one delta growth path: append the row, keep the delta searcher
+  // in sync, assign the next logical id. Callers hold `mu` exclusively
+  // and have validated the entries.
+  void ApplyAddLocked(const std::vector<std::pair<DimId, float>>& entries) {
+    delta_data.AppendRow(entries);
+    delta_searcher->SyncAppendedRows();
+    delta_ids.push_back(next_id++);
+  }
+
+  // Replays one WAL record onto the current state. Replay is idempotent
+  // against the checkpoint (SaveFile writes the manifest, then resets
+  // the log; a crash between the two leaves records the manifest already
+  // covers): an add below next_id and a remove of an id that is no
+  // longer live are skips, not errors. Everything else out of sequence
+  // means the log does not belong to this manifest — fail closed.
+  void ApplyWalRecord(std::span<const uint8_t> rec, WalRecovery* out) {
+    if (rec.empty()) throw WalError("wal replay: empty record");
+    const uint8_t op = rec[0];
+    if (op == kWalOpAdd) {
+      if (rec.size() < 9) throw WalError("wal replay: short add record");
+      uint32_t id, nnz;
+      std::memcpy(&id, rec.data() + 1, 4);
+      std::memcpy(&nnz, rec.data() + 5, 4);
+      if (rec.size() != 9 + static_cast<size_t>(nnz) * 8) {
+        throw WalError("wal replay: add record length disagrees with its "
+                       "nnz");
+      }
+      if (id > next_id) {
+        throw WalError("wal replay: add skips logical id " +
+                       std::to_string(next_id) +
+                       " (log does not match this manifest)");
+      }
+      if (id < next_id) {
+        ++out->skipped;  // Already in the checkpoint.
+        return;
+      }
+      std::vector<std::pair<DimId, float>> entries(nnz);
+      for (uint32_t i = 0; i < nnz; ++i) {
+        std::memcpy(&entries[i].first, rec.data() + 9 + i * 4, 4);
+        std::memcpy(&entries[i].second,
+                    rec.data() + 9 + static_cast<size_t>(nnz) * 4 + i * 4, 4);
+      }
+      try {
+        ApplyAddLocked(entries);
+      } catch (const std::invalid_argument& e) {
+        throw WalError(std::string("wal replay: add record does not fit "
+                                   "this index: ") + e.what());
+      }
+      ++out->applied;
+    } else if (op == kWalOpRemove) {
+      if (rec.size() != 5) {
+        throw WalError("wal replay: malformed remove record");
+      }
+      uint32_t id;
+      std::memcpy(&id, rec.data() + 1, 4);
+      if (id >= next_id) {
+        throw WalError("wal replay: remove of never-assigned logical id " +
+                       std::to_string(id) +
+                       " (log does not match this manifest)");
+      }
+      if (!LiveLocked(id)) {
+        ++out->skipped;  // Already tombstoned or compacted away.
+        return;
+      }
+      tombstones.insert(id);
+      ++out->applied;
+    } else {
+      throw WalError("wal replay: unknown op tag " + std::to_string(op));
+    }
+  }
+
+  // True when a size-tiered trigger is due (caller holds `mu`).
+  bool AutoCompactDueLocked() const {
+    if (cfg.auto_compact_delta_rows > 0 &&
+        delta_ids.size() >= cfg.auto_compact_delta_rows) {
+      return true;
+    }
+    if (cfg.auto_compact_tombstone_fraction > 0.0) {
+      const uint64_t total = base_ids.size() + delta_ids.size();
+      if (total > 0 &&
+          static_cast<double>(tombstones.size()) >=
+              cfg.auto_compact_tombstone_fraction *
+                  static_cast<double>(total)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Launches one background compaction unless one is already running —
+  // the policy re-fires on the next mutation if still due, so triggers
+  // never stack. Callers must NOT hold `mu`.
+  void ScheduleCompact() {
+    std::lock_guard<std::mutex> lk(worker_mu);
+    if (compact_scheduled) return;
+    if (worker.joinable()) worker.join();  // Reap the finished predecessor.
+    compact_scheduled = true;
+    worker = std::thread([this] {
+      std::exception_ptr err;
+      try {
+        CompactLsm();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk2(worker_mu);
+      if (err != nullptr) compact_error = err;
+      compact_scheduled = false;
+    });
+  }
+
+  // The compaction body: snapshot under a shared lock, rebuild with no
+  // lock held (readers keep serving the old segments), swap under a
+  // brief exclusive lock. Runs on the caller's thread for an explicit
+  // Compact() and on the worker for auto-triggered ones; compact_mu
+  // serializes the two.
+  void CompactLsm() {
+    std::lock_guard<std::mutex> serial(compact_mu);
+
+    Dataset delta_snap(num_dims, {0}, {}, {});
+    std::vector<uint32_t> base_ids_snap, delta_ids_snap;
+    std::unordered_set<uint32_t> tomb_snap;
+    const PersistentIndex* old_base = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu);
+      // Nothing to fold in: keep the base untouched, so double-compaction
+      // is an exact no-op (idempotence, asserted by tests).
+      if (delta_ids.empty() && tombstones.empty()) return;
+      // `base` is stable for the whole unlocked rebuild: only a
+      // compaction swap replaces it, and compact_mu serializes us
+      // against every other compaction.
+      old_base = base.get();
+      base_ids_snap = base_ids;
+      delta_ids_snap = delta_ids;
+      delta_snap = delta_data;
+      tomb_snap = tombstones;
+    }
+
+    // Merged live corpus in ascending logical-id order (base ids are
+    // ascending and every delta id exceeds them) — what a from-scratch
+    // build over the live corpus would index. Surviving base rows donate
+    // their already-computed signatures; former delta rows hash fresh
+    // (their signatures live in the delta searcher's store, which grows
+    // under concurrent queries this thread is not locked against).
+    DatasetBuilder builder(num_dims);
+    std::vector<uint32_t> ids;
+    SignatureAdoption adopt;
+    adopt.source = old_base;
+    ids.reserve(base_ids_snap.size() + delta_ids_snap.size());
+    adopt.source_rows.reserve(ids.capacity());
+    for (uint32_t r = 0; r < base_ids_snap.size(); ++r) {
+      const uint32_t id = base_ids_snap[r];
+      if (tomb_snap.count(id) != 0) continue;
+      builder.AddRow(RowEntries(old_base->data().Row(r)));
+      ids.push_back(id);
+      adopt.source_rows.push_back(r);
+    }
+    for (uint32_t r = 0; r < delta_ids_snap.size(); ++r) {
+      const uint32_t id = delta_ids_snap[r];
+      if (tomb_snap.count(id) != 0) continue;
+      builder.AddRow(RowEntries(delta_snap.Row(r)));
+      ids.push_back(id);
+      adopt.source_rows.push_back(SignatureAdoption::kFreshRow);
+    }
+
+    IndexBuildConfig build_cfg;
+    build_cfg.measure = old_base->measure();
+    build_cfg.threshold = old_base->build_threshold();
+    build_cfg.banding.hashes_per_band = old_base->hashes_per_band();
+    build_cfg.banding.num_bands = old_base->num_bands();
+    build_cfg.seed = old_base->seed();
+    build_cfg.bbit = old_base->bbit();
+    build_cfg.num_threads = cfg.num_threads;
+    std::unique_ptr<PersistentIndex> new_base = PersistentIndex::Build(
+        std::move(builder).Build(), build_cfg, &adopt);
+    // The warm searcher copies every signature row, O(corpus) — build it
+    // off-lock too, so the swap below stays pointer-cheap.
+    auto new_searcher =
+        std::make_unique<QuerySearcher>(new_base.get(), serve_cfg);
+
+    // Swap. The old segments are moved into locals and destroyed after
+    // the unlock — freeing a corpus-sized index under the exclusive lock
+    // would stall readers for no reason.
+    std::unique_ptr<PersistentIndex> dead_base;
+    std::unique_ptr<QuerySearcher> dead_base_searcher, dead_delta_searcher;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu);
+      // Rows added since the snapshot stay in the (new) delta; removals
+      // since the snapshot stay tombstones — they may target rows the
+      // new base kept, and AppendLive keeps suppressing them either way.
+      Dataset new_delta(num_dims, {0}, {}, {});
+      std::vector<uint32_t> new_delta_ids;
+      for (uint32_t r = static_cast<uint32_t>(delta_ids_snap.size());
+           r < delta_ids.size(); ++r) {
+        new_delta.AppendRow(RowEntries(delta_data.Row(r)));
+        new_delta_ids.push_back(delta_ids[r]);
+      }
+      for (const uint32_t id : tomb_snap) tombstones.erase(id);
+
+      dead_base_searcher = std::move(base_searcher);
+      dead_delta_searcher = std::move(delta_searcher);
+      dead_base = std::move(base);
+      base = std::move(new_base);
+      base_ids = std::move(ids);
+      base_searcher = std::move(new_searcher);
+      delta_data = std::move(new_delta);
+      delta_ids = std::move(new_delta_ids);
+      // Rebuilt under the lock, but over the post-snapshot suffix only —
+      // a brief, bounded amount of hashing.
+      delta_searcher = MakeDeltaSearcher();
+    }
+  }
+
   // Maps one segment's matches to logical ids, dropping tombstones.
+  // Each dropped match is a ghost candidate: verification work the
+  // deferred delete wasted (reclaimed by compaction).
   void AppendLive(const std::vector<QueryMatch>& matches,
                   const std::vector<uint32_t>& ids,
-                  std::vector<QueryMatch>* out) const {
+                  std::vector<QueryMatch>* out, uint64_t* ghosts) const {
     for (const QueryMatch& m : matches) {
       const uint32_t id = ids[m.id];
-      if (tombstones.count(id) == 0) out->push_back({id, m.sim});
+      if (tombstones.count(id) == 0) {
+        out->push_back({id, m.sim});
+      } else if (ghosts != nullptr) {
+        ++*ghosts;
+      }
     }
   }
 
   std::vector<QueryMatch> MergeSegments(
       const std::vector<QueryMatch>& base_matches,
-      const std::vector<QueryMatch>& delta_matches) const {
+      const std::vector<QueryMatch>& delta_matches, uint64_t* ghosts) const {
     std::vector<QueryMatch> out;
     out.reserve(base_matches.size() + delta_matches.size());
-    AppendLive(base_matches, base_ids, &out);
-    AppendLive(delta_matches, delta_ids, &out);
+    AppendLive(base_matches, base_ids, &out, ghosts);
+    AppendLive(delta_matches, delta_ids, &out, ghosts);
     SortMerged(&out);
     return out;
   }
@@ -147,6 +433,27 @@ struct DynamicIndex::Impl {
       fp = Mix64(fp, std::bit_cast<uint32_t>(v));
     }
     return fp;
+  }
+
+  // The manifest serialization body; callers hold `mu` (shared suffices).
+  void SaveLocked(std::ostream& out) const {
+    std::vector<uint32_t> tombs(tombstones.begin(), tombstones.end());
+    std::sort(tombs.begin(), tombs.end());
+
+    out.write(kManifestMagic, sizeof(kManifestMagic));
+    WritePod(out, kManifestFormatVersion);
+    WritePod(out, uint32_t{0});  // Reserved; must be zero in version 1.
+    WritePod(out, static_cast<uint64_t>(next_id));
+    WritePod(out, static_cast<uint64_t>(base_ids.size()));
+    WritePod(out, static_cast<uint64_t>(delta_ids.size()));
+    WritePod(out, static_cast<uint64_t>(tombs.size()));
+    WritePodVec(out, base_ids);
+    base->Save(out);  // Embedded index file, magic and all.
+    WritePodVec(out, delta_ids);
+    WriteDatasetBinary(delta_data, out);
+    WritePodVec(out, tombs);
+    WritePod(out, ManifestFingerprint(tombs));  // End marker.
+    if (!out) throw IndexError("manifest save: stream write failed");
   }
 };
 
@@ -181,28 +488,63 @@ DynamicIndex::DynamicIndex(std::unique_ptr<PersistentIndex> base,
   im.ResetDeltaAndServing();
 }
 
-DynamicIndex::~DynamicIndex() = default;
+DynamicIndex::~DynamicIndex() {
+  try {
+    WaitForCompaction();
+  } catch (...) {
+    // A failed background compaction left the pre-compaction state
+    // intact; nothing to surface from a destructor.
+  }
+}
 
 uint32_t DynamicIndex::Add(const SparseVectorView& v) {
   Impl& im = *impl_;
-  std::unique_lock<std::shared_mutex> lock(im.mu);
-  if (im.next_id == std::numeric_limits<uint32_t>::max()) {
-    throw std::length_error("DynamicIndex: logical id space exhausted");
+  uint32_t id;
+  bool trigger;
+  {
+    std::unique_lock<std::shared_mutex> lock(im.mu);
+    if (im.next_id == std::numeric_limits<uint32_t>::max()) {
+      throw std::length_error("DynamicIndex: logical id space exhausted");
+    }
+    // Validate before logging or mutating: a record once in the WAL must
+    // always replay, and a bad vector must leave the index unchanged.
+    for (uint32_t i = 0; i < v.size(); ++i) {
+      if (v.indices[i] >= im.num_dims) {
+        throw std::invalid_argument(
+            "DynamicIndex::Add: dimension " + std::to_string(v.indices[i]) +
+            " out of range (num_dims " + std::to_string(im.num_dims) + ")");
+      }
+    }
+    // Durability order: log + flush FIRST, apply second — a mutation is
+    // never observable (nor acknowledged) unless it is already on disk.
+    if (im.wal != nullptr) {
+      const std::vector<uint8_t> rec = EncodeWalAdd(im.next_id, v);
+      im.wal->AppendRecord(rec);
+      im.wal->Flush(im.cfg.wal_sync);
+    }
+    im.ApplyAddLocked(RowEntries(v));
+    id = im.next_id - 1;
+    trigger = im.AutoCompactDueLocked();
   }
-  // AppendRow validates dimensions before mutating, so a bad vector
-  // leaves the index unchanged.
-  im.delta_data.AppendRow(RowEntries(v));
-  im.delta_searcher->SyncAppendedRows();
-  const uint32_t id = im.next_id++;
-  im.delta_ids.push_back(id);
+  if (trigger) im.ScheduleCompact();
   return id;
 }
 
 bool DynamicIndex::Remove(uint32_t id) {
   Impl& im = *impl_;
-  std::unique_lock<std::shared_mutex> lock(im.mu);
-  if (!im.LiveLocked(id)) return false;
-  im.tombstones.insert(id);
+  bool trigger;
+  {
+    std::unique_lock<std::shared_mutex> lock(im.mu);
+    if (!im.LiveLocked(id)) return false;
+    if (im.wal != nullptr) {
+      const std::vector<uint8_t> rec = EncodeWalRemove(id);
+      im.wal->AppendRecord(rec);
+      im.wal->Flush(im.cfg.wal_sync);
+    }
+    im.tombstones.insert(id);
+    trigger = im.AutoCompactDueLocked();
+  }
+  if (trigger) im.ScheduleCompact();
   return true;
 }
 
@@ -221,11 +563,15 @@ std::vector<QueryMatch> DynamicIndex::Query(const SparseVectorView& q,
       im.base_searcher->Query(q, stats != nullptr ? &base_stats : nullptr);
   const std::vector<QueryMatch> delta_matches =
       im.delta_searcher->Query(q, stats != nullptr ? &delta_stats : nullptr);
+  uint64_t ghosts = 0;
+  std::vector<QueryMatch> merged = im.MergeSegments(
+      base_matches, delta_matches, stats != nullptr ? &ghosts : nullptr);
   if (stats != nullptr) {
     *stats = base_stats;
     stats->MergeFrom(delta_stats);  // Segment stats sum, threads_used maxes.
+    stats->ghost_candidates += ghosts;
   }
-  return im.MergeSegments(base_matches, delta_matches);
+  return merged;
 }
 
 std::vector<QueryMatch> DynamicIndex::QueryTopK(const SparseVectorView& q,
@@ -248,87 +594,94 @@ std::vector<std::vector<QueryMatch>> DynamicIndex::QueryBatch(
       queries, stats != nullptr ? &base_stats : nullptr, /*top_k=*/0);
   const auto delta_results = im.delta_searcher->QueryBatch(
       queries, stats != nullptr ? &delta_stats : nullptr, /*top_k=*/0);
+  uint64_t ghosts = 0;
+  std::vector<std::vector<QueryMatch>> results(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results[i] = im.MergeSegments(base_results[i], delta_results[i],
+                                  stats != nullptr ? &ghosts : nullptr);
+    if (top_k != 0 && results[i].size() > top_k) results[i].resize(top_k);
+  }
   if (stats != nullptr) {
     *stats = base_stats;
     stats->MergeFrom(delta_stats);  // Segment stats sum, threads_used maxes.
-  }
-  std::vector<std::vector<QueryMatch>> results(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    results[i] = im.MergeSegments(base_results[i], delta_results[i]);
-    if (top_k != 0 && results[i].size() > top_k) results[i].resize(top_k);
+    stats->ghost_candidates += ghosts;
   }
   return results;
 }
 
-void DynamicIndex::Compact() {
+void DynamicIndex::Compact() { impl_->CompactLsm(); }
+
+WalRecovery DynamicIndex::AttachWal(const std::string& path) {
+  Impl& im = *impl_;
+  WalRecovery rec;
+  bool trigger;
+  {
+    std::unique_lock<std::shared_mutex> lock(im.mu);
+    if (im.wal != nullptr) {
+      throw std::logic_error("DynamicIndex: a WAL is already attached");
+    }
+    const WalReplayResult replay =
+        ReplayWal(path, [&](std::span<const uint8_t> r) {
+          im.ApplyWalRecord(r, &rec);
+        });
+    rec.records = replay.records;
+    rec.tail_truncated = replay.tail_truncated;
+    // Opening at the replayed prefix truncates any torn tail, so the
+    // repaired log and the in-memory state agree from here on.
+    im.wal = WalWriter::Open(path, replay.valid_bytes);
+    trigger = im.AutoCompactDueLocked();
+  }
+  if (trigger) im.ScheduleCompact();
+  return rec;
+}
+
+void DynamicIndex::WaitForCompaction() {
+  Impl& im = *impl_;
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lk(im.worker_mu);
+    t = std::move(im.worker);
+  }
+  if (t.joinable()) t.join();
+  std::lock_guard<std::mutex> lk(im.worker_mu);
+  if (im.compact_error != nullptr) {
+    std::exception_ptr err = im.compact_error;
+    im.compact_error = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void DynamicIndex::SetWalCrashAfterBytes(uint64_t total_bytes,
+                                         std::function<void()> on_crash) {
   Impl& im = *impl_;
   std::unique_lock<std::shared_mutex> lock(im.mu);
-  // Nothing to fold in: keep the base untouched, so double-compaction is
-  // an exact no-op (idempotence, asserted by tests).
-  if (im.delta_ids.empty() && im.tombstones.empty()) return;
-
-  DatasetBuilder builder(im.base->data().num_dims());
-  std::vector<uint32_t> ids;
-  ids.reserve(im.base_ids.size() + im.delta_ids.size());
-  const auto append_live = [&](const Dataset& d,
-                               const std::vector<uint32_t>& idmap) {
-    for (uint32_t r = 0; r < d.num_vectors(); ++r) {
-      const uint32_t id = idmap[r];
-      if (im.tombstones.count(id) != 0) continue;
-      builder.AddRow(RowEntries(d.Row(r)));
-      ids.push_back(id);
-    }
-  };
-  // Base then delta visits the live rows in ascending logical-id order
-  // (base ids are ascending and every delta id exceeds them), so the new
-  // base's physical order is the logical order — what a from-scratch
-  // build over the live corpus would index.
-  append_live(im.base->data(), im.base_ids);
-  append_live(im.delta_data, im.delta_ids);
-
-  IndexBuildConfig build_cfg;
-  build_cfg.measure = im.base->measure();
-  build_cfg.threshold = im.base->build_threshold();
-  build_cfg.banding.hashes_per_band = im.base->hashes_per_band();
-  build_cfg.banding.num_bands = im.base->num_bands();
-  build_cfg.seed = im.base->seed();
-  build_cfg.bbit = im.base->bbit();
-  build_cfg.num_threads = im.cfg.num_threads;
-  std::unique_ptr<PersistentIndex> new_base =
-      PersistentIndex::Build(std::move(builder).Build(), build_cfg);
-
-  im.base_searcher.reset();
-  im.delta_searcher.reset();
-  im.base = std::move(new_base);
-  im.base_ids = std::move(ids);
-  im.delta_ids.clear();
-  im.tombstones.clear();
-  im.ResetDeltaAndServing();
+  if (im.wal == nullptr) {
+    throw std::logic_error(
+        "DynamicIndex: fault injection needs an attached WAL");
+  }
+  im.wal->SetCrashAfterBytes(total_bytes, std::move(on_crash));
 }
 
 void DynamicIndex::Save(std::ostream& out) const {
   const Impl& im = *impl_;
   std::shared_lock<std::shared_mutex> lock(im.mu);
-  std::vector<uint32_t> tombs(im.tombstones.begin(), im.tombstones.end());
-  std::sort(tombs.begin(), tombs.end());
-
-  out.write(kManifestMagic, sizeof(kManifestMagic));
-  WritePod(out, kManifestFormatVersion);
-  WritePod(out, uint32_t{0});  // Reserved; must be zero in version 1.
-  WritePod(out, static_cast<uint64_t>(im.next_id));
-  WritePod(out, static_cast<uint64_t>(im.base_ids.size()));
-  WritePod(out, static_cast<uint64_t>(im.delta_ids.size()));
-  WritePod(out, static_cast<uint64_t>(tombs.size()));
-  WritePodVec(out, im.base_ids);
-  im.base->Save(out);  // Embedded index file, magic and all.
-  WritePodVec(out, im.delta_ids);
-  WriteDatasetBinary(im.delta_data, out);
-  WritePodVec(out, tombs);
-  WritePod(out, im.ManifestFingerprint(tombs));  // End marker.
-  if (!out) throw IndexError("manifest save: stream write failed");
+  im.SaveLocked(out);
 }
 
 void DynamicIndex::SaveFile(const std::string& path) const {
+  Impl& im = *impl_;
+  // With a WAL attached, the checkpoint write and the log reset must be
+  // one atomic step with respect to mutations — a mutation logged
+  // between them would survive in neither — so the lock is exclusive.
+  // Without one, Save stays a read and shares the lock with queries.
+  std::shared_lock<std::shared_mutex> shared(im.mu, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(im.mu, std::defer_lock);
+  if (im.wal != nullptr) {
+    exclusive.lock();
+  } else {
+    shared.lock();
+  }
+
   // Write-then-rename: the CLI's default is an in-place update of the
   // only copy, so a crash or full disk mid-write must leave the original
   // manifest intact, never a truncated one. The flush+close must be
@@ -338,7 +691,7 @@ void DynamicIndex::SaveFile(const std::string& path) const {
   std::ofstream f(tmp, std::ios::binary);
   if (!f) throw IndexError("manifest save: cannot open " + tmp);
   try {
-    Save(f);
+    im.SaveLocked(f);
   } catch (...) {
     f.close();
     std::remove(tmp.c_str());
@@ -350,6 +703,10 @@ void DynamicIndex::SaveFile(const std::string& path) const {
     throw IndexError("manifest save: cannot finish writing " + tmp +
                      " and replace " + path);
   }
+  // The checkpoint covers every logged record; start the log over. A
+  // crash between the rename above and this reset is benign: replay
+  // skips records the checkpoint already holds (idempotent replay).
+  if (im.wal != nullptr) im.wal->Reset();
 }
 
 std::unique_ptr<DynamicIndex> DynamicIndex::Load(
@@ -489,7 +846,7 @@ bool DynamicIndex::SniffFile(const std::string& path) {
 }
 
 // The shape accessors read the cached lifetime invariants, never the
-// (Compact-replaceable) base pointer — genuinely safe from any thread
+// (compaction-replaceable) base pointer — genuinely safe from any thread
 // without a lock.
 Measure DynamicIndex::measure() const { return impl_->measure; }
 
@@ -524,6 +881,18 @@ uint32_t DynamicIndex::num_live() const {
   std::shared_lock<std::shared_mutex> lock(im.mu);
   return static_cast<uint32_t>(im.base_ids.size() + im.delta_ids.size() -
                                im.tombstones.size());
+}
+
+uint64_t DynamicIndex::base_hash_work() const {
+  const Impl& im = *impl_;
+  std::shared_lock<std::shared_mutex> lock(im.mu);
+  if (im.base->bit_store() != nullptr) {
+    return im.base->bit_store()->bits_computed();
+  }
+  if (im.base->int_store() != nullptr) {
+    return im.base->int_store()->hashes_computed();
+  }
+  return im.base->bbit_store()->hashes_computed();
 }
 
 }  // namespace bayeslsh

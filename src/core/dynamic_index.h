@@ -23,7 +23,15 @@
 //   Compact()  folds the live rows of both segments into a new frozen
 //              base (PersistentIndex::Build over the merged corpus),
 //              clears the delta and the tombstone set, and preserves
-//              every logical id.
+//              every logical id. The rebuild runs against a snapshot
+//              with no lock held — readers keep serving the old
+//              segments for its whole duration — and the finished base
+//              is swapped in under a brief exclusive lock that only
+//              moves pointers and re-homes rows added meanwhile.
+//              Signatures are pure functions of (seed, content), so the
+//              new base adopts the old base's already-computed
+//              signature rows verbatim (SignatureAdoption,
+//              core/index_io.h) and re-hashes only former delta rows.
 //
 // Ids: Add assigns monotonically increasing logical ids that survive
 // compaction (an id is never reused, even after Remove). QueryMatch::id
@@ -45,9 +53,23 @@
 //
 // Concurrency: queries and Save (both read-only) take a shared lock and
 // may run concurrently from any number of threads (the segment searchers
-// are internally synchronized); Add/Remove/Compact take an exclusive
-// lock and may be called from any thread, serialized against each other,
-// against queries, and against Save.
+// are internally synchronized); Add/Remove take an exclusive lock and
+// may be called from any thread, serialized against each other, against
+// queries, and against Save. Compact (explicit or auto-triggered) runs
+// its rebuild lock-free against a snapshot; concurrent compactions are
+// serialized among themselves, and only the final segment swap excludes
+// readers.
+//
+// Durability: without a WAL, mutations are durable only at the next
+// SaveFile — a crash loses everything since the last checkpoint. After
+// AttachWal(path), every Add/Remove is appended to the checksummed log
+// (core/wal.h, format BLSHWL1E) and flushed BEFORE it takes effect or is
+// acknowledged; reattaching after a crash replays the log over the
+// manifest checkpoint, so the recovered index is query-identical to a
+// from-scratch rebuild of exactly the acknowledged mutation prefix.
+// SaveFile checkpoints the full state and resets the log (replay is
+// idempotent across the crash window between those two steps). Log
+// corruption that cannot be a torn tail fails closed with WalError.
 //
 // Persistence: Save/Load use the versioned segment manifest format
 // (magic BLSHDX1E — docs/FORMATS.md, "Dynamic index manifest"): logical
@@ -60,6 +82,7 @@
 #define BAYESLSH_CORE_DYNAMIC_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -91,6 +114,38 @@ struct DynamicIndexConfig {
   // Worker threads for segment queries, QueryBatch sharding and
   // compaction builds (0 = all hardware threads, 1 = sequential).
   uint32_t num_threads = 1;
+
+  // Size-tiered auto-compaction triggers, checked after every mutation;
+  // a trigger schedules one background compaction (never stacking a
+  // second behind a running one — the policy re-fires on the next
+  // mutation if still due). 0 disables a trigger; both default off, so
+  // compaction stays explicit unless asked for.
+  //
+  // Fires when the delta holds at least this many rows (the memtable
+  // size trigger: bounds delta query cost and manifest reload work).
+  uint32_t auto_compact_delta_rows = 0;
+  // Fires when tombstones exceed this fraction of all physical rows
+  // (the garbage trigger: bounds ghost-candidate read amplification).
+  double auto_compact_tombstone_fraction = 0.0;
+
+  // With a WAL attached, fsync the log on every acknowledged mutation.
+  // Off, the guarantee is process-crash durability (the data reached the
+  // kernel — it survives SIGKILL, not power loss); on, it extends to
+  // machine crashes at the cost of a device round trip per mutation.
+  bool wal_sync = false;
+};
+
+// What AttachWal recovered from an existing log (all zero for a fresh
+// one): applied counts mutations replayed into the index, skipped counts
+// records already covered by the manifest checkpoint (the crash window
+// between checkpoint write and log reset), tail_truncated reports that a
+// torn tail — an in-flight, never-acknowledged append — was discarded
+// and repaired.
+struct WalRecovery {
+  uint64_t records = 0;
+  uint64_t applied = 0;
+  uint64_t skipped = 0;
+  bool tail_truncated = false;
 };
 
 // A serveable, updatable index: frozen base + mutable delta + tombstones.
@@ -149,12 +204,39 @@ class DynamicIndex {
 
   // Folds the delta and the tombstones into a new frozen base over the
   // live rows (in logical-id order), preserving every logical id, and
-  // resets the delta to empty. Queries before and after return identical
-  // results (asserted); a Compact with an empty delta and no tombstones
-  // is a no-op, so double-compaction is idempotent. This is the
-  // expensive, amortized half of the LSM bargain — run it off the
-  // serving path.
+  // resets the delta to the rows added after the compaction snapshot.
+  // Queries before and after return identical results (asserted); a
+  // Compact with an empty delta and no tombstones is a no-op, so
+  // double-compaction is idempotent.
+  //
+  // The rebuild runs on the calling thread but OFF the serving lock:
+  // concurrent queries keep serving the old segments for its whole
+  // duration, and only the final pointer swap takes the exclusive lock
+  // (re-homing rows added meanwhile — they stay in the delta). Old-base
+  // signatures are adopted, not recomputed (see the header comment).
+  // Concurrent Compact calls (including auto-triggered background ones)
+  // serialize against each other.
   void Compact();
+
+  // Attaches (and replays) the write-ahead log at `path` — see the
+  // header comment on durability. Call once, before the first mutation;
+  // a fresh path starts an empty log, an existing one is replayed over
+  // the current (checkpoint) state and repaired if its tail was torn.
+  // Throws WalError on log corruption that cannot be a torn tail (the
+  // fail-closed cases), std::logic_error if a WAL is already attached.
+  WalRecovery AttachWal(const std::string& path);
+
+  // Blocks until no background (auto-triggered) compaction is running,
+  // then rethrows the error that ended the most recent one, if any.
+  // Called by the destructor (which swallows errors instead).
+  void WaitForCompaction();
+
+  // Crash-harness fault injection, forwarded to the attached WAL (see
+  // WalWriter::SetCrashAfterBytes): after `total_bytes` physically
+  // logged bytes, die mid-append leaving a genuinely torn log. Throws
+  // std::logic_error without an attached WAL.
+  void SetWalCrashAfterBytes(uint64_t total_bytes,
+                             std::function<void()> on_crash = {});
 
   // Serializes the manifest (docs/FORMATS.md, "Dynamic index manifest").
   // Deterministic for a given state. Throws IndexError on write failure.
@@ -186,6 +268,12 @@ class DynamicIndex {
   uint32_t num_delta_rows() const;  // Physical rows in the delta.
   uint32_t num_tombstones() const;
   uint32_t num_live() const;        // base + delta - tombstones.
+
+  // Verification hash work recorded by the current base index's own
+  // store (bits for SRP, underlying minwise hashes otherwise) —
+  // instrumentation for the adoption guarantee: a compaction that folds
+  // only tombstones produces a base whose store did zero fresh hashing.
+  uint64_t base_hash_work() const;
 
  private:
   struct Impl;

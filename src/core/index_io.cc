@@ -80,7 +80,8 @@ uint64_t PersistentIndex::Fingerprint() const {
 }
 
 std::unique_ptr<PersistentIndex> PersistentIndex::Build(
-    Dataset data, const IndexBuildConfig& cfg) {
+    Dataset data, const IndexBuildConfig& cfg,
+    const SignatureAdoption* adopt) {
   if (cfg.threshold <= 0.0 || cfg.threshold > 1.0) {
     throw std::invalid_argument("IndexBuildConfig: threshold must be in "
                                 "(0, 1]");
@@ -90,6 +91,30 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Build(
     throw std::invalid_argument(
         "IndexBuildConfig: bbit requires the Jaccard measure and a "
         "power-of-two width in [1, 32]");
+  }
+  if (adopt != nullptr && adopt->source == nullptr) adopt = nullptr;
+  if (adopt != nullptr) {
+    const PersistentIndex& src = *adopt->source;
+    if (src.measure() != cfg.measure || src.seed() != cfg.seed ||
+        src.bbit() != cfg.bbit) {
+      throw std::invalid_argument(
+          "SignatureAdoption: source index (measure, seed, bbit) must "
+          "match the build config — signatures from a different hash "
+          "stream are not the same function");
+    }
+    if (adopt->source_rows.size() != data.num_vectors()) {
+      throw std::invalid_argument(
+          "SignatureAdoption: source_rows must have one entry per new "
+          "dataset row");
+    }
+    const uint32_t src_rows = src.data().num_vectors();
+    for (const uint32_t sr : adopt->source_rows) {
+      if (sr != SignatureAdoption::kFreshRow && sr >= src_rows) {
+        throw std::invalid_argument(
+            "SignatureAdoption: source_rows names a row beyond the "
+            "source index");
+      }
+    }
   }
 
   std::unique_ptr<PersistentIndex> index(new PersistentIndex());
@@ -131,6 +156,12 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Build(
       : cfg.prefetch_hashes != 0           ? cfg.prefetch_hashes
                                            : (cosine ? 32u : 16u);
 
+  // Source row donating its signature to new row `row`, or kFreshRow.
+  const auto donor = [&](uint32_t row) {
+    return adopt != nullptr ? adopt->source_rows[row]
+                            : SignatureAdoption::kFreshRow;
+  };
+
   if (cosine) {
     const ImplicitGaussianSource gen_gauss(gen_seed);
     index->banding_ = BandingIndex::BuildCosine(d, &gen_gauss, index->k_,
@@ -140,8 +171,19 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Build(
     index->bits_ = std::make_unique<BitSignatureStore>(
         &d, SrpHasher(index->verify_gauss_.get()));
     BitSignatureStore* store = index->bits_.get();
+    // Adoption happens inside the sharded prefetch (distinct rows touch
+    // distinct vectors, like the uncounted growth itself); the ensure
+    // call after it only tops up rows the donor left short.
+    const BitSignatureStore* src =
+        adopt != nullptr ? adopt->source->bit_store() : nullptr;
     store->AddBitsComputed(
         PrefetchRows(d.num_vectors(), pool, [&](uint32_t row) {
+          const uint32_t sr = donor(row);
+          if (src != nullptr && sr != SignatureAdoption::kFreshRow) {
+            const uint64_t* w = src->Words(sr);
+            store->AdoptWords(
+                row, std::vector<uint64_t>(w, w + src->NumBits(sr) / 64));
+          }
           return store->EnsureBitsUncounted(row, prefetch);
         }));
   } else {
@@ -151,16 +193,35 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Build(
       index->ints_ = std::make_unique<IntSignatureStore>(
           &d, MinwiseHasher(verify_seed));
       IntSignatureStore* store = index->ints_.get();
+      const IntSignatureStore* src =
+          adopt != nullptr ? adopt->source->int_store() : nullptr;
       store->AddHashesComputed(
           PrefetchRows(d.num_vectors(), pool, [&](uint32_t row) {
+            const uint32_t sr = donor(row);
+            if (src != nullptr && sr != SignatureAdoption::kFreshRow) {
+              const uint32_t* h = src->Hashes(sr);
+              store->AdoptHashes(
+                  row, std::vector<uint32_t>(h, h + src->NumHashes(sr)));
+            }
             return store->EnsureHashesUncounted(row, prefetch);
           }));
     } else {
       index->bbits_ = std::make_unique<BbitSignatureStore>(
           &d, MinwiseHasher(verify_seed), cfg.bbit);
       BbitSignatureStore* store = index->bbits_.get();
+      const BbitSignatureStore* src =
+          adopt != nullptr ? adopt->source->bbit_store() : nullptr;
       store->AddHashesComputed(
           PrefetchRows(d.num_vectors(), pool, [&](uint32_t row) {
+            const uint32_t sr = donor(row);
+            if (src != nullptr && sr != SignatureAdoption::kFreshRow) {
+              // Packed layout: NumHashes values at bits_per_hash bits
+              // each is exactly NumHashes * b / 64 whole words.
+              const uint64_t* w = src->Words(sr);
+              const uint64_t nw = static_cast<uint64_t>(src->NumHashes(sr)) *
+                                  cfg.bbit / 64;
+              store->AdoptWords(row, std::vector<uint64_t>(w, w + nw));
+            }
             return store->EnsureHashesUncounted(row, prefetch);
           }));
     }

@@ -32,6 +32,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "candgen/banding_index.h"
 #include "candgen/lsh_banding.h"
@@ -97,6 +98,27 @@ struct IndexBuildConfig {
   uint32_t num_threads = 1;
 };
 
+// Warm-start material for Build(): a map from each row of the new
+// dataset to the row of an existing index holding the same content, so
+// the build adopts that row's already-computed verification signature
+// instead of re-hashing it (signatures are pure functions of
+// (seed, row content), so adopted and recomputed bytes are identical).
+// This is what makes compaction (core/dynamic_index.h) cheap: folding a
+// small delta into a large base re-hashes only the delta rows.
+//
+// source_rows[i] names the source row for new row i, or kFreshRow for a
+// row with no donor (hashed from scratch as usual). The caller owns the
+// content-equality guarantee — Build can and does check that the source
+// index's (measure, seed, bbit) match the config, but not the row bytes.
+class PersistentIndex;
+
+struct SignatureAdoption {
+  static constexpr uint32_t kFreshRow = 0xffffffffu;
+
+  const PersistentIndex* source = nullptr;
+  std::vector<uint32_t> source_rows;
+};
+
 class PersistentIndex {
  public:
   PersistentIndex(const PersistentIndex&) = delete;
@@ -106,8 +128,16 @@ class PersistentIndex {
   // the measure conventions of sim/similarity.h — the index stores the
   // rows as given). Throws std::invalid_argument on invalid config
   // (e.g. bbit with a cosine measure).
-  static std::unique_ptr<PersistentIndex> Build(Dataset data,
-                                               const IndexBuildConfig& cfg);
+  //
+  // With a non-null `adopt`, verification signatures are copied per row
+  // from adopt->source wherever source_rows names a donor (see
+  // SignatureAdoption); throws std::invalid_argument when the source's
+  // (measure, seed, bbit) disagree with the config or the map's shape is
+  // wrong. Banding generation hashes (l*k per row) are always recomputed
+  // — they are never stored per row, only bucketed.
+  static std::unique_ptr<PersistentIndex> Build(
+      Dataset data, const IndexBuildConfig& cfg,
+      const SignatureAdoption* adopt = nullptr);
 
   // Deserializes an index. Throws IndexError on any malformed input:
   // wrong magic, unsupported version, nonzero reserved header byte,

@@ -88,6 +88,13 @@ struct QueryStats {
   uint64_t pruned = 0;
   uint64_t hashes_compared = 0;
 
+  // Matches that survived verification but were subtracted because their
+  // logical id is tombstoned (core/dynamic_index.h) — the LSM read
+  // amplification made visible: work spent verifying rows that can never
+  // be served, reclaimed by Compact(). Always 0 for a plain
+  // QuerySearcher, which has no notion of removal.
+  uint64_t ghost_candidates = 0;
+
   // Worker threads the call *actually* used — not the configured count.
   // 1 whenever verification ran serially: a single-thread searcher, a
   // candidate list too small to shard, b-bit verification, or a Query()
@@ -104,6 +111,7 @@ struct QueryStats {
     candidates += other.candidates;
     pruned += other.pruned;
     hashes_compared += other.hashes_compared;
+    ghost_candidates += other.ghost_candidates;
     threads_used = std::max(threads_used, other.threads_used);
   }
 };

@@ -1,0 +1,380 @@
+#include "core/wal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/prng.h"
+
+namespace bayeslsh {
+namespace {
+
+constexpr char kWalMagic[8] = {'B', 'L', 'S', 'H', 'W', 'L', '1', 'E'};
+constexpr uint64_t kWalMagicSize = sizeof(kWalMagic);
+
+// Fragment types. Padding fills a block tail too small (or chosen too
+// small) to hold a fragment; the other four are the LevelDB chunking.
+enum WalFragmentType : uint8_t {
+  kWalPadding = 0,
+  kWalFull = 1,
+  kWalFirst = 2,
+  kWalMiddle = 3,
+  kWalLast = 4,
+};
+
+// Checksum over (type, length, payload): a Mix64 chain folding the
+// payload eight bytes at a time (the ragged tail word is zero-padded and
+// folded together with its byte count, so truncating the payload always
+// changes the sum). Seeded with a constant so an all-zero fragment does
+// not checksum to a predictable small value.
+uint64_t WalChecksum(uint8_t type, const uint8_t* payload, uint16_t length) {
+  uint64_t h = Mix64(0x57414c63686b3031ULL,  // "WALchk01"
+                     (static_cast<uint64_t>(type) << 32) | length);
+  uint32_t i = 0;
+  for (; i + 8 <= length; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, payload + i, 8);
+    h = Mix64(h, word);
+  }
+  if (i < length) {
+    uint64_t word = 0;
+    std::memcpy(&word, payload + i, length - i);
+    h = Mix64(h, word, static_cast<uint64_t>(length - i));
+  }
+  return h;
+}
+
+struct WalFragmentHeader {
+  uint64_t checksum;
+  uint16_t length;
+  uint8_t type;
+};
+
+WalFragmentHeader ParseHeader(const uint8_t* p) {
+  WalFragmentHeader h;
+  std::memcpy(&h.checksum, p, 8);
+  std::memcpy(&h.length, p + 8, 2);
+  h.type = p[10];
+  return h;
+}
+
+// True when the bytes at `off` form a complete, checksum-valid record
+// fragment (types 1..4) that fits inside its block. Used by the
+// fail-closed scan: any such fragment beyond a damaged one proves the
+// damage is mid-log, not a torn tail.
+bool ValidFragmentAt(const std::vector<uint8_t>& data, uint64_t off) {
+  if (off + kWalHeaderSize > data.size()) return false;
+  WalFragmentHeader h = ParseHeader(data.data() + off);
+  if (h.type < kWalFull || h.type > kWalLast) return false;
+  uint64_t block_off = (off - kWalMagicSize) % kWalBlockSize;
+  if (block_off + kWalHeaderSize + h.length > kWalBlockSize) return false;
+  if (off + kWalHeaderSize + h.length > data.size()) return false;
+  return WalChecksum(h.type, data.data() + off + kWalHeaderSize, h.length) ==
+         h.checksum;
+}
+
+[[noreturn]] void FailClosed(const std::string& path, uint64_t offset) {
+  throw WalError("wal replay: corrupt record at byte " +
+                 std::to_string(offset) + " of '" + path +
+                 "' with valid records beyond it; refusing to drop "
+                 "acknowledged writes");
+}
+
+}  // namespace
+
+WalReplayResult ReplayWal(
+    const std::string& path,
+    const std::function<void(std::span<const uint8_t>)>& on_record) {
+  WalReplayResult result;
+
+  std::vector<uint8_t> data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return result;  // Missing log: nothing acknowledged yet.
+    data.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+    if (in.bad()) throw WalError("wal replay: read failed for '" + path + "'");
+  }
+  if (data.size() < kWalMagicSize) {
+    // A crash can tear even the magic of a freshly created log; nothing
+    // was acknowledged before the magic completed.
+    result.tail_truncated = !data.empty();
+    return result;
+  }
+  if (std::memcmp(data.data(), kWalMagic, kWalMagicSize) != 0) {
+    throw WalError("wal replay: bad magic in '" + path +
+                   "' (not a BLSHWL1E log)");
+  }
+
+  // Damage handler: decides torn tail (stop, truncate) vs mid-log
+  // corruption (fail closed) by scanning every later block boundary for
+  // a valid fragment.
+  bool torn = false;
+  auto damaged = [&](uint64_t off) {
+    uint64_t block_index = (off - kWalMagicSize) / kWalBlockSize;
+    for (uint64_t b = kWalMagicSize + (block_index + 1) * kWalBlockSize;
+         b < data.size(); b += kWalBlockSize) {
+      if (ValidFragmentAt(data, b)) FailClosed(path, off);
+    }
+    torn = true;
+  };
+
+  uint64_t pos = kWalMagicSize;
+  result.valid_bytes = pos;
+  std::vector<uint8_t> record;   // Reassembly buffer for FIRST..LAST.
+  bool in_record = false;        // Saw FIRST, awaiting MIDDLE/LAST.
+
+  while (pos < data.size() && !torn) {
+    uint64_t block_end = kWalMagicSize +
+                         (((pos - kWalMagicSize) / kWalBlockSize) + 1) *
+                             kWalBlockSize;
+    uint64_t limit = std::min<uint64_t>(block_end, data.size());
+    if (pos + kWalHeaderSize > limit) {
+      // Tail of a block too small for a header: must be zero padding.
+      bool all_zero = true;
+      for (uint64_t i = pos; i < limit; ++i) all_zero &= data[i] == 0;
+      if (!all_zero) {
+        damaged(pos);
+        break;
+      }
+      if (limit < block_end) {
+        torn = true;  // File ends inside the padding: clean torn tail.
+        break;
+      }
+      pos = block_end;
+      continue;
+    }
+
+    WalFragmentHeader h = ParseHeader(data.data() + pos);
+    if (h.type == kWalPadding) {
+      // Explicit padding fragment: the rest of the block must be zeros.
+      bool all_zero = true;
+      for (uint64_t i = pos; i < limit; ++i) all_zero &= data[i] == 0;
+      if (!all_zero) {
+        damaged(pos);
+        break;
+      }
+      if (limit < block_end) {
+        torn = true;
+        break;
+      }
+      pos = block_end;
+      continue;
+    }
+
+    if (!ValidFragmentAt(data, pos)) {
+      damaged(pos);
+      break;
+    }
+
+    const uint8_t* payload = data.data() + pos + kWalHeaderSize;
+    uint64_t frag_end = pos + kWalHeaderSize + h.length;
+    switch (h.type) {
+      case kWalFull:
+        if (in_record) {
+          damaged(pos);  // FIRST without LAST, then FULL: framing break.
+          break;
+        }
+        on_record(std::span<const uint8_t>(payload, h.length));
+        ++result.records;
+        result.valid_bytes = frag_end;
+        break;
+      case kWalFirst:
+        if (in_record) {
+          damaged(pos);
+          break;
+        }
+        in_record = true;
+        record.assign(payload, payload + h.length);
+        break;
+      case kWalMiddle:
+        if (!in_record) {
+          damaged(pos);
+          break;
+        }
+        record.insert(record.end(), payload, payload + h.length);
+        break;
+      case kWalLast:
+        if (!in_record) {
+          damaged(pos);
+          break;
+        }
+        record.insert(record.end(), payload, payload + h.length);
+        in_record = false;
+        on_record(std::span<const uint8_t>(record.data(), record.size()));
+        ++result.records;
+        result.valid_bytes = frag_end;
+        break;
+      default:
+        damaged(pos);
+        break;
+    }
+    if (torn) break;
+    pos = frag_end;
+  }
+
+  // A record still open at end of parse (FIRST without LAST) is an
+  // in-flight append torn by a crash; its fragments sit beyond
+  // valid_bytes and are truncated with the tail. Trailing zero padding
+  // alone does not count as a tear.
+  result.tail_truncated = torn || in_record;
+  return result;
+}
+
+std::unique_ptr<WalWriter> WalWriter::Open(const std::string& path,
+                                           uint64_t resume_at) {
+  auto w = std::unique_ptr<WalWriter>(new WalWriter());
+  w->path_ = path;
+  if (resume_at < kWalMagicSize) {
+    w->file_ = std::fopen(path.c_str(), "wb");
+    if (w->file_ == nullptr) {
+      throw WalError("wal: cannot create '" + path +
+                     "': " + std::strerror(errno));
+    }
+    w->PhysicalWrite(reinterpret_cast<const uint8_t*>(kWalMagic),
+                     kWalMagicSize);
+    w->pos_ = kWalMagicSize;
+    w->Flush(false);
+    return w;
+  }
+  // Truncate away any torn tail before appending; stale fragments beyond
+  // the resume point must never become parseable again.
+  std::error_code ec;
+  std::filesystem::resize_file(path, resume_at, ec);
+  if (ec) {
+    throw WalError("wal: cannot truncate '" + path + "' to " +
+                   std::to_string(resume_at) + " bytes: " + ec.message());
+  }
+  w->file_ = std::fopen(path.c_str(), "r+b");
+  if (w->file_ == nullptr) {
+    throw WalError("wal: cannot open '" + path +
+                   "': " + std::strerror(errno));
+  }
+  if (std::fseek(w->file_, 0, SEEK_END) != 0) {
+    throw WalError("wal: cannot seek in '" + path + "'");
+  }
+  w->pos_ = resume_at;
+  return w;
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+void WalWriter::PhysicalWrite(const uint8_t* data, size_t n) {
+  if (written_ + n > crash_after_) {
+    // Fault injection: land exactly crash_after_ bytes, then die. The
+    // partial prefix is flushed so the "disk" state is a true torn write.
+    size_t partial = static_cast<size_t>(crash_after_ - written_);
+    if (partial > 0) std::fwrite(data, 1, partial, file_);
+    std::fflush(file_);
+    written_ = crash_after_;
+    if (on_crash_) {
+      on_crash_();
+    } else {
+#ifdef SIGKILL
+      std::raise(SIGKILL);
+#else
+      std::abort();
+#endif
+    }
+    throw WalError("wal: fault-injection crash point reached");
+  }
+  if (n > 0 && std::fwrite(data, 1, n, file_) != n) {
+    throw WalError("wal: write failed for '" + path_ +
+                   "': " + std::strerror(errno));
+  }
+  written_ += n;
+}
+
+void WalWriter::AppendRecord(std::span<const uint8_t> payload) {
+  static constexpr uint8_t kZeros[kWalHeaderSize] = {};
+  size_t off = 0;
+  bool first = true;
+  for (;;) {
+    uint64_t block_off = (pos_ - kWalMagicSize) % kWalBlockSize;
+    uint64_t room = kWalBlockSize - block_off;
+    if (room < kWalHeaderSize) {
+      // Block tail too small for a header: zero-fill and start the next
+      // block (replay requires these bytes to be zero).
+      PhysicalWrite(kZeros, static_cast<size_t>(room));
+      pos_ += room;
+      continue;
+    }
+    uint64_t avail = room - kWalHeaderSize;
+    size_t remaining = payload.size() - off;
+    size_t n = static_cast<size_t>(std::min<uint64_t>(avail, remaining));
+    uint8_t type;
+    if (first && n == remaining) {
+      type = kWalFull;
+    } else if (first) {
+      type = kWalFirst;
+    } else if (n == remaining) {
+      type = kWalLast;
+    } else {
+      type = kWalMiddle;
+    }
+    uint8_t header[kWalHeaderSize];
+    uint64_t checksum =
+        WalChecksum(type, payload.data() + off, static_cast<uint16_t>(n));
+    uint16_t length = static_cast<uint16_t>(n);
+    std::memcpy(header, &checksum, 8);
+    std::memcpy(header + 8, &length, 2);
+    header[10] = type;
+    PhysicalWrite(header, kWalHeaderSize);
+    pos_ += kWalHeaderSize;
+    PhysicalWrite(payload.data() + off, n);
+    pos_ += n;
+    off += n;
+    first = false;
+    if (type == kWalFull || type == kWalLast) break;
+  }
+}
+
+void WalWriter::Flush(bool sync) {
+  if (std::fflush(file_) != 0) {
+    throw WalError("wal: flush failed for '" + path_ +
+                   "': " + std::strerror(errno));
+  }
+  if (sync) {
+#if defined(__unix__) || defined(__APPLE__)
+    if (::fsync(fileno(file_)) != 0) {
+      throw WalError("wal: fsync failed for '" + path_ +
+                     "': " + std::strerror(errno));
+    }
+#endif
+  }
+}
+
+void WalWriter::Reset() {
+  Flush(false);
+  std::error_code ec;
+  std::filesystem::resize_file(path_, kWalMagicSize, ec);
+  if (ec) {
+    throw WalError("wal: cannot reset '" + path_ + "': " + ec.message());
+  }
+  if (std::fseek(file_, static_cast<long>(kWalMagicSize), SEEK_SET) != 0) {
+    throw WalError("wal: cannot seek in '" + path_ + "'");
+  }
+  pos_ = kWalMagicSize;
+}
+
+void WalWriter::SetCrashAfterBytes(uint64_t total_bytes,
+                                   std::function<void()> on_crash) {
+  crash_after_ = total_bytes;
+  on_crash_ = std::move(on_crash);
+}
+
+}  // namespace bayeslsh

@@ -1,0 +1,141 @@
+// Write-ahead log for the dynamic index's durable write path
+// (docs/FORMATS.md, "Write-ahead log"): every Add/Remove is appended to
+// the log and flushed before it is acknowledged, so a process killed at
+// any instant — including mid-append — recovers on reload to exactly the
+// acknowledged mutation prefix (manifest checkpoint + log replay).
+//
+// Format (magic BLSHWL1E): after the 8-byte magic the file is a sequence
+// of fixed-size blocks; records are chunked into per-block fragments
+// (FULL / FIRST / MIDDLE / LAST — the LevelDB log layout), each fragment
+// carrying its own Mix64 checksum over (type, length, payload). Chunking
+// bounds the damage of a torn write to one block, and the per-fragment
+// checksum makes every byte of damage detectable.
+//
+// Torn-write vs. corruption policy (the load-bearing distinction):
+//
+//   * Replay stops at the first fragment that fails its checksum (or
+//     violates framing). If NO later block boundary holds a valid
+//     fragment, the damage is a torn tail — the in-flight record of a
+//     mid-append crash, never acknowledged — and replay reports the valid
+//     prefix for the writer to truncate to.
+//   * If any later block boundary DOES hold a valid fragment, there is
+//     acknowledged data beyond the damage: replaying the prefix would
+//     silently drop acknowledged writes, so replay fails closed with
+//     WalError (the CLI maps it to exit 2, one diagnostic).
+//
+// A flipped byte in the final partial block is indistinguishable from a
+// torn write and is truncated with the tail; everything older is fail
+// closed. Both behaviours are asserted by tests/wal_test.cc.
+//
+// Concurrency: a WalWriter is not internally synchronized — DynamicIndex
+// appends under its exclusive mutation lock, which already serializes
+// writers. Replay happens before serving starts.
+
+#ifndef BAYESLSH_CORE_WAL_H_
+#define BAYESLSH_CORE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "vec/io.h"
+
+namespace bayeslsh {
+
+// Raised on log corruption that cannot be attributed to a torn tail, and
+// on I/O failures of the log file itself.
+class WalError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+// Fragments per block; a record larger than one block spans several.
+inline constexpr uint32_t kWalBlockSize = 4096;
+
+// Fragment header: u64 checksum, u16 payload length, u8 type.
+inline constexpr uint32_t kWalHeaderSize = 11;
+
+// What a replay recovered. valid_bytes is the file prefix ending after
+// the last complete record (the offset the writer resumes at);
+// tail_truncated reports that bytes beyond it were discarded as a torn
+// tail.
+struct WalReplayResult {
+  uint64_t records = 0;
+  uint64_t valid_bytes = 0;
+  bool tail_truncated = false;
+};
+
+// Replays every complete record of the log at `path` in append order,
+// invoking on_record per record. A missing or shorter-than-magic file
+// replays as empty (valid_bytes = 0: the writer recreates it). Throws
+// WalError on a wrong magic or on mid-log corruption (see the policy
+// above); exceptions from on_record propagate.
+WalReplayResult ReplayWal(
+    const std::string& path,
+    const std::function<void(std::span<const uint8_t>)>& on_record);
+
+// Appender. Records become durable in acknowledgment order: AppendRecord
+// buffers fragments into the OS file, Flush() pushes them to the kernel
+// (surviving any process death) and optionally fsyncs (surviving power
+// loss). Callers acknowledge a mutation only after Flush returns.
+class WalWriter {
+ public:
+  // Opens `path` for appending at resume_at — a prior ReplayWal's
+  // valid_bytes. resume_at < 8 (missing/fresh/headerless file) recreates
+  // the log from scratch; otherwise the file is first truncated to
+  // resume_at, repairing any torn tail so stale fragments can never
+  // resurface in a later replay. Throws WalError when the file cannot be
+  // opened or repaired.
+  static std::unique_ptr<WalWriter> Open(const std::string& path,
+                                         uint64_t resume_at);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Appends one record (any size; chunked into fragments). The record is
+  // NOT durable until the next Flush.
+  void AppendRecord(std::span<const uint8_t> payload);
+
+  // Flushes buffered fragments to the OS — after this, the appended
+  // records survive a SIGKILL of this process. sync additionally fsyncs,
+  // extending the guarantee to machine crashes at the cost of a device
+  // round trip per acknowledged mutation.
+  void Flush(bool sync);
+
+  // Truncates the log back to the bare magic header — called after the
+  // state it describes has been checkpointed (DynamicIndex::SaveFile),
+  // which supersedes every logged record.
+  void Reset();
+
+  // Current end of the log in bytes (magic + fragments written).
+  uint64_t size_bytes() const { return pos_; }
+
+  // Crash-harness fault injection: once `total_bytes` bytes have been
+  // physically written over this writer's lifetime, the next write stops
+  // exactly at that boundary — a genuine torn write at byte granularity —
+  // flushes the partial prefix, and invokes on_crash (default: SIGKILL
+  // the process). If on_crash returns (tests), the writer throws
+  // WalError instead.
+  void SetCrashAfterBytes(uint64_t total_bytes,
+                          std::function<void()> on_crash = {});
+
+ private:
+  WalWriter() = default;
+
+  void PhysicalWrite(const uint8_t* data, size_t n);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t pos_ = 0;           // Absolute offset of the next byte.
+  uint64_t written_ = 0;       // Bytes physically written by this writer.
+  uint64_t crash_after_ = UINT64_MAX;
+  std::function<void()> on_crash_;
+};
+
+}  // namespace bayeslsh
+
+#endif  // BAYESLSH_CORE_WAL_H_

@@ -165,6 +165,18 @@ class BbitSignatureStore {
   // lock-free read-only fast path (both rows must already cover `to`).
   uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
 
+  // See BitSignatureStore::AdoptWords (lsh/signature_store.h): replaces
+  // row's packed signature with a longer already-computed copy without
+  // touching the hashes_computed() tally — the source store accounted the
+  // work when it grew them. The words must come from a store with the
+  // same (hasher seed, bits_per_hash) over identical row content.
+  void AdoptWords(uint32_t row, std::vector<uint64_t>&& words) {
+    if (words.size() > words_[row].size()) {
+      assert(!frozen());
+      words_[row] = std::move(words);
+    }
+  }
+
   // Total underlying minwise hashes computed so far (instrumentation,
   // safe to read from any thread; the b-bit truncation does not reduce
   // hashing work, only storage).

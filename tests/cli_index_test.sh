@@ -233,6 +233,79 @@ check_rc "version-bumped manifest" 2 $?
 check_one_error_line "version-bumped manifest" err.txt
 grep -q 'version' err.txt || { echo "FAIL: manifest version bump not diagnosed as such" >&2; fails=$((fails + 1)); }
 
+# --- durability options: --wal / --wal-sync / auto-compaction ---
+# (Torn-log recovery itself is exercised end to end by the crash_recover
+# harness and tests/durable_dynamic_test.cc; here we pin the CLI
+# plumbing: flag validation, log creation, replay-identity, and the
+# fail-closed contract on a corrupt log.)
+
+# --wal only makes sense for dynamic indexes.
+"$CLI" query --index corpus.idx --query-file corpus.txt --normalize \
+  --wal nope.wal 2>err.txt
+check_rc "--wal on a plain index is a usage error" 1 $?
+
+# Auto-compaction knobs are validated.
+"$CLI" add --index corpus.idx --input corpus.txt --normalize \
+  --output never.dyn --compact-tombstones 1.5 2>err.txt
+check_rc "out-of-range --compact-tombstones" 1 $?
+
+# A logged add creates the WAL (reset to empty by the manifest
+# checkpoint at the end of the command) with the documented magic.
+"$CLI" add --index corpus.idx --input corpus.txt --normalize \
+  --wal tour.wal --wal-sync --output walled.dyn 2>/dev/null
+check_rc "add with --wal --wal-sync" 0 $?
+[ "$(head -c 8 tour.wal)" = "BLSHWL1E" ] || { echo "FAIL: WAL magic is not BLSHWL1E" >&2; fails=$((fails + 1)); }
+
+# Replaying the (checkpoint-reset, empty) log changes nothing: query
+# with and without --wal are byte-identical, and both match the earlier
+# plain-manifest results (rebuild identity across compaction states).
+"$CLI" query --index walled.dyn --query-file corpus.txt --normalize \
+  --top-k 5 --output walled_q.txt 2>/dev/null
+check_rc "query walled manifest" 0 $?
+"$CLI" query --index walled.dyn --query-file corpus.txt --normalize \
+  --top-k 5 --wal tour.wal --output walled_q_wal.txt 2>/dev/null
+check_rc "query walled manifest with --wal" 0 $?
+cmp -s walled_q.txt walled_q_wal.txt || { echo "FAIL: empty-WAL replay changed query results" >&2; fails=$((fails + 1)); }
+cmp -s dyn_matches.txt walled_q.txt || { echo "FAIL: walled manifest diverged from the plain manifest" >&2; fails=$((fails + 1)); }
+
+# A corrupt log fails every attaching command closed: exit 2, one line.
+printf 'X' | dd of=tour.wal bs=1 seek=3 count=1 conv=notrunc 2>/dev/null
+"$CLI" query --index walled.dyn --query-file corpus.txt --normalize \
+  --wal tour.wal 2>err.txt
+check_rc "query with corrupt WAL" 2 $?
+check_one_error_line "query with corrupt WAL" err.txt
+"$CLI" add --index walled.dyn --input corpus.txt --normalize \
+  --wal tour.wal 2>err.txt
+check_rc "add with corrupt WAL" 2 $?
+check_one_error_line "add with corrupt WAL" err.txt
+
+# Auto-compaction flags: same results as the un-triggered manifest.
+"$CLI" add --index corpus.idx --input corpus.txt --normalize \
+  --compact-delta-rows 50 --output ac.dyn 2>/dev/null
+check_rc "add with --compact-delta-rows" 0 $?
+"$CLI" query --index ac.dyn --query-file corpus.txt --normalize \
+  --top-k 5 --output ac_q.txt 2>/dev/null
+check_rc "query auto-compacted manifest" 0 $?
+cmp -s dyn_matches.txt ac_q.txt || { echo "FAIL: auto-compaction changed query results" >&2; fails=$((fails + 1)); }
+
+# qps-report counts tombstone-suppressed (ghost) matches; a removed
+# self-matching row must surface as at least one ghost.
+"$CLI" remove --index ac.dyn --ids 0 2>/dev/null
+check_rc "remove for ghost accounting" 0 $?
+"$CLI" query --index ac.dyn --query-file corpus.txt --normalize \
+  --top-k 5 --qps-report --output /dev/null 2>ghost_err.txt
+check_rc "query with ghosts" 0 $?
+ghosts=$(grep -o '"ghost_candidates": [0-9]*' ghost_err.txt | grep -o '[0-9]*$')
+[ -n "$ghosts" ] || { echo "FAIL: qps report lacks ghost_candidates" >&2; fails=$((fails + 1)); }
+[ "${ghosts:-0}" -gt 0 ] || { echo "FAIL: removed self-match produced no ghost candidates" >&2; fails=$((fails + 1)); }
+# Compaction reclaims the rows, so the ghost count returns to zero.
+"$CLI" compact --index ac.dyn 2>/dev/null
+check_rc "compact after ghosts" 0 $?
+"$CLI" query --index ac.dyn --query-file corpus.txt --normalize \
+  --top-k 5 --qps-report --output /dev/null 2>ghost_err.txt
+check_rc "query after ghost compaction" 0 $?
+grep -q '"ghost_candidates": 0' ghost_err.txt || { echo "FAIL: ghosts survived compaction" >&2; fails=$((fails + 1)); }
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI contract check(s) failed" >&2
   exit 1

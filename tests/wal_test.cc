@@ -1,0 +1,362 @@
+// Tests for the write-ahead log (core/wal.h): round trips (including
+// records spanning several blocks and block tails too short for a
+// header), the torn-write vs. fail-closed corruption policy over a
+// systematic damage matrix — truncations at and inside every record,
+// flipped bytes early and late, garbage tails — and the crash-harness
+// fault injection. The policy under test: damage with NO valid fragment
+// beyond it replays as a repaired prefix (a torn, never-acknowledged
+// tail); damage with acknowledged records beyond it throws WalError.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/wal.h"
+
+namespace bayeslsh {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("bayeslsh_wal_test_") + name))
+      .string();
+}
+
+std::vector<uint8_t> PatternRecord(size_t n, uint8_t tag) {
+  std::vector<uint8_t> rec(n);
+  for (size_t i = 0; i < n; ++i) {
+    rec[i] = static_cast<uint8_t>(tag + i * 131);
+  }
+  return rec;
+}
+
+// Replays `path`, collecting the records.
+std::vector<std::vector<uint8_t>> Replay(const std::string& path,
+                                         WalReplayResult* result) {
+  std::vector<std::vector<uint8_t>> records;
+  *result = ReplayWal(path, [&](std::span<const uint8_t> rec) {
+    records.emplace_back(rec.begin(), rec.end());
+  });
+  return records;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Writes `sizes` as records (PatternRecord payloads) and returns the log
+// size after each append — the acknowledged-prefix boundaries the damage
+// matrix cuts at.
+std::vector<uint64_t> WriteLog(const std::string& path,
+                               const std::vector<size_t>& sizes) {
+  std::filesystem::remove(path);
+  auto writer = WalWriter::Open(path, 0);
+  std::vector<uint64_t> ends;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    writer->AppendRecord(
+        PatternRecord(sizes[i], static_cast<uint8_t>(i + 1)));
+    writer->Flush(false);
+    ends.push_back(writer->size_bytes());
+  }
+  return ends;
+}
+
+TEST(WalTest, RoundTripVariedSizes) {
+  const std::string path = TempPath("roundtrip");
+  // Empty, tiny, a size that leaves a block tail < header size, about a
+  // block, and a multi-block spanner.
+  const std::vector<size_t> sizes = {0,    1,    4080, 100,
+                                     4096, 9000, 37};
+  WriteLog(path, sizes);
+
+  WalReplayResult result;
+  const auto records = Replay(path, &result);
+  ASSERT_EQ(records.size(), sizes.size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(records[i],
+              PatternRecord(sizes[i], static_cast<uint8_t>(i + 1)))
+        << "record " << i;
+  }
+  EXPECT_FALSE(result.tail_truncated);
+  EXPECT_EQ(result.valid_bytes, std::filesystem::file_size(path));
+}
+
+// A record sized to leave a block tail smaller than a header forces the
+// writer to zero-pad the tail; replay must skip the padding, and a cut
+// inside it must read as a clean torn tail.
+TEST(WalTest, BlockTailPaddingRoundTripAndTear) {
+  const std::string path = TempPath("padding");
+  // 8 + 11 + 4080 = 4099: five bytes short of the block boundary.
+  const std::vector<uint64_t> ends = WriteLog(path, {4080, 50});
+  ASSERT_EQ(ends[0], 4099u);
+
+  WalReplayResult result;
+  const auto records = Replay(path, &result);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1], PatternRecord(50, 2));
+  EXPECT_EQ(result.valid_bytes, ends[1]);
+  EXPECT_FALSE(result.tail_truncated);
+
+  const auto full = ReadFileBytes(path);
+  WriteFileBytes(path, std::vector<uint8_t>(full.begin(),
+                                            full.begin() + 4101));
+  const auto cut = Replay(path, &result);
+  EXPECT_EQ(cut.size(), 1u);
+  EXPECT_EQ(result.valid_bytes, ends[0]);
+  EXPECT_TRUE(result.tail_truncated);
+}
+
+TEST(WalTest, MissingAndHeaderlessFilesReplayEmpty) {
+  const std::string path = TempPath("missing");
+  std::filesystem::remove(path);
+  WalReplayResult result;
+  EXPECT_TRUE(Replay(path, &result).empty());
+  EXPECT_EQ(result.valid_bytes, 0u);
+  EXPECT_FALSE(result.tail_truncated);
+
+  // A file shorter than the magic is a torn creation: empty, but flagged
+  // so the writer recreates it.
+  WriteFileBytes(path, {0x42, 0x4c, 0x53});
+  EXPECT_TRUE(Replay(path, &result).empty());
+  EXPECT_EQ(result.valid_bytes, 0u);
+  EXPECT_TRUE(result.tail_truncated);
+}
+
+TEST(WalTest, MagicOnlyLogIsEmpty) {
+  const std::string path = TempPath("magic_only");
+  WriteLog(path, {});
+  WalReplayResult result;
+  EXPECT_TRUE(Replay(path, &result).empty());
+  EXPECT_EQ(result.valid_bytes, 8u);
+  EXPECT_FALSE(result.tail_truncated);
+}
+
+TEST(WalTest, WrongMagicFailsClosed) {
+  const std::string path = TempPath("bad_magic");
+  WriteLog(path, {64});
+  auto bytes = ReadFileBytes(path);
+  bytes[3] ^= 0xff;
+  WriteFileBytes(path, bytes);
+  WalReplayResult result;
+  EXPECT_THROW(Replay(path, &result), WalError);
+}
+
+// Damage matrix, part 1: truncation at every acknowledged-record
+// boundary replays exactly the records before the cut, with no tear
+// reported (the file simply ends there).
+TEST(WalTest, TruncationAtRecordBoundariesReplaysPrefix) {
+  const std::string path = TempPath("trunc_boundary");
+  const std::vector<size_t> sizes = {40, 0, 5000, 120, 4085, 7};
+  const std::vector<uint64_t> ends = WriteLog(path, sizes);
+  const auto full = ReadFileBytes(path);
+
+  for (size_t keep = 0; keep < sizes.size(); ++keep) {
+    WriteFileBytes(path, std::vector<uint8_t>(
+                             full.begin(),
+                             full.begin() + static_cast<ptrdiff_t>(
+                                                ends[keep])));
+    WalReplayResult result;
+    const auto records = Replay(path, &result);
+    EXPECT_EQ(records.size(), keep + 1) << "cut after record " << keep;
+    EXPECT_EQ(result.valid_bytes, ends[keep]);
+    EXPECT_FALSE(result.tail_truncated) << "cut after record " << keep;
+  }
+}
+
+// Damage matrix, part 2: truncation INSIDE the final record is the torn
+// mid-append write — replay the prefix, report the tear.
+TEST(WalTest, TruncationInsideFinalRecordIsTornTail) {
+  const std::string path = TempPath("trunc_mid");
+  const std::vector<size_t> sizes = {40, 0, 5000, 120, 4085, 7};
+  const std::vector<uint64_t> ends = WriteLog(path, sizes);
+  const auto full = ReadFileBytes(path);
+
+  for (size_t torn = 0; torn < sizes.size(); ++torn) {
+    const uint64_t begin = torn == 0 ? 8 : ends[torn - 1];
+    // Cut a few bytes into the torn record's first fragment.
+    for (const uint64_t extra : {1u, 5u, kWalHeaderSize + 1}) {
+      const uint64_t cut = begin + extra;
+      if (cut >= ends[torn]) continue;
+      WriteFileBytes(path,
+                     std::vector<uint8_t>(
+                         full.begin(),
+                         full.begin() + static_cast<ptrdiff_t>(cut)));
+      WalReplayResult result;
+      const auto records = Replay(path, &result);
+      EXPECT_EQ(records.size(), torn) << "torn record " << torn;
+      EXPECT_EQ(result.valid_bytes, begin);
+      EXPECT_TRUE(result.tail_truncated) << "torn record " << torn;
+    }
+  }
+}
+
+// Damage matrix, part 3: a flipped byte with acknowledged records beyond
+// it can NOT be a torn tail — replaying the prefix would drop
+// acknowledged writes, so replay must fail closed. Flips cover the
+// first record's header and payload and a middle record, for both
+// checksum-breaking and framing-breaking positions.
+TEST(WalTest, FlippedByteMidLogFailsClosed) {
+  const std::string path = TempPath("flip_mid");
+  const std::vector<size_t> sizes = {40, 0, 5000, 120, 4085, 7};
+  const std::vector<uint64_t> ends = WriteLog(path, sizes);
+  const auto full = ReadFileBytes(path);
+
+  const std::vector<uint64_t> offsets = {
+      8,                // First fragment's checksum.
+      8 + 8,            // Its length field.
+      8 + 10,           // Its type byte.
+      8 + 11,           // First payload byte.
+      ends[0] + 3,      // Second record's fragment.
+      ends[2] + 2,      // Mid-log, after the multi-block record.
+  };
+  for (const uint64_t off : offsets) {
+    auto bytes = full;
+    bytes[off] ^= 0x01;
+    WriteFileBytes(path, bytes);
+    WalReplayResult result;
+    EXPECT_THROW(Replay(path, &result), WalError) << "offset " << off;
+  }
+}
+
+// A flip inside a record that spans blocks, with records after it, must
+// also fail closed: the continuation fragments at later block
+// boundaries are still valid, so the damage is provably not a tear.
+TEST(WalTest, FlippedByteInSpanningRecordFailsClosed) {
+  const std::string path = TempPath("flip_span");
+  const std::vector<size_t> sizes = {9000, 40};
+  WriteLog(path, sizes);
+  auto bytes = ReadFileBytes(path);
+  bytes[8 + kWalHeaderSize + 100] ^= 0x80;  // FIRST fragment payload.
+  WriteFileBytes(path, bytes);
+  WalReplayResult result;
+  EXPECT_THROW(Replay(path, &result), WalError);
+}
+
+// Damage matrix, part 4: a flipped byte in the FINAL record with nothing
+// valid beyond it is indistinguishable from a torn write — replay the
+// prefix, report the tear (the documented policy choice).
+TEST(WalTest, FlippedByteInFinalRecordIsTornTail) {
+  const std::string path = TempPath("flip_final");
+  const std::vector<size_t> sizes = {40, 120};
+  const std::vector<uint64_t> ends = WriteLog(path, sizes);
+  auto bytes = ReadFileBytes(path);
+  bytes[ends[0] + 4] ^= 0x10;
+  WriteFileBytes(path, bytes);
+
+  WalReplayResult result;
+  const auto records = Replay(path, &result);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], PatternRecord(40, 1));
+  EXPECT_EQ(result.valid_bytes, ends[0]);
+  EXPECT_TRUE(result.tail_truncated);
+}
+
+// Damage matrix, part 5: garbage appended past the last record (a torn
+// next append over recycled disk) truncates to the valid prefix.
+TEST(WalTest, GarbageTailIsTruncated) {
+  const std::string path = TempPath("garbage_tail");
+  const std::vector<size_t> sizes = {40, 120};
+  const std::vector<uint64_t> ends = WriteLog(path, sizes);
+  auto bytes = ReadFileBytes(path);
+  for (int i = 0; i < 23; ++i) {
+    bytes.push_back(static_cast<uint8_t>(0xa0 + i));
+  }
+  WriteFileBytes(path, bytes);
+
+  WalReplayResult result;
+  const auto records = Replay(path, &result);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(result.valid_bytes, ends[1]);
+  EXPECT_TRUE(result.tail_truncated);
+}
+
+// Reopening at a replay's valid_bytes physically repairs the tail:
+// after the reopen + append, a fresh replay sees the old prefix plus the
+// new record and no damage.
+TEST(WalTest, ReopenAfterTornTailRepairsAndResumes) {
+  const std::string path = TempPath("reopen");
+  const std::vector<size_t> sizes = {40, 120};
+  const std::vector<uint64_t> ends = WriteLog(path, sizes);
+  auto bytes = ReadFileBytes(path);
+  bytes.resize(ends[1] + 6);  // Torn third append.
+  bytes[ends[1] + 2] = 0x7f;
+  WriteFileBytes(path, bytes);
+
+  WalReplayResult result;
+  ASSERT_EQ(Replay(path, &result).size(), 2u);
+  ASSERT_TRUE(result.tail_truncated);
+
+  auto writer = WalWriter::Open(path, result.valid_bytes);
+  writer->AppendRecord(PatternRecord(64, 9));
+  writer->Flush(false);
+  writer.reset();
+
+  const auto records = Replay(path, &result);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2], PatternRecord(64, 9));
+  EXPECT_FALSE(result.tail_truncated);
+}
+
+TEST(WalTest, ResetTruncatesToEmptyLog) {
+  const std::string path = TempPath("reset");
+  std::filesystem::remove(path);
+  auto writer = WalWriter::Open(path, 0);
+  writer->AppendRecord(PatternRecord(300, 1));
+  writer->Flush(false);
+  writer->Reset();
+  EXPECT_EQ(writer->size_bytes(), 8u);
+  writer->AppendRecord(PatternRecord(20, 2));
+  writer->Flush(false);
+  writer.reset();
+
+  WalReplayResult result;
+  const auto records = Replay(path, &result);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], PatternRecord(20, 2));
+  EXPECT_FALSE(result.tail_truncated);
+}
+
+// Fault injection: the writer stops mid-record at the configured byte,
+// invokes the hook, and throws; the log is left with a genuine torn
+// tail that replays to the acknowledged prefix and repairs on reopen.
+TEST(WalTest, CrashAfterBytesTearsExactlyThere) {
+  const std::string path = TempPath("fault");
+  std::filesystem::remove(path);
+  auto writer = WalWriter::Open(path, 0);
+  writer->AppendRecord(PatternRecord(100, 1));
+  writer->Flush(false);
+  const uint64_t acked = writer->size_bytes();
+
+  bool hook_ran = false;
+  // Die 7 physical bytes into the next append (the magic already
+  // consumed 8 of the budget before SetCrashAfterBytes).
+  writer->SetCrashAfterBytes(writer->size_bytes() + 7,
+                             [&] { hook_ran = true; });
+  EXPECT_THROW(writer->AppendRecord(PatternRecord(100, 2)), WalError);
+  EXPECT_TRUE(hook_ran);
+  writer.reset();
+
+  EXPECT_EQ(std::filesystem::file_size(path), acked + 7);
+  WalReplayResult result;
+  const auto records = Replay(path, &result);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], PatternRecord(100, 1));
+  EXPECT_EQ(result.valid_bytes, acked);
+  EXPECT_TRUE(result.tail_truncated);
+}
+
+}  // namespace
+}  // namespace bayeslsh

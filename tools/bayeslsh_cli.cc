@@ -78,9 +78,12 @@ int Usage() {
       "  bayeslsh allpairs --input FILE --threshold T [options]\n"
       "  bayeslsh index    --input FILE --output FILE.idx [options]\n"
       "  bayeslsh query    --index FILE.idx --query-file FILE [options]\n"
-      "  bayeslsh add      --index FILE.idx --input FILE [--output FILE]\n"
-      "  bayeslsh remove   --index FILE.idx --ids ID[,ID...] [--output FILE]\n"
-      "  bayeslsh compact  --index FILE.idx [--threads N] [--output FILE]\n"
+      "  bayeslsh add      --index FILE.idx --input FILE [--wal FILE]\n"
+      "           [--output FILE]\n"
+      "  bayeslsh remove   --index FILE.idx --ids ID[,ID...] [--wal FILE]\n"
+      "           [--output FILE]\n"
+      "  bayeslsh compact  --index FILE.idx [--threads N] [--wal FILE]\n"
+      "           [--output FILE]\n"
       "  bayeslsh generate --kind text|graph --vectors N --output FILE\n"
       "           [--binary]\n"
       "  bayeslsh stats --input FILE\n"
@@ -117,12 +120,28 @@ int Usage() {
       "                      store before serving: lock-free reads;\n"
       "                      plain indexes only)\n"
       "  --qps-report       (print a JSON throughput line to stderr,\n"
-      "                      reporting the threads actually used)\n"
+      "                      reporting the threads actually used and the\n"
+      "                      tombstone-suppressed ghost candidates)\n"
       "  --threads N --output FILE\n"
+      "  --wal FILE         (dynamic indexes: replay un-checkpointed\n"
+      "                      mutations from a write-ahead log first)\n"
       "\n"
       "add/remove/compact operate on a dynamic-index manifest (add\n"
       "upgrades a plain index to one); query serves either kind.\n"
-      "add options: --normalize (cosine), --threads N, --output FILE\n");
+      "add options: --normalize (cosine), --threads N, --output FILE\n"
+      "\n"
+      "durability options (add/remove/compact):\n"
+      "  --wal FILE         (append each mutation to a checksummed\n"
+      "                      write-ahead log before acknowledging it, and\n"
+      "                      replay any un-checkpointed records from it on\n"
+      "                      open; the log resets when the manifest is\n"
+      "                      checkpointed)\n"
+      "  --wal-sync         (fsync the log after every record: power-loss\n"
+      "                      durability, not just process-crash)\n"
+      "  --compact-delta-rows N   (auto-compact once the delta segment\n"
+      "                            reaches N rows; 0 = off)\n"
+      "  --compact-tombstones F   (auto-compact once tombstones exceed\n"
+      "                            fraction F of the corpus; 0 = off)\n");
   return 1;
 }
 
@@ -338,11 +357,14 @@ int RunIndex(const Args& args) {
 // Serves every row of `queries` through `searcher` — a QuerySearcher or a
 // DynamicIndex, which share the Query/QueryTopK/QueryBatch surface —
 // writing one "qid id sim" line per match. Tracks the widest thread count
-// any query actually used, for the honest --qps-report.
+// any query actually used and the total tombstone-suppressed ghost
+// candidates, for the honest --qps-report. Stats are per-call (each
+// Query overwrites them), so the ghost tally sums across calls.
 template <typename Searcher>
 void ServeQueries(const Searcher& searcher, const Dataset& queries,
                   bool batch, uint32_t top_k, std::ostream& out,
-                  uint64_t* total_matches, uint32_t* threads_used) {
+                  uint64_t* total_matches, uint32_t* threads_used,
+                  uint64_t* total_ghosts) {
   QueryStats stats;
   if (batch) {
     std::vector<SparseVectorView> qviews;
@@ -353,6 +375,7 @@ void ServeQueries(const Searcher& searcher, const Dataset& queries,
     const std::vector<std::vector<QueryMatch>> batched =
         searcher.QueryBatch(qviews, &stats, top_k);
     *threads_used = std::max(*threads_used, stats.threads_used);
+    *total_ghosts += stats.ghost_candidates;
     for (uint32_t qid = 0; qid < batched.size(); ++qid) {
       for (const QueryMatch& m : batched[qid]) {
         out << qid << ' ' << m.id << ' ' << m.sim << '\n';
@@ -366,11 +389,50 @@ void ServeQueries(const Searcher& searcher, const Dataset& queries,
           top_k != 0 ? searcher.QueryTopK(q, top_k, &stats)
                      : searcher.Query(q, &stats);
       *threads_used = std::max(*threads_used, stats.threads_used);
+      *total_ghosts += stats.ghost_candidates;
       for (const QueryMatch& m : matches) {
         out << qid << ' ' << m.id << ' ' << m.sim << '\n';
       }
       *total_matches += matches.size();
     }
+  }
+}
+
+// Applies the shared durability / auto-compaction flags to a dynamic-index
+// config. Returns false (after a diagnostic) on a malformed value.
+bool ParseDurabilityFlags(const Args& args, DynamicIndexConfig* cfg) {
+  cfg->auto_compact_delta_rows =
+      static_cast<uint32_t>(args.GetUint("compact-delta-rows", 0));
+  cfg->auto_compact_tombstone_fraction =
+      args.GetDouble("compact-tombstones", 0.0);
+  if (cfg->auto_compact_tombstone_fraction < 0.0 ||
+      cfg->auto_compact_tombstone_fraction > 1.0) {
+    std::fprintf(stderr,
+                 "error: --compact-tombstones must be a fraction in "
+                 "[0, 1] (got %g)\n",
+                 cfg->auto_compact_tombstone_fraction);
+    return false;
+  }
+  cfg->wal_sync = args.Has("wal-sync");
+  return true;
+}
+
+// Attaches --wal (when given) to an opened dynamic index, replaying any
+// un-checkpointed records, and reports what the replay found. Throws
+// WalError (exit 2 in the callers) on a corrupt log.
+void AttachWalFlag(const Args& args, DynamicIndex* dyn) {
+  if (!args.Has("wal")) return;
+  const std::string path = args.Get("wal", "");
+  const WalRecovery rec = dyn->AttachWal(path);
+  if (rec.records > 0 || rec.tail_truncated) {
+    std::fprintf(stderr,
+                 "wal: replayed %llu record%s from %s (%llu applied, "
+                 "%llu already in the checkpoint)%s\n",
+                 static_cast<unsigned long long>(rec.records),
+                 rec.records == 1 ? "" : "s", path.c_str(),
+                 static_cast<unsigned long long>(rec.applied),
+                 static_cast<unsigned long long>(rec.skipped),
+                 rec.tail_truncated ? "; truncated a torn tail" : "");
   }
 }
 
@@ -397,6 +459,12 @@ int RunQuery(const Args& args) {
                  "dynamic index keeps its delta segment growable)\n");
     return 1;
   }
+  if (!dynamic && args.Has("wal")) {
+    std::fprintf(stderr,
+                 "error: --wal applies to dynamic indexes only (a plain "
+                 "index has no mutation log to replay)\n");
+    return 1;
+  }
 
   std::unique_ptr<PersistentIndex> index;
   std::unique_ptr<DynamicIndex> dyn;
@@ -409,6 +477,7 @@ int RunQuery(const Args& args) {
       dcfg.exact_verification = args.Has("exact");
       dcfg.num_threads = num_threads;
       dyn = DynamicIndex::LoadFile(args.Get("index", ""), dcfg);
+      AttachWalFlag(args, dyn.get());
     } else {
       index = PersistentIndex::LoadFile(args.Get("index", ""));
     }
@@ -486,12 +555,13 @@ int RunQuery(const Args& args) {
     WallTimer query_timer;
     uint64_t total_matches = 0;
     uint32_t threads_used = 1;
+    uint64_t total_ghosts = 0;
     if (dynamic) {
       ServeQueries(*dyn, queries, args.Has("batch"), top_k, *out,
-                   &total_matches, &threads_used);
+                   &total_matches, &threads_used, &total_ghosts);
     } else {
       ServeQueries(*searcher, queries, args.Has("batch"), top_k, *out,
-                   &total_matches, &threads_used);
+                   &total_matches, &threads_used, &total_ghosts);
     }
     const double serve_s = query_timer.Seconds();
 
@@ -509,16 +579,21 @@ int RunQuery(const Args& args) {
       // parallelism any query actually reached — a contended pool, an
       // unshardable candidate list or b-bit verification all report
       // fewer threads than requested.
+      // "ghost_candidates" counts verified matches suppressed because
+      // their logical id is tombstoned — the LSM read amplification a
+      // compaction would reclaim; always 0 for a plain index.
       std::fprintf(
           stderr,
           "{\"queries\": %u, \"matches\": %llu, \"threads\": %u, "
-          "\"threads_used\": %u, \"batch\": %s, \"frozen\": %s, "
+          "\"threads_used\": %u, \"ghost_candidates\": %llu, "
+          "\"batch\": %s, \"frozen\": %s, "
           "\"dynamic\": %s, \"load_seconds\": %.6f, "
           "\"construct_seconds\": %.6f, \"serve_seconds\": %.6f, "
           "\"qps\": %.1f}\n",
           queries.num_vectors(),
           static_cast<unsigned long long>(total_matches),
           ResolveNumThreads(num_threads), threads_used,
+          static_cast<unsigned long long>(total_ghosts),
           args.Has("batch") ? "true" : "false",
           !dynamic && searcher->frozen() ? "true" : "false",
           dynamic ? "true" : "false", load_s, construct_s, serve_s,
@@ -546,10 +621,12 @@ int RunAdd(const Args& args) {
   if (!args.Has("index") || !args.Has("input")) return Usage();
   DynamicIndexConfig cfg;
   if (!ParseThreads(args, &cfg.num_threads)) return 1;
+  if (!ParseDurabilityFlags(args, &cfg)) return 1;
   const std::string index_path = args.Get("index", "");
   const std::string out_path = args.Get("output", index_path);
   try {
     const std::unique_ptr<DynamicIndex> dyn = OpenDynamic(index_path, cfg);
+    AttachWalFlag(args, dyn.get());
     Dataset rows = ReadDatasetAutoFile(args.Get("input", ""));
     // An empty workload is a data error, not a silent no-op — the same
     // fail-closed contract as `query` on an empty query file.
@@ -573,6 +650,9 @@ int RunAdd(const Args& args) {
       last_id = dyn->Add(rows.Row(r));
       if (r == 0) first_id = last_id;
     }
+    // Let any auto-compaction the adds triggered land before the
+    // checkpoint, so the saved manifest reflects the compacted shape.
+    dyn->WaitForCompaction();
     dyn->SaveFile(out_path);
     std::fprintf(stderr,
                  "added %u vector%s as ids %u..%u; delta now %u rows over "
@@ -623,10 +703,12 @@ int RunRemove(const Args& args) {
   }
   DynamicIndexConfig cfg;
   if (!ParseThreads(args, &cfg.num_threads)) return 1;
+  if (!ParseDurabilityFlags(args, &cfg)) return 1;
   const std::string index_path = args.Get("index", "");
   const std::string out_path = args.Get("output", index_path);
   try {
     const std::unique_ptr<DynamicIndex> dyn = OpenDynamic(index_path, cfg);
+    AttachWalFlag(args, dyn.get());
     // All-or-nothing: validate every id before the first removal, so a
     // typo'd id cannot leave a half-applied batch behind.
     for (const uint32_t id : ids) {
@@ -638,6 +720,7 @@ int RunRemove(const Args& args) {
       }
     }
     for (const uint32_t id : ids) dyn->Remove(id);
+    dyn->WaitForCompaction();
     dyn->SaveFile(out_path);
     std::fprintf(stderr,
                  "removed %zu vector%s; %u live rows remain "
@@ -655,10 +738,14 @@ int RunCompact(const Args& args) {
   if (!args.Has("index")) return Usage();
   DynamicIndexConfig cfg;
   if (!ParseThreads(args, &cfg.num_threads)) return 1;
+  if (!ParseDurabilityFlags(args, &cfg)) return 1;
   const std::string index_path = args.Get("index", "");
   const std::string out_path = args.Get("output", index_path);
   try {
-    if (!DynamicIndex::SniffFile(index_path)) {
+    // A plain index with no WAL to fold in is already compact. With
+    // --wal the log may hold un-checkpointed mutations, so the plain
+    // index is upgraded and compacted like any manifest.
+    if (!DynamicIndex::SniffFile(index_path) && !args.Has("wal")) {
       // Validate it really is a loadable plain index before declaring
       // victory — a garbage path must still fail closed.
       (void)PersistentIndex::LoadFile(index_path);
@@ -668,7 +755,8 @@ int RunCompact(const Args& args) {
       return 0;
     }
     const std::unique_ptr<DynamicIndex> dyn =
-        DynamicIndex::LoadFile(index_path, cfg);
+        OpenDynamic(index_path, cfg);
+    AttachWalFlag(args, dyn.get());
     const uint32_t delta = dyn->num_delta_rows();
     const uint32_t tombs = dyn->num_tombstones();
     WallTimer timer;
