@@ -104,7 +104,10 @@ inline void CheckBenchArgs(int argc, char** argv) {
 
 // One pipeline run's record for the perf trajectory. The serving phases
 // (bench/concurrent_serve.cc) additionally fill `queries` and `qps`
-// (queries served / verify_seconds); pipeline phases leave them 0.
+// (queries served / verify_seconds); pipeline phases leave them 0. The
+// open-loop serving bench (bench/serve_open_loop.cc) additionally fills
+// the offered load and the latency percentiles; everything else leaves
+// them 0.
 struct BenchRecord {
   std::string section;
   std::string dataset;
@@ -121,6 +124,10 @@ struct BenchRecord {
   uint64_t verify_hashes = 0;
   uint64_t queries = 0;
   double qps = 0.0;
+  double offered_qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
 };
 
 // Collects BenchRecords and writes them as one JSON document:
@@ -185,7 +192,8 @@ class BenchJsonWriter {
           "\"total_seconds\": %.6f, \"candidates\": %llu, "
           "\"raw_candidates\": %llu, \"result_pairs\": %llu, "
           "\"gen_hashes\": %llu, \"verify_hashes\": %llu, "
-          "\"queries\": %llu, \"qps\": %.1f}",
+          "\"queries\": %llu, \"qps\": %.1f, \"offered_qps\": %.1f, "
+          "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f}",
           i == 0 ? "" : ",", r.section.c_str(), r.dataset.c_str(),
           r.algorithm.c_str(), r.threshold, r.threads, r.generate_seconds,
           r.verify_seconds, r.total_seconds,
@@ -194,7 +202,8 @@ class BenchJsonWriter {
           static_cast<unsigned long long>(r.result_pairs),
           static_cast<unsigned long long>(r.gen_hashes),
           static_cast<unsigned long long>(r.verify_hashes),
-          static_cast<unsigned long long>(r.queries), r.qps);
+          static_cast<unsigned long long>(r.queries), r.qps, r.offered_qps,
+          r.p50_ms, r.p99_ms, r.p999_ms);
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);

@@ -1,0 +1,187 @@
+// Open-loop latency benchmark for the sharded serving layer
+// (core/sharded_index.h): tail latency vs. offered load, with and without
+// an injected slow shard.
+//
+// Closed-loop serving benches (bench/concurrent_serve.cc) measure
+// throughput with callers that wait for each answer before sending the
+// next — which hides queueing delay exactly when the server falls behind
+// (coordinated omission). This bench is open-loop: arrival i is SCHEDULED
+// at start + i/λ regardless of how the server is doing, and its latency is
+// completion − scheduled arrival, so backlog shows up as tail latency
+// instead of silently lowering the offered rate.
+//
+// Phases (one JSON record each, section "open_loop/healthy" or
+// "open_loop/slow_shard", algorithm "offered_<rate>qps"):
+//
+//   healthy      the offered-rate ladder against K healthy shards;
+//   slow_shard   the same ladder after ShardFaultInjector::AddLatency
+//                wedges milliseconds into one shard's every sub-query —
+//                the router waits for it (no deadline), so its executor
+//                queue is the bottleneck and the tail degrades first.
+//
+// Records fill offered_qps / p50_ms / p99_ms / p999_ms plus the achieved
+// qps; scripts/bench_trend.py compares those fields across CI runs.
+// Usage: serve_open_loop [--threads N] [--json PATH].
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/index_io.h"
+#include "core/sharded_index.h"
+
+namespace bayeslsh::bench {
+namespace {
+
+constexpr uint32_t kShards = 4;
+constexpr uint32_t kClientThreads = 4;
+constexpr double kPhaseSeconds = 1.5;
+constexpr double kSlowShardSeconds = 0.002;  // Injected per-sub-query.
+
+struct OpenLoopResult {
+  uint64_t served = 0;
+  uint64_t matches = 0;
+  double elapsed_seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+double PercentileMs(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(std::ceil(p * sorted_ms.size())) - 1);
+  return sorted_ms[idx];
+}
+
+// Drives `offered_qps` for kPhaseSeconds against the sharded index.
+// Worker threads claim arrival slots from a shared counter, sleep until
+// each slot's scheduled time, and time the query from that schedule —
+// when the server falls behind, workers claim slots late and the backlog
+// is charged to latency, never dropped from the offered load.
+OpenLoopResult RunOpenLoop(const ShardedIndex& index, const Dataset& queries,
+                           double offered_qps) {
+  const auto total =
+      static_cast<uint64_t>(offered_qps * kPhaseSeconds);
+  std::atomic<uint64_t> next{0};
+  std::vector<std::vector<double>> latencies(kClientThreads);
+  std::vector<uint64_t> matches(kClientThreads, 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(kClientThreads);
+  for (uint32_t w = 0; w < kClientThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (;;) {
+        const uint64_t i = next.fetch_add(1);
+        if (i >= total) return;
+        const auto scheduled =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(i / offered_qps));
+        std::this_thread::sleep_until(scheduled);
+        const SparseVectorView q =
+            queries.Row(static_cast<uint32_t>(i % queries.num_vectors()));
+        matches[w] += index.Query(q).size();
+        const std::chrono::duration<double, std::milli> lat =
+            std::chrono::steady_clock::now() - scheduled;
+        latencies[w].push_back(lat.count());
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  OpenLoopResult out;
+  out.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::vector<double> all;
+  for (uint32_t w = 0; w < kClientThreads; ++w) {
+    all.insert(all.end(), latencies[w].begin(), latencies[w].end());
+    out.matches += matches[w];
+  }
+  std::sort(all.begin(), all.end());
+  out.served = all.size();
+  out.p50_ms = PercentileMs(all, 0.50);
+  out.p99_ms = PercentileMs(all, 0.99);
+  out.p999_ms = PercentileMs(all, 0.999);
+  return out;
+}
+
+}  // namespace
+}  // namespace bayeslsh::bench
+
+int main(int argc, char** argv) {
+  using namespace bayeslsh;
+  using namespace bayeslsh::bench;
+  CheckBenchArgs(argc, argv);
+  const uint32_t threads = BenchThreads(argc, argv);
+  BenchJsonWriter json("serve_open_loop", BenchJsonPath(argc, argv),
+                       threads);
+
+  const double threshold = 0.7;
+  const BenchDataset prepared =
+      PrepareDataset(PaperDataset::kRcv1, Measure::kCosine);
+
+  IndexBuildConfig build;
+  build.measure = Measure::kCosine;
+  build.threshold = threshold;
+  build.seed = BenchSeed();
+  build.num_threads = threads;
+
+  ShardedIndexConfig scfg;
+  scfg.num_shards = kShards;
+  scfg.num_threads = 1;  // Per-shard; parallelism comes from the fan-out.
+
+  WallTimer build_timer;
+  const ShardedIndex index(prepared.data, build, scfg);
+  std::printf("built %u shards over %u vectors in %.3f s\n",
+              index.num_shards(), index.num_live(), build_timer.Seconds());
+
+  const std::vector<double> rates = {100.0, 400.0};
+  for (const bool slow_shard : {false, true}) {
+    const std::string section =
+        slow_shard ? "open_loop/slow_shard" : "open_loop/healthy";
+    if (slow_shard) {
+      index.fault_injector().AddLatency(kShards - 1, kSlowShardSeconds);
+    }
+    PrintHeader("Open-loop serving — " + prepared.name + " (" + section +
+                ", t = " + Secs(threshold) + ")");
+    for (const double rate : rates) {
+      const OpenLoopResult r = RunOpenLoop(index, prepared.data, rate);
+      char algo[32];
+      std::snprintf(algo, sizeof(algo), "offered_%.0fqps", rate);
+
+      BenchRecord rec;
+      rec.section = section;
+      rec.dataset = prepared.name;
+      rec.algorithm = algo;
+      rec.threshold = threshold;
+      rec.threads = threads;
+      rec.verify_seconds = r.elapsed_seconds;
+      rec.total_seconds = r.elapsed_seconds;
+      rec.result_pairs = r.matches;
+      rec.queries = r.served;
+      rec.qps = r.elapsed_seconds > 0.0 ? r.served / r.elapsed_seconds : 0.0;
+      rec.offered_qps = rate;
+      rec.p50_ms = r.p50_ms;
+      rec.p99_ms = r.p99_ms;
+      rec.p999_ms = r.p999_ms;
+      json.Add(rec);
+
+      std::printf("  %-16s %6llu served  %8.1f qps  p50 %8.3f ms  "
+                  "p99 %8.3f ms  p99.9 %8.3f ms\n",
+                  algo, static_cast<unsigned long long>(r.served), rec.qps,
+                  r.p50_ms, r.p99_ms, r.p999_ms);
+    }
+    index.fault_injector().Clear();
+  }
+
+  return json.Write() ? 0 : 1;
+}

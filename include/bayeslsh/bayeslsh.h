@@ -70,6 +70,16 @@
 /// versioned segment manifest; the CLI `add` / `remove` / `compact`
 /// subcommands (and `query` on a manifest) expose the same flow.
 ///
+/// **Sharded serving** — `ShardedIndex` (core/sharded_index.h): K
+/// `DynamicIndex` shards (hash-partitioned corpus) behind a query router
+/// that fans out, merges top-k across shards (identical to one unsharded
+/// index when healthy), and degrades gracefully: per-query deadlines
+/// return flagged partial results, per-shard circuit breakers skip dead
+/// shards and probe for recovery, and `ShardFaultInjector` drives every
+/// degraded path in tests. The admission-control primitives (token
+/// bucket, bounded in-flight depth, `core/serve_control.h`) back the
+/// CLI's long-lived `serve` front-end.
+///
 /// **Data** — `Dataset` / `DatasetBuilder` (vec/dataset.h) hold the CSR
 /// collection; `ReadDatasetAutoFile` / `WriteDataset[Binary]File`
 /// (vec/io.h) read and write the text and binary dataset formats;
@@ -133,6 +143,8 @@
 #include "core/metrics.h"                // IWYU pragma: export
 #include "core/pipeline.h"               // IWYU pragma: export
 #include "core/query_search.h"           // IWYU pragma: export
+#include "core/serve_control.h"          // IWYU pragma: export
+#include "core/sharded_index.h"          // IWYU pragma: export
 #include "core/topk_search.h"            // IWYU pragma: export
 #include "core/wal.h"                    // IWYU pragma: export
 

@@ -16,9 +16,13 @@
 #                                             #   compaction (JSON)
 #   BENCH=fig3_cosine_weighted scripts/bench.sh   # other bench binary
 #                                             #   (no JSON support: just runs)
+#   BENCH=serve_open_loop scripts/bench.sh    # tail latency vs offered
+#                                             #   load, healthy and with an
+#                                             #   injected slow shard (JSON)
 #   scripts/bench.sh --smoke                  # CI mode: serve_path,
-#                                             #   concurrent_serve and
-#                                             #   dynamic_update at reduced
+#                                             #   concurrent_serve,
+#                                             #   dynamic_update and
+#                                             #   serve_open_loop at reduced
 #                                             #   scale, one JSON each
 #                                             #   (BENCH_smoke_*.json) — the
 #                                             #   per-PR perf-trajectory
@@ -35,13 +39,13 @@ BUILD_DIR="${BUILD_DIR:-build}"
 if [ "${1:-}" = "--smoke" ]; then
   BAYESLSH_BENCH_SCALE="${BAYESLSH_BENCH_SCALE:-0.05}"
   export BAYESLSH_BENCH_SCALE
-  for bench in serve_path concurrent_serve dynamic_update; do
+  for bench in serve_path concurrent_serve dynamic_update serve_open_loop; do
     BENCH="$bench" OUT="BENCH_smoke_${bench}.json" \
       THREADS="${THREADS:-2}" "$0"
   done
   echo "smoke bench records written: BENCH_smoke_serve_path.json," \
-       "BENCH_smoke_concurrent_serve.json, BENCH_smoke_dynamic_update.json" \
-       "(scale $BAYESLSH_BENCH_SCALE)"
+       "BENCH_smoke_concurrent_serve.json, BENCH_smoke_dynamic_update.json," \
+       "BENCH_smoke_serve_open_loop.json (scale $BAYESLSH_BENCH_SCALE)"
   exit 0
 fi
 
@@ -59,7 +63,7 @@ cmake --build "$BUILD_DIR" -j --target "$BENCH"
 # Benches built on the shared JSON writer take --json; the older
 # figure-style binaries just print their tables.
 case "$BENCH" in
-  table2_speedups|serve_path|concurrent_serve|dynamic_update)
+  table2_speedups|serve_path|concurrent_serve|dynamic_update|serve_open_loop)
     "$BUILD_DIR/bench/$BENCH" --threads "$THREADS" --json "$OUT"
     ;;
   *)

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare the current smoke-bench records against a previous CI artifact.
+
+Usage:
+    bench_trend.py --current-dir DIR --previous-dir DIR [--tolerance F]
+
+Both directories are searched recursively for BENCH_smoke_*.json files
+(the artifact layout nests them one directory deep). Files are matched by
+name, and records inside a file by (section, dataset, algorithm,
+threshold). For every matched record pair the gate checks, at the given
+tolerance (default 0.15 = 15%):
+
+  - qps must not DROP by more than the tolerance (checked when both runs
+    report at least MIN_QPS, so idle phases don't divide by noise);
+  - p99_ms must not RISE by more than the tolerance (checked when either
+    run's p99 is at least MIN_P99_MS — sub-millisecond tails are timer
+    noise, not signal).
+
+Exit codes: 0 = no regression (including "no baseline to compare", the
+first run ever and forks without artifact access), 1 = regression found,
+2 = usage or data error. Records present on only one side are reported
+but never fail the gate — benches come and go across PRs by design.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+MIN_QPS = 1.0
+MIN_P99_MS = 1.0
+
+
+def load_records(path):
+    """Returns {(section, dataset, algorithm, threshold): record}."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for rec in doc.get("records", []):
+        key = (
+            rec.get("section", ""),
+            rec.get("dataset", ""),
+            rec.get("algorithm", ""),
+            rec.get("threshold", 0.0),
+        )
+        out[key] = rec
+    return out
+
+
+def find_smoke_files(root):
+    """Returns {file name: path} for every BENCH_smoke_*.json under root."""
+    return {p.name: p for p in sorted(root.rglob("BENCH_smoke_*.json"))}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current-dir", required=True, type=pathlib.Path)
+    parser.add_argument("--previous-dir", required=True, type=pathlib.Path)
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    args = parser.parse_args()
+
+    if not (0.0 < args.tolerance < 1.0):
+        print("error: --tolerance must be in (0, 1)", file=sys.stderr)
+        return 2
+
+    current = find_smoke_files(args.current_dir)
+    if not current:
+        print(f"error: no BENCH_smoke_*.json under {args.current_dir}",
+              file=sys.stderr)
+        return 2
+
+    if not args.previous_dir.is_dir():
+        print(f"no baseline: {args.previous_dir} does not exist; "
+              "nothing to compare")
+        return 0
+    previous = find_smoke_files(args.previous_dir)
+    if not previous:
+        print(f"no baseline: no BENCH_smoke_*.json under "
+              f"{args.previous_dir}; nothing to compare")
+        return 0
+
+    regressions = []
+    compared = 0
+    for name, cur_path in current.items():
+        prev_path = previous.get(name)
+        if prev_path is None:
+            print(f"note: {name} has no baseline file (new bench?)")
+            continue
+        try:
+            cur_records = load_records(cur_path)
+            prev_records = load_records(prev_path)
+        except (json.JSONDecodeError, OSError) as e:
+            print(f"error: cannot parse {name}: {e}", file=sys.stderr)
+            return 2
+
+        for key, cur in cur_records.items():
+            prev = prev_records.get(key)
+            if prev is None:
+                print(f"note: {name} {key} missing from baseline")
+                continue
+            compared += 1
+            label = f"{name} [{key[0]} / {key[1]} / {key[2]} @ {key[3]}]"
+
+            cur_qps = cur.get("qps", 0.0)
+            prev_qps = prev.get("qps", 0.0)
+            if cur_qps >= MIN_QPS or prev_qps >= MIN_QPS:
+                if prev_qps > 0 and cur_qps < prev_qps * (1 - args.tolerance):
+                    regressions.append(
+                        f"{label}: qps {prev_qps:.1f} -> {cur_qps:.1f} "
+                        f"({100 * (cur_qps / prev_qps - 1):+.1f}%)")
+
+            cur_p99 = cur.get("p99_ms", 0.0)
+            prev_p99 = prev.get("p99_ms", 0.0)
+            if cur_p99 >= MIN_P99_MS or prev_p99 >= MIN_P99_MS:
+                if prev_p99 > 0 and cur_p99 > prev_p99 * (1 + args.tolerance):
+                    regressions.append(
+                        f"{label}: p99 {prev_p99:.3f} ms -> {cur_p99:.3f} ms "
+                        f"({100 * (cur_p99 / prev_p99 - 1):+.1f}%)")
+
+    print(f"compared {compared} record(s) against the baseline")
+    if regressions:
+        print(f"\n{len(regressions)} perf regression(s) beyond "
+              f"{100 * args.tolerance:.0f}%:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print("no perf regressions beyond the tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -133,6 +135,13 @@ struct DynamicIndex::Impl {
   std::thread worker;
   bool compact_scheduled = false;
   std::exception_ptr compact_error;
+  // Signaled when compact_scheduled flips to false — the bounded
+  // WaitForCompaction overload waits on it instead of joining blind.
+  std::condition_variable worker_cv;
+
+  // Test-only slow/wedged-compaction hook, run at the top of CompactLsm
+  // while compact_mu is held; compact_mu also guards the assignment.
+  std::function<void()> compact_hook;
 
   ~Impl() {
     // The public destructor already waited; this is the backstop for a
@@ -276,9 +285,12 @@ struct DynamicIndex::Impl {
       } catch (...) {
         err = std::current_exception();
       }
-      std::lock_guard<std::mutex> lk2(worker_mu);
-      if (err != nullptr) compact_error = err;
-      compact_scheduled = false;
+      {
+        std::lock_guard<std::mutex> lk2(worker_mu);
+        if (err != nullptr) compact_error = err;
+        compact_scheduled = false;
+      }
+      worker_cv.notify_all();
     });
   }
 
@@ -289,6 +301,7 @@ struct DynamicIndex::Impl {
   // serializes the two.
   void CompactLsm() {
     std::lock_guard<std::mutex> serial(compact_mu);
+    if (compact_hook) compact_hook();
 
     Dataset delta_snap(num_dims, {0}, {}, {});
     std::vector<uint32_t> base_ids_snap, delta_ids_snap;
@@ -651,6 +664,39 @@ void DynamicIndex::WaitForCompaction() {
   }
 }
 
+bool DynamicIndex::WaitForCompaction(double timeout_seconds) {
+  Impl& im = *impl_;
+  std::thread t;
+  {
+    std::unique_lock<std::mutex> lk(im.worker_mu);
+    // Wait on the flag, not the thread: a wedged compaction body never
+    // flips it, and this overload must come back anyway.
+    if (!im.worker_cv.wait_for(
+            lk, std::chrono::duration<double>(
+                    timeout_seconds > 0 ? timeout_seconds : 0),
+            [&] { return !im.compact_scheduled; })) {
+      return false;  // Still running; the worker keeps going.
+    }
+    t = std::move(im.worker);
+  }
+  // The flag flips in the worker's final statement, so this join is
+  // bounded — the thread is already past its body.
+  if (t.joinable()) t.join();
+  std::lock_guard<std::mutex> lk(im.worker_mu);
+  if (im.compact_error != nullptr) {
+    std::exception_ptr err = im.compact_error;
+    im.compact_error = nullptr;
+    std::rethrow_exception(err);
+  }
+  return true;
+}
+
+void DynamicIndex::SetCompactHookForTest(std::function<void()> hook) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.compact_mu);
+  im.compact_hook = std::move(hook);
+}
+
 void DynamicIndex::SetWalCrashAfterBytes(uint64_t total_bytes,
                                          std::function<void()> on_crash) {
   Impl& im = *impl_;
@@ -848,6 +894,28 @@ bool DynamicIndex::SniffFile(const std::string& path) {
 // The shape accessors read the cached lifetime invariants, never the
 // (compaction-replaceable) base pointer — genuinely safe from any thread
 // without a lock.
+Dataset DynamicIndex::LiveCorpus(std::vector<uint32_t>* ids) const {
+  const Impl& im = *impl_;
+  std::shared_lock<std::shared_mutex> lock(im.mu);
+  DatasetBuilder builder(im.num_dims);
+  if (ids != nullptr) ids->clear();
+  // Base then delta is ascending logical-id order: every delta id
+  // exceeds every base id by the segment invariant.
+  for (uint32_t r = 0; r < im.base_ids.size(); ++r) {
+    const uint32_t id = im.base_ids[r];
+    if (im.tombstones.count(id) != 0) continue;
+    builder.AddRow(RowEntries(im.base->data().Row(r)));
+    if (ids != nullptr) ids->push_back(id);
+  }
+  for (uint32_t r = 0; r < im.delta_ids.size(); ++r) {
+    const uint32_t id = im.delta_ids[r];
+    if (im.tombstones.count(id) != 0) continue;
+    builder.AddRow(RowEntries(im.delta_data.Row(r)));
+    if (ids != nullptr) ids->push_back(id);
+  }
+  return std::move(builder).Build();
+}
+
 Measure DynamicIndex::measure() const { return impl_->measure; }
 
 uint32_t DynamicIndex::num_dims() const { return impl_->num_dims; }
@@ -857,6 +925,16 @@ double DynamicIndex::serve_threshold() const {
 }
 
 uint64_t DynamicIndex::seed() const { return impl_->seed; }
+
+uint32_t DynamicIndex::bbit() const { return impl_->serve_cfg.bbit; }
+
+uint32_t DynamicIndex::num_bands() const {
+  return impl_->serve_cfg.banding.num_bands;
+}
+
+uint32_t DynamicIndex::hashes_per_band() const {
+  return impl_->serve_cfg.banding.hashes_per_band;
+}
 
 uint32_t DynamicIndex::num_base_rows() const {
   const Impl& im = *impl_;

@@ -231,6 +231,20 @@ class DynamicIndex {
   // Called by the destructor (which swallows errors instead).
   void WaitForCompaction();
 
+  // Bounded drain: waits at most `timeout_seconds` for the background
+  // compaction to finish. Returns true (and rethrows any saved error)
+  // when the worker is drained within the budget; false when the
+  // compaction is still running at expiry — the worker keeps running and
+  // a later wait can reap it. The server drain path uses this so one
+  // wedged compaction cannot hang shutdown: report, don't block forever.
+  bool WaitForCompaction(double timeout_seconds);
+
+  // Test hook: runs at the start of every compaction body, while
+  // concurrent readers are still serving the old segments — lets tests
+  // make a compaction arbitrarily slow (or wedge it) to pin the bounded
+  // WaitForCompaction contract. Empty function clears the hook.
+  void SetCompactHookForTest(std::function<void()> hook);
+
   // Crash-harness fault injection, forwarded to the attached WAL (see
   // WalWriter::SetCrashAfterBytes): after `total_bytes` physically
   // logged bytes, die mid-append leaving a genuinely torn log. Throws
@@ -259,11 +273,23 @@ class DynamicIndex {
   // produce the real diagnostic).
   static bool SniffFile(const std::string& path);
 
+  // Snapshot of the live corpus in ascending logical-id order (base rows
+  // first, then delta rows — base ids always precede delta ids), with
+  // the matching logical ids written to *ids when non-null. Takes the
+  // shared lock, so the snapshot is a consistent cut against concurrent
+  // mutations. This is the repartitioning source the sharded serving
+  // front-end (core/sharded_index.h) uses to spread one loaded index
+  // over K shards.
+  Dataset LiveCorpus(std::vector<uint32_t>* ids = nullptr) const;
+
   // Shape and config accessors (safe from any thread).
   Measure measure() const;
   uint32_t num_dims() const;
   double serve_threshold() const;
   uint64_t seed() const;
+  uint32_t bbit() const;             // 0 = full-width hashes.
+  uint32_t num_bands() const;        // Banding shape shared by all
+  uint32_t hashes_per_band() const;  //   segments and compactions.
   uint32_t num_base_rows() const;   // Physical rows in the frozen base.
   uint32_t num_delta_rows() const;  // Physical rows in the delta.
   uint32_t num_tombstones() const;

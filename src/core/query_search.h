@@ -95,6 +95,19 @@ struct QueryStats {
   // QuerySearcher, which has no notion of removal.
   uint64_t ghost_candidates = 0;
 
+  // Sharded-serving robustness counters (core/sharded_index.h). A plain
+  // QuerySearcher / DynamicIndex never sets these; ShardedIndex adds, per
+  // fan-out call: shards_total += K, shards_answered += the shards whose
+  // sub-results made it into the merge, deadline_expired += 1 when the
+  // query's deadline cut the fan-out short (a *partial* answer), and the
+  // serve front-end adds rejected_overload += 1 per admission rejection.
+  // shards_answered < shards_total is the degradation signal: the result
+  // is exact over the answered shards and silent about the rest.
+  uint64_t shards_total = 0;
+  uint64_t shards_answered = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t rejected_overload = 0;
+
   // Worker threads the call *actually* used — not the configured count.
   // 1 whenever verification ran serially: a single-thread searcher, a
   // candidate list too small to shard, b-bit verification, or a Query()
@@ -112,6 +125,10 @@ struct QueryStats {
     pruned += other.pruned;
     hashes_compared += other.hashes_compared;
     ghost_candidates += other.ghost_candidates;
+    shards_total += other.shards_total;
+    shards_answered += other.shards_answered;
+    deadline_expired += other.deadline_expired;
+    rejected_overload += other.rejected_overload;
     threads_used = std::max(threads_used, other.threads_used);
   }
 };

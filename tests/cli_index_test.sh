@@ -306,6 +306,73 @@ check_rc "compact after ghosts" 0 $?
 check_rc "query after ghost compaction" 0 $?
 grep -q '"ghost_candidates": 0' ghost_err.txt || { echo "FAIL: ghosts survived compaction" >&2; fails=$((fails + 1)); }
 
+# --- sharded serve front-end: protocol, identity, admission, shutdown ---
+
+# The qps report carries the robustness counters; unsharded serving
+# reports them as 0 (one report shape for every serving mode).
+for key in deadline_expired shards_answered rejected_overload; do
+  grep -q "\"$key\": 0" dyn_err.txt || { echo "FAIL: qps report lacks $key" >&2; fails=$((fails + 1)); }
+done
+
+# serve assigns fresh dense ids over the loaded live corpus and must
+# answer a protocol query identically to the `query` subcommand against
+# the same (un-tfidf'd, so raw rows are queryable) index.
+"$CLI" index --input corpus.txt --output serve.idx --measure cosine \
+  --threshold 0.6 --normalize 2>/dev/null
+check_rc "index build for serve" 0 $?
+"$CLI" query --index serve.idx --query-file corpus.txt --normalize \
+  --top-k 5 --output serve_expected.txt 2>/dev/null
+check_rc "unsharded oracle for serve" 0 $?
+
+row=$(sed -n 3p corpus.txt)  # vector 0's raw text row
+printf '@alice query %s\nstats\nquit\n' "$row" \
+  | "$CLI" serve --index serve.idx --shards 4 --normalize --top-k 5 \
+    >serve_out.txt 2>serve_err.txt
+check_rc "serve happy path" 0 $?
+grep -q 'serving 200 vectors across 4 shards' serve_err.txt || { echo "FAIL: serve banner missing" >&2; fails=$((fails + 1)); }
+head -n1 serve_out.txt | grep -qE '^matches [0-9]+ shards 4/4$' || { echo "FAIL: serve response header malformed or degraded:" >&2; head -n1 serve_out.txt >&2; fails=$((fails + 1)); }
+n=$(head -n1 serve_out.txt | awk '{print $2}')
+sed -n "2,$((n + 1))p" serve_out.txt > serve_matches.txt
+grep '^0 ' serve_expected.txt | cut -d' ' -f2- > serve_oracle.txt
+cmp -s serve_matches.txt serve_oracle.txt || { echo "FAIL: sharded serve answers differ from the unsharded query oracle" >&2; fails=$((fails + 1)); }
+grep -q '"queries": 1' serve_out.txt || { echo "FAIL: serve stats did not count the query" >&2; fails=$((fails + 1)); }
+grep -q '"breakers": \["closed", "closed", "closed", "closed"\]' serve_out.txt || { echo "FAIL: serve stats lack per-shard breaker states" >&2; fails=$((fails + 1)); }
+
+# Routed mutations: the next dense id is 200; a double remove and an
+# unknown id answer in-band errors without killing the server.
+printf 'add %s\nremove 200\nremove 200\nremove 99999\nquit\n' "$row" \
+  | "$CLI" serve --index serve.idx --shards 4 --normalize \
+    >serve_mut.txt 2>/dev/null
+check_rc "serve mutations" 0 $?
+grep -q '^added 200$' serve_mut.txt || { echo "FAIL: serve add did not assign the next dense id" >&2; fails=$((fails + 1)); }
+grep -q '^removed 200$' serve_mut.txt || { echo "FAIL: serve remove failed" >&2; fails=$((fails + 1)); }
+[ "$(grep -c '^error: id ' serve_mut.txt)" -eq 2 ] || { echo "FAIL: dead/unknown ids must answer in-band errors" >&2; fails=$((fails + 1)); }
+
+# Admission control: with a starved token bucket the second query is
+# rejected immediately and counted, and the server keeps serving.
+printf '@c query %s\n@c query %s\nstats\nquit\n' "$row" "$row" \
+  | "$CLI" serve --index serve.idx --shards 2 --normalize --top-k 1 \
+    --rate 0.001 --burst 1 >serve_load.txt 2>/dev/null
+check_rc "serve under overload" 0 $?
+grep -q '^rejected overload$' serve_load.txt || { echo "FAIL: starved bucket did not reject" >&2; fails=$((fails + 1)); }
+grep -q '"rejected_overload": 1' serve_load.txt || { echo "FAIL: serve stats did not count the rejection" >&2; fails=$((fails + 1)); }
+
+# Malformed protocol lines are answered in-band: the server survives
+# them all and still exits cleanly.
+printf 'query 99999999:1\nquery notavector\nquery\nremove x\nnope\nquit\n' \
+  | "$CLI" serve --index serve.idx --shards 2 >serve_bad.txt 2>/dev/null
+check_rc "serve survives malformed lines" 0 $?
+[ "$(grep -c '^error: ' serve_bad.txt)" -eq 5 ] || { echo "FAIL: malformed protocol lines must each answer one error" >&2; fails=$((fails + 1)); }
+
+# Usage and data errors fail closed like every other subcommand.
+"$CLI" serve 2>/dev/null </dev/null
+check_rc "serve without --index" 1 $?
+printf 'quit\n' | "$CLI" serve --index serve.idx --shards 0 2>/dev/null
+check_rc "serve with zero shards" 1 $?
+"$CLI" serve --index garbage.idx </dev/null 2>err.txt
+check_rc "serve on garbage index" 2 $?
+check_one_error_line "serve on garbage index" err.txt
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI contract check(s) failed" >&2
   exit 1

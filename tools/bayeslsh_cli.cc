@@ -43,6 +43,17 @@
 //       base, preserving logical ids — the background half of the LSM
 //       bargain.
 //
+//   bayeslsh serve --index corpus.idx [--shards K] [options]
+//       Long-lived sharded serving front-end: loads either index kind,
+//       repartitions the live corpus across K DynamicIndex shards (fresh
+//       dense logical ids), and answers a line protocol on stdin —
+//       query/add/remove/stats/quit, optionally tagged "@client". Reads
+//       degrade instead of hanging (per-query deadlines, per-shard
+//       circuit breakers) and overload is rejected immediately
+//       (per-client token buckets + a bounded in-flight depth). The
+//       served state is in-memory only; shutdown drains background
+//       compaction with a bounded wait.
+//
 //   bayeslsh generate --kind text|graph --vectors N --output data.txt
 //            [--seed S]
 //       Writes a synthetic corpus in the library's dataset format, so the
@@ -55,12 +66,14 @@
 // corrupt, truncated or version-mismatched index files).
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -84,6 +97,7 @@ int Usage() {
       "           [--output FILE]\n"
       "  bayeslsh compact  --index FILE.idx [--threads N] [--wal FILE]\n"
       "           [--output FILE]\n"
+      "  bayeslsh serve    --index FILE.idx [--shards K] [options]\n"
       "  bayeslsh generate --kind text|graph --vectors N --output FILE\n"
       "           [--binary]\n"
       "  bayeslsh stats --input FILE\n"
@@ -129,6 +143,24 @@ int Usage() {
       "add/remove/compact operate on a dynamic-index manifest (add\n"
       "upgrades a plain index to one); query serves either kind.\n"
       "add options: --normalize (cosine), --threads N, --output FILE\n"
+      "\n"
+      "serve options (long-lived sharded server; line protocol on stdin,\n"
+      "see docs/CLI.md — query/add/remove/stats/quit, '@name' client tag):\n"
+      "  --shards K         (index shards behind the router; default 2)\n"
+      "  --threshold T --top-k K --exact --normalize --threads N\n"
+      "                     (per-query serving knobs, as for `query`)\n"
+      "  --deadline-ms D    (per-query budget; expiry returns the merged\n"
+      "                      partial answer, flagged — 0 = none)\n"
+      "  --rate R --burst B (per-client admission token bucket;\n"
+      "                      0 = unlimited)\n"
+      "  --max-in-flight Q  (server-wide in-flight bound; 0 = unlimited)\n"
+      "  --breaker-failures N --breaker-open-ms M\n"
+      "                     (per-shard circuit breaker: N consecutive\n"
+      "                      failures open it for M ms; default 3/1000)\n"
+      "  --shard-timeout-ms M  (per-shard sub-query bound, counted as a\n"
+      "                         breaker failure; 0 = wait forever)\n"
+      "  --drain-timeout-ms M  (shutdown bound on background compaction;\n"
+      "                         default 5000 — expiry exits 2)\n"
       "\n"
       "durability options (add/remove/compact):\n"
       "  --wal FILE         (append each mutation to a checksummed\n"
@@ -354,17 +386,35 @@ int RunIndex(const Args& args) {
   return 0;
 }
 
+// Cross-query accumulation of the per-call QueryStats, for the honest
+// --qps-report: widest thread count any query actually reached, plus the
+// summed robustness counters (ghosts, expired deadlines, answered shards,
+// admission rejections — the last three stay 0 for unsharded serving).
+struct ServeTally {
+  uint64_t matches = 0;
+  uint32_t threads_used = 1;
+  uint64_t ghosts = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t shards_answered = 0;
+  uint64_t rejected_overload = 0;
+
+  void Absorb(const QueryStats& stats) {
+    threads_used = std::max(threads_used, stats.threads_used);
+    ghosts += stats.ghost_candidates;
+    deadline_expired += stats.deadline_expired;
+    shards_answered += stats.shards_answered;
+    rejected_overload += stats.rejected_overload;
+  }
+};
+
 // Serves every row of `queries` through `searcher` — a QuerySearcher or a
 // DynamicIndex, which share the Query/QueryTopK/QueryBatch surface —
-// writing one "qid id sim" line per match. Tracks the widest thread count
-// any query actually used and the total tombstone-suppressed ghost
-// candidates, for the honest --qps-report. Stats are per-call (each
-// Query overwrites them), so the ghost tally sums across calls.
+// writing one "qid id sim" line per match. Stats are per-call (each
+// Query overwrites them), so the tally sums across calls.
 template <typename Searcher>
 void ServeQueries(const Searcher& searcher, const Dataset& queries,
                   bool batch, uint32_t top_k, std::ostream& out,
-                  uint64_t* total_matches, uint32_t* threads_used,
-                  uint64_t* total_ghosts) {
+                  ServeTally* tally) {
   QueryStats stats;
   if (batch) {
     std::vector<SparseVectorView> qviews;
@@ -374,13 +424,12 @@ void ServeQueries(const Searcher& searcher, const Dataset& queries,
     }
     const std::vector<std::vector<QueryMatch>> batched =
         searcher.QueryBatch(qviews, &stats, top_k);
-    *threads_used = std::max(*threads_used, stats.threads_used);
-    *total_ghosts += stats.ghost_candidates;
+    tally->Absorb(stats);
     for (uint32_t qid = 0; qid < batched.size(); ++qid) {
       for (const QueryMatch& m : batched[qid]) {
         out << qid << ' ' << m.id << ' ' << m.sim << '\n';
       }
-      *total_matches += batched[qid].size();
+      tally->matches += batched[qid].size();
     }
   } else {
     for (uint32_t qid = 0; qid < queries.num_vectors(); ++qid) {
@@ -388,12 +437,11 @@ void ServeQueries(const Searcher& searcher, const Dataset& queries,
       const std::vector<QueryMatch> matches =
           top_k != 0 ? searcher.QueryTopK(q, top_k, &stats)
                      : searcher.Query(q, &stats);
-      *threads_used = std::max(*threads_used, stats.threads_used);
-      *total_ghosts += stats.ghost_candidates;
+      tally->Absorb(stats);
       for (const QueryMatch& m : matches) {
         out << qid << ' ' << m.id << ' ' << m.sim << '\n';
       }
-      *total_matches += matches.size();
+      tally->matches += matches.size();
     }
   }
 }
@@ -553,15 +601,12 @@ int RunQuery(const Args& args) {
     const double construct_s = construct_timer.Seconds();
 
     WallTimer query_timer;
-    uint64_t total_matches = 0;
-    uint32_t threads_used = 1;
-    uint64_t total_ghosts = 0;
+    ServeTally tally;
     if (dynamic) {
-      ServeQueries(*dyn, queries, args.Has("batch"), top_k, *out,
-                   &total_matches, &threads_used, &total_ghosts);
+      ServeQueries(*dyn, queries, args.Has("batch"), top_k, *out, &tally);
     } else {
       ServeQueries(*searcher, queries, args.Has("batch"), top_k, *out,
-                   &total_matches, &threads_used, &total_ghosts);
+                   &tally);
     }
     const double serve_s = query_timer.Seconds();
 
@@ -572,7 +617,7 @@ int RunQuery(const Args& args) {
                  queries.num_vectors(),
                  queries.num_vectors() == 1 ? "y" : "ies", indexed_vectors,
                  dynamic ? "live" : "indexed",
-                 static_cast<unsigned long long>(total_matches), load_s,
+                 static_cast<unsigned long long>(tally.matches), load_s,
                  construct_s, serve_s);
     if (args.Has("qps-report")) {
       // "threads" is the resolved request; "threads_used" is the widest
@@ -582,18 +627,27 @@ int RunQuery(const Args& args) {
       // "ghost_candidates" counts verified matches suppressed because
       // their logical id is tombstoned — the LSM read amplification a
       // compaction would reclaim; always 0 for a plain index.
+      // The robustness counters (deadline_expired, shards_answered,
+      // rejected_overload) are summed from the same QueryStats the
+      // sharded serving layer fills; unsharded serving reports them as 0
+      // so one report shape covers every serving mode.
       std::fprintf(
           stderr,
           "{\"queries\": %u, \"matches\": %llu, \"threads\": %u, "
           "\"threads_used\": %u, \"ghost_candidates\": %llu, "
+          "\"deadline_expired\": %llu, \"shards_answered\": %llu, "
+          "\"rejected_overload\": %llu, "
           "\"batch\": %s, \"frozen\": %s, "
           "\"dynamic\": %s, \"load_seconds\": %.6f, "
           "\"construct_seconds\": %.6f, \"serve_seconds\": %.6f, "
           "\"qps\": %.1f}\n",
           queries.num_vectors(),
-          static_cast<unsigned long long>(total_matches),
-          ResolveNumThreads(num_threads), threads_used,
-          static_cast<unsigned long long>(total_ghosts),
+          static_cast<unsigned long long>(tally.matches),
+          ResolveNumThreads(num_threads), tally.threads_used,
+          static_cast<unsigned long long>(tally.ghosts),
+          static_cast<unsigned long long>(tally.deadline_expired),
+          static_cast<unsigned long long>(tally.shards_answered),
+          static_cast<unsigned long long>(tally.rejected_overload),
           args.Has("batch") ? "true" : "false",
           !dynamic && searcher->frozen() ? "true" : "false",
           dynamic ? "true" : "false", load_s, construct_s, serve_s,
@@ -615,6 +669,328 @@ std::unique_ptr<DynamicIndex> OpenDynamic(const std::string& path,
   }
   return std::make_unique<DynamicIndex>(PersistentIndex::LoadFile(path),
                                         cfg);
+}
+
+// ---------------------------------------------------------------------------
+// serve: the long-lived sharded serving front-end
+// ---------------------------------------------------------------------------
+
+// Parses the serve protocol's vector tokens — "dim:val" pairs, or bare
+// "dim" meaning weight 1.0 (the binary-measure shorthand) — into sorted
+// parallel arrays. On any malformed token, duplicate or out-of-range
+// dimension, or an empty vector, fills *error and returns false: protocol
+// errors answer the one client line, they never kill the server.
+bool ParseServeVector(const std::vector<std::string>& tokens, size_t first,
+                      uint32_t num_dims, std::vector<uint32_t>* indices,
+                      std::vector<float>* values, std::string* error) {
+  std::vector<std::pair<uint32_t, float>> entries;
+  for (size_t i = first; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const size_t colon = tok.find(':');
+    const std::string dim_part = tok.substr(0, colon);
+    const bool digits =
+        !dim_part.empty() &&
+        dim_part.find_first_not_of("0123456789") == std::string::npos;
+    char* end = nullptr;
+    const unsigned long long dim =
+        digits ? std::strtoull(dim_part.c_str(), &end, 10) : 0;
+    if (!digits || *end != '\0' || dim > UINT32_MAX) {
+      *error = "malformed entry '" + tok + "' (want dim:val or dim)";
+      return false;
+    }
+    double val = 1.0;
+    if (colon != std::string::npos) {
+      const std::string val_part = tok.substr(colon + 1);
+      val = std::strtod(val_part.c_str(), &end);
+      if (val_part.empty() || *end != '\0') {
+        *error = "malformed entry '" + tok + "' (want dim:val or dim)";
+        return false;
+      }
+    }
+    if (dim >= num_dims) {
+      *error = "dimension " + dim_part + " out of range (index has " +
+               std::to_string(num_dims) + " dims)";
+      return false;
+    }
+    entries.emplace_back(static_cast<uint32_t>(dim),
+                         static_cast<float>(val));
+  }
+  if (entries.empty()) {
+    *error = "vector has no entries (similarity to it is undefined)";
+    return false;
+  }
+  std::sort(entries.begin(), entries.end());
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].first == entries[i - 1].first) {
+      *error = "duplicate dimension " + std::to_string(entries[i].first);
+      return false;
+    }
+  }
+  indices->clear();
+  values->clear();
+  for (const auto& [dim, val] : entries) {
+    indices->push_back(dim);
+    values->push_back(val);
+  }
+  return true;
+}
+
+// L2-normalizes the parsed values in place (the --normalize convenience
+// for cosine serving, mirroring `query`/`add` on files).
+void NormalizeServeVector(std::vector<float>* values) {
+  double sumsq = 0.0;
+  for (const float v : *values) sumsq += static_cast<double>(v) * v;
+  if (sumsq <= 0.0) return;
+  const float inv = static_cast<float>(1.0 / std::sqrt(sumsq));
+  for (float& v : *values) v *= inv;
+}
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+int RunServe(const Args& args) {
+  if (!args.Has("index")) return Usage();
+  uint32_t num_threads = 1;
+  if (!ParseThreads(args, &num_threads)) return 1;
+  if (args.Has("threshold")) {
+    const double t = args.GetDouble("threshold", 0.0);
+    if (t <= 0.0 || t > 1.0) {
+      std::fprintf(stderr, "error: --threshold must be in (0, 1] "
+                   "(got %g)\n", t);
+      return 1;
+    }
+  }
+  const auto num_shards = static_cast<uint32_t>(args.GetUint("shards", 2));
+  if (num_shards == 0) {
+    std::fprintf(stderr, "error: --shards must be at least 1\n");
+    return 1;
+  }
+
+  // Load either index kind and lift out (corpus, build config): the
+  // sharded layer repartitions the live rows across K fresh shards, so
+  // serve assigns fresh dense logical ids 0..n-1 in the order of the
+  // loaded live corpus.
+  Dataset corpus;
+  IndexBuildConfig build;
+  const std::string index_path = args.Get("index", "");
+  try {
+    if (DynamicIndex::SniffFile(index_path)) {
+      DynamicIndexConfig dcfg;
+      dcfg.num_threads = num_threads;
+      const std::unique_ptr<DynamicIndex> dyn =
+          DynamicIndex::LoadFile(index_path, dcfg);
+      build.measure = dyn->measure();
+      // With no threshold override in dcfg, serve_threshold() reports
+      // the base index's build threshold — the value to rebuild with.
+      build.threshold = dyn->serve_threshold();
+      build.banding.num_bands = dyn->num_bands();
+      build.banding.hashes_per_band = dyn->hashes_per_band();
+      build.bbit = dyn->bbit();
+      build.seed = dyn->seed();
+      corpus = dyn->LiveCorpus();
+    } else {
+      const std::unique_ptr<PersistentIndex> index =
+          PersistentIndex::LoadFile(index_path);
+      build.measure = index->measure();
+      build.threshold = index->build_threshold();
+      build.banding.num_bands = index->num_bands();
+      build.banding.hashes_per_band = index->hashes_per_band();
+      build.bbit = index->bbit();
+      build.seed = index->seed();
+      corpus = index->data();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  build.num_threads = num_threads;
+
+  ShardedIndexConfig scfg;
+  scfg.num_shards = num_shards;
+  scfg.threshold = args.GetDouble("threshold", 0.0);
+  scfg.exact_verification = args.Has("exact");
+  scfg.num_threads = num_threads;
+  scfg.breaker.failure_threshold =
+      static_cast<uint32_t>(args.GetUint("breaker-failures", 3));
+  scfg.breaker.open_seconds =
+      args.GetDouble("breaker-open-ms", 1000.0) / 1000.0;
+  scfg.shard_timeout_seconds =
+      args.GetDouble("shard-timeout-ms", 0.0) / 1000.0;
+
+  AdmissionConfig acfg;
+  acfg.tokens_per_second = args.GetDouble("rate", 0.0);
+  acfg.burst = args.GetDouble("burst", 0.0);
+  acfg.max_in_flight =
+      static_cast<uint32_t>(args.GetUint("max-in-flight", 0));
+
+  ServeOptions opts;
+  opts.deadline_seconds = args.GetDouble("deadline-ms", 0.0) / 1000.0;
+  const auto top_k = static_cast<uint32_t>(args.GetUint("top-k", 0));
+  const double drain_s = args.GetDouble("drain-timeout-ms", 5000.0) / 1000.0;
+  const bool normalize =
+      args.Has("normalize") && build.measure == Measure::kCosine;
+
+  try {
+    ShardedIndex sharded(std::move(corpus), build, scfg);
+    AdmissionController admission(acfg);
+    std::fprintf(stderr,
+                 "serving %u vectors across %u shards (threshold %g, "
+                 "%u thread%s per shard); reading protocol lines from "
+                 "stdin\n",
+                 sharded.num_live(), sharded.num_shards(),
+                 scfg.threshold > 0.0 ? scfg.threshold : build.threshold,
+                 num_threads, num_threads == 1 ? "" : "s");
+
+    uint64_t queries_served = 0;
+    uint64_t matches_total = 0;
+    uint64_t deadline_total = 0;
+    uint64_t rejected_total = 0;
+    std::vector<uint32_t> indices;
+    std::vector<float> values;
+    std::string line;
+    bool quit = false;
+    while (!quit && std::getline(std::cin, line)) {
+      std::vector<std::string> tokens;
+      {
+        std::istringstream split(line);
+        std::string tok;
+        while (split >> tok) tokens.push_back(std::move(tok));
+      }
+      if (tokens.empty()) continue;
+      size_t arg0 = 0;
+      std::string client = "anonymous";
+      if (tokens[0].size() > 1 && tokens[0][0] == '@') {
+        client = tokens[0].substr(1);
+        arg0 = 1;
+      }
+      if (arg0 >= tokens.size()) {
+        std::printf("error: client tag without a command\n");
+        std::fflush(stdout);
+        continue;
+      }
+      const std::string& cmd = tokens[arg0];
+      std::string error;
+
+      if (cmd == "query") {
+        if (!ParseServeVector(tokens, arg0 + 1, sharded.num_dims(),
+                              &indices, &values, &error)) {
+          std::printf("error: %s\n", error.c_str());
+          std::fflush(stdout);
+          continue;
+        }
+        if (normalize) NormalizeServeVector(&values);
+        // Admission gates reads only: a request that cannot get both a
+        // token and an in-flight slot is answered "rejected overload"
+        // now, never queued behind a flood.
+        AdmissionController::Ticket ticket =
+            admission.TryAdmit(client, sharded.Now());
+        if (!ticket.admitted()) {
+          ++rejected_total;
+          std::printf("rejected overload\n");
+          std::fflush(stdout);
+          continue;
+        }
+        const SparseVectorView q{indices, values};
+        QueryStats stats;
+        const std::vector<QueryMatch> matches =
+            top_k != 0 ? sharded.QueryTopK(q, top_k, &stats, opts)
+                       : sharded.Query(q, &stats, opts);
+        ++queries_served;
+        matches_total += matches.size();
+        deadline_total += stats.deadline_expired;
+        std::printf("matches %zu shards %llu/%llu%s%s\n", matches.size(),
+                    static_cast<unsigned long long>(stats.shards_answered),
+                    static_cast<unsigned long long>(stats.shards_total),
+                    stats.shards_answered < stats.shards_total
+                        ? " partial" : "",
+                    stats.deadline_expired != 0 ? " deadline" : "");
+        for (const QueryMatch& m : matches) {
+          std::printf("%u %g\n", m.id, m.sim);
+        }
+      } else if (cmd == "add") {
+        if (!ParseServeVector(tokens, arg0 + 1, sharded.num_dims(),
+                              &indices, &values, &error)) {
+          std::printf("error: %s\n", error.c_str());
+          std::fflush(stdout);
+          continue;
+        }
+        if (normalize) NormalizeServeVector(&values);
+        const uint32_t id = sharded.Add(SparseVectorView{indices, values});
+        std::printf("added %u\n", id);
+      } else if (cmd == "remove") {
+        if (tokens.size() != arg0 + 2) {
+          std::printf("error: remove wants exactly one id\n");
+          std::fflush(stdout);
+          continue;
+        }
+        const std::string& tok = tokens[arg0 + 1];
+        const bool digits =
+            !tok.empty() &&
+            tok.find_first_not_of("0123456789") == std::string::npos;
+        char* end = nullptr;
+        const unsigned long long id =
+            digits ? std::strtoull(tok.c_str(), &end, 10) : 0;
+        if (!digits || *end != '\0' || id > UINT32_MAX) {
+          std::printf("error: malformed id '%s'\n", tok.c_str());
+        } else if (sharded.Remove(static_cast<uint32_t>(id))) {
+          std::printf("removed %llu\n", id);
+        } else {
+          std::printf("error: id %llu is not a live vector (never "
+                      "assigned, or already removed)\n", id);
+        }
+      } else if (cmd == "stats") {
+        std::printf(
+            "{\"queries\": %llu, \"matches\": %llu, "
+            "\"rejected_overload\": %llu, \"deadline_expired\": %llu, "
+            "\"num_live\": %u, \"shards\": %u, \"breakers\": [",
+            static_cast<unsigned long long>(queries_served),
+            static_cast<unsigned long long>(matches_total),
+            static_cast<unsigned long long>(rejected_total),
+            static_cast<unsigned long long>(deadline_total),
+            sharded.num_live(), sharded.num_shards());
+        for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+          std::printf("%s\"%s\"", s == 0 ? "" : ", ",
+                      BreakerStateName(sharded.shard_state(s).breaker));
+        }
+        std::printf("]}\n");
+      } else if (cmd == "quit") {
+        std::printf("bye\n");
+        quit = true;
+      } else {
+        std::printf("error: unknown command '%s' (want query, add, "
+                    "remove, stats or quit)\n", cmd.c_str());
+      }
+      std::fflush(stdout);
+    }
+
+    // Bounded drain: a wedged background compaction must not hang
+    // shutdown — report it and exit nonzero instead.
+    if (!sharded.WaitForCompaction(drain_s)) {
+      std::fprintf(stderr,
+                   "error: background compaction still running after the "
+                   "%.0f ms drain timeout; exiting without it\n",
+                   drain_s * 1000.0);
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "served %llu quer%s (%llu matches, %llu rejected for "
+                 "overload, %llu past deadline)\n",
+                 static_cast<unsigned long long>(queries_served),
+                 queries_served == 1 ? "y" : "ies",
+                 static_cast<unsigned long long>(matches_total),
+                 static_cast<unsigned long long>(rejected_total),
+                 static_cast<unsigned long long>(deadline_total));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
 }
 
 int RunAdd(const Args& args) {
@@ -846,6 +1222,7 @@ int main(int argc, char** argv) {
   if (cmd == "allpairs") return RunAllPairs(args);
   if (cmd == "index") return RunIndex(args);
   if (cmd == "query") return RunQuery(args);
+  if (cmd == "serve") return RunServe(args);
   if (cmd == "add") return RunAdd(args);
   if (cmd == "remove") return RunRemove(args);
   if (cmd == "compact") return RunCompact(args);
