@@ -11,14 +11,20 @@
 //   save         PersistentIndex::Save to a buffer
 //                (candidates = serialized bytes)
 //   load         PersistentIndex::Load from that buffer
+//   mmap_load    PersistentIndex::LoadFileMmap of the same bytes on disk
+//                (zero-copy: signature slabs stay in the mapping)
 //   warm_serve   QuerySearcher(index) construction + the query batch
 //                (generate_seconds = construction, verify_seconds = queries)
+//   mmap_serve   the same batch against the mapped index — must agree
+//                with warm_serve pair for pair (checked, exit 1 on drift)
 //   cold_serve   QuerySearcher(data) construction + the same batch — what
 //                every invocation paid before persistence
 //
 // The query batch reuses collection rows (guaranteed matches) plus held-out
 // rows. Usage: serve_path [--threads N] [--json PATH].
 
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 
@@ -129,11 +135,33 @@ void RunMeasure(Measure measure, PaperDataset which, double threshold,
   const auto loaded = PersistentIndex::Load(file);
   record("load", load_timer.Seconds(), 0.0, 0, 0);
 
+  // Zero-copy load: the same bytes on a real file, mapped read-only. On
+  // platforms without mmap LoadFileMmap falls back to the copying loader,
+  // so the record is still present (and the identity check still holds).
+  const std::filesystem::path mmap_path =
+      std::filesystem::temp_directory_path() /
+      ("bayeslsh_serve_path_" + PaperDatasetName(which) + ".idx");
+  {
+    std::ofstream out(mmap_path, std::ios::binary | std::ios::trunc);
+    const std::string bytes = file.str();
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  WallTimer mmap_timer;
+  const auto mapped = PersistentIndex::LoadFileMmap(mmap_path.string());
+  record("mmap_load", mmap_timer.Seconds(), 0.0, 0, 0);
+
   const ServeTimes warm = ServeBatch(queries, [&] {
     return std::make_unique<QuerySearcher>(loaded.get(), qcfg);
   });
   record("warm_serve", warm.construct_seconds, warm.query_seconds,
          warm.candidates, warm.matches);
+
+  const ServeTimes mmap_serve = ServeBatch(queries, [&] {
+    return std::make_unique<QuerySearcher>(mapped.get(), qcfg);
+  });
+  record("mmap_serve", mmap_serve.construct_seconds,
+         mmap_serve.query_seconds, mmap_serve.candidates,
+         mmap_serve.matches);
 
   const ServeTimes cold = ServeBatch(queries, [&] {
     return std::make_unique<QuerySearcher>(&data, qcfg);
@@ -141,12 +169,24 @@ void RunMeasure(Measure measure, PaperDataset which, double threshold,
   record("cold_serve", cold.construct_seconds, cold.query_seconds,
          cold.candidates, cold.matches);
 
+  std::error_code ec;
+  std::filesystem::remove(mmap_path, ec);
+
   if (warm.matches != cold.matches) {
     std::fprintf(stderr,
                  "error: warm/cold serve disagree (%llu vs %llu matches) — "
                  "determinism violation\n",
                  static_cast<unsigned long long>(warm.matches),
                  static_cast<unsigned long long>(cold.matches));
+    std::exit(1);
+  }
+  if (mmap_serve.matches != warm.matches ||
+      mmap_serve.candidates != warm.candidates) {
+    std::fprintf(stderr,
+                 "error: mmap/warm serve disagree (%llu vs %llu matches) — "
+                 "zero-copy load is not result-identical\n",
+                 static_cast<unsigned long long>(mmap_serve.matches),
+                 static_cast<unsigned long long>(warm.matches));
     std::exit(1);
   }
 }

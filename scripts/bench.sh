@@ -19,10 +19,14 @@
 #   BENCH=serve_open_loop scripts/bench.sh    # tail latency vs offered
 #                                             #   load, healthy and with an
 #                                             #   injected slow shard (JSON)
+#   BENCH=micro_kernels scripts/bench.sh      # signature-kernel timings,
+#                                             #   scalar vs SIMD dispatch
+#                                             #   (JSON)
 #   scripts/bench.sh --smoke                  # CI mode: serve_path,
 #                                             #   concurrent_serve,
-#                                             #   dynamic_update and
-#                                             #   serve_open_loop at reduced
+#                                             #   dynamic_update,
+#                                             #   serve_open_loop and
+#                                             #   micro_kernels at reduced
 #                                             #   scale, one JSON each
 #                                             #   (BENCH_smoke_*.json) — the
 #                                             #   per-PR perf-trajectory
@@ -39,13 +43,15 @@ BUILD_DIR="${BUILD_DIR:-build}"
 if [ "${1:-}" = "--smoke" ]; then
   BAYESLSH_BENCH_SCALE="${BAYESLSH_BENCH_SCALE:-0.05}"
   export BAYESLSH_BENCH_SCALE
-  for bench in serve_path concurrent_serve dynamic_update serve_open_loop; do
+  for bench in serve_path concurrent_serve dynamic_update serve_open_loop \
+               micro_kernels; do
     BENCH="$bench" OUT="BENCH_smoke_${bench}.json" \
       THREADS="${THREADS:-2}" "$0"
   done
   echo "smoke bench records written: BENCH_smoke_serve_path.json," \
        "BENCH_smoke_concurrent_serve.json, BENCH_smoke_dynamic_update.json," \
-       "BENCH_smoke_serve_open_loop.json (scale $BAYESLSH_BENCH_SCALE)"
+       "BENCH_smoke_serve_open_loop.json, BENCH_smoke_micro_kernels.json" \
+       "(scale $BAYESLSH_BENCH_SCALE)"
   exit 0
 fi
 
@@ -63,7 +69,7 @@ cmake --build "$BUILD_DIR" -j --target "$BENCH"
 # Benches built on the shared JSON writer take --json; the older
 # figure-style binaries just print their tables.
 case "$BENCH" in
-  table2_speedups|serve_path|concurrent_serve|dynamic_update|serve_open_loop)
+  table2_speedups|serve_path|concurrent_serve|dynamic_update|serve_open_loop|micro_kernels)
     "$BUILD_DIR/bench/$BENCH" --threads "$THREADS" --json "$OUT"
     ;;
   *)

@@ -21,9 +21,9 @@ constexpr uint64_t kJaccardBandSalt = 0x5ba3d9be1e4fULL;
 
 }  // namespace
 
-uint64_t BandingIndex::CosineKey(const uint64_t* words, uint32_t band,
-                                 uint32_t k) {
-  return ExtractBits(words, band * k, k);
+uint64_t BandingIndex::CosineKey(const uint64_t* words, uint32_t num_words,
+                                 uint32_t band, uint32_t k) {
+  return ExtractBits(words, num_words, band * k, k);
 }
 
 uint64_t BandingIndex::JaccardKey(const uint32_t* ints, uint32_t band,
@@ -55,7 +55,8 @@ BandingIndex BandingIndex::BuildCosine(const Dataset& data,
     for (uint32_t row = 0; row < n; ++row) {
       if (data.RowLength(row) == 0) continue;
       const uint64_t key =
-          CosineKey(store.Words(row), static_cast<uint32_t>(band), k);
+          CosineKey(store.Words(row), store.NumBits(row) / kBitsPerWord,
+                    static_cast<uint32_t>(band), k);
       index.bands_[band][key].push_back(row);
     }
   });
@@ -100,7 +101,9 @@ void BandingIndex::InsertCosine(const SparseVectorView& v, uint32_t row,
     words[c] = hasher.HashChunk(v, c);
   }
   for (uint32_t band = 0; band < l; ++band) {
-    bands_[band][CosineKey(words.data(), band, k)].push_back(row);
+    bands_[band][CosineKey(words.data(), static_cast<uint32_t>(words.size()),
+                           band, k)]
+        .push_back(row);
   }
 }
 

@@ -78,8 +78,10 @@ class BandingIndex {
                      uint64_t gen_seed);
 
   // Band key of a query signature; `words`/`ints` must cover l*k hashes.
-  static uint64_t CosineKey(const uint64_t* words, uint32_t band,
-                            uint32_t k);
+  // `num_words` is the length of the `words` array (bounds-asserted by
+  // ExtractBits in Debug builds).
+  static uint64_t CosineKey(const uint64_t* words, uint32_t num_words,
+                            uint32_t band, uint32_t k);
   static uint64_t JaccardKey(const uint32_t* ints, uint32_t band,
                              uint32_t k);
 

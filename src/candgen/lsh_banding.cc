@@ -116,8 +116,9 @@ CandidateList CosineLshCandidates(BitSignatureStore* store, double threshold,
         // Empty rows have similarity 0 to everything (including each other,
         // by this library's conventions) and are never candidates.
         if (store->data()->RowLength(row) == 0) continue;
-        const uint64_t sig = ExtractBits(
-            store->Words(row), static_cast<uint32_t>(band) * k, k);
+        const uint64_t sig =
+            ExtractBits(store->Words(row), store->NumBits(row) / kBitsPerWord,
+                        static_cast<uint32_t>(band) * k, k);
         entries.emplace_back(sig, row);
       }
       EmitBucketPairs(entries, &keys);

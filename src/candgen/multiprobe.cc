@@ -91,7 +91,10 @@ CandidateList MultiProbeCosineCandidates(BitSignatureStore* store,
     entries.clear();
     for (uint32_t row = 0; row < n; ++row) {
       if (store->data()->RowLength(row) == 0) continue;  // Never candidates.
-      entries.emplace_back(ExtractBits(store->Words(row), band * k, k), row);
+      entries.emplace_back(
+          ExtractBits(store->Words(row), store->NumBits(row) / kBitsPerWord,
+                      band * k, k),
+          row);
     }
     std::sort(entries.begin(), entries.end());
 

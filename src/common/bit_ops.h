@@ -13,6 +13,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "common/simd_ops.h"
+
 namespace bayeslsh {
 
 inline constexpr int kBitsPerWord = 64;
@@ -27,51 +29,51 @@ inline constexpr uint32_t WordsForBits(uint32_t n_bits) {
 // Requires from <= to and both arrays to cover at least WordsForBits(to)
 // words.
 //
-// Word-aligned ranges (from and to both multiples of 64 — the common case
-// once verification rounds are chunk-aligned) skip mask construction
-// entirely and run a 4-word unrolled popcount loop.
+// Partial head/tail words are masked here; the run of full words in the
+// middle (the whole range, when from and to are multiples of 64 — the
+// common case once verification rounds are chunk-aligned) goes through
+// simd::MatchingBitsWords, which dispatches to AVX2 when available and the
+// 4-word unrolled scalar popcount loop otherwise.
 inline uint32_t MatchingBits(const uint64_t* a, const uint64_t* b,
                              uint32_t from, uint32_t to) {
   assert(from <= to);
   if (from == to) return 0;
-  if (((from | to) & (kBitsPerWord - 1)) == 0) {
-    uint32_t w = from / kBitsPerWord;
-    const uint32_t end = to / kBitsPerWord;
-    uint32_t matches = 0;
-    for (; w + 4 <= end; w += 4) {
-      matches += static_cast<uint32_t>(std::popcount(~(a[w] ^ b[w])) +
-                                       std::popcount(~(a[w + 1] ^ b[w + 1])) +
-                                       std::popcount(~(a[w + 2] ^ b[w + 2])) +
-                                       std::popcount(~(a[w + 3] ^ b[w + 3])));
-    }
-    for (; w < end; ++w) {
-      matches += static_cast<uint32_t>(std::popcount(~(a[w] ^ b[w])));
-    }
-    return matches;
+  const uint32_t first_word = from / kBitsPerWord;
+  const uint32_t last_word = (to - 1) / kBitsPerWord;
+  const uint32_t head_off = from % kBitsPerWord;
+  const uint32_t tail_off = to % kBitsPerWord;  // 0 means last word is full.
+  if (first_word == last_word && (head_off != 0 || tail_off != 0)) {
+    uint64_t mask = ~0ULL << head_off;
+    if (tail_off != 0) mask &= (1ULL << tail_off) - 1;
+    return static_cast<uint32_t>(
+        std::popcount(~(a[first_word] ^ b[first_word]) & mask));
   }
-  uint32_t first_word = from / kBitsPerWord;
-  uint32_t last_word = (to - 1) / kBitsPerWord;
   uint32_t matches = 0;
-  for (uint32_t w = first_word; w <= last_word; ++w) {
-    uint64_t agree = ~(a[w] ^ b[w]);
-    uint64_t mask = ~0ULL;
-    if (w == first_word) {
-      mask &= ~0ULL << (from % kBitsPerWord);
-    }
-    if (w == last_word) {
-      const uint32_t end_off = to - w * kBitsPerWord;  // in (0, 64]
-      if (end_off < kBitsPerWord) mask &= (1ULL << end_off) - 1;
-    }
-    matches += std::popcount(agree & mask);
+  uint32_t w = first_word;
+  if (head_off != 0) {
+    matches += static_cast<uint32_t>(
+        std::popcount(~(a[w] ^ b[w]) & (~0ULL << head_off)));
+    ++w;
+  }
+  const uint32_t full_end = tail_off == 0 ? last_word + 1 : last_word;
+  matches += simd::MatchingBitsWords(a + w, b + w, full_end - w);
+  if (tail_off != 0) {
+    matches += static_cast<uint32_t>(std::popcount(
+        ~(a[last_word] ^ b[last_word]) & ((1ULL << tail_off) - 1)));
   }
   return matches;
 }
 
 // Extracts bits [from, from + count) of the bit sequence in `words` as the
-// low `count` bits of a uint64_t. Requires 0 < count <= 64.
-inline uint64_t ExtractBits(const uint64_t* words, uint32_t from,
-                            uint32_t count) {
+// low `count` bits of a uint64_t. Requires 0 < count <= 64, and `words`
+// must cover at least `num_words` >= WordsForBits(from + count) words —
+// asserted, so an extraction that would read past the slab fails loudly in
+// Debug builds instead of returning bits from a neighboring row.
+inline uint64_t ExtractBits(const uint64_t* words, uint32_t num_words,
+                            uint32_t from, uint32_t count) {
   assert(count > 0 && count <= 64);
+  assert(WordsForBits(from + count) <= num_words);
+  (void)num_words;
   const uint32_t word = from / kBitsPerWord;
   const uint32_t off = from % kBitsPerWord;
   uint64_t value = words[word] >> off;

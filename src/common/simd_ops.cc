@@ -1,0 +1,132 @@
+// AVX2 bodies for the kernels dispatched from simd_ops.h.
+//
+// AVX2 has no 64-bit vector popcount, so both popcount kernels use the
+// nibble-LUT technique: split each byte into two nibbles, look each up in a
+// 16-entry per-lane table via VPSHUFB, then horizontally sum bytes into the
+// four 64-bit lanes with VPSADBW. The accumulator never overflows: each
+// VPSADBW term is at most 64 per lane and n is bounded by signature widths
+// (thousands of words), far below 2^32.
+
+#include "common/simd_ops.h"
+
+#if BAYESLSH_SIMD_AVX2
+#include <immintrin.h>
+#endif
+
+namespace bayeslsh {
+namespace simd {
+namespace internal {
+
+std::atomic<bool> force_scalar{false};
+
+#if BAYESLSH_SIMD_AVX2
+
+const bool kCpuHasAvx2 = __builtin_cpu_supports("avx2") != 0;
+
+namespace {
+
+// Per-64-bit-lane popcount of v: nibble LUT + byte-sum.
+__attribute__((target("avx2"))) inline __m256i Popcount64x4(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline uint64_t SumLanes64(__m256i acc) {
+  uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) uint32_t MatchingBitsWordsAvx2(
+    const uint64_t* a, const uint64_t* b, uint32_t n) {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  __m256i acc = _mm256_setzero_si256();
+  uint32_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    const __m256i agree = _mm256_xor_si256(_mm256_xor_si256(va, vb), ones);
+    acc = _mm256_add_epi64(acc, Popcount64x4(agree));
+  }
+  uint32_t matches = static_cast<uint32_t>(SumLanes64(acc));
+  for (; w < n; ++w) {
+    matches += static_cast<uint32_t>(std::popcount(~(a[w] ^ b[w])));
+  }
+  return matches;
+}
+
+__attribute__((target("avx2"))) uint32_t MatchingBbitGroupsWordsAvx2(
+    const uint64_t* a, const uint64_t* b, uint32_t n, uint32_t bits_per_hash,
+    uint64_t lsb_mask) {
+  const uint32_t groups_per_word = 64 / bits_per_hash;
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(lsb_mask));
+  __m256i acc = _mm256_setzero_si256();
+  uint32_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    __m256i diff = _mm256_xor_si256(va, vb);
+    // OR-fold each group's bits down onto its low bit (group widths never
+    // cross the 64-bit lanes, so plain lane shifts are exact).
+    for (uint32_t s = bits_per_hash >> 1; s >= 1; s >>= 1) {
+      diff = _mm256_or_si256(diff,
+                             _mm256_srli_epi64(diff, static_cast<int>(s)));
+    }
+    acc = _mm256_add_epi64(acc, Popcount64x4(_mm256_and_si256(diff, vmask)));
+  }
+  uint32_t mismatches = static_cast<uint32_t>(SumLanes64(acc));
+  for (; w < n; ++w) {
+    uint64_t diff = a[w] ^ b[w];
+    for (uint32_t s = bits_per_hash >> 1; s >= 1; s >>= 1) {
+      diff |= diff >> s;
+    }
+    mismatches += static_cast<uint32_t>(std::popcount(diff & lsb_mask));
+  }
+  return n * groups_per_word - mismatches;
+}
+
+__attribute__((target("avx2"))) uint32_t CountEqualU32Avx2(const uint32_t* a,
+                                                           const uint32_t* b,
+                                                           uint32_t n) {
+  // VPCMPEQD writes -1 per equal lane; subtracting accumulates +1 counts.
+  __m256i acc = _mm256_setzero_si256();
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_sub_epi32(acc, _mm256_cmpeq_epi32(va, vb));
+  }
+  uint32_t lanes[8];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint32_t matches = lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] +
+                     lanes[5] + lanes[6] + lanes[7];
+  for (; i < n; ++i) {
+    matches += (a[i] == b[i]) ? 1u : 0u;
+  }
+  return matches;
+}
+
+#else  // !BAYESLSH_SIMD_AVX2
+
+const bool kCpuHasAvx2 = false;
+
+#endif  // BAYESLSH_SIMD_AVX2
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace bayeslsh

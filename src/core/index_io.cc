@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <streambuf>
 
 #include "common/prng.h"
 #include "common/thread_pool.h"
@@ -11,6 +12,16 @@
 #include "lsh/minwise_hasher.h"
 #include "lsh/srp_hasher.h"
 #include "vec/binary_io.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BAYESLSH_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define BAYESLSH_HAS_MMAP 0
+#endif
 
 namespace bayeslsh {
 
@@ -60,7 +71,81 @@ Measure MeasureFromTag(uint8_t tag) {
   }
 }
 
+// Read-only istream buffer over an in-memory region (the mmap'd index
+// file). Fully seekable — the section readers use tellg/seekg both to
+// bound allocations (RemainingBytes) and to resolve blob offsets for the
+// zero-copy views.
+class MemoryStreambuf : public std::streambuf {
+ public:
+  MemoryStreambuf(const char* base, size_t size)
+      : base_(const_cast<char*>(base)), size_(size) {
+    setg(base_, base_, base_ + size_);
+  }
+
+ protected:
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                   std::ios_base::openmode which) override {
+    if ((which & std::ios_base::in) == 0) return pos_type(off_type(-1));
+    off_type target = off;
+    if (dir == std::ios_base::cur) {
+      target += gptr() - eback();
+    } else if (dir == std::ios_base::end) {
+      target += static_cast<off_type>(size_);
+    }
+    if (target < 0 || target > static_cast<off_type>(size_)) {
+      return pos_type(off_type(-1));
+    }
+    setg(base_, base_ + target, base_ + size_);
+    return pos_type(target);
+  }
+
+  pos_type seekpos(pos_type pos, std::ios_base::openmode which) override {
+    return seekoff(off_type(pos), std::ios_base::beg, which);
+  }
+
+ private:
+  char* base_;
+  size_t size_;
+};
+
 }  // namespace
+
+// RAII read-only file mapping. The fd is closed right after mmap — the
+// mapping holds its own reference to the file.
+struct PersistentIndex::MappedFile {
+  const char* data = nullptr;
+  size_t size = 0;
+
+#if BAYESLSH_HAS_MMAP
+  explicit MappedFile(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw IndexError("index load: cannot open " + path);
+    struct ::stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+      ::close(fd);
+      throw IndexError("index load: cannot stat " + path);
+    }
+    size = static_cast<size_t>(st.st_size);
+    void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (p == MAP_FAILED) {
+      throw IndexError("index load: mmap failed for " + path);
+    }
+    data = static_cast<const char*>(p);
+  }
+
+  ~MappedFile() {
+    if (data != nullptr) {
+      ::munmap(const_cast<char*>(data), size);
+    }
+  }
+#endif
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+};
+
+PersistentIndex::~PersistentIndex() = default;
 
 SignatureKind PersistentIndex::signature_kind() const {
   // Derived from the config fields, not the store pointers, so the
@@ -70,8 +155,8 @@ SignatureKind PersistentIndex::signature_kind() const {
                     : SignatureKind::kMinwiseInts;
 }
 
-uint64_t PersistentIndex::Fingerprint() const {
-  uint64_t fp = Mix64(kIndexFormatVersion, MeasureTag(measure_));
+uint64_t PersistentIndex::Fingerprint(uint32_t format_version) const {
+  uint64_t fp = Mix64(format_version, MeasureTag(measure_));
   fp = Mix64(fp, static_cast<uint64_t>(signature_kind()), bbit_);
   fp = Mix64(fp, seed_, std::bit_cast<uint64_t>(threshold_));
   fp = Mix64(fp, k_, l_);
@@ -229,9 +314,17 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Build(
   return index;
 }
 
-void PersistentIndex::Save(std::ostream& out) const {
+void PersistentIndex::Save(std::ostream& out,
+                           uint32_t format_version) const {
+  if (format_version < kIndexMinFormatVersion ||
+      format_version > kIndexFormatVersion) {
+    throw IndexError("index save: unsupported format version " +
+                     std::to_string(format_version));
+  }
+  // v2 and later page-align the signature blob for zero-copy loads.
+  const bool align_blob = format_version >= 2;
   out.write(kIndexMagic, sizeof(kIndexMagic));
-  WritePod(out, kIndexFormatVersion);
+  WritePod(out, format_version);
   WritePod(out, MeasureTag(measure_));
   WritePod(out, static_cast<uint8_t>(signature_kind()));
   WritePod(out, static_cast<uint8_t>(bbit_));
@@ -240,16 +333,16 @@ void PersistentIndex::Save(std::ostream& out) const {
   WritePod(out, threshold_);
   WritePod(out, k_);
   WritePod(out, l_);
-  const uint64_t fp = Fingerprint();
+  const uint64_t fp = Fingerprint(format_version);
   WritePod(out, fp);
   WriteDatasetBinary(data_, out);
   banding_.Save(out);
   if (bits_ != nullptr) {
-    bits_->Save(out);
+    bits_->Save(out, align_blob);
   } else if (ints_ != nullptr) {
-    ints_->Save(out);
+    ints_->Save(out, align_blob);
   } else {
-    bbits_->Save(out);
+    bbits_->Save(out, align_blob);
   }
   WritePod(out, fp);  // End marker: catches truncated tails.
   if (!out) throw IndexError("index save: stream write failed");
@@ -263,6 +356,13 @@ void PersistentIndex::SaveFile(const std::string& path) const {
 
 std::unique_ptr<PersistentIndex> PersistentIndex::Load(std::istream& in,
                                                        bool expect_eof) {
+  return LoadInternal(in, expect_eof, /*mapped_base=*/nullptr,
+                      /*mapped_size=*/0);
+}
+
+std::unique_ptr<PersistentIndex> PersistentIndex::LoadInternal(
+    std::istream& in, bool expect_eof, const char* mapped_base,
+    size_t mapped_size) {
   try {
     char magic[sizeof(kIndexMagic)];
     in.read(magic, sizeof(magic));
@@ -271,25 +371,33 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Load(std::istream& in,
                        "written on an incompatible platform)");
     }
     const auto version = ReadPod<uint32_t>(in, "index header: version");
-    if (version != kIndexFormatVersion) {
+    if (version < kIndexMinFormatVersion ||
+        version > kIndexFormatVersion) {
       throw IndexError("index load: unsupported format version " +
                        std::to_string(version) + " (this build reads " +
+                       std::to_string(kIndexMinFormatVersion) + ".." +
                        std::to_string(kIndexFormatVersion) + ")");
+    }
+    if (mapped_base != nullptr && version < 2) {
+      throw IndexError(
+          "index load: zero-copy (mmap) loading requires a format v2 "
+          "index; this file is v" + std::to_string(version) +
+          " — load and re-save it to upgrade");
     }
     std::unique_ptr<PersistentIndex> index(new PersistentIndex());
     index->measure_ =
         MeasureFromTag(ReadPod<uint8_t>(in, "index header: measure"));
     const auto sig_kind = ReadPod<uint8_t>(in, "index header: kind");
     index->bbit_ = ReadPod<uint8_t>(in, "index header: bbit");
-    // v1 policy: the reserved byte must be zero. It is outside the
+    // Policy since v1: the reserved byte must be zero. It is outside the
     // fingerprint chain, so without this check a flipped reserved byte
     // would load silently — and a future format that assigns it meaning
     // could not trust old writers to have zeroed it.
     const auto reserved = ReadPod<uint8_t>(in, "index header: reserved");
     if (reserved != 0) {
       throw IndexError(
-          "index header: reserved byte must be zero in format version 1 "
-          "(got " + std::to_string(reserved) + ")");
+          "index header: reserved byte must be zero (got " +
+          std::to_string(reserved) + ")");
     }
     index->seed_ = ReadPod<uint64_t>(in, "index header: seed");
     index->threshold_ = ReadPod<double>(in, "index header: threshold");
@@ -314,7 +422,7 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Load(std::istream& in,
     }
 
     index->data_ = ReadDatasetBinary(in);
-    if (index->Fingerprint() != stored_fp) {
+    if (index->Fingerprint(version) != stored_fp) {
       throw IndexError("index load: config fingerprint mismatch (file "
                        "corrupt, or header and contents disagree)");
     }
@@ -327,20 +435,33 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Load(std::istream& in,
 
     const Dataset& d = index->data_;
     const uint64_t verify_seed = VerificationSeed(index->seed_);
+    const bool padded = version >= 2;
     if (cosine) {
       index->verify_gauss_ =
           std::make_shared<ImplicitGaussianSource>(verify_seed);
       index->bits_ = std::make_unique<BitSignatureStore>(
           &d, SrpHasher(index->verify_gauss_.get()));
-      index->bits_->Load(in);
+      if (mapped_base != nullptr) {
+        index->bits_->LoadViews(in, mapped_base, mapped_size);
+      } else {
+        index->bits_->Load(in, padded);
+      }
     } else if (kind == SignatureKind::kMinwiseInts) {
       index->ints_ = std::make_unique<IntSignatureStore>(
           &d, MinwiseHasher(verify_seed));
-      index->ints_->Load(in);
+      if (mapped_base != nullptr) {
+        index->ints_->LoadViews(in, mapped_base, mapped_size);
+      } else {
+        index->ints_->Load(in, padded);
+      }
     } else {
       index->bbits_ = std::make_unique<BbitSignatureStore>(
           &d, MinwiseHasher(verify_seed), index->bbit_);
-      index->bbits_->Load(in);
+      if (mapped_base != nullptr) {
+        index->bbits_->LoadViews(in, mapped_base, mapped_size);
+      } else {
+        index->bbits_->Load(in, padded);
+      }
     }
 
     const auto end_marker = ReadPod<uint64_t>(in, "index end marker");
@@ -371,6 +492,27 @@ std::unique_ptr<PersistentIndex> PersistentIndex::LoadFile(
   std::ifstream f(path, std::ios::binary);
   if (!f) throw IndexError("index load: cannot open " + path);
   return Load(f);
+}
+
+std::unique_ptr<PersistentIndex> PersistentIndex::LoadFileMmap(
+    const std::string& path) {
+#if BAYESLSH_HAS_MMAP
+  try {
+    RequireReadableDataFile(path);
+  } catch (const IoError& e) {
+    throw IndexError(std::string("index load: ") + e.what());
+  }
+  auto mapping = std::make_unique<MappedFile>(path);
+  MemoryStreambuf buf(mapping->data, mapping->size);
+  std::istream in(&buf);
+  auto index = LoadInternal(in, /*expect_eof=*/true, mapping->data,
+                            mapping->size);
+  index->mapping_ = std::move(mapping);
+  return index;
+#else
+  // No mmap on this platform: plain copying load, identical results.
+  return LoadFile(path);
+#endif
 }
 
 }  // namespace bayeslsh

@@ -52,8 +52,15 @@ class IndexError : public IoError {
   using IoError::IoError;
 };
 
-// On-disk format version written to and accepted from index files.
-inline constexpr uint32_t kIndexFormatVersion = 1;
+// On-disk format version written to index files by default. Version 2
+// page-aligns every signature blob (docs/FORMATS.md) so LoadFileMmap can
+// map the slabs read-only instead of copying them; Load still accepts
+// version-1 files (copying loads only), and Save can be asked to emit
+// either version.
+inline constexpr uint32_t kIndexFormatVersion = 2;
+
+// Oldest format version Load still reads.
+inline constexpr uint32_t kIndexMinFormatVersion = 1;
 
 // IndexBuildConfig::prefetch_hashes sentinel: prefetch every row to the
 // default per-candidate serving budget (BayesLshParams::max_hashes, 4096
@@ -152,9 +159,26 @@ class PersistentIndex {
                                                bool expect_eof = true);
   static std::unique_ptr<PersistentIndex> LoadFile(const std::string& path);
 
+  // Zero-copy load: maps the file read-only and resolves every signature
+  // row to a view into the mapping, so warm start is O(1) in signature
+  // bytes (pages fault in on first use). Requires a standalone format-v2
+  // file (page-aligned blobs); v1 or embedded files fail with IndexError
+  // telling the caller to re-save. The index owns the mapping; it is
+  // released with the index. On platforms without mmap this falls back to
+  // the copying LoadFile.
+  static std::unique_ptr<PersistentIndex> LoadFileMmap(
+      const std::string& path);
+
+  // True when this index serves signature rows out of an mmap'd file
+  // (constructed by LoadFileMmap).
+  bool mmap_backed() const { return mapping_ != nullptr; }
+
   // Serializes the index (deterministic: equal indexes produce equal
-  // bytes). Throws IndexError on write failure.
-  void Save(std::ostream& out) const;
+  // bytes). `format_version` selects the wire layout — the default v2
+  // (page-aligned, mmap-able) or v1 for compatibility fixtures. Throws
+  // IndexError on write failure or an unsupported version.
+  void Save(std::ostream& out,
+            uint32_t format_version = kIndexFormatVersion) const;
   void SaveFile(const std::string& path) const;
 
   const Dataset& data() const { return data_; }
@@ -175,10 +199,24 @@ class PersistentIndex {
 
   // Mix64 chain over (format version, measure, signature kind, bbit, seed,
   // threshold bits, banding shape, collection shape) — the value stored in
-  // and checked against the file header.
-  uint64_t Fingerprint() const;
+  // and checked against the file header. The chain is seeded with the
+  // file's format version, so a v1 and a v2 file of the same index carry
+  // different fingerprints and neither validates as the other.
+  uint64_t Fingerprint(uint32_t format_version = kIndexFormatVersion) const;
+
+  ~PersistentIndex();  // Out-of-line: MappedFile is incomplete here.
 
  private:
+  struct MappedFile;  // RAII mmap handle (index_io.cc).
+
+  // Shared body of Load and LoadFileMmap. A non-null `mapped_base` means
+  // `in` streams over that mapping and signature sections resolve to
+  // zero-copy views (requires format v2).
+  static std::unique_ptr<PersistentIndex> LoadInternal(std::istream& in,
+                                                       bool expect_eof,
+                                                       const char* mapped_base,
+                                                       size_t mapped_size);
+
   PersistentIndex() = default;
 
   Dataset data_;
@@ -196,6 +234,12 @@ class PersistentIndex {
   std::unique_ptr<BitSignatureStore> bits_;
   std::unique_ptr<IntSignatureStore> ints_;
   std::unique_ptr<BbitSignatureStore> bbits_;
+
+  // Non-null only for LoadFileMmap indexes: keeps the mapping the stores'
+  // row views point into alive for the life of the index. (Destruction
+  // order vs the stores is immaterial — store destructors free owned
+  // vectors and never dereference views.)
+  std::unique_ptr<MappedFile> mapping_;
 };
 
 }  // namespace bayeslsh

@@ -53,6 +53,15 @@ class InferenceCache {
   // Memoized concentration test + MAP estimate at (m, n).
   EstimateResult EstimateAt(uint32_t m, uint32_t n);
 
+  // Batched EstimateAt: evaluates `count` match counts, all at the same
+  // hash depth n, in one pass over the round's memo arrays (one round
+  // lookup instead of `count`). Exactly equivalent to calling EstimateAt
+  // serially for each ms[i] in order — same cached values, same
+  // hit/miss stats — which is what tests/batched_posterior_test.cc
+  // asserts end to end.
+  void EstimateAtBatch(const uint32_t* ms, uint32_t count, uint32_t n,
+                       EstimateResult* out);
+
   const InferenceCacheStats& stats() const { return stats_; }
   uint32_t hashes_per_round() const { return k_; }
   uint32_t max_hashes() const { return max_hashes_; }

@@ -75,6 +75,32 @@ InferenceCache<Model>::EstimateAt(uint32_t m, uint32_t n) {
   return {st == 1, estimate_[r][m]};
 }
 
+template <typename Model>
+void InferenceCache<Model>::EstimateAtBatch(const uint32_t* ms,
+                                            uint32_t count, uint32_t n,
+                                            EstimateResult* out) {
+  const uint32_t r = RoundIndex(n);
+  std::vector<int8_t>& state = state_[r];
+  std::vector<float>& estimate = estimate_[r];
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t m = ms[i];
+    assert(m <= n);
+    int8_t& st = state[m];
+    if (st < 0) {
+      ++stats_.concentration_misses;
+      const double est = model_->Estimate(static_cast<int>(m),
+                                          static_cast<int>(n));
+      const double conc = model_->Concentration(static_cast<int>(m),
+                                                static_cast<int>(n), delta_);
+      estimate[m] = static_cast<float>(est);
+      st = (conc >= 1.0 - gamma_) ? 1 : 0;
+    } else {
+      ++stats_.concentration_hits;
+    }
+    out[i] = {st == 1, estimate[m]};
+  }
+}
+
 }  // namespace bayeslsh
 
 #endif  // BAYESLSH_CORE_INFERENCE_CACHE_IMPL_H_

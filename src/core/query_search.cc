@@ -251,10 +251,121 @@ struct QuerySearcher::Impl {
     return true;
   }
 
+  // Default block width for batched posterior evaluation (see
+  // QuerySearchConfig::posterior_batch).
+  static constexpr uint32_t kDefaultPosteriorBatch = 8;
+
+  // --- blocked verification (posterior_batch != 1) ---
+  // Drives a block of candidates round-by-round, pushing every survivor's
+  // posterior update through one InferenceCache::EstimateAtBatch call per
+  // round. Each candidate's (m, n) trajectory — and therefore its prune /
+  // accept decision, similarity, and stats contribution — is exactly the
+  // one VerifyCandidate computes; only the cache-call grouping changes
+  // (the memo is order-invariant, so hit/miss tallies also agree).
+  // Accepted candidates are appended in candidate order, so the output is
+  // identical to the serial loop even before the caller's similarity sort
+  // (tests/batched_posterior_test.cc).
+  template <typename Cache, typename EnsureQuery, typename MatchRange>
+  void VerifyBlocked(const SparseVectorView& q,
+                     std::span<const uint32_t> candidates,
+                     const EnsureQuery& ensure_query,
+                     const MatchRange& match_range, Cache& cache,
+                     QueryStats* stats, std::vector<QueryMatch>* out) const {
+    const uint32_t kk = bayes.hashes_per_round;
+    const uint32_t budget = ServeBudget();
+    const uint32_t block = cfg.posterior_batch == 0 ? kDefaultPosteriorBatch
+                                                    : cfg.posterior_batch;
+    struct Slot {
+      uint32_t row = 0;
+      uint32_t m = 0;
+      double sim = 0.0;
+      bool done = false;
+      bool accepted = false;
+    };
+    std::vector<Slot> slots;
+    std::vector<uint32_t> ms;   // Survivor match counts, gathered per round.
+    std::vector<uint32_t> idx;  // Slot index behind each ms entry.
+    std::vector<typename Cache::EstimateResult> res;
+    for (size_t base = 0; base < candidates.size(); base += block) {
+      const auto bsz = static_cast<uint32_t>(
+          std::min<size_t>(block, candidates.size() - base));
+      slots.assign(bsz, Slot{});
+      for (uint32_t i = 0; i < bsz; ++i) slots[i].row = candidates[base + i];
+      uint32_t active = bsz;
+      uint32_t n = 0;
+      while (active > 0 && n < budget) {
+        ensure_query(n + kk);
+        for (auto& s : slots) {
+          if (s.done) continue;
+          s.m += match_range(s.row, n, n + kk);
+          if (stats != nullptr) stats->hashes_compared += kk;
+        }
+        n += kk;
+        const uint32_t min_m = cache.MinMatches(n);
+        ms.clear();
+        idx.clear();
+        for (uint32_t i = 0; i < bsz; ++i) {
+          auto& s = slots[i];
+          if (s.done) continue;
+          if (s.m < min_m) {
+            s.done = true;
+            --active;
+            if (stats != nullptr) ++stats->pruned;
+            continue;
+          }
+          if (!cfg.exact_verification) {
+            ms.push_back(s.m);
+            idx.push_back(i);
+          }
+        }
+        if (!ms.empty()) {
+          res.resize(ms.size());
+          cache.EstimateAtBatch(ms.data(), static_cast<uint32_t>(ms.size()),
+                                n, res.data());
+          for (size_t j = 0; j < ms.size(); ++j) {
+            if (!res[j].concentrated) continue;
+            auto& s = slots[idx[j]];
+            s.done = true;
+            s.accepted = true;
+            s.sim = res[j].estimate;
+            --active;
+          }
+        }
+      }
+      // Budget exhausted: the still-undecided slots all saw n hashes.
+      for (auto& s : slots) {
+        if (s.done) continue;
+        if (cfg.exact_verification) {
+          const double sim =
+              ExactQuerySimilarity(*data, s.row, q, cfg.measure);
+          if (sim >= cfg.threshold) {
+            s.accepted = true;
+            s.sim = sim;
+          }
+          continue;
+        }
+        // Forced accept (cf. Algorithm 1), as in VerifyCandidate.
+        const int mi = static_cast<int>(s.m), ni = static_cast<int>(n);
+        if (CosineLike(cfg.measure)) {
+          s.sim = cos_model->Estimate(mi, ni);
+        } else if (bbit_model.has_value()) {
+          s.sim = bbit_model->Estimate(mi, ni);
+        } else {
+          s.sim = jac_model->Estimate(mi, ni);
+        }
+        s.accepted = true;
+      }
+      for (const auto& s : slots) {
+        if (s.accepted) out->push_back({s.row, s.sim});
+      }
+    }
+  }
+
   // --- serial verification paths (one per store kind) ---
   // Used by the serial Query() fallback and by QueryBatch workers. Safe
   // for concurrent callers: every row access goes through the store's
-  // MatchAgainstQuery (lock-free once frozen).
+  // MatchAgainstQuery (lock-free once frozen). posterior_batch != 1 routes
+  // through VerifyBlocked above; 1 keeps the per-candidate loop.
   void VerifyCosineSerial(const SparseVectorView& q,
                           std::span<const uint32_t> candidates,
                           InferenceCache<CosinePosterior>& cache,
@@ -271,6 +382,11 @@ struct QuerySearcher::Impl {
     auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
       return bits->MatchAgainstQuery(row, qbits.data(), from, to);
     };
+    if (cfg.posterior_batch != 1) {
+      VerifyBlocked(q, candidates, hash_query_to, match_range, cache, stats,
+                    out);
+      return;
+    }
     for (uint32_t row : candidates) {
       double sim = 0.0;
       if (VerifyCandidate(row, q, hash_query_to, match_range, cache, stats,
@@ -298,6 +414,11 @@ struct QuerySearcher::Impl {
     auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
       return ints->MatchAgainstQuery(row, qints.data(), from, to);
     };
+    if (cfg.posterior_batch != 1) {
+      VerifyBlocked(q, candidates, hash_query_to, match_range, cache, stats,
+                    out);
+      return;
+    }
     for (uint32_t row : candidates) {
       double sim = 0.0;
       if (VerifyCandidate(row, q, hash_query_to, match_range, cache, stats,
@@ -336,6 +457,11 @@ struct QuerySearcher::Impl {
     auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
       return bbits->MatchAgainstQuery(row, qwords.data(), from, to);
     };
+    if (cfg.posterior_batch != 1) {
+      VerifyBlocked(q, candidates, hash_query_to, match_range, cache, stats,
+                    out);
+      return;
+    }
     for (uint32_t row : candidates) {
       double sim = 0.0;
       if (VerifyCandidate(row, q, hash_query_to, match_range, cache, stats,
@@ -566,8 +692,10 @@ std::vector<uint32_t> QuerySearcher::Impl::CollectCandidates(
       qwords[c] = hasher.HashChunk(q, c);
     }
     for (uint32_t band = 0; band < l; ++band) {
-      const auto* bucket =
-          banding->Find(band, BandingIndex::CosineKey(qwords.data(), band, k));
+      const auto* bucket = banding->Find(
+          band, BandingIndex::CosineKey(
+                    qwords.data(), static_cast<uint32_t>(qwords.size()), band,
+                    k));
       if (bucket == nullptr) continue;
       candidates.insert(candidates.end(), bucket->begin(), bucket->end());
     }

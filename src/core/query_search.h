@@ -68,6 +68,18 @@ struct QuerySearchConfig {
   // shards over queries); results remain identical for every thread count.
   uint32_t bbit = 0;
 
+  // Posterior-evaluation block width: serial verification drives this many
+  // candidates side by side, pushing every survivor's posterior update
+  // through one batched inference-cache pass per round
+  // (InferenceCache::EstimateAtBatch) instead of one lookup per candidate.
+  // 0 selects the default block of 8; 1 restores the strictly
+  // per-candidate loop. Results and QueryStats are identical for every
+  // setting (asserted by tests/batched_posterior_test.cc) — this is a
+  // locality knob, not a semantics knob. Within-query *sharded*
+  // verification (num_threads > 1 on a large candidate list) stays
+  // per-candidate; its results are identical either way.
+  uint32_t posterior_batch = 0;
+
   // Worker threads for the index build, QueryBatch() query sharding, and
   // within-query verification sharding (0 = all hardware threads, 1 =
   // sequential). Concurrent calls are safe at any setting — see the class

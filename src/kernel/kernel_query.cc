@@ -79,7 +79,9 @@ struct KernelQuerySearcher::Impl {
       for (uint32_t row = 0; row < d->num_vectors(); ++row) {
         if (d->RowLength(row) == 0) continue;
         const uint64_t sig =
-            ExtractBits(band_store.Words(row), band * band_k, band_k);
+            ExtractBits(band_store.Words(row),
+                        band_store.NumBits(row) / kBitsPerWord,
+                        band * band_k, band_k);
         buckets[band][sig].push_back(row);
       }
     }
@@ -108,7 +110,9 @@ struct KernelQuerySearcher::Impl {
     std::vector<uint32_t> cand;
     for (uint32_t band = 0; band < num_bands; ++band) {
       const uint64_t sig =
-          ExtractBits(band_words.data(), band * band_k, band_k);
+          ExtractBits(band_words.data(),
+                      static_cast<uint32_t>(band_words.size()), band * band_k,
+                      band_k);
       const auto it = buckets[band].find(sig);
       if (it == buckets[band].end()) continue;
       cand.insert(cand.end(), it->second.begin(), it->second.end());

@@ -175,7 +175,9 @@ CandidateList KlshCandidates(KlshSignatureStore* store, double threshold,
     entries.clear();
     for (uint32_t row = 0; row < n; ++row) {
       if (store->data()->RowLength(row) == 0) continue;
-      const uint64_t sig = ExtractBits(store->Words(row), band * k, k);
+      const uint64_t sig =
+          ExtractBits(store->Words(row), store->NumBits(row) / kBitsPerWord,
+                      band * k, k);
       entries.emplace_back(sig, row);
     }
     // Same bucketing as the SRP banding path (candgen/lsh_banding.cc):

@@ -37,12 +37,18 @@ BbitSignatureStore::BbitSignatureStore(const Dataset* data,
 
 uint64_t BbitSignatureStore::EnsureHashesUncounted(uint32_t row,
                                                    uint32_t n_hashes) {
-  const uint32_t have = NumHashes(row);
-  if (n_hashes <= have) return 0;
+  if (n_hashes <= NumHashes(row)) return 0;
   assert(!frozen());  // A frozen store must already cover every request.
+  auto& w = words_[row];
+  // Materialize the mapped prefix before growing past it (see
+  // BitSignatureStore::EnsureBitsUncounted).
+  if (!views_.empty() && views_[row].second > w.size()) {
+    w.assign(views_[row].first, views_[row].first + views_[row].second);
+  }
+  const uint32_t have =
+      static_cast<uint32_t>(w.size()) * values_per_word_;
   const uint32_t want =
       (n_hashes + kChunkHashes - 1) / kChunkHashes * kChunkHashes;
-  auto& w = words_[row];
   w.resize(want / values_per_word_, 0);
 
   const SparseVectorView v = data_->Row(row);
@@ -67,7 +73,7 @@ void BbitSignatureStore::EnsureAllHashes(uint32_t n_hashes) {
 
 uint32_t BbitSignatureStore::HashValue(uint32_t row, uint32_t j) const {
   assert(j < NumHashes(row));
-  const uint64_t word = words_[row][j / values_per_word_];
+  const uint64_t word = Words(row)[j / values_per_word_];
   const uint32_t group = j % values_per_word_;
   const uint64_t value_mask = (bits_per_hash_ == 32)
                                   ? 0xffffffffULL
@@ -80,13 +86,11 @@ uint32_t BbitSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
                                         uint32_t to) {
   if (frozen()) {
     assert(NumHashes(a) >= to && NumHashes(b) >= to);
-    return MatchingBbitGroups(words_[a].data(), words_[b].data(), from, to,
-                              bits_per_hash_);
+    return MatchingBbitGroups(Words(a), Words(b), from, to, bits_per_hash_);
   }
   EnsureHashes(a, to);
   EnsureHashes(b, to);
-  return MatchingBbitGroups(words_[a].data(), words_[b].data(), from, to,
-                            bits_per_hash_);
+  return MatchingBbitGroups(Words(a), Words(b), from, to, bits_per_hash_);
 }
 
 uint32_t BbitSignatureStore::MatchAgainstQuery(uint32_t row,
@@ -95,42 +99,75 @@ uint32_t BbitSignatureStore::MatchAgainstQuery(uint32_t row,
   assert(from <= to);
   if (frozen()) {
     assert(NumHashes(row) >= to);
-    return MatchingBbitGroups(words_[row].data(), query_words, from, to,
+    return MatchingBbitGroups(Words(row), query_words, from, to,
                               bits_per_hash_);
   }
   std::lock_guard<std::mutex> lock(growth_mu_);
   AddHashesComputed(EnsureHashesUncounted(row, to));
-  return MatchingBbitGroups(words_[row].data(), query_words, from, to,
+  return MatchingBbitGroups(Words(row), query_words, from, to,
                             bits_per_hash_);
 }
 
 uint64_t BbitSignatureStore::signature_bytes() const {
   uint64_t words = 0;
-  for (const auto& w : words_) words += w.size();
+  for (uint32_t r = 0; r < num_rows(); ++r) words += HeldWords(r);
   return words * sizeof(uint64_t);
 }
 
-void BbitSignatureStore::Save(std::ostream& out) const {
+void BbitSignatureStore::Save(std::ostream& out, bool align_blob) const {
+  std::vector<internal::RowSpan<uint64_t>> rows;
+  rows.reserve(num_rows());
+  for (uint32_t r = 0; r < num_rows(); ++r) {
+    rows.emplace_back(Words(r), HeldWords(r));
+  }
   internal::SaveSignatureRows(out, SignatureKind::kBbitPacked,
-                              static_cast<uint8_t>(bits_per_hash_), words_,
-                              hashes_computed());
+                              static_cast<uint8_t>(bits_per_hash_), rows,
+                              hashes_computed(), align_blob);
 }
 
-void BbitSignatureStore::Load(std::istream& in) {
+void BbitSignatureStore::Load(std::istream& in, bool padded) {
   assert(!frozen());
   // One growth chunk is kChunkHashes values = bits_per_hash_ words.
   uint64_t computed = 0;
   internal::LoadSignatureRows(in, SignatureKind::kBbitPacked,
                               static_cast<uint8_t>(bits_per_hash_),
                               num_rows(), /*length_multiple=*/bits_per_hash_,
-                              "b-bit packed", &words_, &computed);
+                              "b-bit packed", &words_, &computed, padded);
+  views_.clear();
+  hashes_computed_.store(computed, std::memory_order_relaxed);
+}
+
+void BbitSignatureStore::LoadViews(std::istream& in, const char* mapped_base,
+                                   size_t mapped_size) {
+  assert(!frozen());
+  uint64_t computed = 0;
+  std::vector<internal::RowSpan<uint64_t>> views;
+  internal::LoadSignatureRowViews(in, mapped_base, mapped_size,
+                                  SignatureKind::kBbitPacked,
+                                  static_cast<uint8_t>(bits_per_hash_),
+                                  num_rows(),
+                                  /*length_multiple=*/bits_per_hash_,
+                                  "b-bit packed", &views, &computed);
+  views_ = std::move(views);
+  for (auto& w : words_) w.clear();
   hashes_computed_.store(computed, std::memory_order_relaxed);
 }
 
 void BbitSignatureStore::CopyRowsFrom(const BbitSignatureStore& other) {
   assert(other.num_rows() == num_rows() &&
          other.bits_per_hash() == bits_per_hash() && !frozen());
-  internal::CopyLongerRows(other.words_, &words_);
+  for (uint32_t r = 0; r < num_rows(); ++r) {
+    const uint32_t other_len = other.HeldWords(r);
+    if (other_len <= HeldWords(r)) continue;
+    if (!other.views_.empty() && other.views_[r].second == other_len) {
+      // Borrow the mmap view: the source index outlives this store per
+      // the warm-start contract.
+      if (views_.empty()) views_.assign(num_rows(), {nullptr, 0});
+      views_[r] = other.views_[r];
+    } else {
+      words_[r] = other.words_[r];
+    }
+  }
 }
 
 }  // namespace bayeslsh

@@ -31,8 +31,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
+#include <utility>
 #include <vector>
 
+#include "common/simd_ops.h"
 #include "lsh/minwise_hasher.h"
 #include "vec/dataset.h"
 
@@ -70,7 +72,10 @@ void PackBbitValues(const uint32_t* hashes, uint32_t from, uint32_t n,
 //
 // Word-parallel: the diff word's bits are OR-folded into each group's
 // lowest bit (shifts of b/2, b/4, ..., 1 stay within a group's reach), so
-// one popcount counts the disagreeing groups of a whole word.
+// one popcount counts the disagreeing groups of a whole word. Partial
+// head/tail words are masked here; the run of full words in the middle
+// goes through simd::MatchingBbitGroupsWords (AVX2 when available, the
+// scalar fold loop otherwise).
 inline uint32_t MatchingBbitGroups(const uint64_t* a, const uint64_t* b,
                                    uint32_t from, uint32_t to,
                                    uint32_t bits_per_hash) {
@@ -80,18 +85,30 @@ inline uint32_t MatchingBbitGroups(const uint64_t* a, const uint64_t* b,
   const uint64_t lsb_mask = BbitGroupLsbMask(bits_per_hash);
   const uint32_t first_word = from / vpw;
   const uint32_t last_word = (to - 1) / vpw;
-  uint32_t matches = 0;
-  for (uint32_t w = first_word; w <= last_word; ++w) {
+  const uint32_t head_off = from % vpw;
+  const uint32_t tail_off = to % vpw;  // 0 means the last word is full.
+  // Matching groups [glo, ghi) of word w.
+  const auto partial = [&](uint32_t w, uint32_t glo, uint32_t ghi) {
     uint64_t diff = a[w] ^ b[w];
     for (uint32_t s = bits_per_hash >> 1; s >= 1; s >>= 1) diff |= diff >> s;
-    const uint32_t glo = (w == first_word) ? from - w * vpw : 0;
-    const uint32_t ghi = (w == last_word) ? to - w * vpw : vpw;
     uint64_t mask = lsb_mask;
     if (glo > 0) mask &= ~0ULL << (glo * bits_per_hash);
     if (ghi < vpw) mask &= (1ULL << (ghi * bits_per_hash)) - 1;
-    matches += (ghi - glo) -
-               static_cast<uint32_t>(std::popcount(diff & mask));
+    return (ghi - glo) - static_cast<uint32_t>(std::popcount(diff & mask));
+  };
+  if (first_word == last_word && (head_off != 0 || tail_off != 0)) {
+    return partial(first_word, head_off, tail_off == 0 ? vpw : tail_off);
   }
+  uint32_t matches = 0;
+  uint32_t w = first_word;
+  if (head_off != 0) {
+    matches += partial(w, head_off, vpw);
+    ++w;
+  }
+  const uint32_t full_end = tail_off == 0 ? last_word + 1 : last_word;
+  matches += simd::MatchingBbitGroupsWords(a + w, b + w, full_end - w,
+                                           bits_per_hash, lsb_mask);
+  if (tail_off != 0) matches += partial(last_word, 0, tail_off);
   return matches;
 }
 
@@ -144,17 +161,24 @@ class BbitSignatureStore {
     assert(!frozen());
     std::lock_guard<std::mutex> lock(growth_mu_);
     words_.emplace_back();
+    if (!views_.empty()) views_.emplace_back(nullptr, 0);
   }
 
   // Grows every row to at least n hashes.
   void EnsureAllHashes(uint32_t n_hashes);
 
   // Packed words of a row (group layout as for MatchingBbitGroups).
-  const uint64_t* Words(uint32_t row) const { return words_[row].data(); }
+  const uint64_t* Words(uint32_t row) const {
+    if (!views_.empty() &&
+        views_[row].second > static_cast<uint32_t>(words_[row].size())) {
+      return views_[row].first;
+    }
+    return words_[row].data();
+  }
 
   // Hashes currently materialized for a row.
   uint32_t NumHashes(uint32_t row) const {
-    return static_cast<uint32_t>(words_[row].size()) * values_per_word_;
+    return HeldWords(row) * values_per_word_;
   }
 
   // The b-bit value of hash j for a row (test/debug access).
@@ -171,7 +195,7 @@ class BbitSignatureStore {
   // work when it grew them. The words must come from a store with the
   // same (hasher seed, bits_per_hash) over identical row content.
   void AdoptWords(uint32_t row, std::vector<uint64_t>&& words) {
-    if (words.size() > words_[row].size()) {
+    if (words.size() > HeldWords(row)) {
       assert(!frozen());
       words_[row] = std::move(words);
     }
@@ -190,18 +214,29 @@ class BbitSignatureStore {
   // Serialization + warm start; see the BitSignatureStore counterparts in
   // lsh/signature_store.h. The section kind is SignatureKind::kBbitPacked
   // and records bits_per_hash, so a loader with a different width fails.
-  void Save(std::ostream& out) const;
-  void Load(std::istream& in);
+  void Save(std::ostream& out, bool align_blob = false) const;
+  void Load(std::istream& in, bool padded = false);
+  void LoadViews(std::istream& in, const char* mapped_base,
+                 size_t mapped_size);
   void CopyRowsFrom(const BbitSignatureStore& other);
 
   const Dataset* data() const { return data_; }
 
  private:
+  // See BitSignatureStore::HeldWords (lsh/signature_store.h).
+  uint32_t HeldWords(uint32_t row) const {
+    const auto own = static_cast<uint32_t>(words_[row].size());
+    if (views_.empty()) return own;
+    return views_[row].second > own ? views_[row].second : own;
+  }
+
   const Dataset* data_;
   MinwiseHasher hasher_;
   uint32_t bits_per_hash_;
   uint32_t values_per_word_;
   std::vector<std::vector<uint64_t>> words_;
+  // Zero-copy row views (LoadViews); see BitSignatureStore::views_.
+  std::vector<std::pair<const uint64_t*, uint32_t>> views_;
   std::atomic<uint64_t> hashes_computed_{0};
   std::atomic<bool> frozen_{false};
   std::mutex growth_mu_;  // Serving-path growth (see MatchAgainstQuery).

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/simd_ops.h"
 #include "lsh/signature_serialization.h"
 
 namespace bayeslsh {
@@ -12,10 +13,15 @@ BitSignatureStore::BitSignatureStore(const Dataset* data, SrpHasher hasher)
 uint64_t BitSignatureStore::EnsureBitsUncounted(uint32_t row,
                                                 uint32_t n_bits) {
   auto& w = words_[row];
-  const uint32_t have = static_cast<uint32_t>(w.size());
   const uint32_t need = WordsForBits(n_bits);
-  if (have >= need) return 0;
+  if (HeldWords(row) >= need) return 0;
   assert(!frozen());  // A frozen store must already cover every request.
+  // Growing past an mmap view first materializes the mapped prefix into an
+  // owned copy — uncounted, since the writer accounted those hashes.
+  if (!views_.empty() && views_[row].second > w.size()) {
+    w.assign(views_[row].first, views_[row].first + views_[row].second);
+  }
+  const uint32_t have = static_cast<uint32_t>(w.size());
   const SparseVectorView v = data_->Row(row);
   w.reserve(need);
   for (uint32_t c = have; c < need; ++c) {
@@ -38,7 +44,7 @@ uint32_t BitSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
   if (frozen()) return MatchCountReadOnly(a, b, from, to);
   EnsureBits(a, to);
   EnsureBits(b, to);
-  return MatchingBits(words_[a].data(), words_[b].data(), from, to);
+  return MatchingBits(Words(a), Words(b), from, to);
 }
 
 uint32_t BitSignatureStore::MatchAgainstQuery(uint32_t row,
@@ -47,11 +53,11 @@ uint32_t BitSignatureStore::MatchAgainstQuery(uint32_t row,
   assert(from <= to);
   if (frozen()) {
     assert(NumBits(row) >= to);
-    return MatchingBits(query_words, words_[row].data(), from, to);
+    return MatchingBits(query_words, Words(row), from, to);
   }
   std::lock_guard<std::mutex> lock(growth_mu_);
   AddBitsComputed(EnsureBitsUncounted(row, to));
-  return MatchingBits(query_words, words_[row].data(), from, to);
+  return MatchingBits(query_words, Words(row), from, to);
 }
 
 uint32_t BitSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
@@ -59,26 +65,57 @@ uint32_t BitSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
                                                uint32_t to) const {
   assert(from <= to);
   assert(NumBits(a) >= to && NumBits(b) >= to);
-  return MatchingBits(words_[a].data(), words_[b].data(), from, to);
+  return MatchingBits(Words(a), Words(b), from, to);
 }
 
-void BitSignatureStore::Save(std::ostream& out) const {
-  internal::SaveSignatureRows(out, SignatureKind::kSrpBits, 0, words_,
-                              bits_computed());
+void BitSignatureStore::Save(std::ostream& out, bool align_blob) const {
+  std::vector<internal::RowSpan<uint64_t>> rows;
+  rows.reserve(num_rows());
+  for (uint32_t r = 0; r < num_rows(); ++r) {
+    rows.emplace_back(Words(r), HeldWords(r));
+  }
+  internal::SaveSignatureRows(out, SignatureKind::kSrpBits, 0, rows,
+                              bits_computed(), align_blob);
 }
 
-void BitSignatureStore::Load(std::istream& in) {
+void BitSignatureStore::Load(std::istream& in, bool padded) {
   assert(!frozen());
   uint64_t computed = 0;
   internal::LoadSignatureRows(in, SignatureKind::kSrpBits, 0, num_rows(),
                               /*length_multiple=*/1, "SRP bits", &words_,
-                              &computed);
+                              &computed, padded);
+  views_.clear();
+  bits_computed_.store(computed, std::memory_order_relaxed);
+}
+
+void BitSignatureStore::LoadViews(std::istream& in, const char* mapped_base,
+                                  size_t mapped_size) {
+  assert(!frozen());
+  uint64_t computed = 0;
+  std::vector<internal::RowSpan<uint64_t>> views;
+  internal::LoadSignatureRowViews(in, mapped_base, mapped_size,
+                                  SignatureKind::kSrpBits, 0, num_rows(),
+                                  /*length_multiple=*/1, "SRP bits", &views,
+                                  &computed);
+  views_ = std::move(views);
+  for (auto& w : words_) w.clear();
   bits_computed_.store(computed, std::memory_order_relaxed);
 }
 
 void BitSignatureStore::CopyRowsFrom(const BitSignatureStore& other) {
   assert(other.num_rows() == num_rows() && !frozen());
-  internal::CopyLongerRows(other.words_, &words_);
+  for (uint32_t r = 0; r < num_rows(); ++r) {
+    const uint32_t other_len = other.HeldWords(r);
+    if (other_len <= HeldWords(r)) continue;
+    if (!other.views_.empty() && other.views_[r].second == other_len) {
+      // Borrow the mmap view instead of copying: the source index (and
+      // thus its mapping) outlives this store per the warm-start contract.
+      if (views_.empty()) views_.assign(num_rows(), {nullptr, 0});
+      views_[r] = other.views_[r];
+    } else {
+      words_[r] = other.words_[r];
+    }
+  }
 }
 
 IntSignatureStore::IntSignatureStore(const Dataset* data,
@@ -88,13 +125,18 @@ IntSignatureStore::IntSignatureStore(const Dataset* data,
 uint64_t IntSignatureStore::EnsureHashesUncounted(uint32_t row,
                                                   uint32_t n_hashes) {
   auto& h = hashes_[row];
-  const uint32_t have = static_cast<uint32_t>(h.size());
   // Round up to whole chunks.
   const uint32_t need_chunks =
       (n_hashes + kMinhashChunkInts - 1) / kMinhashChunkInts;
   const uint32_t need = need_chunks * kMinhashChunkInts;
-  if (have >= need) return 0;
+  if (HeldHashes(row) >= need) return 0;
   assert(!frozen());  // A frozen store must already cover every request.
+  // Materialize the mapped prefix before growing past it (see
+  // BitSignatureStore::EnsureBitsUncounted).
+  if (!views_.empty() && views_[row].second > h.size()) {
+    h.assign(views_[row].first, views_[row].first + views_[row].second);
+  }
+  const uint32_t have = static_cast<uint32_t>(h.size());
   assert(have % kMinhashChunkInts == 0);
   const SparseVectorView v = data_->Row(row);
   h.resize(need);
@@ -116,11 +158,7 @@ namespace {
 
 inline uint32_t CountIntMatches(const uint32_t* ha, const uint32_t* hb,
                                 uint32_t from, uint32_t to) {
-  uint32_t matches = 0;
-  for (uint32_t i = from; i < to; ++i) {
-    matches += (ha[i] == hb[i]) ? 1 : 0;
-  }
-  return matches;
+  return simd::CountEqualU32(ha + from, hb + from, to - from);
 }
 
 }  // namespace
@@ -131,7 +169,7 @@ uint32_t IntSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
   if (frozen()) return MatchCountReadOnly(a, b, from, to);
   EnsureHashes(a, to);
   EnsureHashes(b, to);
-  return CountIntMatches(hashes_[a].data(), hashes_[b].data(), from, to);
+  return CountIntMatches(Hashes(a), Hashes(b), from, to);
 }
 
 uint32_t IntSignatureStore::MatchAgainstQuery(uint32_t row,
@@ -140,11 +178,11 @@ uint32_t IntSignatureStore::MatchAgainstQuery(uint32_t row,
   assert(from <= to);
   if (frozen()) {
     assert(NumHashes(row) >= to);
-    return CountIntMatches(hashes_[row].data(), query_hashes, from, to);
+    return CountIntMatches(Hashes(row), query_hashes, from, to);
   }
   std::lock_guard<std::mutex> lock(growth_mu_);
   AddHashesComputed(EnsureHashesUncounted(row, to));
-  return CountIntMatches(hashes_[row].data(), query_hashes, from, to);
+  return CountIntMatches(Hashes(row), query_hashes, from, to);
 }
 
 uint32_t IntSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
@@ -152,26 +190,55 @@ uint32_t IntSignatureStore::MatchCountReadOnly(uint32_t a, uint32_t b,
                                                uint32_t to) const {
   assert(from <= to);
   assert(NumHashes(a) >= to && NumHashes(b) >= to);
-  return CountIntMatches(hashes_[a].data(), hashes_[b].data(), from, to);
+  return CountIntMatches(Hashes(a), Hashes(b), from, to);
 }
 
-void IntSignatureStore::Save(std::ostream& out) const {
-  internal::SaveSignatureRows(out, SignatureKind::kMinwiseInts, 0, hashes_,
-                              hashes_computed());
+void IntSignatureStore::Save(std::ostream& out, bool align_blob) const {
+  std::vector<internal::RowSpan<uint32_t>> rows;
+  rows.reserve(num_rows());
+  for (uint32_t r = 0; r < num_rows(); ++r) {
+    rows.emplace_back(Hashes(r), HeldHashes(r));
+  }
+  internal::SaveSignatureRows(out, SignatureKind::kMinwiseInts, 0, rows,
+                              hashes_computed(), align_blob);
 }
 
-void IntSignatureStore::Load(std::istream& in) {
+void IntSignatureStore::Load(std::istream& in, bool padded) {
   assert(!frozen());
   uint64_t computed = 0;
   internal::LoadSignatureRows(in, SignatureKind::kMinwiseInts, 0, num_rows(),
                               kMinhashChunkInts, "minwise ints", &hashes_,
-                              &computed);
+                              &computed, padded);
+  views_.clear();
+  hashes_computed_.store(computed, std::memory_order_relaxed);
+}
+
+void IntSignatureStore::LoadViews(std::istream& in, const char* mapped_base,
+                                  size_t mapped_size) {
+  assert(!frozen());
+  uint64_t computed = 0;
+  std::vector<internal::RowSpan<uint32_t>> views;
+  internal::LoadSignatureRowViews(in, mapped_base, mapped_size,
+                                  SignatureKind::kMinwiseInts, 0, num_rows(),
+                                  kMinhashChunkInts, "minwise ints", &views,
+                                  &computed);
+  views_ = std::move(views);
+  for (auto& h : hashes_) h.clear();
   hashes_computed_.store(computed, std::memory_order_relaxed);
 }
 
 void IntSignatureStore::CopyRowsFrom(const IntSignatureStore& other) {
   assert(other.num_rows() == num_rows() && !frozen());
-  internal::CopyLongerRows(other.hashes_, &hashes_);
+  for (uint32_t r = 0; r < num_rows(); ++r) {
+    const uint32_t other_len = other.HeldHashes(r);
+    if (other_len <= HeldHashes(r)) continue;
+    if (!other.views_.empty() && other.views_[r].second == other_len) {
+      if (views_.empty()) views_.assign(num_rows(), {nullptr, 0});
+      views_[r] = other.views_[r];
+    } else {
+      hashes_[r] = other.hashes_[r];
+    }
+  }
 }
 
 // --- overflow shards ---
@@ -266,11 +333,7 @@ uint32_t IntOverflowShard::MatchCount(uint32_t a, uint32_t b, uint32_t from,
   }
   const std::vector<uint32_t>& ha = Row(a, to);
   const std::vector<uint32_t>& hb = Row(b, to);
-  uint32_t matches = 0;
-  for (uint32_t i = from; i < to; ++i) {
-    matches += (ha[i] == hb[i]) ? 1 : 0;
-  }
-  return matches;
+  return CountIntMatches(ha.data(), hb.data(), from, to);
 }
 
 }  // namespace bayeslsh

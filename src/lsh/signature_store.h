@@ -52,6 +52,7 @@
 #include <iosfwd>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bit_ops.h"
@@ -150,6 +151,7 @@ class BitSignatureStore {
     assert(!frozen());
     std::lock_guard<std::mutex> lock(growth_mu_);
     words_.emplace_back();
+    if (!views_.empty()) views_.emplace_back(nullptr, 0);
   }
 
   // Grows every row to at least n_bits hashes.
@@ -157,10 +159,16 @@ class BitSignatureStore {
 
   // Bits currently available for a row.
   uint32_t NumBits(uint32_t row) const {
-    return static_cast<uint32_t>(words_[row].size()) * kBitsPerWord;
+    return HeldWords(row) * static_cast<uint32_t>(kBitsPerWord);
   }
 
-  const uint64_t* Words(uint32_t row) const { return words_[row].data(); }
+  const uint64_t* Words(uint32_t row) const {
+    if (!views_.empty() &&
+        views_[row].second > static_cast<uint32_t>(words_[row].size())) {
+      return views_[row].first;
+    }
+    return words_[row].data();
+  }
 
   // Number of hash positions in [from, to) where rows a and b agree,
   // growing both signatures as needed. On a frozen store this takes the
@@ -179,7 +187,7 @@ class BitSignatureStore {
   // already covers at least as many bits. Never adopts into a frozen
   // store.
   void AdoptWords(uint32_t row, std::vector<uint64_t>&& words) {
-    if (words.size() > words_[row].size()) {
+    if (words.size() > HeldWords(row)) {
       assert(!frozen());
       words_[row] = std::move(words);
     }
@@ -193,30 +201,61 @@ class BitSignatureStore {
 
   // Serializes every grown row plus the bits_computed() tally as one
   // SignatureKind::kSrpBits section (docs/FORMATS.md). Deterministic: the
-  // bytes depend only on the rows and the tally.
-  void Save(std::ostream& out) const;
+  // bytes depend only on the rows, the tally, and the stream position when
+  // `align_blob` is set (format v2 pads the row blob to a page boundary so
+  // it can be mapped instead of copied).
+  void Save(std::ostream& out, bool align_blob = false) const;
 
   // Replaces this store's rows and tally with a previously saved section.
   // The store must cover a dataset with the same row count (signatures are
   // a pure function of (hasher, row), so the caller is responsible for
   // pairing the section with the dataset and hasher seed it was grown
-  // under — the persistent index header enforces this). Throws IoError on
-  // a malformed or truncated section; the store is unchanged on throw.
-  void Load(std::istream& in);
+  // under — the persistent index header enforces this). `padded` selects
+  // the format v2 wire layout (alignment pad before the blob). Throws
+  // IoError on a malformed or truncated section; the store is unchanged on
+  // throw.
+  void Load(std::istream& in, bool padded = false);
 
-  // Adopts copies of every row of `other` that is longer than the local
-  // one (warm start from a persistent index). Does not touch the tally:
-  // the adopted hashes were accounted when `other` computed them. Both
-  // stores must cover datasets with the same row count.
+  // Zero-copy variant of Load for an index file mapped read-only at
+  // `mapped_base` (`in` must be a stream over that same mapping): rows
+  // become views into the mapping instead of owned copies, so loading does
+  // no signature allocation or copying at all. The mapping must outlive
+  // the store (core/index_io.h owns both). Requires the v2 page-aligned
+  // layout; throws IoError otherwise. A view-backed row behaves exactly
+  // like an owned one — growth past the mapped depth first materializes
+  // the mapped prefix into an owned copy (uncounted: the writer accounted
+  // those hashes).
+  void LoadViews(std::istream& in, const char* mapped_base,
+                 size_t mapped_size);
+
+  // Adopts every row of `other` that is longer than the local one (warm
+  // start from a persistent index). Rows that `other` holds as mmap views
+  // are borrowed as views (the index — and thus the mapping — must outlive
+  // this store, per the QuerySearcher warm-start contract); owned rows are
+  // copied. Does not touch the tally: the adopted hashes were accounted
+  // when `other` computed them. Both stores must cover datasets with the
+  // same row count.
   void CopyRowsFrom(const BitSignatureStore& other);
 
   const Dataset* data() const { return data_; }
   const SrpHasher& hasher() const { return hasher_; }
 
  private:
+  // Words a row logically holds: the longer of the owned vector and the
+  // mmap view (growth materializes the view into the vector, so whichever
+  // is longer is current).
+  uint32_t HeldWords(uint32_t row) const {
+    const auto own = static_cast<uint32_t>(words_[row].size());
+    if (views_.empty()) return own;
+    return views_[row].second > own ? views_[row].second : own;
+  }
+
   const Dataset* data_;
   SrpHasher hasher_;
   std::vector<std::vector<uint64_t>> words_;
+  // Zero-copy row views into an mmap'd index (LoadViews): empty in copy
+  // mode, else parallel to words_. See HeldWords for the row invariant.
+  std::vector<std::pair<const uint64_t*, uint32_t>> views_;
   std::atomic<uint64_t> bits_computed_{0};
   std::atomic<bool> frozen_{false};
   std::mutex growth_mu_;  // Serving-path growth (see MatchAgainstQuery).
@@ -260,15 +299,20 @@ class IntSignatureStore {
     assert(!frozen());
     std::lock_guard<std::mutex> lock(growth_mu_);
     hashes_.emplace_back();
+    if (!views_.empty()) views_.emplace_back(nullptr, 0);
   }
 
   void EnsureAllHashes(uint32_t n_hashes);
 
-  uint32_t NumHashes(uint32_t row) const {
-    return static_cast<uint32_t>(hashes_[row].size());
-  }
+  uint32_t NumHashes(uint32_t row) const { return HeldHashes(row); }
 
-  const uint32_t* Hashes(uint32_t row) const { return hashes_[row].data(); }
+  const uint32_t* Hashes(uint32_t row) const {
+    if (!views_.empty() &&
+        views_[row].second > static_cast<uint32_t>(hashes_[row].size())) {
+      return views_[row].first;
+    }
+    return hashes_[row].data();
+  }
 
   // Number of hash positions in [from, to) where rows a and b agree,
   // growing both signatures as needed.
@@ -280,7 +324,7 @@ class IntSignatureStore {
 
   // See BitSignatureStore::AdoptWords.
   void AdoptHashes(uint32_t row, std::vector<uint32_t>&& hashes) {
-    if (hashes.size() > hashes_[row].size()) {
+    if (hashes.size() > HeldHashes(row)) {
       assert(!frozen());
       hashes_[row] = std::move(hashes);
     }
@@ -292,17 +336,28 @@ class IntSignatureStore {
 
   // Serialization + warm start; see the BitSignatureStore counterparts.
   // The section kind is SignatureKind::kMinwiseInts.
-  void Save(std::ostream& out) const;
-  void Load(std::istream& in);
+  void Save(std::ostream& out, bool align_blob = false) const;
+  void Load(std::istream& in, bool padded = false);
+  void LoadViews(std::istream& in, const char* mapped_base,
+                 size_t mapped_size);
   void CopyRowsFrom(const IntSignatureStore& other);
 
   const Dataset* data() const { return data_; }
   const MinwiseHasher& hasher() const { return hasher_; }
 
  private:
+  // See BitSignatureStore::HeldWords.
+  uint32_t HeldHashes(uint32_t row) const {
+    const auto own = static_cast<uint32_t>(hashes_[row].size());
+    if (views_.empty()) return own;
+    return views_[row].second > own ? views_[row].second : own;
+  }
+
   const Dataset* data_;
   MinwiseHasher hasher_;
   std::vector<std::vector<uint32_t>> hashes_;
+  // Zero-copy row views (LoadViews); see BitSignatureStore::views_.
+  std::vector<std::pair<const uint32_t*, uint32_t>> views_;
   std::atomic<uint64_t> hashes_computed_{0};
   std::atomic<bool> frozen_{false};
   std::mutex growth_mu_;  // Serving-path growth (see MatchAgainstQuery).

@@ -1,0 +1,160 @@
+// Property test for batched posterior evaluation
+// (QuerySearchConfig::posterior_batch, InferenceCache::EstimateAtBatch):
+// pushing a block of candidates' Beta/binomial updates through one cache
+// pass per round must be *identical* — same matches, same similarities,
+// same QueryStats — to the strictly per-candidate loop, across all three
+// signature kinds (SRP bits, full-width minwise, b-bit minwise), both
+// verification modes, Query() and QueryBatch(), at 1 and 8 threads.
+//
+// The equivalence is structural (each candidate's (m, n) trajectory is
+// independent of its blockmates, and the cache memo is order-invariant),
+// so any divergence here is a bug in the blocked loop, not tolerance
+// noise: every comparison is exact.
+
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/inference_cache.h"
+#include "core/jaccard_posterior.h"
+#include "core/query_search.h"
+#include "data/graph_generator.h"
+#include "data/text_generator.h"
+#include "vec/transforms.h"
+
+namespace bayeslsh {
+namespace {
+
+Dataset TextWeighted(uint64_t seed, uint32_t docs = 500) {
+  TextCorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.vocab_size = 3000;
+  cfg.avg_doc_len = 50;
+  cfg.num_clusters = docs / 10;
+  cfg.cluster_size = 4;
+  cfg.seed = seed;
+  return L2NormalizeRows(TfIdfTransform(GenerateTextCorpus(cfg)));
+}
+
+Dataset GraphBinary(uint64_t seed, uint32_t nodes = 500) {
+  GraphConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.avg_degree = 16;
+  cfg.num_communities = nodes / 10;
+  cfg.community_size = 4;
+  cfg.seed = seed;
+  return GenerateGraphAdjacency(cfg);
+}
+
+void ExpectSameStats(const QueryStats& a, const QueryStats& b) {
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.pruned, b.pruned);
+  EXPECT_EQ(a.hashes_compared, b.hashes_compared);
+  EXPECT_EQ(a.ghost_candidates, b.ghost_candidates);
+}
+
+// Runs the same query workload with posterior_batch = 1 (serial) and a
+// given block width, asserting exact equality of matches and stats.
+void CompareSerialVsBlocked(const Dataset& data, QuerySearchConfig cfg,
+                            uint32_t block, uint32_t num_queries) {
+  cfg.posterior_batch = 1;
+  const QuerySearcher serial(&data, cfg);
+  cfg.posterior_batch = block;
+  const QuerySearcher blocked(&data, cfg);
+
+  std::vector<SparseVectorView> queries;
+  for (uint32_t i = 0; i < num_queries; ++i) queries.push_back(data.Row(i));
+
+  // Per-query path.
+  QueryStats ss{}, bs{};
+  for (const auto& q : queries) {
+    const auto ms = serial.Query(q, &ss);
+    const auto mb = blocked.Query(q, &bs);
+    ASSERT_EQ(ms, mb);
+  }
+  ExpectSameStats(ss, bs);
+
+  // Batch path (shards over queries; workers run the same verify loop).
+  QueryStats ssb{}, bsb{};
+  const auto rs = serial.QueryBatch(queries, &ssb);
+  const auto rb = blocked.QueryBatch(queries, &bsb);
+  ASSERT_EQ(rs, rb);
+  ExpectSameStats(ssb, bsb);
+}
+
+TEST(BatchedPosteriorTest, CosineSerialEqualsBlocked) {
+  const Dataset data = TextWeighted(7);
+  for (uint32_t threads : {1u, 8u}) {
+    QuerySearchConfig cfg;
+    cfg.measure = Measure::kCosine;
+    cfg.threshold = 0.6;
+    cfg.num_threads = threads;
+    CompareSerialVsBlocked(data, cfg, /*block=*/0, /*num_queries=*/40);
+    CompareSerialVsBlocked(data, cfg, /*block=*/3, /*num_queries=*/40);
+  }
+}
+
+TEST(BatchedPosteriorTest, JaccardSerialEqualsBlocked) {
+  const Dataset data = GraphBinary(11);
+  for (uint32_t threads : {1u, 8u}) {
+    QuerySearchConfig cfg;
+    cfg.measure = Measure::kJaccard;
+    cfg.threshold = 0.5;
+    cfg.num_threads = threads;
+    CompareSerialVsBlocked(data, cfg, /*block=*/0, /*num_queries=*/40);
+  }
+}
+
+TEST(BatchedPosteriorTest, BbitSerialEqualsBlocked) {
+  const Dataset data = GraphBinary(13);
+  for (uint32_t threads : {1u, 8u}) {
+    QuerySearchConfig cfg;
+    cfg.measure = Measure::kJaccard;
+    cfg.threshold = 0.5;
+    cfg.bbit = 4;
+    cfg.num_threads = threads;
+    CompareSerialVsBlocked(data, cfg, /*block=*/0, /*num_queries=*/40);
+    CompareSerialVsBlocked(data, cfg, /*block=*/16, /*num_queries=*/40);
+  }
+}
+
+TEST(BatchedPosteriorTest, ExactVerificationSerialEqualsBlocked) {
+  // Lite mode never calls EstimateAt; the blocked loop must still agree
+  // (pruning rounds + exact verification of survivors).
+  const Dataset data = TextWeighted(17);
+  QuerySearchConfig cfg;
+  cfg.measure = Measure::kCosine;
+  cfg.threshold = 0.6;
+  cfg.exact_verification = true;
+  CompareSerialVsBlocked(data, cfg, /*block=*/0, /*num_queries=*/40);
+}
+
+TEST(BatchedPosteriorTest, EstimateAtBatchMatchesSerialCalls) {
+  // Unit-level: one batched pass over mixed (m, n) produces the same
+  // results and the same hit/miss tallies as serial calls in order.
+  JaccardPosterior model(0.5);
+  InferenceCache<JaccardPosterior> serial_cache(&model, 32, 256, 0.03,
+                                                0.05, 0.03);
+  InferenceCache<JaccardPosterior> batch_cache(&model, 32, 256, 0.03,
+                                               0.05, 0.03);
+  const uint32_t n = 64;
+  const std::vector<uint32_t> ms = {10, 40, 40, 64, 0, 10, 33};
+  std::vector<InferenceCache<JaccardPosterior>::EstimateResult> serial_res;
+  for (uint32_t m : ms) serial_res.push_back(serial_cache.EstimateAt(m, n));
+  std::vector<InferenceCache<JaccardPosterior>::EstimateResult> batch_res(
+      ms.size());
+  batch_cache.EstimateAtBatch(ms.data(), static_cast<uint32_t>(ms.size()),
+                              n, batch_res.data());
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(serial_res[i].concentrated, batch_res[i].concentrated);
+    EXPECT_EQ(serial_res[i].estimate, batch_res[i].estimate);
+  }
+  EXPECT_EQ(serial_cache.stats().concentration_misses,
+            batch_cache.stats().concentration_misses);
+  EXPECT_EQ(serial_cache.stats().concentration_hits,
+            batch_cache.stats().concentration_hits);
+}
+
+}  // namespace
+}  // namespace bayeslsh

@@ -5,6 +5,9 @@
 // and config-mismatched index files.
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -488,6 +491,266 @@ TEST_F(IndexCorruption, NonzeroReservedByteRejected) {
     ExpectRejected(bad);
   }
 }
+
+// --- v2 page-aligned layout, v1 compatibility, zero-copy (mmap) loads ---
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good());
+}
+
+// Fixed part of a signature section header before the pad field:
+// kind u8 + bits u8 + reserved u16 + num_rows u32 + computed u64 +
+// lengths u32[rows] + total u64 (docs/FORMATS.md).
+constexpr size_t SectionHeaderBytes(uint32_t rows) {
+  return 1 + 1 + 2 + 4 + 8 + 4 * static_cast<size_t>(rows) + 8;
+}
+
+TEST(ZeroCopySignatureSection, AlignedSaveViewLoadMatchesCopyLoad) {
+  const Dataset data = GraphBinary(61, 20);
+  IntSignatureStore store(&data, MinwiseHasher(5));
+  store.EnsureAllHashes(32);
+  std::stringstream ss;
+  store.Save(ss, /*align_blob=*/true);
+  const std::string bytes = ss.str();
+  // Blob lands exactly on the first page boundary: 20 rows x 32 u32.
+  ASSERT_EQ(bytes.size(), 4096u + 20u * 32u * 4u);
+
+  IntSignatureStore copied(&data, MinwiseHasher(5));
+  std::stringstream cin_(bytes);
+  copied.Load(cin_, /*padded=*/true);
+
+  IntSignatureStore viewed(&data, MinwiseHasher(5));
+  std::stringstream vin(bytes);
+  viewed.LoadViews(vin, bytes.data(), bytes.size());
+  EXPECT_EQ(vin.peek(), EOF);  // Positioned just past the blob.
+
+  EXPECT_EQ(viewed.hashes_computed(), copied.hashes_computed());
+  for (uint32_t r = 0; r < data.num_vectors(); ++r) {
+    ASSERT_EQ(viewed.NumHashes(r), copied.NumHashes(r));
+    for (uint32_t i = 0; i < copied.NumHashes(r); ++i) {
+      ASSERT_EQ(viewed.Hashes(r)[i], copied.Hashes(r)[i]);
+    }
+  }
+  // Views keep working as a live store: growth past the mapped prefix
+  // materializes a private copy first.
+  EXPECT_EQ(viewed.MatchCount(0, 1, 0, 128), copied.MatchCount(0, 1, 0, 128));
+}
+
+TEST(ZeroCopySignatureSection, PadCorruptionFailsClosed) {
+  const Dataset data = GraphBinary(62, 20);
+  IntSignatureStore store(&data, MinwiseHasher(5));
+  store.EnsureAllHashes(32);
+  std::stringstream ss;
+  store.Save(ss, /*align_blob=*/true);
+  const std::string bytes = ss.str();
+  const size_t hdr = SectionHeaderBytes(20);
+  uint32_t pad = 0;
+  std::memcpy(&pad, bytes.data() + hdr, sizeof(pad));
+  ASSERT_EQ(pad, 4096u - hdr - 4u);  // Fresh stream: blob at page one.
+
+  const auto copy_load = [&](std::string b) {
+    std::stringstream in(std::move(b));
+    IntSignatureStore t(&data, MinwiseHasher(5));
+    t.Load(in, /*padded=*/true);
+  };
+  const auto view_load = [&](const std::string& b) {
+    std::stringstream in(b);
+    IntSignatureStore t(&data, MinwiseHasher(5));
+    t.LoadViews(in, b.data(), b.size());
+  };
+  EXPECT_NO_THROW(copy_load(bytes));
+  EXPECT_NO_THROW(view_load(bytes));
+
+  // Nonzero pad byte: corruption, not slack — both loaders refuse.
+  {
+    std::string bad = bytes;
+    bad[hdr + 4 + pad / 2] = 1;
+    EXPECT_THROW(copy_load(bad), IoError);
+    EXPECT_THROW(view_load(bad), IoError);
+  }
+  // Pad length >= the alignment can never be produced by the writer.
+  {
+    std::string bad = bytes;
+    const uint32_t huge = 4096;
+    std::memcpy(bad.data() + hdr, &huge, sizeof(huge));
+    EXPECT_THROW(copy_load(bad), IoError);
+    EXPECT_THROW(view_load(bad), IoError);
+  }
+  // Truncation inside the pad run.
+  EXPECT_THROW(copy_load(bytes.substr(0, hdr + 4 + pad / 2)), IoError);
+  // Misaligned blob: shrink the pad by 8 zeros (patching the length so the
+  // pad itself still validates) — the zero-copy loader must refuse, since
+  // its row views would not be page- (or even u32-) aligned.
+  {
+    std::string bad = bytes;
+    const uint32_t short_pad = pad - 8;
+    std::memcpy(bad.data() + hdr, &short_pad, sizeof(short_pad));
+    bad.erase(hdr + 4, 8);
+    EXPECT_THROW(view_load(bad), IoError);
+  }
+  // Garbage in the length table: the stored total no longer matches.
+  {
+    std::string bad = bytes;
+    bad[16 + 3] ^= 0x40;  // High byte of lengths[0].
+    EXPECT_THROW(copy_load(bad), IoError);
+    EXPECT_THROW(view_load(bad), IoError);
+  }
+}
+
+TEST(IndexFormatV2, V1SaveLoadsAndQueriesIdentically) {
+  const Dataset data = GraphBinary(63, 150);
+  IndexBuildConfig icfg;
+  icfg.measure = Measure::kJaccard;
+  icfg.threshold = 0.4;
+  icfg.seed = 42;
+  const auto built = PersistentIndex::Build(data, icfg);
+
+  std::stringstream v1s, v2s;
+  built->Save(v1s, /*format_version=*/1);
+  built->Save(v2s);
+  EXPECT_NE(v1s.str(), v2s.str());
+  // A v1 and a v2 file of the same index carry different fingerprints, so
+  // neither validates as the other.
+  EXPECT_NE(built->Fingerprint(1), built->Fingerprint(2));
+
+  const auto v1 = PersistentIndex::Load(v1s);
+  const auto v2 = PersistentIndex::Load(v2s);
+  QuerySearchConfig qcfg;
+  qcfg.measure = Measure::kJaccard;
+  qcfg.threshold = 0.4;
+  qcfg.seed = 42;
+  const QuerySearcher s1(v1.get(), qcfg);
+  const QuerySearcher s2(v2.get(), qcfg);
+  uint64_t matches = 0;
+  for (uint32_t qid = 0; qid < 30; ++qid) {
+    const auto expect = s1.Query(data.Row(qid));
+    EXPECT_EQ(s2.Query(data.Row(qid)), expect);
+    matches += expect.size();
+  }
+  EXPECT_GT(matches, 0u);
+
+  // Unsupported version values are rejected in both directions.
+  std::stringstream sink;
+  EXPECT_THROW(built->Save(sink, 0), IndexError);
+  EXPECT_THROW(built->Save(sink, kIndexFormatVersion + 1), IndexError);
+}
+
+class IndexMmap : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = GraphBinary(64, 150);
+    IndexBuildConfig icfg;
+    icfg.measure = Measure::kJaccard;
+    icfg.threshold = 0.4;
+    icfg.seed = 42;
+    index_ = PersistentIndex::Build(data_, icfg);
+    std::stringstream ss;
+    index_->Save(ss);
+    bytes_ = ss.str();
+    path_ = TempPath("index_mmap_test.idx");
+    WriteFileBytes(path_, bytes_);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Dataset data_;
+  std::unique_ptr<PersistentIndex> index_;
+  std::string bytes_;
+  std::string path_;
+};
+
+TEST_F(IndexMmap, MmapLoadQueriesIdenticalToCopyLoad) {
+  const auto copied = PersistentIndex::LoadFile(path_);
+  const auto mapped = PersistentIndex::LoadFileMmap(path_);
+  EXPECT_FALSE(copied->mmap_backed());
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(mapped->mmap_backed());
+#endif
+  EXPECT_EQ(mapped->Fingerprint(), copied->Fingerprint());
+
+  QuerySearchConfig qcfg;
+  qcfg.measure = Measure::kJaccard;
+  qcfg.threshold = 0.4;
+  qcfg.seed = 42;
+  const QuerySearcher warm(copied.get(), qcfg);
+  const QuerySearcher zero_copy(mapped.get(), qcfg);
+  uint64_t matches = 0;
+  for (uint32_t qid = 0; qid < 40; ++qid) {
+    const auto expect = warm.Query(data_.Row(qid));
+    EXPECT_EQ(zero_copy.Query(data_.Row(qid)), expect) << "qid=" << qid;
+    matches += expect.size();
+  }
+  EXPECT_GT(matches, 0u);
+
+  // Freezing a searcher served from the mapping materializes + tops up
+  // every row; results must not move.
+  QuerySearcher frozen(mapped.get(), qcfg);
+  frozen.Freeze();
+  for (uint32_t qid = 0; qid < 20; ++qid) {
+    EXPECT_EQ(frozen.Query(data_.Row(qid)), warm.Query(data_.Row(qid)));
+  }
+}
+
+TEST_F(IndexMmap, MmapRoundTripIsByteStable) {
+  const auto mapped = PersistentIndex::LoadFileMmap(path_);
+  std::stringstream out;
+  mapped->Save(out);
+  EXPECT_EQ(out.str(), bytes_);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST_F(IndexMmap, MmapOfV1FileRejected) {
+  // v1 has no page alignment, so the zero-copy loader must refuse it and
+  // point at re-saving (the copying loader still accepts it).
+  std::stringstream v1s;
+  index_->Save(v1s, /*format_version=*/1);
+  const std::string v1_path = TempPath("index_mmap_test_v1.idx");
+  WriteFileBytes(v1_path, v1s.str());
+  EXPECT_NE(PersistentIndex::LoadFile(v1_path), nullptr);
+  EXPECT_THROW(PersistentIndex::LoadFileMmap(v1_path), IndexError);
+  std::remove(v1_path.c_str());
+}
+
+TEST_F(IndexMmap, MmapCorruptionMatrixFailsClosed) {
+  const std::string bad_path = TempPath("index_mmap_test_bad.idx");
+  const auto expect_rejected = [&](std::string bytes) {
+    WriteFileBytes(bad_path, bytes);
+    EXPECT_THROW(PersistentIndex::LoadFileMmap(bad_path), IndexError);
+  };
+  // Truncations everywhere, including inside the page-alignment pad and
+  // inside the signature blob.
+  for (const size_t len :
+       {size_t{4}, size_t{11}, size_t{40}, bytes_.size() / 4,
+        bytes_.size() / 2, bytes_.size() - 9, bytes_.size() - 1}) {
+    expect_rejected(bytes_.substr(0, len));
+  }
+  // Version bump, bad magic, trailing garbage, flipped header bits: the
+  // same matrix the streaming loader rejects.
+  {
+    std::string bad = bytes_;
+    bad[8] = static_cast<char>(kIndexFormatVersion + 1);
+    expect_rejected(bad);
+  }
+  {
+    std::string bad = bytes_;
+    bad[0] = 'X';
+    expect_rejected(bad);
+  }
+  expect_rejected(bytes_ + "extra");
+  {
+    std::string bad = bytes_;
+    bad[16] ^= 0x01;  // Seed field: caught by the fingerprint.
+    expect_rejected(bad);
+  }
+  std::remove(bad_path.c_str());
+}
+#endif  // defined(__unix__) || defined(__APPLE__)
 
 TEST_F(IndexCorruption, SearcherConfigMismatchRejected) {
   QuerySearchConfig cfg;

@@ -94,21 +94,44 @@ TEST(BitOpsTest, MatchingBitsWordAlignedFastPath) {
 
 TEST(BitOpsTest, ExtractBitsWithinWord) {
   const std::vector<uint64_t> w = {0xABCD1234ULL};
-  EXPECT_EQ(ExtractBits(w.data(), 0, 16), 0x1234ULL);
-  EXPECT_EQ(ExtractBits(w.data(), 16, 16), 0xABCDULL);
-  EXPECT_EQ(ExtractBits(w.data(), 4, 8), 0x23ULL);
+  const auto n = static_cast<uint32_t>(w.size());
+  EXPECT_EQ(ExtractBits(w.data(), n, 0, 16), 0x1234ULL);
+  EXPECT_EQ(ExtractBits(w.data(), n, 16, 16), 0xABCDULL);
+  EXPECT_EQ(ExtractBits(w.data(), n, 4, 8), 0x23ULL);
 }
 
 TEST(BitOpsTest, ExtractBitsAcrossWordBoundary) {
   const std::vector<uint64_t> w = {0xF000000000000000ULL, 0x0000000000000001ULL};
+  const auto n = static_cast<uint32_t>(w.size());
   // Bits 60..68: 1111 (end of word 0) then 1 at bit 64, zeros after.
-  EXPECT_EQ(ExtractBits(w.data(), 60, 8), 0b00011111ULL);
+  EXPECT_EQ(ExtractBits(w.data(), n, 60, 8), 0b00011111ULL);
 }
 
 TEST(BitOpsTest, ExtractFullWord) {
   const std::vector<uint64_t> w = {0x0123456789ABCDEFULL, 0xFULL};
-  EXPECT_EQ(ExtractBits(w.data(), 0, 64), 0x0123456789ABCDEFULL);
+  const auto n = static_cast<uint32_t>(w.size());
+  EXPECT_EQ(ExtractBits(w.data(), n, 0, 64), 0x0123456789ABCDEFULL);
 }
+
+TEST(BitOpsTest, ExtractBitsBoundaryCoverage) {
+  // Extractions that end exactly at the slab boundary are in-contract; the
+  // array-coverage precondition is WordsForBits(from + count) <= num_words.
+  const std::vector<uint64_t> w = {~0ULL, 0x5ULL};
+  const auto n = static_cast<uint32_t>(w.size());
+  EXPECT_EQ(ExtractBits(w.data(), n, 64, 64), 0x5ULL);
+  EXPECT_EQ(ExtractBits(w.data(), n, 127, 1), 0x0ULL);
+  EXPECT_EQ(ExtractBits(w.data(), n, 63, 4), 0b1011ULL);
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(BitOpsDeathTest, ExtractBitsPastSlabAsserts) {
+  const std::vector<uint64_t> w = {~0ULL, 0x5ULL};
+  // from + count spills past num_words: must fail the coverage assert in
+  // Debug builds rather than read bits from a neighboring row.
+  EXPECT_DEATH(ExtractBits(w.data(), 1, 64, 1), "WordsForBits");
+  EXPECT_DEATH(ExtractBits(w.data(), 2, 120, 16), "WordsForBits");
+}
+#endif
 
 TEST(BitOpsTest, PairKeyOrdering) {
   EXPECT_EQ(PairKey(1, 2), (1ULL << 32) | 2ULL);

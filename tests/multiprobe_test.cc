@@ -170,8 +170,10 @@ TEST(MultiProbeCandidatesTest, CandidateSetIsExactlyTheHammingBallJoin) {
     for (uint32_t b = a + 1; b < n; ++b) {
       if (w.data.RowLength(b) == 0) continue;
       for (uint32_t band = 0; band < l; ++band) {
-        const uint64_t sa = ExtractBits(store.Words(a), band * k, k);
-        const uint64_t sb = ExtractBits(store.Words(b), band * k, k);
+        const uint64_t sa = ExtractBits(
+            store.Words(a), store.NumBits(a) / kBitsPerWord, band * k, k);
+        const uint64_t sb = ExtractBits(
+            store.Words(b), store.NumBits(b) / kBitsPerWord, band * k, k);
         if (static_cast<uint32_t>(std::popcount(sa ^ sb)) <= r) {
           expected.insert({a, b});
           break;

@@ -1,0 +1,243 @@
+// Differential equivalence suite for the SIMD signature kernels
+// (common/simd_ops.h): the AVX2 and scalar paths must be exact drop-ins
+// for each other, and the word-masking callers (MatchingBits,
+// MatchingBbitGroups) must agree with a naive bit-level reference at
+// every boundary alignment. Every sweep runs twice — dispatched (AVX2
+// when the CPU has it) and with SetForceScalar(true) — so one binary
+// exercises both paths and the differential check is independent of the
+// host CPU. The suite runs under Release, Debug and TSan in CI, plus a
+// -DBAYESLSH_DISABLE_SIMD=ON leg where the kernels compile to the scalar
+// loops only.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/bit_ops.h"
+#include "common/simd_ops.h"
+#include "gtest/gtest.h"
+#include "lsh/bbit_minwise.h"
+
+namespace bayeslsh {
+namespace {
+
+// Matches the repo-wide benchmark seed; any fixed value works, but a
+// shared constant makes failures reproducible across suites.
+constexpr uint64_t kSeed = 20120828;
+
+// Restores default dispatch no matter how the test exits.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool on) { simd::SetForceScalar(on); }
+  ~ScopedForceScalar() { simd::SetForceScalar(false); }
+};
+
+// Random words where roughly half the positions agree: full-word copies
+// for some words, independent noise for others, so match counts are
+// nontrivial at every scale.
+void FillPair(std::mt19937_64* rng, uint32_t num_words,
+              std::vector<uint64_t>* a, std::vector<uint64_t>* b) {
+  a->resize(num_words);
+  b->resize(num_words);
+  for (uint32_t w = 0; w < num_words; ++w) {
+    (*a)[w] = (*rng)();
+    switch (w % 4) {
+      case 0: (*b)[w] = (*a)[w]; break;               // Identical word.
+      case 1: (*b)[w] = (*a)[w] ^ ((*rng)() & 0xff); break;  // Few flips.
+      case 2: (*b)[w] = (*rng)(); break;              // Independent.
+      default: (*b)[w] = ~(*a)[w]; break;             // All-mismatch.
+    }
+  }
+}
+
+// Bit-level reference for MatchingBits.
+uint32_t NaiveMatchingBits(const std::vector<uint64_t>& a,
+                           const std::vector<uint64_t>& b, uint32_t from,
+                           uint32_t to) {
+  uint32_t matches = 0;
+  for (uint32_t i = from; i < to; ++i) {
+    const uint64_t ba = (a[i / 64] >> (i % 64)) & 1;
+    const uint64_t bb = (b[i / 64] >> (i % 64)) & 1;
+    matches += (ba == bb) ? 1u : 0u;
+  }
+  return matches;
+}
+
+// Group-level reference for MatchingBbitGroups.
+uint32_t NaiveBbitGroups(const std::vector<uint64_t>& a,
+                         const std::vector<uint64_t>& b, uint32_t from,
+                         uint32_t to, uint32_t bits) {
+  const uint32_t vpw = 64 / bits;
+  const uint64_t mask =
+      (bits == 32) ? 0xffffffffULL : (1ULL << bits) - 1;
+  uint32_t matches = 0;
+  for (uint32_t j = from; j < to; ++j) {
+    const uint32_t w = j / vpw;
+    const uint32_t g = j % vpw;
+    const uint64_t va = (a[w] >> (g * bits)) & mask;
+    const uint64_t vb = (b[w] >> (g * bits)) & mask;
+    matches += (va == vb) ? 1u : 0u;
+  }
+  return matches;
+}
+
+// Sweep boundaries: every word (64) and AVX2-vector (256-bit = 4-word)
+// edge of the issue's boundary set, each with its ±1 neighborhood, in an
+// array big enough that 256 is an interior point.
+std::vector<uint32_t> SweepPoints(uint32_t limit) {
+  std::vector<uint32_t> pts;
+  const uint32_t edges[] = {0, 1, 63, 64, 65, 127, 128, 255, 256,
+                            319, 320, 511, 512};
+  for (uint32_t e : edges) {
+    for (int d = -1; d <= 1; ++d) {
+      const int64_t p = static_cast<int64_t>(e) + d;
+      if (p >= 0 && p <= limit) pts.push_back(static_cast<uint32_t>(p));
+    }
+  }
+  if (pts.back() != limit) pts.push_back(limit);
+  return pts;
+}
+
+TEST(SimdKernelsTest, MatchingBitsBoundarySweepBothDispatches) {
+  std::mt19937_64 rng(kSeed);
+  std::vector<uint64_t> a, b;
+  FillPair(&rng, 10, &a, &b);  // 640 bits: 512 is interior.
+  const auto pts = SweepPoints(640);
+  for (int force = 0; force <= 1; ++force) {
+    ScopedForceScalar guard(force != 0);
+    for (uint32_t from : pts) {
+      for (uint32_t to : pts) {
+        if (from > to) continue;
+        ASSERT_EQ(MatchingBits(a.data(), b.data(), from, to),
+                  NaiveMatchingBits(a, b, from, to))
+            << "from=" << from << " to=" << to << " force=" << force;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MatchingBitsExhaustiveSmallRanges) {
+  std::mt19937_64 rng(kSeed + 1);
+  std::vector<uint64_t> a, b;
+  FillPair(&rng, 3, &a, &b);  // 192 bits: every (from, to) pair is cheap.
+  for (int force = 0; force <= 1; ++force) {
+    ScopedForceScalar guard(force != 0);
+    for (uint32_t from = 0; from <= 192; ++from) {
+      for (uint32_t to = from; to <= 192; ++to) {
+        ASSERT_EQ(MatchingBits(a.data(), b.data(), from, to),
+                  NaiveMatchingBits(a, b, from, to))
+            << "from=" << from << " to=" << to << " force=" << force;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MatchingBitsWordsScalarVsDispatch) {
+  std::mt19937_64 rng(kSeed + 2);
+  std::vector<uint64_t> a, b;
+  FillPair(&rng, 67, &a, &b);  // Odd length: exercises the vector tail.
+  for (uint32_t n = 0; n <= 67; ++n) {
+    ASSERT_EQ(simd::MatchingBitsWords(a.data(), b.data(), n),
+              simd::MatchingBitsWordsScalar(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdKernelsTest, BbitGroupsBoundarySweepAllWidthsBothDispatches) {
+  std::mt19937_64 rng(kSeed + 3);
+  std::vector<uint64_t> a, b;
+  FillPair(&rng, 10, &a, &b);
+  for (uint32_t bits : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const uint32_t vpw = 64 / bits;
+    const uint32_t total = 10 * vpw;
+    // Word and 4-word-vector group boundaries with ±1 neighborhoods.
+    std::vector<uint32_t> pts;
+    for (uint32_t w : {0u, 1u, 2u, 3u, 4u, 5u, 8u, 9u, 10u}) {
+      for (int d = -1; d <= 1; ++d) {
+        const int64_t p = static_cast<int64_t>(w) * vpw + d;
+        if (p >= 0 && p <= total) pts.push_back(static_cast<uint32_t>(p));
+      }
+    }
+    for (int force = 0; force <= 1; ++force) {
+      ScopedForceScalar guard(force != 0);
+      for (uint32_t from : pts) {
+        for (uint32_t to : pts) {
+          if (from > to) continue;
+          ASSERT_EQ(
+              MatchingBbitGroups(a.data(), b.data(), from, to, bits),
+              NaiveBbitGroups(a, b, from, to, bits))
+              << "b=" << bits << " from=" << from << " to=" << to
+              << " force=" << force;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, BbitGroupsWordsScalarVsDispatch) {
+  std::mt19937_64 rng(kSeed + 4);
+  std::vector<uint64_t> a, b;
+  FillPair(&rng, 37, &a, &b);
+  for (uint32_t bits : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const uint64_t lsb = BbitGroupLsbMask(bits);
+    for (uint32_t n = 0; n <= 37; ++n) {
+      ASSERT_EQ(
+          simd::MatchingBbitGroupsWords(a.data(), b.data(), n, bits, lsb),
+          simd::MatchingBbitGroupsWordsScalar(a.data(), b.data(), n, bits,
+                                              lsb))
+          << "b=" << bits << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, CountEqualU32ScalarVsDispatch) {
+  std::mt19937_64 rng(kSeed + 5);
+  std::vector<uint32_t> a(133), b(133);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<uint32_t>(rng());
+    // Plant equalities at ~1/3 of positions (real minwise agreement rates
+    // are low, but the kernel must count dense agreement too).
+    b[i] = (i % 3 == 0) ? a[i] : static_cast<uint32_t>(rng());
+  }
+  for (int force = 0; force <= 1; ++force) {
+    ScopedForceScalar guard(force != 0);
+    for (uint32_t n = 0; n <= 133; ++n) {
+      uint32_t naive = 0;
+      for (uint32_t i = 0; i < n; ++i) naive += (a[i] == b[i]) ? 1u : 0u;
+      ASSERT_EQ(simd::CountEqualU32(a.data(), b.data(), n), naive)
+          << "n=" << n << " force=" << force;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, SeededRandomLargeArrays) {
+  // Longer randomized differential pass: 64 pair draws, random ranges.
+  std::mt19937_64 rng(kSeed + 6);
+  for (int iter = 0; iter < 64; ++iter) {
+    const uint32_t num_words = 1 + static_cast<uint32_t>(rng() % 96);
+    std::vector<uint64_t> a, b;
+    FillPair(&rng, num_words, &a, &b);
+    const uint32_t total = num_words * 64;
+    uint32_t from = static_cast<uint32_t>(rng() % (total + 1));
+    uint32_t to = static_cast<uint32_t>(rng() % (total + 1));
+    if (from > to) std::swap(from, to);
+    ScopedForceScalar guard((iter & 1) != 0);
+    ASSERT_EQ(MatchingBits(a.data(), b.data(), from, to),
+              NaiveMatchingBits(a, b, from, to))
+        << "iter=" << iter << " from=" << from << " to=" << to;
+  }
+}
+
+TEST(SimdKernelsTest, ForceScalarFlipsDispatch) {
+  // Enabled() must honor the hook; whether it is ever true depends on the
+  // build (BAYESLSH_DISABLE_SIMD) and the host CPU.
+  ScopedForceScalar guard(true);
+  EXPECT_FALSE(simd::Enabled());
+  simd::SetForceScalar(false);
+  if (!simd::CompiledIn()) {
+    EXPECT_FALSE(simd::Enabled());
+  }
+}
+
+}  // namespace
+}  // namespace bayeslsh

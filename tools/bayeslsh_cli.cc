@@ -133,6 +133,9 @@ int Usage() {
       "  --freeze           (eager-hash to the full budget and freeze the\n"
       "                      store before serving: lock-free reads;\n"
       "                      plain indexes only)\n"
+      "  --mmap             (zero-copy load: map the index read-only and\n"
+      "                      serve signatures from the mapping; plain\n"
+      "                      format-v2 indexes only, results identical)\n"
       "  --qps-report       (print a JSON throughput line to stderr,\n"
       "                      reporting the threads actually used and the\n"
       "                      tombstone-suppressed ghost candidates)\n"
@@ -149,6 +152,7 @@ int Usage() {
       "  --shards K         (index shards behind the router; default 2)\n"
       "  --threshold T --top-k K --exact --normalize --threads N\n"
       "                     (per-query serving knobs, as for `query`)\n"
+      "  --mmap             (zero-copy index load, as for `query`)\n"
       "  --deadline-ms D    (per-query budget; expiry returns the merged\n"
       "                      partial answer, flagged — 0 = none)\n"
       "  --rate R --burst B (per-client admission token bucket;\n"
@@ -513,6 +517,13 @@ int RunQuery(const Args& args) {
                  "index has no mutation log to replay)\n");
     return 1;
   }
+  if (dynamic && args.Has("mmap")) {
+    std::fprintf(stderr,
+                 "error: --mmap applies to plain indexes only (a dynamic "
+                 "manifest embeds its segments mid-stream; compact to a "
+                 "plain index to serve zero-copy)\n");
+    return 1;
+  }
 
   std::unique_ptr<PersistentIndex> index;
   std::unique_ptr<DynamicIndex> dyn;
@@ -527,7 +538,9 @@ int RunQuery(const Args& args) {
       dyn = DynamicIndex::LoadFile(args.Get("index", ""), dcfg);
       AttachWalFlag(args, dyn.get());
     } else {
-      index = PersistentIndex::LoadFile(args.Get("index", ""));
+      index = args.Has("mmap")
+                  ? PersistentIndex::LoadFileMmap(args.Get("index", ""))
+                  : PersistentIndex::LoadFile(args.Get("index", ""));
     }
     queries = ReadDatasetAutoFile(args.Get("query-file", ""));
   } catch (const std::exception& e) {  // IoError/IndexError, bad_alloc.
@@ -781,6 +794,13 @@ int RunServe(const Args& args) {
   const std::string index_path = args.Get("index", "");
   try {
     if (DynamicIndex::SniffFile(index_path)) {
+      if (args.Has("mmap")) {
+        std::fprintf(stderr,
+                     "error: --mmap applies to plain indexes only (a "
+                     "dynamic manifest embeds its segments mid-stream; "
+                     "compact to a plain index to serve zero-copy)\n");
+        return 1;
+      }
       DynamicIndexConfig dcfg;
       dcfg.num_threads = num_threads;
       const std::unique_ptr<DynamicIndex> dyn =
@@ -795,8 +815,12 @@ int RunServe(const Args& args) {
       build.seed = dyn->seed();
       corpus = dyn->LiveCorpus();
     } else {
+      // --mmap skips copying the signature slabs entirely; serve rebuilds
+      // per-shard state from the corpus, so the mapped slabs are never
+      // even faulted in.
       const std::unique_ptr<PersistentIndex> index =
-          PersistentIndex::LoadFile(index_path);
+          args.Has("mmap") ? PersistentIndex::LoadFileMmap(index_path)
+                           : PersistentIndex::LoadFile(index_path);
       build.measure = index->measure();
       build.threshold = index->build_threshold();
       build.banding.num_bands = index->num_bands();
