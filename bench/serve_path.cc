@@ -21,7 +21,9 @@
 //                every invocation paid before persistence
 //
 // The query batch reuses collection rows (guaranteed matches) plus held-out
-// rows. Usage: serve_path [--threads N] [--json PATH].
+// rows. A final "serve/measures" section runs the serving-only measures
+// (wjaccard, klsh, euclidean) through the same trajectory — see
+// RunServingMeasures. Usage: serve_path [--threads N] [--json PATH].
 
 #include <filesystem>
 #include <fstream>
@@ -191,6 +193,122 @@ void RunMeasure(Measure measure, PaperDataset which, double threshold,
   }
 }
 
+// The serving-only measures (wjaccard / klsh / euclidean have no allpairs
+// pipeline) ride the same build / save / load / warm-serve trajectory over
+// one shared weighted dataset, as section "serve/measures" with the phase
+// name prefixed by the measure ("wjaccard/warm_serve"). The *_serve phases
+// fill queries/qps, so the smoke trend gate (scripts/bench_trend.py) tracks
+// their serve throughput per PR alongside the classic measures.
+void RunServingMeasures(uint32_t threads, BenchJsonWriter* json) {
+  struct ServingMeasureCase {
+    const char* name;
+    Measure measure;
+    double threshold;  // Euclidean: the match radius (unit-sphere scale).
+  };
+  constexpr ServingMeasureCase kCases[] = {
+      {"wjaccard", Measure::kWeightedJaccard, 0.4},
+      {"klsh", Measure::kKernelCosine, 0.7},
+      {"euclidean", Measure::kEuclidean, 0.8},
+  };
+
+  // One weighted (tf-idf, L2-normalized) dataset serves all three: ICWS
+  // needs the positive weights, KLSH's linear kernel sees unit rows, and
+  // the Euclidean radius is on the unit-sphere scale.
+  const BenchDataset prepared =
+      PrepareDataset(PaperDataset::kRcv1, Measure::kCosine);
+  const Dataset& data = prepared.data;
+
+  DatasetBuilder qb(data.num_dims());
+  for (uint32_t i = 0; i < kQueryBatch && i < data.num_vectors(); ++i) {
+    const uint32_t row =
+        (i * (data.num_vectors() / kQueryBatch + 1)) % data.num_vectors();
+    const SparseVectorView v = data.Row(row);
+    std::vector<std::pair<DimId, float>> entries;
+    for (uint32_t k = 0; k < v.size(); ++k) {
+      entries.emplace_back(v.indices[k], v.values[k]);
+    }
+    qb.AddRow(std::move(entries));
+  }
+  const Dataset queries = std::move(qb).Build();
+
+  for (const ServingMeasureCase& c : kCases) {
+    IndexBuildConfig icfg;
+    icfg.measure = c.measure;
+    icfg.threshold = c.threshold;
+    icfg.seed = BenchSeed();
+    icfg.num_threads = threads;
+
+    QuerySearchConfig qcfg;
+    qcfg.measure = c.measure;
+    qcfg.threshold = c.threshold;
+    qcfg.seed = BenchSeed();
+    qcfg.num_threads = threads;
+
+    auto record = [&](const std::string& phase, double gen_s, double ver_s,
+                      uint64_t candidates, uint64_t matches,
+                      uint64_t num_queries) {
+      BenchRecord r;
+      r.section = "serve/measures";
+      r.dataset = PaperDatasetName(PaperDataset::kRcv1);
+      r.algorithm = std::string(c.name) + "/" + phase;
+      r.threshold = c.threshold;
+      r.threads = ResolveNumThreads(threads);
+      r.generate_seconds = gen_s;
+      r.verify_seconds = ver_s;
+      r.total_seconds = gen_s + ver_s;
+      r.candidates = candidates;
+      r.result_pairs = matches;
+      r.queries = num_queries;
+      if (num_queries > 0 && ver_s > 0.0) r.qps = num_queries / ver_s;
+      if (json != nullptr) json->Add(r);
+      std::printf("  %-22s %8.3f s build/construct  %8.3f s serve  "
+                  "(%llu candidates, %llu matches)\n",
+                  r.algorithm.c_str(), gen_s, ver_s,
+                  static_cast<unsigned long long>(candidates),
+                  static_cast<unsigned long long>(matches));
+    };
+
+    PrintHeader(std::string("Serve path — serving measure ") + c.name +
+                " (serve/measures, t = " + Secs(c.threshold) + ")");
+
+    WallTimer build_timer;
+    const auto index = PersistentIndex::Build(data, icfg);
+    record("cold_build", build_timer.Seconds(), 0.0, 0, 0, 0);
+
+    std::stringstream file;
+    WallTimer save_timer;
+    index->Save(file);
+    record("save", save_timer.Seconds(), 0.0,
+           static_cast<uint64_t>(file.tellp()), 0, 0);
+
+    WallTimer load_timer;
+    file.seekg(0);
+    const auto loaded = PersistentIndex::Load(file);
+    record("load", load_timer.Seconds(), 0.0, 0, 0, 0);
+
+    const ServeTimes warm = ServeBatch(queries, [&] {
+      return std::make_unique<QuerySearcher>(loaded.get(), qcfg);
+    });
+    record("warm_serve", warm.construct_seconds, warm.query_seconds,
+           warm.candidates, warm.matches, queries.num_vectors());
+
+    const ServeTimes cold = ServeBatch(queries, [&] {
+      return std::make_unique<QuerySearcher>(&data, qcfg);
+    });
+    record("cold_serve", cold.construct_seconds, cold.query_seconds,
+           cold.candidates, cold.matches, queries.num_vectors());
+
+    if (warm.matches != cold.matches) {
+      std::fprintf(stderr,
+                   "error: %s warm/cold serve disagree (%llu vs %llu "
+                   "matches) — determinism violation\n",
+                   c.name, static_cast<unsigned long long>(warm.matches),
+                   static_cast<unsigned long long>(cold.matches));
+      std::exit(1);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bayeslsh::bench
 
@@ -204,6 +322,7 @@ int main(int argc, char** argv) {
   RunMeasure(Measure::kCosine, PaperDataset::kRcv1, 0.7, threads, &json);
   RunMeasure(Measure::kJaccard, PaperDataset::kWikiLinks, 0.5, threads,
              &json);
+  RunServingMeasures(threads, &json);
 
   return json.Write() ? 0 : 1;
 }

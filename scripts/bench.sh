@@ -7,8 +7,11 @@
 #   BAYESLSH_BENCH_SCALE=2 scripts/bench.sh   # larger datasets
 #   THREADS=4 scripts/bench.sh                # 4 worker threads (0 = all)
 #   OUT=BENCH_baseline.json scripts/bench.sh  # output path
-#   BENCH=serve_path scripts/bench.sh         # serve-path phases (JSON too,
-#                                             #   writes BENCH_serve_path.json)
+#   BENCH=serve_path scripts/bench.sh         # serve-path phases, incl. the
+#                                             #   serve/measures section for
+#                                             #   wjaccard/klsh/euclidean
+#                                             #   (JSON too, writes
+#                                             #   BENCH_serve_path.json)
 #   BENCH=concurrent_serve scripts/bench.sh   # queries/sec vs threads for
 #                                             #   frozen batch serving (JSON)
 #   BENCH=dynamic_update scripts/bench.sh     # WAL write path + serving

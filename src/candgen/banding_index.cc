@@ -33,17 +33,16 @@ uint64_t BandingIndex::JaccardKey(const uint32_t* ints, uint32_t band,
   return key;
 }
 
-BandingIndex BandingIndex::BuildCosine(const Dataset& data,
-                                       const GaussianSource* gauss,
-                                       uint32_t k, uint32_t l,
-                                       ThreadPool* pool) {
+BandingIndex BandingIndex::BuildBits(
+    const Dataset& data, std::shared_ptr<const WordChunkHasher> hasher,
+    uint32_t k, uint32_t l, ThreadPool* pool) {
   BandingIndex index;
   index.hashes_per_band_ = k;
   index.bands_.resize(l);
   const uint32_t n = data.num_vectors();
   // Throwaway generation-seed store: banding hashes are never reused for
   // verification (DESIGN.md §6).
-  BitSignatureStore store(&data, SrpHasher(gauss));
+  BitSignatureStore store(&data, std::move(hasher));
   if (pool != nullptr) {
     ParallelFor(pool, 0, n, [&](uint64_t row) {
       store.EnsureBitsUncounted(static_cast<uint32_t>(row), l * k);
@@ -63,14 +62,14 @@ BandingIndex BandingIndex::BuildCosine(const Dataset& data,
   return index;
 }
 
-BandingIndex BandingIndex::BuildJaccard(const Dataset& data,
-                                        uint64_t gen_seed, uint32_t k,
-                                        uint32_t l, ThreadPool* pool) {
+BandingIndex BandingIndex::BuildInts(
+    const Dataset& data, std::shared_ptr<const IntChunkHasher> hasher,
+    uint32_t k, uint32_t l, ThreadPool* pool) {
   BandingIndex index;
   index.hashes_per_band_ = k;
   index.bands_.resize(l);
   const uint32_t n = data.num_vectors();
-  IntSignatureStore store(&data, MinwiseHasher(gen_seed));
+  IntSignatureStore store(&data, std::move(hasher));
   if (pool != nullptr) {
     ParallelFor(pool, 0, n, [&](uint64_t row) {
       store.EnsureHashesUncounted(static_cast<uint32_t>(row), l * k);
@@ -89,16 +88,32 @@ BandingIndex BandingIndex::BuildJaccard(const Dataset& data,
   return index;
 }
 
-void BandingIndex::InsertCosine(const SparseVectorView& v, uint32_t row,
-                                const GaussianSource* gauss) {
+BandingIndex BandingIndex::BuildCosine(const Dataset& data,
+                                       const GaussianSource* gauss,
+                                       uint32_t k, uint32_t l,
+                                       ThreadPool* pool) {
+  return BuildBits(data, std::make_shared<SrpChunkHasher>(SrpHasher(gauss)),
+                   k, l, pool);
+}
+
+BandingIndex BandingIndex::BuildJaccard(const Dataset& data,
+                                        uint64_t gen_seed, uint32_t k,
+                                        uint32_t l, ThreadPool* pool) {
+  return BuildInts(data,
+                   std::make_shared<MinwiseChunkHasher>(
+                       MinwiseHasher(gen_seed)),
+                   k, l, pool);
+}
+
+void BandingIndex::InsertBits(const SparseVectorView& v, uint32_t row,
+                              const WordChunkHasher& hasher) {
   assert(!bands_.empty() && hashes_per_band_ != 0);
   if (v.empty()) return;
   const uint32_t l = num_bands();
   const uint32_t k = hashes_per_band_;
-  const SrpHasher hasher(gauss);
   std::vector<uint64_t> words(WordsForBits(l * k));
   for (uint32_t c = 0; c < words.size(); ++c) {
-    words[c] = hasher.HashChunk(v, c);
+    words[c] = hasher.HashChunk(v, row, c);
   }
   for (uint32_t band = 0; band < l; ++band) {
     bands_[band][CosineKey(words.data(), static_cast<uint32_t>(words.size()),
@@ -107,21 +122,31 @@ void BandingIndex::InsertCosine(const SparseVectorView& v, uint32_t row,
   }
 }
 
-void BandingIndex::InsertJaccard(const SparseVectorView& v, uint32_t row,
-                                 uint64_t gen_seed) {
+void BandingIndex::InsertInts(const SparseVectorView& v, uint32_t row,
+                              const IntChunkHasher& hasher) {
   assert(!bands_.empty() && hashes_per_band_ != 0);
   if (v.empty()) return;
   const uint32_t l = num_bands();
   const uint32_t k = hashes_per_band_;
-  const MinwiseHasher hasher(gen_seed);
-  const uint32_t chunks = (l * k + kMinhashChunkInts - 1) / kMinhashChunkInts;
-  std::vector<uint32_t> ints(chunks * kMinhashChunkInts);
+  const uint32_t chunk_ints = hasher.chunk_ints();
+  const uint32_t chunks = (l * k + chunk_ints - 1) / chunk_ints;
+  std::vector<uint32_t> ints(chunks * chunk_ints);
   for (uint32_t c = 0; c < chunks; ++c) {
-    hasher.HashChunk(v, c, ints.data() + c * kMinhashChunkInts);
+    hasher.HashChunk(v, row, c, ints.data() + c * chunk_ints);
   }
   for (uint32_t band = 0; band < l; ++band) {
     bands_[band][JaccardKey(ints.data(), band, k)].push_back(row);
   }
+}
+
+void BandingIndex::InsertCosine(const SparseVectorView& v, uint32_t row,
+                                const GaussianSource* gauss) {
+  InsertBits(v, row, SrpChunkHasher(SrpHasher(gauss)));
+}
+
+void BandingIndex::InsertJaccard(const SparseVectorView& v, uint32_t row,
+                                 uint64_t gen_seed) {
+  InsertInts(v, row, MinwiseChunkHasher(MinwiseHasher(gen_seed)));
 }
 
 void BandingIndex::Save(std::ostream& out) const {

@@ -25,11 +25,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "lsh/gaussian_source.h"
+#include "lsh/store_base.h"
 #include "vec/dataset.h"
 
 namespace bayeslsh {
@@ -51,6 +53,21 @@ class BandingIndex {
     const auto it = bands_[band].find(key);
     return it == bands_[band].end() ? nullptr : &it->second;
   }
+
+  // Builds the table over bit signatures from any word-chunk hash family
+  // (SRP, KLSH) with CosineKey band keys; the hasher must be built with the
+  // generation seed (banding hashes are never reused for verification).
+  static BandingIndex BuildBits(const Dataset& data,
+                                std::shared_ptr<const WordChunkHasher> hasher,
+                                uint32_t k, uint32_t l,
+                                ThreadPool* pool = nullptr);
+
+  // Builds the table over integer signatures from any int-chunk hash family
+  // (minwise, ICWS, p-stable) with JaccardKey band keys.
+  static BandingIndex BuildInts(const Dataset& data,
+                                std::shared_ptr<const IntChunkHasher> hasher,
+                                uint32_t k, uint32_t l,
+                                ThreadPool* pool = nullptr);
 
   // Builds the table over the collection's SRP bit signatures (cosine-like
   // measures). `gauss` supplies the generation-seed projections.
@@ -76,6 +93,14 @@ class BandingIndex {
                     const GaussianSource* gauss);
   void InsertJaccard(const SparseVectorView& v, uint32_t row,
                      uint64_t gen_seed);
+
+  // Generic inserts mirroring BuildBits/BuildInts. `row` is the id the
+  // bucket entry records AND the id handed to the hasher (so per-row
+  // caches key correctly — pass the id within the hasher's dataset).
+  void InsertBits(const SparseVectorView& v, uint32_t row,
+                  const WordChunkHasher& hasher);
+  void InsertInts(const SparseVectorView& v, uint32_t row,
+                  const IntChunkHasher& hasher);
 
   // Band key of a query signature; `words`/`ints` must cover l*k hashes.
   // `num_words` is the length of the `words` array (bounds-asserted by

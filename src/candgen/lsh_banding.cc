@@ -7,6 +7,7 @@
 
 #include "common/bit_ops.h"
 #include "common/prng.h"
+#include "euclidean/pstable_hasher.h"
 #include "lsh/srp_hasher.h"
 
 namespace bayeslsh {
@@ -27,14 +28,24 @@ uint32_t DeriveNumBands(double collision_prob_at_threshold, uint32_t k,
 
 BandingShape ResolveBandingShape(Measure measure, double threshold,
                                  const LshBandingParams& params) {
-  const bool cosine =
-      measure == Measure::kCosine || measure == Measure::kBinaryCosine;
+  const bool cosine = measure == Measure::kCosine ||
+                      measure == Measure::kBinaryCosine ||
+                      measure == Measure::kKernelCosine;
+  const bool euclidean = measure == Measure::kEuclidean;
   BandingShape shape;
   shape.hashes_per_band =
-      params.hashes_per_band != 0
-          ? params.hashes_per_band
-          : (cosine ? kDefaultCosineBandBits : kDefaultJaccardBandInts);
-  const double p = cosine ? CosineToSrpR(threshold) : threshold;
+      params.hashes_per_band != 0 ? params.hashes_per_band
+      : cosine                    ? kDefaultCosineBandBits
+      : euclidean                 ? kDefaultEuclideanBandInts
+                                  : kDefaultJaccardBandInts;
+  // Per-hash collision probability at the threshold. Jaccard and weighted
+  // Jaccard share Pr[collision] = t; Euclidean uses the serving stack's
+  // width convention w = 2 * radius, under which p(radius) is a scale-free
+  // constant of the w/c ratio.
+  const double p = cosine ? CosineToSrpR(threshold)
+                   : euclidean
+                       ? PstableCollisionProb(threshold, 2.0 * threshold)
+                       : threshold;
   shape.num_bands = params.num_bands != 0
                         ? params.num_bands
                         : DeriveNumBands(p, shape.hashes_per_band,

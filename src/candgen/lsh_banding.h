@@ -45,6 +45,7 @@ struct LshBandingParams {
 
 inline constexpr uint32_t kDefaultCosineBandBits = 8;
 inline constexpr uint32_t kDefaultJaccardBandInts = 3;
+inline constexpr uint32_t kDefaultEuclideanBandInts = 4;
 
 // l = ceil(log ε / log(1 - p^k)), clamped to [1, max_bands].
 uint32_t DeriveNumBands(double collision_prob_at_threshold, uint32_t k,
@@ -59,9 +60,12 @@ struct BandingShape {
 // Resolves the 0-means-default fields of `params` for the given measure
 // and threshold: k falls back to the per-measure default, l is derived
 // from the expected false-negative rate at the threshold's collision
-// probability (p = t for Jaccard, p = c2r(t) for cosine-like measures).
-// Shared by the query searcher and the persistent-index builder so both
-// sides of a save/load round trip agree on the shape.
+// probability (p = t for Jaccard and weighted Jaccard, p = c2r(t) for
+// cosine-like measures including the kernel cosine, and for Euclidean the
+// p-stable collision probability at the radius with the serving stack's
+// width convention w = 2 * radius — a scale-free constant). Shared by the
+// query searcher and the persistent-index builder so both sides of a
+// save/load round trip agree on the shape.
 BandingShape ResolveBandingShape(Measure measure, double threshold,
                                  const LshBandingParams& params);
 

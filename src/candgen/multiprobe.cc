@@ -68,7 +68,8 @@ std::vector<uint64_t> ProbeMasks(uint32_t k, uint32_t probe_radius) {
 
 CandidateList MultiProbeCosineCandidates(BitSignatureStore* store,
                                          double threshold,
-                                         const MultiProbeParams& params) {
+                                         const MultiProbeParams& params,
+                                         ThreadPool* pool) {
   const uint32_t k = params.hashes_per_band != 0 ? params.hashes_per_band
                                                  : kDefaultCosineBandBits;
   assert(k <= 64);
@@ -80,20 +81,33 @@ CandidateList MultiProbeCosineCandidates(BitSignatureStore* store,
                                      params.expected_fn_rate,
                                      params.max_bands);
   const uint32_t n = store->num_rows();
-  store->EnsureAllBits(l * k);
+  // Grow every row to the full banding horizon up front so the band
+  // workers only ever read the store (rows are independent, so the growth
+  // itself shards by row).
+  if (pool != nullptr && pool->num_threads() > 1) {
+    ParallelFor(pool, 0, n, [&](uint64_t row) {
+      store->EnsureBitsUncounted(static_cast<uint32_t>(row), l * k);
+    });
+  } else {
+    store->EnsureAllBits(l * k);
+  }
   const std::vector<uint64_t> masks = ProbeMasks(k, params.probe_radius);
 
-  std::vector<uint64_t> keys;
-  uint64_t raw = 0;
-  std::vector<std::pair<uint64_t, uint32_t>> entries;
-  entries.reserve(n);
-  for (uint32_t band = 0; band < l; ++band) {
-    entries.clear();
+  // One emission buffer per band, filled independently and concatenated
+  // in band order: DedupPairKeys sorts anyway, but keeping the merge
+  // order fixed makes the determinism argument local to this function.
+  std::vector<std::vector<uint64_t>> band_keys(l);
+  std::vector<uint64_t> band_raw(l, 0);
+  ParallelFor(pool, 0, l, [&](uint64_t band) {
+    std::vector<uint64_t>& keys = band_keys[band];
+    uint64_t raw = 0;
+    std::vector<std::pair<uint64_t, uint32_t>> entries;
+    entries.reserve(n);
     for (uint32_t row = 0; row < n; ++row) {
       if (store->data()->RowLength(row) == 0) continue;  // Never candidates.
       entries.emplace_back(
           ExtractBits(store->Words(row), store->NumBits(row) / kBitsPerWord,
-                      band * k, k),
+                      static_cast<uint32_t>(band) * k, k),
           row);
     }
     std::sort(entries.begin(), entries.end());
@@ -132,6 +146,19 @@ CandidateList MultiProbeCosineCandidates(BitSignatureStore* store,
         }
       }
     }
+    band_raw[band] = raw;
+  });
+
+  std::vector<uint64_t> keys;
+  uint64_t raw = 0;
+  {
+    size_t total = 0;
+    for (const auto& bk : band_keys) total += bk.size();
+    keys.reserve(total);
+  }
+  for (uint32_t band = 0; band < l; ++band) {
+    keys.insert(keys.end(), band_keys[band].begin(), band_keys[band].end());
+    raw += band_raw[band];
   }
   CandidateList out = DedupPairKeys(std::move(keys));
   out.raw_emitted = raw;

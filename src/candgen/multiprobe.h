@@ -33,6 +33,7 @@
 #include <cstdint>
 
 #include "candgen/candidates.h"
+#include "common/thread_pool.h"
 #include "lsh/signature_store.h"
 
 namespace bayeslsh {
@@ -67,9 +68,16 @@ uint32_t DeriveNumBandsMultiProbe(double collision_prob_at_threshold,
 // Candidate pairs for cosine similarity: multi-probe banding over SRP bit
 // signatures. Grows the store to num_bands * hashes_per_band bits for
 // every row. raw_emitted counts bucket-pair emissions before dedup.
+//
+// A non-null pool shards the work band-by-band (bands are independent:
+// each sorts its own signature table and probes within it); per-band
+// emissions are merged in band order and deduped exactly as in the
+// sequential run, so the candidate list is bit-identical for any thread
+// count.
 CandidateList MultiProbeCosineCandidates(BitSignatureStore* store,
                                          double threshold,
-                                         const MultiProbeParams& params);
+                                         const MultiProbeParams& params,
+                                         ThreadPool* pool = nullptr);
 
 }  // namespace bayeslsh
 

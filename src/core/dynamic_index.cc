@@ -357,6 +357,13 @@ struct DynamicIndex::Impl {
     build_cfg.seed = old_base->seed();
     build_cfg.bbit = old_base->bbit();
     build_cfg.num_threads = cfg.num_threads;
+    // Keep the old base's KLSH family: adoption requires it (signatures
+    // are functions of the anchors), and so does segment identity.
+    if (old_base->measure() == Measure::kKernelCosine) {
+      build_cfg.kernel = old_base->kernel_spec();
+      build_cfg.klsh = old_base->klsh_params();
+      build_cfg.klsh_anchors = old_base->klsh_anchors();
+    }
     std::unique_ptr<PersistentIndex> new_base = PersistentIndex::Build(
         std::move(builder).Build(), build_cfg, &adopt);
     // The warm searcher copies every signature row, O(corpus) — build it
@@ -493,6 +500,14 @@ DynamicIndex::DynamicIndex(std::unique_ptr<PersistentIndex> base,
   im.serve_cfg.banding.hashes_per_band = im.base->hashes_per_band();
   im.serve_cfg.banding.num_bands = im.base->num_bands();
   im.serve_cfg.num_threads = cfg.num_threads;
+  // Same for the KLSH hash family: the delta and every compaction must
+  // hash against the base's kernel and anchors, never resample from their
+  // own (smaller) corpus — or segment signatures would disagree.
+  if (im.measure == Measure::kKernelCosine) {
+    im.serve_cfg.kernel = im.base->kernel_spec();
+    im.serve_cfg.klsh = im.base->klsh_params();
+    im.serve_cfg.klsh_anchors = im.base->klsh_anchors();
+  }
 
   const uint32_t n = im.base->data().num_vectors();
   im.base_ids.resize(n);
@@ -934,6 +949,18 @@ uint32_t DynamicIndex::num_bands() const {
 
 uint32_t DynamicIndex::hashes_per_band() const {
   return impl_->serve_cfg.banding.hashes_per_band;
+}
+
+const KernelSpec& DynamicIndex::kernel_spec() const {
+  return impl_->serve_cfg.kernel;
+}
+
+const KlshParams& DynamicIndex::klsh_params() const {
+  return impl_->serve_cfg.klsh;
+}
+
+std::shared_ptr<const Dataset> DynamicIndex::klsh_anchors() const {
+  return impl_->serve_cfg.klsh_anchors;
 }
 
 uint32_t DynamicIndex::num_base_rows() const {

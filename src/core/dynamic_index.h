@@ -290,6 +290,15 @@ class DynamicIndex {
   uint32_t bbit() const;             // 0 = full-width hashes.
   uint32_t num_bands() const;        // Banding shape shared by all
   uint32_t hashes_per_band() const;  //   segments and compactions.
+
+  // kKernelCosine only (defaults / null otherwise): the kernel spec,
+  // KLSH family shape, and anchor rows shared by every segment — the
+  // family is pinned by the base at construction and survives
+  // compaction, so these are stable for the life of the index.
+  const KernelSpec& kernel_spec() const;
+  const KlshParams& klsh_params() const;
+  std::shared_ptr<const Dataset> klsh_anchors() const;
+
   uint32_t num_base_rows() const;   // Physical rows in the frozen base.
   uint32_t num_delta_rows() const;  // Physical rows in the delta.
   uint32_t num_tombstones() const;

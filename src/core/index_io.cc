@@ -9,6 +9,8 @@
 #include "common/prng.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
+#include "euclidean/pstable_hasher.h"
+#include "lsh/icws_hasher.h"
 #include "lsh/minwise_hasher.h"
 #include "lsh/srp_hasher.h"
 #include "vec/binary_io.h"
@@ -31,10 +33,6 @@ namespace {
 // trailing position as the dataset magic (vec/io.cc).
 constexpr char kIndexMagic[8] = {'B', 'L', 'S', 'H', 'I', 'X', '1', 'E'};
 
-bool CosineLike(Measure m) {
-  return m == Measure::kCosine || m == Measure::kBinaryCosine;
-}
-
 uint8_t MeasureTag(Measure m) {
   switch (m) {
     case Measure::kCosine:
@@ -43,9 +41,19 @@ uint8_t MeasureTag(Measure m) {
       return 1;
     case Measure::kBinaryCosine:
       return 2;
+    case Measure::kWeightedJaccard:
+      return 3;
+    case Measure::kKernelCosine:
+      return 4;
+    case Measure::kEuclidean:
+      return 5;
   }
   return 255;
 }
+
+// Measures whose tag (and, for the kernel cosine, measure-config section)
+// only format v3 can carry.
+constexpr uint8_t kFirstV3MeasureTag = 3;
 
 // Grows every row to the prefetch horizon, sharded over rows; `ensure`
 // wraps the store's EnsureBitsUncounted / EnsureHashesUncounted and
@@ -65,6 +73,12 @@ Measure MeasureFromTag(uint8_t tag) {
       return Measure::kJaccard;
     case 2:
       return Measure::kBinaryCosine;
+    case 3:
+      return Measure::kWeightedJaccard;
+    case 4:
+      return Measure::kKernelCosine;
+    case 5:
+      return Measure::kEuclidean;
     default:
       throw IndexError("index header: unknown measure tag " +
                        std::to_string(tag));
@@ -150,9 +164,21 @@ PersistentIndex::~PersistentIndex() = default;
 SignatureKind PersistentIndex::signature_kind() const {
   // Derived from the config fields, not the store pointers, so the
   // fingerprint is well-defined during Load before stores exist.
-  if (CosineLike(measure_)) return SignatureKind::kSrpBits;
-  return bbit_ != 0 ? SignatureKind::kBbitPacked
-                    : SignatureKind::kMinwiseInts;
+  switch (measure_) {
+    case Measure::kCosine:
+    case Measure::kBinaryCosine:
+      return SignatureKind::kSrpBits;
+    case Measure::kKernelCosine:
+      return SignatureKind::kKlshBits;
+    case Measure::kJaccard:
+      return bbit_ != 0 ? SignatureKind::kBbitPacked
+                        : SignatureKind::kMinwiseInts;
+    case Measure::kWeightedJaccard:
+      return SignatureKind::kIcwsInts;
+    case Measure::kEuclidean:
+      return SignatureKind::kPstableInts;
+  }
+  return SignatureKind::kSrpBits;
 }
 
 uint64_t PersistentIndex::Fingerprint(uint32_t format_version) const {
@@ -167,9 +193,14 @@ uint64_t PersistentIndex::Fingerprint(uint32_t format_version) const {
 std::unique_ptr<PersistentIndex> PersistentIndex::Build(
     Dataset data, const IndexBuildConfig& cfg,
     const SignatureAdoption* adopt) {
-  if (cfg.threshold <= 0.0 || cfg.threshold > 1.0) {
-    throw std::invalid_argument("IndexBuildConfig: threshold must be in "
-                                "(0, 1]");
+  const bool euclidean = cfg.measure == Measure::kEuclidean;
+  if (euclidean ? !(cfg.threshold > 0.0)
+                : (cfg.threshold <= 0.0 || cfg.threshold > 1.0)) {
+    throw std::invalid_argument(
+        euclidean
+            ? "IndexBuildConfig: the Euclidean threshold is a radius and "
+              "must be > 0"
+            : "IndexBuildConfig: threshold must be in (0, 1]");
   }
   if (cfg.bbit != 0 &&
       (cfg.measure != Measure::kJaccard || !IsValidBbitWidth(cfg.bbit))) {
@@ -232,14 +263,120 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Build(
   const uint64_t gen_seed = GenerationSeed(cfg.seed);
   const uint64_t verify_seed = VerificationSeed(cfg.seed);
   const Dataset& d = index->data_;
-  const bool cosine = CosineLike(cfg.measure);
+
+  // Hash families per measure: the generation-family chunk hasher feeds
+  // the banding build, the verification family lives inside the store.
+  std::shared_ptr<const GaussianSource> gen_gauss;  // Keep-alive for SRP.
+  std::shared_ptr<const WordChunkHasher> gen_bits;
+  std::shared_ptr<const IntChunkHasher> gen_ints;
+  switch (cfg.measure) {
+    case Measure::kCosine:
+    case Measure::kBinaryCosine: {
+      gen_gauss = std::make_shared<ImplicitGaussianSource>(gen_seed);
+      gen_bits =
+          std::make_shared<SrpChunkHasher>(SrpHasher(gen_gauss.get()));
+      index->verify_gauss_ =
+          std::make_shared<ImplicitGaussianSource>(verify_seed);
+      index->bits_ = std::make_unique<BitSignatureStore>(
+          &d, SrpHasher(index->verify_gauss_.get()));
+      break;
+    }
+    case Measure::kKernelCosine: {
+      index->kernel_spec_ = cfg.kernel;
+      try {
+        index->kernel_ = MakeKernel(cfg.kernel);
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("IndexBuildConfig: ") +
+                                    e.what());
+      }
+      Dataset anchors =
+          cfg.klsh_anchors != nullptr
+              ? *cfg.klsh_anchors
+              : SampleKlshAnchors(
+                    d, std::min(cfg.klsh.num_anchors, d.num_vectors()),
+                    cfg.seed);
+      index->klsh_params_ = cfg.klsh;
+      index->klsh_params_.num_anchors = anchors.num_vectors();
+      index->klsh_anchors_ =
+          std::make_shared<const Dataset>(std::move(anchors));
+      index->klsh_cache_ = std::make_shared<KlshRowCache>();
+      KlshParams kp = index->klsh_params_;
+      kp.seed = gen_seed;
+      const auto gen_klsh = std::shared_ptr<const KlshHasher>(
+          new KlshHasher(KlshHasher::FromAnchors(
+              Dataset(*index->klsh_anchors_), index->kernel_.get(), kp)));
+      kp.seed = verify_seed;
+      index->verify_klsh_ = std::shared_ptr<const KlshHasher>(
+          new KlshHasher(KlshHasher::FromAnchors(
+              Dataset(*index->klsh_anchors_), index->kernel_.get(), kp)));
+      gen_bits = std::make_shared<KlshChunkHasher>(gen_klsh,
+                                                   index->klsh_cache_, &d);
+      index->bits_ = std::make_unique<BitSignatureStore>(
+          &d, std::make_shared<KlshChunkHasher>(index->verify_klsh_,
+                                                index->klsh_cache_, &d));
+      break;
+    }
+    case Measure::kJaccard: {
+      gen_ints = std::make_shared<MinwiseChunkHasher>(
+          MinwiseHasher(gen_seed));
+      if (cfg.bbit == 0) {
+        index->ints_ = std::make_unique<IntSignatureStore>(
+            &d, MinwiseHasher(verify_seed));
+      } else {
+        index->bbits_ = std::make_unique<BbitSignatureStore>(
+            &d, MinwiseHasher(verify_seed), cfg.bbit);
+      }
+      break;
+    }
+    case Measure::kWeightedJaccard: {
+      gen_ints = std::make_shared<IcwsChunkHasher>(IcwsHasher(gen_seed));
+      index->ints_ = std::make_unique<IntSignatureStore>(
+          &d, std::make_shared<IcwsChunkHasher>(IcwsHasher(verify_seed)));
+      break;
+    }
+    case Measure::kEuclidean: {
+      // Serving-stack width convention w = 2 * radius — the same one
+      // ResolveBandingShape used for the shape above.
+      const double width = 2.0 * cfg.threshold;
+      gen_ints = std::make_shared<PstableChunkHasher>(
+          PstableHasher(gen_seed, width));
+      index->ints_ = std::make_unique<IntSignatureStore>(
+          &d, std::make_shared<PstableChunkHasher>(
+                  PstableHasher(verify_seed, width)));
+      break;
+    }
+  }
+
+  // Adopted KLSH signatures are only the same function when the source
+  // index hashed against the same kernel and anchors.
+  if (adopt != nullptr && cfg.measure == Measure::kKernelCosine) {
+    const PersistentIndex& src = *adopt->source;
+    const Dataset* sa = src.klsh_anchors().get();
+    if (sa == nullptr || src.kernel_spec().tag != cfg.kernel.tag ||
+        src.kernel_spec().gamma != cfg.kernel.gamma ||
+        sa->num_vectors() != index->klsh_anchors_->num_vectors() ||
+        sa->nnz() != index->klsh_anchors_->nnz()) {
+      throw std::invalid_argument(
+          "SignatureAdoption: KLSH source index kernel/anchors disagree "
+          "with the build config");
+    }
+  }
+
+  // Banding buckets from the generation family (deterministic for any
+  // thread count — candgen/banding_index.h).
+  index->banding_ =
+      gen_bits != nullptr
+          ? BandingIndex::BuildBits(d, gen_bits, index->k_, index->l_, pool)
+          : BandingIndex::BuildInts(d, gen_ints, index->k_, index->l_,
+                                    pool);
+
   // kPrefetchFull is the default per-candidate serving budget
   // (BayesLshParams::max_hashes), so a warm searcher at default budgets
   // freezes with zero top-up hashing.
   const uint32_t prefetch =
       cfg.prefetch_hashes == kPrefetchFull ? BayesLshParams{}.max_hashes
       : cfg.prefetch_hashes != 0           ? cfg.prefetch_hashes
-                                           : (cosine ? 32u : 16u);
+      : (index->bits_ != nullptr ? 32u : 16u);
 
   // Source row donating its signature to new row `row`, or kFreshRow.
   const auto donor = [&](uint32_t row) {
@@ -247,14 +384,7 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Build(
                             : SignatureAdoption::kFreshRow;
   };
 
-  if (cosine) {
-    const ImplicitGaussianSource gen_gauss(gen_seed);
-    index->banding_ = BandingIndex::BuildCosine(d, &gen_gauss, index->k_,
-                                                index->l_, pool);
-    index->verify_gauss_ =
-        std::make_shared<ImplicitGaussianSource>(verify_seed);
-    index->bits_ = std::make_unique<BitSignatureStore>(
-        &d, SrpHasher(index->verify_gauss_.get()));
+  if (index->bits_ != nullptr) {
     BitSignatureStore* store = index->bits_.get();
     // Adoption happens inside the sharded prefetch (distinct rows touch
     // distinct vectors, like the uncounted growth itself); the ensure
@@ -272,11 +402,7 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Build(
           return store->EnsureBitsUncounted(row, prefetch);
         }));
   } else {
-    index->banding_ =
-        BandingIndex::BuildJaccard(d, gen_seed, index->k_, index->l_, pool);
-    if (cfg.bbit == 0) {
-      index->ints_ = std::make_unique<IntSignatureStore>(
-          &d, MinwiseHasher(verify_seed));
+    if (index->ints_ != nullptr) {
       IntSignatureStore* store = index->ints_.get();
       const IntSignatureStore* src =
           adopt != nullptr ? adopt->source->int_store() : nullptr;
@@ -291,8 +417,6 @@ std::unique_ptr<PersistentIndex> PersistentIndex::Build(
             return store->EnsureHashesUncounted(row, prefetch);
           }));
     } else {
-      index->bbits_ = std::make_unique<BbitSignatureStore>(
-          &d, MinwiseHasher(verify_seed), cfg.bbit);
       BbitSignatureStore* store = index->bbits_.get();
       const BbitSignatureStore* src =
           adopt != nullptr ? adopt->source->bbit_store() : nullptr;
@@ -321,6 +445,9 @@ void PersistentIndex::Save(std::ostream& out,
     throw IndexError("index save: unsupported format version " +
                      std::to_string(format_version));
   }
+  if (MeasureTag(measure_) >= kFirstV3MeasureTag && format_version < 3) {
+    throw IndexError("index save: measure requires format version 3");
+  }
   // v2 and later page-align the signature blob for zero-copy loads.
   const bool align_blob = format_version >= 2;
   out.write(kIndexMagic, sizeof(kIndexMagic));
@@ -336,6 +463,17 @@ void PersistentIndex::Save(std::ostream& out,
   const uint64_t fp = Fingerprint(format_version);
   WritePod(out, fp);
   WriteDatasetBinary(data_, out);
+  // v3 KLSH measure-config section: the hash family is a function of the
+  // kernel and anchors, so both are part of the index — a loaded index
+  // must serve bit-for-bit the signatures it stored.
+  if (measure_ == Measure::kKernelCosine) {
+    WritePod(out, static_cast<uint8_t>(kernel_spec_.tag));
+    WritePod(out, kernel_spec_.gamma);
+    WritePod(out, klsh_params_.num_anchors);
+    WritePod(out, klsh_params_.subset_size);
+    WritePod(out, static_cast<uint8_t>(klsh_params_.direction));
+    WriteDatasetBinary(*klsh_anchors_, out);
+  }
   banding_.Save(out);
   if (bits_ != nullptr) {
     bits_->Save(out, align_blob);
@@ -348,10 +486,11 @@ void PersistentIndex::Save(std::ostream& out,
   if (!out) throw IndexError("index save: stream write failed");
 }
 
-void PersistentIndex::SaveFile(const std::string& path) const {
+void PersistentIndex::SaveFile(const std::string& path,
+                               uint32_t format_version) const {
   std::ofstream f(path, std::ios::binary);
   if (!f) throw IndexError("index save: cannot open " + path);
-  Save(f);
+  Save(f, format_version);
 }
 
 std::unique_ptr<PersistentIndex> PersistentIndex::Load(std::istream& in,
@@ -385,8 +524,13 @@ std::unique_ptr<PersistentIndex> PersistentIndex::LoadInternal(
           " — load and re-save it to upgrade");
     }
     std::unique_ptr<PersistentIndex> index(new PersistentIndex());
-    index->measure_ =
-        MeasureFromTag(ReadPod<uint8_t>(in, "index header: measure"));
+    const auto measure_tag = ReadPod<uint8_t>(in, "index header: measure");
+    index->measure_ = MeasureFromTag(measure_tag);
+    if (measure_tag >= kFirstV3MeasureTag && version < 3) {
+      throw IndexError("index header: measure tag " +
+                       std::to_string(measure_tag) +
+                       " requires format version 3");
+    }
     const auto sig_kind = ReadPod<uint8_t>(in, "index header: kind");
     index->bbit_ = ReadPod<uint8_t>(in, "index header: bbit");
     // Policy since v1: the reserved byte must be zero. It is outside the
@@ -408,23 +552,59 @@ std::unique_ptr<PersistentIndex> PersistentIndex::LoadInternal(
 
     // Signature kind must cohere with the measure before any store is
     // constructed.
-    const bool cosine = CosineLike(index->measure_);
-    const auto kind = static_cast<SignatureKind>(sig_kind);
-    if (cosine ? kind != SignatureKind::kSrpBits
-               : (kind != SignatureKind::kMinwiseInts &&
-                  kind != SignatureKind::kBbitPacked)) {
-      throw IndexError("index header: signature kind does not match the "
-                       "measure");
+    if (index->bbit_ != 0 && index->measure_ != Measure::kJaccard) {
+      throw IndexError("index header: b-bit width is Jaccard-only");
     }
+    const auto kind = static_cast<SignatureKind>(sig_kind);
     if ((kind == SignatureKind::kBbitPacked) !=
         (index->bbit_ != 0 && IsValidBbitWidth(index->bbit_))) {
       throw IndexError("index header: inconsistent b-bit width");
+    }
+    if (kind != index->signature_kind()) {
+      throw IndexError("index header: signature kind does not match the "
+                       "measure");
     }
 
     index->data_ = ReadDatasetBinary(in);
     if (index->Fingerprint(version) != stored_fp) {
       throw IndexError("index load: config fingerprint mismatch (file "
                        "corrupt, or header and contents disagree)");
+    }
+    // v3 KLSH measure-config section (kernel spec + family shape +
+    // anchors) — read before the banding so the stores below can rebuild
+    // the hash family the file's signatures came from.
+    if (index->measure_ == Measure::kKernelCosine) {
+      const auto ktag = ReadPod<uint8_t>(in, "klsh section: kernel tag");
+      if (ktag > static_cast<uint8_t>(KernelTag::kChiSquare)) {
+        throw IndexError("klsh section: unknown kernel tag " +
+                         std::to_string(ktag));
+      }
+      index->kernel_spec_.tag = static_cast<KernelTag>(ktag);
+      index->kernel_spec_.gamma =
+          ReadPod<double>(in, "klsh section: gamma");
+      index->klsh_params_.num_anchors =
+          ReadPod<uint32_t>(in, "klsh section: num_anchors");
+      index->klsh_params_.subset_size =
+          ReadPod<uint32_t>(in, "klsh section: subset_size");
+      const auto dir = ReadPod<uint8_t>(in, "klsh section: direction");
+      if (dir > static_cast<uint8_t>(KlshDirection::kSubsetClt)) {
+        throw IndexError("klsh section: unknown direction " +
+                         std::to_string(dir));
+      }
+      index->klsh_params_.direction = static_cast<KlshDirection>(dir);
+      Dataset anchors = ReadDatasetBinary(in);
+      if (anchors.num_vectors() == 0 ||
+          anchors.num_vectors() != index->klsh_params_.num_anchors) {
+        throw IndexError("klsh section: anchor count disagrees with the "
+                         "section header");
+      }
+      index->klsh_anchors_ =
+          std::make_shared<const Dataset>(std::move(anchors));
+      try {
+        index->kernel_ = MakeKernel(index->kernel_spec_);
+      } catch (const std::invalid_argument& e) {
+        throw IndexError(std::string("klsh section: ") + e.what());
+      }
     }
     index->banding_ = BandingIndex::Load(in, index->data_.num_vectors());
     if (index->banding_.num_bands() != index->l_ ||
@@ -436,27 +616,63 @@ std::unique_ptr<PersistentIndex> PersistentIndex::LoadInternal(
     const Dataset& d = index->data_;
     const uint64_t verify_seed = VerificationSeed(index->seed_);
     const bool padded = version >= 2;
-    if (cosine) {
-      index->verify_gauss_ =
-          std::make_shared<ImplicitGaussianSource>(verify_seed);
-      index->bits_ = std::make_unique<BitSignatureStore>(
-          &d, SrpHasher(index->verify_gauss_.get()));
+    switch (kind) {
+      case SignatureKind::kSrpBits:
+        index->verify_gauss_ =
+            std::make_shared<ImplicitGaussianSource>(verify_seed);
+        index->bits_ = std::make_unique<BitSignatureStore>(
+            &d, SrpHasher(index->verify_gauss_.get()));
+        break;
+      case SignatureKind::kKlshBits: {
+        index->klsh_cache_ = std::make_shared<KlshRowCache>();
+        KlshParams kp = index->klsh_params_;
+        kp.seed = verify_seed;
+        index->verify_klsh_ = std::shared_ptr<const KlshHasher>(
+            new KlshHasher(KlshHasher::FromAnchors(
+                Dataset(*index->klsh_anchors_), index->kernel_.get(),
+                kp)));
+        index->bits_ = std::make_unique<BitSignatureStore>(
+            &d, std::make_shared<KlshChunkHasher>(index->verify_klsh_,
+                                                  index->klsh_cache_, &d));
+        break;
+      }
+      case SignatureKind::kMinwiseInts:
+        index->ints_ = std::make_unique<IntSignatureStore>(
+            &d, MinwiseHasher(verify_seed));
+        break;
+      case SignatureKind::kIcwsInts:
+        index->ints_ = std::make_unique<IntSignatureStore>(
+            &d, std::make_shared<IcwsChunkHasher>(
+                    IcwsHasher(verify_seed)));
+        break;
+      case SignatureKind::kPstableInts: {
+        if (!(index->threshold_ > 0.0)) {
+          throw IndexError("index header: Euclidean radius must be > 0");
+        }
+        const double width = 2.0 * index->threshold_;
+        index->ints_ = std::make_unique<IntSignatureStore>(
+            &d, std::make_shared<PstableChunkHasher>(
+                    PstableHasher(verify_seed, width)));
+        break;
+      }
+      case SignatureKind::kBbitPacked:
+        index->bbits_ = std::make_unique<BbitSignatureStore>(
+            &d, MinwiseHasher(verify_seed), index->bbit_);
+        break;
+    }
+    if (index->bits_ != nullptr) {
       if (mapped_base != nullptr) {
         index->bits_->LoadViews(in, mapped_base, mapped_size);
       } else {
         index->bits_->Load(in, padded);
       }
-    } else if (kind == SignatureKind::kMinwiseInts) {
-      index->ints_ = std::make_unique<IntSignatureStore>(
-          &d, MinwiseHasher(verify_seed));
+    } else if (index->ints_ != nullptr) {
       if (mapped_base != nullptr) {
         index->ints_->LoadViews(in, mapped_base, mapped_size);
       } else {
         index->ints_->Load(in, padded);
       }
     } else {
-      index->bbits_ = std::make_unique<BbitSignatureStore>(
-          &d, MinwiseHasher(verify_seed), index->bbit_);
       if (mapped_base != nullptr) {
         index->bbits_->LoadViews(in, mapped_base, mapped_size);
       } else {

@@ -36,6 +36,8 @@
 
 #include "candgen/banding_index.h"
 #include "candgen/lsh_banding.h"
+#include "kernel/kernels.h"
+#include "kernel/klsh.h"
 #include "lsh/bbit_minwise.h"
 #include "lsh/gaussian_source.h"
 #include "lsh/signature_store.h"
@@ -54,10 +56,14 @@ class IndexError : public IoError {
 
 // On-disk format version written to index files by default. Version 2
 // page-aligns every signature blob (docs/FORMATS.md) so LoadFileMmap can
-// map the slabs read-only instead of copying them; Load still accepts
-// version-1 files (copying loads only), and Save can be asked to emit
-// either version.
-inline constexpr uint32_t kIndexFormatVersion = 2;
+// map the slabs read-only instead of copying them. Version 3 extends the
+// measure tag with weighted Jaccard (ICWS), kernel cosine (KLSH) and
+// Euclidean, and adds the KLSH measure-config section (kernel spec +
+// family shape + anchor rows) for kernel-cosine indexes. Load still
+// accepts version-1 and -2 files (v1 is copying-load only), and Save can
+// be asked to emit any supported version — though only v3 can carry the
+// new measures.
+inline constexpr uint32_t kIndexFormatVersion = 3;
 
 // Oldest format version Load still reads.
 inline constexpr uint32_t kIndexMinFormatVersion = 1;
@@ -91,6 +97,20 @@ struct IndexBuildConfig {
   // Jaccard only: store verification signatures as b-bit minwise
   // (lsh/bbit_minwise.h) with this width; 0 keeps full 32-bit hashes.
   uint32_t bbit = 0;
+
+  // kKernelCosine only (mirrors QuerySearchConfig): the kernel the measure
+  // is defined against and the KLSH hash-family shape. klsh.seed is
+  // ignored — the master `seed` above derives the hash streams.
+  KernelSpec kernel;
+  KlshParams klsh;
+
+  // kKernelCosine only: pre-sampled anchor rows. The built index persists
+  // its anchors, and every component hashing against the index must use
+  // them (warm searchers adopt them automatically). Null samples
+  // min(klsh.num_anchors, data rows) from the dataset with the master
+  // seed; compaction passes the base index's anchors here so adopted
+  // signatures stay valid.
+  std::shared_ptr<const Dataset> klsh_anchors;
 
   // Verification hashes prefetched per row at build time, rounded up to
   // whole chunks; 0 selects one verification round (32 cosine bits / 16
@@ -179,7 +199,8 @@ class PersistentIndex {
   // IndexError on write failure or an unsupported version.
   void Save(std::ostream& out,
             uint32_t format_version = kIndexFormatVersion) const;
-  void SaveFile(const std::string& path) const;
+  void SaveFile(const std::string& path,
+                uint32_t format_version = kIndexFormatVersion) const;
 
   const Dataset& data() const { return data_; }
   Measure measure() const { return measure_; }
@@ -190,6 +211,15 @@ class PersistentIndex {
   uint32_t bbit() const { return bbit_; }
   SignatureKind signature_kind() const;
   const BandingIndex& banding() const { return banding_; }
+
+  // kKernelCosine only (defaults / null otherwise): the kernel spec, KLSH
+  // family shape, and anchor rows the index was built with. Warm searchers
+  // adopt all three so their hash family is bit-for-bit the index's.
+  const KernelSpec& kernel_spec() const { return kernel_spec_; }
+  const KlshParams& klsh_params() const { return klsh_params_; }
+  const std::shared_ptr<const Dataset>& klsh_anchors() const {
+    return klsh_anchors_;
+  }
 
   // The verification signature store matching signature_kind(); the other
   // two accessors return nullptr.
@@ -228,9 +258,17 @@ class PersistentIndex {
   uint32_t bbit_ = 0;
   BandingIndex banding_;
 
-  // Exactly one store is non-null; for cosine-like measures the Gaussian
-  // source backing its hasher is owned here.
+  // Exactly one store is non-null; for SRP cosine measures the Gaussian
+  // source backing its hasher is owned here, and for the kernel cosine
+  // the kernel, verification-stream KLSH hasher, row cache and anchor
+  // rows are.
   std::shared_ptr<const GaussianSource> verify_gauss_;
+  KernelSpec kernel_spec_;
+  KlshParams klsh_params_;
+  std::shared_ptr<const Dataset> klsh_anchors_;
+  std::unique_ptr<const Kernel> kernel_;
+  std::shared_ptr<const KlshHasher> verify_klsh_;
+  std::shared_ptr<KlshRowCache> klsh_cache_;
   std::unique_ptr<BitSignatureStore> bits_;
   std::unique_ptr<IntSignatureStore> ints_;
   std::unique_ptr<BbitSignatureStore> bbits_;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "candgen/banding_index.h"
 #include "common/bit_ops.h"
@@ -18,34 +20,32 @@
 #include "core/inference_cache.h"
 #include "core/jaccard_posterior.h"
 #include "core/pipeline.h"
+#include "euclidean/distance_posterior.h"
+#include "euclidean/pstable_hasher.h"
+#include "kernel/kernels.h"
+#include "kernel/klsh.h"
 #include "lsh/bbit_minwise.h"
+#include "lsh/icws_hasher.h"
 #include "lsh/minwise_hasher.h"
 #include "lsh/srp_hasher.h"
 
 namespace bayeslsh {
 
+// Instantiated in euclidean/nn_search.cc.
+extern template class InferenceCache<EuclideanPosterior>;
+
 namespace {
 
+// Measures verified through the cosine posterior over a bit store: plain
+// SRP cosine, binary cosine, and the kernel cosine (KLSH bits obey the
+// same collision law — kernel/klsh.h).
 bool CosineLike(Measure m) {
-  return m == Measure::kCosine || m == Measure::kBinaryCosine;
+  return m == Measure::kCosine || m == Measure::kBinaryCosine ||
+         m == Measure::kKernelCosine;
 }
 
 // Below this many candidates per worker a query is verified sequentially.
 constexpr uint64_t kMinQueryCandidatesPerShard = 16;
-
-double ExactQuerySimilarity(const Dataset& data, uint32_t row,
-                            const SparseVectorView& q, Measure measure) {
-  const SparseVectorView x = data.Row(row);
-  switch (measure) {
-    case Measure::kCosine:
-      return SparseDot(x, q);  // Query must be pre-normalized.
-    case Measure::kJaccard:
-      return JaccardSimilarity(x, q);
-    case Measure::kBinaryCosine:
-      return BinaryCosineSimilarity(x, q);
-  }
-  return 0.0;
-}
 
 // A mutex-guarded pool of inference caches. Every serving path leases the
 // caches it needs for one call (one for a serial query, one per worker for
@@ -151,18 +151,39 @@ struct QuerySearcher::Impl {
   uint32_t l = 0;  // Bands.
   uint32_t lite_h = 0;
 
-  // Banding (generation-seed) hashers for queries.
-  std::shared_ptr<const GaussianSource> gen_gauss;
-  std::optional<MinwiseHasher> gen_minhash;
+  // Accept threshold on the score axis: cfg.threshold for similarity
+  // measures, -radius for Euclidean (scores are negated distances —
+  // sim/similarity.h).
+  double score_threshold = 0.0;
 
-  // Verification (verification-seed) hashers + collection stores (exactly
-  // one store engaged, per measure/bbit). The stores are the explicitly
-  // `mutable`, internally synchronized serving state behind Query() const:
-  // all growth reachable from a const searcher goes through the store's
-  // mutex-guarded MatchAgainstQuery / GrowthLock extension points (or is
-  // absent entirely once frozen) — see lsh/signature_store.h.
+  // Hash families, as polymorphic chunk hashers: the generation
+  // (banding-seed) family feeds the banding build, query probes, and
+  // incremental inserts; the verification family lives inside the engaged
+  // store (bits->hasher() / ints->hasher()). Exactly one of the bit/int
+  // gen hashers is engaged, matching the store. The concrete sources they
+  // wrap are owned alongside (Gaussians for SRP, the kernel + anchors for
+  // KLSH); verify_minhash backs the b-bit query packing path only.
+  std::shared_ptr<const GaussianSource> gen_gauss;
   std::shared_ptr<const GaussianSource> verify_gauss;
   std::optional<MinwiseHasher> verify_minhash;
+  std::shared_ptr<const WordChunkHasher> gen_bits_hasher;
+  std::shared_ptr<const IntChunkHasher> gen_ints_hasher;
+
+  // Kernel-cosine context: one kernel object, generation/verification KLSH
+  // hashers over the SAME anchor set (seeds differ, anchors must not — see
+  // QuerySearchConfig::klsh_anchors), and the row cache both streams share
+  // (anchor kernel rows are seed-independent).
+  std::unique_ptr<const Kernel> kernel;
+  std::shared_ptr<const KlshHasher> gen_klsh;
+  std::shared_ptr<const KlshHasher> verify_klsh;
+  std::shared_ptr<KlshRowCache> klsh_cache;
+
+  // Collection stores (exactly one engaged, per measure/bbit). The stores
+  // are the explicitly `mutable`, internally synchronized serving state
+  // behind Query() const: all growth reachable from a const searcher goes
+  // through the store's mutex-guarded MatchAgainstQuery / GrowthLock
+  // extension points (or is absent entirely once frozen) — see
+  // lsh/signature_store.h.
   mutable std::optional<BitSignatureStore> bits;
   mutable std::optional<IntSignatureStore> ints;
   mutable std::optional<BbitSignatureStore> bbits;
@@ -172,9 +193,11 @@ struct QuerySearcher::Impl {
   std::optional<CosinePosterior> cos_model;
   std::optional<JaccardPosterior> jac_model;
   std::optional<BbitMinwisePosterior> bbit_model;
+  std::optional<EuclideanPosterior> euc_model;
   mutable CachePool<CosinePosterior> cos_pool;
   mutable CachePool<JaccardPosterior> jac_pool;
   mutable CachePool<BbitMinwisePosterior> bbit_pool;
+  mutable CachePool<EuclideanPosterior> euc_pool;
 
   // Worker pool (num_threads > 1 only). pool_mu_ grants exclusive use of
   // it: QueryBatch holds it for the batch, a single Query() try-locks it
@@ -202,6 +225,60 @@ struct QuerySearcher::Impl {
 
   // Candidate ids from the buckets the query falls into (sorted, unique).
   std::vector<uint32_t> CollectCandidates(const SparseVectorView& q) const;
+
+  // Exact score of collection row vs the query on the measure's score axis
+  // (negated distance for Euclidean; compare against score_threshold).
+  double ExactSim(uint32_t row, const SparseVectorView& q) const {
+    const SparseVectorView x = data->Row(row);
+    switch (cfg.measure) {
+      case Measure::kCosine:
+        return SparseDot(x, q);  // Query must be pre-normalized.
+      case Measure::kJaccard:
+        return JaccardSimilarity(x, q);
+      case Measure::kBinaryCosine:
+        return BinaryCosineSimilarity(x, q);
+      case Measure::kWeightedJaccard:
+        return WeightedJaccardSimilarity(x, q);
+      case Measure::kKernelCosine:
+        return KernelCosine(*kernel, x, q);
+      case Measure::kEuclidean:
+        return -SparseEuclideanDistance(x, q);
+    }
+    return 0.0;
+  }
+
+  // One query's hash stream over the engaged bit store: chunk index -> 64
+  // packed bits, from the generation or verification family. For KLSH the
+  // anchor kernel row is computed once here and reused by every chunk (the
+  // chunk hasher's external-vector fallback would redo the p kernel
+  // evaluations per chunk).
+  std::function<uint64_t(uint32_t)> QueryBitChunks(const SparseVectorView& q,
+                                                   bool generation) const {
+    if (cfg.measure == Measure::kKernelCosine) {
+      const KlshHasher* h = generation ? gen_klsh.get() : verify_klsh.get();
+      auto krow = std::make_shared<const std::vector<double>>(
+          h->AnchorKernelRow(q));
+      return [h, krow = std::move(krow)](uint32_t chunk) {
+        return h->HashChunk(*krow, chunk);
+      };
+    }
+    const WordChunkHasher* h =
+        generation ? gen_bits_hasher.get() : &bits->hasher();
+    return [h, q](uint32_t chunk) {
+      return h->HashChunk(q, kNoStoreRow, chunk);
+    };
+  }
+
+  // Int-store counterpart: writes the family's chunk_ints() values per
+  // chunk (16 minwise/ICWS, 64 p-stable).
+  std::function<void(uint32_t, uint32_t*)> QueryIntChunks(
+      const SparseVectorView& q, bool generation) const {
+    const IntChunkHasher* h =
+        generation ? gen_ints_hasher.get() : &ints->hasher();
+    return [h, q](uint32_t chunk, uint32_t* out) {
+      h->HashChunk(q, kNoStoreRow, chunk, out);
+    };
+  }
 
   // --- verification of one candidate against the current query ---
   // Returns true with the similarity in *sim if the candidate is kept.
@@ -232,19 +309,23 @@ struct QuerySearcher::Impl {
       }
     }
     if (cfg.exact_verification) {
-      const double s = ExactQuerySimilarity(*data, row, q, cfg.measure);
-      if (s >= cfg.threshold) {
+      const double s = ExactSim(row, q);
+      if (s >= score_threshold) {
         *sim = s;
         return true;
       }
       return false;
     }
     // Estimation mode, budget exhausted: forced accept (cf. Algorithm 1).
+    // (Unreachable for Euclidean — exact verification is forced — but the
+    // dispatch stays total: the MAP distance estimate, negated.)
     const int mi = static_cast<int>(m), ni = static_cast<int>(n);
     if (CosineLike(cfg.measure)) {
       *sim = cos_model->Estimate(mi, ni);
     } else if (bbit_model.has_value()) {
       *sim = bbit_model->Estimate(mi, ni);
+    } else if (euc_model.has_value()) {
+      *sim = -euc_model->Estimate(mi, ni);
     } else {
       *sim = jac_model->Estimate(mi, ni);
     }
@@ -336,9 +417,8 @@ struct QuerySearcher::Impl {
       for (auto& s : slots) {
         if (s.done) continue;
         if (cfg.exact_verification) {
-          const double sim =
-              ExactQuerySimilarity(*data, s.row, q, cfg.measure);
-          if (sim >= cfg.threshold) {
+          const double sim = ExactSim(s.row, q);
+          if (sim >= score_threshold) {
             s.accepted = true;
             s.sim = sim;
           }
@@ -350,6 +430,8 @@ struct QuerySearcher::Impl {
           s.sim = cos_model->Estimate(mi, ni);
         } else if (bbit_model.has_value()) {
           s.sim = bbit_model->Estimate(mi, ni);
+        } else if (euc_model.has_value()) {
+          s.sim = -euc_model->Estimate(mi, ni);
         } else {
           s.sim = jac_model->Estimate(mi, ni);
         }
@@ -366,17 +448,18 @@ struct QuerySearcher::Impl {
   // for concurrent callers: every row access goes through the store's
   // MatchAgainstQuery (lock-free once frozen). posterior_batch != 1 routes
   // through VerifyBlocked above; 1 keeps the per-candidate loop.
-  void VerifyCosineSerial(const SparseVectorView& q,
-                          std::span<const uint32_t> candidates,
-                          InferenceCache<CosinePosterior>& cache,
-                          QueryStats* stats,
-                          std::vector<QueryMatch>* out) const {
-    const SrpHasher vhasher(verify_gauss.get());
+  // Bit-store serial verification (SRP cosine, binary cosine, KLSH — all
+  // through the cosine posterior).
+  void VerifyBitsSerial(const SparseVectorView& q,
+                        std::span<const uint32_t> candidates,
+                        InferenceCache<CosinePosterior>& cache,
+                        QueryStats* stats,
+                        std::vector<QueryMatch>* out) const {
+    const auto hash_chunk = QueryBitChunks(q, /*generation=*/false);
     std::vector<uint64_t> qbits;
     auto hash_query_to = [&](uint32_t n_bits) {
       while (qbits.size() < WordsForBits(n_bits)) {
-        qbits.push_back(
-            vhasher.HashChunk(q, static_cast<uint32_t>(qbits.size())));
+        qbits.push_back(hash_chunk(static_cast<uint32_t>(qbits.size())));
       }
     };
     auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
@@ -396,19 +479,22 @@ struct QuerySearcher::Impl {
     }
   }
 
-  void VerifyJaccardSerial(const SparseVectorView& q,
-                           std::span<const uint32_t> candidates,
-                           InferenceCache<JaccardPosterior>& cache,
-                           QueryStats* stats,
-                           std::vector<QueryMatch>* out) const {
+  // Int-store serial verification (minwise Jaccard, ICWS weighted Jaccard,
+  // p-stable Euclidean). Cache is the leased inference cache of whichever
+  // posterior model the measure verifies through.
+  template <typename Cache>
+  void VerifyIntsSerial(const SparseVectorView& q,
+                        std::span<const uint32_t> candidates, Cache& cache,
+                        QueryStats* stats,
+                        std::vector<QueryMatch>* out) const {
+    const uint32_t chunk_ints = ints->hasher().chunk_ints();
+    const auto hash_chunk = QueryIntChunks(q, /*generation=*/false);
     std::vector<uint32_t> qints;
     auto hash_query_to = [&](uint32_t n_hashes) {
       while (qints.size() < n_hashes) {
-        const auto chunk =
-            static_cast<uint32_t>(qints.size()) / kMinhashChunkInts;
-        qints.resize(qints.size() + kMinhashChunkInts);
-        verify_minhash->HashChunk(q, chunk,
-                                  qints.data() + chunk * kMinhashChunkInts);
+        const auto chunk = static_cast<uint32_t>(qints.size()) / chunk_ints;
+        qints.resize(qints.size() + chunk_ints);
+        hash_chunk(chunk, qints.data() + chunk * chunk_ints);
       }
     };
     auto match_range = [&](uint32_t row, uint32_t from, uint32_t to) {
@@ -479,17 +565,17 @@ struct QuerySearcher::Impl {
   // sort makes the output independent of the thread count. On a frozen
   // store the whole path is read-only: the growth lock is a no-op, the
   // prefetch is skipped, and overflow shards never materialize rows.
-  void VerifyCosineSharded(const SparseVectorView& q,
-                           std::span<const uint32_t> candidates,
-                           const CacheLease<CosinePosterior>& caches,
-                           QueryStats* stats,
-                           std::vector<QueryMatch>* out) const {
+  void VerifyBitsSharded(const SparseVectorView& q,
+                         std::span<const uint32_t> candidates,
+                         const CacheLease<CosinePosterior>& caches,
+                         QueryStats* stats,
+                         std::vector<QueryMatch>* out) const {
     ThreadPool* p = pool.get();
     const uint32_t kk = bayes.hashes_per_round;
-    const SrpHasher vhasher(verify_gauss.get());
+    const auto hash_chunk = QueryBitChunks(q, /*generation=*/false);
     std::vector<uint64_t> qbits(WordsForBits(ServeBudget()));
     for (uint32_t c = 0; c < qbits.size(); ++c) {
-      qbits[c] = vhasher.HashChunk(q, c);
+      qbits[c] = hash_chunk(c);
     }
 
     auto growth_lock = bits->GrowthLock();
@@ -548,24 +634,25 @@ struct QuerySearcher::Impl {
     bits->AddBitsComputed(overflow_total);
   }
 
-  void VerifyJaccardSharded(const SparseVectorView& q,
-                            std::span<const uint32_t> candidates,
-                            const CacheLease<JaccardPosterior>& caches,
-                            QueryStats* stats,
-                            std::vector<QueryMatch>* out) const {
+  template <typename Model>
+  void VerifyIntsSharded(const SparseVectorView& q,
+                         std::span<const uint32_t> candidates,
+                         const CacheLease<Model>& caches, QueryStats* stats,
+                         std::vector<QueryMatch>* out) const {
     ThreadPool* p = pool.get();
     const uint32_t kk = bayes.hashes_per_round;
-    const uint32_t chunks =
-        (ServeBudget() + kMinhashChunkInts - 1) / kMinhashChunkInts;
-    std::vector<uint32_t> qints(chunks * kMinhashChunkInts);
+    const uint32_t chunk_ints = ints->hasher().chunk_ints();
+    const auto hash_chunk = QueryIntChunks(q, /*generation=*/false);
+    const uint32_t chunks = (ServeBudget() + chunk_ints - 1) / chunk_ints;
+    std::vector<uint32_t> qints(chunks * chunk_ints);
     for (uint32_t c = 0; c < chunks; ++c) {
-      verify_minhash->HashChunk(q, c, qints.data() + c * kMinhashChunkInts);
+      hash_chunk(c, qints.data() + c * chunk_ints);
     }
 
     auto growth_lock = ints->GrowthLock();
     if (!ints->frozen()) {
       const uint32_t horizon =
-          (kk + kMinhashChunkInts - 1) / kMinhashChunkInts * kMinhashChunkInts;
+          (kk + chunk_ints - 1) / chunk_ints * chunk_ints;
       ints->AddHashesComputed(ParallelReduce(
           p, candidates.size(), uint64_t{0},
           [&](uint32_t, uint64_t b, uint64_t e) {
@@ -628,18 +715,33 @@ void QuerySearcher::Impl::Init(const Dataset* d,
   cfg = config;
 
   const bool cosine = CosineLike(config.measure);
-  if (config.bbit != 0 &&
-      (cosine || !IsValidBbitWidth(config.bbit))) {
+  const bool euclidean = config.measure == Measure::kEuclidean;
+  if (config.bbit != 0 && (config.measure != Measure::kJaccard ||
+                           !IsValidBbitWidth(config.bbit))) {
     throw std::invalid_argument(
         "QuerySearchConfig: bbit requires the Jaccard measure and a "
         "power-of-two width in [1, 32]");
   }
+  if (euclidean && !(config.threshold > 0.0)) {
+    throw std::invalid_argument(
+        "QuerySearchConfig: the Euclidean threshold is a radius and must "
+        "be > 0");
+  }
+  // Euclidean serving always verifies survivors exactly: the posterior
+  // estimates collision rates, not distances, and the contract is "rows
+  // within the radius" (query_search.h). Forced before ServeBudget() is
+  // read so the cache budget is the lite budget.
+  if (euclidean) cfg.exact_verification = true;
+  score_threshold = euclidean ? -config.threshold : config.threshold;
   bayes = config.bayes;
-  if (bayes.hashes_per_round == 0) bayes.hashes_per_round = cosine ? 32 : 16;
+  if (bayes.hashes_per_round == 0) {
+    bayes.hashes_per_round = cosine || euclidean ? 32 : 16;
+  }
   if (bayes.max_hashes == 0) bayes.max_hashes = cosine ? 4096 : 512;
   bayes.max_hashes -= bayes.max_hashes % bayes.hashes_per_round;
-  lite_h = config.lite_max_hashes != 0 ? config.lite_max_hashes
-                                       : (cosine ? 128u : 64u);
+  lite_h = config.lite_max_hashes != 0
+               ? config.lite_max_hashes
+               : (cosine || euclidean ? 128u : 64u);
   lite_h -= lite_h % bayes.hashes_per_round;
   if (lite_h == 0) lite_h = bayes.hashes_per_round;
 
@@ -657,39 +759,112 @@ void QuerySearcher::Impl::Init(const Dataset* d,
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
   const uint32_t cache_budget = ServeBudget();
 
-  // Models and cache pools.
-  if (cosine) {
-    cos_model.emplace(config.threshold);
-    cos_pool.Configure(&*cos_model, bayes.hashes_per_round, cache_budget,
-                       bayes.epsilon, bayes.delta, bayes.gamma);
-    gen_gauss = std::make_shared<ImplicitGaussianSource>(gen_seed);
-    verify_gauss = std::make_shared<ImplicitGaussianSource>(verify_seed);
-    bits.emplace(d, SrpHasher(verify_gauss.get()));
-  } else if (config.bbit != 0) {
-    bbit_model.emplace(config.threshold, config.bbit);
-    bbit_pool.Configure(&*bbit_model, bayes.hashes_per_round, cache_budget,
-                        bayes.epsilon, bayes.delta, bayes.gamma);
-    gen_minhash.emplace(gen_seed);
-    verify_minhash.emplace(verify_seed);
-    bbits.emplace(d, MinwiseHasher(verify_seed), config.bbit);
-  } else {
-    jac_model.emplace(config.threshold);  // Uniform prior in query mode.
-    jac_pool.Configure(&*jac_model, bayes.hashes_per_round, cache_budget,
-                       bayes.epsilon, bayes.delta, bayes.gamma);
-    gen_minhash.emplace(gen_seed);
-    verify_minhash.emplace(verify_seed);
-    ints.emplace(d, MinwiseHasher(verify_seed));
+  // Models, cache pools, hash families and the matching empty store —
+  // one arm per measure (plus the Jaccard bbit split).
+  switch (config.measure) {
+    case Measure::kCosine:
+    case Measure::kBinaryCosine: {
+      cos_model.emplace(config.threshold);
+      cos_pool.Configure(&*cos_model, bayes.hashes_per_round, cache_budget,
+                         bayes.epsilon, bayes.delta, bayes.gamma);
+      gen_gauss = std::make_shared<ImplicitGaussianSource>(gen_seed);
+      verify_gauss = std::make_shared<ImplicitGaussianSource>(verify_seed);
+      gen_bits_hasher =
+          std::make_shared<SrpChunkHasher>(SrpHasher(gen_gauss.get()));
+      bits.emplace(d, std::make_shared<SrpChunkHasher>(
+                          SrpHasher(verify_gauss.get())));
+      break;
+    }
+    case Measure::kKernelCosine: {
+      cos_model.emplace(config.threshold);
+      cos_pool.Configure(&*cos_model, bayes.hashes_per_round, cache_budget,
+                         bayes.epsilon, bayes.delta, bayes.gamma);
+      kernel = MakeKernel(config.kernel);
+      klsh_cache = std::make_shared<KlshRowCache>();
+      // Both hash streams see the SAME anchors (sampled once with the
+      // master seed — never the derived stream seeds — so every serving
+      // component agrees); only kp.seed differs between the streams.
+      KlshParams kp = config.klsh;
+      Dataset gen_anchors =
+          config.klsh_anchors != nullptr
+              ? *config.klsh_anchors
+              : SampleKlshAnchors(
+                    *d, std::min(kp.num_anchors, d->num_vectors()),
+                    config.seed);
+      Dataset verify_anchors = gen_anchors;
+      kp.seed = gen_seed;
+      gen_klsh = std::shared_ptr<const KlshHasher>(new KlshHasher(
+          KlshHasher::FromAnchors(std::move(gen_anchors), kernel.get(),
+                                  kp)));
+      kp.seed = verify_seed;
+      verify_klsh = std::shared_ptr<const KlshHasher>(new KlshHasher(
+          KlshHasher::FromAnchors(std::move(verify_anchors), kernel.get(),
+                                  kp)));
+      gen_bits_hasher =
+          std::make_shared<KlshChunkHasher>(gen_klsh, klsh_cache, d);
+      bits.emplace(d, std::make_shared<KlshChunkHasher>(verify_klsh,
+                                                        klsh_cache, d));
+      break;
+    }
+    case Measure::kJaccard: {
+      if (config.bbit != 0) {
+        bbit_model.emplace(config.threshold, config.bbit);
+        bbit_pool.Configure(&*bbit_model, bayes.hashes_per_round,
+                            cache_budget, bayes.epsilon, bayes.delta,
+                            bayes.gamma);
+        gen_ints_hasher = std::make_shared<MinwiseChunkHasher>(
+            MinwiseHasher(gen_seed));
+        verify_minhash.emplace(verify_seed);
+        bbits.emplace(d, MinwiseHasher(verify_seed), config.bbit);
+        break;
+      }
+      jac_model.emplace(config.threshold);  // Uniform prior in query mode.
+      jac_pool.Configure(&*jac_model, bayes.hashes_per_round, cache_budget,
+                         bayes.epsilon, bayes.delta, bayes.gamma);
+      gen_ints_hasher =
+          std::make_shared<MinwiseChunkHasher>(MinwiseHasher(gen_seed));
+      ints.emplace(d, std::make_shared<MinwiseChunkHasher>(
+                          MinwiseHasher(verify_seed)));
+      break;
+    }
+    case Measure::kWeightedJaccard: {
+      // ICWS collisions obey Pr[h(x) = h(y)] = J_w(x, y) — the minwise
+      // law — so the Jaccard posterior verifies weighted Jaccard as-is.
+      jac_model.emplace(config.threshold);
+      jac_pool.Configure(&*jac_model, bayes.hashes_per_round, cache_budget,
+                         bayes.epsilon, bayes.delta, bayes.gamma);
+      gen_ints_hasher =
+          std::make_shared<IcwsChunkHasher>(IcwsHasher(gen_seed));
+      ints.emplace(d, std::make_shared<IcwsChunkHasher>(
+                          IcwsHasher(verify_seed)));
+      break;
+    }
+    case Measure::kEuclidean: {
+      // Serving-stack width convention w = 2 * radius — the same one
+      // ResolveBandingShape assumed above, making the collision
+      // probability at the radius a scale-free constant.
+      const double width = 2.0 * config.threshold;
+      euc_model.emplace(
+          EuclideanPosterior::MakeForRadius(config.threshold, width));
+      euc_pool.Configure(&*euc_model, bayes.hashes_per_round, cache_budget,
+                         bayes.epsilon, bayes.delta, bayes.gamma);
+      gen_ints_hasher = std::make_shared<PstableChunkHasher>(
+          PstableHasher(gen_seed, width));
+      ints.emplace(d, std::make_shared<PstableChunkHasher>(
+                          PstableHasher(verify_seed, width)));
+      break;
+    }
   }
 }
 
 std::vector<uint32_t> QuerySearcher::Impl::CollectCandidates(
     const SparseVectorView& q) const {
   std::vector<uint32_t> candidates;
-  if (CosineLike(cfg.measure)) {
-    const SrpHasher hasher(gen_gauss.get());
+  if (gen_bits_hasher != nullptr) {
+    const auto hash_chunk = QueryBitChunks(q, /*generation=*/true);
     std::vector<uint64_t> qwords(WordsForBits(l * k));
     for (uint32_t c = 0; c < qwords.size(); ++c) {
-      qwords[c] = hasher.HashChunk(q, c);
+      qwords[c] = hash_chunk(c);
     }
     for (uint32_t band = 0; band < l; ++band) {
       const auto* bucket = banding->Find(
@@ -700,11 +875,12 @@ std::vector<uint32_t> QuerySearcher::Impl::CollectCandidates(
       candidates.insert(candidates.end(), bucket->begin(), bucket->end());
     }
   } else {
-    const uint32_t chunks =
-        (l * k + kMinhashChunkInts - 1) / kMinhashChunkInts;
-    std::vector<uint32_t> qints(chunks * kMinhashChunkInts);
+    const uint32_t chunk_ints = gen_ints_hasher->chunk_ints();
+    const auto hash_chunk = QueryIntChunks(q, /*generation=*/true);
+    const uint32_t chunks = (l * k + chunk_ints - 1) / chunk_ints;
+    std::vector<uint32_t> qints(chunks * chunk_ints);
     for (uint32_t c = 0; c < chunks; ++c) {
-      gen_minhash->HashChunk(q, c, qints.data() + c * kMinhashChunkInts);
+      hash_chunk(c, qints.data() + c * chunk_ints);
     }
     for (uint32_t band = 0; band < l; ++band) {
       const auto* bucket = banding->Find(
@@ -726,15 +902,15 @@ QuerySearcher::QuerySearcher(const Dataset* data,
   im.Init(data, config);
 
   // Build the banding buckets over the collection with the generation-seed
-  // hashes (a separate, throwaway store: banding hashes are not reused for
-  // verification; see DESIGN.md §6). Deterministic for any thread count —
-  // see candgen/banding_index.h.
-  if (CosineLike(config.measure)) {
-    im.banding_storage = BandingIndex::BuildCosine(
-        *data, im.gen_gauss.get(), im.k, im.l, im.pool.get());
+  // hash family (a separate, throwaway store: banding hashes are not
+  // reused for verification; see DESIGN.md §6). Deterministic for any
+  // thread count — see candgen/banding_index.h.
+  if (im.gen_bits_hasher != nullptr) {
+    im.banding_storage = BandingIndex::BuildBits(
+        *data, im.gen_bits_hasher, im.k, im.l, im.pool.get());
   } else {
-    im.banding_storage = BandingIndex::BuildJaccard(
-        *data, GenerationSeed(config.seed), im.k, im.l, im.pool.get());
+    im.banding_storage = BandingIndex::BuildInts(
+        *data, im.gen_ints_hasher, im.k, im.l, im.pool.get());
   }
   im.banding = &im.banding_storage;
   num_bands_ = im.l;
@@ -766,7 +942,16 @@ QuerySearcher::QuerySearcher(const PersistentIndex* index,
   }
 
   Impl& im = *impl_;
-  im.Init(&index->data(), config);
+  // The KLSH hash family is defined by the anchors the index was built
+  // with — adopt the index's kernel spec, family shape and anchor rows so
+  // warm-served signatures agree bit-for-bit with the loaded store.
+  QuerySearchConfig cfg2 = config;
+  if (index->measure() == Measure::kKernelCosine) {
+    cfg2.kernel = index->kernel_spec();
+    cfg2.klsh = index->klsh_params();
+    cfg2.klsh_anchors = index->klsh_anchors();
+  }
+  im.Init(&index->data(), cfg2);
   // Serve from the index's recorded shape and buckets; adopt its
   // prefetched verification signatures (copies — many searchers can share
   // one loaded index).
@@ -829,7 +1014,6 @@ void QuerySearcher::SyncAppendedRows() {
                            : im.ints.has_value() ? im.ints->num_rows()
                                                  : im.bbits->num_rows();
   assert(n_store <= n_data);
-  const uint64_t gen_seed = GenerationSeed(im.cfg.seed);
   for (uint32_t row = n_store; row < n_data; ++row) {
     if (im.bits.has_value()) {
       im.bits->AppendRow();
@@ -838,11 +1022,12 @@ void QuerySearcher::SyncAppendedRows() {
     } else {
       im.bbits->AppendRow();
     }
-    if (CosineLike(im.cfg.measure)) {
-      im.banding_storage.InsertCosine(im.data->Row(row), row,
-                                      im.gen_gauss.get());
+    if (im.gen_bits_hasher != nullptr) {
+      im.banding_storage.InsertBits(im.data->Row(row), row,
+                                    *im.gen_bits_hasher);
     } else {
-      im.banding_storage.InsertJaccard(im.data->Row(row), row, gen_seed);
+      im.banding_storage.InsertInts(im.data->Row(row), row,
+                                    *im.gen_ints_hasher);
     }
   }
 }
@@ -895,24 +1080,31 @@ std::vector<QueryMatch> QuerySearcher::Query(const SparseVectorView& q,
   std::unique_lock<std::mutex> pool_lock(im.pool_mu_, std::defer_lock);
   if (want_sharded && pool_lock.try_lock()) {
     if (stats != nullptr) stats->threads_used = pool->num_threads();
-    if (CosineLike(im.cfg.measure)) {
+    if (im.bits.has_value()) {
       const CacheLease<CosinePosterior> caches(&im.cos_pool,
                                                pool->num_threads());
-      im.VerifyCosineSharded(q, candidates, caches, stats, &out);
+      im.VerifyBitsSharded(q, candidates, caches, stats, &out);
+    } else if (im.euc_model.has_value()) {
+      const CacheLease<EuclideanPosterior> caches(&im.euc_pool,
+                                                  pool->num_threads());
+      im.VerifyIntsSharded(q, candidates, caches, stats, &out);
     } else {
       const CacheLease<JaccardPosterior> caches(&im.jac_pool,
                                                 pool->num_threads());
-      im.VerifyJaccardSharded(q, candidates, caches, stats, &out);
+      im.VerifyIntsSharded(q, candidates, caches, stats, &out);
     }
-  } else if (CosineLike(im.cfg.measure)) {
+  } else if (im.bits.has_value()) {
     const CacheLease<CosinePosterior> cache(&im.cos_pool, 1);
-    im.VerifyCosineSerial(q, candidates, cache[0], stats, &out);
+    im.VerifyBitsSerial(q, candidates, cache[0], stats, &out);
   } else if (im.bbits.has_value()) {
     const CacheLease<BbitMinwisePosterior> cache(&im.bbit_pool, 1);
     im.VerifyBbitSerial(q, candidates, cache[0], stats, &out);
+  } else if (im.euc_model.has_value()) {
+    const CacheLease<EuclideanPosterior> cache(&im.euc_pool, 1);
+    im.VerifyIntsSerial(q, candidates, cache[0], stats, &out);
   } else {
     const CacheLease<JaccardPosterior> cache(&im.jac_pool, 1);
-    im.VerifyJaccardSerial(q, candidates, cache[0], stats, &out);
+    im.VerifyIntsSerial(q, candidates, cache[0], stats, &out);
   }
 
   SortMatches(&out);
@@ -956,14 +1148,14 @@ std::vector<std::vector<QueryMatch>> QuerySearcher::QueryBatch(
     MergeStats(qs, &worker_stats[w]);
   };
 
-  if (CosineLike(im.cfg.measure)) {
+  if (im.bits.has_value()) {
     const CacheLease<CosinePosterior> caches(&im.cos_pool, workers);
     run([&](uint32_t w, uint64_t i) {
       if (queries[i].empty()) return;
       QueryStats qs;
       const std::vector<uint32_t> cand = im.CollectCandidates(queries[i]);
       qs.candidates = cand.size();
-      im.VerifyCosineSerial(queries[i], cand, caches[w], &qs, &results[i]);
+      im.VerifyBitsSerial(queries[i], cand, caches[w], &qs, &results[i]);
       finish_query(w, i, qs);
     });
   } else if (im.bbits.has_value()) {
@@ -976,6 +1168,16 @@ std::vector<std::vector<QueryMatch>> QuerySearcher::QueryBatch(
       im.VerifyBbitSerial(queries[i], cand, caches[w], &qs, &results[i]);
       finish_query(w, i, qs);
     });
+  } else if (im.euc_model.has_value()) {
+    const CacheLease<EuclideanPosterior> caches(&im.euc_pool, workers);
+    run([&](uint32_t w, uint64_t i) {
+      if (queries[i].empty()) return;
+      QueryStats qs;
+      const std::vector<uint32_t> cand = im.CollectCandidates(queries[i]);
+      qs.candidates = cand.size();
+      im.VerifyIntsSerial(queries[i], cand, caches[w], &qs, &results[i]);
+      finish_query(w, i, qs);
+    });
   } else {
     const CacheLease<JaccardPosterior> caches(&im.jac_pool, workers);
     run([&](uint32_t w, uint64_t i) {
@@ -983,7 +1185,7 @@ std::vector<std::vector<QueryMatch>> QuerySearcher::QueryBatch(
       QueryStats qs;
       const std::vector<uint32_t> cand = im.CollectCandidates(queries[i]);
       qs.candidates = cand.size();
-      im.VerifyJaccardSerial(queries[i], cand, caches[w], &qs, &results[i]);
+      im.VerifyIntsSerial(queries[i], cand, caches[w], &qs, &results[i]);
       finish_query(w, i, qs);
     });
   }

@@ -38,6 +38,7 @@
 
 #include "candgen/lsh_banding.h"
 #include "core/bayes_lsh.h"
+#include "kernel/klsh.h"
 #include "lsh/gaussian_source.h"
 #include "lsh/signature_store.h"
 #include "sim/similarity.h"
@@ -49,6 +50,12 @@ class PersistentIndex;  // core/index_io.h
 
 struct QuerySearchConfig {
   Measure measure = Measure::kCosine;
+
+  // Similarity threshold t — except for kEuclidean, where it is the query
+  // *radius* (> 0, unbounded above): matches are rows within that distance
+  // and their QueryMatch::sim fields hold negated distances
+  // (sim/similarity.h). Euclidean serving always verifies survivors
+  // exactly, so exact_verification is implied.
   double threshold = 0.7;
 
   // Verification: BayesLSH estimation by default; exact verification of
@@ -67,6 +74,23 @@ struct QuerySearchConfig {
   // runs sequentially (the index build still shards, and QueryBatch still
   // shards over queries); results remain identical for every thread count.
   uint32_t bbit = 0;
+
+  // kKernelCosine only: the kernel the measure is defined against and the
+  // KLSH hash-family shape. klsh.seed is ignored — the master `seed` above
+  // derives the generation/verification hash streams, exactly as for every
+  // other measure.
+  KernelSpec kernel;
+  KlshParams klsh;
+
+  // kKernelCosine only: pre-sampled anchor rows shared across serving
+  // components. KLSH signatures are pure functions of
+  // (anchors, kernel, seed, row content), so sharded/unsharded and
+  // warm/fresh identity holds exactly when every hasher sees the same
+  // anchors — the sharded builder samples them once from the full corpus
+  // and passes them down here. Null (the default) samples
+  // min(klsh.num_anchors, collection size) rows from the collection with
+  // the master seed.
+  std::shared_ptr<const Dataset> klsh_anchors;
 
   // Posterior-evaluation block width: serial verification drives this many
   // candidates side by side, pushing every survivor's posterior update

@@ -306,6 +306,21 @@ ShardedIndex::ShardedIndex(Dataset data, const IndexBuildConfig& build,
   // SAME build config — banding shape depends only on (measure,
   // threshold, params), never on data size, so all shards (and the
   // equivalent unsharded index) agree on every hash.
+  //
+  // KLSH anchors are the one piece of hash-family state that IS sampled
+  // from data, so they are resolved here, ONCE, from the full corpus —
+  // every shard (and the equivalent unsharded index given the same
+  // anchors) then hashes with the identical family. Without this each
+  // shard would sample from its own sub-corpus and the shards would
+  // disagree on every signature.
+  IndexBuildConfig shard_build = build;
+  if (build.measure == Measure::kKernelCosine &&
+      shard_build.klsh_anchors == nullptr) {
+    shard_build.klsh_anchors =
+        std::make_shared<const Dataset>(SampleKlshAnchors(
+            data, std::min(build.klsh.num_anchors, data.num_vectors()),
+            build.seed));
+  }
   std::vector<DatasetBuilder> builders;
   builders.reserve(K);
   for (uint32_t s = 0; s < K; ++s) builders.emplace_back(data.num_dims());
@@ -326,7 +341,8 @@ ShardedIndex::ShardedIndex(Dataset data, const IndexBuildConfig& build,
   for (uint32_t s = 0; s < K; ++s) {
     auto shard = std::make_unique<Impl::Shard>();
     shard->dyn = std::make_unique<DynamicIndex>(
-        PersistentIndex::Build(std::move(builders[s]).Build(), build), dcfg);
+        PersistentIndex::Build(std::move(builders[s]).Build(), shard_build),
+        dcfg);
     shard->breaker = std::make_unique<CircuitBreaker>(cfg.breaker);
     shard->globals = std::move(globals[s]);
     impl_->shards.push_back(std::move(shard));

@@ -82,6 +82,16 @@ struct EuclideanSearchStats {
   uint64_t pruned = 0;
   uint64_t exact_computed = 0;
   uint64_t hashes_compared = 0;
+
+  // Folds another run's counters into this one — the same accumulation
+  // rule as QueryStats::MergeFrom (core/query_search.h): counters add, so
+  // per-query or per-shard stats sum into a workload total.
+  void MergeFrom(const EuclideanSearchStats& other) {
+    candidates += other.candidates;
+    pruned += other.pruned;
+    exact_computed += other.exact_computed;
+    hashes_compared += other.hashes_compared;
+  }
 };
 
 // Exact O(n^2) self-join: all pairs (a < b) with distance <= radius, in

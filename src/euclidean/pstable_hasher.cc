@@ -62,39 +62,4 @@ void PstableHasher::HashChunk(const SparseVectorView& v, uint32_t chunk,
   }
 }
 
-PstableSignatureStore::PstableSignatureStore(const Dataset* data,
-                                             PstableHasher hasher)
-    : data_(data), hasher_(hasher), hashes_(data->num_vectors()) {}
-
-void PstableSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
-  const uint32_t have = NumHashes(row);
-  if (n_hashes <= have) return;
-  const uint32_t want = (n_hashes + kPstableChunkHashes - 1) /
-                        kPstableChunkHashes * kPstableChunkHashes;
-  auto& h = hashes_[row];
-  h.resize(want);
-  const SparseVectorView v = data_->Row(row);
-  for (uint32_t j = have; j < want; j += kPstableChunkHashes) {
-    hasher_.HashChunk(v, j / kPstableChunkHashes, h.data() + j);
-  }
-  hashes_computed_ += want - have;
-}
-
-void PstableSignatureStore::EnsureAllHashes(uint32_t n_hashes) {
-  for (uint32_t row = 0; row < num_rows(); ++row) {
-    EnsureHashes(row, n_hashes);
-  }
-}
-
-uint32_t PstableSignatureStore::MatchCount(uint32_t a, uint32_t b,
-                                           uint32_t from, uint32_t to) {
-  EnsureHashes(a, to);
-  EnsureHashes(b, to);
-  const int32_t* ha = hashes_[a].data();
-  const int32_t* hb = hashes_[b].data();
-  uint32_t matches = 0;
-  for (uint32_t i = from; i < to; ++i) matches += (ha[i] == hb[i]);
-  return matches;
-}
-
 }  // namespace bayeslsh

@@ -21,9 +21,14 @@
 #define BAYESLSH_EUCLIDEAN_PSTABLE_HASHER_H_
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "lsh/gaussian_source.h"
+#include "lsh/signature_store.h"
+#include "lsh/store_base.h"
 #include "vec/dataset.h"
 #include "vec/sparse_vector.h"
 
@@ -71,38 +76,72 @@ class PstableHasher {
   double width_;
 };
 
+// IntChunkHasher adapter: p-stable buckets are small signed integers, but
+// equality matching — the only operation the stores perform — is invariant
+// under the int32 → uint32 bit-cast, so the generalized IntSignatureStore
+// carries them verbatim (kind kPstableInts records the reinterpretation).
+class PstableChunkHasher final : public IntChunkHasher {
+ public:
+  explicit PstableChunkHasher(PstableHasher pstable)
+      : pstable_(std::move(pstable)) {}
+
+  void HashChunk(const SparseVectorView& v, uint32_t /*row*/, uint32_t chunk,
+                 uint32_t* out) const override {
+    int32_t buckets[kPstableChunkHashes];
+    pstable_.HashChunk(v, chunk, buckets);
+    std::memcpy(out, buckets, sizeof(buckets));
+  }
+  uint32_t chunk_ints() const override { return kPstableChunkHashes; }
+  SignatureKind kind() const override { return SignatureKind::kPstableInts; }
+
+  const PstableHasher& pstable() const { return pstable_; }
+
+ private:
+  PstableHasher pstable_;
+};
+
 // Lazy, chunk-grown store of p-stable signatures with the MatchCount
-// contract consumed by the BayesLSH engines and the Euclidean searcher.
+// contract consumed by the BayesLSH engines and the Euclidean searcher: a
+// thin wrapper over the generalized IntSignatureStore driven through
+// PstableChunkHasher, kept for the standalone joins that predate the
+// serving stack.
 class PstableSignatureStore {
  public:
   // The dataset must outlive the store.
-  PstableSignatureStore(const Dataset* data, PstableHasher hasher);
+  PstableSignatureStore(const Dataset* data, PstableHasher hasher)
+      : chunk_hasher_(std::make_shared<PstableChunkHasher>(std::move(hasher))),
+        store_(data, chunk_hasher_) {}
 
-  uint32_t num_rows() const { return static_cast<uint32_t>(hashes_.size()); }
-  const PstableHasher& hasher() const { return hasher_; }
+  uint32_t num_rows() const { return store_.num_rows(); }
+  const PstableHasher& hasher() const { return chunk_hasher_->pstable(); }
 
-  void EnsureHashes(uint32_t row, uint32_t n_hashes);
-  void EnsureAllHashes(uint32_t n_hashes);
-
-  uint32_t NumHashes(uint32_t row) const {
-    return static_cast<uint32_t>(hashes_[row].size());
+  void EnsureHashes(uint32_t row, uint32_t n_hashes) {
+    store_.EnsureHashes(row, n_hashes);
   }
+  void EnsureAllHashes(uint32_t n_hashes) { store_.EnsureAllHashes(n_hashes); }
 
-  const int32_t* Hashes(uint32_t row) const { return hashes_[row].data(); }
+  uint32_t NumHashes(uint32_t row) const { return store_.NumHashes(row); }
+
+  const int32_t* Hashes(uint32_t row) const {
+    return reinterpret_cast<const int32_t*>(store_.Hashes(row));
+  }
 
   // Number of hash positions in [from, to) where rows a and b agree,
   // growing both signatures as needed.
-  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
+  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to) {
+    return store_.MatchCount(a, b, from, to);
+  }
 
-  uint64_t hashes_computed() const { return hashes_computed_; }
+  uint64_t hashes_computed() const { return store_.hashes_computed(); }
 
-  const Dataset* data() const { return data_; }
+  const Dataset* data() const { return store_.data(); }
+
+  // The generalized store, for callers wiring into the serving stack.
+  IntSignatureStore& store() { return store_; }
 
  private:
-  const Dataset* data_;
-  PstableHasher hasher_;
-  std::vector<std::vector<int32_t>> hashes_;
-  uint64_t hashes_computed_ = 0;
+  std::shared_ptr<const PstableChunkHasher> chunk_hasher_;
+  IntSignatureStore store_;
 };
 
 }  // namespace bayeslsh

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace bayeslsh {
 
@@ -128,6 +129,43 @@ std::vector<ScoredPair> KernelBruteForceJoin(const Dataset& data,
     }
   }
   return out;
+}
+
+bool ParseKernelTag(const std::string& name, KernelTag* out) {
+  if (name == "linear") {
+    *out = KernelTag::kLinear;
+  } else if (name == "rbf") {
+    *out = KernelTag::kRbf;
+  } else if (name == "chi2") {
+    *out = KernelTag::kChiSquare;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string KernelTagName(KernelTag tag) {
+  switch (tag) {
+    case KernelTag::kLinear:
+      return "linear";
+    case KernelTag::kRbf:
+      return "rbf";
+    case KernelTag::kChiSquare:
+      return "chi2";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Kernel> MakeKernel(const KernelSpec& spec) {
+  switch (spec.tag) {
+    case KernelTag::kLinear:
+      return std::make_unique<LinearKernel>();
+    case KernelTag::kRbf:
+      return std::make_unique<RbfKernel>(spec.gamma);
+    case KernelTag::kChiSquare:
+      return std::make_unique<ChiSquareKernel>(spec.gamma);
+  }
+  throw std::invalid_argument("MakeKernel: unknown kernel tag");
 }
 
 }  // namespace bayeslsh

@@ -19,6 +19,8 @@
 #ifndef BAYESLSH_KERNEL_KERNELS_H_
 #define BAYESLSH_KERNEL_KERNELS_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -101,6 +103,29 @@ class PolynomialKernel final : public Kernel {
   double offset_;
   uint32_t degree_;
 };
+
+// Serializable kernel description — the subset of kernels the serving
+// stack can persist inside an index file (docs/FORMATS.md, "KLSH measure
+// config"). The tag values are wire format; append only.
+enum class KernelTag : uint8_t {
+  kLinear = 0,
+  kRbf = 1,
+  kChiSquare = 2,
+};
+
+struct KernelSpec {
+  KernelTag tag = KernelTag::kLinear;
+  double gamma = 1.0;  // Ignored by kLinear.
+};
+
+// "linear" / "rbf" / "chi2" ↔ tag. ParseKernelTag returns false on an
+// unknown name without touching *out.
+bool ParseKernelTag(const std::string& name, KernelTag* out);
+std::string KernelTagName(KernelTag tag);
+
+// Materializes the kernel a spec describes. Throws std::invalid_argument
+// on an out-of-range tag (a corrupt index file).
+std::unique_ptr<Kernel> MakeKernel(const KernelSpec& spec);
 
 // Kernel cosine similarity k(x,y)/sqrt(k(x,x) k(y,y)), clamped to [-1, 1].
 // Returns 0 if either self-kernel is <= 0 (degenerate input).

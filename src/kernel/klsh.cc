@@ -12,11 +12,7 @@
 
 namespace bayeslsh {
 
-namespace {
-
-// Copies `count` distinct rows of `data`, sampled without replacement, into
-// a new dataset (preserving dimensionality).
-Dataset SampleAnchorRows(const Dataset& data, uint32_t count, uint64_t seed) {
+Dataset SampleKlshAnchors(const Dataset& data, uint32_t count, uint64_t seed) {
   std::vector<uint32_t> ids(data.num_vectors());
   std::iota(ids.begin(), ids.end(), 0u);
   Xoshiro256StarStar rng(Mix64(seed, 0xa2c4055ULL));
@@ -38,16 +34,24 @@ Dataset SampleAnchorRows(const Dataset& data, uint32_t count, uint64_t seed) {
   return std::move(builder).Build();
 }
 
-}  // namespace
-
 KlshHasher::KlshHasher(const Dataset& data, const Kernel* kernel,
                        KlshParams params)
-    : kernel_(kernel), params_(params) {
-  assert(data.num_vectors() > 0);
-  const uint32_t p = std::min(params_.num_anchors, data.num_vectors());
-  assert(p > 0);
-  anchors_ = SampleAnchorRows(data, p, params_.seed);
+    : KlshHasher(AnchorsTag{},
+                 SampleKlshAnchors(
+                     data, std::min(params.num_anchors, data.num_vectors()),
+                     params.seed),
+                 kernel, params) {}
 
+KlshHasher KlshHasher::FromAnchors(Dataset anchors, const Kernel* kernel,
+                                   KlshParams params) {
+  return KlshHasher(AnchorsTag{}, std::move(anchors), kernel, params);
+}
+
+KlshHasher::KlshHasher(AnchorsTag, Dataset anchors, const Kernel* kernel,
+                       KlshParams params)
+    : kernel_(kernel), params_(params), anchors_(std::move(anchors)) {
+  const uint32_t p = anchors_.num_vectors();
+  assert(p > 0);
   DenseMatrix k(p, p);
   for (uint32_t i = 0; i < p; ++i) {
     for (uint32_t j = i; j < p; ++j) {
@@ -65,6 +69,11 @@ std::vector<double> KlshHasher::AnchorKernelRow(
 }
 
 const DenseMatrix& KlshHasher::WeightSlab(uint32_t chunk) const {
+  // Concurrent serving threads race to the first use of a chunk; the whole
+  // build runs under the lock (it is a one-time cost per chunk) and the
+  // returned reference stays valid across later resizes because the slabs
+  // are held behind unique_ptr.
+  std::lock_guard<std::mutex> lock(slab_mu_);
   if (chunk >= slabs_.size()) slabs_.resize(chunk + 1);
   if (slabs_[chunk] == nullptr) {
     const uint32_t p = num_anchors();
@@ -119,41 +128,30 @@ uint64_t KlshHasher::HashChunk(const std::vector<double>& kernel_row,
   return word;
 }
 
+std::shared_ptr<const std::vector<double>> KlshRowCache::Row(
+    const KlshHasher& hasher, const Dataset& data, uint32_t row) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rows_.find(row);
+    if (it != rows_.end()) return it->second;
+  }
+  auto computed = std::make_shared<const std::vector<double>>(
+      hasher.AnchorKernelRow(data.Row(row)));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = rows_.emplace(row, std::move(computed));
+  if (inserted) {
+    kernel_evals_.fetch_add(hasher.num_anchors(), std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
 KlshSignatureStore::KlshSignatureStore(const Dataset* data,
                                        const KlshHasher* hasher)
-    : data_(data),
-      hasher_(hasher),
-      words_(data->num_vectors()),
-      kernel_rows_(data->num_vectors()) {}
-
-void KlshSignatureStore::EnsureBits(uint32_t row, uint32_t n_bits) {
-  const uint32_t have = NumBits(row);
-  if (n_bits <= have) return;
-  auto& kr = kernel_rows_[row];
-  if (kr.empty()) {
-    kr = hasher_->AnchorKernelRow(data_->Row(row));
-    kernel_evals_ += hasher_->num_anchors();
-  }
-  const uint32_t want_words = WordsForBits(n_bits);
-  auto& w = words_[row];
-  const uint32_t have_words = static_cast<uint32_t>(w.size());
-  w.resize(want_words);
-  for (uint32_t chunk = have_words; chunk < want_words; ++chunk) {
-    w[chunk] = hasher_->HashChunk(kr, chunk);
-  }
-  bits_computed_ += static_cast<uint64_t>(want_words - have_words) * 64;
-}
-
-void KlshSignatureStore::EnsureAllBits(uint32_t n_bits) {
-  for (uint32_t row = 0; row < num_rows(); ++row) EnsureBits(row, n_bits);
-}
-
-uint32_t KlshSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
-                                        uint32_t to) {
-  EnsureBits(a, to);
-  EnsureBits(b, to);
-  return MatchingBits(words_[a].data(), words_[b].data(), from, to);
-}
+    : cache_(std::make_shared<KlshRowCache>()),
+      store_(data, std::make_shared<KlshChunkHasher>(
+                       std::shared_ptr<const KlshHasher>(
+                           std::shared_ptr<const KlshHasher>(), hasher),
+                       cache_, data)) {}
 
 CandidateList KlshCandidates(KlshSignatureStore* store, double threshold,
                              const LshBandingParams& params) {

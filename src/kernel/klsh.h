@@ -37,14 +37,20 @@
 #ifndef BAYESLSH_KERNEL_KLSH_H_
 #define BAYESLSH_KERNEL_KLSH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "candgen/candidates.h"
 #include "candgen/lsh_banding.h"
 #include "kernel/dense_matrix.h"
 #include "kernel/kernels.h"
+#include "lsh/signature_store.h"
+#include "lsh/store_base.h"
 #include "vec/dataset.h"
 
 namespace bayeslsh {
@@ -70,15 +76,34 @@ struct KlshParams {
   uint64_t seed = 42;
 };
 
+// Copies min(count, data.num_vectors()) distinct rows of `data`, sampled
+// without replacement from (seed), into a new dataset. This is the anchor
+// sampling KlshHasher performs internally, exposed so the serving stack can
+// sample anchors ONCE from the full corpus and share them across shards and
+// between generation/verification hashers — sharded and warm-loaded KLSH
+// results are identical to fresh unsharded builds only because every hasher
+// sees the same anchors.
+Dataset SampleKlshAnchors(const Dataset& data, uint32_t count, uint64_t seed);
+
 // Owns the anchors, K^{-1/2}, and the lazily-built per-chunk weight slabs.
-// Immutable after construction except for the slab cache; one hasher is
-// shared by all rows of a signature store.
+// Immutable after construction except for the slab cache (which is
+// internally synchronized — a hasher may be shared by concurrent serving
+// threads); one hasher is shared by all rows of a signature store.
 class KlshHasher {
  public:
   // Samples min(params.num_anchors, data.num_vectors()) distinct anchor
   // rows from `data` (copied — `data` need not outlive the hasher) and
   // factorizes their kernel matrix. The kernel must outlive the hasher.
   KlshHasher(const Dataset& data, const Kernel* kernel, KlshParams params);
+
+  // Pre-sampled-anchors form: adopts `anchors` verbatim (all rows are
+  // anchors; params.num_anchors is ignored) and factorizes their kernel
+  // matrix. params.seed drives only hash-direction generation, so two
+  // hashers over the same anchors with different seeds give independent
+  // hash families against one kernel geometry — the generation /
+  // verification split of the serving stack.
+  static KlshHasher FromAnchors(Dataset anchors, const Kernel* kernel,
+                                KlshParams params);
 
   uint32_t num_anchors() const { return anchors_.num_vectors(); }
   const Dataset& anchors() const { return anchors_; }
@@ -94,56 +119,125 @@ class KlshHasher {
                      uint32_t chunk) const;
 
   // Weight matrix for one chunk: column j holds w for hash 64*chunk + j.
-  // Built deterministically from (seed, chunk) on first use and cached.
+  // Built deterministically from (seed, chunk) on first use and cached;
+  // safe to call from concurrent threads (the cache is mutex-guarded, and
+  // a built slab's address is stable for the hasher's lifetime).
   const DenseMatrix& WeightSlab(uint32_t chunk) const;
 
  private:
+  struct AnchorsTag {};
+  KlshHasher(AnchorsTag, Dataset anchors, const Kernel* kernel,
+             KlshParams params);
+
   const Kernel* kernel_;
   KlshParams params_;
   Dataset anchors_;
   DenseMatrix k_inv_sqrt_;  // K^{-1/2} over the anchors.
+  mutable std::mutex slab_mu_;
   mutable std::vector<std::unique_ptr<DenseMatrix>> slabs_;
 };
 
+// Shared per-row anchor-kernel-row cache: the p kernel evaluations of a
+// first-touched row are the dominant KLSH hashing cost, so the generation
+// and verification stores of one searcher share a cache keyed by row id.
+// Thread-safe; rows are computed outside the lock (kernel rows are pure
+// functions of (kernel, anchors, row), so a racing double-compute is
+// benign — the first insert wins and only it is tallied).
+class KlshRowCache {
+ public:
+  // The cached k(row, anchor_i) vector, computing and inserting it on
+  // miss. `data` must be the same dataset on every call for a given row id.
+  std::shared_ptr<const std::vector<double>> Row(const KlshHasher& hasher,
+                                                 const Dataset& data,
+                                                 uint32_t row);
+
+  // Total kernel evaluations spent populating the cache.
+  uint64_t kernel_evals() const {
+    return kernel_evals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<uint32_t, std::shared_ptr<const std::vector<double>>>
+      rows_;
+  std::atomic<uint64_t> kernel_evals_{0};
+};
+
+// WordChunkHasher adapter: lets the generalized BitSignatureStore (and with
+// it the whole serving stack) carry KLSH bits. Collection rows route their
+// anchor kernel rows through the shared cache; external vectors (queries,
+// row == kNoStoreRow) pay a fresh kernel row per chunk — the serving query
+// path avoids that by computing the row once and calling
+// KlshHasher::HashChunk directly.
+class KlshChunkHasher final : public WordChunkHasher {
+ public:
+  // `data` is the dataset whose row ids key the cache (null disables
+  // caching). The hasher handle may be non-owning (aliased) when the owner
+  // outlives every store using this adapter.
+  KlshChunkHasher(std::shared_ptr<const KlshHasher> hasher,
+                  std::shared_ptr<KlshRowCache> cache, const Dataset* data)
+      : hasher_(std::move(hasher)), cache_(std::move(cache)), data_(data) {}
+
+  uint64_t HashChunk(const SparseVectorView& v, uint32_t row,
+                     uint32_t chunk) const override {
+    if (row != kNoStoreRow && cache_ != nullptr && data_ != nullptr) {
+      return hasher_->HashChunk(*cache_->Row(*hasher_, *data_, row), chunk);
+    }
+    return hasher_->HashChunk(hasher_->AnchorKernelRow(v), chunk);
+  }
+  SignatureKind kind() const override { return SignatureKind::kKlshBits; }
+
+  const KlshHasher& klsh() const { return *hasher_; }
+  const std::shared_ptr<KlshRowCache>& cache() const { return cache_; }
+
+ private:
+  std::shared_ptr<const KlshHasher> hasher_;
+  std::shared_ptr<KlshRowCache> cache_;
+  const Dataset* data_;
+};
+
 // Lazy, chunk-grown KLSH bit signatures; the kernelized analogue of
-// BitSignatureStore with the same MatchCount contract. Hashing an object
-// for the first time computes its anchor kernel row (p kernel
-// evaluations), which is cached — the dominant cost this store exists to
-// amortize and defer.
+// BitSignatureStore with the same MatchCount contract: a thin wrapper over
+// the generalized BitSignatureStore driven through KlshChunkHasher, kept
+// for the standalone joins and benches that predate the serving stack.
+// Hashing an object for the first time computes its anchor kernel row
+// (p kernel evaluations), which is cached — the dominant cost this store
+// exists to amortize and defer.
 class KlshSignatureStore {
  public:
   // Both referents must outlive the store.
   KlshSignatureStore(const Dataset* data, const KlshHasher* hasher);
 
-  uint32_t num_rows() const { return static_cast<uint32_t>(words_.size()); }
+  uint32_t num_rows() const { return store_.num_rows(); }
 
-  void EnsureBits(uint32_t row, uint32_t n_bits);
-  void EnsureAllBits(uint32_t n_bits);
-
-  uint32_t NumBits(uint32_t row) const {
-    return static_cast<uint32_t>(words_[row].size()) * 64;
+  void EnsureBits(uint32_t row, uint32_t n_bits) {
+    store_.EnsureBits(row, n_bits);
   }
+  void EnsureAllBits(uint32_t n_bits) { store_.EnsureAllBits(n_bits); }
 
-  const uint64_t* Words(uint32_t row) const { return words_[row].data(); }
+  uint32_t NumBits(uint32_t row) const { return store_.NumBits(row); }
+
+  const uint64_t* Words(uint32_t row) const { return store_.Words(row); }
 
   // Number of hash positions in [from, to) where rows a and b agree,
   // growing both signatures as needed.
-  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
+  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to) {
+    return store_.MatchCount(a, b, from, to);
+  }
 
   // Instrumentation: total hash bits computed, and total kernel
   // evaluations spent on anchor rows (p per first-touched object).
-  uint64_t bits_computed() const { return bits_computed_; }
-  uint64_t kernel_evals() const { return kernel_evals_; }
+  uint64_t bits_computed() const { return store_.bits_computed(); }
+  uint64_t kernel_evals() const { return cache_->kernel_evals(); }
 
-  const Dataset* data() const { return data_; }
+  const Dataset* data() const { return store_.data(); }
+
+  // The generalized store, for callers wiring into the serving stack.
+  BitSignatureStore& store() { return store_; }
 
  private:
-  const Dataset* data_;
-  const KlshHasher* hasher_;
-  std::vector<std::vector<uint64_t>> words_;
-  std::vector<std::vector<double>> kernel_rows_;  // Empty until first touch.
-  uint64_t bits_computed_ = 0;
-  uint64_t kernel_evals_ = 0;
+  std::shared_ptr<KlshRowCache> cache_;
+  BitSignatureStore store_;
 };
 
 // Candidate pairs for the kernel cosine via banding over KLSH signatures;

@@ -36,6 +36,7 @@
 
 #include "common/simd_ops.h"
 #include "lsh/minwise_hasher.h"
+#include "lsh/store_base.h"
 #include "vec/dataset.h"
 
 namespace bayeslsh {
@@ -117,7 +118,7 @@ inline uint32_t MatchingBbitGroups(const uint64_t* a, const uint64_t* b,
 // the BayesLSH engines. Signatures grow in chunks of 64 hash values
 // (= 4 minwise chunks = b words), so a pair pruned after 64 hashes costs
 // each endpoint exactly one growth step.
-class BbitSignatureStore {
+class BbitSignatureStore final : public SignatureStoreBase {
  public:
   // Growth quantum in hash values.
   static constexpr uint32_t kChunkHashes = 64;
@@ -127,7 +128,9 @@ class BbitSignatureStore {
   BbitSignatureStore(const Dataset* data, MinwiseHasher hasher,
                      uint32_t bits_per_hash);
 
-  uint32_t num_rows() const { return static_cast<uint32_t>(words_.size()); }
+  uint32_t num_rows() const override {
+    return static_cast<uint32_t>(words_.size());
+  }
   uint32_t bits_per_hash() const { return bits_per_hash_; }
 
   // Grows row's signature to at least n hashes (rounded up to chunks).
@@ -147,17 +150,19 @@ class BbitSignatureStore {
   // Frozen-state serving; see the BitSignatureStore counterparts in
   // lsh/signature_store.h. The query signature is in the same packed
   // group layout as the stored rows (PackBbitValues output).
-  void Freeze() { frozen_.store(true, std::memory_order_release); }
-  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+  void Freeze() override { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const override {
+    return frozen_.load(std::memory_order_acquire);
+  }
   uint32_t MatchAgainstQuery(uint32_t row, const uint64_t* query_words,
                              uint32_t from, uint32_t to);
-  std::unique_lock<std::mutex> GrowthLock() {
+  std::unique_lock<std::mutex> GrowthLock() override {
     if (frozen()) return {};
     return std::unique_lock<std::mutex>(growth_mu_);
   }
 
   // See BitSignatureStore::AppendRow (lsh/signature_store.h).
-  void AppendRow() {
+  void AppendRow() override {
     assert(!frozen());
     std::lock_guard<std::mutex> lock(growth_mu_);
     words_.emplace_back();
@@ -214,13 +219,26 @@ class BbitSignatureStore {
   // Serialization + warm start; see the BitSignatureStore counterparts in
   // lsh/signature_store.h. The section kind is SignatureKind::kBbitPacked
   // and records bits_per_hash, so a loader with a different width fails.
-  void Save(std::ostream& out, bool align_blob = false) const;
-  void Load(std::istream& in, bool padded = false);
+  void Save(std::ostream& out, bool align_blob = false) const override;
+  void Load(std::istream& in, bool padded = false) override;
   void LoadViews(std::istream& in, const char* mapped_base,
-                 size_t mapped_size);
+                 size_t mapped_size) override;
   void CopyRowsFrom(const BbitSignatureStore& other);
 
   const Dataset* data() const { return data_; }
+
+  // SignatureStoreBase contract (lsh/store_base.h): the generic names
+  // forward to the b-bit-specific ones above.
+  SignatureKind kind() const override { return SignatureKind::kBbitPacked; }
+  uint32_t chunk_hashes() const override { return kChunkHashes; }
+  uint32_t HashesHeld(uint32_t row) const override { return NumHashes(row); }
+  void EnsureRow(uint32_t row, uint32_t n) override { EnsureHashes(row, n); }
+  void EnsureAll(uint32_t n) override { EnsureAllHashes(n); }
+  uint64_t EnsureRowUncounted(uint32_t row, uint32_t n) override {
+    return EnsureHashesUncounted(row, n);
+  }
+  void AddComputed(uint64_t n) override { AddHashesComputed(n); }
+  uint64_t computed() const override { return hashes_computed(); }
 
  private:
   // See BitSignatureStore::HeldWords (lsh/signature_store.h).

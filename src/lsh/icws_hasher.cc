@@ -61,40 +61,6 @@ void IcwsHasher::HashChunk(const SparseVectorView& v, uint32_t chunk,
   }
 }
 
-IcwsSignatureStore::IcwsSignatureStore(const Dataset* data, IcwsHasher hasher)
-    : data_(data), hasher_(hasher), hashes_(data->num_vectors()) {}
-
-void IcwsSignatureStore::EnsureHashes(uint32_t row, uint32_t n_hashes) {
-  const uint32_t have = NumHashes(row);
-  if (n_hashes <= have) return;
-  const uint32_t want =
-      (n_hashes + kIcwsChunkInts - 1) / kIcwsChunkInts * kIcwsChunkInts;
-  auto& h = hashes_[row];
-  h.resize(want);
-  const SparseVectorView v = data_->Row(row);
-  for (uint32_t j = have; j < want; j += kIcwsChunkInts) {
-    hasher_.HashChunk(v, j / kIcwsChunkInts, h.data() + j);
-  }
-  hashes_computed_ += want - have;
-}
-
-void IcwsSignatureStore::EnsureAllHashes(uint32_t n_hashes) {
-  for (uint32_t row = 0; row < num_rows(); ++row) {
-    EnsureHashes(row, n_hashes);
-  }
-}
-
-uint32_t IcwsSignatureStore::MatchCount(uint32_t a, uint32_t b, uint32_t from,
-                                        uint32_t to) {
-  EnsureHashes(a, to);
-  EnsureHashes(b, to);
-  const uint32_t* ha = hashes_[a].data();
-  const uint32_t* hb = hashes_[b].data();
-  uint32_t matches = 0;
-  for (uint32_t i = from; i < to; ++i) matches += (ha[i] == hb[i]);
-  return matches;
-}
-
 CandidateList IcwsLshCandidates(IcwsSignatureStore* store, double threshold,
                                 const LshBandingParams& params) {
   const uint32_t k = params.hashes_per_band != 0 ? params.hashes_per_band

@@ -34,10 +34,13 @@
 #define BAYESLSH_LSH_ICWS_HASHER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "candgen/candidates.h"
 #include "candgen/lsh_banding.h"
+#include "lsh/signature_store.h"
+#include "lsh/store_base.h"
 #include "vec/dataset.h"
 #include "vec/sparse_vector.h"
 
@@ -62,37 +65,60 @@ class IcwsHasher {
   uint64_t seed_;
 };
 
+// IntChunkHasher adapter: lets the generalized IntSignatureStore (and with
+// it the whole serving stack) carry ICWS weighted-Jaccard signatures.
+class IcwsChunkHasher final : public IntChunkHasher {
+ public:
+  explicit IcwsChunkHasher(IcwsHasher icws) : icws_(icws) {}
+
+  void HashChunk(const SparseVectorView& v, uint32_t /*row*/, uint32_t chunk,
+                 uint32_t* out) const override {
+    icws_.HashChunk(v, chunk, out);
+  }
+  uint32_t chunk_ints() const override { return kIcwsChunkInts; }
+  SignatureKind kind() const override { return SignatureKind::kIcwsInts; }
+
+  const IcwsHasher& icws() const { return icws_; }
+
+ private:
+  IcwsHasher icws_;
+};
+
 // Lazy, chunk-grown store of ICWS signatures with the MatchCount contract
-// consumed by the BayesLSH engines; the weighted-Jaccard sibling of
-// IntSignatureStore.
+// consumed by the BayesLSH engines: a thin wrapper over the generalized
+// IntSignatureStore driven through IcwsChunkHasher, kept for the standalone
+// joins and benches that predate the serving stack.
 class IcwsSignatureStore {
  public:
-  IcwsSignatureStore(const Dataset* data, IcwsHasher hasher);
+  IcwsSignatureStore(const Dataset* data, IcwsHasher hasher)
+      : store_(data, std::make_shared<IcwsChunkHasher>(hasher)) {}
 
-  uint32_t num_rows() const { return static_cast<uint32_t>(hashes_.size()); }
+  uint32_t num_rows() const { return store_.num_rows(); }
 
-  void EnsureHashes(uint32_t row, uint32_t n_hashes);
-  void EnsureAllHashes(uint32_t n_hashes);
-
-  uint32_t NumHashes(uint32_t row) const {
-    return static_cast<uint32_t>(hashes_[row].size());
+  void EnsureHashes(uint32_t row, uint32_t n_hashes) {
+    store_.EnsureHashes(row, n_hashes);
   }
+  void EnsureAllHashes(uint32_t n_hashes) { store_.EnsureAllHashes(n_hashes); }
 
-  const uint32_t* Hashes(uint32_t row) const { return hashes_[row].data(); }
+  uint32_t NumHashes(uint32_t row) const { return store_.NumHashes(row); }
+
+  const uint32_t* Hashes(uint32_t row) const { return store_.Hashes(row); }
 
   // Number of hash positions in [from, to) where rows a and b agree,
   // growing both signatures as needed.
-  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to);
+  uint32_t MatchCount(uint32_t a, uint32_t b, uint32_t from, uint32_t to) {
+    return store_.MatchCount(a, b, from, to);
+  }
 
-  uint64_t hashes_computed() const { return hashes_computed_; }
+  uint64_t hashes_computed() const { return store_.hashes_computed(); }
 
-  const Dataset* data() const { return data_; }
+  const Dataset* data() const { return store_.data(); }
+
+  // The generalized store, for callers wiring into the serving stack.
+  IntSignatureStore& store() { return store_; }
 
  private:
-  const Dataset* data_;
-  IcwsHasher hasher_;
-  std::vector<std::vector<uint32_t>> hashes_;
-  uint64_t hashes_computed_ = 0;
+  IntSignatureStore store_;
 };
 
 // Candidate pairs for weighted Jaccard: bands over ICWS signatures, with

@@ -7,8 +7,35 @@
 
 namespace bayeslsh {
 
+namespace {
+
+// Names the store kind in serialization error messages.
+const char* KindName(SignatureKind kind) {
+  switch (kind) {
+    case SignatureKind::kSrpBits:
+      return "SRP bits";
+    case SignatureKind::kMinwiseInts:
+      return "minwise ints";
+    case SignatureKind::kBbitPacked:
+      return "b-bit packed";
+    case SignatureKind::kIcwsInts:
+      return "ICWS ints";
+    case SignatureKind::kPstableInts:
+      return "p-stable ints";
+    case SignatureKind::kKlshBits:
+      return "KLSH bits";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 BitSignatureStore::BitSignatureStore(const Dataset* data, SrpHasher hasher)
-    : data_(data), hasher_(hasher), words_(data->num_vectors()) {}
+    : BitSignatureStore(data, std::make_shared<SrpChunkHasher>(hasher)) {}
+
+BitSignatureStore::BitSignatureStore(
+    const Dataset* data, std::shared_ptr<const WordChunkHasher> hasher)
+    : data_(data), hasher_(std::move(hasher)), words_(data->num_vectors()) {}
 
 uint64_t BitSignatureStore::EnsureBitsUncounted(uint32_t row,
                                                 uint32_t n_bits) {
@@ -25,7 +52,7 @@ uint64_t BitSignatureStore::EnsureBitsUncounted(uint32_t row,
   const SparseVectorView v = data_->Row(row);
   w.reserve(need);
   for (uint32_t c = have; c < need; ++c) {
-    w.push_back(hasher_.HashChunk(v, c));
+    w.push_back(hasher_->HashChunk(v, row, c));
   }
   return static_cast<uint64_t>(need - have) * kBitsPerWord;
 }
@@ -74,16 +101,16 @@ void BitSignatureStore::Save(std::ostream& out, bool align_blob) const {
   for (uint32_t r = 0; r < num_rows(); ++r) {
     rows.emplace_back(Words(r), HeldWords(r));
   }
-  internal::SaveSignatureRows(out, SignatureKind::kSrpBits, 0, rows,
-                              bits_computed(), align_blob);
+  internal::SaveSignatureRows(out, kind(), 0, rows, bits_computed(),
+                              align_blob);
 }
 
 void BitSignatureStore::Load(std::istream& in, bool padded) {
   assert(!frozen());
   uint64_t computed = 0;
-  internal::LoadSignatureRows(in, SignatureKind::kSrpBits, 0, num_rows(),
-                              /*length_multiple=*/1, "SRP bits", &words_,
-                              &computed, padded);
+  internal::LoadSignatureRows(in, kind(), 0, num_rows(),
+                              /*length_multiple=*/1, KindName(kind()),
+                              &words_, &computed, padded);
   views_.clear();
   bits_computed_.store(computed, std::memory_order_relaxed);
 }
@@ -93,10 +120,10 @@ void BitSignatureStore::LoadViews(std::istream& in, const char* mapped_base,
   assert(!frozen());
   uint64_t computed = 0;
   std::vector<internal::RowSpan<uint64_t>> views;
-  internal::LoadSignatureRowViews(in, mapped_base, mapped_size,
-                                  SignatureKind::kSrpBits, 0, num_rows(),
-                                  /*length_multiple=*/1, "SRP bits", &views,
-                                  &computed);
+  internal::LoadSignatureRowViews(in, mapped_base, mapped_size, kind(), 0,
+                                  num_rows(),
+                                  /*length_multiple=*/1, KindName(kind()),
+                                  &views, &computed);
   views_ = std::move(views);
   for (auto& w : words_) w.clear();
   bits_computed_.store(computed, std::memory_order_relaxed);
@@ -120,15 +147,19 @@ void BitSignatureStore::CopyRowsFrom(const BitSignatureStore& other) {
 
 IntSignatureStore::IntSignatureStore(const Dataset* data,
                                      MinwiseHasher hasher)
-    : data_(data), hasher_(hasher), hashes_(data->num_vectors()) {}
+    : IntSignatureStore(data, std::make_shared<MinwiseChunkHasher>(hasher)) {}
+
+IntSignatureStore::IntSignatureStore(
+    const Dataset* data, std::shared_ptr<const IntChunkHasher> hasher)
+    : data_(data), hasher_(std::move(hasher)), hashes_(data->num_vectors()) {}
 
 uint64_t IntSignatureStore::EnsureHashesUncounted(uint32_t row,
                                                   uint32_t n_hashes) {
   auto& h = hashes_[row];
-  // Round up to whole chunks.
-  const uint32_t need_chunks =
-      (n_hashes + kMinhashChunkInts - 1) / kMinhashChunkInts;
-  const uint32_t need = need_chunks * kMinhashChunkInts;
+  // Round up to whole chunks (the hasher's growth quantum).
+  const uint32_t chunk_ints = hasher_->chunk_ints();
+  const uint32_t need_chunks = (n_hashes + chunk_ints - 1) / chunk_ints;
+  const uint32_t need = need_chunks * chunk_ints;
   if (HeldHashes(row) >= need) return 0;
   assert(!frozen());  // A frozen store must already cover every request.
   // Materialize the mapped prefix before growing past it (see
@@ -137,11 +168,11 @@ uint64_t IntSignatureStore::EnsureHashesUncounted(uint32_t row,
     h.assign(views_[row].first, views_[row].first + views_[row].second);
   }
   const uint32_t have = static_cast<uint32_t>(h.size());
-  assert(have % kMinhashChunkInts == 0);
+  assert(have % chunk_ints == 0);
   const SparseVectorView v = data_->Row(row);
   h.resize(need);
-  for (uint32_t c = have / kMinhashChunkInts; c < need_chunks; ++c) {
-    hasher_.HashChunk(v, c, h.data() + c * kMinhashChunkInts);
+  for (uint32_t c = have / chunk_ints; c < need_chunks; ++c) {
+    hasher_->HashChunk(v, row, c, h.data() + c * chunk_ints);
   }
   return need - have;
 }
@@ -199,16 +230,16 @@ void IntSignatureStore::Save(std::ostream& out, bool align_blob) const {
   for (uint32_t r = 0; r < num_rows(); ++r) {
     rows.emplace_back(Hashes(r), HeldHashes(r));
   }
-  internal::SaveSignatureRows(out, SignatureKind::kMinwiseInts, 0, rows,
-                              hashes_computed(), align_blob);
+  internal::SaveSignatureRows(out, kind(), 0, rows, hashes_computed(),
+                              align_blob);
 }
 
 void IntSignatureStore::Load(std::istream& in, bool padded) {
   assert(!frozen());
   uint64_t computed = 0;
-  internal::LoadSignatureRows(in, SignatureKind::kMinwiseInts, 0, num_rows(),
-                              kMinhashChunkInts, "minwise ints", &hashes_,
-                              &computed, padded);
+  internal::LoadSignatureRows(in, kind(), 0, num_rows(),
+                              hasher_->chunk_ints(), KindName(kind()),
+                              &hashes_, &computed, padded);
   views_.clear();
   hashes_computed_.store(computed, std::memory_order_relaxed);
 }
@@ -218,10 +249,9 @@ void IntSignatureStore::LoadViews(std::istream& in, const char* mapped_base,
   assert(!frozen());
   uint64_t computed = 0;
   std::vector<internal::RowSpan<uint32_t>> views;
-  internal::LoadSignatureRowViews(in, mapped_base, mapped_size,
-                                  SignatureKind::kMinwiseInts, 0, num_rows(),
-                                  kMinhashChunkInts, "minwise ints", &views,
-                                  &computed);
+  internal::LoadSignatureRowViews(in, mapped_base, mapped_size, kind(), 0,
+                                  num_rows(), hasher_->chunk_ints(),
+                                  KindName(kind()), &views, &computed);
   views_ = std::move(views);
   for (auto& h : hashes_) h.clear();
   hashes_computed_.store(computed, std::memory_order_relaxed);
@@ -259,7 +289,7 @@ const std::vector<uint64_t>& BitOverflowShard::Row(uint32_t row,
   const SparseVectorView v = base_->data()->Row(row);
   w.reserve(need);
   for (uint32_t c = have; c < need; ++c) {
-    w.push_back(base_->hasher().HashChunk(v, c));
+    w.push_back(base_->hasher().HashChunk(v, row, c));
   }
   bits_computed_ += static_cast<uint64_t>(need - have) * kBitsPerWord;
   return w;
@@ -292,9 +322,9 @@ uint32_t BitOverflowShard::MatchCount(uint32_t a, uint32_t b, uint32_t from,
 const std::vector<uint32_t>& IntOverflowShard::Row(uint32_t row,
                                                    uint32_t n_hashes) {
   auto& h = rows_[row];
-  const uint32_t need_chunks =
-      (n_hashes + kMinhashChunkInts - 1) / kMinhashChunkInts;
-  const uint32_t need = need_chunks * kMinhashChunkInts;
+  const uint32_t chunk_ints = base_->hasher().chunk_ints();
+  const uint32_t need_chunks = (n_hashes + chunk_ints - 1) / chunk_ints;
+  const uint32_t need = need_chunks * chunk_ints;
   if (h.size() >= need) return h;
   if (h.empty()) {
     const uint32_t base_have = base_->NumHashes(row);
@@ -302,11 +332,11 @@ const std::vector<uint32_t>& IntOverflowShard::Row(uint32_t row,
   }
   const uint32_t have = static_cast<uint32_t>(h.size());
   if (have >= need) return h;
-  assert(have % kMinhashChunkInts == 0);
+  assert(have % chunk_ints == 0);
   const SparseVectorView v = base_->data()->Row(row);
   h.resize(need);
-  for (uint32_t c = have / kMinhashChunkInts; c < need_chunks; ++c) {
-    base_->hasher().HashChunk(v, c, h.data() + c * kMinhashChunkInts);
+  for (uint32_t c = have / chunk_ints; c < need_chunks; ++c) {
+    base_->hasher().HashChunk(v, row, c, h.data() + c * chunk_ints);
   }
   hashes_computed_ += need - have;
   return h;

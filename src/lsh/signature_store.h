@@ -50,6 +50,7 @@
 #include <cassert>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -58,6 +59,7 @@
 #include "common/bit_ops.h"
 #include "lsh/minwise_hasher.h"
 #include "lsh/srp_hasher.h"
+#include "lsh/store_base.h"
 #include "vec/dataset.h"
 
 namespace bayeslsh {
@@ -65,18 +67,10 @@ namespace bayeslsh {
 class BitOverflowShard;
 class IntOverflowShard;
 
-// Signature-kind tags used by the serialized store sections (docs/FORMATS.md
-// §"Signature section"). The tag is the first byte of a section, so a loader
-// pointed at the wrong store kind fails immediately instead of
-// reinterpreting bits.
-enum class SignatureKind : uint8_t {
-  kSrpBits = 0,      // BitSignatureStore: packed SRP bits, u64 words.
-  kMinwiseInts = 1,  // IntSignatureStore: full-width minwise hashes, u32.
-  kBbitPacked = 2,   // BbitSignatureStore: b-bit packed minwise, u64 words.
-};
-
-// Bit signatures (SRP / cosine). Hash i of row v is bit i%64 of word i/64.
-class BitSignatureStore {
+// Bit signatures, one packed word per chunk (SRP / cosine by default; any
+// WordChunkHasher family, e.g. KLSH). Hash i of row v is bit i%64 of word
+// i/64.
+class BitSignatureStore final : public SignatureStoreBase {
  public:
   // Hashes per lazily grown chunk.
   static constexpr uint32_t kChunkHashes = static_cast<uint32_t>(kBitsPerWord);
@@ -87,7 +81,14 @@ class BitSignatureStore {
   // Both referents must outlive the store.
   BitSignatureStore(const Dataset* data, SrpHasher hasher);
 
-  uint32_t num_rows() const { return static_cast<uint32_t>(words_.size()); }
+  // Generalized form: signatures come from any word-chunk hash family; the
+  // serialized section carries the hasher's kind() tag.
+  BitSignatureStore(const Dataset* data,
+                    std::shared_ptr<const WordChunkHasher> hasher);
+
+  uint32_t num_rows() const override {
+    return static_cast<uint32_t>(words_.size());
+  }
 
   // Grows row's signature to at least n_bits hashes (rounded up to chunks).
   void EnsureBits(uint32_t row, uint32_t n_bits);
@@ -115,8 +116,10 @@ class BitSignatureStore {
   // after Freeze() is a programming error. Publishing the frozen store to
   // other threads must happen-after this call (any synchronizing handoff
   // does).
-  void Freeze() { frozen_.store(true, std::memory_order_release); }
-  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+  void Freeze() override { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const override {
+    return frozen_.load(std::memory_order_acquire);
+  }
 
   // Serving-path match of one stored row against an external query
   // signature (packed bit words, hash i at bit i) over positions
@@ -136,7 +139,7 @@ class BitSignatureStore {
   // (e.g. the within-query sharded path: prefetch, overflow, merge) that
   // must exclude concurrent MatchAgainstQuery callers. Returns an empty
   // (lock-free) lock when frozen — a frozen store needs no exclusion.
-  std::unique_lock<std::mutex> GrowthLock() {
+  std::unique_lock<std::mutex> GrowthLock() override {
     if (frozen()) return {};
     return std::unique_lock<std::mutex>(growth_mu_);
   }
@@ -147,7 +150,7 @@ class BitSignatureStore {
   // growth mutex; never legal on a frozen store (asserted). Callers must
   // still exclude concurrent readers of num_rows()/Words() while
   // appending, exactly as for any other structural growth.
-  void AppendRow() {
+  void AppendRow() override {
     assert(!frozen());
     std::lock_guard<std::mutex> lock(growth_mu_);
     words_.emplace_back();
@@ -200,11 +203,11 @@ class BitSignatureStore {
   }
 
   // Serializes every grown row plus the bits_computed() tally as one
-  // SignatureKind::kSrpBits section (docs/FORMATS.md). Deterministic: the
-  // bytes depend only on the rows, the tally, and the stream position when
-  // `align_blob` is set (format v2 pads the row blob to a page boundary so
-  // it can be mapped instead of copied).
-  void Save(std::ostream& out, bool align_blob = false) const;
+  // signature section tagged with the hasher's kind() (docs/FORMATS.md).
+  // Deterministic: the bytes depend only on the rows, the tally, and the
+  // stream position when `align_blob` is set (format v2+ pads the row blob
+  // to a page boundary so it can be mapped instead of copied).
+  void Save(std::ostream& out, bool align_blob = false) const override;
 
   // Replaces this store's rows and tally with a previously saved section.
   // The store must cover a dataset with the same row count (signatures are
@@ -214,7 +217,7 @@ class BitSignatureStore {
   // the format v2 wire layout (alignment pad before the blob). Throws
   // IoError on a malformed or truncated section; the store is unchanged on
   // throw.
-  void Load(std::istream& in, bool padded = false);
+  void Load(std::istream& in, bool padded = false) override;
 
   // Zero-copy variant of Load for an index file mapped read-only at
   // `mapped_base` (`in` must be a stream over that same mapping): rows
@@ -226,7 +229,7 @@ class BitSignatureStore {
   // the mapped prefix into an owned copy (uncounted: the writer accounted
   // those hashes).
   void LoadViews(std::istream& in, const char* mapped_base,
-                 size_t mapped_size);
+                 size_t mapped_size) override;
 
   // Adopts every row of `other` that is longer than the local one (warm
   // start from a persistent index). Rows that `other` holds as mmap views
@@ -238,7 +241,19 @@ class BitSignatureStore {
   void CopyRowsFrom(const BitSignatureStore& other);
 
   const Dataset* data() const { return data_; }
-  const SrpHasher& hasher() const { return hasher_; }
+  const WordChunkHasher& hasher() const { return *hasher_; }
+
+  // --- SignatureStoreBase contract (bit-flavoured methods above) ---
+  SignatureKind kind() const override { return hasher_->kind(); }
+  uint32_t chunk_hashes() const override { return kChunkHashes; }
+  uint32_t HashesHeld(uint32_t row) const override { return NumBits(row); }
+  void EnsureRow(uint32_t row, uint32_t n) override { EnsureBits(row, n); }
+  void EnsureAll(uint32_t n) override { EnsureAllBits(n); }
+  uint64_t EnsureRowUncounted(uint32_t row, uint32_t n) override {
+    return EnsureBitsUncounted(row, n);
+  }
+  void AddComputed(uint64_t n) override { AddBitsComputed(n); }
+  uint64_t computed() const override { return bits_computed(); }
 
  private:
   // Words a row logically holds: the longer of the owned vector and the
@@ -251,7 +266,7 @@ class BitSignatureStore {
   }
 
   const Dataset* data_;
-  SrpHasher hasher_;
+  std::shared_ptr<const WordChunkHasher> hasher_;
   std::vector<std::vector<uint64_t>> words_;
   // Zero-copy row views into an mmap'd index (LoadViews): empty in copy
   // mode, else parallel to words_. See HeldWords for the row invariant.
@@ -261,16 +276,26 @@ class BitSignatureStore {
   std::mutex growth_mu_;  // Serving-path growth (see MatchAgainstQuery).
 };
 
-// Integer signatures (minwise / Jaccard).
-class IntSignatureStore {
+// Integer signatures (minwise / Jaccard by default; any IntChunkHasher
+// family, e.g. ICWS or p-stable — the chunk size follows the hasher).
+class IntSignatureStore final : public SignatureStoreBase {
  public:
+  // The minwise growth quantum; the generalized ctor's quantum is
+  // hasher->chunk_ints() (see chunk_hashes()).
   static constexpr uint32_t kChunkHashes = kMinhashChunkInts;
 
   using OverflowShard = IntOverflowShard;
 
   IntSignatureStore(const Dataset* data, MinwiseHasher hasher);
 
-  uint32_t num_rows() const { return static_cast<uint32_t>(hashes_.size()); }
+  // Generalized form: signatures come from any int-chunk hash family; the
+  // serialized section carries the hasher's kind() tag.
+  IntSignatureStore(const Dataset* data,
+                    std::shared_ptr<const IntChunkHasher> hasher);
+
+  uint32_t num_rows() const override {
+    return static_cast<uint32_t>(hashes_.size());
+  }
 
   void EnsureHashes(uint32_t row, uint32_t n_hashes);
 
@@ -283,19 +308,21 @@ class IntSignatureStore {
   }
 
   // Frozen-state serving; see the BitSignatureStore counterparts. The
-  // query signature is a plain array of full-width minwise hashes, hash i
-  // at index i.
-  void Freeze() { frozen_.store(true, std::memory_order_release); }
-  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+  // query signature is a plain array of full-width hash values, hash i at
+  // index i.
+  void Freeze() override { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const override {
+    return frozen_.load(std::memory_order_acquire);
+  }
   uint32_t MatchAgainstQuery(uint32_t row, const uint32_t* query_hashes,
                              uint32_t from, uint32_t to);
-  std::unique_lock<std::mutex> GrowthLock() {
+  std::unique_lock<std::mutex> GrowthLock() override {
     if (frozen()) return {};
     return std::unique_lock<std::mutex>(growth_mu_);
   }
 
   // See BitSignatureStore::AppendRow.
-  void AppendRow() {
+  void AppendRow() override {
     assert(!frozen());
     std::lock_guard<std::mutex> lock(growth_mu_);
     hashes_.emplace_back();
@@ -335,15 +362,27 @@ class IntSignatureStore {
   }
 
   // Serialization + warm start; see the BitSignatureStore counterparts.
-  // The section kind is SignatureKind::kMinwiseInts.
-  void Save(std::ostream& out, bool align_blob = false) const;
-  void Load(std::istream& in, bool padded = false);
+  // The section kind is the hasher's kind() tag.
+  void Save(std::ostream& out, bool align_blob = false) const override;
+  void Load(std::istream& in, bool padded = false) override;
   void LoadViews(std::istream& in, const char* mapped_base,
-                 size_t mapped_size);
+                 size_t mapped_size) override;
   void CopyRowsFrom(const IntSignatureStore& other);
 
   const Dataset* data() const { return data_; }
-  const MinwiseHasher& hasher() const { return hasher_; }
+  const IntChunkHasher& hasher() const { return *hasher_; }
+
+  // --- SignatureStoreBase contract (int-flavoured methods above) ---
+  SignatureKind kind() const override { return hasher_->kind(); }
+  uint32_t chunk_hashes() const override { return hasher_->chunk_ints(); }
+  uint32_t HashesHeld(uint32_t row) const override { return NumHashes(row); }
+  void EnsureRow(uint32_t row, uint32_t n) override { EnsureHashes(row, n); }
+  void EnsureAll(uint32_t n) override { EnsureAllHashes(n); }
+  uint64_t EnsureRowUncounted(uint32_t row, uint32_t n) override {
+    return EnsureHashesUncounted(row, n);
+  }
+  void AddComputed(uint64_t n) override { AddHashesComputed(n); }
+  uint64_t computed() const override { return hashes_computed(); }
 
  private:
   // See BitSignatureStore::HeldWords.
@@ -354,7 +393,7 @@ class IntSignatureStore {
   }
 
   const Dataset* data_;
-  MinwiseHasher hasher_;
+  std::shared_ptr<const IntChunkHasher> hasher_;
   std::vector<std::vector<uint32_t>> hashes_;
   // Zero-copy row views (LoadViews); see BitSignatureStore::views_.
   std::vector<std::pair<const uint32_t*, uint32_t>> views_;

@@ -24,6 +24,13 @@ std::vector<ScoredPair> InvertedIndexJoin(const Dataset& data,
   assert(threshold > 0.0 &&
          "InvertedIndexJoin misses zero-similarity pairs; use "
          "BruteForceJoin for threshold 0");
+  // The accumulator trick below only covers the paper's three core
+  // measures; the serving-stack measures (weighted Jaccard, kernel cosine,
+  // Euclidean) fall back to the quadratic scan.
+  if (measure != Measure::kCosine && measure != Measure::kJaccard &&
+      measure != Measure::kBinaryCosine) {
+    return BruteForceJoin(data, threshold, measure);
+  }
   const uint32_t n = data.num_vectors();
   std::vector<ScoredPair> out;
 
@@ -76,6 +83,8 @@ std::vector<ScoredPair> InvertedIndexJoin(const Dataset& data,
           s = acc[j] /
               std::sqrt(static_cast<double>(x.size()) * data.RowLength(j));
           break;
+        default:
+          break;  // Unreachable: non-core measures returned above.
       }
       if (s >= threshold) out.push_back({j, i, s});
     }

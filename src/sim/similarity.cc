@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace bayeslsh {
 
@@ -13,6 +14,12 @@ std::string MeasureName(Measure m) {
       return "jaccard";
     case Measure::kBinaryCosine:
       return "binary-cosine";
+    case Measure::kWeightedJaccard:
+      return "wjaccard";
+    case Measure::kKernelCosine:
+      return "klsh";
+    case Measure::kEuclidean:
+      return "euclidean";
   }
   return "unknown";
 }
@@ -74,6 +81,15 @@ double ExactSimilarity(const Dataset& data, uint32_t i, uint32_t j,
       return JaccardSimilarity(a, b);
     case Measure::kBinaryCosine:
       return BinaryCosineSimilarity(a, b);
+    case Measure::kWeightedJaccard:
+      return WeightedJaccardSimilarity(a, b);
+    case Measure::kKernelCosine:
+      // The kernel cosine needs the kernel object; callers that serve it
+      // (core/query_search.cc) score through kernel/kernels.h instead.
+      throw std::logic_error(
+          "ExactSimilarity: kernel cosine requires a kernel");
+    case Measure::kEuclidean:
+      return -SparseEuclideanDistance(a, b);  // Negated-distance convention.
   }
   return 0.0;
 }

@@ -24,6 +24,16 @@ enum class Measure {
   kCosine,        // Real-valued vectors, rows pre-normalized to unit L2.
   kJaccard,       // Binary vectors (values ignored; indices are the set).
   kBinaryCosine,  // Binary vectors (values ignored).
+
+  // Serving-stack measures beyond the paper's three core settings. Their
+  // scores follow the same "larger is more similar" convention, so every
+  // sort/merge/top-k path works unchanged:
+  kWeightedJaccard,  // Non-negative weights; ICWS hashes (lsh/icws_hasher.h).
+  kKernelCosine,     // Kernel cosine via KLSH (kernel/klsh.h). Exact scores
+                     // need the kernel, so ExactSimilarity() rejects it.
+  kEuclidean,        // Radius search; scores are NEGATED distances and the
+                     // "threshold"/"sim" fields hold the radius / -distance
+                     // (euclidean/nn_search.h holds the standalone join).
 };
 
 std::string MeasureName(Measure m);

@@ -373,6 +373,101 @@ check_rc "serve with zero shards" 1 $?
 check_rc "serve on garbage index" 2 $?
 check_one_error_line "serve on garbage index" err.txt
 
+# --- serving measures: wjaccard / klsh / euclidean share the lifecycle ---
+
+# Measure parsing fails closed, and the new measures are served through
+# the index commands only — the allpairs pipeline refuses them.
+"$CLI" index --input corpus.txt --output nope.idx --measure nope 2>/dev/null
+check_rc "unknown measure" 1 $?
+"$CLI" allpairs --input corpus.txt --threshold 0.5 --measure wjaccard \
+  2>/dev/null
+check_rc "wjaccard via allpairs refused" 1 $?
+"$CLI" index --input corpus.txt --output nope.idx --measure klsh \
+  --kernel nope 2>/dev/null
+check_rc "unknown kernel" 1 $?
+
+# Euclidean's threshold is a distance radius with no meaningful default.
+"$CLI" index --input corpus.txt --output nope.idx --measure euclidean \
+  2>/dev/null
+check_rc "euclidean without --threshold" 1 $?
+
+# One lifecycle per measure over the raw count corpus (positive weights,
+# as ICWS requires): index -> query, serial == batch, add -> query ->
+# compact -> query identity, and sharded serve == the query oracle.
+measure_lifecycle() { # measure threshold [extra index flags...]
+  m="$1"; t="$2"; shift 2
+
+  "$CLI" index --input corpus.txt --output "m_$m.idx" --measure "$m" \
+    --threshold "$t" "$@" 2>/dev/null
+  check_rc "$m index build" 0 $?
+
+  "$CLI" query --index "m_$m.idx" --query-file corpus.txt --top-k 5 \
+    --output "m_$m.q1.txt" 2>/dev/null
+  check_rc "$m query" 0 $?
+  [ -s "m_$m.q1.txt" ] || { echo "FAIL: $m query produced no matches" >&2; fails=$((fails + 1)); }
+
+  "$CLI" query --index "m_$m.idx" --query-file corpus.txt --top-k 5 \
+    --batch --threads 2 --output "m_$m.q2.txt" 2>/dev/null
+  check_rc "$m batched query" 0 $?
+  cmp -s "m_$m.q1.txt" "m_$m.q2.txt" || { echo "FAIL: $m --batch output differs from serial loop" >&2; fails=$((fails + 1)); }
+
+  "$CLI" add --index "m_$m.idx" --input corpus.txt --output "m_$m.dyn" \
+    2>/dev/null
+  check_rc "$m add" 0 $?
+  "$CLI" query --index "m_$m.dyn" --query-file corpus.txt --top-k 5 \
+    --output "m_$m.q3.txt" 2>/dev/null
+  check_rc "$m dynamic query" 0 $?
+  "$CLI" compact --index "m_$m.dyn" 2>/dev/null
+  check_rc "$m compact" 0 $?
+  "$CLI" query --index "m_$m.dyn" --query-file corpus.txt --top-k 5 \
+    --output "m_$m.q4.txt" 2>/dev/null
+  check_rc "$m query after compact" 0 $?
+  cmp -s "m_$m.q3.txt" "m_$m.q4.txt" || { echo "FAIL: $m compaction changed query results" >&2; fails=$((fails + 1)); }
+
+  printf '@s query %s\nquit\n' "$row" | "$CLI" serve --index "m_$m.idx" \
+    --shards 3 --top-k 5 >"m_$m.serve.txt" 2>/dev/null
+  check_rc "$m sharded serve" 0 $?
+  head -n1 "m_$m.serve.txt" | grep -qE '^matches [0-9]+ shards 3/3$' || { echo "FAIL: $m serve response header malformed or degraded" >&2; fails=$((fails + 1)); }
+  n=$(head -n1 "m_$m.serve.txt" | awk '{print $2}')
+  sed -n "2,$((n + 1))p" "m_$m.serve.txt" > "m_$m.serve_matches.txt"
+  grep '^0 ' "m_$m.q1.txt" | cut -d' ' -f2- > "m_$m.oracle.txt"
+  cmp -s "m_$m.serve_matches.txt" "m_$m.oracle.txt" || { echo "FAIL: $m sharded serve answers differ from the query oracle" >&2; fails=$((fails + 1)); }
+
+  # The new measure tags need wire format v3: a v2 save fails closed.
+  "$CLI" index --input corpus.txt --output "m_$m.v2.idx" --measure "$m" \
+    --threshold "$t" --format-version 2 "$@" 2>err.txt
+  check_rc "$m refuses --format-version 2" 2 $?
+  check_one_error_line "$m refuses --format-version 2" err.txt
+}
+
+measure_lifecycle wjaccard 0.5
+measure_lifecycle klsh 0.6 --kernel linear --anchors 64
+measure_lifecycle euclidean 5.0
+
+# Euclidean reports distances, not negated similarities.
+awk '$3 < 0 { exit 1 }' m_euclidean.q1.txt || { echo "FAIL: euclidean query printed negative distances" >&2; fails=$((fails + 1)); }
+
+# The kernel flags reach the build: an rbf klsh index builds and serves.
+"$CLI" index --input corpus.txt --output klsh_rbf.idx --measure klsh \
+  --threshold 0.9 --kernel rbf --kernel-gamma 0.01 --anchors 16 2>/dev/null
+check_rc "klsh rbf build" 0 $?
+"$CLI" query --index klsh_rbf.idx --query-file corpus.txt --top-k 3 \
+  --output klsh_rbf_q.txt 2>/dev/null
+check_rc "klsh rbf query" 0 $?
+
+# v2 -> v3 compat: an old measure written as v2 answers identically to
+# the v3 build of the same configuration, and bad versions are refused.
+"$CLI" index --input corpus.txt --output v2.idx --measure cosine \
+  --threshold 0.6 --tfidf --normalize --format-version 2 2>/dev/null
+check_rc "cosine v2 build" 0 $?
+"$CLI" query --index v2.idx --query-file corpus.txt --normalize \
+  --top-k 5 --output v2_q.txt 2>/dev/null
+check_rc "query v2 index" 0 $?
+cmp -s matches.txt v2_q.txt || { echo "FAIL: v2 index answers differ from the v3 build" >&2; fails=$((fails + 1)); }
+"$CLI" index --input corpus.txt --output nope.idx --measure cosine \
+  --format-version 7 2>/dev/null
+check_rc "out-of-range --format-version" 1 $?
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI contract check(s) failed" >&2
   exit 1

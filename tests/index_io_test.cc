@@ -266,7 +266,13 @@ INSTANTIATE_TEST_SUITE_P(
             IndexCase{"srp_cosine", Measure::kCosine, 0, 0.6},
             IndexCase{"minwise_jaccard", Measure::kJaccard, 0, 0.4},
             IndexCase{"bbit_jaccard", Measure::kJaccard, 2, 0.4},
-            IndexCase{"srp_binary_cosine", Measure::kBinaryCosine, 0, 0.6}),
+            IndexCase{"srp_binary_cosine", Measure::kBinaryCosine, 0, 0.6},
+            // The format-v3 measures ride the same round-trip contract
+            // (TextWeighted rows are L2-normalized, so the Euclidean
+            // radius is in unit-sphere distance units).
+            IndexCase{"icws_wjaccard", Measure::kWeightedJaccard, 0, 0.5},
+            IndexCase{"klsh_kernel_cosine", Measure::kKernelCosine, 0, 0.6},
+            IndexCase{"pstable_euclidean", Measure::kEuclidean, 0, 0.8}),
         ::testing::Values(1u, 8u)),
     [](const auto& info) {
       return std::string(std::get<0>(info.param).name) + "_t" +
@@ -639,6 +645,138 @@ TEST(IndexFormatV2, V1SaveLoadsAndQueriesIdentically) {
   std::stringstream sink;
   EXPECT_THROW(built->Save(sink, 0), IndexError);
   EXPECT_THROW(built->Save(sink, kIndexFormatVersion + 1), IndexError);
+}
+
+// --- format v3: the serving-measure tags and the KLSH section ---
+
+// Measure tags >= 3 (wjaccard, klsh, euclidean) did not exist before v3,
+// so Save must refuse to emit them into a v1/v2 file — an old reader
+// would otherwise see a tag it cannot interpret.
+TEST(IndexFormatV3, NewMeasureTagsRequireV3) {
+  const Dataset data = TextWeighted(61, 80);
+  for (const Measure m : {Measure::kWeightedJaccard, Measure::kKernelCosine,
+                          Measure::kEuclidean}) {
+    IndexBuildConfig icfg;
+    icfg.measure = m;
+    icfg.threshold = m == Measure::kEuclidean ? 0.8 : 0.5;
+    icfg.seed = 42;
+    if (m == Measure::kKernelCosine) icfg.klsh.num_anchors = 16;
+    const auto built = PersistentIndex::Build(data, icfg);
+    std::stringstream sink;
+    EXPECT_THROW(built->Save(sink, /*format_version=*/1), IndexError);
+    EXPECT_THROW(built->Save(sink, /*format_version=*/2), IndexError);
+    std::stringstream ok;
+    built->Save(ok);  // Default (v3) round-trips.
+    EXPECT_EQ(PersistentIndex::Load(ok)->measure(), m);
+  }
+}
+
+// The original measures keep their v2 compatibility story: a v2 save of a
+// Jaccard index still loads and answers queries identically to the v3
+// save of the same index.
+TEST(IndexFormatV3, V2SaveOfOldMeasureLoadsIdentically) {
+  const Dataset data = GraphBinary(62, 150);
+  IndexBuildConfig icfg;
+  icfg.measure = Measure::kJaccard;
+  icfg.threshold = 0.4;
+  icfg.seed = 42;
+  const auto built = PersistentIndex::Build(data, icfg);
+
+  std::stringstream v2s, v3s;
+  built->Save(v2s, /*format_version=*/2);
+  built->Save(v3s);
+  EXPECT_NE(v2s.str(), v3s.str());  // Fingerprints fold the version.
+
+  const auto v2 = PersistentIndex::Load(v2s);
+  const auto v3 = PersistentIndex::Load(v3s);
+  QuerySearchConfig qcfg;
+  qcfg.measure = Measure::kJaccard;
+  qcfg.threshold = 0.4;
+  qcfg.seed = 42;
+  const QuerySearcher s2(v2.get(), qcfg);
+  const QuerySearcher s3(v3.get(), qcfg);
+  uint64_t matches = 0;
+  for (uint32_t qid = 0; qid < 30; ++qid) {
+    const auto expect = s2.Query(data.Row(qid));
+    EXPECT_EQ(s3.Query(data.Row(qid)), expect);
+    matches += expect.size();
+  }
+  EXPECT_GT(matches, 0u);
+}
+
+// A one-byte-flip sweep over a whole (small) KLSH v3 file: every flip
+// must either fail closed with IndexError/IoError or load — never crash,
+// leak a partial object, or tear down the process. This covers the KLSH
+// measure-config section (kernel tag, gamma, family shape, anchor rows)
+// alongside the structural sections the older corruption matrix already
+// walks. Structural fields (magic, version, counts, lengths, the end
+// marker) must actually reject — the test counts them.
+TEST(IndexFormatV3, KlshByteFlipSweepFailsClosed) {
+  TextCorpusConfig tcfg;
+  tcfg.num_docs = 12;
+  tcfg.vocab_size = 80;
+  tcfg.avg_doc_len = 10;
+  tcfg.num_clusters = 3;
+  tcfg.cluster_size = 3;
+  tcfg.seed = 65;
+  const Dataset data =
+      L2NormalizeRows(TfIdfTransform(GenerateTextCorpus(tcfg)));
+
+  IndexBuildConfig icfg;
+  icfg.measure = Measure::kKernelCosine;
+  icfg.threshold = 0.6;
+  icfg.seed = 42;
+  icfg.kernel.tag = KernelTag::kRbf;
+  icfg.kernel.gamma = 0.1;
+  icfg.klsh.num_anchors = 8;
+  const auto built = PersistentIndex::Build(data, icfg);
+  std::stringstream ss;
+  built->Save(ss);
+  const std::string bytes = ss.str();
+
+  size_t rejected = 0;
+  for (size_t off = 0; off < bytes.size(); ++off) {
+    std::string bad = bytes;
+    bad[off] = static_cast<char>(bad[off] ^ 0x2a);
+    std::stringstream in(std::move(bad));
+    try {
+      (void)PersistentIndex::Load(in);
+    } catch (const IoError&) {  // IndexError included.
+      ++rejected;
+    }
+    // Any other exception type propagates and fails the test.
+  }
+  EXPECT_GT(rejected, bytes.size() / 4) << "corruption checks too lax";
+
+  // Truncations and trailing bytes fail closed too, as for v1/v2 files.
+  for (const size_t len :
+       {size_t{4}, size_t{40}, bytes.size() / 3, bytes.size() - 1}) {
+    std::stringstream in(bytes.substr(0, len));
+    EXPECT_THROW(PersistentIndex::Load(in), IndexError);
+  }
+  std::stringstream trailing(bytes + "x");
+  EXPECT_THROW(PersistentIndex::Load(trailing), IndexError);
+}
+
+// Build-time validation for the v3 measures: a Euclidean radius must be
+// positive (but is not capped at 1), and b-bit packing stays a plain
+// Jaccard feature.
+TEST(IndexFormatV3, BuildValidation) {
+  const Dataset data = TextWeighted(66, 60);
+  IndexBuildConfig icfg;
+  icfg.measure = Measure::kEuclidean;
+  icfg.threshold = 0.0;
+  EXPECT_THROW(PersistentIndex::Build(data, icfg), std::invalid_argument);
+  icfg.threshold = -1.0;
+  EXPECT_THROW(PersistentIndex::Build(data, icfg), std::invalid_argument);
+  icfg.threshold = 4.0;  // A radius above 1 is fine for a distance.
+  EXPECT_NE(PersistentIndex::Build(data, icfg), nullptr);
+
+  IndexBuildConfig wcfg;
+  wcfg.measure = Measure::kWeightedJaccard;
+  wcfg.threshold = 0.5;
+  wcfg.bbit = 2;  // b-bit packing is Jaccard-only.
+  EXPECT_THROW(PersistentIndex::Build(data, wcfg), std::invalid_argument);
 }
 
 class IndexMmap : public ::testing::Test {

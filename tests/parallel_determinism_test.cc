@@ -5,15 +5,21 @@
 // prefetch-horizon slack of the single-threaded count.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "candgen/multiprobe.h"
+#include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "core/query_search.h"
 #include "core/topk_search.h"
 #include "data/graph_generator.h"
 #include "data/text_generator.h"
+#include "lsh/gaussian_source.h"
+#include "lsh/signature_store.h"
+#include "lsh/srp_hasher.h"
 #include "vec/transforms.h"
 
 namespace bayeslsh {
@@ -219,6 +225,34 @@ TEST(QuerySearchThreadDeterminismTest, IdenticalAcrossThreadCounts) {
       EXPECT_EQ(r1[i].sim, r4[i].sim) << "query row " << row;
     }
     EXPECT_EQ(s1.candidates, s4.candidates) << "query row " << row;
+  }
+}
+
+TEST(MultiProbeThreadDeterminismTest, IdenticalAcrossThreadCounts) {
+  // Multi-probe generation shards band-by-band; the candidate list (and
+  // the raw pre-dedup tally) must be bit-identical between the inline run
+  // and an 8-thread pool.
+  const Dataset data = TextWeighted(26, 500);
+  const auto gauss = std::make_shared<ImplicitGaussianSource>(uint64_t{31});
+  MultiProbeParams mp;
+  mp.probe_radius = 1;
+  mp.num_bands = 16;
+
+  BitSignatureStore serial_store(&data, SrpHasher(gauss.get()));
+  const CandidateList base =
+      MultiProbeCosineCandidates(&serial_store, 0.6, mp);
+  ASSERT_GT(base.pairs.size(), 0u) << "workload generated no candidates";
+
+  for (uint32_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    BitSignatureStore store(&data, SrpHasher(gauss.get()));
+    const CandidateList got =
+        MultiProbeCosineCandidates(&store, 0.6, mp, &pool);
+    ASSERT_EQ(base.pairs.size(), got.pairs.size()) << threads << " threads";
+    for (size_t i = 0; i < base.pairs.size(); ++i) {
+      EXPECT_EQ(base.pairs[i], got.pairs[i]) << threads << " threads";
+    }
+    EXPECT_EQ(base.raw_emitted, got.raw_emitted) << threads << " threads";
   }
 }
 

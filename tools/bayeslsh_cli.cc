@@ -115,12 +115,20 @@ int Usage() {
       "  --seed S --output FILE\n"
       "\n"
       "index options:\n"
-      "  --measure cosine|jaccard|binary-cosine   (default cosine)\n"
-      "  --threshold T                            (default 0.7)\n"
+      "  --measure cosine|jaccard|binary-cosine|wjaccard|klsh|euclidean\n"
+      "                                           (default cosine)\n"
+      "  --threshold T   (default 0.7; for euclidean, the match radius\n"
+      "                   in distance units — required, no default)\n"
       "  --bands L --band-hashes K                (0 = derive; default 0)\n"
       "  --bbit B                                 (Jaccard: b-bit signatures)\n"
+      "  --kernel linear|rbf|chi2 --kernel-gamma G --anchors N\n"
+      "                  (klsh only: the kernel the measure is defined\n"
+      "                   against and the anchor-set size; default\n"
+      "                   linear/1.0/256)\n"
       "  --prefetch H|full  (verification hashes/row; full = the whole\n"
       "                      serving budget, the frozen-serving form)\n"
+      "  --format-version V (wire layout to write, 1..3; default 3 —\n"
+      "                      wjaccard/klsh/euclidean need v3)\n"
       "  --threads N --seed S --tfidf --normalize\n"
       "\n"
       "query options:\n"
@@ -135,7 +143,7 @@ int Usage() {
       "                      plain indexes only)\n"
       "  --mmap             (zero-copy load: map the index read-only and\n"
       "                      serve signatures from the mapping; plain\n"
-      "                      format-v2 indexes only, results identical)\n"
+      "                      format-v2+ indexes only, results identical)\n"
       "  --qps-report       (print a JSON throughput line to stderr,\n"
       "                      reporting the threads actually used and the\n"
       "                      tombstone-suppressed ghost candidates)\n"
@@ -221,8 +229,11 @@ struct Args {
 };
 
 // Parses --measure into *out; returns false (after printing an error) on an
-// unknown name.
-bool ParseMeasure(const Args& args, Measure* out) {
+// unknown name. The serving stack (index/query/serve and the dynamic
+// commands) accepts every measure; the batch allpairs pipeline passes
+// serving_measures = false and keeps its original three.
+bool ParseMeasure(const Args& args, Measure* out,
+                  bool serving_measures = false) {
   const std::string measure = args.Get("measure", "cosine");
   if (measure == "cosine") {
     *out = Measure::kCosine;
@@ -230,10 +241,42 @@ bool ParseMeasure(const Args& args, Measure* out) {
     *out = Measure::kJaccard;
   } else if (measure == "binary-cosine") {
     *out = Measure::kBinaryCosine;
+  } else if (measure == "wjaccard" || measure == "klsh" ||
+             measure == "euclidean") {
+    if (!serving_measures) {
+      std::fprintf(stderr,
+                   "error: measure '%s' is served through the index "
+                   "commands (bayeslsh index/query/serve), not the batch "
+                   "allpairs pipeline\n",
+                   measure.c_str());
+      return false;
+    }
+    *out = measure == "wjaccard" ? Measure::kWeightedJaccard
+           : measure == "klsh"   ? Measure::kKernelCosine
+                                 : Measure::kEuclidean;
   } else {
     std::fprintf(stderr, "error: unknown measure '%s'\n", measure.c_str());
     return false;
   }
+  return true;
+}
+
+// Parses the KLSH-family flags (--kernel, --kernel-gamma, --anchors) into
+// an index build config; returns false (after printing an error) on an
+// unknown kernel name. No-ops for non-KLSH measures, so callers can apply
+// it unconditionally.
+bool ParseKlshFlags(const Args& args, IndexBuildConfig* cfg) {
+  if (cfg->measure != Measure::kKernelCosine) return true;
+  const std::string kernel = args.Get("kernel", "linear");
+  if (!ParseKernelTag(kernel, &cfg->kernel.tag)) {
+    std::fprintf(stderr,
+                 "error: unknown kernel '%s' (want linear, rbf or chi2)\n",
+                 kernel.c_str());
+    return false;
+  }
+  cfg->kernel.gamma = args.GetDouble("kernel-gamma", 1.0);
+  const auto anchors = static_cast<uint32_t>(args.GetUint("anchors", 0));
+  if (anchors != 0) cfg->klsh.num_anchors = anchors;
   return true;
 }
 
@@ -349,10 +392,19 @@ int RunIndex(const Args& args) {
   if (args.Has("tfidf")) data = TfIdfTransform(data);
 
   IndexBuildConfig cfg;
-  if (!ParseMeasure(args, &cfg.measure)) return 1;
+  if (!ParseMeasure(args, &cfg.measure, /*serving_measures=*/true)) return 1;
+  if (!ParseKlshFlags(args, &cfg)) return 1;
   if (cfg.measure == Measure::kCosine &&
       (args.Has("normalize") || args.Has("tfidf"))) {
     data = L2NormalizeRows(data);
+  }
+  // For Euclidean the threshold is a distance radius, so the similarity
+  // default would be meaningless — require an explicit value.
+  if (cfg.measure == Measure::kEuclidean && !args.Has("threshold")) {
+    std::fprintf(stderr,
+                 "error: --measure euclidean requires an explicit "
+                 "--threshold (the match radius, in distance units)\n");
+    return 1;
   }
   cfg.threshold = args.GetDouble("threshold", 0.7);
   cfg.banding.num_bands = static_cast<uint32_t>(args.GetUint("bands", 0));
@@ -367,13 +419,24 @@ int RunIndex(const Args& args) {
   cfg.seed = args.GetUint("seed", 42);
   if (!ParseThreads(args, &cfg.num_threads)) return 1;
 
+  // Old writers are still in the fleet, so `index` can emit the previous
+  // wire layouts on demand; Save itself rejects a measure the requested
+  // version cannot carry (the new measure tags require v3).
+  const auto format_version = static_cast<uint32_t>(
+      args.GetUint("format-version", kIndexFormatVersion));
+  if (format_version < 1 || format_version > kIndexFormatVersion) {
+    std::fprintf(stderr, "error: --format-version must be 1..%u\n",
+                 kIndexFormatVersion);
+    return 1;
+  }
+
   try {
     WallTimer build_timer;
     const std::unique_ptr<PersistentIndex> index =
         PersistentIndex::Build(std::move(data), cfg);
     const double build_s = build_timer.Seconds();
     WallTimer save_timer;
-    index->SaveFile(args.Get("output", ""));
+    index->SaveFile(args.Get("output", ""), format_version);
     std::fprintf(stderr,
                  "indexed %u vectors: %u bands x %u hashes, built in "
                  "%.3f s, saved to %s in %.3f s\n",
@@ -414,11 +477,13 @@ struct ServeTally {
 // Serves every row of `queries` through `searcher` — a QuerySearcher or a
 // DynamicIndex, which share the Query/QueryTopK/QueryBatch surface —
 // writing one "qid id sim" line per match. Stats are per-call (each
-// Query overwrites them), so the tally sums across calls.
+// Query overwrites them), so the tally sums across calls. `sim_scale` is
+// -1.0 for Euclidean indexes (the engine ranks by negated distance;
+// the CLI prints the distance itself) and 1.0 otherwise.
 template <typename Searcher>
 void ServeQueries(const Searcher& searcher, const Dataset& queries,
-                  bool batch, uint32_t top_k, std::ostream& out,
-                  ServeTally* tally) {
+                  bool batch, uint32_t top_k, double sim_scale,
+                  std::ostream& out, ServeTally* tally) {
   QueryStats stats;
   if (batch) {
     std::vector<SparseVectorView> qviews;
@@ -431,7 +496,7 @@ void ServeQueries(const Searcher& searcher, const Dataset& queries,
     tally->Absorb(stats);
     for (uint32_t qid = 0; qid < batched.size(); ++qid) {
       for (const QueryMatch& m : batched[qid]) {
-        out << qid << ' ' << m.id << ' ' << m.sim << '\n';
+        out << qid << ' ' << m.id << ' ' << m.sim * sim_scale << '\n';
       }
       tally->matches += batched[qid].size();
     }
@@ -443,7 +508,7 @@ void ServeQueries(const Searcher& searcher, const Dataset& queries,
                      : searcher.Query(q, &stats);
       tally->Absorb(stats);
       for (const QueryMatch& m : matches) {
-        out << qid << ' ' << m.id << ' ' << m.sim << '\n';
+        out << qid << ' ' << m.id << ' ' << m.sim * sim_scale << '\n';
       }
       tally->matches += matches.size();
     }
@@ -493,13 +558,16 @@ int RunQuery(const Args& args) {
 
   uint32_t num_threads = 1;
   if (!ParseThreads(args, &num_threads)) return 1;
-  // Valid serving thresholds are (0, 1]; rejecting an explicit 0 up
+  // Valid serving thresholds are positive; rejecting an explicit 0 up
   // front keeps plain and dynamic indexes consistent (0 is the dynamic
   // config's "use the build threshold" sentinel, never a user value).
+  // The (0, 1] upper bound applies to similarity measures only — for a
+  // Euclidean index the threshold is a distance radius — so it is
+  // checked after the load reveals the measure.
   if (args.Has("threshold")) {
     const double t = args.GetDouble("threshold", 0.0);
-    if (t <= 0.0 || t > 1.0) {
-      std::fprintf(stderr, "error: --threshold must be in (0, 1] "
+    if (t <= 0.0) {
+      std::fprintf(stderr, "error: --threshold must be positive "
                    "(got %g)\n", t);
       return 1;
     }
@@ -549,6 +617,14 @@ int RunQuery(const Args& args) {
   }
   const double load_s = load_timer.Seconds();
   const Measure measure = dynamic ? dyn->measure() : index->measure();
+  if (measure != Measure::kEuclidean && args.Has("threshold")) {
+    const double t = args.GetDouble("threshold", 0.0);
+    if (t > 1.0) {
+      std::fprintf(stderr, "error: --threshold must be in (0, 1] for a "
+                   "%s index (got %g)\n", MeasureName(measure).c_str(), t);
+      return 1;
+    }
+  }
   const uint32_t index_dims =
       dynamic ? dyn->num_dims() : index->data().num_dims();
   const uint32_t indexed_vectors =
@@ -615,11 +691,13 @@ int RunQuery(const Args& args) {
 
     WallTimer query_timer;
     ServeTally tally;
+    const double sim_scale = measure == Measure::kEuclidean ? -1.0 : 1.0;
     if (dynamic) {
-      ServeQueries(*dyn, queries, args.Has("batch"), top_k, *out, &tally);
+      ServeQueries(*dyn, queries, args.Has("batch"), top_k, sim_scale,
+                   *out, &tally);
     } else {
-      ServeQueries(*searcher, queries, args.Has("batch"), top_k, *out,
-                   &tally);
+      ServeQueries(*searcher, queries, args.Has("batch"), top_k, sim_scale,
+                   *out, &tally);
     }
     const double serve_s = query_timer.Seconds();
 
@@ -771,10 +849,12 @@ int RunServe(const Args& args) {
   if (!args.Has("index")) return Usage();
   uint32_t num_threads = 1;
   if (!ParseThreads(args, &num_threads)) return 1;
+  // Positive up front; the (0, 1] similarity-measure bound is checked
+  // after the load reveals the measure (Euclidean serves a radius).
   if (args.Has("threshold")) {
     const double t = args.GetDouble("threshold", 0.0);
-    if (t <= 0.0 || t > 1.0) {
-      std::fprintf(stderr, "error: --threshold must be in (0, 1] "
+    if (t <= 0.0) {
+      std::fprintf(stderr, "error: --threshold must be positive "
                    "(got %g)\n", t);
       return 1;
     }
@@ -813,6 +893,14 @@ int RunServe(const Args& args) {
       build.banding.hashes_per_band = dyn->hashes_per_band();
       build.bbit = dyn->bbit();
       build.seed = dyn->seed();
+      if (build.measure == Measure::kKernelCosine) {
+        // Reuse the loaded index's kernel and anchors: the repartitioned
+        // shards then hash with the exact family the index was built
+        // with, instead of resampling anchors from the live corpus.
+        build.kernel = dyn->kernel_spec();
+        build.klsh = dyn->klsh_params();
+        build.klsh_anchors = dyn->klsh_anchors();
+      }
       corpus = dyn->LiveCorpus();
     } else {
       // --mmap skips copying the signature slabs entirely; serve rebuilds
@@ -827,6 +915,11 @@ int RunServe(const Args& args) {
       build.banding.hashes_per_band = index->hashes_per_band();
       build.bbit = index->bbit();
       build.seed = index->seed();
+      if (build.measure == Measure::kKernelCosine) {
+        build.kernel = index->kernel_spec();
+        build.klsh = index->klsh_params();
+        build.klsh_anchors = index->klsh_anchors();
+      }
       corpus = index->data();
     }
   } catch (const std::exception& e) {
@@ -834,6 +927,15 @@ int RunServe(const Args& args) {
     return 2;
   }
   build.num_threads = num_threads;
+  if (build.measure != Measure::kEuclidean && args.Has("threshold")) {
+    const double t = args.GetDouble("threshold", 0.0);
+    if (t > 1.0) {
+      std::fprintf(stderr, "error: --threshold must be in (0, 1] for a "
+                   "%s index (got %g)\n",
+                   MeasureName(build.measure).c_str(), t);
+      return 1;
+    }
+  }
 
   ShardedIndexConfig scfg;
   scfg.num_shards = num_shards;
@@ -859,6 +961,8 @@ int RunServe(const Args& args) {
   const double drain_s = args.GetDouble("drain-timeout-ms", 5000.0) / 1000.0;
   const bool normalize =
       args.Has("normalize") && build.measure == Measure::kCosine;
+  const double sim_scale =
+      build.measure == Measure::kEuclidean ? -1.0 : 1.0;
 
   try {
     ShardedIndex sharded(std::move(corpus), build, scfg);
@@ -935,7 +1039,7 @@ int RunServe(const Args& args) {
                         ? " partial" : "",
                     stats.deadline_expired != 0 ? " deadline" : "");
         for (const QueryMatch& m : matches) {
-          std::printf("%u %g\n", m.id, m.sim);
+          std::printf("%u %g\n", m.id, m.sim * sim_scale);
         }
       } else if (cmd == "add") {
         if (!ParseServeVector(tokens, arg0 + 1, sharded.num_dims(),
